@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out, run on
+//! a deterministic analytic mismatch problem (no simulator noise):
+//!
+//! * linearization point: worst-case vs nominal (the Table 4 mechanism),
+//! * functional constraints on vs off (the Table 3 mechanism),
+//! * mirrored (quadratic) models on vs off.
+//!
+//! Criterion reports the runtime of each variant; the *quality* contrast is
+//! asserted by `tests/ablation_mechanism.rs` in the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specwise::{OptimizerConfig, YieldOptimizer};
+use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+use specwise_linalg::DVec;
+use specwise_wcd::LinearizationPoint;
+
+/// A mismatch-shaped problem where the nominal-point linearization is
+/// misleading: the `quad` margin is a ridge in `s0 − s1` whose width
+/// depends on the design (`d0` plays the role of device area: larger `d0`
+/// reduces the effective mismatch sigma), while `d1` only shifts the mean
+/// of a competing spec.
+fn mismatch_env() -> AnalyticEnv {
+    AnalyticEnv::builder()
+        .design(DesignSpace::new(vec![
+            DesignParam::new("area", "", 0.5, 8.0, 1.0),
+            DesignParam::new("bias", "", 0.0, 4.0, 0.5),
+        ]))
+        .stat_dim(2)
+        .spec(Spec::new("quad", "", SpecKind::LowerBound, 0.0))
+        .spec(Spec::new("lin", "", SpecKind::LowerBound, 0.0))
+        .performances(|d, s, _| {
+            // Effective mismatch deviation shrinks with √area (Pelgrom).
+            let z = (s[0] - s[1]) / d[0].sqrt();
+            DVec::from_slice(&[1.0 - z * z, d[1] - 1.0 + s[0] * 0.3])
+        })
+        .constraints(vec!["c".to_string()], |d| DVec::from_slice(&[6.0 - d[0] - d[1]]))
+        .build()
+        .unwrap()
+}
+
+fn cfg_base() -> OptimizerConfig {
+    let mut cfg = OptimizerConfig::default();
+    cfg.mc_samples = 4_000;
+    cfg.verify_samples = 1_000;
+    cfg.max_iterations = 2;
+    cfg
+}
+
+fn bench_linearization_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearization_point");
+    group.sample_size(10);
+    group.bench_function("worst_case", |b| {
+        b.iter(|| {
+            let env = mismatch_env();
+            YieldOptimizer::new(cfg_base()).run(&env).unwrap()
+        })
+    });
+    group.bench_function("nominal", |b| {
+        b.iter(|| {
+            let env = mismatch_env();
+            let mut cfg = cfg_base();
+            cfg.wc_options.linearization_point = LinearizationPoint::Nominal;
+            YieldOptimizer::new(cfg).run(&env).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_constraints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_constraints");
+    group.sample_size(10);
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let env = mismatch_env();
+            YieldOptimizer::new(cfg_base()).run(&env).unwrap()
+        })
+    });
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let env = mismatch_env();
+            let mut cfg = cfg_base();
+            cfg.use_constraints = false;
+            YieldOptimizer::new(cfg).run(&env).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mirrored_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mirrored_models");
+    group.sample_size(10);
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let env = mismatch_env();
+            YieldOptimizer::new(cfg_base()).run(&env).unwrap()
+        })
+    });
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let env = mismatch_env();
+            let mut cfg = cfg_base();
+            cfg.wc_options.mirrored_models = false;
+            YieldOptimizer::new(cfg).run(&env).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linearization_point, bench_constraints, bench_mirrored_models);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Benchmarks of the linearized-model yield estimator: the Eq. 20
+//! incremental coordinate update versus full re-evaluation, and scaling
+//! with the Monte-Carlo sample count — the design choices DESIGN.md §5
+//! calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specwise::LinearizedYield;
+use specwise_ckt::OperatingPoint;
+use specwise_linalg::DVec;
+use specwise_wcd::SpecLinearization;
+
+/// A synthetic model set shaped like the folded-cascode problem: 7 models
+/// (5 specs + 2 mirrored), 27 statistical dimensions, 10 design dimensions.
+fn models() -> Vec<SpecLinearization> {
+    let n_s = 27;
+    let n_d = 10;
+    let mut out = Vec::new();
+    for spec in 0..5 {
+        let grad_s = DVec::from_fn(n_s, |j| ((spec * 7 + j) as f64 * 0.37).sin() * 0.5);
+        let grad_d = DVec::from_fn(n_d, |k| ((spec * 3 + k) as f64 * 0.53).cos());
+        let s_wc = grad_s.scaled(-1.2);
+        let lin = SpecLinearization {
+            spec,
+            mirrored: false,
+            theta_wc: OperatingPoint::new(25.0, 3.3),
+            s_wc,
+            d_f: DVec::zeros(n_d),
+            margin_at_anchor: 0.0,
+            grad_s,
+            grad_d,
+        };
+        if spec == 2 {
+            out.push(lin.to_mirrored());
+        }
+        out.push(lin);
+    }
+    out
+}
+
+fn bench_estimate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearized_yield_estimate");
+    for n in [1_000usize, 10_000, 100_000] {
+        let model = LinearizedYield::new(models(), 5, n, 7).unwrap();
+        let d = DVec::filled(10, 0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| model.estimate(&d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let model = LinearizedYield::new(models(), 5, 10_000, 7).unwrap();
+    let d0 = DVec::zeros(10);
+
+    // Naive baseline: evaluate every full linear model (27-dim statistical
+    // dot product) for every sample — what Eq. 20 avoids by storing the
+    // per-sample constant parts.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use specwise_stat::StandardNormal;
+    let naive_models = models();
+    c.bench_function("coord_probe_naive_per_sample_models", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let normal = StandardNormal::new();
+            let mut d = d0.clone();
+            d[3] = 0.7;
+            let mut s = DVec::zeros(27);
+            let mut pass = 0usize;
+            for _ in 0..10_000 {
+                normal.fill(&mut rng, s.as_mut_slice());
+                if naive_models.iter().all(|m| m.eval(&d, &s) >= 0.0) {
+                    pass += 1;
+                }
+            }
+            pass
+        })
+    });
+
+    // Eq. 20 path A: precomputed sample parts, design shifts rebuilt per
+    // candidate (n_d-length dot products).
+    c.bench_function("coord_probe_precomputed_parts", |b| {
+        b.iter(|| {
+            let mut d = d0.clone();
+            d[3] = 0.7;
+            model.estimate(&d).unwrap()
+        })
+    });
+
+    // Eq. 20 path B: additionally update only the moved coordinate's term.
+    let tracker = model.tracker(&d0).unwrap();
+    c.bench_function("coord_probe_incremental", |b| {
+        b.iter(|| tracker.estimate_coord(3, 0.7))
+    });
+}
+
+fn bench_model_construction(c: &mut Criterion) {
+    c.bench_function("model_construction_10k_samples", |b| {
+        b.iter(|| LinearizedYield::new(models(), 5, 10_000, 7).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_estimate_scaling, bench_incremental_vs_full, bench_model_construction);
+criterion_main!(benches);

@@ -1,0 +1,379 @@
+//! An analytic (closed-form) [`CircuitEnv`] for testing and benchmarking the
+//! yield machinery without circuit simulations.
+//!
+//! The worst-case search, linearization, and optimizer layers only see the
+//! [`CircuitEnv`] trait; an `AnalyticEnv` lets their tests use known-answer
+//! performance functions (linear, quadratic, mismatch-shaped) where every
+//! quantity — worst-case distance, yield, gradients — can be verified
+//! against hand calculations.
+//!
+//! # Example
+//!
+//! ```
+//! use specwise_ckt::{AnalyticEnv, CircuitEnv, DesignParam, DesignSpace, OperatingPoint,
+//!                    OperatingRange, Spec, SpecKind};
+//! use specwise_linalg::DVec;
+//!
+//! # fn main() -> Result<(), specwise_ckt::CktError> {
+//! // One performance: f = d0 + s0, spec f >= 0.
+//! let env = AnalyticEnv::builder()
+//!     .design(DesignSpace::new(vec![DesignParam::new("d0", "", -10.0, 10.0, 2.0)]))
+//!     .stat_dim(1)
+//!     .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+//!     .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0]]))
+//!     .build()?;
+//! let f = env.eval_performances(
+//!     &DVec::from_slice(&[2.0]),
+//!     &DVec::from_slice(&[-0.5]),
+//!     &env.operating_range().nominal(),
+//! )?;
+//! assert_eq!(f[0], 1.5);
+//! # Ok(())
+//! # }
+//! ```
+
+use specwise_linalg::DVec;
+
+use crate::{
+    CircuitEnv, CktError, DesignSpace, OperatingPoint, OperatingRange, SimCounter, Spec, StatSpace,
+};
+
+type PerfFn = dyn Fn(&DVec, &DVec, &OperatingPoint) -> DVec + Send + Sync;
+type ConstraintFn = dyn Fn(&DVec) -> DVec + Send + Sync;
+type FailFn = dyn Fn(&DVec) -> bool + Send + Sync;
+
+/// A [`CircuitEnv`] whose performances and constraints are closed-form
+/// functions, for testing and benchmarking the yield machinery against
+/// known answers.
+pub struct AnalyticEnv {
+    name: String,
+    design: DesignSpace,
+    stats: StatSpace,
+    stat_dim: usize,
+    specs: Vec<Spec>,
+    range: OperatingRange,
+    perf: Box<PerfFn>,
+    constraints: Box<ConstraintFn>,
+    constraint_names: Vec<String>,
+    fail_when: Option<Box<FailFn>>,
+    counter: SimCounter,
+}
+
+impl std::fmt::Debug for AnalyticEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalyticEnv")
+            .field("name", &self.name)
+            .field("design_dim", &self.design.dim())
+            .field("stat_dim", &self.stat_dim)
+            .field("specs", &self.specs.len())
+            .finish()
+    }
+}
+
+/// Builder for [`AnalyticEnv`].
+#[derive(Default)]
+pub struct AnalyticEnvBuilder {
+    name: Option<String>,
+    design: Option<DesignSpace>,
+    stat_dim: Option<usize>,
+    specs: Vec<Spec>,
+    range: Option<OperatingRange>,
+    perf: Option<Box<PerfFn>>,
+    constraints: Option<Box<ConstraintFn>>,
+    constraint_names: Vec<String>,
+    fail_when: Option<Box<FailFn>>,
+}
+
+impl std::fmt::Debug for AnalyticEnvBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalyticEnvBuilder").field("specs", &self.specs.len()).finish()
+    }
+}
+
+impl AnalyticEnvBuilder {
+    /// Sets the display name (default `"analytic"`).
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Sets the design space (required).
+    pub fn design(mut self, design: DesignSpace) -> Self {
+        self.design = Some(design);
+        self
+    }
+
+    /// Sets the statistical dimension (required). The parameters are
+    /// anonymous standardized Gaussians named `s0, s1, …`.
+    pub fn stat_dim(mut self, n: usize) -> Self {
+        self.stat_dim = Some(n);
+        self
+    }
+
+    /// Adds one specification (at least one required).
+    pub fn spec(mut self, spec: Spec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Sets the operating range (default: T ∈ \[0, 50\] °C, VDD ∈ \[3, 3.6\] V).
+    pub fn operating_range(mut self, range: OperatingRange) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// Sets the performance function (required); must return one value per
+    /// spec, in spec order.
+    pub fn performances<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&DVec, &DVec, &OperatingPoint) -> DVec + Send + Sync + 'static,
+    {
+        self.perf = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the constraint function and names (default: no constraints).
+    pub fn constraints<F>(mut self, names: Vec<String>, f: F) -> Self
+    where
+        F: Fn(&DVec) -> DVec + Send + Sync + 'static,
+    {
+        self.constraint_names = names;
+        self.constraints = Some(Box::new(f));
+        self
+    }
+
+    /// Declares a design region where the "simulation" fails — every
+    /// evaluation there returns [`CktError::Simulation`], mimicking a
+    /// circuit whose DC solve does not converge. Used to test the
+    /// robustness paths of the optimizer.
+    pub fn fail_when<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&DVec) -> bool + Send + Sync + 'static,
+    {
+        self.fail_when = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::InvalidConfig`] when a required piece is missing.
+    pub fn build(self) -> Result<AnalyticEnv, CktError> {
+        let design = self.design.ok_or(CktError::InvalidConfig { reason: "design space required" })?;
+        let stat_dim = self.stat_dim.ok_or(CktError::InvalidConfig { reason: "stat_dim required" })?;
+        if self.specs.is_empty() {
+            return Err(CktError::InvalidConfig { reason: "at least one spec required" });
+        }
+        let perf = self.perf.ok_or(CktError::InvalidConfig { reason: "performance function required" })?;
+        // Anonymous stat space of the right size: globals-only spaces come
+        // in fives, so synthesize from generic device names when needed.
+        let stats = synth_stat_space(stat_dim);
+        Ok(AnalyticEnv {
+            name: self.name.unwrap_or_else(|| "analytic".to_string()),
+            design,
+            stats,
+            stat_dim,
+            specs: self.specs,
+            range: self.range.unwrap_or_else(|| OperatingRange::new(0.0, 50.0, 3.0, 3.6)),
+            perf,
+            constraints: self.constraints.unwrap_or_else(|| Box::new(|_d: &DVec| DVec::zeros(0))),
+            constraint_names: self.constraint_names,
+            fail_when: self.fail_when,
+            counter: SimCounter::new(),
+        })
+    }
+}
+
+/// Builds a stat space whose first `n` parameters are used; the analytic
+/// environments only care about the dimension, so a padded local space is
+/// synthesized and truncated at the accessor level.
+fn synth_stat_space(n: usize) -> StatSpace {
+    // StatSpace::build always includes the 5 globals; add enough synthetic
+    // devices to reach at least n, then rely on `stat_dim` for truncation.
+    let needed_locals = n.saturating_sub(5);
+    let num_devices = needed_locals.div_ceil(2);
+    let names: Vec<String> = (0..num_devices).map(|i| format!("x{i}")).collect();
+    let devices: Vec<(&str, specwise_mna::MosPolarity)> =
+        names.iter().map(|s| (s.as_str(), specwise_mna::MosPolarity::Nmos)).collect();
+    StatSpace::build(&devices, num_devices > 0)
+}
+
+impl AnalyticEnv {
+    /// Starts a builder.
+    pub fn builder() -> AnalyticEnvBuilder {
+        AnalyticEnvBuilder::default()
+    }
+}
+
+impl CircuitEnv for AnalyticEnv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn design_space(&self) -> &DesignSpace {
+        &self.design
+    }
+
+    fn stat_space(&self) -> &StatSpace {
+        &self.stats
+    }
+
+    fn stat_dim(&self) -> usize {
+        self.stat_dim
+    }
+
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    fn operating_range(&self) -> &OperatingRange {
+        &self.range
+    }
+
+    fn constraint_names(&self) -> Vec<String> {
+        self.constraint_names.clone()
+    }
+
+    fn eval_performances(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        if d.len() != self.design.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "design",
+                expected: self.design.dim(),
+                found: d.len(),
+            });
+        }
+        if s_hat.len() != self.stat_dim {
+            return Err(CktError::DimensionMismatch {
+                what: "stat",
+                expected: self.stat_dim,
+                found: s_hat.len(),
+            });
+        }
+        self.counter.add(1);
+        if let Some(fail) = &self.fail_when {
+            if fail(d) {
+                return Err(CktError::Simulation(specwise_mna::MnaError::NoConvergence {
+                    analysis: "dc",
+                    iterations: 0,
+                    residual: f64::NAN,
+                }));
+            }
+        }
+        let out = (self.perf)(d, s_hat, theta);
+        if out.len() != self.specs.len() {
+            return Err(CktError::InvalidConfig {
+                reason: "performance function returned wrong arity",
+            });
+        }
+        Ok(out)
+    }
+
+    fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
+        if d.len() != self.design.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "design",
+                expected: self.design.dim(),
+                found: d.len(),
+            });
+        }
+        self.counter.add(1);
+        if let Some(fail) = &self.fail_when {
+            if fail(d) {
+                return Err(CktError::Simulation(specwise_mna::MnaError::NoConvergence {
+                    analysis: "dc",
+                    iterations: 0,
+                    residual: f64::NAN,
+                }));
+            }
+        }
+        Ok((self.constraints)(d))
+    }
+
+    fn sim_count(&self) -> u64 {
+        self.counter.count()
+    }
+
+    fn reset_sim_count(&self) {
+        self.counter.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignParam, SpecKind};
+
+    fn simple_env() -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("a", "", -5.0, 5.0, 1.0)]))
+            .stat_dim(2)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] - s[0] * s[0] - s[1]]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn evaluates_closed_form() {
+        let env = simple_env();
+        let f = env
+            .eval_performances(
+                &DVec::from_slice(&[3.0]),
+                &DVec::from_slice(&[1.0, 0.5]),
+                &env.operating_range().nominal(),
+            )
+            .unwrap();
+        assert_eq!(f[0], 1.5);
+        assert_eq!(env.sim_count(), 1);
+    }
+
+    #[test]
+    fn missing_pieces_rejected() {
+        assert!(AnalyticEnv::builder().build().is_err());
+        assert!(AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 1.0, 0.5)]))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let env = simple_env();
+        let theta = env.operating_range().nominal();
+        assert!(env.eval_performances(&DVec::zeros(2), &DVec::zeros(2), &theta).is_err());
+        assert!(env.eval_performances(&DVec::zeros(1), &DVec::zeros(3), &theta).is_err());
+    }
+
+    #[test]
+    fn default_constraints_empty() {
+        let env = simple_env();
+        assert_eq!(env.eval_constraints(&DVec::from_slice(&[1.0])).unwrap().len(), 0);
+        assert!(env.constraint_names().is_empty());
+    }
+
+    #[test]
+    fn large_stat_dims_supported() {
+        let env = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 1.0, 0.5)]))
+            .stat_dim(30)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|_, s, _| DVec::from_slice(&[s.sum()]))
+            .build()
+            .unwrap();
+        assert_eq!(env.stat_dim(), 30);
+        let f = env
+            .eval_performances(
+                &DVec::from_slice(&[0.5]),
+                &DVec::filled(30, 0.1),
+                &env.operating_range().nominal(),
+            )
+            .unwrap();
+        assert!((f[0] - 3.0).abs() < 1e-12);
+    }
+}

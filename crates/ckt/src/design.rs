@@ -1,0 +1,211 @@
+//! Design-parameter spaces: named, box-bounded vectors of the quantities
+//! the sizing process controls (paper Sec. 2, "design parameters d").
+
+use specwise_linalg::DVec;
+
+use crate::CktError;
+
+/// One design parameter: name, unit, box bounds, initial value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignParam {
+    /// Name (e.g. `"w1"`).
+    pub name: String,
+    /// Unit for display (e.g. `"um"`).
+    pub unit: String,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Initial (starting design) value.
+    pub initial: f64,
+}
+
+impl DesignParam {
+    /// Creates a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lower < upper` and `initial ∈ [lower, upper]`.
+    pub fn new(name: &str, unit: &str, lower: f64, upper: f64, initial: f64) -> Self {
+        assert!(lower < upper, "bounds inverted for {name}");
+        assert!(
+            (lower..=upper).contains(&initial),
+            "initial value {initial} of {name} outside [{lower}, {upper}]"
+        );
+        DesignParam {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            lower,
+            upper,
+            initial,
+        }
+    }
+}
+
+/// An ordered collection of design parameters.
+///
+/// # Example
+///
+/// ```
+/// use specwise_ckt::{DesignParam, DesignSpace};
+///
+/// let space = DesignSpace::new(vec![
+///     DesignParam::new("w1", "um", 1.0, 200.0, 20.0),
+///     DesignParam::new("ib", "uA", 1.0, 100.0, 10.0),
+/// ]);
+/// assert_eq!(space.dim(), 2);
+/// assert_eq!(space.initial().as_slice(), &[20.0, 10.0]);
+/// assert!(space.contains(&space.initial()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    params: Vec<DesignParam>,
+}
+
+impl DesignSpace {
+    /// Creates a space from a parameter list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn new(params: Vec<DesignParam>) -> Self {
+        assert!(!params.is_empty(), "design space needs at least one parameter");
+        DesignSpace { params }
+    }
+
+    /// Number of design parameters.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameters in order.
+    pub fn params(&self) -> &[DesignParam] {
+        &self.params
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// The initial design vector.
+    pub fn initial(&self) -> DVec {
+        self.params.iter().map(|p| p.initial).collect()
+    }
+
+    /// Lower-bound vector.
+    pub fn lower(&self) -> DVec {
+        self.params.iter().map(|p| p.lower).collect()
+    }
+
+    /// Upper-bound vector.
+    pub fn upper(&self) -> DVec {
+        self.params.iter().map(|p| p.upper).collect()
+    }
+
+    /// `true` when `d` lies inside the box (inclusive).
+    pub fn contains(&self, d: &DVec) -> bool {
+        d.len() == self.dim()
+            && self
+                .params
+                .iter()
+                .zip(d.iter())
+                .all(|(p, &x)| x >= p.lower && x <= p.upper)
+    }
+
+    /// Projects `d` onto the box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::DimensionMismatch`] on length mismatch.
+    pub fn project(&self, d: &DVec) -> Result<DVec, CktError> {
+        if d.len() != self.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "design",
+                expected: self.dim(),
+                found: d.len(),
+            });
+        }
+        Ok(self
+            .params
+            .iter()
+            .zip(d.iter())
+            .map(|(p, &x)| x.clamp(p.lower, p.upper))
+            .collect())
+    }
+
+    /// Validates a design vector (length and bounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::DimensionMismatch`] or [`CktError::OutOfBounds`].
+    pub fn validate(&self, d: &DVec) -> Result<(), CktError> {
+        if d.len() != self.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "design",
+                expected: self.dim(),
+                found: d.len(),
+            });
+        }
+        for (i, (p, &x)) in self.params.iter().zip(d.iter()).enumerate() {
+            if !(x >= p.lower && x <= p.upper) {
+                return Err(CktError::OutOfBounds { index: i, value: x });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(vec![
+            DesignParam::new("a", "", 0.0, 10.0, 5.0),
+            DesignParam::new("b", "", -1.0, 1.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn initial_within_bounds() {
+        let s = space();
+        assert!(s.contains(&s.initial()));
+        assert!(s.validate(&s.initial()).is_ok());
+    }
+
+    #[test]
+    fn projection_clamps() {
+        let s = space();
+        let d = DVec::from_slice(&[20.0, -5.0]);
+        let p = s.project(&d).unwrap();
+        assert_eq!(p.as_slice(), &[10.0, -1.0]);
+        assert!(s.contains(&p));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds() {
+        let s = space();
+        assert!(matches!(
+            s.validate(&DVec::from_slice(&[11.0, 0.0])),
+            Err(CktError::OutOfBounds { index: 0, .. })
+        ));
+        assert!(matches!(
+            s.validate(&DVec::from_slice(&[1.0])),
+            Err(CktError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = space();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn param_rejects_bad_initial() {
+        DesignParam::new("x", "", 0.0, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The [`CircuitEnv`] abstraction: what the worst-case analysis and the
+//! yield optimizer need from a circuit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use specwise_linalg::DVec;
+
+use crate::{CktError, DesignSpace, OperatingPoint, OperatingRange, Spec, StatSpace};
+
+/// A thread-safe counter of circuit-simulation calls — the paper's primary
+/// effort metric (Table 7 reports `# Simulations`).
+#[derive(Debug, Default)]
+pub struct SimCounter(AtomicU64);
+
+impl SimCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        SimCounter(AtomicU64::new(0))
+    }
+
+    /// Increments by `n` simulations.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A circuit under optimization: design space, standardized statistical
+/// space, specifications, operating range, and the evaluation functions.
+///
+/// Performances are evaluated as `f(d, ŝ, θ)` with `ŝ ~ N(0, I)`; the
+/// design-dependent covariance `C(d)` (paper Eq. 10) is applied *inside*
+/// `eval_performances` — this is the transformed formulation of paper
+/// Eqs. 11–14 that lets one machinery handle global and local variations.
+pub trait CircuitEnv {
+    /// Human-readable circuit name.
+    fn name(&self) -> &str;
+
+    /// The design space.
+    fn design_space(&self) -> &DesignSpace;
+
+    /// The standardized statistical space.
+    fn stat_space(&self) -> &StatSpace;
+
+    /// Dimension of the statistical space.
+    fn stat_dim(&self) -> usize {
+        self.stat_space().dim()
+    }
+
+    /// The performance specifications (order fixed; matches the vector
+    /// returned by [`CircuitEnv::eval_performances`]).
+    fn specs(&self) -> &[Spec];
+
+    /// The operating range `Θ`.
+    fn operating_range(&self) -> &OperatingRange;
+
+    /// Names of the functional constraints, in the order of
+    /// [`CircuitEnv::eval_constraints`].
+    fn constraint_names(&self) -> Vec<String>;
+
+    /// Evaluates all performances at `(d, ŝ, θ)` in physical units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError`] for dimension mismatches or failed simulations.
+    fn eval_performances(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError>;
+
+    /// Evaluates the functional ("sizing rule") constraints `c(d) ≥ 0` at
+    /// nominal statistics and nominal operating conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError`] for dimension mismatches or failed simulations.
+    fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError>;
+
+    /// Evaluates the margin vector `mᵢ = ±(fᵢ − f_bᵢ)` (positive = pass) at
+    /// `(d, ŝ, θ)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CircuitEnv::eval_performances`] errors.
+    fn eval_margins(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        let perf = self.eval_performances(d, s_hat, theta)?;
+        Ok(self
+            .specs()
+            .iter()
+            .zip(perf.iter())
+            .map(|(spec, &f)| spec.margin(f))
+            .collect())
+    }
+
+    /// Number of simulator invocations so far.
+    fn sim_count(&self) -> u64;
+
+    /// Resets the simulation counter.
+    fn reset_sim_count(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = SimCounter::new();
+        assert_eq!(c.count(), 0);
+        c.add(3);
+        c.add(2);
+        assert_eq!(c.count(), 5);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use specwise_mna::MnaError;
+
+/// Errors produced by circuit environments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CktError {
+    /// The underlying circuit simulation failed.
+    Simulation(MnaError),
+    /// A vector has the wrong length for this environment.
+    DimensionMismatch {
+        /// What the vector represents ("design", "stat", …).
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+    /// A design vector leaves the box bounds of the design space.
+    OutOfBounds {
+        /// Index of the offending parameter.
+        index: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// A performance could not be extracted (e.g. no unity-gain crossing).
+    Extraction {
+        /// Which performance failed.
+        performance: &'static str,
+        /// Why.
+        reason: &'static str,
+    },
+    /// An invalid configuration value.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CktError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CktError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            CktError::DimensionMismatch { what, expected, found } => {
+                write!(f, "{what} vector has length {found}, expected {expected}")
+            }
+            CktError::OutOfBounds { index, value } => {
+                write!(f, "design parameter {index} = {value} outside bounds")
+            }
+            CktError::Extraction { performance, reason } => {
+                write!(f, "could not extract {performance}: {reason}")
+            }
+            CktError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CktError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CktError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MnaError> for CktError {
+    fn from(e: MnaError) -> Self {
+        CktError::Simulation(e)
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared opamp measurement harness: open-loop gain, unity-gain frequency,
+//! phase margin, CMRR, slew rate and power from MNA simulations.
+//!
+//! # Measurement methodology
+//!
+//! Opamps cannot be simulated open-loop at DC — the operating point is
+//! exponentially sensitive to input offset. The harness therefore runs two
+//! configurations per evaluation:
+//!
+//! 1. **Feedback configuration** (unity buffer, output wired to the
+//!    inverting gate): yields the true operating point, the power, the
+//!    saturation margins for the functional constraints, and the (optional)
+//!    large-signal slew-rate transient.
+//! 2. **Open-loop configuration**: the inverting input is driven by an
+//!    ideal source at exactly the output voltage found in step 1 (gates
+//!    draw no DC current, so this reproduces the same operating point),
+//!    after which small-signal AC analyses measure the differential and
+//!    common-mode transfer functions.
+//!
+//! Simulation counting: every DC solve, AC analysis (all frequency points of
+//! one stimulus configuration) and transient run counts as one simulator
+//! call — mirroring how the paper's Table 7 counts TITAN invocations.
+
+use specwise_linalg::DVec;
+use specwise_mna::{
+    AcSolver, Circuit, DcOp, DcSolution, MnaError, NodeId, Stimulus, Transient, TransientOptions,
+};
+
+use crate::{CktError, OperatingPoint, SimCounter};
+
+/// How the slew rate is extracted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SlewRateMethod {
+    /// `SR = I_tail / C_slew` from the DC operating point — the textbook
+    /// large-signal limit; fast enough for the optimizer's inner loop.
+    Analytic,
+    /// Large-signal step transient on the unity-feedback configuration;
+    /// reads the maximum output `|dv/dt|`.
+    Transient {
+        /// Time step \[s\].
+        dt: f64,
+        /// Stop time \[s\].
+        t_stop: f64,
+        /// Input step amplitude around the common mode \[V\].
+        step: f64,
+    },
+}
+
+/// The measured performance set of an opamp evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpampMetrics {
+    /// Open-loop DC gain \[dB\].
+    pub a0_db: f64,
+    /// Unity-gain (transit) frequency \[Hz\].
+    pub ft_hz: f64,
+    /// Phase margin \[degrees\].
+    pub phase_margin_deg: f64,
+    /// Common-mode rejection ratio \[dB\].
+    pub cmrr_db: f64,
+    /// Positive slew rate \[V/s\].
+    pub slew_v_per_s: f64,
+    /// Total supply power \[W\].
+    pub power_w: f64,
+    /// Power-supply rejection ratio (DC, positive supply) \[dB\].
+    pub psrr_db: f64,
+}
+
+/// A fully built opamp netlist plus the handles the harness needs.
+#[derive(Debug)]
+pub(crate) struct BuiltOpamp {
+    /// The netlist (temperature already set from θ).
+    pub circuit: Circuit,
+    /// Name of the non-inverting input voltage source.
+    pub vinp_src: String,
+    /// Name of the inverting input voltage source (absent in feedback
+    /// configuration, where the gate is wired to the output node).
+    pub vinn_src: Option<String>,
+    /// Output node.
+    pub out: NodeId,
+    /// Name of the supply voltage source.
+    pub vdd_src: String,
+    /// Input common-mode voltage \[V\].
+    pub vcm: f64,
+    /// Capacitance that limits slewing \[F\].
+    pub slew_cap: f64,
+    /// Name of the tail-current device (its |I_D| limits slewing).
+    pub tail_device: String,
+}
+
+/// Netlist factory implemented by each opamp topology.
+pub(crate) trait OpampBuilder {
+    /// Builds the netlist at `(d, ŝ, θ)`.
+    ///
+    /// With `feedback == true` the output node is wired to the inverting
+    /// gate (unity buffer) and `vinn_dc` is ignored; otherwise the inverting
+    /// input is driven by an ideal source at `vinn_dc`.
+    fn build(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        feedback: bool,
+        vinn_dc: f64,
+    ) -> Result<BuiltOpamp, CktError>;
+}
+
+/// Value returned when the gain never reaches unity (degenerate design):
+/// pessimistic but finite, so the optimizer sees a very bad margin rather
+/// than an error.
+const DEGENERATE_FT_HZ: f64 = 1.0;
+
+/// Runs the full measurement flow.
+pub(crate) fn measure(
+    builder: &dyn OpampBuilder,
+    d: &DVec,
+    s_hat: &DVec,
+    theta: &OperatingPoint,
+    sr_method: SlewRateMethod,
+    counter: &SimCounter,
+) -> Result<(OpampMetrics, DcSolution), CktError> {
+    // 1. Feedback configuration: operating point, power, slew.
+    let fb = builder.build(d, s_hat, theta, true, 0.0)?;
+    let op_fb = DcOp::new(&fb.circuit).solve().map_err(CktError::from)?;
+    counter.add(1);
+    let vout_fb = op_fb.voltage(fb.out);
+    let i_vdd = op_fb
+        .branch_current(&fb.vdd_src)
+        .map_err(CktError::from)?;
+    let power_w = theta.vdd * i_vdd.abs();
+
+    let slew_v_per_s = match sr_method {
+        SlewRateMethod::Analytic => {
+            let tail = op_fb.mosfet_op(&fb.tail_device).ok_or(CktError::Extraction {
+                performance: "slew rate",
+                reason: "tail device not found",
+            })?;
+            tail.id.abs() / fb.slew_cap
+        }
+        SlewRateMethod::Transient { dt, t_stop, step } => {
+            let mut tr_ckt = fb.circuit.clone();
+            tr_ckt
+                .set_stimulus(
+                    &fb.vinp_src,
+                    Stimulus::Step {
+                        v0: fb.vcm,
+                        v1: fb.vcm + step,
+                        t0: 4.0 * dt,
+                        t_rise: dt,
+                    },
+                )
+                .map_err(CktError::from)?;
+            let result = Transient::new(&tr_ckt, TransientOptions::new(dt, t_stop))
+                .run()
+                .map_err(CktError::from)?;
+            counter.add(1);
+            result.max_slope(fb.out)
+        }
+    };
+
+    // 2. Open-loop configuration biased by the feedback result.
+    let ol = builder.build(d, s_hat, theta, false, vout_fb)?;
+    let vinn = ol.vinn_src.clone().ok_or(CktError::Extraction {
+        performance: "open-loop analysis",
+        reason: "builder did not provide an inverting input source",
+    })?;
+    let op_ol = DcOp::new(&ol.circuit).solve().map_err(CktError::from)?;
+    counter.add(1);
+
+    // Differential drive: +1/2 on vinp, −1/2 on vinn.
+    let mut ckt_dm = ol.circuit.clone();
+    ckt_dm.clear_ac();
+    ckt_dm.set_ac(&ol.vinp_src, 0.5).map_err(CktError::from)?;
+    ckt_dm.set_ac(&vinn, -0.5).map_err(CktError::from)?;
+    let ac_dm = AcSolver::new(&ckt_dm, &op_ol);
+    let h0 = ac_dm.solve(0.0).map_err(CktError::from)?.voltage(ol.out);
+    counter.add(1);
+    let adm0 = h0.abs();
+    let a0_db = 20.0 * adm0.max(1e-30).log10();
+
+    // Unity-gain frequency and phase margin.
+    let (ft_hz, phase_margin_deg) = match ac_dm
+        .find_crossing(ol.out, 1.0, 1.0, 20e9)
+        .map_err(CktError::from)?
+    {
+        Some(ft) => {
+            let at_ft = ac_dm.solve(ft).map_err(CktError::from)?.voltage(ol.out);
+            // Phase margin relative to the stage's own low-frequency phase:
+            // the excess phase lag accumulated up to ft determines stability
+            // in unity feedback.
+            let phase_lag = (h0.arg() - at_ft.arg()).rem_euclid(2.0 * std::f64::consts::PI);
+            (ft, 180.0 - phase_lag.to_degrees())
+        }
+        None => (DEGENERATE_FT_HZ, 0.0),
+    };
+    counter.add(1);
+
+    // Common-mode drive: +1 on both inputs.
+    let mut ckt_cm = ol.circuit.clone();
+    ckt_cm.clear_ac();
+    ckt_cm.set_ac(&ol.vinp_src, 1.0).map_err(CktError::from)?;
+    ckt_cm.set_ac(&vinn, 1.0).map_err(CktError::from)?;
+    let ac_cm = AcSolver::new(&ckt_cm, &op_ol);
+    let acm0 = ac_cm.solve(0.0).map_err(CktError::from)?.voltage(ol.out).abs();
+    counter.add(1);
+    let cmrr_db = if acm0 <= 0.0 {
+        200.0
+    } else {
+        (20.0 * (adm0 / acm0).log10()).min(200.0)
+    };
+
+    // Supply drive: +1 on VDD, inputs quiet — PSRR = Adm/Apsr.
+    let mut ckt_ps = ol.circuit.clone();
+    ckt_ps.clear_ac();
+    ckt_ps.set_ac(&ol.vdd_src, 1.0).map_err(CktError::from)?;
+    let ac_ps = AcSolver::new(&ckt_ps, &op_ol);
+    let apsr0 = ac_ps.solve(0.0).map_err(CktError::from)?.voltage(ol.out).abs();
+    counter.add(1);
+    let psrr_db = if apsr0 <= 0.0 {
+        200.0
+    } else {
+        (20.0 * (adm0 / apsr0).log10()).min(200.0)
+    };
+
+    Ok((
+        OpampMetrics { a0_db, ft_hz, phase_margin_deg, cmrr_db, slew_v_per_s, power_w, psrr_db },
+        op_fb,
+    ))
+}
+
+/// Builds the functional-constraint vector from the feedback operating
+/// point: for every MOSFET, `vsat_margin − vsat_min`, `vov − vov_min` and
+/// `vov_max − vov` (paper Sec. 5.1: "all transistors must be in saturation"
+/// plus the lower/upper overdrive sizing rules of the feasibility-region
+/// literature — the upper bound is what keeps every device in a healthy
+/// gm/I_D regime, making performances weakly nonlinear inside the region,
+/// cf. the paper's Fig. 4 argument).
+pub(crate) fn saturation_constraints(
+    op: &DcSolution,
+    vsat_min: f64,
+    vov_min: f64,
+    vov_max: f64,
+) -> DVec {
+    let mut c = Vec::with_capacity(3 * op.mosfet_ops().len());
+    for m in op.mosfet_ops() {
+        c.push(m.vsat_margin - vsat_min);
+        c.push(m.vov - vov_min);
+        c.push(vov_max - m.vov);
+    }
+    DVec::from(c)
+}
+
+/// Helper used by topologies: pretty errors for simulation failures during
+/// constraint evaluation.
+pub(crate) fn dc_solve_counted(
+    circuit: &Circuit,
+    counter: &SimCounter,
+) -> Result<DcSolution, CktError> {
+    let op: Result<DcSolution, MnaError> = DcOp::new(circuit).solve();
+    counter.add(1);
+    op.map_err(CktError::from)
+}

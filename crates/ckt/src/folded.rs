@@ -1,0 +1,458 @@
+//! The folded-cascode operational amplifier of the paper's Fig. 7,
+//! modeled with both global and local (mismatch) variations.
+//!
+//! Topology (NMOS input variant):
+//!
+//! ```text
+//!             VDD ──────┬────────────┬──────────┬─────────┐
+//!                      MB2(diode)   M3          M4        MT? (no: tail is NMOS)
+//!                       │ vbp────────┴─(gates)──┘
+//!                       ⇓ IB2
+//!  vcasc = VDD − 1.5 ── gates of M5, M6 (PMOS cascodes)
+//!
+//!   inp ──g M1─┐f1── s M5 d ──o1──┐            f2 ── s M6 d ── out ──┬── CL
+//!   inn ──g M2─┘f2                M7(diode)────gate────M8            │
+//!        tail──MT──gnd            └── gnd       └── gnd             gnd
+//! ```
+//!
+//! * M1/M2 — NMOS input pair (matching pair **P1** of the paper's Table 5),
+//! * M3/M4 — PMOS current sources (pair P2),
+//! * M5/M6 — PMOS cascodes,
+//! * M7/M8 — NMOS mirror (pair P3),
+//! * MT — NMOS tail source mirrored from the MB1/IB1 reference,
+//! * MB1/MB2 — bias diodes.
+//!
+//! Specifications (paper Table 1): `A0 ≥ 40 dB`, `ft ≥ 40 MHz`,
+//! `CMRR ≥ 80 dB`, `SR ≥ 35 V/µs`, `P ≤ 3.5 mW`.
+
+use specwise_linalg::DVec;
+use specwise_mna::{Circuit, MosPolarity, MosfetParams};
+
+use crate::extract::{
+    dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder,
+};
+use crate::{
+    CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
+    SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
+};
+
+/// Device list in netlist order (name, polarity).
+const DEVICES: [(&str, MosPolarity); 11] = [
+    ("m1", MosPolarity::Nmos),
+    ("m2", MosPolarity::Nmos),
+    ("m3", MosPolarity::Pmos),
+    ("m4", MosPolarity::Pmos),
+    ("m5", MosPolarity::Pmos),
+    ("m6", MosPolarity::Pmos),
+    ("m7", MosPolarity::Nmos),
+    ("m8", MosPolarity::Nmos),
+    ("mt", MosPolarity::Nmos),
+    ("mb1", MosPolarity::Nmos),
+    ("mb2", MosPolarity::Pmos),
+];
+
+/// Load capacitance \[F\].
+const CL: f64 = 2.0e-12;
+/// Cascode gate bias below VDD \[V\].
+const VCASC_BELOW_VDD: f64 = 1.5;
+/// Bias diode geometries \[m\].
+const MB1_W: f64 = 10e-6;
+const MB1_L: f64 = 2e-6;
+const MB2_W: f64 = 20e-6;
+const MB2_L: f64 = 2e-6;
+/// Tail device channel length \[m\].
+const TAIL_L: f64 = 1e-6;
+
+/// The folded-cascode opamp environment (paper Fig. 7).
+///
+/// # Example
+///
+/// ```
+/// use specwise_ckt::{CircuitEnv, FoldedCascode};
+/// use specwise_linalg::DVec;
+///
+/// # fn main() -> Result<(), specwise_ckt::CktError> {
+/// let env = FoldedCascode::paper_setup();
+/// let perf = env.eval_performances(
+///     &env.design_space().initial(),
+///     &DVec::zeros(env.stat_dim()),
+///     &env.operating_range().nominal(),
+/// )?;
+/// // A0 of the nominal initial design is comfortably above 40 dB.
+/// assert!(perf[0] > 40.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FoldedCascode {
+    tech: Technology,
+    design: DesignSpace,
+    stats: StatSpace,
+    specs: Vec<Spec>,
+    range: OperatingRange,
+    sr_method: SlewRateMethod,
+    counter: SimCounter,
+}
+
+impl FoldedCascode {
+    /// The paper's experimental setup: initial sizing chosen so that the
+    /// initial design is feasible w.r.t. the functional constraints but
+    /// violates the ft and CMRR specs at the worst-case operating corner
+    /// (Table 1, "Initial" rows).
+    pub fn paper_setup() -> Self {
+        let design = DesignSpace::new(vec![
+            DesignParam::new("w1", "um", 4.0, 400.0, 36.0),
+            DesignParam::new("l1", "um", 0.6, 10.0, 1.0),
+            DesignParam::new("w3", "um", 4.0, 400.0, 70.0),
+            DesignParam::new("l3", "um", 0.6, 10.0, 1.0),
+            DesignParam::new("w5", "um", 4.0, 400.0, 60.0),
+            DesignParam::new("l5", "um", 0.6, 10.0, 0.8),
+            DesignParam::new("w7", "um", 4.0, 400.0, 11.0),
+            DesignParam::new("l7", "um", 0.6, 10.0, 1.0),
+            DesignParam::new("wt", "um", 4.0, 400.0, 36.0),
+            DesignParam::new("ib", "uA", 2.0, 200.0, 10.0),
+        ]);
+        let stats = StatSpace::build(&DEVICES, true);
+        let specs = vec![
+            Spec::new("A0", "dB", SpecKind::LowerBound, 40.0),
+            Spec::new("ft", "MHz", SpecKind::LowerBound, 40.0),
+            Spec::new("CMRR", "dB", SpecKind::LowerBound, 80.0),
+            Spec::new("SRp", "V/us", SpecKind::LowerBound, 35.0),
+            Spec::new("Power", "mW", SpecKind::UpperBound, 3.5),
+        ];
+        FoldedCascode {
+            tech: Technology::c06(),
+            design,
+            stats,
+            specs,
+            range: OperatingRange::new(-40.0, 125.0, 3.0, 3.6),
+            sr_method: SlewRateMethod::Analytic,
+            counter: SimCounter::new(),
+        }
+    }
+
+    /// Replaces the slew-rate extraction method.
+    pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
+        self.sr_method = method;
+        self
+    }
+
+    /// The technology card in use.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Full metric set (physical units) at one evaluation point — the
+    /// low-level view behind [`CircuitEnv::eval_performances`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError`] for dimension mismatches or failed simulations.
+    pub fn metrics(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<OpampMetrics, CktError> {
+        self.check_dims(d, s_hat)?;
+        let (m, _) = measure(self, d, s_hat, theta, self.sr_method, &self.counter)?;
+        Ok(m)
+    }
+
+    fn check_dims(&self, d: &DVec, s_hat: &DVec) -> Result<(), CktError> {
+        if d.len() != self.design.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "design",
+                expected: self.design.dim(),
+                found: d.len(),
+            });
+        }
+        if s_hat.len() != self.stats.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "stat",
+                expected: self.stats.dim(),
+                found: s_hat.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Geometry of every device \[m\] for a design vector (µm units inside `d`).
+    fn geometry(&self, d: &DVec, device: &str) -> (f64, f64) {
+        let um = 1e-6;
+        match device {
+            "m1" | "m2" => (d[0] * um, d[1] * um),
+            "m3" | "m4" => (d[2] * um, d[3] * um),
+            "m5" | "m6" => (d[4] * um, d[5] * um),
+            "m7" | "m8" => (d[6] * um, d[7] * um),
+            "mt" => (d[8] * um, TAIL_L),
+            "mb1" => (MB1_W, MB1_L),
+            "mb2" => (MB2_W, MB2_L),
+            other => unreachable!("unknown device {other}"),
+        }
+    }
+
+    fn device_params(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        device: &str,
+        polarity: MosPolarity,
+    ) -> Result<MosfetParams, CktError> {
+        let (w, l) = self.geometry(d, device);
+        let (delta_vth, beta_factor) =
+            self.stats.device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
+        let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
+        p.delta_vth = delta_vth;
+        p.beta_factor = beta_factor;
+        Ok(p)
+    }
+}
+
+impl OpampBuilder for FoldedCascode {
+    fn build(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        feedback: bool,
+        vinn_dc: f64,
+    ) -> Result<BuiltOpamp, CktError> {
+        let mut ckt = Circuit::new();
+        ckt.set_temperature(theta.temp_k());
+        let gnd = Circuit::GROUND;
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("inp");
+        let out = ckt.node("out");
+        let f1 = ckt.node("f1");
+        let f2 = ckt.node("f2");
+        let o1 = ckt.node("o1");
+        let tail = ckt.node("tail");
+        let vbn = ckt.node("vbn");
+        let vbp = ckt.node("vbp");
+        let vcp = ckt.node("vcp");
+        // Inverting gate: the output itself under feedback, a driven node
+        // otherwise.
+        let inn = if feedback { out } else { ckt.node("inn") };
+
+        let vcm = theta.vdd / 2.0;
+        let ib = d[9] * 1e-6;
+
+        ckt.voltage_source("VDD", vdd, gnd, theta.vdd)?;
+        ckt.voltage_source("VINP", inp, gnd, vcm)?;
+        let vinn_src = if feedback {
+            None
+        } else {
+            ckt.voltage_source("VINN", inn, gnd, vinn_dc)?;
+            Some("VINN".to_string())
+        };
+        // Cascode gate bias tracks VDD.
+        ckt.voltage_source("VCASC", vdd, vcp, VCASC_BELOW_VDD)?;
+        // Bias reference currents.
+        ckt.current_source("IB1", vdd, vbn, ib)?;
+        ckt.current_source("IB2", vbp, gnd, ib)?;
+
+        // Devices — keep this order in sync with `DEVICES`.
+        let p = |dev: &str, pol| self.device_params(d, s_hat, dev, pol);
+        ckt.mosfet("m1", f1, inp, tail, gnd, p("m1", MosPolarity::Nmos)?)?;
+        ckt.mosfet("m2", f2, inn, tail, gnd, p("m2", MosPolarity::Nmos)?)?;
+        ckt.mosfet("m3", f1, vbp, vdd, vdd, p("m3", MosPolarity::Pmos)?)?;
+        ckt.mosfet("m4", f2, vbp, vdd, vdd, p("m4", MosPolarity::Pmos)?)?;
+        ckt.mosfet("m5", o1, vcp, f1, vdd, p("m5", MosPolarity::Pmos)?)?;
+        ckt.mosfet("m6", out, vcp, f2, vdd, p("m6", MosPolarity::Pmos)?)?;
+        ckt.mosfet("m7", o1, o1, gnd, gnd, p("m7", MosPolarity::Nmos)?)?;
+        ckt.mosfet("m8", out, o1, gnd, gnd, p("m8", MosPolarity::Nmos)?)?;
+        ckt.mosfet("mt", tail, vbn, gnd, gnd, p("mt", MosPolarity::Nmos)?)?;
+        ckt.mosfet("mb1", vbn, vbn, gnd, gnd, p("mb1", MosPolarity::Nmos)?)?;
+        ckt.mosfet("mb2", vbp, vbp, vdd, vdd, p("mb2", MosPolarity::Pmos)?)?;
+
+        let cl = CL * self.stats.cap_factor(&self.tech, s_hat)?;
+        ckt.capacitor("CL", out, gnd, cl)?;
+
+        Ok(BuiltOpamp {
+            circuit: ckt,
+            vinp_src: "VINP".to_string(),
+            vinn_src,
+            out,
+            vdd_src: "VDD".to_string(),
+            vcm,
+            slew_cap: cl,
+            tail_device: "mt".to_string(),
+        })
+    }
+}
+
+impl CircuitEnv for FoldedCascode {
+    fn name(&self) -> &str {
+        "folded-cascode opamp"
+    }
+
+    fn design_space(&self) -> &DesignSpace {
+        &self.design
+    }
+
+    fn stat_space(&self) -> &StatSpace {
+        &self.stats
+    }
+
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    fn operating_range(&self) -> &OperatingRange {
+        &self.range
+    }
+
+    fn constraint_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(3 * DEVICES.len());
+        for (dev, _) in DEVICES {
+            names.push(format!("vsat_{dev}"));
+            names.push(format!("vov_{dev}"));
+            names.push(format!("vovmax_{dev}"));
+        }
+        names
+    }
+
+    fn eval_performances(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        let m = self.metrics(d, s_hat, theta)?;
+        Ok(DVec::from_slice(&[
+            m.a0_db,
+            m.ft_hz / 1e6,
+            m.cmrr_db,
+            m.slew_v_per_s / 1e6,
+            m.power_w * 1e3,
+        ]))
+    }
+
+    fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
+        self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
+        let theta = self.range.nominal();
+        let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
+        let op = dc_solve_counted(&built.circuit, &self.counter)?;
+        Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
+    }
+
+    fn sim_count(&self) -> u64 {
+        self.counter.count()
+    }
+
+    fn reset_sim_count(&self) {
+        self.counter.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> FoldedCascode {
+        FoldedCascode::paper_setup()
+    }
+
+    #[test]
+    fn nominal_design_simulates() {
+        let e = env();
+        let d0 = e.design_space().initial();
+        let s0 = DVec::zeros(e.stat_dim());
+        let theta = e.operating_range().nominal();
+        let m = e.metrics(&d0, &s0, &theta).unwrap();
+        assert!(m.a0_db > 40.0, "A0 = {} dB", m.a0_db);
+        assert!(m.ft_hz > 10e6, "ft = {} Hz", m.ft_hz);
+        assert!(m.cmrr_db > 40.0, "CMRR = {} dB", m.cmrr_db);
+        assert!(m.power_w > 0.0 && m.power_w < 3.5e-3, "P = {} W", m.power_w);
+        assert!(m.slew_v_per_s > 10e6, "SR = {} V/s", m.slew_v_per_s);
+    }
+
+    #[test]
+    fn initial_design_is_feasible() {
+        let e = env();
+        let c = e.eval_constraints(&e.design_space().initial()).unwrap();
+        let names = e.constraint_names();
+        assert_eq!(c.len(), names.len());
+        for (i, name) in names.iter().enumerate() {
+            assert!(c[i] >= 0.0, "constraint {name} violated: {}", c[i]);
+        }
+    }
+
+    #[test]
+    fn sim_counter_increments() {
+        let e = env();
+        e.reset_sim_count();
+        let _ = e
+            .eval_performances(
+                &e.design_space().initial(),
+                &DVec::zeros(e.stat_dim()),
+                &e.operating_range().nominal(),
+            )
+            .unwrap();
+        assert!(e.sim_count() >= 5, "count = {}", e.sim_count());
+    }
+
+    #[test]
+    fn mismatch_degrades_cmrr() {
+        let e = env();
+        let d0 = e.design_space().initial();
+        let theta = e.operating_range().nominal();
+        let s0 = DVec::zeros(e.stat_dim());
+        let base = e.metrics(&d0, &s0, &theta).unwrap().cmrr_db;
+        // Push the mirror pair apart along the mismatch line. (Input-pair
+        // Vth mismatch is largely absorbed as input offset; the mirror and
+        // current-source pairs are the CMRR-critical ones.)
+        let mut s = DVec::zeros(e.stat_dim());
+        s[e.stat_space().index_of("vth_m7").unwrap()] = 3.0;
+        s[e.stat_space().index_of("vth_m8").unwrap()] = -3.0;
+        let worse = e.metrics(&d0, &s, &theta).unwrap().cmrr_db;
+        assert!(worse < base, "mismatch must reduce CMRR: {worse} vs {base}");
+    }
+
+    #[test]
+    fn neutral_direction_is_benign() {
+        let e = env();
+        let d0 = e.design_space().initial();
+        let theta = e.operating_range().nominal();
+        let s0 = DVec::zeros(e.stat_dim());
+        let base = e.metrics(&d0, &s0, &theta).unwrap().cmrr_db;
+        let mut s_ml = DVec::zeros(e.stat_dim());
+        s_ml[e.stat_space().index_of("vth_m7").unwrap()] = 2.0;
+        s_ml[e.stat_space().index_of("vth_m8").unwrap()] = -2.0;
+        let ml = e.metrics(&d0, &s_ml, &theta).unwrap().cmrr_db;
+        let mut s_nl = DVec::zeros(e.stat_dim());
+        s_nl[e.stat_space().index_of("vth_m7").unwrap()] = 2.0;
+        s_nl[e.stat_space().index_of("vth_m8").unwrap()] = 2.0;
+        let nl = e.metrics(&d0, &s_nl, &theta).unwrap().cmrr_db;
+        // Neutral-line deviation must hurt far less than mismatch-line.
+        assert!(base - nl < 0.5 * (base - ml), "NL drop {} vs ML drop {}", base - nl, base - ml);
+    }
+
+    #[test]
+    fn wrong_dimensions_rejected() {
+        let e = env();
+        let theta = e.operating_range().nominal();
+        assert!(matches!(
+            e.eval_performances(&DVec::zeros(3), &DVec::zeros(e.stat_dim()), &theta),
+            Err(CktError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            e.eval_performances(&e.design_space().initial(), &DVec::zeros(2), &theta),
+            Err(CktError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn margins_match_specs() {
+        let e = env();
+        let d0 = e.design_space().initial();
+        let s0 = DVec::zeros(e.stat_dim());
+        let theta = e.operating_range().nominal();
+        let perf = e.eval_performances(&d0, &s0, &theta).unwrap();
+        let margins = e.eval_margins(&d0, &s0, &theta).unwrap();
+        for (i, spec) in e.specs().iter().enumerate() {
+            assert!((margins[i] - spec.margin(perf[i])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The Miller (two-stage) operational amplifier of the paper's Fig. 8,
+//! modeled with global process variations only (as in the paper's Table 6).
+//!
+//! Topology (PMOS input variant):
+//!
+//! ```text
+//!  VDD ──┬──────────┬──────────────┬───────────┐
+//!       MB2(diode)  MT (tail)      │           M7 (PMOS load)
+//!        │vbp ───────┴── gates ────┘            │
+//!        ⇓ IB2      tail                        │
+//!  inn ─g M1─┐x1          x2┌─ M2 g─ inp       out ──┬── CL
+//!            M3(diode)── M4─┘                   │     │
+//!            └─gnd        └─gnd     x2 ─ Cc+Rz ─┘    gnd
+//!                                   x2 ─ g M6 (NMOS, d=out, s=gnd)
+//! ```
+//!
+//! * M1/M2 — PMOS input pair, * M3/M4 — NMOS mirror load,
+//! * M6 — NMOS second stage, * M7 — PMOS current-source load,
+//! * MT — PMOS tail, * MB2 — PMOS bias diode, * Cc + Rz — Miller
+//!   compensation with nulling resistor.
+//!
+//! Specifications (paper Table 6): `A0 ≥ 80 dB`, `ft ≥ 1.3 MHz`,
+//! `Φm ≥ 60°`, `SR ≥ 3 V/µs`, `P ≤ 1.3 mW`.
+
+use specwise_linalg::DVec;
+use specwise_mna::{Circuit, MosPolarity, MosfetParams};
+
+use crate::extract::{
+    dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder,
+};
+use crate::{
+    CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
+    SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
+};
+
+/// Device list in netlist order (name, polarity).
+const DEVICES: [(&str, MosPolarity); 8] = [
+    ("m1", MosPolarity::Pmos),
+    ("m2", MosPolarity::Pmos),
+    ("m3", MosPolarity::Nmos),
+    ("m4", MosPolarity::Nmos),
+    ("m6", MosPolarity::Nmos),
+    ("m7", MosPolarity::Pmos),
+    ("mt", MosPolarity::Pmos),
+    ("mb2", MosPolarity::Pmos),
+];
+
+/// Load capacitance \[F\].
+const CL: f64 = 40.0e-12;
+/// Compensation nulling resistor \[Ω\].
+const RZ: f64 = 1.2e3;
+/// Bias diode geometry \[m\].
+const MB2_W: f64 = 20e-6;
+const MB2_L: f64 = 2e-6;
+/// Fixed channel lengths \[m\].
+const TAIL_L: f64 = 2e-6;
+const M7_L: f64 = 2e-6;
+
+/// The Miller two-stage opamp environment (paper Fig. 8).
+///
+/// # Example
+///
+/// ```
+/// use specwise_ckt::{CircuitEnv, MillerOpamp};
+/// use specwise_linalg::DVec;
+///
+/// # fn main() -> Result<(), specwise_ckt::CktError> {
+/// let env = MillerOpamp::paper_setup();
+/// // Global variations only: five statistical parameters.
+/// assert_eq!(env.stat_dim(), 5);
+/// let perf = env.eval_performances(
+///     &env.design_space().initial(),
+///     &DVec::zeros(5),
+///     &env.operating_range().nominal(),
+/// )?;
+/// assert_eq!(perf.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MillerOpamp {
+    tech: Technology,
+    design: DesignSpace,
+    stats: StatSpace,
+    specs: Vec<Spec>,
+    range: OperatingRange,
+    sr_method: SlewRateMethod,
+    counter: SimCounter,
+}
+
+impl MillerOpamp {
+    /// The paper's experimental setup: the initial design has a mid-range
+    /// yield (Table 6 "Initial": 33.7 %), marginally failing the slew-rate
+    /// specification and sitting close to the phase-margin bound.
+    pub fn paper_setup() -> Self {
+        let design = DesignSpace::new(vec![
+            DesignParam::new("w1", "um", 2.0, 400.0, 8.0),
+            DesignParam::new("l1", "um", 0.6, 10.0, 2.0),
+            DesignParam::new("w3", "um", 2.0, 400.0, 2.5),
+            DesignParam::new("l3", "um", 0.6, 10.0, 2.0),
+            DesignParam::new("w6", "um", 2.0, 400.0, 30.0),
+            DesignParam::new("l6", "um", 0.6, 10.0, 1.0),
+            DesignParam::new("w7", "um", 2.0, 800.0, 180.0),
+            DesignParam::new("wt", "um", 2.0, 400.0, 17.0),
+            DesignParam::new("ib", "uA", 1.0, 100.0, 10.0),
+            DesignParam::new("cc", "pF", 0.5, 30.0, 3.0),
+        ]);
+        let stats = StatSpace::build(&DEVICES, false);
+        let specs = vec![
+            Spec::new("A0", "dB", SpecKind::LowerBound, 80.0),
+            Spec::new("ft", "MHz", SpecKind::LowerBound, 1.3),
+            Spec::new("PM", "deg", SpecKind::LowerBound, 60.0),
+            Spec::new("SRp", "V/us", SpecKind::LowerBound, 3.0),
+            Spec::new("Power", "mW", SpecKind::UpperBound, 1.3),
+        ];
+        MillerOpamp {
+            tech: Technology::c06(),
+            design,
+            stats,
+            specs,
+            range: OperatingRange::new(-40.0, 125.0, 4.5, 5.5),
+            sr_method: SlewRateMethod::Analytic,
+            counter: SimCounter::new(),
+        }
+    }
+
+    /// Replaces the slew-rate extraction method.
+    pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
+        self.sr_method = method;
+        self
+    }
+
+    /// The technology card in use.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Full metric set at one evaluation point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError`] for dimension mismatches or failed simulations.
+    pub fn metrics(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<OpampMetrics, CktError> {
+        self.check_dims(d, s_hat)?;
+        let (m, _) = measure(self, d, s_hat, theta, self.sr_method, &self.counter)?;
+        Ok(m)
+    }
+
+    fn check_dims(&self, d: &DVec, s_hat: &DVec) -> Result<(), CktError> {
+        if d.len() != self.design.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "design",
+                expected: self.design.dim(),
+                found: d.len(),
+            });
+        }
+        if s_hat.len() != self.stats.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "stat",
+                expected: self.stats.dim(),
+                found: s_hat.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn geometry(&self, d: &DVec, device: &str) -> (f64, f64) {
+        let um = 1e-6;
+        match device {
+            "m1" | "m2" => (d[0] * um, d[1] * um),
+            "m3" | "m4" => (d[2] * um, d[3] * um),
+            "m6" => (d[4] * um, d[5] * um),
+            "m7" => (d[6] * um, M7_L),
+            "mt" => (d[7] * um, TAIL_L),
+            "mb2" => (MB2_W, MB2_L),
+            other => unreachable!("unknown device {other}"),
+        }
+    }
+
+    fn device_params(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        device: &str,
+        polarity: MosPolarity,
+    ) -> Result<MosfetParams, CktError> {
+        let (w, l) = self.geometry(d, device);
+        let (delta_vth, beta_factor) =
+            self.stats.device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
+        let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
+        p.delta_vth = delta_vth;
+        p.beta_factor = beta_factor;
+        Ok(p)
+    }
+}
+
+impl OpampBuilder for MillerOpamp {
+    fn build(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        feedback: bool,
+        vinn_dc: f64,
+    ) -> Result<BuiltOpamp, CktError> {
+        let mut ckt = Circuit::new();
+        ckt.set_temperature(theta.temp_k());
+        let gnd = Circuit::GROUND;
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("inp");
+        let out = ckt.node("out");
+        let x1 = ckt.node("x1");
+        let x2 = ckt.node("x2");
+        let xz = ckt.node("xz");
+        let tail = ckt.node("tail");
+        let vbp = ckt.node("vbp");
+        let inn = if feedback { out } else { ckt.node("inn") };
+
+        let vcm = theta.vdd / 2.0;
+        let ib = d[8] * 1e-6;
+        let cc = d[9] * 1e-12;
+
+        ckt.voltage_source("VDD", vdd, gnd, theta.vdd)?;
+        ckt.voltage_source("VINP", inp, gnd, vcm)?;
+        let vinn_src = if feedback {
+            None
+        } else {
+            ckt.voltage_source("VINN", inn, gnd, vinn_dc)?;
+            Some("VINN".to_string())
+        };
+        ckt.current_source("IB2", vbp, gnd, ib)?;
+
+        let p = |dev: &str, pol| self.device_params(d, s_hat, dev, pol);
+        ckt.mosfet("m1", x1, inn, tail, vdd, p("m1", MosPolarity::Pmos)?)?;
+        ckt.mosfet("m2", x2, inp, tail, vdd, p("m2", MosPolarity::Pmos)?)?;
+        ckt.mosfet("m3", x1, x1, gnd, gnd, p("m3", MosPolarity::Nmos)?)?;
+        ckt.mosfet("m4", x2, x1, gnd, gnd, p("m4", MosPolarity::Nmos)?)?;
+        ckt.mosfet("m6", out, x2, gnd, gnd, p("m6", MosPolarity::Nmos)?)?;
+        ckt.mosfet("m7", out, vbp, vdd, vdd, p("m7", MosPolarity::Pmos)?)?;
+        ckt.mosfet("mt", tail, vbp, vdd, vdd, p("mt", MosPolarity::Pmos)?)?;
+        ckt.mosfet("mb2", vbp, vbp, vdd, vdd, p("mb2", MosPolarity::Pmos)?)?;
+
+        // Miller compensation: x2 — Rz — xz — Cc — out. All capacitors see
+        // the global capacitance spread coherently (same oxide).
+        let cap_factor = self.stats.cap_factor(&self.tech, s_hat)?;
+        let cc = cc * cap_factor;
+        ckt.resistor("RZ", x2, xz, RZ)?;
+        ckt.capacitor("CC", xz, out, cc)?;
+        ckt.capacitor("CL", out, gnd, CL * cap_factor)?;
+
+        Ok(BuiltOpamp {
+            circuit: ckt,
+            vinp_src: "VINP".to_string(),
+            vinn_src,
+            out,
+            vdd_src: "VDD".to_string(),
+            vcm,
+            slew_cap: cc,
+            tail_device: "mt".to_string(),
+        })
+    }
+}
+
+impl CircuitEnv for MillerOpamp {
+    fn name(&self) -> &str {
+        "Miller opamp"
+    }
+
+    fn design_space(&self) -> &DesignSpace {
+        &self.design
+    }
+
+    fn stat_space(&self) -> &StatSpace {
+        &self.stats
+    }
+
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    fn operating_range(&self) -> &OperatingRange {
+        &self.range
+    }
+
+    fn constraint_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(3 * DEVICES.len());
+        for (dev, _) in DEVICES {
+            names.push(format!("vsat_{dev}"));
+            names.push(format!("vov_{dev}"));
+            names.push(format!("vovmax_{dev}"));
+        }
+        names
+    }
+
+    fn eval_performances(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        let m = self.metrics(d, s_hat, theta)?;
+        Ok(DVec::from_slice(&[
+            m.a0_db,
+            m.ft_hz / 1e6,
+            m.phase_margin_deg,
+            m.slew_v_per_s / 1e6,
+            m.power_w * 1e3,
+        ]))
+    }
+
+    fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
+        self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
+        let theta = self.range.nominal();
+        let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
+        let op = dc_solve_counted(&built.circuit, &self.counter)?;
+        Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
+    }
+
+    fn sim_count(&self) -> u64 {
+        self.counter.count()
+    }
+
+    fn reset_sim_count(&self) {
+        self.counter.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> MillerOpamp {
+        MillerOpamp::paper_setup()
+    }
+
+    #[test]
+    fn nominal_design_simulates() {
+        let e = env();
+        let m = e
+            .metrics(
+                &e.design_space().initial(),
+                &DVec::zeros(e.stat_dim()),
+                &e.operating_range().nominal(),
+            )
+            .unwrap();
+        assert!(m.a0_db > 60.0, "A0 = {} dB", m.a0_db);
+        assert!(m.ft_hz > 0.3e6 && m.ft_hz < 50e6, "ft = {}", m.ft_hz);
+        assert!(m.phase_margin_deg > 20.0, "PM = {}", m.phase_margin_deg);
+        assert!(m.power_w < 1.3e-3, "P = {}", m.power_w);
+    }
+
+    #[test]
+    fn initial_design_is_feasible() {
+        let e = env();
+        let c = e.eval_constraints(&e.design_space().initial()).unwrap();
+        for (i, name) in e.constraint_names().iter().enumerate() {
+            assert!(c[i] >= 0.0, "constraint {name} violated: {}", c[i]);
+        }
+    }
+
+    #[test]
+    fn global_vth_shift_moves_performances() {
+        let e = env();
+        let d0 = e.design_space().initial();
+        let theta = e.operating_range().nominal();
+        let base = e.eval_performances(&d0, &DVec::zeros(5), &theta).unwrap();
+        let mut s = DVec::zeros(5);
+        s[e.stat_space().index_of("vthn_glob").unwrap()] = 3.0;
+        let shifted = e.eval_performances(&d0, &s, &theta).unwrap();
+        let diff = (&shifted - &base).norm_inf();
+        assert!(diff > 1e-3, "global shift must move performances, diff = {diff}");
+    }
+
+    #[test]
+    fn compensation_cap_controls_ft() {
+        let e = env();
+        let theta = e.operating_range().nominal();
+        let s0 = DVec::zeros(5);
+        let d0 = e.design_space().initial();
+        let mut d_big_cc = d0.clone();
+        d_big_cc[9] = 2.0 * d0[9];
+        let ft0 = e.metrics(&d0, &s0, &theta).unwrap().ft_hz;
+        let ft1 = e.metrics(&d_big_cc, &s0, &theta).unwrap().ft_hz;
+        assert!(ft1 < ft0, "doubling Cc must reduce ft: {ft1} vs {ft0}");
+    }
+
+    #[test]
+    fn slew_rate_tracks_tail_over_cc() {
+        let e = env();
+        let theta = e.operating_range().nominal();
+        let s0 = DVec::zeros(5);
+        let d0 = e.design_space().initial();
+        let m = e.metrics(&d0, &s0, &theta).unwrap();
+        // SR (analytic) must equal I_tail / Cc to within mirror accuracy.
+        let i_tail_approx = d0[8] * 1e-6 * d0[7] / 20.0;
+        let sr_approx = i_tail_approx / (d0[9] * 1e-12);
+        assert!(
+            (m.slew_v_per_s / sr_approx - 1.0).abs() < 0.5,
+            "SR {} vs rough {}",
+            m.slew_v_per_s,
+            sr_approx
+        );
+    }
+}

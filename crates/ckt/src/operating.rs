@@ -1,0 +1,142 @@
+//! Operating conditions `θ` and the operating range `Θ` (paper Sec. 2).
+
+/// One operating condition: ambient temperature and supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Temperature \[°C\].
+    pub temp_c: f64,
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    pub fn new(temp_c: f64, vdd: f64) -> Self {
+        OperatingPoint { temp_c, vdd }
+    }
+
+    /// Temperature in kelvin.
+    pub fn temp_k(&self) -> f64 {
+        self.temp_c + 273.15
+    }
+}
+
+impl std::fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T={}°C, VDD={}V", self.temp_c, self.vdd)
+    }
+}
+
+/// A box operating range `Θ = {θ | θᴸ ≤ θ ≤ θᵁ}` over (temperature, VDD).
+///
+/// The worst-case operating point of each specification is found by
+/// enumerating the `2^dim(Θ)` corners (paper Sec. 2 assumes exactly this
+/// when bounding the simulation effort by `N·min(n_spec, 2^dim(Θ))`).
+///
+/// # Example
+///
+/// ```
+/// use specwise_ckt::OperatingRange;
+///
+/// let range = OperatingRange::new(-40.0, 125.0, 3.0, 3.6);
+/// assert_eq!(range.corners().len(), 4);
+/// let nom = range.nominal();
+/// assert!((nom.temp_c - 42.5).abs() < 1e-12);
+/// assert!((nom.vdd - 3.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingRange {
+    temp_lo: f64,
+    temp_hi: f64,
+    vdd_lo: f64,
+    vdd_hi: f64,
+}
+
+impl OperatingRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `temp_lo < temp_hi` and `0 < vdd_lo < vdd_hi`.
+    pub fn new(temp_lo: f64, temp_hi: f64, vdd_lo: f64, vdd_hi: f64) -> Self {
+        assert!(temp_lo < temp_hi, "temperature range inverted");
+        assert!(0.0 < vdd_lo && vdd_lo < vdd_hi, "vdd range invalid");
+        OperatingRange { temp_lo, temp_hi, vdd_lo, vdd_hi }
+    }
+
+    /// The nominal (center) operating point.
+    pub fn nominal(&self) -> OperatingPoint {
+        OperatingPoint::new(0.5 * (self.temp_lo + self.temp_hi), 0.5 * (self.vdd_lo + self.vdd_hi))
+    }
+
+    /// The four corner operating points (the candidate worst cases).
+    pub fn corners(&self) -> Vec<OperatingPoint> {
+        vec![
+            OperatingPoint::new(self.temp_lo, self.vdd_lo),
+            OperatingPoint::new(self.temp_lo, self.vdd_hi),
+            OperatingPoint::new(self.temp_hi, self.vdd_lo),
+            OperatingPoint::new(self.temp_hi, self.vdd_hi),
+        ]
+    }
+
+    /// Temperature bounds \[°C\].
+    pub fn temp_bounds(&self) -> (f64, f64) {
+        (self.temp_lo, self.temp_hi)
+    }
+
+    /// Supply bounds \[V\].
+    pub fn vdd_bounds(&self) -> (f64, f64) {
+        (self.vdd_lo, self.vdd_hi)
+    }
+
+    /// `true` when `theta` lies inside the range.
+    pub fn contains(&self, theta: &OperatingPoint) -> bool {
+        theta.temp_c >= self.temp_lo
+            && theta.temp_c <= self.temp_hi
+            && theta.vdd >= self.vdd_lo
+            && theta.vdd <= self.vdd_hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_cover_extremes() {
+        let r = OperatingRange::new(-40.0, 125.0, 4.5, 5.5);
+        let corners = r.corners();
+        assert_eq!(corners.len(), 4);
+        assert!(corners.iter().any(|c| c.temp_c == -40.0 && c.vdd == 4.5));
+        assert!(corners.iter().any(|c| c.temp_c == 125.0 && c.vdd == 5.5));
+        for c in &corners {
+            assert!(r.contains(c));
+        }
+    }
+
+    #[test]
+    fn kelvin_conversion() {
+        let p = OperatingPoint::new(26.85, 3.3);
+        assert!((p.temp_k() - 300.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn containment() {
+        let r = OperatingRange::new(0.0, 100.0, 3.0, 3.6);
+        assert!(r.contains(&r.nominal()));
+        assert!(!r.contains(&OperatingPoint::new(-10.0, 3.3)));
+        assert!(!r.contains(&OperatingPoint::new(50.0, 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rejects_inverted_temperature() {
+        OperatingRange::new(100.0, 0.0, 3.0, 3.6);
+    }
+
+    #[test]
+    fn display_format() {
+        let p = OperatingPoint::new(25.0, 3.3);
+        assert_eq!(format!("{p}"), "T=25°C, VDD=3.3V");
+    }
+}

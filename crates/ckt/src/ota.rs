@@ -1,0 +1,367 @@
+//! A five-transistor OTA — the minimal reference implementation of a
+//! [`CircuitEnv`], intended as the template for plugging your own circuit
+//! into the yield-optimization flow.
+//!
+//! Topology (NMOS input pair, PMOS mirror load, single-ended output):
+//!
+//! ```text
+//!  VDD ──────┬──────────────┐
+//!           M3 (diode) ──── M4
+//!            │x1             │
+//!  inp ─g M1─┘     out ──────┴──┬── CL
+//!  inn ─g M2───────out          │
+//!        tail ── MT ── gnd     gnd
+//!  bias: IB1 → MB1 (diode) → gate of MT
+//! ```
+//!
+//! Compared to the paper's two benchmark circuits this one is deliberately
+//! small: six devices, six design parameters, and relaxed specifications —
+//! it optimizes in well under a second and is used by the quick-start
+//! documentation and smoke tests.
+
+use specwise_linalg::DVec;
+use specwise_mna::{Circuit, MosPolarity, MosfetParams};
+
+use crate::extract::{
+    dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder,
+};
+use crate::{
+    CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
+    SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
+};
+
+/// Device list in netlist order (name, polarity).
+const DEVICES: [(&str, MosPolarity); 6] = [
+    ("m1", MosPolarity::Nmos),
+    ("m2", MosPolarity::Nmos),
+    ("m3", MosPolarity::Pmos),
+    ("m4", MosPolarity::Pmos),
+    ("mt", MosPolarity::Nmos),
+    ("mb1", MosPolarity::Nmos),
+];
+
+/// Load capacitance \[F\].
+const CL: f64 = 2.0e-12;
+/// Bias diode geometry \[m\].
+const MB1_W: f64 = 10e-6;
+const MB1_L: f64 = 2e-6;
+/// Tail device channel length \[m\].
+const TAIL_L: f64 = 2e-6;
+
+/// The five-transistor OTA environment.
+///
+/// # Example
+///
+/// ```
+/// use specwise_ckt::{CircuitEnv, FiveTransistorOta};
+/// use specwise_linalg::DVec;
+///
+/// # fn main() -> Result<(), specwise_ckt::CktError> {
+/// let env = FiveTransistorOta::default_setup();
+/// let perf = env.eval_performances(
+///     &env.design_space().initial(),
+///     &DVec::zeros(env.stat_dim()),
+///     &env.operating_range().nominal(),
+/// )?;
+/// assert_eq!(perf.len(), env.specs().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FiveTransistorOta {
+    tech: Technology,
+    design: DesignSpace,
+    stats: StatSpace,
+    specs: Vec<Spec>,
+    range: OperatingRange,
+    sr_method: SlewRateMethod,
+    counter: SimCounter,
+}
+
+impl FiveTransistorOta {
+    /// A modest default setup: every spec passes at the nominal point with
+    /// a small margin, so the optimizer has work to do on the tails.
+    pub fn default_setup() -> Self {
+        let design = DesignSpace::new(vec![
+            DesignParam::new("w1", "um", 2.0, 200.0, 6.0),
+            DesignParam::new("l1", "um", 0.6, 10.0, 1.0),
+            DesignParam::new("w3", "um", 2.0, 200.0, 12.0),
+            DesignParam::new("l3", "um", 0.6, 10.0, 2.0),
+            DesignParam::new("wt", "um", 2.0, 200.0, 20.0),
+            DesignParam::new("ib", "uA", 1.0, 100.0, 5.0),
+        ]);
+        let stats = StatSpace::build(&DEVICES, true);
+        let specs = vec![
+            Spec::new("A0", "dB", SpecKind::LowerBound, 30.0),
+            Spec::new("ft", "MHz", SpecKind::LowerBound, 4.0),
+            Spec::new("CMRR", "dB", SpecKind::LowerBound, 55.0),
+            Spec::new("SRp", "V/us", SpecKind::LowerBound, 4.0),
+            Spec::new("Power", "mW", SpecKind::UpperBound, 0.5),
+        ];
+        FiveTransistorOta {
+            tech: Technology::c06(),
+            design,
+            stats,
+            specs,
+            range: OperatingRange::new(-40.0, 125.0, 3.0, 3.6),
+            sr_method: SlewRateMethod::Analytic,
+            counter: SimCounter::new(),
+        }
+    }
+
+    /// Replaces the slew-rate extraction method.
+    pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
+        self.sr_method = method;
+        self
+    }
+
+    /// Full metric set at one evaluation point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError`] for dimension mismatches or failed simulations.
+    pub fn metrics(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<OpampMetrics, CktError> {
+        self.check_dims(d, s_hat)?;
+        let (m, _) = measure(self, d, s_hat, theta, self.sr_method, &self.counter)?;
+        Ok(m)
+    }
+
+    fn check_dims(&self, d: &DVec, s_hat: &DVec) -> Result<(), CktError> {
+        if d.len() != self.design.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "design",
+                expected: self.design.dim(),
+                found: d.len(),
+            });
+        }
+        if s_hat.len() != self.stats.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "stat",
+                expected: self.stats.dim(),
+                found: s_hat.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn geometry(&self, d: &DVec, device: &str) -> (f64, f64) {
+        let um = 1e-6;
+        match device {
+            "m1" | "m2" => (d[0] * um, d[1] * um),
+            "m3" | "m4" => (d[2] * um, d[3] * um),
+            "mt" => (d[4] * um, TAIL_L),
+            "mb1" => (MB1_W, MB1_L),
+            other => unreachable!("unknown device {other}"),
+        }
+    }
+
+    fn device_params(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        device: &str,
+        polarity: MosPolarity,
+    ) -> Result<MosfetParams, CktError> {
+        let (w, l) = self.geometry(d, device);
+        let (delta_vth, beta_factor) =
+            self.stats.device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
+        let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
+        p.delta_vth = delta_vth;
+        p.beta_factor = beta_factor;
+        Ok(p)
+    }
+}
+
+impl OpampBuilder for FiveTransistorOta {
+    fn build(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        feedback: bool,
+        vinn_dc: f64,
+    ) -> Result<BuiltOpamp, CktError> {
+        let mut ckt = Circuit::new();
+        ckt.set_temperature(theta.temp_k());
+        let gnd = Circuit::GROUND;
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("inp");
+        let out = ckt.node("out");
+        let x1 = ckt.node("x1");
+        let tail = ckt.node("tail");
+        let vbn = ckt.node("vbn");
+        let inn = if feedback { out } else { ckt.node("inn") };
+
+        let vcm = theta.vdd / 2.0;
+        let ib = d[5] * 1e-6;
+
+        ckt.voltage_source("VDD", vdd, gnd, theta.vdd)?;
+        ckt.voltage_source("VINP", inp, gnd, vcm)?;
+        let vinn_src = if feedback {
+            None
+        } else {
+            ckt.voltage_source("VINN", inn, gnd, vinn_dc)?;
+            Some("VINN".to_string())
+        };
+        ckt.current_source("IB1", vdd, vbn, ib)?;
+
+        let p = |dev: &str, pol| self.device_params(d, s_hat, dev, pol);
+        // M1 (the non-inverting gate) drives the diode side of the mirror.
+        ckt.mosfet("m1", x1, inp, tail, gnd, p("m1", MosPolarity::Nmos)?)?;
+        ckt.mosfet("m2", out, inn, tail, gnd, p("m2", MosPolarity::Nmos)?)?;
+        ckt.mosfet("m3", x1, x1, vdd, vdd, p("m3", MosPolarity::Pmos)?)?;
+        ckt.mosfet("m4", out, x1, vdd, vdd, p("m4", MosPolarity::Pmos)?)?;
+        ckt.mosfet("mt", tail, vbn, gnd, gnd, p("mt", MosPolarity::Nmos)?)?;
+        ckt.mosfet("mb1", vbn, vbn, gnd, gnd, p("mb1", MosPolarity::Nmos)?)?;
+
+        let cl = CL * self.stats.cap_factor(&self.tech, s_hat)?;
+        ckt.capacitor("CL", out, gnd, cl)?;
+
+        Ok(BuiltOpamp {
+            circuit: ckt,
+            vinp_src: "VINP".to_string(),
+            vinn_src,
+            out,
+            vdd_src: "VDD".to_string(),
+            vcm,
+            slew_cap: cl,
+            tail_device: "mt".to_string(),
+        })
+    }
+}
+
+impl CircuitEnv for FiveTransistorOta {
+    fn name(&self) -> &str {
+        "five-transistor OTA"
+    }
+
+    fn design_space(&self) -> &DesignSpace {
+        &self.design
+    }
+
+    fn stat_space(&self) -> &StatSpace {
+        &self.stats
+    }
+
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    fn operating_range(&self) -> &OperatingRange {
+        &self.range
+    }
+
+    fn constraint_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(3 * DEVICES.len());
+        for (dev, _) in DEVICES {
+            names.push(format!("vsat_{dev}"));
+            names.push(format!("vov_{dev}"));
+            names.push(format!("vovmax_{dev}"));
+        }
+        names
+    }
+
+    fn eval_performances(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        let m = self.metrics(d, s_hat, theta)?;
+        Ok(DVec::from_slice(&[
+            m.a0_db,
+            m.ft_hz / 1e6,
+            m.cmrr_db,
+            m.slew_v_per_s / 1e6,
+            m.power_w * 1e3,
+        ]))
+    }
+
+    fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
+        self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
+        let theta = self.range.nominal();
+        let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
+        let op = dc_solve_counted(&built.circuit, &self.counter)?;
+        Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
+    }
+
+    fn sim_count(&self) -> u64 {
+        self.counter.count()
+    }
+
+    fn reset_sim_count(&self) {
+        self.counter.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> FiveTransistorOta {
+        FiveTransistorOta::default_setup()
+    }
+
+    #[test]
+    fn nominal_design_simulates_sensibly() {
+        let e = env();
+        let m = e
+            .metrics(
+                &e.design_space().initial(),
+                &DVec::zeros(e.stat_dim()),
+                &e.operating_range().nominal(),
+            )
+            .unwrap();
+        assert!(m.a0_db > 30.0 && m.a0_db < 70.0, "A0 = {}", m.a0_db);
+        assert!(m.ft_hz > 1e6 && m.ft_hz < 100e6, "ft = {}", m.ft_hz);
+        assert!(m.cmrr_db > 40.0, "CMRR = {}", m.cmrr_db);
+        assert!(m.power_w < 0.5e-3, "P = {}", m.power_w);
+    }
+
+    #[test]
+    fn initial_design_feasible() {
+        let e = env();
+        let c = e.eval_constraints(&e.design_space().initial()).unwrap();
+        for (i, name) in e.constraint_names().iter().enumerate() {
+            assert!(c[i] >= 0.0, "constraint {name} violated: {}", c[i]);
+        }
+    }
+
+    #[test]
+    fn stat_dimensions() {
+        let e = env();
+        // 5 globals + 2 locals per device.
+        assert_eq!(e.stat_dim(), 5 + 2 * DEVICES.len());
+    }
+
+    #[test]
+    fn mirror_mismatch_degrades_cmrr() {
+        let e = env();
+        let d0 = e.design_space().initial();
+        let theta = e.operating_range().nominal();
+        let base = e.metrics(&d0, &DVec::zeros(e.stat_dim()), &theta).unwrap().cmrr_db;
+        let mut s = DVec::zeros(e.stat_dim());
+        s[e.stat_space().index_of("vth_m3").unwrap()] = 2.5;
+        s[e.stat_space().index_of("vth_m4").unwrap()] = -2.5;
+        let worse = e.metrics(&d0, &s, &theta).unwrap().cmrr_db;
+        assert!(worse < base, "mirror mismatch must reduce CMRR: {worse} vs {base}");
+    }
+
+    #[test]
+    fn bigger_input_pair_raises_ft() {
+        let e = env();
+        let theta = e.operating_range().nominal();
+        let s0 = DVec::zeros(e.stat_dim());
+        let d0 = e.design_space().initial();
+        let mut d_big = d0.clone();
+        d_big[0] *= 3.0;
+        let ft0 = e.metrics(&d0, &s0, &theta).unwrap().ft_hz;
+        let ft1 = e.metrics(&d_big, &s0, &theta).unwrap().ft_hz;
+        assert!(ft1 > ft0, "wider input pair must raise ft: {ft1} vs {ft0}");
+    }
+}

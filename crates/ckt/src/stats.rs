@@ -1,0 +1,337 @@
+//! Statistical parameter spaces: global process spreads plus per-device
+//! local (mismatch) deviations with design-dependent sigma (paper Secs. 3–4).
+//!
+//! All parameters are expressed in the *standardized* space `ŝ ~ N(0, I)`;
+//! the physical deviation of a device is assembled as
+//!
+//! ```text
+//! ΔVth(dev)   = ŝ[global_vth(pol)]·σ_vth_glob(pol) + ŝ[local_vth(dev)]·A_VT/√(W·L)
+//! β/β₀(dev)   = 1 + ŝ[global_beta(pol)]·σ_β_glob(pol) + ŝ[local_beta(dev)]·A_β/√(W·L)
+//! ```
+//!
+//! which is exactly the diagonal `s = G(d)·ŝ` transform of paper Eq. 11:
+//! the local sigmas depend on the design point through the device areas.
+
+use specwise_linalg::DVec;
+use specwise_mna::MosPolarity;
+
+use crate::{CktError, Technology};
+
+/// The physical meaning of one standardized statistical parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StatKind {
+    /// Global threshold-voltage deviation shared by all devices of a polarity.
+    GlobalVth(MosPolarity),
+    /// Global current-factor deviation shared by all devices of a polarity.
+    GlobalBeta(MosPolarity),
+    /// Global relative capacitance deviation (oxide/poly-cap thickness),
+    /// scaling every explicit capacitor in the netlist.
+    GlobalCap,
+    /// Local (mismatch) threshold deviation of one device.
+    LocalVth {
+        /// Device instance name.
+        device: String,
+    },
+    /// Local (mismatch) current-factor deviation of one device.
+    LocalBeta {
+        /// Device instance name.
+        device: String,
+    },
+}
+
+/// One statistical parameter: name plus physical meaning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatParam {
+    /// Short name (e.g. `"vth_m1"`).
+    pub name: String,
+    /// Physical meaning.
+    pub kind: StatKind,
+}
+
+/// An ordered statistical parameter space.
+///
+/// # Example
+///
+/// ```
+/// use specwise_ckt::StatSpace;
+/// use specwise_mna::MosPolarity;
+///
+/// let devices = [("m1", MosPolarity::Nmos), ("m2", MosPolarity::Nmos)];
+/// let space = StatSpace::build(&devices, true);
+/// // 5 globals + 2 locals per device.
+/// assert_eq!(space.dim(), 9);
+/// assert!(space.index_of("vth_m1").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatSpace {
+    params: Vec<StatParam>,
+}
+
+impl StatSpace {
+    /// Builds a space: the five global parameters (Vth and β per polarity,
+    /// plus the capacitance spread), plus (`with_locals`) a local Vth and a
+    /// local β parameter per listed device.
+    pub fn build(devices: &[(&str, MosPolarity)], with_locals: bool) -> Self {
+        let mut params = vec![
+            StatParam {
+                name: "vthn_glob".to_string(),
+                kind: StatKind::GlobalVth(MosPolarity::Nmos),
+            },
+            StatParam {
+                name: "vthp_glob".to_string(),
+                kind: StatKind::GlobalVth(MosPolarity::Pmos),
+            },
+            StatParam {
+                name: "betan_glob".to_string(),
+                kind: StatKind::GlobalBeta(MosPolarity::Nmos),
+            },
+            StatParam {
+                name: "betap_glob".to_string(),
+                kind: StatKind::GlobalBeta(MosPolarity::Pmos),
+            },
+            StatParam { name: "cap_glob".to_string(), kind: StatKind::GlobalCap },
+        ];
+        if with_locals {
+            for (dev, _) in devices {
+                params.push(StatParam {
+                    name: format!("vth_{dev}"),
+                    kind: StatKind::LocalVth { device: dev.to_string() },
+                });
+                params.push(StatParam {
+                    name: format!("beta_{dev}"),
+                    kind: StatKind::LocalBeta { device: dev.to_string() },
+                });
+            }
+        }
+        StatSpace { params }
+    }
+
+    /// Number of statistical parameters.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameters in order.
+    pub fn params(&self) -> &[StatParam] {
+        &self.params
+    }
+
+    /// Names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.params.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Physical sigma of parameter `i` for a device of geometry `(w, l)` \[m\]
+    /// (geometry is ignored for global parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sigma(&self, i: usize, tech: &Technology, w: f64, l: f64) -> f64 {
+        match &self.params[i].kind {
+            StatKind::GlobalVth(pol) => tech.sigma_vth_global(*pol),
+            StatKind::GlobalBeta(pol) => tech.sigma_beta_global(*pol),
+            StatKind::GlobalCap => tech.sigma_cap_global,
+            StatKind::LocalVth { .. } => tech.sigma_vth_local(w, l),
+            StatKind::LocalBeta { .. } => tech.sigma_beta_local(w, l),
+        }
+    }
+
+    /// Assembles the physical deviations of one device from the standardized
+    /// vector: returns `(delta_vth \[V\], beta_factor)`.
+    ///
+    /// `beta_factor` is clamped to `≥ 0.05` so extreme tail samples cannot
+    /// produce an unphysical non-positive current factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::DimensionMismatch`] when `s_hat` has the wrong
+    /// length.
+    pub fn device_deltas(
+        &self,
+        tech: &Technology,
+        device: &str,
+        polarity: MosPolarity,
+        w: f64,
+        l: f64,
+        s_hat: &DVec,
+    ) -> Result<(f64, f64), CktError> {
+        if s_hat.len() != self.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "stat",
+                expected: self.dim(),
+                found: s_hat.len(),
+            });
+        }
+        let mut delta_vth = 0.0;
+        let mut dbeta = 0.0;
+        for (i, p) in self.params.iter().enumerate() {
+            match &p.kind {
+                StatKind::GlobalVth(pol) if *pol == polarity => {
+                    delta_vth += s_hat[i] * tech.sigma_vth_global(*pol);
+                }
+                StatKind::GlobalBeta(pol) if *pol == polarity => {
+                    dbeta += s_hat[i] * tech.sigma_beta_global(*pol);
+                }
+                StatKind::LocalVth { device: dev } if dev == device => {
+                    delta_vth += s_hat[i] * tech.sigma_vth_local(w, l);
+                }
+                StatKind::LocalBeta { device: dev } if dev == device => {
+                    dbeta += s_hat[i] * tech.sigma_beta_local(w, l);
+                }
+                _ => {}
+            }
+        }
+        Ok((delta_vth, (1.0 + dbeta).max(0.05)))
+    }
+
+    /// Global capacitance scale factor `1 + ŝ[cap]·σ_cap`, clamped to
+    /// `≥ 0.2` against unphysical tail samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError::DimensionMismatch`] when `s_hat` has the wrong
+    /// length.
+    pub fn cap_factor(&self, tech: &Technology, s_hat: &DVec) -> Result<f64, CktError> {
+        if s_hat.len() != self.dim() {
+            return Err(CktError::DimensionMismatch {
+                what: "stat",
+                expected: self.dim(),
+                found: s_hat.len(),
+            });
+        }
+        let mut f = 1.0;
+        for (i, p) in self.params.iter().enumerate() {
+            if matches!(p.kind, StatKind::GlobalCap) {
+                f += s_hat[i] * tech.sigma_cap_global;
+            }
+        }
+        Ok(f.max(0.2))
+    }
+
+    /// Indices of the local-Vth parameters, with their device names — the
+    /// candidate mismatch pairs of the Sec. 3 analysis.
+    pub fn local_vth_indices(&self) -> Vec<(usize, &str)> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match &p.kind {
+                StatKind::LocalVth { device } => Some((i, device.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devices() -> Vec<(&'static str, MosPolarity)> {
+        vec![
+            ("m1", MosPolarity::Nmos),
+            ("m2", MosPolarity::Nmos),
+            ("m3", MosPolarity::Pmos),
+        ]
+    }
+
+    #[test]
+    fn dimensions() {
+        let devs = devices();
+        assert_eq!(StatSpace::build(&devs, true).dim(), 5 + 6);
+        assert_eq!(StatSpace::build(&devs, false).dim(), 5);
+    }
+
+    #[test]
+    fn zero_s_hat_is_nominal() {
+        let devs = devices();
+        let sp = StatSpace::build(&devs, true);
+        let t = Technology::c06();
+        let (dv, bf) = sp
+            .device_deltas(&t, "m1", MosPolarity::Nmos, 10e-6, 1e-6, &DVec::zeros(sp.dim()))
+            .unwrap();
+        assert_eq!(dv, 0.0);
+        assert_eq!(bf, 1.0);
+    }
+
+    #[test]
+    fn global_affects_same_polarity_only() {
+        let devs = devices();
+        let sp = StatSpace::build(&devs, true);
+        let t = Technology::c06();
+        let mut s = DVec::zeros(sp.dim());
+        s[sp.index_of("vthn_glob").unwrap()] = 1.0;
+        let (dv_n, _) = sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-5, 1e-6, &s).unwrap();
+        let (dv_p, _) = sp.device_deltas(&t, "m3", MosPolarity::Pmos, 1e-5, 1e-6, &s).unwrap();
+        assert!((dv_n - t.sigma_vth_global_n).abs() < 1e-15);
+        assert_eq!(dv_p, 0.0);
+    }
+
+    #[test]
+    fn local_scales_with_area() {
+        let devs = devices();
+        let sp = StatSpace::build(&devs, true);
+        let t = Technology::c06();
+        let mut s = DVec::zeros(sp.dim());
+        s[sp.index_of("vth_m1").unwrap()] = 1.0;
+        let (small, _) =
+            sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s).unwrap();
+        let (large, _) =
+            sp.device_deltas(&t, "m1", MosPolarity::Nmos, 4e-6, 1e-6, &s).unwrap();
+        assert!((small / large - 2.0).abs() < 1e-12, "σ halves when area quadruples");
+        // m2's local parameter does not move m1.
+        let mut s2 = DVec::zeros(sp.dim());
+        s2[sp.index_of("vth_m2").unwrap()] = 1.0;
+        let (dv, _) = sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s2).unwrap();
+        assert_eq!(dv, 0.0);
+    }
+
+    #[test]
+    fn beta_factor_clamped() {
+        let devs = devices();
+        let sp = StatSpace::build(&devs, true);
+        let t = Technology::c06();
+        let mut s = DVec::zeros(sp.dim());
+        s[sp.index_of("betan_glob").unwrap()] = -1000.0;
+        let (_, bf) = sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s).unwrap();
+        assert_eq!(bf, 0.05);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let devs = devices();
+        let sp = StatSpace::build(&devs, true);
+        let t = Technology::c06();
+        assert!(matches!(
+            sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &DVec::zeros(2)),
+            Err(CktError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn local_vth_index_listing() {
+        let devs = devices();
+        let sp = StatSpace::build(&devs, true);
+        let idx = sp.local_vth_indices();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx[0].1, "m1");
+        let sp_glob = StatSpace::build(&devs, false);
+        assert!(sp_glob.local_vth_indices().is_empty());
+    }
+
+    #[test]
+    fn sigma_accessor_consistency() {
+        let devs = devices();
+        let sp = StatSpace::build(&devs, true);
+        let t = Technology::c06();
+        let i = sp.index_of("vth_m1").unwrap();
+        assert!((sp.sigma(i, &t, 1e-6, 1e-6) - t.a_vth * 1e6).abs() < 1e-12);
+        let g = sp.index_of("vthn_glob").unwrap();
+        assert_eq!(sp.sigma(g, &t, 1e-6, 1e-6), t.sigma_vth_global_n);
+    }
+}

@@ -1,0 +1,150 @@
+//! Synthetic technology card: MOSFET model parameters plus the statistical
+//! description of the process (global spreads and Pelgrom mismatch
+//! coefficients).
+//!
+//! The paper used an (undisclosed) industrial fabrication process; this
+//! card substitutes published-order values for a 0.6 µm-class CMOS process
+//! (see DESIGN.md §2). What matters for reproducing the method is the
+//! *structure*: global Vth/β spreads shared by all devices of a polarity,
+//! plus per-device local deviations whose standard deviation scales as
+//! `1/√(W·L)` (Pelgrom's law, paper ref [1]).
+
+use specwise_mna::{MosPolarity, MosfetModel};
+
+/// A CMOS technology: model cards plus statistical process description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// NMOS model card.
+    pub nmos: MosfetModel,
+    /// PMOS model card.
+    pub pmos: MosfetModel,
+    /// Global NMOS threshold spread σ \[V\].
+    pub sigma_vth_global_n: f64,
+    /// Global PMOS threshold spread σ \[V\].
+    pub sigma_vth_global_p: f64,
+    /// Global NMOS current-factor spread σ (relative, e.g. 0.03 = 3 %).
+    pub sigma_beta_global_n: f64,
+    /// Global PMOS current-factor spread σ (relative).
+    pub sigma_beta_global_p: f64,
+    /// Pelgrom mismatch coefficient for Vth \[V·m\]:
+    /// `σ(ΔVth) = a_vth / √(W·L)`.
+    pub a_vth: f64,
+    /// Pelgrom mismatch coefficient for β \[m\] (relative):
+    /// `σ(Δβ/β) = a_beta / √(W·L)`.
+    pub a_beta: f64,
+    /// Global relative spread of capacitance values (oxide/poly-cap
+    /// thickness variation), e.g. 0.05 = 5 %.
+    pub sigma_cap_global: f64,
+}
+
+impl Technology {
+    /// The default 0.6 µm-class card used throughout the reproduction.
+    ///
+    /// Pelgrom coefficients: `A_VT = 20 mV·µm`, `A_β = 3 %·µm` — within the
+    /// published range for µm-class processes (Pelgrom et al., JSSC 1989
+    /// report ≈ 30 mV·µm for a 2.5 µm process).
+    pub fn c06() -> Self {
+        Technology {
+            nmos: MosfetModel::default_nmos(),
+            pmos: MosfetModel::default_pmos(),
+            sigma_vth_global_n: 0.015,
+            sigma_vth_global_p: 0.015,
+            sigma_beta_global_n: 0.03,
+            sigma_beta_global_p: 0.03,
+            // 20 mV·µm = 20e-3 V · 1e-6 m = 2e-8 V·m.
+            a_vth: 2.0e-8,
+            // 3 %·µm = 0.03 · 1e-6 m = 3e-8 m.
+            a_beta: 3.0e-8,
+            sigma_cap_global: 0.05,
+        }
+    }
+
+    /// Model card for a polarity.
+    pub fn model(&self, polarity: MosPolarity) -> &MosfetModel {
+        match polarity {
+            MosPolarity::Nmos => &self.nmos,
+            MosPolarity::Pmos => &self.pmos,
+        }
+    }
+
+    /// Local (mismatch) threshold σ \[V\] for a device of the given
+    /// geometry \[m\].
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive geometry.
+    pub fn sigma_vth_local(&self, w: f64, l: f64) -> f64 {
+        assert!(w > 0.0 && l > 0.0, "geometry must be positive");
+        self.a_vth / (w * l).sqrt()
+    }
+
+    /// Local (mismatch) relative β σ for a device of the given geometry \[m\].
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive geometry.
+    pub fn sigma_beta_local(&self, w: f64, l: f64) -> f64 {
+        assert!(w > 0.0 && l > 0.0, "geometry must be positive");
+        self.a_beta / (w * l).sqrt()
+    }
+
+    /// Global threshold σ \[V\] for a polarity.
+    pub fn sigma_vth_global(&self, polarity: MosPolarity) -> f64 {
+        match polarity {
+            MosPolarity::Nmos => self.sigma_vth_global_n,
+            MosPolarity::Pmos => self.sigma_vth_global_p,
+        }
+    }
+
+    /// Global relative β σ for a polarity.
+    pub fn sigma_beta_global(&self, polarity: MosPolarity) -> f64 {
+        match polarity {
+            MosPolarity::Nmos => self.sigma_beta_global_n,
+            MosPolarity::Pmos => self.sigma_beta_global_p,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::c06()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pelgrom_scaling() {
+        let t = Technology::c06();
+        // A 1 µm × 1 µm device: σ_Vth = 20 mV.
+        let s1 = t.sigma_vth_local(1e-6, 1e-6);
+        assert!((s1 - 0.020).abs() < 1e-12);
+        // Quadrupling the area halves the sigma.
+        let s4 = t.sigma_vth_local(2e-6, 2e-6);
+        assert!((s4 - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_mismatch_scaling() {
+        let t = Technology::c06();
+        assert!((t.sigma_beta_local(1e-6, 1e-6) - 0.03).abs() < 1e-12);
+        assert!((t.sigma_beta_local(4e-6, 1e-6) - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polarity_accessors() {
+        let t = Technology::c06();
+        assert_eq!(t.model(MosPolarity::Nmos).polarity, MosPolarity::Nmos);
+        assert_eq!(t.model(MosPolarity::Pmos).polarity, MosPolarity::Pmos);
+        assert!(t.sigma_vth_global(MosPolarity::Nmos) > 0.0);
+        assert!(t.sigma_beta_global(MosPolarity::Pmos) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_area() {
+        Technology::c06().sigma_vth_local(0.0, 1e-6);
+    }
+}

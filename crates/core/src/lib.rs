@@ -1,0 +1,72 @@
+//! `specwise` — direct yield optimization of analog integrated circuits by
+//! **spec-wise linearization and feasibility-guided search**, a reproduction
+//! of Schenkel et al., DAC 2001.
+//!
+//! The crate implements the paper's contribution on top of the workspace
+//! substrates (`specwise-mna` simulator, `specwise-ckt` circuits,
+//! `specwise-wcd` worst-case analysis):
+//!
+//! * [`LinearizedYield`] — Monte-Carlo yield estimate `Ȳ` over the
+//!   spec-wise linear models with the incremental per-sample update
+//!   (paper Eqs. 17–20),
+//! * [`LinearConstraints`] / [`find_feasible_start`] — the linearized
+//!   feasibility region (Eq. 15) and the feasible-start search (Sec. 5.5),
+//! * [`CoordinateSearch`] — constrained coordinate-wise maximization of
+//!   `Ȳ` (Eq. 19),
+//! * [`line_search_feasible`] — the simulation-based pull-back into the
+//!   feasibility region (Eq. 23),
+//! * [`YieldOptimizer`] — the full loop of Fig. 6 with per-iteration trace
+//!   records matching the paper's Tables 1/3/4/6,
+//! * [`McVerification`] — the simulation-based Monte-Carlo verification at
+//!   per-spec worst-case operating points (Eqs. 6–7),
+//! * [`MismatchAnalysis`] — the mismatch measure `m_kl` (Eq. 9) with the
+//!   `Φ` selector and the `η` robustness weight, ranking mismatch-critical
+//!   transistor pairs (Table 5).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use specwise::{OptimizerConfig, YieldOptimizer};
+//! use specwise_ckt::FoldedCascode;
+//!
+//! # fn main() -> Result<(), specwise::SpecwiseError> {
+//! let env = FoldedCascode::paper_setup();
+//! let trace = YieldOptimizer::new(OptimizerConfig::default()).run(&env)?;
+//! for snap in trace.snapshots() {
+//!     println!("{}", snap.label);
+//!     if let Some(mc) = &snap.verified {
+//!         println!("  verified yield: {}", mc.yield_estimate);
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coordinate_search;
+mod error;
+mod feasibility;
+mod importance;
+mod line_search;
+mod mc_verify;
+mod mismatch;
+mod optimizer;
+mod quad_yield;
+mod report;
+mod wcd_max;
+mod yield_model;
+
+pub use coordinate_search::{CoordinateSearch, CoordinateSearchOptions};
+pub use error::SpecwiseError;
+pub use importance::{importance_verify, IsResult};
+pub use feasibility::{find_feasible_start, FeasibleStartOptions, LinearConstraints};
+pub use line_search::line_search_feasible;
+pub use mc_verify::{mc_verify, McVerification};
+pub use mismatch::{eta, phi, MismatchAnalysis, MismatchEntry, PhiOptions};
+pub use optimizer::{IterationSnapshot, Objective, OptimizerConfig, OptimizationTrace, YieldOptimizer};
+pub use report::{effort_table, improvement_table, iteration_table, mismatch_table, sensitivity_table};
+pub use quad_yield::QuadraticYield;
+pub use wcd_max::WcdMaximizer;
+pub use yield_model::{LinearizedYield, ShiftTracker};

@@ -1,0 +1,179 @@
+//! Simulation-based Monte-Carlo yield verification (paper Eqs. 6–7).
+//!
+//! Each sample is evaluated at the per-spec worst-case operating points;
+//! samples sharing a worst-case corner share one simulation, which is the
+//! sharing behind the paper's effort bound `N* ≤ N·min(n_spec, 2^dim(Θ))`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_linalg::DVec;
+use specwise_stat::{RunningMoments, StandardNormal, YieldEstimate};
+use specwise_wcd::worst_case_corners;
+
+use crate::SpecwiseError;
+
+/// Result of a simulation-based Monte-Carlo verification.
+#[derive(Debug, Clone)]
+pub struct McVerification {
+    /// The verified yield `Ỹ`.
+    pub yield_estimate: YieldEstimate,
+    /// Per-spec failing sample counts.
+    pub per_spec_bad: Vec<usize>,
+    /// Per-spec streaming moments of the *margins* over the samples
+    /// (mean = `µ_f − f_b`, std-dev = `σ_f`) — the inputs of the paper's
+    /// Table 2 improvement decomposition.
+    pub per_spec_margins: Vec<RunningMoments>,
+    /// The worst-case operating point used for each spec.
+    pub theta_wc: Vec<OperatingPoint>,
+}
+
+impl McVerification {
+    /// Per-spec bad counts in per mille.
+    pub fn bad_per_mille(&self) -> Vec<f64> {
+        let n = self.yield_estimate.total() as f64;
+        self.per_spec_bad.iter().map(|&b| 1000.0 * b as f64 / n).collect()
+    }
+}
+
+/// Runs a simulation-based Monte-Carlo verification of `n_samples`
+/// standardized samples at design `d`.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; rejects `n_samples == 0`.
+pub fn mc_verify(
+    env: &dyn CircuitEnv,
+    d: &DVec,
+    n_samples: usize,
+    seed: u64,
+) -> Result<McVerification, SpecwiseError> {
+    if n_samples == 0 {
+        return Err(SpecwiseError::InvalidConfig { reason: "need at least one sample" });
+    }
+    let n_spec = env.specs().len();
+
+    // Per-spec worst-case corners at the nominal statistical point.
+    let corners = worst_case_corners(env, d, &DVec::zeros(env.stat_dim()))?;
+    let theta_wc: Vec<OperatingPoint> = corners.iter().map(|(t, _)| *t).collect();
+
+    // Group specs by identical worst-case corner to share simulations.
+    let mut groups: Vec<(OperatingPoint, Vec<usize>)> = Vec::new();
+    for (i, t) in theta_wc.iter().enumerate() {
+        match groups.iter_mut().find(|(g, _)| g == t) {
+            Some((_, specs)) => specs.push(i),
+            None => groups.push((*t, vec![i])),
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = StandardNormal::new();
+    let mut per_spec_bad = vec![0usize; n_spec];
+    let mut per_spec_margins = vec![RunningMoments::new(); n_spec];
+    let mut passed = 0usize;
+    let mut s = DVec::zeros(env.stat_dim());
+
+    for _ in 0..n_samples {
+        normal.fill(&mut rng, s.as_mut_slice());
+        let mut all_ok = true;
+        for (theta, specs) in &groups {
+            // A sample whose circuit fails to simulate is a nonfunctional
+            // circuit: count it as failing every spec of this group.
+            let margins = match env.eval_margins(d, &s, theta) {
+                Ok(m) => m,
+                Err(specwise_ckt::CktError::Simulation(_)) => {
+                    for &i in specs {
+                        per_spec_bad[i] += 1;
+                    }
+                    all_ok = false;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            for &i in specs {
+                per_spec_margins[i].push(margins[i]);
+                if margins[i] < 0.0 {
+                    per_spec_bad[i] += 1;
+                    all_ok = false;
+                }
+            }
+        }
+        if all_ok {
+            passed += 1;
+        }
+    }
+
+    Ok(McVerification {
+        yield_estimate: YieldEstimate::from_counts(passed, n_samples),
+        per_spec_bad,
+        per_spec_margins,
+        theta_wc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+
+    fn env() -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("a", "", -10.0, 10.0, 1.0)]))
+            .stat_dim(2)
+            .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("f1", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| {
+                DVec::from_slice(&[d[0] + s[0], 2.0 + s[1]])
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn yield_matches_analytic_probability() {
+        let e = env();
+        // Pass: Z0 > −1 AND Z1 > −2 → Φ(1)·Φ(2) ≈ 0.8413·0.9772 ≈ 0.8222.
+        let v = mc_verify(&e, &DVec::from_slice(&[1.0]), 20_000, 11).unwrap();
+        assert!((v.yield_estimate.value() - 0.8222).abs() < 0.01);
+        // Per-spec bad rates: 1 − Φ(1) ≈ 15.9 %, 1 − Φ(2) ≈ 2.3 %.
+        let bad = v.bad_per_mille();
+        assert!((bad[0] - 158.7).abs() < 12.0, "bad0 = {}", bad[0]);
+        assert!((bad[1] - 22.8).abs() < 6.0, "bad1 = {}", bad[1]);
+    }
+
+    #[test]
+    fn margin_moments_match_distribution() {
+        let e = env();
+        let v = mc_verify(&e, &DVec::from_slice(&[1.0]), 20_000, 5).unwrap();
+        // Margin of spec 0 is 1 + Z: mean 1, std 1.
+        assert!((v.per_spec_margins[0].mean() - 1.0).abs() < 0.03);
+        assert!((v.per_spec_margins[0].std_dev() - 1.0).abs() < 0.03);
+        assert!((v.per_spec_margins[1].mean() - 2.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn shares_simulations_across_specs() {
+        let e = env();
+        e.reset_sim_count();
+        let n = 500;
+        let _ = mc_verify(&e, &DVec::from_slice(&[1.0]), n, 1).unwrap();
+        // 4 corner sims + N (both specs share one θ_wc since the margins
+        // are θ-independent → single group).
+        assert_eq!(e.sim_count(), 4 + n as u64);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let e = env();
+        let a = mc_verify(&e, &DVec::from_slice(&[0.5]), 2_000, 42).unwrap();
+        let b = mc_verify(&e, &DVec::from_slice(&[0.5]), 2_000, 42).unwrap();
+        assert_eq!(a.yield_estimate, b.yield_estimate);
+        assert_eq!(a.per_spec_bad, b.per_spec_bad);
+    }
+
+    #[test]
+    fn rejects_zero_samples() {
+        let e = env();
+        assert!(mc_verify(&e, &DVec::from_slice(&[1.0]), 0, 1).is_err());
+    }
+}

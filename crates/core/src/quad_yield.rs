@@ -1,0 +1,173 @@
+//! Monte-Carlo yield estimation over diagonal-quadratic margin models —
+//! the higher-order alternative the paper argues is unnecessary (Sec. 5.1).
+//!
+//! Structurally identical to [`crate::LinearizedYield`]: the statistical
+//! part of each model is sample-constant (precomputed once), the design
+//! dependence stays linear, so design moves remain cheap. Used by the
+//! model-order ablation (`tests/model_order.rs`) to quantify what the
+//! quadratic term buys.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specwise_linalg::{DMat, DVec};
+use specwise_stat::{StandardNormal, YieldEstimate};
+use specwise_wcd::QuadraticMarginModel;
+
+use crate::SpecwiseError;
+
+/// A reusable yield estimator over diagonal-quadratic margin models.
+///
+/// # Example
+///
+/// See `tests/model_order.rs` in the workspace root for the linear vs
+/// quadratic vs simulation comparison this type exists for.
+#[derive(Debug, Clone)]
+pub struct QuadraticYield {
+    models: Vec<QuadraticMarginModel>,
+    parts: DMat,
+    n_samples: usize,
+    d_f: DVec,
+}
+
+impl QuadraticYield {
+    /// Draws `n_samples` standardized samples (seeded) and precomputes the
+    /// per-sample statistical parts of every model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecwiseError::InvalidConfig`] for an empty model list or
+    /// zero samples.
+    pub fn new(
+        models: Vec<QuadraticMarginModel>,
+        n_samples: usize,
+        seed: u64,
+    ) -> Result<Self, SpecwiseError> {
+        if models.is_empty() {
+            return Err(SpecwiseError::InvalidConfig { reason: "no quadratic models supplied" });
+        }
+        if n_samples == 0 {
+            return Err(SpecwiseError::InvalidConfig { reason: "need at least one sample" });
+        }
+        let n_s = models[0].s_anchor.len();
+        for m in &models {
+            if m.s_anchor.len() != n_s {
+                return Err(SpecwiseError::DimensionMismatch {
+                    what: "stat",
+                    expected: n_s,
+                    found: m.s_anchor.len(),
+                });
+            }
+        }
+        let d_f = models[0].d_f.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = StandardNormal::new();
+        let mut parts = DMat::zeros(models.len(), n_samples);
+        let mut sample = DVec::zeros(n_s);
+        for j in 0..n_samples {
+            normal.fill(&mut rng, sample.as_mut_slice());
+            for (mi, m) in models.iter().enumerate() {
+                parts[(mi, j)] = m.sample_part(&sample);
+            }
+        }
+        Ok(QuadraticYield { models, parts, n_samples, d_f })
+    }
+
+    /// Number of Monte-Carlo samples.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// The anchor design point shared by the models.
+    pub fn anchor(&self) -> &DVec {
+        &self.d_f
+    }
+
+    /// Yield estimate at design `d`: fraction of samples whose quadratic
+    /// margins are all non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error when `d` has the wrong length.
+    pub fn estimate(&self, d: &DVec) -> Result<YieldEstimate, SpecwiseError> {
+        if d.len() != self.d_f.len() {
+            return Err(SpecwiseError::DimensionMismatch {
+                what: "design",
+                expected: self.d_f.len(),
+                found: d.len(),
+            });
+        }
+        let shifts: DVec = self.models.iter().map(|m| m.design_shift(d)).collect();
+        let mut pass = 0usize;
+        for j in 0..self.n_samples {
+            let ok = (0..self.models.len())
+                .all(|mi| self.parts[(mi, j)] + shifts[mi] >= 0.0);
+            if ok {
+                pass += 1;
+            }
+        }
+        Ok(YieldEstimate::from_counts(pass, self.n_samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specwise_ckt::{AnalyticEnv, CircuitEnv, DesignParam, DesignSpace, Spec, SpecKind};
+    use specwise_wcd::QuadraticMarginModel;
+
+    /// margin = 1 − s0², a pure quadratic: yield = P(|Z| ≤ 1) ≈ 0.6827,
+    /// which no single linear model can represent.
+    fn quad_env() -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("a", "", -5.0, 5.0, 0.0)]))
+            .stat_dim(1)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|_, s, _| DVec::from_slice(&[1.0 - s[0] * s[0]]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn quadratic_models_capture_two_sided_failure() {
+        let e = quad_env();
+        let theta = e.operating_range().nominal();
+        let d0 = DVec::from_slice(&[0.0]);
+        let q = QuadraticMarginModel::fit(&e, &d0, 0, &theta, &DVec::zeros(1), 0.05).unwrap();
+        let qy = QuadraticYield::new(vec![q], 50_000, 7).unwrap();
+        let y = qy.estimate(&d0).unwrap().value();
+        assert!((y - 0.6827).abs() < 0.01, "y = {y}");
+    }
+
+    #[test]
+    fn design_shift_moves_quadratic_yield() {
+        // margin = d0 + 1 − s0²: raising d0 widens the pass band.
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("a", "", -5.0, 5.0, 0.0)]))
+            .stat_dim(1)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] + 1.0 - s[0] * s[0]]))
+            .build()
+            .unwrap();
+        let theta = e.operating_range().nominal();
+        let d0 = DVec::from_slice(&[0.0]);
+        let q = QuadraticMarginModel::fit(&e, &d0, 0, &theta, &DVec::zeros(1), 0.05).unwrap();
+        let qy = QuadraticYield::new(vec![q], 30_000, 3).unwrap();
+        let y0 = qy.estimate(&d0).unwrap().value();
+        let y3 = qy.estimate(&DVec::from_slice(&[3.0])).unwrap().value();
+        // P(|Z| ≤ 1) ≈ 0.683 → P(|Z| ≤ 2) ≈ 0.954.
+        assert!((y0 - 0.683).abs() < 0.01);
+        assert!((y3 - 0.954).abs() < 0.01);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(QuadraticYield::new(vec![], 100, 1).is_err());
+        let e = quad_env();
+        let theta = e.operating_range().nominal();
+        let d0 = DVec::from_slice(&[0.0]);
+        let q = QuadraticMarginModel::fit(&e, &d0, 0, &theta, &DVec::zeros(1), 0.05).unwrap();
+        assert!(QuadraticYield::new(vec![q.clone()], 0, 1).is_err());
+        let qy = QuadraticYield::new(vec![q], 100, 1).unwrap();
+        assert!(qy.estimate(&DVec::zeros(2)).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Text renderings of the paper's result tables.
+//!
+//! Each function produces a plain-text table matching the structure of the
+//! corresponding table in the paper (Tables 1–7); the benchmark harness
+//! prints these next to the paper's reference values.
+
+use std::fmt::Write as _;
+
+use specwise_ckt::CircuitEnv;
+
+use crate::{IterationSnapshot, MismatchEntry, OptimizationTrace};
+
+/// Renders an optimization trace in the layout of the paper's
+/// Tables 1/3/4/6: per snapshot the margins `f − f_b`, the bad samples in
+/// the linearized models (‰), and the verified yield `Ỹ`.
+pub fn iteration_table(env: &dyn CircuitEnv, trace: &OptimizationTrace) -> String {
+    let specs = env.specs();
+    let mut out = String::new();
+    let _ = write!(out, "{:<14}", "Performance");
+    for s in specs {
+        let _ = write!(out, "{:>12}", format!("{} [{}]", s.name(), s.unit()));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<14}", "Spec");
+    for s in specs {
+        let op = match s.kind() {
+            specwise_ckt::SpecKind::LowerBound => ">",
+            specwise_ckt::SpecKind::UpperBound => "<",
+        };
+        let _ = write!(out, "{:>12}", format!("{op} {}", s.bound()));
+    }
+    let _ = writeln!(out);
+    for snap in trace.snapshots() {
+        if snap.collapsed {
+            let _ = writeln!(out, "--- {} (collapsed: unsimulatable design) ---", snap.label);
+        } else {
+            let _ = writeln!(out, "--- {} ---", snap.label);
+        }
+        let _ = write!(out, "{:<14}", "f - fb");
+        for i in 0..specs.len() {
+            let _ = write!(out, "{:>12.3}", snap.nominal_margins[i]);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:<14}", "bad [permil]");
+        for i in 0..specs.len() {
+            let _ = write!(out, "{:>12.1}", snap.bad_per_mille[i]);
+        }
+        let _ = writeln!(out);
+        match &snap.verified {
+            Some(mc) => {
+                let _ = writeln!(out, "{:<14}{:.1}%", "Y (verified)", mc.yield_estimate.percent());
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<14}{:.1}% (linearized)",
+                    "Y (estimate)",
+                    snap.estimated_yield.percent()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the paper's Table 2: between two snapshots, the relative change
+/// of the margin mean `Δµ_f/(µ_f − f_b)` and of the performance standard
+/// deviation `Δσ_f/σ_f`, per spec, in percent.
+///
+/// Returns `None` when either snapshot lacks verification data.
+pub fn improvement_table(
+    env: &dyn CircuitEnv,
+    from: &IterationSnapshot,
+    to: &IterationSnapshot,
+) -> Option<String> {
+    let a = from.verified.as_ref()?;
+    let b = to.verified.as_ref()?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:>16}{:>16}",
+        "Performance", "d_mu/(mu-fb) %", "d_sigma/sigma %"
+    );
+    for (i, s) in env.specs().iter().enumerate() {
+        let mu1 = a.per_spec_margins[i].mean();
+        let mu2 = b.per_spec_margins[i].mean();
+        let s1 = a.per_spec_margins[i].std_dev();
+        let s2 = b.per_spec_margins[i].std_dev();
+        let dmu = if mu1.abs() > 1e-30 { 100.0 * (mu2 - mu1) / mu1 } else { f64::NAN };
+        let dsig = if s1.abs() > 1e-30 { 100.0 * (s2 - s1) / s1 } else { f64::NAN };
+        let _ = writeln!(out, "{:<14}{:>16.1}{:>16.1}", s.name(), dmu, dsig);
+    }
+    Some(out)
+}
+
+/// Renders the paper's Table 5: the top mismatch pairs with their measure,
+/// resolving statistical-parameter indices to names.
+pub fn mismatch_table(env: &dyn CircuitEnv, entries: &[MismatchEntry], top: usize) -> String {
+    let names = env.stat_space().names();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10}{:<28}{:>10}", "Spec", "Pair", "m_kl");
+    for e in entries.iter().take(top) {
+        let spec_name = env.specs()[e.spec].name();
+        let k = names.get(e.k).copied().unwrap_or("?");
+        let l = names.get(e.l).copied().unwrap_or("?");
+        let _ = writeln!(out, "{:<10}{:<28}{:>10.2}", spec_name, format!("{k} / {l}"), e.measure);
+    }
+    out
+}
+
+/// Renders a design-sensitivity table from a worst-case analysis: one row
+/// per design parameter, one column per specification, entries are the
+/// margin change per 1 % full-range move of the parameter, evaluated at the
+/// spec's worst-case anchor — the designer's view of "which knob fixes
+/// which spec".
+pub fn sensitivity_table(env: &dyn CircuitEnv, analysis: &specwise_wcd::WcResult) -> String {
+    let specs = env.specs();
+    let params = env.design_space().params();
+    let mut out = String::new();
+    let _ = write!(out, "{:<10}", "Param");
+    for s in specs {
+        let _ = write!(out, "{:>12}", s.name());
+    }
+    let _ = writeln!(out, "    (margin per 1% range move)");
+    for (k, p) in params.iter().enumerate() {
+        let _ = write!(out, "{:<10}", p.name);
+        let step = 0.01 * (p.upper - p.lower);
+        for spec in 0..specs.len() {
+            let lin = analysis
+                .linearizations()
+                .iter()
+                .find(|l| l.spec == spec && !l.mirrored);
+            match lin {
+                Some(l) => {
+                    let _ = write!(out, "{:>12.4}", l.grad_d[k] * step);
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the paper's Table 7: per-circuit simulation counts and wall
+/// times.
+pub fn effort_table(rows: &[(String, u64, std::time::Duration)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<22}{:>14}{:>18}", "Circuit", "# Simulations", "Wall Clock Time");
+    for (name, sims, wall) in rows {
+        let _ = writeln!(out, "{:<22}{:>14}{:>17.1}s", name, sims, wall.as_secs_f64());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OptimizerConfig, YieldOptimizer};
+    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+    use specwise_linalg::DVec;
+
+    fn env() -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 10.0, 1.0)]))
+            .stat_dim(1)
+            .spec(Spec::new("gain", "dB", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] - 2.0 + s[0]]))
+            .build()
+            .unwrap()
+    }
+
+    fn trace() -> (AnalyticEnv, OptimizationTrace) {
+        let e = env();
+        let mut cfg = OptimizerConfig::default();
+        cfg.mc_samples = 2_000;
+        cfg.verify_samples = 400;
+        let t = YieldOptimizer::new(cfg).run(&e).unwrap();
+        (e, t)
+    }
+
+    #[test]
+    fn iteration_table_contains_rows() {
+        let (e, t) = trace();
+        let s = iteration_table(&e, &t);
+        assert!(s.contains("gain"));
+        assert!(s.contains("Initial"));
+        assert!(s.contains("f - fb"));
+        assert!(s.contains("bad [permil]"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn improvement_table_between_snapshots() {
+        let (e, t) = trace();
+        if t.snapshots().len() >= 2 {
+            let s = improvement_table(&e, t.initial(), t.final_snapshot()).unwrap();
+            assert!(s.contains("gain"));
+            assert!(s.contains("d_mu"));
+        }
+    }
+
+    #[test]
+    fn improvement_table_none_without_verification() {
+        let (e, t) = trace();
+        let mut s0 = t.initial().clone();
+        s0.verified = None;
+        assert!(improvement_table(&e, &s0, t.final_snapshot()).is_none());
+    }
+
+    #[test]
+    fn mismatch_table_resolves_names() {
+        let (e, t) = trace();
+        let analysis = crate::MismatchAnalysis::new();
+        let entries = analysis.rank_all(&t.initial().wc_points, -1.0);
+        let s = mismatch_table(&e, &entries, 3);
+        assert!(s.contains("m_kl"));
+    }
+
+    #[test]
+    fn sensitivity_table_shows_design_levers() {
+        let e = env();
+        let analysis = specwise_wcd::WcAnalysis::new(&e, specwise_wcd::WcOptions::default())
+            .run(&DVec::from_slice(&[1.0]))
+            .unwrap();
+        let s = sensitivity_table(&e, &analysis);
+        assert!(s.contains("d0"));
+        assert!(s.contains("gain"));
+        // margin = d0 − 2 + s0: ∂/∂d0 = 1, so a 1 % move of the [0, 10]
+        // range shifts the margin by 0.1.
+        assert!(s.contains("0.1000"), "table:\n{s}");
+    }
+
+    #[test]
+    fn collapsed_snapshots_are_marked() {
+        // An environment that stops simulating once the design leaves
+        // [0, 2]: the unconstrained optimizer walks into the fail region
+        // and must record a collapsed snapshot.
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 10.0, 1.0)]))
+            .stat_dim(1)
+            .spec(Spec::new("gain", "dB", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] - 2.0 + s[0]]))
+            .fail_when(|d| d[0] > 2.0)
+            .build()
+            .unwrap();
+        let mut cfg = OptimizerConfig::default();
+        cfg.mc_samples = 1_000;
+        cfg.verify_samples = 100;
+        cfg.use_constraints = false;
+        cfg.max_iterations = 1;
+        let t = YieldOptimizer::new(cfg).run(&e).unwrap();
+        assert!(t.final_snapshot().collapsed, "optimizer must record the collapse");
+        let s = iteration_table(&e, &t);
+        assert!(s.contains("collapsed"), "table must mark the collapsed row:\n{s}");
+    }
+
+    #[test]
+    fn effort_table_lists_rows() {
+        let rows = vec![
+            ("Folded-Cascode".to_string(), 689u64, std::time::Duration::from_secs(60)),
+            ("Miller".to_string(), 627u64, std::time::Duration::from_secs(30)),
+        ];
+        let s = effort_table(&rows);
+        assert!(s.contains("689"));
+        assert!(s.contains("Miller"));
+    }
+}

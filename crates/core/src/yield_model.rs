@@ -1,0 +1,421 @@
+//! Monte-Carlo yield estimation over the spec-wise linear models
+//! (paper Eqs. 17–20).
+//!
+//! A fixed set of `N` standardized samples is drawn once; for each sample
+//! and each linear model the *sample part* (everything except the design
+//! shift) is precomputed. During the coordinate search only the scalar
+//! design shift of each model changes, and for a single-coordinate move
+//! only one product is recomputed (Eq. 20).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specwise_linalg::{DMat, DVec};
+use specwise_stat::{StandardNormal, YieldEstimate};
+use specwise_wcd::SpecLinearization;
+
+use crate::SpecwiseError;
+
+/// A reusable linearized-model yield estimator.
+///
+/// # Example
+///
+/// ```
+/// use specwise::LinearizedYield;
+/// use specwise_ckt::OperatingPoint;
+/// use specwise_linalg::DVec;
+/// use specwise_wcd::SpecLinearization;
+///
+/// # fn main() -> Result<(), specwise::SpecwiseError> {
+/// // margin = 1 + s0 (one spec, no design dependence): Ȳ = Φ(1) ≈ 84 %.
+/// let lin = SpecLinearization {
+///     spec: 0,
+///     mirrored: false,
+///     theta_wc: OperatingPoint::new(25.0, 3.3),
+///     s_wc: DVec::from_slice(&[-1.0]),
+///     d_f: DVec::from_slice(&[0.0]),
+///     margin_at_anchor: 0.0,
+///     grad_s: DVec::from_slice(&[1.0]),
+///     grad_d: DVec::from_slice(&[0.0]),
+/// };
+/// let model = LinearizedYield::new(vec![lin], 1, 20_000, 42)?;
+/// let y = model.estimate(&DVec::from_slice(&[0.0]))?;
+/// assert!((y.value() - 0.8413).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearizedYield {
+    models: Vec<SpecLinearization>,
+    /// `parts[(m, j)]`: sample part of model `m` at sample `j`.
+    parts: DMat,
+    n_samples: usize,
+    n_specs: usize,
+    d_f: DVec,
+}
+
+impl LinearizedYield {
+    /// Draws `n_samples` standardized samples (seeded) and precomputes the
+    /// per-sample constants of every model.
+    ///
+    /// `n_specs` is the number of distinct specifications (mirrored models
+    /// share their spec's index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecwiseError::InvalidConfig`] for an empty model list or
+    /// zero samples.
+    pub fn new(
+        models: Vec<SpecLinearization>,
+        n_specs: usize,
+        n_samples: usize,
+        seed: u64,
+    ) -> Result<Self, SpecwiseError> {
+        if models.is_empty() {
+            return Err(SpecwiseError::InvalidConfig { reason: "no linear models supplied" });
+        }
+        if n_samples == 0 {
+            return Err(SpecwiseError::InvalidConfig { reason: "need at least one sample" });
+        }
+        let n_s = models[0].s_wc.len();
+        for m in &models {
+            if m.s_wc.len() != n_s || m.grad_s.len() != n_s {
+                return Err(SpecwiseError::DimensionMismatch {
+                    what: "stat",
+                    expected: n_s,
+                    found: m.s_wc.len(),
+                });
+            }
+            if m.spec >= n_specs {
+                return Err(SpecwiseError::InvalidConfig {
+                    reason: "model spec index exceeds n_specs",
+                });
+            }
+        }
+        let d_f = models[0].d_f.clone();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = StandardNormal::new();
+        let mut parts = DMat::zeros(models.len(), n_samples);
+        let mut sample = DVec::zeros(n_s);
+        for j in 0..n_samples {
+            normal.fill(&mut rng, sample.as_mut_slice());
+            for (mi, m) in models.iter().enumerate() {
+                parts[(mi, j)] = m.sample_part(&sample);
+            }
+        }
+        Ok(LinearizedYield { models, parts, n_samples, n_specs, d_f })
+    }
+
+    /// Like [`LinearizedYield::new`] but with Latin-hypercube stratified
+    /// samples (variance reduction; see
+    /// [`specwise_stat::latin_hypercube_normal`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearizedYield::new`].
+    pub fn new_lhs(
+        models: Vec<SpecLinearization>,
+        n_specs: usize,
+        n_samples: usize,
+        seed: u64,
+    ) -> Result<Self, SpecwiseError> {
+        // Validate via the standard constructor with a single throwaway
+        // sample, then replace the parts with the stratified set.
+        let mut base = LinearizedYield::new(models, n_specs, 1, seed)?;
+        let n_s = base.models[0].s_wc.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat = specwise_stat::latin_hypercube_normal(&mut rng, n_samples, n_s);
+        let mut parts = DMat::zeros(base.models.len(), n_samples);
+        for j in 0..n_samples {
+            let sample = DVec::from_slice(&flat[j * n_s..(j + 1) * n_s]);
+            for (mi, m) in base.models.iter().enumerate() {
+                parts[(mi, j)] = m.sample_part(&sample);
+            }
+        }
+        base.parts = parts;
+        base.n_samples = n_samples;
+        Ok(base)
+    }
+
+    /// Number of Monte-Carlo samples.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// The linear models in use.
+    pub fn models(&self) -> &[SpecLinearization] {
+        &self.models
+    }
+
+    /// The anchor design point `d_f` shared by all models.
+    pub fn anchor(&self) -> &DVec {
+        &self.d_f
+    }
+
+    /// Design shifts of every model at `d`.
+    fn shifts(&self, d: &DVec) -> Result<DVec, SpecwiseError> {
+        if d.len() != self.d_f.len() {
+            return Err(SpecwiseError::DimensionMismatch {
+                what: "design",
+                expected: self.d_f.len(),
+                found: d.len(),
+            });
+        }
+        Ok(self.models.iter().map(|m| m.design_shift(d)).collect())
+    }
+
+    /// Yield estimate `Ȳ(d)` (paper Eq. 17): the fraction of samples whose
+    /// linearized margins are all non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error when `d` has the wrong length.
+    pub fn estimate(&self, d: &DVec) -> Result<YieldEstimate, SpecwiseError> {
+        let shifts = self.shifts(d)?;
+        Ok(YieldEstimate::from_counts(self.count_passing(&shifts), self.n_samples))
+    }
+
+    /// Yield estimate from precomputed shifts (used by the coordinate
+    /// search's incremental path).
+    pub(crate) fn estimate_with_shifts(&self, shifts: &DVec) -> YieldEstimate {
+        YieldEstimate::from_counts(self.count_passing(shifts), self.n_samples)
+    }
+
+    pub(crate) fn count_passing(&self, shifts: &DVec) -> usize {
+        let mut pass = 0usize;
+        for j in 0..self.n_samples {
+            let mut ok = true;
+            for mi in 0..self.models.len() {
+                if self.parts[(mi, j)] + shifts[mi] < 0.0 {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                pass += 1;
+            }
+        }
+        pass
+    }
+
+    /// Per-spec failing ("bad") sample counts at `d` — a sample is bad for
+    /// spec `i` when *any* model of spec `i` (the primary or a mirrored
+    /// twin) is negative. This is the "bad samples \[‰\]" row of the
+    /// paper's tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error when `d` has the wrong length.
+    pub fn bad_samples_per_spec(&self, d: &DVec) -> Result<Vec<usize>, SpecwiseError> {
+        let shifts = self.shifts(d)?;
+        let mut bad = vec![0usize; self.n_specs];
+        for j in 0..self.n_samples {
+            for (i, count) in bad.iter_mut().enumerate() {
+                let fails = self
+                    .models
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.spec == i)
+                    .any(|(mi, _)| self.parts[(mi, j)] + shifts[mi] < 0.0);
+                if fails {
+                    *count += 1;
+                }
+            }
+        }
+        Ok(bad)
+    }
+
+    /// Per-spec bad counts expressed per mille.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error when `d` has the wrong length.
+    pub fn bad_per_mille(&self, d: &DVec) -> Result<Vec<f64>, SpecwiseError> {
+        Ok(self
+            .bad_samples_per_spec(d)?
+            .into_iter()
+            .map(|b| 1000.0 * b as f64 / self.n_samples as f64)
+            .collect())
+    }
+
+    /// Starts an incremental shift tracker at design `d` (usually `d_f`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error when `d` has the wrong length.
+    pub fn tracker(&self, d: &DVec) -> Result<ShiftTracker<'_>, SpecwiseError> {
+        let shifts = self.shifts(d)?;
+        Ok(ShiftTracker { model: self, d: d.clone(), shifts })
+    }
+}
+
+/// Incremental design-shift state for the coordinate search: moving one
+/// coordinate updates each model's shift with a single multiply-add
+/// (paper Eq. 20).
+#[derive(Debug, Clone)]
+pub struct ShiftTracker<'m> {
+    model: &'m LinearizedYield,
+    d: DVec,
+    shifts: DVec,
+}
+
+impl ShiftTracker<'_> {
+    /// Current design point.
+    pub fn design(&self) -> &DVec {
+        &self.d
+    }
+
+    /// Yield estimate at the current design point.
+    pub fn estimate(&self) -> YieldEstimate {
+        self.model.estimate_with_shifts(&self.shifts)
+    }
+
+    /// Yield estimate if coordinate `k` were moved to `value` (does not
+    /// commit the move).
+    pub fn estimate_coord(&self, k: usize, value: f64) -> YieldEstimate {
+        let mut shifts = self.shifts.clone();
+        for (mi, m) in self.model.models.iter().enumerate() {
+            shifts[mi] += m.grad_d[k] * (value - self.d[k]);
+        }
+        self.model.estimate_with_shifts(&shifts)
+    }
+
+    /// Commits a coordinate move.
+    pub fn set_coord(&mut self, k: usize, value: f64) {
+        for (mi, m) in self.model.models.iter().enumerate() {
+            self.shifts[mi] += m.grad_d[k] * (value - self.d[k]);
+        }
+        self.d[k] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specwise_ckt::OperatingPoint;
+
+    fn lin(spec: usize, anchor: f64, grad_s: &[f64], grad_d: &[f64], s_wc: &[f64]) -> SpecLinearization {
+        SpecLinearization {
+            spec,
+            mirrored: false,
+            theta_wc: OperatingPoint::new(25.0, 3.3),
+            s_wc: DVec::from_slice(s_wc),
+            d_f: DVec::from_slice(&[0.0; 2][..grad_d.len()]),
+            margin_at_anchor: anchor,
+            grad_s: DVec::from_slice(grad_s),
+            grad_d: DVec::from_slice(grad_d),
+        }
+    }
+
+    #[test]
+    fn matches_analytic_gaussian_probability() {
+        // margin = 2 + s0 → pass prob Φ(2) ≈ 0.97725.
+        let m = lin(0, 0.0, &[1.0], &[0.0], &[-2.0]);
+        let ly = LinearizedYield::new(vec![m], 1, 50_000, 7).unwrap();
+        let y = ly.estimate(&DVec::from_slice(&[0.0])).unwrap();
+        assert!((y.value() - 0.97725).abs() < 0.005, "y = {}", y.value());
+    }
+
+    #[test]
+    fn design_shift_moves_yield() {
+        // margin = s0 + d0: at d0 = 0 yield 50 %, at d0 = 3 yield ≈ 99.9 %.
+        let m = lin(0, 0.0, &[1.0], &[1.0], &[0.0]);
+        let ly = LinearizedYield::new(vec![m], 1, 50_000, 3).unwrap();
+        let y0 = ly.estimate(&DVec::from_slice(&[0.0])).unwrap().value();
+        let y3 = ly.estimate(&DVec::from_slice(&[3.0])).unwrap().value();
+        assert!((y0 - 0.5).abs() < 0.01);
+        assert!(y3 > 0.99);
+    }
+
+    #[test]
+    fn tracker_matches_direct_estimate() {
+        let m0 = lin(0, 0.5, &[1.0, 0.0], &[1.0, -0.5], &[0.0, 0.0]);
+        let m1 = lin(1, 1.0, &[0.3, -0.8], &[0.0, 2.0], &[0.0, 0.0]);
+        let ly = LinearizedYield::new(vec![m0, m1], 2, 20_000, 11).unwrap();
+        let mut tr = ly.tracker(&DVec::from_slice(&[0.0, 0.0])).unwrap();
+        let d_target = DVec::from_slice(&[1.5, -0.7]);
+        // Probe without committing.
+        let probe = tr.estimate_coord(0, 1.5);
+        tr.set_coord(0, 1.5);
+        assert_eq!(probe.value(), tr.estimate().value());
+        tr.set_coord(1, -0.7);
+        let direct = ly.estimate(&d_target).unwrap();
+        assert_eq!(tr.estimate().value(), direct.value());
+    }
+
+    #[test]
+    fn mirrored_pair_models_joint_failure() {
+        // Quadratic-like margin modeled by two opposing hyperplanes: pass
+        // region |s0| ≤ 1. Yield ≈ P(|Z| ≤ 1) ≈ 0.6827.
+        let a = lin(0, 0.0, &[-1.0], &[0.0], &[1.0]);
+        let b = a.to_mirrored();
+        let ly = LinearizedYield::new(vec![a, b], 1, 50_000, 19).unwrap();
+        let y = ly.estimate(&DVec::from_slice(&[0.0])).unwrap().value();
+        assert!((y - 0.6827).abs() < 0.01, "y = {y}");
+    }
+
+    #[test]
+    fn bad_sample_counting_per_spec() {
+        // Spec 0 always passes, spec 1 passes half the time.
+        let m0 = lin(0, 100.0, &[1.0], &[0.0], &[0.0]);
+        let m1 = lin(1, 0.0, &[1.0], &[0.0], &[0.0]);
+        let ly = LinearizedYield::new(vec![m0, m1], 2, 20_000, 23).unwrap();
+        let bad = ly.bad_per_mille(&DVec::from_slice(&[0.0])).unwrap();
+        assert!(bad[0] < 1e-9);
+        assert!((bad[1] - 500.0).abs() < 20.0, "bad1 = {}", bad[1]);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(LinearizedYield::new(vec![], 0, 100, 1).is_err());
+        let m = lin(0, 0.0, &[1.0], &[0.0], &[0.0]);
+        assert!(LinearizedYield::new(vec![m.clone()], 1, 0, 1).is_err());
+        let ly = LinearizedYield::new(vec![m], 1, 100, 1).unwrap();
+        assert!(ly.estimate(&DVec::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn lhs_estimate_is_tighter_across_seeds() {
+        // margin = 1 + s0: yield Φ(1). Compare the spread of the estimate
+        // over seeds for iid vs Latin-hypercube sampling.
+        let m = lin(0, 0.0, &[1.0], &[0.0], &[-1.0]);
+        let spread = |lhs: bool| -> f64 {
+            let trials = 25;
+            let vals: Vec<f64> = (0..trials)
+                .map(|seed| {
+                    let ly = if lhs {
+                        LinearizedYield::new_lhs(vec![m.clone()], 1, 400, seed).unwrap()
+                    } else {
+                        LinearizedYield::new(vec![m.clone()], 1, 400, seed).unwrap()
+                    };
+                    ly.estimate(&DVec::from_slice(&[0.0])).unwrap().value()
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / trials as f64;
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / trials as f64).sqrt()
+        };
+        let sd_lhs = spread(true);
+        let sd_iid = spread(false);
+        assert!(
+            sd_lhs < 0.5 * sd_iid,
+            "LHS spread {sd_lhs} should clearly beat iid spread {sd_iid}"
+        );
+    }
+
+    #[test]
+    fn lhs_matches_analytic_probability() {
+        let m = lin(0, 0.0, &[1.0], &[0.0], &[-2.0]);
+        let ly = LinearizedYield::new_lhs(vec![m], 1, 20_000, 7).unwrap();
+        let y = ly.estimate(&DVec::from_slice(&[0.0])).unwrap();
+        assert!((y.value() - 0.97725).abs() < 0.003, "y = {}", y.value());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let m = lin(0, 0.0, &[1.0], &[0.5], &[-1.0]);
+        let a = LinearizedYield::new(vec![m.clone()], 1, 5_000, 99).unwrap();
+        let b = LinearizedYield::new(vec![m], 1, 5_000, 99).unwrap();
+        let d = DVec::from_slice(&[0.3]);
+        assert_eq!(a.estimate(&d).unwrap(), b.estimate(&d).unwrap());
+    }
+}

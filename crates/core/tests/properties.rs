@@ -1,0 +1,129 @@
+//! Property-based tests of the yield-optimization core on randomly
+//! generated linear model sets.
+
+use proptest::prelude::*;
+use specwise::{LinearConstraints, LinearizedYield};
+use specwise_ckt::OperatingPoint;
+use specwise_linalg::{DMat, DVec};
+use specwise_wcd::SpecLinearization;
+
+fn lin_from(seed: u64, spec: usize, n_s: usize, n_d: usize) -> SpecLinearization {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(spec as u64 + 1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    SpecLinearization {
+        spec,
+        mirrored: false,
+        theta_wc: OperatingPoint::new(25.0, 3.3),
+        s_wc: DVec::from_fn(n_s, |_| next()),
+        d_f: DVec::from_fn(n_d, |_| next()),
+        margin_at_anchor: next().abs(),
+        grad_s: DVec::from_fn(n_s, |_| next()),
+        grad_d: DVec::from_fn(n_d, |_| next()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    #[test]
+    fn tracker_equals_direct_estimate_after_arbitrary_moves(
+        seed in 0u64..500,
+        moves in prop::collection::vec((0usize..4, -2.0..2.0f64), 1..8),
+    ) {
+        let models: Vec<_> = (0..3).map(|i| lin_from(seed, i, 5, 4)).collect();
+        let ly = LinearizedYield::new(models, 3, 3_000, seed).unwrap();
+        let d_f = ly.anchor().clone();
+        let mut tracker = ly.tracker(&d_f).unwrap();
+        let mut d = d_f.clone();
+        for (k, v) in moves {
+            tracker.set_coord(k, v);
+            d[k] = v;
+        }
+        let direct = ly.estimate(&d).unwrap();
+        prop_assert_eq!(tracker.estimate().passed(), direct.passed());
+    }
+
+    #[test]
+    fn raising_every_margin_never_lowers_yield(
+        seed in 0u64..500,
+        boost in 0.0..3.0f64,
+    ) {
+        // Design direction that raises every model's margin: set grad_d of
+        // every model to +1 on one coordinate and move along it.
+        let mut models: Vec<_> = (0..3).map(|i| lin_from(seed, i, 5, 1)).collect();
+        for m in &mut models {
+            m.grad_d = DVec::from_slice(&[1.0]);
+            m.d_f = DVec::zeros(1);
+        }
+        let ly = LinearizedYield::new(models, 3, 3_000, seed).unwrap();
+        let y0 = ly.estimate(&DVec::zeros(1)).unwrap().passed();
+        let y1 = ly.estimate(&DVec::from_slice(&[boost])).unwrap().passed();
+        prop_assert!(y1 >= y0, "monotone in uniform margin boosts: {y1} vs {y0}");
+    }
+
+    #[test]
+    fn bad_sample_counts_bound_total_failures(seed in 0u64..500) {
+        let models: Vec<_> = (0..4).map(|i| lin_from(seed, i, 6, 3)).collect();
+        let ly = LinearizedYield::new(models, 4, 2_000, seed).unwrap();
+        let d = ly.anchor().clone();
+        let y = ly.estimate(&d).unwrap();
+        let bad = ly.bad_samples_per_spec(&d).unwrap();
+        let total_bad = 2_000 - y.passed();
+        // Union bound: the per-spec bad counts each ≤ total failing samples
+        // is false in general, but their max is ≤ total and their sum ≥ total.
+        let max_bad = *bad.iter().max().unwrap();
+        let sum_bad: usize = bad.iter().sum();
+        prop_assert!(max_bad <= total_bad);
+        prop_assert!(sum_bad >= total_bad);
+    }
+
+    #[test]
+    fn coord_interval_points_are_feasible(
+        c0 in prop::collection::vec(0.1..3.0f64, 1..4),
+        jrow in prop::collection::vec(-2.0..2.0f64, 1..4),
+        k in 0usize..3,
+    ) {
+        let n_c = c0.len();
+        let n_d = 3;
+        let k = k.min(n_d - 1);
+        let jac = DMat::from_fn(n_c, n_d, |i, j| jrow[i % jrow.len()] * ((i + j) as f64 * 0.7).sin());
+        let lc = LinearConstraints::new(
+            DVec::from(c0),
+            jac,
+            DVec::zeros(n_d),
+            DVec::filled(n_d, -5.0),
+            DVec::filled(n_d, 5.0),
+        )
+        .unwrap();
+        let d = DVec::zeros(n_d);
+        // The anchor is feasible by construction (c0 > 0).
+        prop_assert!(lc.feasible(&d));
+        if let Some((lo, hi)) = lc.coord_interval(&d, k) {
+            for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let mut probe = d.clone();
+                probe[k] = lo + t * (hi - lo);
+                prop_assert!(
+                    lc.eval(&probe).iter().all(|&c| c >= -1e-6),
+                    "interval point must stay linear-feasible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mirrored_yield_never_exceeds_single_sided(seed in 0u64..300) {
+        // Adding the mirrored twin can only remove passing samples.
+        let base = lin_from(seed, 0, 4, 2);
+        let single = LinearizedYield::new(vec![base.clone()], 1, 4_000, seed).unwrap();
+        let both =
+            LinearizedYield::new(vec![base.clone(), base.to_mirrored()], 1, 4_000, seed)
+                .unwrap();
+        let d = base.d_f.clone();
+        prop_assert!(
+            both.estimate(&d).unwrap().passed() <= single.estimate(&d).unwrap().passed()
+        );
+    }
+}

@@ -1,0 +1,341 @@
+use std::ops::{Index, IndexMut};
+
+use crate::{Complex64, LinalgError};
+
+/// A dense complex vector, used for AC small-signal solution vectors
+/// (node phasors).
+///
+/// # Example
+///
+/// ```
+/// use specwise_linalg::{Complex64, CVec};
+///
+/// let mut v = CVec::zeros(2);
+/// v[0] = Complex64::new(1.0, 1.0);
+/// assert!((v.norm2() - 2f64.sqrt()).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CVec {
+    data: Vec<Complex64>,
+}
+
+impl CVec {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        CVec { data: vec![Complex64::ZERO; n] }
+    }
+
+    /// Creates a vector by copying a slice.
+    pub fn from_slice(values: &[Complex64]) -> Self {
+        CVec { data: values.to_vec() }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// View of the components.
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Euclidean norm `√(Σ|zᵢ|²)`.
+    pub fn norm2(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum component magnitude.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, z| m.max(z.abs()))
+    }
+
+    /// Iterator over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Complex64> {
+        self.data.iter()
+    }
+}
+
+impl Index<usize> for CVec {
+    type Output = Complex64;
+    fn index(&self, i: usize) -> &Complex64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for CVec {
+    fn index_mut(&mut self, i: usize) -> &mut Complex64 {
+        &mut self.data[i]
+    }
+}
+
+/// A dense, row-major complex matrix — the AC small-signal MNA matrix
+/// `G + jωC`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols()`.
+    pub fn matvec(&self, x: &CVec) -> CVec {
+        assert_eq!(x.len(), self.cols, "cmat matvec: length mismatch");
+        let mut y = CVec::zeros(self.rows);
+        for i in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] or [`LinalgError::Singular`].
+    pub fn lu(&self) -> Result<CLu, LinalgError> {
+        CLu::new(self)
+    }
+
+    /// Maximum entry magnitude.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, z| m.max(z.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = Complex64;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Complex LU factorization with partial pivoting: `P·A = L·U`.
+///
+/// Solves one complex MNA system per AC frequency point.
+#[derive(Debug, Clone)]
+pub struct CLu {
+    lu: CMat,
+    perm: Vec<usize>,
+}
+
+impl CLu {
+    /// Factors a square complex matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`], [`LinalgError::Empty`], or
+    /// [`LinalgError::Singular`].
+    pub fn new(a: &CMat) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        let n = a.nrows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let scale = a.norm_max().max(1.0);
+        for k in 0..n {
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if !(pmax > scale * 1e-300) {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(CLu { lu, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on length mismatch.
+    pub fn solve(&self, b: &CVec) -> Result<CVec, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "clu solve",
+                expected: n,
+                found: b.len(),
+            });
+        }
+        let mut y = CVec::zeros(n);
+        for i in 0..n {
+            y[i] = b[self.perm[i]];
+        }
+        for i in 1..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        // [[1+j, 2], [0, 1-j]] x = b, with known x.
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = c(1.0, 1.0);
+        a[(0, 1)] = c(2.0, 0.0);
+        a[(1, 1)] = c(1.0, -1.0);
+        let xtrue = CVec::from_slice(&[c(1.0, -1.0), c(0.5, 0.5)]);
+        let b = a.matvec(&xtrue);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        for i in 0..2 {
+            assert!((x[i] - xtrue[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 1)] = c(1.0, 0.0);
+        a[(1, 0)] = c(1.0, 0.0);
+        let b = CVec::from_slice(&[c(5.0, 0.0), c(7.0, 0.0)]);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        assert!((x[0] - c(7.0, 0.0)).abs() < 1e-14);
+        assert!((x[1] - c(5.0, 0.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = CMat::zeros(2, 2);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rc_impedance_divider() {
+        // Voltage divider: R in series with C at ω=1/(RC) gives |H| = 1/√2.
+        let r = 1.0e3;
+        let cap = 1.0e-6;
+        let omega = 1.0 / (r * cap);
+        // Node equation form: single unknown node v_out,
+        // (v_in - v_out)/R = jωC v_out.
+        let mut a = CMat::zeros(1, 1);
+        a[(0, 0)] = c(1.0 / r, omega * cap);
+        let b = CVec::from_slice(&[c(1.0 / r, 0.0)]);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        assert!((x[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((x[0].arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_complex_residual() {
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let n = 12;
+        let mut a = CMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = c(next(), next());
+            }
+            a[(i, i)] += c(n as f64, 0.0);
+        }
+        let mut xt = CVec::zeros(n);
+        for i in 0..n {
+            xt[i] = c(next(), next());
+        }
+        let b = a.matvec(&xt);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let mut err = 0.0_f64;
+        for i in 0..n {
+            err = err.max((x[i] - xt[i]).abs());
+        }
+        assert!(err < 1e-10);
+    }
+}

@@ -1,0 +1,50 @@
+//! Dense linear-algebra kernels for the `specwise` analog yield-optimization
+//! workspace.
+//!
+//! The crate provides exactly the operations the rest of the workspace needs,
+//! implemented from scratch with no external dependencies:
+//!
+//! * [`DVec`] / [`DMat`] — dense real vectors and (row-major) matrices,
+//! * [`Lu`] — LU factorization with partial pivoting (the workhorse of the
+//!   DC Newton iteration in the circuit simulator),
+//! * [`Cholesky`] — used to factor covariance matrices `C(d) = G·Gᵀ`
+//!   (paper Eq. 11) and to sample correlated Gaussians,
+//! * [`Qr`] — Householder QR for least-squares sub-problems,
+//! * [`Complex64`], [`CVec`], [`CMat`], [`CLu`] — complex arithmetic and a
+//!   complex solver for small-signal AC analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use specwise_linalg::{DMat, DVec};
+//!
+//! # fn main() -> Result<(), specwise_linalg::LinalgError> {
+//! let a = DMat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let b = DVec::from_slice(&[1.0, 2.0]);
+//! let x = a.lu()?.solve(&b)?;
+//! let r = &a.matvec(&x) - &b;
+//! assert!(r.norm2() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod cmatrix;
+mod complex;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use cmatrix::{CLu, CMat, CVec};
+pub use complex::Complex64;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::DMat;
+pub use qr::Qr;
+pub use vector::DVec;

@@ -1,0 +1,246 @@
+use crate::{DMat, DVec, LinalgError};
+
+/// LU factorization with partial (row) pivoting: `P·A = L·U`.
+///
+/// This is the workhorse solver of the circuit simulator's Newton iteration:
+/// the MNA Jacobian is factored once per Newton step and solved against the
+/// residual.
+///
+/// # Example
+///
+/// ```
+/// use specwise_linalg::{DMat, DVec};
+///
+/// # fn main() -> Result<(), specwise_linalg::LinalgError> {
+/// let a = DMat::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?; // needs pivoting
+/// let lu = a.lu()?;
+/// let x = lu.solve(&DVec::from_slice(&[2.0, 2.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (unit lower, below diagonal) and U (upper, including diagonal).
+    lu: DMat,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 / −1), for determinants.
+    perm_sign: f64,
+}
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const PIVOT_REL_TOL: f64 = 1e-300;
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if `a` is not square, and
+    /// [`LinalgError::Singular`] when a pivot underflows the threshold.
+    pub fn new(a: &DMat) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        let n = a.nrows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = a.norm_max().max(1.0);
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if !(pmax > scale * PIVOT_REL_TOL) {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= factor * ukj;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &DVec) -> Result<DVec, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve",
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y = DVec::from_fn(n, |i| b[self.perm[i]]);
+        for i in 1..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Backward substitution with U.
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Explicit inverse (column-by-column solve). Prefer [`Lu::solve`] where
+    /// possible; the inverse is only needed for small covariance work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (none expected once factored).
+    pub fn inverse(&self) -> Result<DMat, LinalgError> {
+        let n = self.dim();
+        let mut inv = DMat::zeros(n, n);
+        for j in 0..n {
+            let x = self.solve(&DVec::basis(n, j))?;
+            for i in 0..n {
+                inv[(i, j)] = x[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DMat, x: &DVec, b: &DVec) -> f64 {
+        (&a.matvec(x) - b).norm_inf()
+    }
+
+    #[test]
+    fn solves_diagonal() {
+        let a = DMat::from_diagonal(&DVec::from_slice(&[2.0, 4.0]));
+        let x = a.lu().unwrap().solve(&DVec::from_slice(&[2.0, 8.0])).unwrap();
+        assert_eq!(x.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn solves_with_pivoting() {
+        let a = DMat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let b = DVec::from_slice(&[3.0, 7.0]);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-14);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DMat::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn det_of_known_matrix() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((a.lu().unwrap().det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_with_pivot_swap() {
+        let a = DMat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((a.lu().unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = DMat::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = a.lu().unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &DMat::identity(2)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let a = DMat::identity(3);
+        let lu = a.lu().unwrap();
+        assert!(matches!(
+            lu.solve(&DVec::zeros(2)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn random_like_system_small_residual() {
+        // Deterministic pseudo-random fill (LCG) to avoid a rand dependency here.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1usize, 2, 5, 10, 20] {
+            let mut a = DMat::from_fn(n, n, |_, _| next());
+            for i in 0..n {
+                a[(i, i)] += n as f64; // diagonal dominance => nonsingular
+            }
+            let xtrue = DVec::from_fn(n, |i| (i + 1) as f64);
+            let b = a.matvec(&xtrue);
+            let x = a.lu().unwrap().solve(&b).unwrap();
+            assert!((&x - &xtrue).norm_inf() < 1e-9, "n={n}");
+        }
+    }
+}

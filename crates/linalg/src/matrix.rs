@@ -1,0 +1,380 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::{Cholesky, DVec, LinalgError, Lu, Qr};
+
+/// A dense, row-major real matrix.
+///
+/// # Example
+///
+/// ```
+/// use specwise_linalg::{DMat, DVec};
+///
+/// # fn main() -> Result<(), specwise_linalg::LinalgError> {
+/// let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let x = DVec::from_slice(&[1.0, 1.0]);
+/// assert_eq!(a.matvec(&x).as_slice(), &[3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// ```
+    /// use specwise_linalg::DMat;
+    /// let i = DMat::identity(2);
+    /// assert_eq!(i[(0, 0)], 1.0);
+    /// assert_eq!(i[(0, 1)], 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a generator function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = DMat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty row list and
+    /// [`LinalgError::RaggedRows`] when rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        let cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::RaggedRows { row: i });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(DMat { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a diagonal matrix from a vector of diagonal entries.
+    pub fn from_diagonal(diag: &DVec) -> Self {
+        let n = diag.len();
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = diag[i];
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Row `i` as a newly allocated vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> DVec {
+        assert!(i < self.rows, "row index {i} out of range");
+        DVec::from_slice(&self.data[i * self.cols..(i + 1) * self.cols])
+    }
+
+    /// Column `j` as a newly allocated vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn col(&self, j: usize) -> DVec {
+        assert!(j < self.cols, "column index {j} out of range");
+        DVec::from_fn(self.rows, |i| self[(i, j)])
+    }
+
+    /// Writes `v` into row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `v.len() != ncols()`.
+    pub fn set_row(&mut self, i: usize, v: &DVec) {
+        assert!(i < self.rows, "row index {i} out of range");
+        assert_eq!(v.len(), self.cols, "set_row: length mismatch");
+        self.data[i * self.cols..(i + 1) * self.cols].copy_from_slice(v.as_slice());
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols()`.
+    pub fn matvec(&self, x: &DVec) -> DVec {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        DVec::from_fn(self.rows, |i| {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            row.iter().zip(x.iter()).map(|(a, b)| a * b).sum()
+        })
+    }
+
+    /// Transposed matrix–vector product `Aᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows()`.
+    pub fn tr_matvec(&self, x: &DVec) -> DVec {
+        assert_eq!(x.len(), self.rows, "tr_matvec: length mismatch");
+        let mut y = DVec::zeros(self.cols);
+        for i in 0..self.rows {
+            let xi = x[i];
+            for j in 0..self.cols {
+                y[j] += self[(i, j)] * xi;
+            }
+        }
+        y
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.ncols() != other.nrows()`.
+    pub fn matmul(&self, other: &DMat) -> Result<DMat, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                expected: self.cols,
+                found: other.rows,
+            });
+        }
+        let mut out = DMat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DMat {
+        DMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when a pivot vanishes.
+    pub fn lu(&self) -> Result<Lu, LinalgError> {
+        Lu::new(self)
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] or [`LinalgError::NotPositiveDefinite`].
+    pub fn cholesky(&self) -> Result<Cholesky, LinalgError> {
+        Cholesky::new(self)
+    }
+
+    /// Householder QR factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty matrix.
+    pub fn qr(&self) -> Result<Qr, LinalgError> {
+        Qr::new(self)
+    }
+
+    /// Raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl Index<(usize, usize)> for DMat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for DMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6e}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &DMat {
+    type Output = DMat;
+    fn add(self, rhs: &DMat) -> DMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        DMat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + rhs[(i, j)])
+    }
+}
+
+impl Sub for &DMat {
+    type Output = DMat;
+    fn sub(self, rhs: &DMat) -> DMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        DMat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - rhs[(i, j)])
+    }
+}
+
+impl Mul<f64> for &DMat {
+    type Output = DMat;
+    fn mul(self, rhs: f64) -> DMat {
+        DMat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_id() {
+        let i3 = DMat::identity(3);
+        let x = DVec::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(i3.matvec(&x), x);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(matches!(
+            DMat::from_rows(&[&[1.0, 2.0], &[3.0]]),
+            Err(LinalgError::RaggedRows { row: 1 })
+        ));
+        assert!(matches!(DMat::from_rows(&[]), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DMat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = DMat::zeros(2, 3);
+        let b = DMat::zeros(2, 2);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DMat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn tr_matvec_matches_transpose() {
+        let a = DMat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let x = DVec::from_slice(&[1.0, -1.0]);
+        assert_eq!(a.tr_matvec(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let d = DMat::from_diagonal(&DVec::from_slice(&[2.0, 3.0]));
+        let x = DVec::from_slice(&[1.0, 1.0]);
+        assert_eq!(d.matvec(&x).as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn rows_and_cols_roundtrip() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.row(1).as_slice(), &[3.0, 4.0]);
+        assert_eq!(a.col(0).as_slice(), &[1.0, 3.0]);
+        let mut b = a.clone();
+        b.set_row(0, &DVec::from_slice(&[9.0, 9.0]));
+        assert_eq!(b.row(0).as_slice(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = DMat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert_eq!(a.norm_frobenius(), 5.0);
+        assert_eq!(a.norm_max(), 4.0);
+    }
+}

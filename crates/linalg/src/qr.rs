@@ -1,0 +1,231 @@
+use crate::{DMat, DVec, LinalgError};
+
+/// Householder QR factorization `A = Q·R` for `m ≥ n` matrices.
+///
+/// Used for least-squares sub-problems, e.g. fitting linear performance
+/// models to over-determined sample sets when cross-checking the spec-wise
+/// linearization.
+///
+/// # Example
+///
+/// ```
+/// use specwise_linalg::{DMat, DVec};
+///
+/// # fn main() -> Result<(), specwise_linalg::LinalgError> {
+/// // Fit y = a + b*t to three points in a least-squares sense.
+/// let a = DMat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let y = DVec::from_slice(&[1.0, 2.0, 3.0]);
+/// let coef = a.qr()?.solve_least_squares(&y)?;
+/// assert!((coef[0] - 1.0).abs() < 1e-10);
+/// assert!((coef[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed Householder vectors (below diagonal) and R (upper triangle).
+    qr: DMat,
+    /// Householder scalar coefficients.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors an `m × n` matrix with `m ≥ n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for empty input and
+    /// [`LinalgError::DimensionMismatch`] when `m < n`.
+    pub fn new(a: &DMat) -> Result<Self, LinalgError> {
+        let (m, n) = (a.nrows(), a.ncols());
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr (requires m >= n)",
+                expected: n,
+                found: m,
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Compute the Householder reflector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] > 0.0 { -norm } else { norm };
+            let mut v0 = qr[(k, k)] - alpha;
+            // Normalize so v[k] = 1 implicitly; store v below the diagonal.
+            let mut vnorm2 = v0 * v0;
+            for i in (k + 1)..m {
+                vnorm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            if vnorm2 == 0.0 {
+                tau[k] = 0.0;
+                qr[(k, k)] = alpha;
+                continue;
+            }
+            tau[k] = 2.0 * v0 * v0 / vnorm2;
+            for i in (k + 1)..m {
+                let scaled = qr[(i, k)] / v0;
+                qr[(i, k)] = scaled;
+            }
+            v0 = 1.0;
+            let _ = v0;
+            qr[(k, k)] = alpha;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let dot = dot * tau[k];
+                qr[(k, j)] -= dot;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= dot * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn nrows(&self) -> usize {
+        self.qr.nrows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn ncols(&self) -> usize {
+        self.qr.ncols()
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &DVec) -> DVec {
+        let (m, n) = (self.nrows(), self.ncols());
+        let mut y = b.clone();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let dot = dot * self.tau[k];
+            y[k] -= dot;
+            for i in (k + 1)..m {
+                y[i] -= dot * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != nrows()` and
+    /// [`LinalgError::Singular`] if `R` has a zero diagonal (rank-deficient).
+    pub fn solve_least_squares(&self, b: &DVec) -> Result<DVec, LinalgError> {
+        let (m, n) = (self.nrows(), self.ncols());
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr solve",
+                expected: m,
+                found: b.len(),
+            });
+        }
+        let y = self.apply_qt(b);
+        // Rank test: a diagonal of R negligibly small relative to the largest
+        // diagonal signals rank deficiency (columns numerically dependent).
+        let rmax = (0..n).fold(0.0_f64, |m, i| m.max(self.qr[(i, i)].abs()));
+        let tol = rmax * (m as f64) * f64::EPSILON;
+        let mut x = DVec::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= tol {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = acc / rii;
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> DMat {
+        let n = self.ncols();
+        DMat::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_square_system() {
+        let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = DVec::from_slice(&[3.0, 5.0]);
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        assert!((&a.matvec(&x) - &b).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_line_fit() {
+        // y = 2 + 3t with noise-free samples must be recovered exactly.
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let rows: Vec<Vec<f64>> = t.iter().map(|&ti| vec![1.0, ti]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = DMat::from_rows(&row_refs).unwrap();
+        let y: DVec = t.iter().map(|&ti| 2.0 + 3.0 * ti).collect();
+        let coef = a.qr().unwrap().solve_least_squares(&y).unwrap();
+        assert!((coef[0] - 2.0).abs() < 1e-10);
+        assert!((coef[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_orthogonal_to_columns() {
+        let a = DMat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = DVec::from_slice(&[0.0, 1.0, 0.0, 2.0]);
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        let r = &a.matvec(&x) - &b;
+        let atr = a.tr_matvec(&r);
+        assert!(atr.norm_inf() < 1e-10, "normal equations violated: {atr}");
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let a = DMat::zeros(2, 3);
+        assert!(matches!(a.qr(), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let r = a.qr().unwrap().r();
+        assert_eq!(r[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn rank_deficient_reports_singular() {
+        let a = DMat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&DVec::zeros(3)),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+}

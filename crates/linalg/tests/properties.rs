@@ -1,0 +1,131 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use proptest::prelude::*;
+use specwise_linalg::{DMat, DVec};
+
+/// Strategy: a well-conditioned square matrix built as (random) + n·I.
+fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = DMat> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |vals| {
+        let mut m = DMat::from_fn(n, n, |i, j| vals[i * n + j]);
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = DVec> {
+    prop::collection::vec(-10.0..10.0f64, n).prop_map(DVec::from)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_residual_small(
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        // Derive matrix/vector deterministically from the seed so shrinking works.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut a = DMat::from_fn(n, n, |_, _| next());
+        for i in 0..n {
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let b = DVec::from_fn(n, |_| next());
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let r = &a.matvec(&x) - &b;
+        prop_assert!(r.norm_inf() < 1e-8 * (1.0 + b.norm_inf()));
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(
+        n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        // SPD by construction: A = B·Bᵀ + I.
+        let b = DMat::from_fn(n, n, |_, _| next());
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let c = a.cholesky().unwrap();
+        let rebuilt = c.factor().matmul(&c.factor().transpose()).unwrap();
+        prop_assert!((&rebuilt - &a).norm_max() < 1e-10 * (1.0 + a.norm_max()));
+    }
+
+    #[test]
+    fn cholesky_transform_roundtrip(
+        n in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(3);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let bmat = DMat::from_fn(n, n, |_, _| next());
+        let mut a = bmat.matmul(&bmat.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let c = a.cholesky().unwrap();
+        let x = DVec::from_fn(n, |_| next());
+        let back = c.inverse_transform(&c.transform(&x)).unwrap();
+        prop_assert!((&back - &x).norm_inf() < 1e-9);
+    }
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative_with_vector(a in diag_dominant_matrix(4), x in vector(4)) {
+        // (A·A)·x == A·(A·x)
+        let lhs = a.matmul(&a).unwrap().matvec(&x);
+        let rhs = a.matvec(&a.matvec(&x));
+        prop_assert!((&lhs - &rhs).norm_inf() < 1e-9 * (1.0 + rhs.norm_inf()));
+    }
+
+    #[test]
+    fn transpose_respects_inner_product(a in diag_dominant_matrix(5), x in vector(5), y in vector(5)) {
+        // <A x, y> == <x, Aᵀ y>
+        let lhs = a.matvec(&x).dot(&y);
+        let rhs = x.dot(&a.tr_matvec(&y));
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn dot_is_symmetric(x in vector(6), y in vector(6)) {
+        prop_assert_eq!(x.dot(&y), y.dot(&x));
+    }
+
+    #[test]
+    fn triangle_inequality(x in vector(6), y in vector(6)) {
+        prop_assert!((&x + &y).norm2() <= x.norm2() + y.norm2() + 1e-12);
+    }
+
+    #[test]
+    fn qr_least_squares_residual_orthogonal(seed in 0u64..500) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let (m, n) = (8usize, 3usize);
+        let mut a = DMat::from_fn(m, n, |_, _| next());
+        for j in 0..n {
+            a[(j, j)] += 2.0; // keep full column rank
+        }
+        let b = DVec::from_fn(m, |_| next());
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        let r = &a.matvec(&x) - &b;
+        // Normal equations: Aᵀ r = 0 at the least-squares optimum.
+        prop_assert!(a.tr_matvec(&r).norm_inf() < 1e-8);
+    }
+}

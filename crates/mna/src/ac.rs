@@ -1,0 +1,393 @@
+//! Small-signal AC analysis: the circuit is linearized at a DC operating
+//! point and the complex MNA system `(G + jωC)·x = b` is solved per
+//! frequency.
+
+use std::collections::HashMap;
+
+use specwise_linalg::{CMat, CVec, Complex64, DMat, DVec};
+
+use crate::dc::{eval_mosfet_at, stamp_system, DcSolution};
+use crate::mosfet::MosRegion;
+use crate::netlist::ElementKind;
+use crate::{Circuit, MnaError, NodeId};
+
+/// Phasor solution of one AC frequency point.
+#[derive(Debug, Clone)]
+pub struct AcSolution {
+    x: CVec,
+    branch_of: HashMap<String, usize>,
+    branch_base: usize,
+    freq: f64,
+}
+
+impl AcSolution {
+    /// Complex node voltage (phasor); ground reads 0.
+    pub fn voltage(&self, n: NodeId) -> Complex64 {
+        if n.is_ground() {
+            Complex64::ZERO
+        } else {
+            self.x[n.index() - 1]
+        }
+    }
+
+    /// Complex branch current of a voltage source or VCVS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] when the name is not a branch element.
+    pub fn branch_current(&self, name: &str) -> Result<Complex64, MnaError> {
+        let branch = self
+            .branch_of
+            .get(name)
+            .ok_or_else(|| MnaError::NotFound { name: name.to_string() })?;
+        Ok(self.x[self.branch_base + branch])
+    }
+
+    /// The analysis frequency \[Hz\].
+    pub fn frequency(&self) -> f64 {
+        self.freq
+    }
+
+    /// Gain magnitude in dB of a node voltage (assuming unit stimulus).
+    pub fn gain_db(&self, n: NodeId) -> f64 {
+        20.0 * self.voltage(n).abs().log10()
+    }
+
+    /// Phase of a node voltage in degrees.
+    pub fn phase_deg(&self, n: NodeId) -> f64 {
+        self.voltage(n).arg().to_degrees()
+    }
+}
+
+/// Small-signal AC solver bound to a circuit and its DC operating point.
+///
+/// The real conductance matrix `G` (the DC Jacobian at the operating point),
+/// the capacitance matrix `C` (linear capacitors plus Meyer MOSFET
+/// capacitances) and the stimulus vector are built once; each
+/// [`AcSolver::solve`] then factors one complex system.
+#[derive(Debug, Clone)]
+pub struct AcSolver {
+    g: DMat,
+    c: DMat,
+    b: DVec,
+    branch_of: HashMap<String, usize>,
+    branch_base: usize,
+}
+
+impl AcSolver {
+    /// Builds the AC system for `circuit` linearized at `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` does not belong to a circuit of the same size.
+    pub fn new(circuit: &Circuit, op: &DcSolution) -> Self {
+        let n = circuit.num_unknowns();
+        assert_eq!(
+            op.unknowns().len(),
+            n,
+            "operating point does not match circuit size"
+        );
+
+        // G: the small-signal conductance matrix is exactly the DC Jacobian
+        // at the operating point (with the default gmin shunt for numerical
+        // safety on floating nodes).
+        let mut g = DMat::zeros(n, n);
+        let mut res = DVec::zeros(n);
+        stamp_system(circuit, op.unknowns(), 1e-12, 1.0, None, &mut g, &mut res);
+
+        // C: linear capacitors plus MOSFET Meyer capacitances.
+        let mut c = DMat::zeros(n, n);
+        let stamp_cap = |c: &mut DMat, a: NodeId, b: NodeId, farads: f64, ckt: &Circuit| {
+            let (ia, ib) = (ckt.node_unknown(a), ckt.node_unknown(b));
+            if let Some(i) = ia {
+                c[(i, i)] += farads;
+            }
+            if let Some(j) = ib {
+                c[(j, j)] += farads;
+            }
+            if let (Some(i), Some(j)) = (ia, ib) {
+                c[(i, j)] -= farads;
+                c[(j, i)] -= farads;
+            }
+        };
+        // b: stimulus vector from the AC magnitudes.
+        let mut b = DVec::zeros(n);
+
+        for kind in circuit.kinds() {
+            match kind {
+                ElementKind::Capacitor { a, b: nb, farads } => {
+                    stamp_cap(&mut c, *a, *nb, *farads, circuit);
+                }
+                ElementKind::Mosfet { d, g: ng, s, b: nbk, params } => {
+                    let (_, _, _, ev) =
+                        eval_mosfet_at(circuit, op.unknowns(), *d, *ng, *s, *nbk, params);
+                    let cov = params.model.cov * params.w;
+                    let cch = params.model.cox * params.w * params.l;
+                    let (cgs, cgd, cgb) = match ev.region {
+                        MosRegion::Cutoff => (cov, cov, cch),
+                        MosRegion::Triode => (cov + 0.5 * cch, cov + 0.5 * cch, 0.0),
+                        MosRegion::Saturation => (cov + 2.0 / 3.0 * cch, cov, 0.0),
+                    };
+                    stamp_cap(&mut c, *ng, *s, cgs, circuit);
+                    stamp_cap(&mut c, *ng, *d, cgd, circuit);
+                    stamp_cap(&mut c, *ng, *nbk, cgb, circuit);
+                }
+                ElementKind::VoltageSource { ac, branch, .. } if *ac != 0.0 => {
+                    b[circuit.branch_unknown(*branch)] = *ac;
+                }
+                ElementKind::CurrentSource { p, n: nn, ac, .. } if *ac != 0.0 => {
+                    if let Some(i) = circuit.node_unknown(*p) {
+                        b[i] -= ac;
+                    }
+                    if let Some(i) = circuit.node_unknown(*nn) {
+                        b[i] += ac;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut branch_of = HashMap::new();
+        for (idx, kind) in circuit.kinds().iter().enumerate() {
+            match kind {
+                ElementKind::VoltageSource { branch, .. } | ElementKind::Vcvs { branch, .. } => {
+                    branch_of.insert(
+                        circuit.element_name(crate::ElementId(idx)).to_string(),
+                        *branch,
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        AcSolver { g, c, b, branch_of, branch_base: circuit.num_nodes() - 1 }
+    }
+
+    /// Solves the complex system at frequency `freq` \[Hz\].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidRequest`] for negative or non-finite
+    /// frequency and [`MnaError::SingularMatrix`] when the complex MNA
+    /// matrix cannot be factored.
+    pub fn solve(&self, freq: f64) -> Result<AcSolution, MnaError> {
+        if !freq.is_finite() || freq < 0.0 {
+            return Err(MnaError::InvalidRequest { reason: "frequency must be finite and >= 0" });
+        }
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        let n = self.g.nrows();
+        let mut a = CMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = Complex64::new(self.g[(i, j)], omega * self.c[(i, j)]);
+            }
+        }
+        let mut rhs = CVec::zeros(n);
+        for i in 0..n {
+            rhs[i] = Complex64::from_real(self.b[i]);
+        }
+        let x = a
+            .lu()
+            .map_err(|_| MnaError::SingularMatrix { analysis: "ac" })?
+            .solve(&rhs)?;
+        Ok(AcSolution {
+            x,
+            branch_of: self.branch_of.clone(),
+            branch_base: self.branch_base,
+            freq,
+        })
+    }
+
+    /// Solves a list of frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-point error.
+    pub fn solve_many(&self, freqs: &[f64]) -> Result<Vec<AcSolution>, MnaError> {
+        freqs.iter().map(|&f| self.solve(f)).collect()
+    }
+
+    /// Finds the frequency where the magnitude of the node voltage crosses
+    /// `target` (e.g. 1.0 for the unity-gain frequency), by decade scan
+    /// followed by bisection on `log f`.
+    ///
+    /// Returns `None` when the magnitude never crosses the target within
+    /// `[f_lo, f_hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn find_crossing(
+        &self,
+        node: NodeId,
+        target: f64,
+        f_lo: f64,
+        f_hi: f64,
+    ) -> Result<Option<f64>, MnaError> {
+        if !(f_lo > 0.0) || !(f_hi > f_lo) {
+            return Err(MnaError::InvalidRequest { reason: "need 0 < f_lo < f_hi" });
+        }
+        let mag = |s: &AcSolution| s.voltage(node).abs();
+        let mut prev_f = f_lo;
+        let mut prev_m = mag(&self.solve(f_lo)?);
+        if prev_m < target {
+            return Ok(None); // already below target at the low end
+        }
+        // Scan upward in fractional decades until the magnitude drops below
+        // the target.
+        let steps_per_decade = 4.0;
+        let ratio = 10f64.powf(1.0 / steps_per_decade);
+        let mut f = f_lo * ratio;
+        let mut bracket = None;
+        while f <= f_hi * (1.0 + 1e-12) {
+            let m = mag(&self.solve(f)?);
+            if m < target {
+                bracket = Some((prev_f, f));
+                break;
+            }
+            prev_f = f;
+            prev_m = m;
+            f *= ratio;
+        }
+        let _ = prev_m;
+        let (mut lo, mut hi) = match bracket {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        // Bisection on log-frequency.
+        for _ in 0..80 {
+            let mid = (lo * hi).sqrt();
+            let m = mag(&self.solve(mid)?);
+            if m >= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi / lo < 1.0 + 1e-12 {
+                break;
+            }
+        }
+        Ok(Some((lo * hi).sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DcOp, MosfetModel, MosfetParams};
+
+    fn rc_lowpass() -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.set_ac("VIN", 1.0).unwrap();
+        ckt.resistor("R1", vin, vout, 1e3).unwrap();
+        ckt.capacitor("C1", vout, Circuit::GROUND, 1e-9).unwrap();
+        (ckt, vout)
+    }
+
+    #[test]
+    fn rc_pole_frequency() {
+        let (ckt, vout) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let h = ac.solve(f3db).unwrap().voltage(vout);
+        assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((h.arg().to_degrees() + 45.0).abs() < 1e-6);
+        // Low-frequency gain ~ 1, 20 dB/dec rolloff far above the pole.
+        let lo = ac.solve(1.0).unwrap().voltage(vout).abs();
+        assert!((lo - 1.0).abs() < 1e-6);
+        let m1 = ac.solve(100.0 * f3db).unwrap().voltage(vout).abs();
+        let m2 = ac.solve(1000.0 * f3db).unwrap().voltage(vout).abs();
+        assert!((m1 / m2 - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn dc_frequency_allowed() {
+        let (ckt, vout) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        let h = ac.solve(0.0).unwrap().voltage(vout);
+        assert!((h.abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_frequency_rejected() {
+        let (ckt, _) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        assert!(matches!(ac.solve(-1.0), Err(MnaError::InvalidRequest { .. })));
+    }
+
+    #[test]
+    fn find_crossing_locates_unity_gain() {
+        // Integrator-like: gain 100 at DC, single pole; crossing where |H|=1.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.set_ac("VIN", 1.0).unwrap();
+        // VCCS driving an RC load: H(0) = gm·R = 100.
+        ckt.vccs("G1", vout, Circuit::GROUND, Circuit::GROUND, vin, 1e-3).unwrap();
+        ckt.resistor("RL", vout, Circuit::GROUND, 100e3).unwrap();
+        ckt.capacitor("CL", vout, Circuit::GROUND, 1e-9).unwrap();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        // (tolerance accounts for the 1e-12 S gmin shunt at the output node)
+        assert!((ac.solve(0.0).unwrap().voltage(vout).abs() - 100.0).abs() < 1e-3);
+        let fu = ac.find_crossing(vout, 1.0, 1.0, 1e12).unwrap().unwrap();
+        // Analytic: |H| = 100/√(1+(2πf RC)²) = 1 → 2πf RC = √9999.
+        let fexp = (9999.0f64).sqrt() / (2.0 * std::f64::consts::PI * 100e3 * 1e-9);
+        assert!((fu / fexp - 1.0).abs() < 1e-3, "fu={fu} expected {fexp}");
+    }
+
+    #[test]
+    fn find_crossing_none_when_below_target() {
+        let (ckt, vout) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        // Max gain is 1; never crosses 2.
+        assert!(ac.find_crossing(vout, 2.0, 1.0, 1e9).unwrap().is_none());
+    }
+
+    #[test]
+    fn common_source_amplifier_gain_and_rolloff() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("g");
+        let out = ckt.node("out");
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
+        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0).unwrap();
+        ckt.set_ac("VG", 1.0).unwrap();
+        ckt.resistor("RD", vdd, out, 20e3).unwrap();
+        ckt.capacitor("CL", out, Circuit::GROUND, 1e-12).unwrap();
+        let params = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
+        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let m = op.mosfet_op("M1").unwrap().clone();
+        let ac = AcSolver::new(&ckt, &op);
+        let h0 = ac.solve(0.0).unwrap().voltage(out);
+        // Common source: Av ≈ −gm·(RD ∥ 1/gds); phase ≈ 180°.
+        let rd_eff = 1.0 / (1.0 / 20e3 + m.gds);
+        let av = m.gm * rd_eff;
+        assert!(h0.re < 0.0, "inverting stage");
+        assert!((h0.abs() / av - 1.0).abs() < 0.05, "|H|={} vs {av}", h0.abs());
+        // Gain must fall at high frequency (CL + device caps).
+        let hf = ac.solve(10e9).unwrap().voltage(out).abs();
+        assert!(hf < h0.abs());
+    }
+
+    #[test]
+    fn branch_current_through_source() {
+        let (ckt, _) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let i = ac.solve(f3db).unwrap().branch_current("VIN").unwrap();
+        // |I| = |V| / |Z|, Z = R + 1/(jωC) with |Z| = √2·R at the pole.
+        let want = 1.0 / (2f64.sqrt() * 1e3);
+        assert!((i.abs() / want - 1.0).abs() < 1e-9);
+    }
+}

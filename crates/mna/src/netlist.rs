@@ -1,0 +1,656 @@
+//! Netlist representation and builder.
+
+use std::collections::HashMap;
+
+use crate::{MnaError, MosfetParams};
+
+/// Identifier of a circuit node. Node 0 ([`Circuit::GROUND`]) is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an element within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+/// Time-dependent stimulus of an independent source (used by transient
+/// analysis; DC and AC analyses use the `dc`/`ac` fields of the element).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stimulus {
+    /// Constant value.
+    Dc(f64),
+    /// Linear ramp from `v0` to `v1` starting at `t0`, rising over `t_rise`.
+    Step {
+        /// Initial value.
+        v0: f64,
+        /// Final value.
+        v1: f64,
+        /// Ramp start time \[s\].
+        t0: f64,
+        /// Ramp duration \[s\] (must be > 0).
+        t_rise: f64,
+    },
+    /// Sine `offset + ampl·sin(2π·freq·(t − delay))` for `t ≥ delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency \[Hz\].
+        freq: f64,
+        /// Start delay \[s\].
+        delay: f64,
+    },
+}
+
+impl Stimulus {
+    /// Value of the stimulus at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            Stimulus::Dc(v) => v,
+            Stimulus::Step { v0, v1, t0, t_rise } => {
+                if t <= t0 {
+                    v0
+                } else if t >= t0 + t_rise {
+                    v1
+                } else {
+                    v0 + (v1 - v0) * (t - t0) / t_rise
+                }
+            }
+            Stimulus::Sine { offset, ampl, freq, delay } => {
+                if t < delay {
+                    offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// Value at `t = 0` (the DC operating point for transient start).
+    pub fn initial(&self) -> f64 {
+        self.at(0.0)
+    }
+}
+
+/// The element kinds understood by the analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ElementKind {
+    Resistor {
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    },
+    Capacitor {
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    },
+    /// Independent voltage source from `p` (+) to `n` (−); adds one branch
+    /// current unknown.
+    VoltageSource {
+        p: NodeId,
+        n: NodeId,
+        dc: f64,
+        ac: f64,
+        stimulus: Option<Stimulus>,
+        branch: usize,
+    },
+    /// Independent current source; positive `dc` drives conventional current
+    /// out of `p`, through the source, into `n`.
+    CurrentSource {
+        p: NodeId,
+        n: NodeId,
+        dc: f64,
+        ac: f64,
+    },
+    /// Voltage-controlled current source: `i(p→n) = gm·(v(cp) − v(cn))`.
+    Vccs {
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    },
+    /// Voltage-controlled voltage source: `v(p) − v(n) = gain·(v(cp) − v(cn))`.
+    Vcvs {
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+        branch: usize,
+    },
+    Mosfet {
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        params: MosfetParams,
+    },
+    /// pn-junction diode from anode `a` to cathode `k`:
+    /// `i = Is·(exp(v/(n·V_T)) − 1)`.
+    Diode {
+        a: NodeId,
+        k: NodeId,
+        is_sat: f64,
+        ideality: f64,
+    },
+}
+
+/// A flat analog netlist plus global simulation conditions (temperature).
+///
+/// Build the circuit with the `resistor`/`capacitor`/`voltage_source`/…
+/// methods, then hand it to [`crate::DcOp`], [`crate::AcSolver`] or
+/// [`crate::Transient`].
+///
+/// # Example
+///
+/// ```
+/// use specwise_mna::{Circuit, DcOp};
+///
+/// # fn main() -> Result<(), specwise_mna::MnaError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.voltage_source("V1", a, Circuit::GROUND, 2.0)?;
+/// let mid = ckt.node("mid");
+/// ckt.resistor("R1", a, mid, 1e3)?;
+/// ckt.resistor("R2", mid, Circuit::GROUND, 1e3)?;
+/// let op = DcOp::new(&ckt).solve()?;
+/// assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_lookup: HashMap<String, NodeId>,
+    names: Vec<String>,
+    kinds: Vec<ElementKind>,
+    name_lookup: HashMap<String, ElementId>,
+    branches: usize,
+    temperature: f64,
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Circuit {
+    /// The ground node (node 0).
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit at the default temperature (27 °C).
+    pub fn new() -> Self {
+        let mut node_lookup = HashMap::new();
+        node_lookup.insert("0".to_string(), NodeId(0));
+        Circuit {
+            node_names: vec!["0".to_string()],
+            node_lookup,
+            names: Vec::new(),
+            kinds: Vec::new(),
+            name_lookup: HashMap::new(),
+            branches: 0,
+            temperature: 300.15,
+        }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The name `"0"` always refers to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_lookup.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_lookup.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] for unknown names.
+    pub fn find_node(&self, name: &str) -> Result<NodeId, MnaError> {
+        self.node_lookup
+            .get(name)
+            .copied()
+            .ok_or_else(|| MnaError::NotFound { name: name.to_string() })
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of branch-current unknowns (voltage sources and VCVS).
+    pub fn num_branches(&self) -> usize {
+        self.branches
+    }
+
+    /// Size of the MNA unknown vector: `(num_nodes − 1) + num_branches`.
+    pub fn num_unknowns(&self) -> usize {
+        self.num_nodes() - 1 + self.branches
+    }
+
+    /// Simulation temperature \[K\].
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Sets the simulation temperature \[K\].
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive or non-finite temperatures.
+    pub fn set_temperature(&mut self, kelvin: f64) {
+        assert!(kelvin.is_finite() && kelvin > 0.0, "invalid temperature {kelvin}");
+        self.temperature = kelvin;
+    }
+
+    fn insert(&mut self, name: &str, kind: ElementKind) -> Result<ElementId, MnaError> {
+        if self.name_lookup.contains_key(name) {
+            return Err(MnaError::DuplicateName { name: name.to_string() });
+        }
+        let id = ElementId(self.kinds.len());
+        self.names.push(name.to_string());
+        self.kinds.push(kind);
+        self.name_lookup.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidValue`] for non-positive resistance and
+    /// [`MnaError::DuplicateName`] for a reused name.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<ElementId, MnaError> {
+        if !(ohms > 0.0) || !ohms.is_finite() {
+            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "resistance must be positive and finite" });
+        }
+        self.insert(name, ElementKind::Resistor { a, b, ohms })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidValue`] for negative capacitance and
+    /// [`MnaError::DuplicateName`] for a reused name.
+    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> Result<ElementId, MnaError> {
+        if !(farads >= 0.0) || !farads.is_finite() {
+            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "capacitance must be non-negative and finite" });
+        }
+        self.insert(name, ElementKind::Capacitor { a, b, farads })
+    }
+
+    /// Adds an independent voltage source (`p` is the + terminal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::DuplicateName`] for a reused name.
+    pub fn voltage_source(&mut self, name: &str, p: NodeId, n: NodeId, dc: f64) -> Result<ElementId, MnaError> {
+        let branch = self.branches;
+        let id = self.insert(name, ElementKind::VoltageSource { p, n, dc, ac: 0.0, stimulus: None, branch })?;
+        self.branches += 1;
+        Ok(id)
+    }
+
+    /// Adds an independent current source; positive `dc` drives conventional
+    /// current out of `p`, through the source, into `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::DuplicateName`] for a reused name.
+    pub fn current_source(&mut self, name: &str, p: NodeId, n: NodeId, dc: f64) -> Result<ElementId, MnaError> {
+        self.insert(name, ElementKind::CurrentSource { p, n, dc, ac: 0.0 })
+    }
+
+    /// Adds a voltage-controlled current source
+    /// `i(p→n) = gm·(v(cp) − v(cn))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::DuplicateName`] for a reused name.
+    pub fn vccs(&mut self, name: &str, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) -> Result<ElementId, MnaError> {
+        self.insert(name, ElementKind::Vccs { p, n, cp, cn, gm })
+    }
+
+    /// Adds a voltage-controlled voltage source
+    /// `v(p) − v(n) = gain·(v(cp) − v(cn))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::DuplicateName`] for a reused name.
+    pub fn vcvs(&mut self, name: &str, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gain: f64) -> Result<ElementId, MnaError> {
+        let branch = self.branches;
+        let id = self.insert(name, ElementKind::Vcvs { p, n, cp, cn, gain, branch })?;
+        self.branches += 1;
+        Ok(id)
+    }
+
+    /// Adds a MOSFET with terminals drain, gate, source, bulk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidValue`] for non-positive geometry and
+    /// [`MnaError::DuplicateName`] for a reused name.
+    pub fn mosfet(&mut self, name: &str, d: NodeId, g: NodeId, s: NodeId, b: NodeId, params: MosfetParams) -> Result<ElementId, MnaError> {
+        if !(params.w > 0.0) || !(params.l > 0.0) || !params.w.is_finite() || !params.l.is_finite() {
+            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "W and L must be positive and finite" });
+        }
+        if !(params.beta_factor > 0.0) {
+            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "beta_factor must be positive" });
+        }
+        self.insert(name, ElementKind::Mosfet { d, g, s, b, params })
+    }
+
+    /// Adds a pn-junction diode (`a` = anode, `k` = cathode) with
+    /// saturation current `is_sat` \[A\] and ideality factor `ideality`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::InvalidValue`] for non-positive parameters and
+    /// [`MnaError::DuplicateName`] for a reused name.
+    pub fn diode(&mut self, name: &str, a: NodeId, k: NodeId, is_sat: f64, ideality: f64) -> Result<ElementId, MnaError> {
+        if !(is_sat > 0.0) || !is_sat.is_finite() {
+            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "saturation current must be positive and finite" });
+        }
+        if !(ideality > 0.0) || !ideality.is_finite() {
+            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "ideality factor must be positive and finite" });
+        }
+        self.insert(name, ElementKind::Diode { a, k, is_sat, ideality })
+    }
+
+    /// Looks up an element by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] for unknown names.
+    pub fn find(&self, name: &str) -> Result<ElementId, MnaError> {
+        self.name_lookup
+            .get(name)
+            .copied()
+            .ok_or_else(|| MnaError::NotFound { name: name.to_string() })
+    }
+
+    /// Name of an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn element_name(&self, id: ElementId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Sets the DC value of an independent source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] for unknown names and
+    /// [`MnaError::InvalidValue`] when the element is not a source.
+    pub fn set_dc(&mut self, name: &str, value: f64) -> Result<(), MnaError> {
+        let id = self.find(name)?;
+        match &mut self.kinds[id.0] {
+            ElementKind::VoltageSource { dc, .. } | ElementKind::CurrentSource { dc, .. } => {
+                *dc = value;
+                Ok(())
+            }
+            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "set_dc requires an independent source" }),
+        }
+    }
+
+    /// Sets the AC magnitude of an independent source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] for unknown names and
+    /// [`MnaError::InvalidValue`] when the element is not a source.
+    pub fn set_ac(&mut self, name: &str, magnitude: f64) -> Result<(), MnaError> {
+        let id = self.find(name)?;
+        match &mut self.kinds[id.0] {
+            ElementKind::VoltageSource { ac, .. } | ElementKind::CurrentSource { ac, .. } => {
+                *ac = magnitude;
+                Ok(())
+            }
+            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "set_ac requires an independent source" }),
+        }
+    }
+
+    /// Clears the AC magnitude of every independent source (convenient when
+    /// reusing one netlist for several transfer functions, e.g. the
+    /// differential and common-mode runs of a CMRR extraction).
+    pub fn clear_ac(&mut self) {
+        for kind in &mut self.kinds {
+            match kind {
+                ElementKind::VoltageSource { ac, .. } | ElementKind::CurrentSource { ac, .. } => {
+                    *ac = 0.0;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Attaches a transient stimulus to a voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] for unknown names and
+    /// [`MnaError::InvalidValue`] when the element is not a voltage source.
+    pub fn set_stimulus(&mut self, name: &str, stim: Stimulus) -> Result<(), MnaError> {
+        let id = self.find(name)?;
+        match &mut self.kinds[id.0] {
+            ElementKind::VoltageSource { stimulus, .. } => {
+                *stimulus = Some(stim);
+                Ok(())
+            }
+            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "set_stimulus requires a voltage source" }),
+        }
+    }
+
+    /// Replaces the parameters of a MOSFET (used to inject statistical
+    /// deviations without rebuilding the netlist).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] for unknown names and
+    /// [`MnaError::InvalidValue`] when the element is not a MOSFET or the
+    /// new geometry is invalid.
+    pub fn set_mosfet_params(&mut self, name: &str, params: MosfetParams) -> Result<(), MnaError> {
+        if !(params.w > 0.0) || !(params.l > 0.0) || !(params.beta_factor > 0.0) {
+            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "invalid MOSFET parameters" });
+        }
+        let id = self.find(name)?;
+        match &mut self.kinds[id.0] {
+            ElementKind::Mosfet { params: p, .. } => {
+                *p = params;
+                Ok(())
+            }
+            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "set_mosfet_params requires a MOSFET" }),
+        }
+    }
+
+    /// Parameters of a MOSFET.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] / [`MnaError::InvalidValue`] like
+    /// [`Circuit::set_mosfet_params`].
+    pub fn mosfet_params(&self, name: &str) -> Result<MosfetParams, MnaError> {
+        let id = self.find(name)?;
+        match &self.kinds[id.0] {
+            ElementKind::Mosfet { params, .. } => Ok(*params),
+            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "mosfet_params requires a MOSFET" }),
+        }
+    }
+
+    /// Names of all MOSFETs in insertion order.
+    pub fn mosfet_names(&self) -> Vec<&str> {
+        self.kinds
+            .iter()
+            .zip(&self.names)
+            .filter_map(|(k, n)| match k {
+                ElementKind::Mosfet { .. } => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Internal: element kinds (for the analyses).
+    pub(crate) fn kinds(&self) -> &[ElementKind] {
+        &self.kinds
+    }
+
+    /// Internal: index of the unknown carrying a node voltage, `None` for ground.
+    pub(crate) fn node_unknown(&self, n: NodeId) -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+
+    /// Internal: index of the unknown carrying a branch current.
+    pub(crate) fn branch_unknown(&self, branch: usize) -> usize {
+        self.num_nodes() - 1 + branch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MosfetModel, MosfetParams};
+
+    #[test]
+    fn node_interning() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.num_nodes(), 2);
+        assert_eq!(ckt.node("0"), Circuit::GROUND);
+        assert_eq!(ckt.node_name(a), "a");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        assert!(matches!(
+            ckt.resistor("R1", a, Circuit::GROUND, 2.0),
+            Err(MnaError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(ckt.resistor("R", a, Circuit::GROUND, 0.0).is_err());
+        assert!(ckt.resistor("R", a, Circuit::GROUND, -5.0).is_err());
+        assert!(ckt.capacitor("C", a, Circuit::GROUND, -1e-12).is_err());
+        let params = MosfetParams::new(MosfetModel::default_nmos(), 0.0, 1e-6);
+        assert!(ckt.mosfet("M", a, a, Circuit::GROUND, Circuit::GROUND, params).is_err());
+    }
+
+    #[test]
+    fn unknown_counting() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.resistor("R1", a, b, 1e3).unwrap();
+        ckt.vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, 2.0).unwrap();
+        assert_eq!(ckt.num_nodes(), 3);
+        assert_eq!(ckt.num_branches(), 2);
+        assert_eq!(ckt.num_unknowns(), 4);
+    }
+
+    #[test]
+    fn set_dc_and_ac() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.set_dc("V1", 2.5).unwrap();
+        ckt.set_ac("V1", 1.0).unwrap();
+        ckt.clear_ac();
+        ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        assert!(ckt.set_dc("R1", 1.0).is_err());
+        assert!(ckt.set_ac("R1", 1.0).is_err());
+        assert!(ckt.set_dc("missing", 1.0).is_err());
+    }
+
+    #[test]
+    fn mosfet_param_update() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        let params = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
+        ckt.mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        let mut p2 = ckt.mosfet_params("M1").unwrap();
+        p2.delta_vth = 0.01;
+        ckt.set_mosfet_params("M1", p2).unwrap();
+        assert_eq!(ckt.mosfet_params("M1").unwrap().delta_vth, 0.01);
+        assert_eq!(ckt.mosfet_names(), vec!["M1"]);
+    }
+
+    #[test]
+    fn stimulus_shapes() {
+        let step = Stimulus::Step { v0: 0.0, v1: 1.0, t0: 1e-6, t_rise: 1e-6 };
+        assert_eq!(step.at(0.0), 0.0);
+        assert!((step.at(1.5e-6) - 0.5).abs() < 1e-12);
+        assert_eq!(step.at(5e-6), 1.0);
+        let sine = Stimulus::Sine { offset: 1.0, ampl: 0.5, freq: 1e3, delay: 0.0 };
+        assert!((sine.at(0.25e-3) - 1.5).abs() < 1e-12);
+        assert_eq!(Stimulus::Dc(3.0).initial(), 3.0);
+    }
+
+    #[test]
+    fn temperature_guarded() {
+        let mut ckt = Circuit::new();
+        ckt.set_temperature(350.0);
+        assert_eq!(ckt.temperature(), 350.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid temperature")]
+    fn temperature_rejects_zero() {
+        Circuit::new().set_temperature(0.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! A SPICE-style netlist deck parser.
+//!
+//! Supports the subset of SPICE syntax the simulator implements, so decks
+//! can be written by hand or exported from schematic tools:
+//!
+//! ```text
+//! * comment lines start with '*', ';' starts an inline comment
+//! R<name> <n+> <n-> <value>
+//! C<name> <n+> <n-> <value>
+//! V<name> <n+> <n-> <value>            ; independent voltage source
+//! V<name> <n+> <n-> <value> AC <mag>   ; with AC magnitude
+//! I<name> <n+> <n-> <value>            ; independent current source
+//! E<name> <n+> <n-> <nc+> <nc-> <gain> ; VCVS
+//! G<name> <n+> <n-> <nc+> <nc-> <gm>   ; VCCS
+//! M<name> <d> <g> <s> <b> <NMOS|PMOS> W=<value> L=<value>
+//! D<name> <a> <k> [IS=<value>] [N=<value>]
+//! .TEMP <celsius>
+//! .END
+//! ```
+//!
+//! Values accept the SPICE magnitude suffixes `T G MEG K M U N P F`
+//! (case-insensitive; `M` is milli, `MEG` is 1e6) with an optional trailing
+//! unit word (`10K`, `2.5u`, `1.2pF`, `3meg`).
+//!
+//! MOSFETs use the built-in Level-1 model cards
+//! ([`MosfetModel::default_nmos`]/[`MosfetModel::default_pmos`]); per-deck
+//! model cards are out of scope.
+
+use crate::{Circuit, MnaError, MosfetModel, MosfetParams, NodeId};
+
+/// Parses a numeric field with SPICE magnitude suffixes.
+///
+/// # Errors
+///
+/// Returns [`MnaError::InvalidRequest`]-style parse errors via
+/// [`ParseDeckError`].
+fn parse_value(token: &str) -> Result<f64, ParseDeckError> {
+    let t = token.trim();
+    if t.is_empty() {
+        return Err(ParseDeckError::BadValue { token: token.to_string() });
+    }
+    // Split the leading numeric part from the suffix.
+    let num_end = t
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .unwrap_or(t.len());
+    // Guard against exponents like 1e-9 whose '-' follows 'e'.
+    let (num_str, suffix) = t.split_at(num_end);
+    let base: f64 = num_str
+        .parse()
+        .map_err(|_| ParseDeckError::BadValue { token: token.to_string() })?;
+    let suffix = suffix.to_ascii_lowercase();
+    let scale = if suffix.starts_with("meg") {
+        1e6
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            // A bare unit word like "V" or "Ohm".
+            Some(c) if c.is_ascii_alphabetic() => 1.0,
+            Some(_) => {
+                return Err(ParseDeckError::BadValue { token: token.to_string() });
+            }
+        }
+    };
+    Ok(base * scale)
+}
+
+/// Errors produced when parsing a netlist deck.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseDeckError {
+    /// A numeric field could not be parsed.
+    BadValue {
+        /// The offending token.
+        token: String,
+    },
+    /// A line has too few fields for its element type.
+    TooFewFields {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Unknown element prefix or directive.
+    UnknownElement {
+        /// 1-based line number.
+        line: usize,
+        /// The leading token.
+        token: String,
+    },
+    /// A MOSFET line is missing `W=`/`L=` or names an unknown model.
+    BadMosfet {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The netlist builder rejected an element (duplicate name, bad value…).
+    Circuit(MnaError),
+}
+
+impl std::fmt::Display for ParseDeckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDeckError::BadValue { token } => write!(f, "cannot parse value {token:?}"),
+            ParseDeckError::TooFewFields { line } => write!(f, "too few fields on line {line}"),
+            ParseDeckError::UnknownElement { line, token } => {
+                write!(f, "unknown element or directive {token:?} on line {line}")
+            }
+            ParseDeckError::BadMosfet { line, reason } => {
+                write!(f, "bad MOSFET on line {line}: {reason}")
+            }
+            ParseDeckError::Circuit(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDeckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDeckError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MnaError> for ParseDeckError {
+    fn from(e: MnaError) -> Self {
+        ParseDeckError::Circuit(e)
+    }
+}
+
+/// Parses a SPICE-style deck into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseDeckError`] for malformed lines; element-level validation
+/// errors are wrapped in [`ParseDeckError::Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use specwise_mna::{parse_deck, DcOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ckt = parse_deck(
+///     "* resistive divider
+///      V1 in 0 2.0
+///      R1 in mid 1k
+///      R2 mid 0 1k
+///      .end",
+/// )?;
+/// let op = DcOp::new(&ckt).solve()?;
+/// let mid = ckt.find_node("mid")?;
+/// assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_deck(deck: &str) -> Result<Circuit, ParseDeckError> {
+    let mut ckt = Circuit::new();
+    for (lineno, raw) in deck.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments.
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() || text.starts_with('*') {
+            continue;
+        }
+        let fields: Vec<&str> = text.split_whitespace().collect();
+        let head = fields[0];
+        let upper = head.to_ascii_uppercase();
+
+        if let Some(directive) = upper.strip_prefix('.') {
+            match directive {
+                "END" => break,
+                "TEMP" => {
+                    let celsius = parse_value(
+                        fields.get(1).ok_or(ParseDeckError::TooFewFields { line })?,
+                    )?;
+                    ckt.set_temperature(celsius + 273.15);
+                }
+                _ => {
+                    return Err(ParseDeckError::UnknownElement {
+                        line,
+                        token: head.to_string(),
+                    })
+                }
+            }
+            continue;
+        }
+
+        let mut node = |name: &str| -> NodeId { ckt_node(&mut ckt, name) };
+        let need = |k: usize| -> Result<&str, ParseDeckError> {
+            fields.get(k).copied().ok_or(ParseDeckError::TooFewFields { line })
+        };
+
+        match upper.chars().next() {
+            Some('R') => {
+                let (a, b) = (node(need(1)?), node(need(2)?));
+                let v = parse_value(need(3)?)?;
+                ckt.resistor(head, a, b, v)?;
+            }
+            Some('C') => {
+                let (a, b) = (node(need(1)?), node(need(2)?));
+                let v = parse_value(need(3)?)?;
+                ckt.capacitor(head, a, b, v)?;
+            }
+            Some('V') => {
+                let (p, n) = (node(need(1)?), node(need(2)?));
+                let v = parse_value(need(3)?)?;
+                ckt.voltage_source(head, p, n, v)?;
+                // Optional "AC <mag>".
+                if let Some(kw) = fields.get(4) {
+                    if kw.eq_ignore_ascii_case("ac") {
+                        let mag = parse_value(need(5)?)?;
+                        ckt.set_ac(head, mag)?;
+                    }
+                }
+            }
+            Some('I') => {
+                let (p, n) = (node(need(1)?), node(need(2)?));
+                let v = parse_value(need(3)?)?;
+                ckt.current_source(head, p, n, v)?;
+                if let Some(kw) = fields.get(4) {
+                    if kw.eq_ignore_ascii_case("ac") {
+                        let mag = parse_value(need(5)?)?;
+                        ckt.set_ac(head, mag)?;
+                    }
+                }
+            }
+            Some('E') => {
+                let (p, n) = (node(need(1)?), node(need(2)?));
+                let (cp, cn) = (node(need(3)?), node(need(4)?));
+                let gain = parse_value(need(5)?)?;
+                ckt.vcvs(head, p, n, cp, cn, gain)?;
+            }
+            Some('G') => {
+                let (p, n) = (node(need(1)?), node(need(2)?));
+                let (cp, cn) = (node(need(3)?), node(need(4)?));
+                let gm = parse_value(need(5)?)?;
+                ckt.vccs(head, p, n, cp, cn, gm)?;
+            }
+            Some('D') => {
+                let (a, k) = (node(need(1)?), node(need(2)?));
+                let mut is_sat = 1e-14;
+                let mut ideality = 1.0;
+                for f in &fields[3..] {
+                    let fu = f.to_ascii_uppercase();
+                    if let Some(v) = fu.strip_prefix("IS=") {
+                        is_sat = parse_value(v)?;
+                    } else if let Some(v) = fu.strip_prefix("N=") {
+                        ideality = parse_value(v)?;
+                    }
+                }
+                ckt.diode(head, a, k, is_sat, ideality)?;
+            }
+            Some('M') => {
+                let (d, g) = (node(need(1)?), node(need(2)?));
+                let (s, b) = (node(need(3)?), node(need(4)?));
+                let model_name = need(5)?.to_ascii_uppercase();
+                let model = match model_name.as_str() {
+                    "NMOS" => MosfetModel::default_nmos(),
+                    "PMOS" => MosfetModel::default_pmos(),
+                    _ => {
+                        return Err(ParseDeckError::BadMosfet {
+                            line,
+                            reason: "model must be NMOS or PMOS",
+                        })
+                    }
+                };
+                let mut w = None;
+                let mut l = None;
+                for f in &fields[6..] {
+                    let fu = f.to_ascii_uppercase();
+                    if let Some(v) = fu.strip_prefix("W=") {
+                        w = Some(parse_value(v)?);
+                    } else if let Some(v) = fu.strip_prefix("L=") {
+                        l = Some(parse_value(v)?);
+                    }
+                }
+                let (Some(w), Some(l)) = (w, l) else {
+                    return Err(ParseDeckError::BadMosfet {
+                        line,
+                        reason: "W= and L= are required",
+                    });
+                };
+                ckt.mosfet(head, d, g, s, b, MosfetParams::new(model, w, l))?;
+            }
+            _ => {
+                return Err(ParseDeckError::UnknownElement { line, token: head.to_string() })
+            }
+        }
+    }
+    Ok(ckt)
+}
+
+/// Node interning that maps `0`/`GND`/`gnd` to ground.
+fn ckt_node(ckt: &mut Circuit, name: &str) -> NodeId {
+    if name == "0" || name.eq_ignore_ascii_case("gnd") {
+        Circuit::GROUND
+    } else {
+        ckt.node(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AcSolver, DcOp};
+
+    #[test]
+    fn value_suffixes() {
+        let close = |t: &str, want: f64| {
+            let got = parse_value(t).unwrap();
+            assert!((got / want - 1.0).abs() < 1e-12, "{t}: {got} vs {want}");
+        };
+        close("10k", 10e3);
+        close("2.5u", 2.5e-6);
+        close("1.2pF", 1.2e-12);
+        close("3meg", 3e6);
+        close("3MEG", 3e6);
+        close("5m", 5e-3);
+        close("7", 7.0);
+        close("1e-9", 1e-9);
+        close("2.2n", 2.2e-9);
+        close("4f", 4e-15);
+        close("1G", 1e9);
+        close("3V", 3.0);
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn divider_deck() {
+        let ckt = parse_deck(
+            "* divider
+             V1 in 0 2.0
+             R1 in mid 1k
+             R2 mid gnd 1K
+             .end",
+        )
+        .unwrap();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let mid = ckt.find_node("mid").unwrap();
+        assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_with_ac_stimulus() {
+        let ckt = parse_deck(
+            "V1 in 0 0 AC 1
+             R1 in out 1k
+             C1 out 0 1u",
+        )
+        .unwrap();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        let out = ckt.find_node("out").unwrap();
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
+        let h = ac.solve(f3db).unwrap().voltage(out);
+        assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mosfet_line() {
+        let ckt = parse_deck(
+            "VDD vdd 0 3.0
+             VG g 0 1.0
+             RD vdd d 20k
+             M1 d g 0 0 NMOS W=10u L=1u",
+        )
+        .unwrap();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let m = op.mosfet_op("M1").unwrap();
+        assert!(m.id > 1e-6, "device conducts");
+        let p = ckt.mosfet_params("M1").unwrap();
+        assert!((p.w - 10e-6).abs() < 1e-18);
+        assert!((p.l - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn controlled_sources_and_temp() {
+        let ckt = parse_deck(
+            ".temp 85
+             V1 in 0 0.5
+             E1 out 0 in 0 4
+             RL out 0 1k
+             G1 out2 0 in 0 1m
+             R2 out2 0 2k",
+        )
+        .unwrap();
+        assert!((ckt.temperature() - (85.0 + 273.15)).abs() < 1e-9);
+        let op = DcOp::new(&ckt).solve().unwrap();
+        assert!((op.voltage(ckt.find_node("out").unwrap()) - 2.0).abs() < 1e-9);
+        // G1 pulls gm·vin out of out2: v = −1m·0.5·2k = −1.
+        assert!((op.voltage(ckt.find_node("out2").unwrap()) + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn diode_line_with_defaults_and_params() {
+        let ckt = parse_deck(
+            "V1 a 0 3.0
+             R1 a d 1k
+             D1 d 0
+             D2 d 0 IS=1e-12 N=2",
+        )
+        .unwrap();
+        assert_eq!(ckt.num_elements(), 4);
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let d = ckt.find_node("d").unwrap();
+        assert!(op.voltage(d) > 0.3 && op.voltage(d) < 0.9);
+    }
+
+    #[test]
+    fn comments_and_end() {
+        let ckt = parse_deck(
+            "* top comment
+             V1 a 0 1.0 ; inline comment
+             R1 a 0 1k
+             .END
+             R2 ignored 0 1k",
+        )
+        .unwrap();
+        assert_eq!(ckt.num_elements(), 2, ".end stops parsing");
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(matches!(
+            parse_deck("R1 a 0"),
+            Err(ParseDeckError::TooFewFields { line: 1 })
+        ));
+        assert!(matches!(
+            parse_deck("X1 a 0 1k"),
+            Err(ParseDeckError::UnknownElement { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_deck("M1 d g 0 0 NMOS W=10u"),
+            Err(ParseDeckError::BadMosfet { .. })
+        ));
+        assert!(matches!(
+            parse_deck("M1 d g 0 0 BJT W=1u L=1u"),
+            Err(ParseDeckError::BadMosfet { .. })
+        ));
+        assert!(matches!(
+            parse_deck("R1 a 0 -5"),
+            Err(ParseDeckError::Circuit(_))
+        ));
+        assert!(matches!(
+            parse_deck(".include foo.cir"),
+            Err(ParseDeckError::UnknownElement { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_via_circuit_error() {
+        let r = parse_deck("R1 a 0 1k\nR1 a 0 2k");
+        assert!(matches!(r, Err(ParseDeckError::Circuit(MnaError::DuplicateName { .. }))));
+    }
+}

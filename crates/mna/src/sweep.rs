@@ -1,0 +1,128 @@
+//! Swept DC analyses (warm-started operating-point sequences).
+
+use crate::{Circuit, DcOp, DcSolution, MnaError};
+
+/// A DC sweep over the value of one independent source.
+///
+/// Solutions are warm-started from the previous point, which both speeds up
+/// and stabilizes the Newton iteration across the sweep.
+///
+/// # Example
+///
+/// ```
+/// use specwise_mna::{Circuit, DcSweep};
+///
+/// # fn main() -> Result<(), specwise_mna::MnaError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let mid = ckt.node("mid");
+/// ckt.voltage_source("V1", a, Circuit::GROUND, 0.0)?;
+/// ckt.resistor("R1", a, mid, 1e3)?;
+/// ckt.resistor("R2", mid, Circuit::GROUND, 1e3)?;
+/// let pts = DcSweep::linear("V1", 0.0, 2.0, 5).run(&mut ckt)?;
+/// assert_eq!(pts.len(), 5);
+/// let mid_id = ckt.find_node("mid")?;
+/// assert!((pts[4].1.voltage(mid_id) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DcSweep {
+    source: String,
+    values: Vec<f64>,
+}
+
+impl DcSweep {
+    /// Sweep over an explicit list of values.
+    pub fn new(source: &str, values: Vec<f64>) -> Self {
+        DcSweep { source: source.to_string(), values }
+    }
+
+    /// Linearly spaced sweep with `n ≥ 2` points from `from` to `to`
+    /// inclusive (with `n == 1` only `from` is used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn linear(source: &str, from: f64, to: f64, n: usize) -> Self {
+        assert!(n > 0, "sweep needs at least one point");
+        let values = if n == 1 {
+            vec![from]
+        } else {
+            (0..n).map(|k| from + (to - from) * k as f64 / (n - 1) as f64).collect()
+        };
+        DcSweep::new(source, values)
+    }
+
+    /// Runs the sweep, returning `(value, solution)` pairs.
+    ///
+    /// The circuit's source value is restored afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MnaError`] from the per-point operating-point solves or
+    /// from an unknown source name.
+    pub fn run(&self, circuit: &mut Circuit) -> Result<Vec<(f64, DcSolution)>, MnaError> {
+        // Remember the original value by probing: set_dc fails for
+        // non-sources, so find() first.
+        circuit.find(&self.source)?;
+        let mut out = Vec::with_capacity(self.values.len());
+        let mut warm: Option<DcSolution> = None;
+        for &v in &self.values {
+            circuit.set_dc(&self.source, v)?;
+            let dc = DcOp::new(circuit);
+            let sol = match &warm {
+                Some(prev) => dc.solve_from(prev.unknowns())?,
+                None => dc.solve()?,
+            };
+            warm = Some(sol.clone());
+            out.push((v, sol));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, MosfetModel, MosfetParams};
+
+    #[test]
+    fn sweep_produces_monotone_diode_current() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let d = ckt.node("d");
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 0.0).unwrap();
+        ckt.resistor("R1", vdd, d, 10e3).unwrap();
+        let params = MosfetParams::new(MosfetModel::default_nmos(), 20e-6, 2e-6);
+        ckt.mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        let pts = DcSweep::linear("VDD", 0.5, 3.0, 11).run(&mut ckt).unwrap();
+        let mut last = -1.0;
+        for (v, sol) in &pts {
+            let id = sol.mosfet_op("M1").unwrap().id;
+            assert!(id >= last - 1e-12, "current must not decrease at VDD={v}");
+            last = id;
+        }
+        assert!(last > 1e-6, "device must conduct at VDD=3");
+    }
+
+    #[test]
+    fn single_point_sweep() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 0.0).unwrap();
+        ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let pts = DcSweep::linear("V1", 1.5, 9.0, 1).run(&mut ckt).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].0, 1.5);
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.voltage_source("V1", a, Circuit::GROUND, 0.0).unwrap();
+        ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        assert!(DcSweep::linear("VX", 0.0, 1.0, 3).run(&mut ckt).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the MNA simulator against circuit theory:
+//! superposition, reciprocity, KCL, and analytic ladder responses.
+
+use proptest::prelude::*;
+use specwise_mna::{AcSolver, Circuit, DcOp};
+
+/// Builds a random resistive ladder driven by two sources and returns the
+/// voltage at the last node.
+fn ladder_voltage(resistors: &[f64], v1: f64, i2: f64) -> f64 {
+    let mut ckt = Circuit::new();
+    let top = ckt.node("n0");
+    ckt.voltage_source("V1", top, Circuit::GROUND, v1).unwrap();
+    let mut prev = top;
+    for (k, &r) in resistors.iter().enumerate() {
+        let n = ckt.node(&format!("n{}", k + 1));
+        ckt.resistor(&format!("Rs{k}"), prev, n, r).unwrap();
+        ckt.resistor(&format!("Rp{k}"), n, Circuit::GROUND, 2.0 * r).unwrap();
+        prev = n;
+    }
+    // Current source injecting into the last node.
+    ckt.current_source("I2", Circuit::GROUND, prev, i2).unwrap();
+    let op = DcOp::new(&ckt).solve().unwrap();
+    op.voltage(prev)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    #[test]
+    fn superposition_holds_for_linear_networks(
+        resistors in prop::collection::vec(10.0..10_000.0f64, 1..6),
+        v1 in -5.0..5.0f64,
+        i2 in -1e-3..1e-3f64,
+    ) {
+        let both = ladder_voltage(&resistors, v1, i2);
+        let only_v = ladder_voltage(&resistors, v1, 0.0);
+        let only_i = ladder_voltage(&resistors, 0.0, i2);
+        prop_assert!(
+            (both - only_v - only_i).abs() < 1e-6 * (1.0 + both.abs()),
+            "superposition: {both} vs {} + {}", only_v, only_i
+        );
+    }
+
+    #[test]
+    fn scaling_the_source_scales_the_response(
+        resistors in prop::collection::vec(10.0..10_000.0f64, 1..6),
+        v1 in 0.1..5.0f64,
+        k in 0.1..4.0f64,
+    ) {
+        let base = ladder_voltage(&resistors, v1, 0.0);
+        let scaled = ladder_voltage(&resistors, k * v1, 0.0);
+        prop_assert!((scaled - k * base).abs() < 1e-6 * (1.0 + scaled.abs()));
+    }
+
+    #[test]
+    fn divider_chain_matches_closed_form(
+        r1 in 100.0..100_000.0f64,
+        r2 in 100.0..100_000.0f64,
+        v in 0.5..10.0f64,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        ckt.voltage_source("V", a, Circuit::GROUND, v).unwrap();
+        ckt.resistor("R1", a, mid, r1).unwrap();
+        ckt.resistor("R2", mid, Circuit::GROUND, r2).unwrap();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let expected = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage(mid) - expected).abs() < 1e-7 * (1.0 + expected.abs()));
+        // Source current is −v/(r1+r2) (flowing out of + into the chain).
+        let i = op.branch_current("V").unwrap();
+        prop_assert!((i + v / (r1 + r2)).abs() < 1e-9 * (1.0 + i.abs()));
+    }
+
+    #[test]
+    fn rc_transfer_magnitude_phase_consistent(
+        r in 100.0..100_000.0f64,
+        c in 1e-12..1e-6f64,
+        fexp in 0.0..8.0f64,
+    ) {
+        let f = 10f64.powf(fexp);
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.set_ac("VIN", 1.0).unwrap();
+        ckt.resistor("R", vin, vout, r).unwrap();
+        ckt.capacitor("C", vout, Circuit::GROUND, c).unwrap();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let h = AcSolver::new(&ckt, &op).solve(f).unwrap().voltage(vout);
+        let w = 2.0 * std::f64::consts::PI * f;
+        let mag = 1.0 / (1.0 + (w * r * c).powi(2)).sqrt();
+        prop_assert!((h.abs() - mag).abs() < 1e-5 * (1.0 + mag), "f={f}");
+        prop_assert!((h.arg() + (w * r * c).atan()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn vccs_gain_is_gm_times_load(
+        gm in 1e-5..1e-2f64,
+        rl in 100.0..1e6f64,
+        vin in -1.0..1.0f64,
+    ) {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.voltage_source("VIN", inp, Circuit::GROUND, vin).unwrap();
+        ckt.vccs("G", out, Circuit::GROUND, inp, Circuit::GROUND, gm).unwrap();
+        ckt.resistor("RL", out, Circuit::GROUND, rl).unwrap();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        // i = gm·vin leaves node `out`, so v(out) = −gm·rl·vin.
+        let expected = -gm * rl * vin;
+        prop_assert!(
+            (op.voltage(out) - expected).abs() < 1e-6 * (1.0 + expected.abs()) + 1e-9
+        );
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+use specwise_linalg::LinalgError;
+
+/// Errors produced by the statistical substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatError {
+    /// A distribution parameter is out of its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A probability argument is outside `(0, 1)` where required.
+    InvalidProbability {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A covariance matrix failed to factor (not positive definite, etc.).
+    Covariance(LinalgError),
+    /// Dimension mismatch between mean vector and covariance matrix.
+    DimensionMismatch {
+        /// Dimension expected.
+        expected: usize,
+        /// Dimension provided.
+        found: usize,
+    },
+}
+
+impl fmt::Display for StatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatError::InvalidParameter { name, value } => {
+                write!(f, "invalid distribution parameter {name} = {value}")
+            }
+            StatError::InvalidProbability { value } => {
+                write!(f, "probability {value} outside (0, 1)")
+            }
+            StatError::Covariance(e) => write!(f, "covariance factorization failed: {e}"),
+            StatError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for StatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StatError::Covariance(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for StatError {
+    fn from(e: LinalgError) -> Self {
+        StatError::Covariance(e)
+    }
+}

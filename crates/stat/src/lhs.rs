@@ -1,0 +1,127 @@
+//! Latin-hypercube sampling of standard normal vectors — a
+//! variance-reduction option for the Monte-Carlo yield estimators.
+//!
+//! Each dimension's `n` samples are stratified into `n` equal-probability
+//! bins (one sample per bin, uniformly placed inside it, mapped through
+//! `Φ⁻¹`), and the bins are permuted independently per dimension. Compared
+//! to independent sampling this typically reduces the variance of smooth
+//! expectations substantially at identical cost.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::std_normal_quantile;
+
+/// Generates `n` standard-normal vectors of dimension `dim` with
+/// Latin-hypercube stratification. Returned as a flat row-major buffer of
+/// length `n·dim` (`sample j`, `component k` at index `j·dim + k`).
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `dim == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use specwise_stat::latin_hypercube_normal;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let samples = latin_hypercube_normal(&mut rng, 100, 3);
+/// assert_eq!(samples.len(), 300);
+/// // Stratification ⇒ the per-dimension mean is very close to 0.
+/// let mean0: f64 = (0..100).map(|j| samples[j * 3]).sum::<f64>() / 100.0;
+/// assert!(mean0.abs() < 0.05);
+/// ```
+pub fn latin_hypercube_normal<R: Rng + ?Sized>(rng: &mut R, n: usize, dim: usize) -> Vec<f64> {
+    assert!(n > 0, "need at least one sample");
+    assert!(dim > 0, "need at least one dimension");
+    let mut out = vec![0.0; n * dim];
+    let mut perm: Vec<usize> = (0..n).collect();
+    for k in 0..dim {
+        perm.shuffle(rng);
+        for (j, &bin) in perm.iter().enumerate() {
+            // Uniform placement inside bin `bin` of [0, 1].
+            let u = (bin as f64 + rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12)) / n as f64;
+            out[j * dim + k] = std_normal_quantile(u.clamp(1e-12, 1.0 - 1e-12));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stratification_covers_every_bin() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 64;
+        let samples = latin_hypercube_normal(&mut rng, n, 2);
+        for k in 0..2 {
+            let mut bins = vec![false; n];
+            for j in 0..n {
+                let z = samples[j * 2 + k];
+                let u = crate::std_normal_cdf(z);
+                let b = ((u * n as f64) as usize).min(n - 1);
+                bins[b] = true;
+            }
+            assert!(bins.iter().all(|&b| b), "every stratum hit in dim {k}");
+        }
+    }
+
+    #[test]
+    fn moments_close_to_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 2_000;
+        let samples = latin_hypercube_normal(&mut rng, n, 1);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (n - 1) as f64;
+        // Stratification makes these *much* tighter than iid sampling.
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn lower_variance_than_iid_for_smooth_expectation() {
+        // Estimate E[Φ(Z)] = 0.5 with both samplers over many seeds and
+        // compare the spread of the estimates.
+        let n = 200;
+        let trials = 40;
+        let spread = |lhs: bool| -> f64 {
+            let mut estimates = Vec::with_capacity(trials);
+            for seed in 0..trials as u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let est = if lhs {
+                    let s = latin_hypercube_normal(&mut rng, n, 1);
+                    s.iter().map(|&z| crate::std_normal_cdf(z)).sum::<f64>() / n as f64
+                } else {
+                    let normal = crate::StandardNormal::new();
+                    (0..n)
+                        .map(|_| crate::std_normal_cdf(normal.sample(&mut rng)))
+                        .sum::<f64>()
+                        / n as f64
+                };
+                estimates.push(est);
+            }
+            let m = estimates.iter().sum::<f64>() / trials as f64;
+            (estimates.iter().map(|e| (e - m) * (e - m)).sum::<f64>() / trials as f64).sqrt()
+        };
+        let sd_lhs = spread(true);
+        let sd_iid = spread(false);
+        assert!(
+            sd_lhs < 0.25 * sd_iid,
+            "LHS spread {sd_lhs} should be far below iid spread {sd_iid}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_zero_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = latin_hypercube_normal(&mut rng, 0, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Streaming mean/variance accumulation (Welford's algorithm).
+
+/// Numerically stable streaming estimator of mean and variance.
+///
+/// Used to build the Table 2 style reports: the paper compares the shift of
+/// the performance mean away from the spec and the reduction of the
+/// performance standard deviation between optimizer iterations.
+///
+/// # Example
+///
+/// ```
+/// use specwise_stat::RunningMoments;
+///
+/// let mut m = RunningMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 8);
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` before any observation.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator); `0.0` for fewer than
+    /// two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator); `0.0` before any observation.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `+∞` before any observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` before any observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for RunningMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = RunningMoments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_defaults() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let m: RunningMoments = [3.0].into_iter().collect();
+        assert_eq!(m.mean(), 3.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.min(), 3.0);
+        assert_eq!(m.max(), 3.0);
+    }
+
+    #[test]
+    fn matches_two_pass_formulas() {
+        let data = [1.5, -2.0, 0.25, 8.0, 3.5, -1.0];
+        let m: RunningMoments = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_with_large_offset() {
+        // Classic catastrophic-cancellation scenario for the naive algorithm.
+        let offset = 1e9;
+        let m: RunningMoments = [offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0]
+            .into_iter()
+            .collect();
+        assert!((m.mean() - (offset + 10.0)).abs() < 1e-5);
+        assert!((m.sample_variance() - 30.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data = [0.5, 1.5, -3.0, 2.0, 4.5, 0.0, -1.25];
+        let (left, right) = data.split_at(3);
+        let mut a: RunningMoments = left.iter().copied().collect();
+        let b: RunningMoments = right.iter().copied().collect();
+        a.merge(&b);
+        let full: RunningMoments = data.iter().copied().collect();
+        assert_eq!(a.count(), full.count());
+        assert!((a.mean() - full.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - full.sample_variance()).abs() < 1e-12);
+        assert_eq!(a.min(), full.min());
+        assert_eq!(a.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningMoments = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&RunningMoments::new());
+        assert_eq!(a, before);
+        let mut e = RunningMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

@@ -1,0 +1,255 @@
+//! Multivariate normal distribution with Cholesky-factor sampling.
+
+use rand::Rng;
+use specwise_linalg::{Cholesky, DMat, DVec};
+
+use crate::{StandardNormal, StatError};
+
+/// A multivariate normal distribution `N(µ, C)` factored as `C = G·Gᵀ`.
+///
+/// This is the statistical-parameter model of the paper: samples are drawn
+/// as `s = G·ŝ + s0` with `ŝ ~ N(0, I)` (Eq. 11), and the same factor maps
+/// worst-case points back and forth between the physical and the
+/// standardized space.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use specwise_linalg::{DMat, DVec};
+/// use specwise_stat::Mvn;
+///
+/// # fn main() -> Result<(), specwise_stat::StatError> {
+/// let mean = DVec::from_slice(&[1.0, -1.0]);
+/// let cov = DMat::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]).map_err(specwise_stat::StatError::from)?;
+/// let mvn = Mvn::new(mean, &cov)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let s = mvn.sample(&mut rng);
+/// assert_eq!(s.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mvn {
+    mean: DVec,
+    chol: Cholesky,
+}
+
+impl Mvn {
+    /// Creates `N(mean, cov)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatError::DimensionMismatch`] if the mean length and the
+    /// covariance dimension differ, or [`StatError::Covariance`] if the
+    /// covariance is not symmetric positive definite.
+    pub fn new(mean: DVec, cov: &DMat) -> Result<Self, StatError> {
+        if cov.nrows() != mean.len() {
+            return Err(StatError::DimensionMismatch {
+                expected: mean.len(),
+                found: cov.nrows(),
+            });
+        }
+        let chol = cov.cholesky()?;
+        Ok(Mvn { mean, chol })
+    }
+
+    /// Creates a standard normal `N(0, I)` of dimension `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatError::Covariance`] only for `n = 0`.
+    pub fn standard(n: usize) -> Result<Self, StatError> {
+        Mvn::new(DVec::zeros(n), &DMat::identity(n))
+    }
+
+    /// Creates an axis-aligned normal from per-component standard deviations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatError::InvalidParameter`] if any `sigma <= 0`, or a
+    /// dimension error when lengths differ.
+    pub fn from_sigmas(mean: DVec, sigmas: &DVec) -> Result<Self, StatError> {
+        if sigmas.len() != mean.len() {
+            return Err(StatError::DimensionMismatch {
+                expected: mean.len(),
+                found: sigmas.len(),
+            });
+        }
+        for &s in sigmas.iter() {
+            if !(s > 0.0) || !s.is_finite() {
+                return Err(StatError::InvalidParameter { name: "sigma", value: s });
+            }
+        }
+        let cov = DMat::from_diagonal(&sigmas.hadamard(sigmas)?);
+        Mvn::new(mean, &cov)
+    }
+
+    /// Dimension of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector `µ`.
+    pub fn mean(&self) -> &DVec {
+        &self.mean
+    }
+
+    /// The Cholesky factor `G` with `C = G·Gᵀ`.
+    pub fn factor(&self) -> &DMat {
+        self.chol.factor()
+    }
+
+    /// Maps a standardized vector into the physical space: `s = G·ŝ + µ`.
+    pub fn from_standard(&self, s_hat: &DVec) -> DVec {
+        &self.chol.transform(s_hat) + &self.mean
+    }
+
+    /// Maps a physical vector into the standardized space: `ŝ = G⁻¹(s − µ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `s.len() != dim()`.
+    pub fn to_standard(&self, s: &DVec) -> Result<DVec, StatError> {
+        Ok(self.chol.inverse_transform(&(s - &self.mean))?)
+    }
+
+    /// Mahalanobis distance of `s` from the mean — in the standardized
+    /// space this is just the Euclidean norm, i.e. the worst-case distance
+    /// `β` of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `s.len() != dim()`.
+    pub fn mahalanobis(&self, s: &DVec) -> Result<f64, StatError> {
+        Ok(self.to_standard(s)?.norm2())
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DVec {
+        let normal = StandardNormal::new();
+        let s_hat = DVec::from(normal.sample_vec(rng, self.dim()));
+        self.from_standard(&s_hat)
+    }
+
+    /// Draws `n` samples as rows of a matrix.
+    pub fn sample_matrix<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> DMat {
+        let mut out = DMat::zeros(n, self.dim());
+        for i in 0..n {
+            out.set_row(i, &self.sample(rng));
+        }
+        out
+    }
+
+    /// Natural logarithm of the density at `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `s.len() != dim()`.
+    pub fn ln_pdf(&self, s: &DVec) -> Result<f64, StatError> {
+        let z = self.to_standard(s)?;
+        let n = self.dim() as f64;
+        Ok(-0.5 * z.dot(&z)
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+            - 0.5 * self.chol.ln_det())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example() -> Mvn {
+        let mean = DVec::from_slice(&[1.0, 2.0, -1.0]);
+        let cov = DMat::from_rows(&[&[2.0, 0.4, 0.0], &[0.4, 1.0, 0.2], &[0.0, 0.2, 0.5]])
+            .unwrap();
+        Mvn::new(mean, &cov).unwrap()
+    }
+
+    #[test]
+    fn standard_roundtrip() {
+        let mvn = example();
+        let s_hat = DVec::from_slice(&[0.5, -1.5, 2.0]);
+        let s = mvn.from_standard(&s_hat);
+        let back = mvn.to_standard(&s).unwrap();
+        assert!((&back - &s_hat).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_of_mean_is_zero() {
+        let mvn = example();
+        assert!(mvn.mahalanobis(mvn.mean()).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn sample_covariance_matches() {
+        let mvn = example();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 40_000;
+        let samples = mvn.sample_matrix(&mut rng, n);
+        // Empirical mean.
+        let mut mean = DVec::zeros(3);
+        for i in 0..n {
+            mean += &samples.row(i);
+        }
+        mean *= 1.0 / n as f64;
+        for k in 0..3 {
+            assert!((mean[k] - mvn.mean()[k]).abs() < 0.05, "mean[{k}]");
+        }
+        // Empirical covariance vs C = G·Gᵀ.
+        let g = mvn.factor();
+        let c = g.matmul(&g.transpose()).unwrap();
+        for a in 0..3 {
+            for b in 0..3 {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += (samples[(i, a)] - mean[a]) * (samples[(i, b)] - mean[b]);
+                }
+                let emp = acc / (n - 1) as f64;
+                assert!((emp - c[(a, b)]).abs() < 0.08, "cov[{a}][{b}]: {emp} vs {}", c[(a, b)]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let mean = DVec::zeros(2);
+        let cov = DMat::identity(3);
+        assert!(matches!(Mvn::new(mean, &cov), Err(StatError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_indefinite_covariance() {
+        let mean = DVec::zeros(2);
+        let cov = DMat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(Mvn::new(mean, &cov), Err(StatError::Covariance(_))));
+    }
+
+    #[test]
+    fn from_sigmas_diagonal() {
+        let mvn =
+            Mvn::from_sigmas(DVec::zeros(2), &DVec::from_slice(&[2.0, 3.0])).unwrap();
+        let s = mvn.from_standard(&DVec::from_slice(&[1.0, 1.0]));
+        assert!((s[0] - 2.0).abs() < 1e-14);
+        assert!((s[1] - 3.0).abs() < 1e-14);
+        assert!(Mvn::from_sigmas(DVec::zeros(2), &DVec::from_slice(&[1.0, 0.0])).is_err());
+    }
+
+    #[test]
+    fn ln_pdf_peak_at_mean() {
+        let mvn = example();
+        let at_mean = mvn.ln_pdf(mvn.mean()).unwrap();
+        let off = mvn.ln_pdf(&(mvn.mean() + &DVec::from_slice(&[1.0, 0.0, 0.0]))).unwrap();
+        assert!(at_mean > off);
+    }
+
+    #[test]
+    fn standard_constructor() {
+        let mvn = Mvn::standard(4).unwrap();
+        assert_eq!(mvn.dim(), 4);
+        let z = DVec::from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(mvn.from_standard(&z), z);
+    }
+}

@@ -1,0 +1,199 @@
+//! Monte-Carlo yield estimation (paper Eqs. 6–7 and 17–18).
+
+/// A Monte-Carlo yield estimate: the fraction of samples that pass all
+/// specifications, together with its sampling uncertainty.
+///
+/// The paper reports yields as percentages (Tables 1, 3, 4, 6) and counts of
+/// "bad samples" per mille; both views are provided here.
+///
+/// # Example
+///
+/// ```
+/// use specwise_stat::YieldEstimate;
+///
+/// let est = YieldEstimate::from_counts(297, 300);
+/// assert!((est.value() - 0.99).abs() < 1e-12);
+/// assert_eq!(est.bad_samples(), 3);
+/// let (lo, hi) = est.wilson_interval(0.95);
+/// assert!(lo < 0.99 && 0.99 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldEstimate {
+    passed: usize,
+    total: usize,
+}
+
+impl YieldEstimate {
+    /// Creates an estimate from pass/total counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passed > total` or `total == 0`.
+    pub fn from_counts(passed: usize, total: usize) -> Self {
+        assert!(total > 0, "yield estimate needs at least one sample");
+        assert!(passed <= total, "passed {passed} exceeds total {total}");
+        YieldEstimate { passed, total }
+    }
+
+    /// Creates an estimate by consuming an iterator of pass/fail trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty.
+    pub fn from_trials<I: IntoIterator<Item = bool>>(trials: I) -> Self {
+        let mut passed = 0;
+        let mut total = 0;
+        for ok in trials {
+            total += 1;
+            if ok {
+                passed += 1;
+            }
+        }
+        YieldEstimate::from_counts(passed, total)
+    }
+
+    /// The point estimate `Ỹ = passed / total` (paper Eq. 6).
+    pub fn value(&self) -> f64 {
+        self.passed as f64 / self.total as f64
+    }
+
+    /// The point estimate as a percentage.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.value()
+    }
+
+    /// Number of passing samples.
+    pub fn passed(&self) -> usize {
+        self.passed
+    }
+
+    /// Number of failing ("bad") samples.
+    pub fn bad_samples(&self) -> usize {
+        self.total - self.passed
+    }
+
+    /// Failing samples per mille — the unit of the "bad samples [‰]" rows in
+    /// the paper's tables.
+    pub fn bad_per_mille(&self) -> f64 {
+        1000.0 * self.bad_samples() as f64 / self.total as f64
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Standard error of the binomial proportion.
+    pub fn std_error(&self) -> f64 {
+        let p = self.value();
+        (p * (1.0 - p) / self.total as f64).sqrt()
+    }
+
+    /// Wilson score interval at the given confidence level.
+    ///
+    /// Unlike the Wald interval it behaves sensibly at `p = 0` and `p = 1`,
+    /// which matters here: optimized circuits routinely reach 100 % passing
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    pub fn wilson_interval(&self, confidence: f64) -> (f64, f64) {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence {confidence} outside (0, 1)"
+        );
+        let z = crate::std_normal_quantile(0.5 + confidence / 2.0);
+        let n = self.total as f64;
+        let p = self.value();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+impl std::fmt::Display for YieldEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}% ({}/{})", self.percent(), self.passed, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counts() {
+        let e = YieldEstimate::from_counts(90, 100);
+        assert!((e.value() - 0.9).abs() < 1e-15);
+        assert_eq!(e.bad_samples(), 10);
+        assert!((e.bad_per_mille() - 100.0).abs() < 1e-12);
+        assert_eq!(e.total(), 100);
+        assert_eq!(e.passed(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty() {
+        let _ = YieldEstimate::from_counts(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total")]
+    fn rejects_inverted_counts() {
+        let _ = YieldEstimate::from_counts(5, 3);
+    }
+
+    #[test]
+    fn from_trials_counts_correctly() {
+        let e = YieldEstimate::from_trials([true, false, true, true]);
+        assert_eq!(e.passed(), 3);
+        assert_eq!(e.total(), 4);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let e = YieldEstimate::from_counts(45, 300);
+        let (lo, hi) = e.wilson_interval(0.95);
+        assert!(lo < e.value() && e.value() < hi);
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_sane_at_extremes() {
+        let all_pass = YieldEstimate::from_counts(300, 300);
+        let (lo, hi) = all_pass.wilson_interval(0.95);
+        assert!(hi <= 1.0);
+        assert!(lo > 0.95, "lower bound {lo} too pessimistic for 300/300");
+
+        let all_fail = YieldEstimate::from_counts(0, 300);
+        let (lo2, hi2) = all_fail.wilson_interval(0.95);
+        assert_eq!(lo2, 0.0);
+        assert!(hi2 < 0.05);
+    }
+
+    #[test]
+    fn narrower_interval_with_more_samples() {
+        let small = YieldEstimate::from_counts(90, 100);
+        let large = YieldEstimate::from_counts(9000, 10_000);
+        let (l1, h1) = small.wilson_interval(0.95);
+        let (l2, h2) = large.wilson_interval(0.95);
+        assert!(h2 - l2 < h1 - l1);
+    }
+
+    #[test]
+    fn std_error_formula() {
+        let e = YieldEstimate::from_counts(50, 100);
+        assert!((e.std_error() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_percentage() {
+        let e = YieldEstimate::from_counts(299, 300);
+        let s = format!("{e}");
+        assert!(s.contains("99.7"));
+        assert!(s.contains("299/300"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the statistical substrate.
+
+use proptest::prelude::*;
+use specwise_stat::{
+    std_normal_cdf, std_normal_quantile, LogNormal, Normal, RunningMoments, Uniform,
+    UnivariateDistribution, YieldEstimate,
+};
+
+proptest! {
+    #[test]
+    fn normal_quantile_cdf_roundtrip(
+        mu in -100.0..100.0f64,
+        sigma in 0.01..50.0f64,
+        p in 0.001..0.999f64,
+    ) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(mu in -10.0..10.0f64, sigma in 0.1..5.0f64, a in -20.0..20.0f64, gap in 0.001..10.0f64) {
+        let d = Normal::new(mu, sigma).unwrap();
+        prop_assert!(d.cdf(a) <= d.cdf(a + gap));
+    }
+
+    #[test]
+    fn lognormal_normal_space_roundtrip(
+        mu in -2.0..2.0f64,
+        sigma in 0.05..1.0f64,
+        z in -3.0..3.0f64,
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let x = d.from_standard_normal(z);
+        prop_assert!(x > 0.0);
+        let z2 = d.to_standard_normal(x);
+        prop_assert!((z2 - z).abs() < 1e-7, "z={z} z2={z2}");
+    }
+
+    #[test]
+    fn uniform_transform_preserves_order(
+        a in -10.0..0.0f64,
+        width in 0.1..10.0f64,
+        p1 in 0.01..0.99f64,
+        p2 in 0.01..0.99f64,
+    ) {
+        let d = Uniform::new(a, a + width).unwrap();
+        let (x1, x2) = (d.quantile(p1), d.quantile(p2));
+        let (z1, z2) = (d.to_standard_normal(x1), d.to_standard_normal(x2));
+        // The normal-space transform is monotone: order must be preserved.
+        prop_assert_eq!(x1 < x2, z1 < z2);
+    }
+
+    #[test]
+    fn std_quantile_is_inverse(p in 0.0001..0.9999f64) {
+        prop_assert!((std_normal_cdf(std_normal_quantile(p)) - p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn yield_estimate_in_unit_interval(passed in 0usize..1000, extra in 0usize..1000) {
+        let total = passed + extra + 1;
+        let e = YieldEstimate::from_counts(passed.min(total), total);
+        prop_assert!((0.0..=1.0).contains(&e.value()));
+        let (lo, hi) = e.wilson_interval(0.95);
+        prop_assert!(0.0 <= lo && lo <= e.value() + 1e-12);
+        prop_assert!(e.value() - 1e-12 <= hi && hi <= 1.0);
+    }
+
+    #[test]
+    fn moments_merge_matches_sequential(data in prop::collection::vec(-1e3..1e3f64, 2..60), split in 0usize..60) {
+        let k = split.min(data.len());
+        let (l, r) = data.split_at(k);
+        let mut a: RunningMoments = l.iter().copied().collect();
+        let b: RunningMoments = r.iter().copied().collect();
+        a.merge(&b);
+        let full: RunningMoments = data.iter().copied().collect();
+        prop_assert_eq!(a.count(), full.count());
+        prop_assert!((a.mean() - full.mean()).abs() < 1e-8 * (1.0 + full.mean().abs()));
+        prop_assert!((a.sample_variance() - full.sample_variance()).abs()
+            < 1e-6 * (1.0 + full.sample_variance()));
+    }
+
+    #[test]
+    fn moments_bounds_contain_mean(data in prop::collection::vec(-1e3..1e3f64, 1..50)) {
+        let m: RunningMoments = data.iter().copied().collect();
+        prop_assert!(m.min() <= m.mean() + 1e-9);
+        prop_assert!(m.mean() <= m.max() + 1e-9);
+    }
+}

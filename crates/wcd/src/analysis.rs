@@ -1,0 +1,283 @@
+//! The full worst-case analysis of one design point: per-spec worst-case
+//! operating corners, worst-case points, spec-wise linearizations and
+//! mirrored (quadratic) models.
+
+use specwise_ckt::CircuitEnv;
+use specwise_linalg::DVec;
+
+use crate::corners::worst_case_corners;
+use crate::gradient::margins_gradient_d;
+use crate::wc_point::{WorstCasePoint, WorstCaseSearch};
+use crate::{LinearizationPoint, SpecLinearization, WcOptions, WcdError};
+
+/// Result of a worst-case analysis at one design point.
+#[derive(Debug, Clone)]
+pub struct WcResult {
+    d_f: DVec,
+    wc_points: Vec<WorstCasePoint>,
+    linearizations: Vec<SpecLinearization>,
+    nominal_margins: DVec,
+}
+
+impl WcResult {
+    /// The analyzed design point.
+    pub fn design(&self) -> &DVec {
+        &self.d_f
+    }
+
+    /// Worst-case points, one per specification (in spec order).
+    pub fn worst_case_points(&self) -> &[WorstCasePoint] {
+        &self.wc_points
+    }
+
+    /// All linear margin models (one per spec, plus mirrored twins).
+    pub fn linearizations(&self) -> &[SpecLinearization] {
+        &self.linearizations
+    }
+
+    /// Margins at the nominal statistical point, each at its spec's
+    /// worst-case operating corner — the `f⁽ⁱ⁾ − f_b⁽ⁱ⁾` rows of the
+    /// paper's tables.
+    pub fn nominal_margins(&self) -> &DVec {
+        &self.nominal_margins
+    }
+}
+
+/// Orchestrates the worst-case analysis (paper Secs. 2, 5.2).
+#[derive(Clone)]
+pub struct WcAnalysis<'e> {
+    env: &'e dyn CircuitEnv,
+    options: WcOptions,
+}
+
+impl std::fmt::Debug for WcAnalysis<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WcAnalysis").field("env", &self.env.name()).field("options", &self.options).finish()
+    }
+}
+
+impl<'e> WcAnalysis<'e> {
+    /// Creates an analysis bound to an environment.
+    pub fn new(env: &'e dyn CircuitEnv, options: WcOptions) -> Self {
+        WcAnalysis { env, options }
+    }
+
+    /// Runs the analysis at the design point `d_f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors and invalid options. A
+    /// [`WcdError::DegenerateGradient`] from a single spec is tolerated by
+    /// anchoring that spec's model at the nominal point instead.
+    pub fn run(&self, d_f: &DVec) -> Result<WcResult, WcdError> {
+        self.options.validate()?;
+        let env = self.env;
+        let n_spec = env.specs().len();
+
+        // Per-spec worst-case operating corners (shared corner sweep).
+        let corners = worst_case_corners(env, d_f, &DVec::zeros(env.stat_dim()))?;
+        let nominal_margins: DVec = corners.iter().map(|(_, m)| *m).collect();
+
+        let mut wc_points = Vec::with_capacity(n_spec);
+        let mut linearizations = Vec::new();
+        let search = WorstCaseSearch::new(self.options);
+
+        for spec in 0..n_spec {
+            let (theta_wc, nominal_margin) = corners[spec];
+
+            let wc = match self.options.linearization_point {
+                LinearizationPoint::WorstCase => {
+                    match search.run(env, d_f, spec, &theta_wc) {
+                        Ok(wc) => wc,
+                        Err(WcdError::DegenerateGradient { .. }) => {
+                            // Spec insensitive to ŝ: anchor at nominal.
+                            self.nominal_anchor(d_f, spec, theta_wc, nominal_margin)?
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                LinearizationPoint::Nominal => {
+                    self.nominal_anchor(d_f, spec, theta_wc, nominal_margin)?
+                }
+            };
+
+            // Design-space gradient at the anchor.
+            let (margins_anchor, jac_d) =
+                margins_gradient_d(env, d_f, &wc.s_wc, &wc.theta_wc, self.options.fd_step_d)?;
+            let lin = SpecLinearization {
+                spec,
+                mirrored: false,
+                theta_wc: wc.theta_wc,
+                s_wc: wc.s_wc.clone(),
+                d_f: d_f.clone(),
+                margin_at_anchor: margins_anchor[spec],
+                grad_s: wc.grad_s.clone(),
+                grad_d: jac_d.row(spec),
+            };
+
+            // Mismatch-shaped (semidefinite quadratic) detection: evaluate
+            // once at −ŝ_wc (paper: "only one additional simulation"). For a
+            // linear performance the margin there would be ≈ 2·m(0); if it
+            // is much lower, the performance degrades on both sides of the
+            // nominal point and a mirrored model is added (Eqs. 21–22).
+            if self.options.mirrored_models
+                && matches!(self.options.linearization_point, LinearizationPoint::WorstCase)
+                && wc.s_wc.norm2() > 1e-9
+            {
+                let m_mirror =
+                    env.eval_margins(d_f, &(-&wc.s_wc), &wc.theta_wc)?[wc.spec];
+                let linear_expectation = 2.0 * wc.nominal_margin - lin.margin_at_anchor;
+                if m_mirror < 0.5 * linear_expectation {
+                    linearizations.push(lin.to_mirrored());
+                }
+            }
+
+            linearizations.push(lin);
+            wc_points.push(wc);
+        }
+
+        Ok(WcResult { d_f: d_f.clone(), wc_points, linearizations, nominal_margins })
+    }
+
+    /// Builds a nominal-anchored pseudo worst-case point (for the Table 4
+    /// ablation and for ŝ-insensitive specs).
+    fn nominal_anchor(
+        &self,
+        d_f: &DVec,
+        spec: usize,
+        theta_wc: specwise_ckt::OperatingPoint,
+        nominal_margin: f64,
+    ) -> Result<WorstCasePoint, WcdError> {
+        let s0 = DVec::zeros(self.env.stat_dim());
+        let (margins, jac) = crate::gradient::margins_gradient_s(
+            self.env,
+            d_f,
+            &s0,
+            &theta_wc,
+            self.options.fd_step_s,
+        )?;
+        Ok(WorstCasePoint {
+            spec,
+            theta_wc,
+            s_wc: s0,
+            beta_wc: if nominal_margin >= 0.0 {
+                self.options.beta_max
+            } else {
+                -self.options.beta_max
+            },
+            nominal_margin,
+            margin_at_wc: margins[spec],
+            grad_s: jac.row(spec),
+            converged: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+
+    /// Two specs: a linear one and a mismatch-shaped (concave quadratic) one.
+    fn env() -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 3.0)]))
+            .stat_dim(2)
+            .spec(Spec::new("lin", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("quad", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| {
+                DVec::from_slice(&[
+                    d[0] + 2.0 * s[0] + s[1],
+                    // Mismatch-shaped: degrades along s0 − s1 in both
+                    // directions (cf. Fig. 1's CMRR ridge).
+                    d[0] - 0.4 * (s[0] - s[1]) * (s[0] - s[1]) - 0.3 * (s[0] - s[1]),
+                ])
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn analysis_produces_models_per_spec() {
+        let e = env();
+        let d = DVec::from_slice(&[3.0]);
+        let res = WcAnalysis::new(&e, WcOptions::default()).run(&d).unwrap();
+        assert_eq!(res.worst_case_points().len(), 2);
+        // The quadratic spec must have received a mirrored twin.
+        let mirrored: Vec<_> =
+            res.linearizations().iter().filter(|l| l.mirrored).collect();
+        assert_eq!(mirrored.len(), 1, "expected exactly one mirrored model");
+        assert_eq!(mirrored[0].spec, 1);
+        // The linear spec must not.
+        assert!(res
+            .linearizations()
+            .iter()
+            .filter(|l| l.spec == 0)
+            .all(|l| !l.mirrored));
+    }
+
+    #[test]
+    fn linear_spec_distance_correct() {
+        let e = env();
+        let d = DVec::from_slice(&[3.0]);
+        let res = WcAnalysis::new(&e, WcOptions::default()).run(&d).unwrap();
+        let wc = &res.worst_case_points()[0];
+        // margin = 3 + 2 s0 + s1 → distance 3/√5.
+        assert!((wc.beta_wc - 3.0 / 5f64.sqrt()).abs() < 1e-3, "beta {}", wc.beta_wc);
+        assert!((res.nominal_margins()[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearization_reproduces_margin_locally() {
+        let e = env();
+        let d = DVec::from_slice(&[3.0]);
+        let res = WcAnalysis::new(&e, WcOptions::default()).run(&d).unwrap();
+        let lin = res
+            .linearizations()
+            .iter()
+            .find(|l| l.spec == 0 && !l.mirrored)
+            .unwrap();
+        // For the exactly linear margin, the model is globally exact.
+        let theta = lin.theta_wc;
+        for (dd, s0, s1) in [(3.0, 0.0, 0.0), (4.0, 1.0, -2.0), (2.5, -0.3, 0.7)] {
+            let dv = DVec::from_slice(&[dd]);
+            let sv = DVec::from_slice(&[s0, s1]);
+            let truth = e.eval_margins(&dv, &sv, &theta).unwrap()[0];
+            let model = lin.eval(&dv, &sv);
+            assert!((truth - model).abs() < 1e-2, "{truth} vs {model}");
+        }
+    }
+
+    #[test]
+    fn nominal_mode_anchors_at_zero() {
+        let e = env();
+        let d = DVec::from_slice(&[3.0]);
+        let mut opts = WcOptions::default();
+        opts.linearization_point = LinearizationPoint::Nominal;
+        let res = WcAnalysis::new(&e, opts).run(&d).unwrap();
+        for wc in res.worst_case_points() {
+            assert!(wc.s_wc.norm2() < 1e-12, "nominal anchoring expected");
+        }
+        // No mirrored models in nominal mode.
+        assert!(res.linearizations().iter().all(|l| !l.mirrored));
+        assert_eq!(res.linearizations().len(), 2);
+    }
+
+    #[test]
+    fn insensitive_spec_tolerated() {
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 3.0)]))
+            .stat_dim(1)
+            .spec(Spec::new("dead", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("live", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0], d[0] + s[0]]))
+            .build()
+            .unwrap();
+        let res = WcAnalysis::new(&e, WcOptions::default())
+            .run(&DVec::from_slice(&[3.0]))
+            .unwrap();
+        assert_eq!(res.worst_case_points().len(), 2);
+        assert!(!res.worst_case_points()[0].converged);
+        assert!((res.worst_case_points()[1].beta_wc - 3.0).abs() < 1e-3);
+    }
+}

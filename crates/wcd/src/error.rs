@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+use specwise_ckt::CktError;
+
+/// Errors produced by the worst-case analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WcdError {
+    /// The underlying circuit evaluation failed.
+    Circuit(CktError),
+    /// A vector has the wrong length.
+    DimensionMismatch {
+        /// What the vector represents.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+    /// The worst-case search could not make progress (vanishing gradient).
+    DegenerateGradient {
+        /// Specification index.
+        spec: usize,
+    },
+    /// Invalid option value.
+    InvalidOption {
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for WcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcdError::Circuit(e) => write!(f, "circuit evaluation failed: {e}"),
+            WcdError::DimensionMismatch { what, expected, found } => {
+                write!(f, "{what} vector has length {found}, expected {expected}")
+            }
+            WcdError::DegenerateGradient { spec } => {
+                write!(f, "worst-case search stalled for spec {spec}: gradient vanished")
+            }
+            WcdError::InvalidOption { reason } => write!(f, "invalid option: {reason}"),
+        }
+    }
+}
+
+impl Error for WcdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WcdError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CktError> for WcdError {
+    fn from(e: CktError) -> Self {
+        WcdError::Circuit(e)
+    }
+}

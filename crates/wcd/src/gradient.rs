@@ -1,0 +1,206 @@
+//! Finite-difference gradients of margins and constraints.
+//!
+//! TITAN's internal sensitivities are not available to us (DESIGN.md §6), so
+//! gradients are forward differences: `n+1` evaluations per gradient, with
+//! the base evaluation shared by the caller where possible.
+
+use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_linalg::{DMat, DVec};
+
+use crate::WcdError;
+
+/// Jacobian of all margins w.r.t. the standardized statistical parameters at
+/// `(d, ŝ, θ)`, by forward differences with step `h` (σ units).
+///
+/// Returns `(margins_at_base, jacobian [n_spec × n_s])`.
+///
+/// # Errors
+///
+/// Propagates circuit-evaluation errors; rejects non-positive `h`.
+pub fn margins_gradient_s(
+    env: &dyn CircuitEnv,
+    d: &DVec,
+    s_hat: &DVec,
+    theta: &OperatingPoint,
+    h: f64,
+) -> Result<(DVec, DMat), WcdError> {
+    if !(h > 0.0) {
+        return Err(WcdError::InvalidOption { reason: "fd step must be > 0" });
+    }
+    let base = env.eval_margins(d, s_hat, theta)?;
+    let (n_spec, n_s) = (base.len(), s_hat.len());
+    let mut jac = DMat::zeros(n_spec, n_s);
+    for j in 0..n_s {
+        let mut s2 = s_hat.clone();
+        s2[j] += h;
+        let m2 = env.eval_margins(d, &s2, theta)?;
+        for i in 0..n_spec {
+            jac[(i, j)] = (m2[i] - base[i]) / h;
+        }
+    }
+    Ok((base, jac))
+}
+
+/// Jacobian of all margins w.r.t. the design parameters at `(d, ŝ, θ)`.
+///
+/// The step for parameter `k` is `h_rel·(upper_k − lower_k)`, taken in the
+/// direction that stays inside the design box.
+///
+/// # Errors
+///
+/// Propagates circuit-evaluation errors; rejects non-positive `h_rel`.
+pub fn margins_gradient_d(
+    env: &dyn CircuitEnv,
+    d: &DVec,
+    s_hat: &DVec,
+    theta: &OperatingPoint,
+    h_rel: f64,
+) -> Result<(DVec, DMat), WcdError> {
+    if !(h_rel > 0.0) {
+        return Err(WcdError::InvalidOption { reason: "fd step must be > 0" });
+    }
+    let base = env.eval_margins(d, s_hat, theta)?;
+    let space = env.design_space();
+    let (n_spec, n_d) = (base.len(), d.len());
+    let mut jac = DMat::zeros(n_spec, n_d);
+    for k in 0..n_d {
+        let p = &space.params()[k];
+        let step = h_rel * (p.upper - p.lower);
+        // Step inward when at the upper bound.
+        let signed = if d[k] + step <= p.upper { step } else { -step };
+        let mut d2 = d.clone();
+        d2[k] += signed;
+        let m2 = env.eval_margins(&d2, s_hat, theta)?;
+        for i in 0..n_spec {
+            jac[(i, k)] = (m2[i] - base[i]) / signed;
+        }
+    }
+    Ok((base, jac))
+}
+
+/// Values and Jacobian of the functional constraints `c(d)` at `d`
+/// (paper Eq. 15 inputs).
+///
+/// # Errors
+///
+/// Propagates circuit-evaluation errors; rejects non-positive `h_rel`.
+pub fn constraint_jacobian(
+    env: &dyn CircuitEnv,
+    d: &DVec,
+    h_rel: f64,
+) -> Result<(DVec, DMat), WcdError> {
+    if !(h_rel > 0.0) {
+        return Err(WcdError::InvalidOption { reason: "fd step must be > 0" });
+    }
+    let base = env.eval_constraints(d)?;
+    let space = env.design_space();
+    let (n_c, n_d) = (base.len(), d.len());
+    let mut jac = DMat::zeros(n_c, n_d);
+    for k in 0..n_d {
+        let p = &space.params()[k];
+        let step = h_rel * (p.upper - p.lower);
+        let signed = if d[k] + step <= p.upper { step } else { -step };
+        let mut d2 = d.clone();
+        d2[k] += signed;
+        let c2 = env.eval_constraints(&d2)?;
+        for i in 0..n_c {
+            jac[(i, k)] = (c2[i] - base[i]) / signed;
+        }
+    }
+    Ok((base, jac))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+
+    fn env() -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![
+                DesignParam::new("a", "", -5.0, 5.0, 1.0),
+                DesignParam::new("b", "", 0.0, 10.0, 2.0),
+            ]))
+            .stat_dim(2)
+            .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("f1", "", SpecKind::UpperBound, 4.0))
+            .performances(|d, s, _| {
+                DVec::from_slice(&[
+                    2.0 * d[0] + 3.0 * s[0] - s[1],
+                    d[1] * d[1] + 0.5 * s[1],
+                ])
+            })
+            .constraints(vec!["c0".to_string()], |d| DVec::from_slice(&[d[0] + d[1] - 1.0]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stat_gradient_matches_analytic() {
+        let e = env();
+        let theta = e.operating_range().nominal();
+        let (m0, jac) = margins_gradient_s(
+            &e,
+            &DVec::from_slice(&[1.0, 2.0]),
+            &DVec::zeros(2),
+            &theta,
+            1e-5,
+        )
+        .unwrap();
+        assert!((m0[0] - 2.0).abs() < 1e-12);
+        // Margin of the upper-bound spec flips the gradient sign.
+        assert!((jac[(0, 0)] - 3.0).abs() < 1e-6);
+        assert!((jac[(0, 1)] + 1.0).abs() < 1e-6);
+        assert!((jac[(1, 1)] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn design_gradient_matches_analytic() {
+        let e = env();
+        let theta = e.operating_range().nominal();
+        let (_, jac) = margins_gradient_d(
+            &e,
+            &DVec::from_slice(&[1.0, 2.0]),
+            &DVec::zeros(2),
+            &theta,
+            1e-6,
+        )
+        .unwrap();
+        assert!((jac[(0, 0)] - 2.0).abs() < 1e-4);
+        // f1 = b² → ∂f1/∂b = 4 at b = 2; margin = 4 − f1 → −4.
+        assert!((jac[(1, 1)] + 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn design_gradient_steps_inward_at_upper_bound() {
+        let e = env();
+        let theta = e.operating_range().nominal();
+        // b at its upper bound 10: forward step would leave the box.
+        let (_, jac) = margins_gradient_d(
+            &e,
+            &DVec::from_slice(&[1.0, 10.0]),
+            &DVec::zeros(2),
+            &theta,
+            1e-6,
+        )
+        .unwrap();
+        assert!((jac[(1, 1)] + 20.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn constraint_jacobian_matches() {
+        let e = env();
+        let (c0, jac) = constraint_jacobian(&e, &DVec::from_slice(&[1.0, 2.0]), 1e-6).unwrap();
+        assert!((c0[0] - 2.0).abs() < 1e-12);
+        assert!((jac[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((jac[(0, 1)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_step() {
+        let e = env();
+        let theta = e.operating_range().nominal();
+        assert!(margins_gradient_s(&e, &DVec::zeros(2), &DVec::zeros(2), &theta, 0.0).is_err());
+        assert!(constraint_jacobian(&e, &DVec::zeros(2), -1.0).is_err());
+    }
+}

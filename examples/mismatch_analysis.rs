@@ -1,0 +1,67 @@
+//! Mismatch analysis (paper Sec. 3 / Table 5): detect and rank the
+//! mismatch-sensitive transistor pairs of the folded-cascode opamp from its
+//! worst-case points — at no extra simulation cost beyond the worst-case
+//! analysis itself.
+//!
+//! Also sweeps one pair along the mismatch line and the neutral line to
+//! show the Fig. 1 ridge structure of CMRR.
+//!
+//! Run with `cargo run --release --example mismatch_analysis`.
+
+use std::error::Error;
+
+use specwise::{eta, mismatch_table, MismatchAnalysis};
+use specwise_ckt::{CircuitEnv, FoldedCascode};
+use specwise_linalg::DVec;
+use specwise_wcd::{WcAnalysis, WcOptions};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let env = FoldedCascode::paper_setup();
+    let d0 = env.design_space().initial();
+
+    // Worst-case analysis at the initial design: per-spec worst-case
+    // operating corners, worst-case points and distances.
+    let result = WcAnalysis::new(&env, WcOptions::default()).run(&d0)?;
+    println!("Worst-case distances (β_wc) at the initial design:");
+    for wc in result.worst_case_points() {
+        println!(
+            "  {:<6} β_wc = {:>6.2}   η(β_wc) = {:.2}   θ_wc = {}",
+            env.specs()[wc.spec].name(),
+            wc.beta_wc,
+            eta(wc.beta_wc),
+            wc.theta_wc,
+        );
+    }
+
+    // Rank mismatch pairs (Eq. 9). CMRR dominates, as in the paper.
+    let entries = MismatchAnalysis::new().rank_all(result.worst_case_points(), 0.01);
+    println!("\nTop mismatch pairs (cf. paper Table 5):");
+    println!("{}", mismatch_table(&env, &entries, 6));
+
+    // Fig. 1 style probe: CMRR along the mismatch line vs the neutral line
+    // of the dominant pair.
+    let (Some(k), Some(l)) = (
+        env.stat_space().index_of("vth_m7"),
+        env.stat_space().index_of("vth_m8"),
+    ) else {
+        return Err("mirror-pair parameters not found".into());
+    };
+    let theta = env.operating_range().nominal();
+    println!("CMRR over the (vth_m7, vth_m8) plane (cf. paper Fig. 1):");
+    println!("{:>8} {:>16} {:>16}", "t [σ]", "mismatch line", "neutral line");
+    for t in [-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0] {
+        let mut s_ml = DVec::zeros(env.stat_dim());
+        s_ml[k] = t;
+        s_ml[l] = -t;
+        let mut s_nl = DVec::zeros(env.stat_dim());
+        s_nl[k] = t;
+        s_nl[l] = t;
+        let cmrr_ml = env.eval_performances(&d0, &s_ml, &theta)?[2];
+        let cmrr_nl = env.eval_performances(&d0, &s_nl, &theta)?[2];
+        println!("{t:>8.1} {cmrr_ml:>13.1} dB {cmrr_nl:>13.1} dB");
+    }
+    println!("\nThe mismatch line degrades CMRR on both sides of nominal (the");
+    println!("semidefinite-quadratic behaviour handled by the mirrored models,");
+    println!("Eqs. 21-22), while the neutral line is almost flat.");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Development probe: prints the raw metrics of both opamps at the initial
+//! design over the operating corners and under sample mismatch deviations.
+//! Used to calibrate the paper_setup() sizings; kept as a diagnostic tool.
+
+use specwise_ckt::{CircuitEnv, FoldedCascode, MillerOpamp};
+use specwise_linalg::DVec;
+
+fn main() {
+    let fc = FoldedCascode::paper_setup();
+    let d0 = fc.design_space().initial();
+    let s0 = DVec::zeros(fc.stat_dim());
+
+    println!("== Folded cascode, nominal s, all corners + nominal theta ==");
+    let mut thetas = fc.operating_range().corners();
+    thetas.push(fc.operating_range().nominal());
+    for th in &thetas {
+        match fc.metrics(&d0, &s0, th) {
+            Ok(m) => println!(
+                "{th}: A0={:.2} dB ft={:.2} MHz CMRR={:.2} dB SR={:.2} V/us P={:.3} mW PM={:.1}",
+                m.a0_db,
+                m.ft_hz / 1e6,
+                m.cmrr_db,
+                m.slew_v_per_s / 1e6,
+                m.power_w * 1e3,
+                m.phase_margin_deg
+            ),
+            Err(e) => println!("{th}: ERROR {e}"),
+        }
+    }
+
+    println!("== Folded cascode, per-pair mismatch-line sensitivity (±1σ) ==");
+    let th = fc.operating_range().nominal();
+    for pair in [("m1", "m2"), ("m3", "m4"), ("m5", "m6"), ("m7", "m8")] {
+        for kind in ["vth", "beta"] {
+            let ia = fc.stat_space().index_of(&format!("{kind}_{}", pair.0)).unwrap();
+            let ib = fc.stat_space().index_of(&format!("{kind}_{}", pair.1)).unwrap();
+            let mut s = DVec::zeros(fc.stat_dim());
+            s[ia] = 1.0;
+            s[ib] = -1.0;
+            match fc.metrics(&d0, &s, &th) {
+                Ok(m) => println!(
+                    "ML {kind} {}/{}: CMRR={:.2} dB",
+                    pair.0,
+                    pair.1,
+                    m.cmrr_db
+                ),
+                Err(e) => println!("ML {kind} {:?}: ERROR {e}", pair),
+            }
+        }
+    }
+    println!(
+        "s=0 CMRR at wc corner (125C, 3V): {:.2}",
+        fc.metrics(
+            &d0,
+            &s0,
+            &specwise_ckt::OperatingPoint::new(125.0, 3.0)
+        )
+        .unwrap()
+        .cmrr_db
+    );
+
+    println!("== Miller, nominal s, corners + nominal ==");
+    let mi = MillerOpamp::paper_setup();
+    let dm = mi.design_space().initial();
+    let sm = DVec::zeros(mi.stat_dim());
+    let mut thetas = mi.operating_range().corners();
+    thetas.push(mi.operating_range().nominal());
+    for th in &thetas {
+        match mi.metrics(&dm, &sm, th) {
+            Ok(m) => println!(
+                "{th}: A0={:.2} dB ft={:.3} MHz PM={:.1} deg SR={:.3} V/us P={:.3} mW",
+                m.a0_db,
+                m.ft_hz / 1e6,
+                m.phase_margin_deg,
+                m.slew_v_per_s / 1e6,
+                m.power_w * 1e3
+            ),
+            Err(e) => println!("{th}: ERROR {e}"),
+        }
+    }
+}

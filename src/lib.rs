@@ -1,0 +1,18 @@
+//! Umbrella crate for the `specwise` workspace: re-exports the public crates
+//! so the examples and integration tests can use one import root.
+//!
+//! The actual functionality lives in the workspace crates:
+//!
+//! * [`specwise_linalg`] — dense linear algebra kernels
+//! * [`specwise_stat`] — distributions and Monte-Carlo yield estimation
+//! * [`specwise_mna`] — the circuit simulator
+//! * [`specwise_ckt`] — circuits, technology, statistical spaces
+//! * [`specwise_wcd`] — worst-case analysis and spec-wise linearization
+//! * [`specwise`] — the yield optimizer and mismatch analysis
+
+pub use specwise;
+pub use specwise_ckt;
+pub use specwise_linalg;
+pub use specwise_mna;
+pub use specwise_stat;
+pub use specwise_wcd;
