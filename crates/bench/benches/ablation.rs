@@ -33,7 +33,9 @@ fn mismatch_env() -> AnalyticEnv {
             let z = (s[0] - s[1]) / d[0].sqrt();
             DVec::from_slice(&[1.0 - z * z, d[1] - 1.0 + s[0] * 0.3])
         })
-        .constraints(vec!["c".to_string()], |d| DVec::from_slice(&[6.0 - d[0] - d[1]]))
+        .constraints(vec!["c".to_string()], |d| {
+            DVec::from_slice(&[6.0 - d[0] - d[1]])
+        })
         .build()
         .unwrap()
 }
@@ -106,5 +108,10 @@ fn bench_mirrored_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_linearization_point, bench_constraints, bench_mirrored_models);
+criterion_group!(
+    benches,
+    bench_linearization_point,
+    bench_constraints,
+    bench_mirrored_models
+);
 criterion_main!(benches);

@@ -12,13 +12,16 @@ fn common_source() -> Circuit {
     let vdd = ckt.node("vdd");
     let gate = ckt.node("g");
     let out = ckt.node("out");
-    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
-    ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0).unwrap();
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+        .unwrap();
+    ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0)
+        .unwrap();
     ckt.set_ac("VG", 1.0).unwrap();
     ckt.resistor("RD", vdd, out, 20e3).unwrap();
     ckt.capacitor("CL", out, Circuit::GROUND, 1e-12).unwrap();
     let m = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
-    ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, m).unwrap();
+    ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, m)
+        .unwrap();
     ckt
 }
 

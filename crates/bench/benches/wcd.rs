@@ -12,13 +12,19 @@ use specwise_wcd::{WcAnalysis, WcOptions, WorstCaseSearch};
 /// A 27-dimensional analytic problem shaped like the circuit one.
 fn analytic_env() -> AnalyticEnv {
     AnalyticEnv::builder()
-        .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 10.0, 3.0)]))
+        .design(DesignSpace::new(vec![DesignParam::new(
+            "d0", "", 0.0, 10.0, 3.0,
+        )]))
         .stat_dim(27)
         .spec(Spec::new("lin", "", SpecKind::LowerBound, 0.0))
         .spec(Spec::new("quad", "", SpecKind::LowerBound, 0.0))
         .performances(|d, s, _| {
-            let lin: f64 =
-                d[0] + s.iter().enumerate().map(|(i, &x)| x * 0.2 * ((i + 1) as f64).sqrt()).sum::<f64>() * 0.3;
+            let lin: f64 = d[0]
+                + s.iter()
+                    .enumerate()
+                    .map(|(i, &x)| x * 0.2 * ((i + 1) as f64).sqrt())
+                    .sum::<f64>()
+                    * 0.3;
             let z = s[5] - s[6];
             let quad = d[0] - 0.3 * z * z - 0.2 * z;
             DVec::from_slice(&[lin, quad])

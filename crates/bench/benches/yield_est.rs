@@ -101,5 +101,10 @@ fn bench_model_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_estimate_scaling, bench_incremental_vs_full, bench_model_construction);
+criterion_group!(
+    benches,
+    bench_estimate_scaling,
+    bench_incremental_vs_full,
+    bench_model_construction
+);
 criterion_main!(benches);

@@ -22,10 +22,12 @@
 use std::error::Error;
 use std::time::Duration;
 
-use specwise::{effort_table, improvement_table, iteration_table, mismatch_table};
+use specwise::{
+    effort_breakdown_table, effort_table, improvement_table, iteration_table, mismatch_table,
+};
 use specwise_bench::{
-    run_fig1, run_fig2, run_fig3, run_fig4, run_fig5, run_table1, run_table3, run_table4,
-    run_table5, run_table6,
+    run_fig1, run_fig2, run_fig3, run_fig4, run_fig5, run_table1, run_table1_exec, run_table3,
+    run_table4, run_table5, run_table6, run_table6_exec,
 };
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -139,13 +141,36 @@ fn table7() -> Result<(), Box<dyn Error>> {
     println!("(on 5x Pentium III with TITAN's internal sensitivities; our");
     println!("finite-difference gradients need more simulator calls, each far");
     println!("cheaper — see EXPERIMENTS.md)\n");
-    let (_, trace_fc) = run_table1()?;
-    let (_, trace_mi) = run_table6()?;
+    let (_, trace_fc) = run_table1_exec()?;
+    let (_, trace_mi) = run_table6_exec()?;
     let rows = vec![
-        ("Folded-Cascode".to_string(), trace_fc.total_sims, trace_fc.wall_time),
-        ("Miller".to_string(), trace_mi.total_sims, trace_mi.wall_time),
+        (
+            "Folded-Cascode".to_string(),
+            trace_fc.total_sims,
+            trace_fc.wall_time,
+        ),
+        (
+            "Miller".to_string(),
+            trace_mi.total_sims,
+            trace_mi.wall_time,
+        ),
     ];
     println!("{}", effort_table(&rows));
+    println!("Per-phase breakdown (simulations attributed to each stage of");
+    println!("Fig. 6; Hit % and Workers from the evaluation engine — tune with");
+    println!("SPECWISE_WORKERS / SPECWISE_CACHE_CAP / SPECWISE_RETRIES):\n");
+    println!(
+        "{}",
+        effort_breakdown_table(&[
+            ("Folded-Cascode".to_string(), &trace_fc),
+            ("Miller".to_string(), &trace_mi),
+        ])
+    );
+    for trace in [&trace_fc, &trace_mi] {
+        if let Some(report) = &trace.exec {
+            println!("{report}");
+        }
+    }
     let _: Duration = trace_fc.wall_time;
     Ok(())
 }

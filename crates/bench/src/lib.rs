@@ -13,6 +13,7 @@ use specwise::{
     YieldOptimizer,
 };
 use specwise_ckt::{CircuitEnv, CktError, FoldedCascode, MillerOpamp};
+use specwise_exec::{EvalService, ExecConfig};
 use specwise_linalg::DVec;
 use specwise_wcd::LinearizationPoint;
 
@@ -25,6 +26,34 @@ use specwise_wcd::LinearizationPoint;
 pub fn run_table1() -> Result<(FoldedCascode, OptimizationTrace), SpecwiseError> {
     let env = FoldedCascode::paper_setup();
     let trace = YieldOptimizer::new(OptimizerConfig::default()).run(&env)?;
+    Ok((env, trace))
+}
+
+/// Runs the Table 1 optimization through an [`EvalService`] so the trace
+/// carries the execution-engine report (per-phase simulation counts, cache
+/// hit rate, parallel wall time). The service configuration comes from the
+/// `SPECWISE_*` environment variables on top of the defaults.
+///
+/// # Errors
+///
+/// Propagates optimizer errors.
+pub fn run_table1_exec() -> Result<(FoldedCascode, OptimizationTrace), SpecwiseError> {
+    let env = FoldedCascode::paper_setup();
+    let service = EvalService::new(&env, ExecConfig::from_env());
+    let trace = YieldOptimizer::new(OptimizerConfig::default()).run(&service)?;
+    Ok((env, trace))
+}
+
+/// Runs the Table 6 optimization through an [`EvalService`]; see
+/// [`run_table1_exec`].
+///
+/// # Errors
+///
+/// Propagates optimizer errors.
+pub fn run_table6_exec() -> Result<(MillerOpamp, OptimizationTrace), SpecwiseError> {
+    let env = MillerOpamp::paper_setup();
+    let service = EvalService::new(&env, ExecConfig::from_env());
+    let trace = YieldOptimizer::new(OptimizerConfig::default()).run(&service)?;
     Ok((env, trace))
 }
 
@@ -64,8 +93,8 @@ pub fn run_table4() -> Result<(FoldedCascode, OptimizationTrace), SpecwiseError>
 pub fn run_table5() -> Result<(FoldedCascode, Vec<MismatchEntry>), SpecwiseError> {
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
-    let analysis = specwise_wcd::WcAnalysis::new(&env, specwise_wcd::WcOptions::default())
-        .run(&d0)?;
+    let analysis =
+        specwise_wcd::WcAnalysis::new(&env, specwise_wcd::WcOptions::default()).run(&d0)?;
     let entries = MismatchAnalysis::new().rank_all(analysis.worst_case_points(), 0.01);
     Ok((env, entries))
 }
@@ -95,8 +124,14 @@ pub fn run_fig1(n: usize) -> Result<Vec<SurfacePoint>, CktError> {
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
     let theta = env.operating_range().nominal();
-    let k = env.stat_space().index_of("vth_m7").expect("mirror pair exists");
-    let l = env.stat_space().index_of("vth_m8").expect("mirror pair exists");
+    let k = env
+        .stat_space()
+        .index_of("vth_m7")
+        .expect("mirror pair exists");
+    let l = env
+        .stat_space()
+        .index_of("vth_m8")
+        .expect("mirror pair exists");
     let mut out = Vec::with_capacity(n * n);
     for i in 0..n {
         for j in 0..n {
@@ -117,8 +152,7 @@ pub fn run_fig2(n: usize) -> Vec<(f64, f64)> {
     let opts = specwise::PhiOptions::default();
     (0..n)
         .map(|i| {
-            let a = -std::f64::consts::FRAC_PI_2
-                + std::f64::consts::PI * i as f64 / (n - 1) as f64;
+            let a = -std::f64::consts::FRAC_PI_2 + std::f64::consts::PI * i as f64 / (n - 1) as f64;
             (a, specwise::phi(a, &opts))
         })
         .collect()
@@ -184,8 +218,8 @@ pub fn run_fig4(n: usize) -> Result<Vec<(f64, f64, f64, f64)>, CktError> {
 pub fn run_fig5(n: usize) -> Result<Vec<(f64, f64)>, SpecwiseError> {
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
-    let analysis = specwise_wcd::WcAnalysis::new(&env, specwise_wcd::WcOptions::default())
-        .run(&d0)?;
+    let analysis =
+        specwise_wcd::WcAnalysis::new(&env, specwise_wcd::WcOptions::default()).run(&d0)?;
     let model = specwise::LinearizedYield::new(
         analysis.linearizations().to_vec(),
         env.specs().len(),

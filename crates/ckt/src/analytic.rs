@@ -41,6 +41,7 @@ use crate::{
 type PerfFn = dyn Fn(&DVec, &DVec, &OperatingPoint) -> DVec + Send + Sync;
 type ConstraintFn = dyn Fn(&DVec) -> DVec + Send + Sync;
 type FailFn = dyn Fn(&DVec) -> bool + Send + Sync;
+type FailStatFn = dyn Fn(&DVec, &DVec) -> bool + Send + Sync;
 
 /// A [`CircuitEnv`] whose performances and constraints are closed-form
 /// functions, for testing and benchmarking the yield machinery against
@@ -56,6 +57,7 @@ pub struct AnalyticEnv {
     constraints: Box<ConstraintFn>,
     constraint_names: Vec<String>,
     fail_when: Option<Box<FailFn>>,
+    fail_when_stat: Option<Box<FailStatFn>>,
     counter: SimCounter,
 }
 
@@ -82,11 +84,14 @@ pub struct AnalyticEnvBuilder {
     constraints: Option<Box<ConstraintFn>>,
     constraint_names: Vec<String>,
     fail_when: Option<Box<FailFn>>,
+    fail_when_stat: Option<Box<FailStatFn>>,
 }
 
 impl std::fmt::Debug for AnalyticEnvBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AnalyticEnvBuilder").field("specs", &self.specs.len()).finish()
+        f.debug_struct("AnalyticEnvBuilder")
+            .field("specs", &self.specs.len())
+            .finish()
     }
 }
 
@@ -154,18 +159,39 @@ impl AnalyticEnvBuilder {
         self
     }
 
+    /// Declares a statistical region where the "simulation" fails —
+    /// performance evaluations there return [`CktError::Simulation`],
+    /// mimicking a non-converging DC solve at an extreme mismatch sample.
+    /// Used to test graceful degradation of Monte-Carlo loops and the
+    /// retry policy of the evaluation service.
+    pub fn fail_when_stat<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&DVec, &DVec) -> bool + Send + Sync + 'static,
+    {
+        self.fail_when_stat = Some(Box::new(f));
+        self
+    }
+
     /// Builds the environment.
     ///
     /// # Errors
     ///
     /// Returns [`CktError::InvalidConfig`] when a required piece is missing.
     pub fn build(self) -> Result<AnalyticEnv, CktError> {
-        let design = self.design.ok_or(CktError::InvalidConfig { reason: "design space required" })?;
-        let stat_dim = self.stat_dim.ok_or(CktError::InvalidConfig { reason: "stat_dim required" })?;
+        let design = self.design.ok_or(CktError::InvalidConfig {
+            reason: "design space required",
+        })?;
+        let stat_dim = self.stat_dim.ok_or(CktError::InvalidConfig {
+            reason: "stat_dim required",
+        })?;
         if self.specs.is_empty() {
-            return Err(CktError::InvalidConfig { reason: "at least one spec required" });
+            return Err(CktError::InvalidConfig {
+                reason: "at least one spec required",
+            });
         }
-        let perf = self.perf.ok_or(CktError::InvalidConfig { reason: "performance function required" })?;
+        let perf = self.perf.ok_or(CktError::InvalidConfig {
+            reason: "performance function required",
+        })?;
         // Anonymous stat space of the right size: globals-only spaces come
         // in fives, so synthesize from generic device names when needed.
         let stats = synth_stat_space(stat_dim);
@@ -175,11 +201,16 @@ impl AnalyticEnvBuilder {
             stats,
             stat_dim,
             specs: self.specs,
-            range: self.range.unwrap_or_else(|| OperatingRange::new(0.0, 50.0, 3.0, 3.6)),
+            range: self
+                .range
+                .unwrap_or_else(|| OperatingRange::new(0.0, 50.0, 3.0, 3.6)),
             perf,
-            constraints: self.constraints.unwrap_or_else(|| Box::new(|_d: &DVec| DVec::zeros(0))),
+            constraints: self
+                .constraints
+                .unwrap_or_else(|| Box::new(|_d: &DVec| DVec::zeros(0))),
             constraint_names: self.constraint_names,
             fail_when: self.fail_when,
+            fail_when_stat: self.fail_when_stat,
             counter: SimCounter::new(),
         })
     }
@@ -194,8 +225,10 @@ fn synth_stat_space(n: usize) -> StatSpace {
     let needed_locals = n.saturating_sub(5);
     let num_devices = needed_locals.div_ceil(2);
     let names: Vec<String> = (0..num_devices).map(|i| format!("x{i}")).collect();
-    let devices: Vec<(&str, specwise_mna::MosPolarity)> =
-        names.iter().map(|s| (s.as_str(), specwise_mna::MosPolarity::Nmos)).collect();
+    let devices: Vec<(&str, specwise_mna::MosPolarity)> = names
+        .iter()
+        .map(|s| (s.as_str(), specwise_mna::MosPolarity::Nmos))
+        .collect();
     StatSpace::build(&devices, num_devices > 0)
 }
 
@@ -258,11 +291,24 @@ impl CircuitEnv for AnalyticEnv {
         self.counter.add(1);
         if let Some(fail) = &self.fail_when {
             if fail(d) {
-                return Err(CktError::Simulation(specwise_mna::MnaError::NoConvergence {
-                    analysis: "dc",
-                    iterations: 0,
-                    residual: f64::NAN,
-                }));
+                return Err(CktError::Simulation(
+                    specwise_mna::MnaError::NoConvergence {
+                        analysis: "dc",
+                        iterations: 0,
+                        residual: f64::NAN,
+                    },
+                ));
+            }
+        }
+        if let Some(fail) = &self.fail_when_stat {
+            if fail(d, s_hat) {
+                return Err(CktError::Simulation(
+                    specwise_mna::MnaError::NoConvergence {
+                        analysis: "dc",
+                        iterations: 0,
+                        residual: f64::NAN,
+                    },
+                ));
             }
         }
         let out = (self.perf)(d, s_hat, theta);
@@ -285,11 +331,13 @@ impl CircuitEnv for AnalyticEnv {
         self.counter.add(1);
         if let Some(fail) = &self.fail_when {
             if fail(d) {
-                return Err(CktError::Simulation(specwise_mna::MnaError::NoConvergence {
-                    analysis: "dc",
-                    iterations: 0,
-                    residual: f64::NAN,
-                }));
+                return Err(CktError::Simulation(
+                    specwise_mna::MnaError::NoConvergence {
+                        analysis: "dc",
+                        iterations: 0,
+                        residual: f64::NAN,
+                    },
+                ));
             }
         }
         Ok((self.constraints)(d))
@@ -302,6 +350,14 @@ impl CircuitEnv for AnalyticEnv {
     fn reset_sim_count(&self) {
         self.counter.reset();
     }
+
+    fn set_sim_phase(&self, phase: crate::SimPhase) {
+        self.counter.set_phase(phase);
+    }
+
+    fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
+        self.counter.phase_counts()
+    }
 }
 
 #[cfg(test)]
@@ -311,7 +367,9 @@ mod tests {
 
     fn simple_env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", -5.0, 5.0, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 1.0,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| DVec::from_slice(&[d[0] - s[0] * s[0] - s[1]]))
@@ -337,7 +395,9 @@ mod tests {
     fn missing_pieces_rejected() {
         assert!(AnalyticEnv::builder().build().is_err());
         assert!(AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 1.0, 0.5)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 1.0, 0.5
+            )]))
             .build()
             .is_err());
     }
@@ -346,21 +406,32 @@ mod tests {
     fn dimension_checks() {
         let env = simple_env();
         let theta = env.operating_range().nominal();
-        assert!(env.eval_performances(&DVec::zeros(2), &DVec::zeros(2), &theta).is_err());
-        assert!(env.eval_performances(&DVec::zeros(1), &DVec::zeros(3), &theta).is_err());
+        assert!(env
+            .eval_performances(&DVec::zeros(2), &DVec::zeros(2), &theta)
+            .is_err());
+        assert!(env
+            .eval_performances(&DVec::zeros(1), &DVec::zeros(3), &theta)
+            .is_err());
     }
 
     #[test]
     fn default_constraints_empty() {
         let env = simple_env();
-        assert_eq!(env.eval_constraints(&DVec::from_slice(&[1.0])).unwrap().len(), 0);
+        assert_eq!(
+            env.eval_constraints(&DVec::from_slice(&[1.0]))
+                .unwrap()
+                .len(),
+            0
+        );
         assert!(env.constraint_names().is_empty());
     }
 
     #[test]
     fn large_stat_dims_supported() {
         let env = AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 1.0, 0.5)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 1.0, 0.5,
+            )]))
             .stat_dim(30)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|_, s, _| DVec::from_slice(&[s.sum()]))

@@ -69,7 +69,10 @@ impl DesignSpace {
     ///
     /// Panics on an empty list.
     pub fn new(params: Vec<DesignParam>) -> Self {
-        assert!(!params.is_empty(), "design space needs at least one parameter");
+        assert!(
+            !params.is_empty(),
+            "design space needs at least one parameter"
+        );
         DesignSpace { params }
     }
 

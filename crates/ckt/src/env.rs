@@ -1,36 +1,151 @@
 //! The [`CircuitEnv`] abstraction: what the worst-case analysis and the
 //! yield optimizer need from a circuit.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use specwise_linalg::DVec;
 
 use crate::{CktError, DesignSpace, OperatingPoint, OperatingRange, Spec, StatSpace};
 
+/// The algorithmic phase a simulation is charged to.
+///
+/// The optimizer spends its simulation budget in distinct places —
+/// feasibility search, worst-case distance analysis, linearization
+/// gradients, line search, and Monte-Carlo verification — and the paper's
+/// effort discussion (§7, Table 7) argues about where that budget goes.
+/// Tagging each simulation with its phase makes the split reportable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimPhase {
+    /// Feasibility search / constraint evaluation (paper §6.1).
+    Feasibility,
+    /// Worst-case distance analysis: corner sweeps, θ refinement, and the
+    /// worst-case point search (paper §4).
+    Wcd,
+    /// Spec-wise linearization gradients and Jacobians (paper §5).
+    Linearization,
+    /// Feasibility-guided line search along the ascent direction (paper §6).
+    LineSearch,
+    /// Monte-Carlo / importance-sampling yield verification (paper §7).
+    Verification,
+    /// Anything not explicitly attributed.
+    #[default]
+    Other,
+}
+
+impl SimPhase {
+    /// Number of phases (length of [`SimPhase::ALL`]).
+    pub const COUNT: usize = 6;
+
+    /// Every phase, in display order.
+    pub const ALL: [SimPhase; SimPhase::COUNT] = [
+        SimPhase::Feasibility,
+        SimPhase::Wcd,
+        SimPhase::Linearization,
+        SimPhase::LineSearch,
+        SimPhase::Verification,
+        SimPhase::Other,
+    ];
+
+    /// Stable index into per-phase arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SimPhase::Feasibility => 0,
+            SimPhase::Wcd => 1,
+            SimPhase::Linearization => 2,
+            SimPhase::LineSearch => 3,
+            SimPhase::Verification => 4,
+            SimPhase::Other => 5,
+        }
+    }
+
+    /// Short human-readable label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimPhase::Feasibility => "feasibility",
+            SimPhase::Wcd => "wcd",
+            SimPhase::Linearization => "linearization",
+            SimPhase::LineSearch => "line search",
+            SimPhase::Verification => "verification",
+            SimPhase::Other => "other",
+        }
+    }
+}
+
 /// A thread-safe counter of circuit-simulation calls — the paper's primary
 /// effort metric (Table 7 reports `# Simulations`).
-#[derive(Debug, Default)]
-pub struct SimCounter(AtomicU64);
+///
+/// Besides the total, the counter attributes every increment to the
+/// currently active [`SimPhase`], so callers that set the phase around
+/// algorithm stages get a per-phase breakdown for free; environments whose
+/// evaluation paths funnel through [`SimCounter::add`] need no call-site
+/// changes.
+#[derive(Debug)]
+pub struct SimCounter {
+    total: AtomicU64,
+    per_phase: [AtomicU64; SimPhase::COUNT],
+    current_phase: AtomicUsize,
+}
+
+impl Default for SimCounter {
+    fn default() -> Self {
+        SimCounter {
+            total: AtomicU64::new(0),
+            per_phase: std::array::from_fn(|_| AtomicU64::new(0)),
+            current_phase: AtomicUsize::new(SimPhase::Other.index()),
+        }
+    }
+}
 
 impl SimCounter {
-    /// Creates a counter at zero.
+    /// Creates a counter at zero, attributing to [`SimPhase::Other`].
     pub fn new() -> Self {
-        SimCounter(AtomicU64::new(0))
+        SimCounter::default()
     }
 
-    /// Increments by `n` simulations.
+    /// Increments by `n` simulations, charged to the current phase.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
+        let phase = self
+            .current_phase
+            .load(Ordering::Relaxed)
+            .min(SimPhase::COUNT - 1);
+        self.per_phase[phase].fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Current count.
+    /// Current total count.
     pub fn count(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.total.load(Ordering::Relaxed)
     }
 
-    /// Resets to zero.
+    /// Selects the phase subsequent [`SimCounter::add`] calls are charged to.
+    pub fn set_phase(&self, phase: SimPhase) {
+        self.current_phase.store(phase.index(), Ordering::Relaxed);
+    }
+
+    /// The phase increments are currently charged to.
+    pub fn phase(&self) -> SimPhase {
+        SimPhase::ALL[self
+            .current_phase
+            .load(Ordering::Relaxed)
+            .min(SimPhase::COUNT - 1)]
+    }
+
+    /// Count charged to one phase.
+    pub fn phase_count(&self, phase: SimPhase) -> u64 {
+        self.per_phase[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Counts for every phase, indexed by [`SimPhase::index`].
+    pub fn phase_counts(&self) -> [u64; SimPhase::COUNT] {
+        std::array::from_fn(|i| self.per_phase[i].load(Ordering::Relaxed))
+    }
+
+    /// Resets all counts to zero (the active phase selection is kept).
     pub fn reset(&self) {
-        self.0.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
+        for c in &self.per_phase {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -113,6 +228,19 @@ pub trait CircuitEnv {
 
     /// Resets the simulation counter.
     fn reset_sim_count(&self);
+
+    /// Selects the [`SimPhase`] subsequent simulations are charged to.
+    ///
+    /// Default: no-op, so environments without phase bookkeeping keep
+    /// compiling; the bundled environments delegate to their [`SimCounter`].
+    fn set_sim_phase(&self, _phase: SimPhase) {}
+
+    /// Per-phase simulation counts, indexed by [`SimPhase::index`].
+    ///
+    /// Default: all zeros (environment does not attribute phases).
+    fn sim_phase_counts(&self) -> [u64; SimPhase::COUNT] {
+        [0; SimPhase::COUNT]
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +256,36 @@ mod tests {
         assert_eq!(c.count(), 5);
         c.reset();
         assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn counter_attributes_phases() {
+        let c = SimCounter::new();
+        assert_eq!(c.phase(), SimPhase::Other);
+        c.add(2); // charged to Other
+        c.set_phase(SimPhase::Wcd);
+        assert_eq!(c.phase(), SimPhase::Wcd);
+        c.add(3);
+        c.set_phase(SimPhase::Verification);
+        c.add(5);
+        assert_eq!(c.count(), 10);
+        assert_eq!(c.phase_count(SimPhase::Other), 2);
+        assert_eq!(c.phase_count(SimPhase::Wcd), 3);
+        assert_eq!(c.phase_count(SimPhase::Verification), 5);
+        assert_eq!(c.phase_count(SimPhase::Feasibility), 0);
+        let sum: u64 = c.phase_counts().iter().sum();
+        assert_eq!(sum, c.count(), "phase counts must partition the total");
+        c.reset();
+        assert_eq!(c.phase_counts(), [0; SimPhase::COUNT]);
+        // Phase selection survives a reset.
+        assert_eq!(c.phase(), SimPhase::Verification);
+    }
+
+    #[test]
+    fn phase_index_and_all_are_consistent() {
+        for (i, p) in SimPhase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert!(!p.label().is_empty());
+        }
     }
 }

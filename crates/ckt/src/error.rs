@@ -43,13 +43,20 @@ impl fmt::Display for CktError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CktError::Simulation(e) => write!(f, "simulation failed: {e}"),
-            CktError::DimensionMismatch { what, expected, found } => {
+            CktError::DimensionMismatch {
+                what,
+                expected,
+                found,
+            } => {
                 write!(f, "{what} vector has length {found}, expected {expected}")
             }
             CktError::OutOfBounds { index, value } => {
                 write!(f, "design parameter {index} = {value} outside bounds")
             }
-            CktError::Extraction { performance, reason } => {
+            CktError::Extraction {
+                performance,
+                reason,
+            } => {
                 write!(f, "could not extract {performance}: {reason}")
             }
             CktError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),

@@ -123,17 +123,17 @@ pub(crate) fn measure(
     let op_fb = DcOp::new(&fb.circuit).solve().map_err(CktError::from)?;
     counter.add(1);
     let vout_fb = op_fb.voltage(fb.out);
-    let i_vdd = op_fb
-        .branch_current(&fb.vdd_src)
-        .map_err(CktError::from)?;
+    let i_vdd = op_fb.branch_current(&fb.vdd_src).map_err(CktError::from)?;
     let power_w = theta.vdd * i_vdd.abs();
 
     let slew_v_per_s = match sr_method {
         SlewRateMethod::Analytic => {
-            let tail = op_fb.mosfet_op(&fb.tail_device).ok_or(CktError::Extraction {
-                performance: "slew rate",
-                reason: "tail device not found",
-            })?;
+            let tail = op_fb
+                .mosfet_op(&fb.tail_device)
+                .ok_or(CktError::Extraction {
+                    performance: "slew rate",
+                    reason: "tail device not found",
+                })?;
             tail.id.abs() / fb.slew_cap
         }
         SlewRateMethod::Transient { dt, t_stop, step } => {
@@ -200,7 +200,11 @@ pub(crate) fn measure(
     ckt_cm.set_ac(&ol.vinp_src, 1.0).map_err(CktError::from)?;
     ckt_cm.set_ac(&vinn, 1.0).map_err(CktError::from)?;
     let ac_cm = AcSolver::new(&ckt_cm, &op_ol);
-    let acm0 = ac_cm.solve(0.0).map_err(CktError::from)?.voltage(ol.out).abs();
+    let acm0 = ac_cm
+        .solve(0.0)
+        .map_err(CktError::from)?
+        .voltage(ol.out)
+        .abs();
     counter.add(1);
     let cmrr_db = if acm0 <= 0.0 {
         200.0
@@ -213,7 +217,11 @@ pub(crate) fn measure(
     ckt_ps.clear_ac();
     ckt_ps.set_ac(&ol.vdd_src, 1.0).map_err(CktError::from)?;
     let ac_ps = AcSolver::new(&ckt_ps, &op_ol);
-    let apsr0 = ac_ps.solve(0.0).map_err(CktError::from)?.voltage(ol.out).abs();
+    let apsr0 = ac_ps
+        .solve(0.0)
+        .map_err(CktError::from)?
+        .voltage(ol.out)
+        .abs();
     counter.add(1);
     let psrr_db = if apsr0 <= 0.0 {
         200.0
@@ -222,7 +230,15 @@ pub(crate) fn measure(
     };
 
     Ok((
-        OpampMetrics { a0_db, ft_hz, phase_margin_deg, cmrr_db, slew_v_per_s, power_w, psrr_db },
+        OpampMetrics {
+            a0_db,
+            ft_hz,
+            phase_margin_deg,
+            cmrr_db,
+            slew_v_per_s,
+            power_w,
+            psrr_db,
+        },
         op_fb,
     ))
 }

@@ -28,9 +28,7 @@
 use specwise_linalg::DVec;
 use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
-use crate::extract::{
-    dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder,
-};
+use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
 use crate::{
     CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
     SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
@@ -200,8 +198,9 @@ impl FoldedCascode {
         polarity: MosPolarity,
     ) -> Result<MosfetParams, CktError> {
         let (w, l) = self.geometry(d, device);
-        let (delta_vth, beta_factor) =
-            self.stats.device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
+        let (delta_vth, beta_factor) = self
+            .stats
+            .device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
         let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
         p.delta_vth = delta_vth;
         p.beta_factor = beta_factor;
@@ -344,6 +343,14 @@ impl CircuitEnv for FoldedCascode {
     fn reset_sim_count(&self) {
         self.counter.reset();
     }
+
+    fn set_sim_phase(&self, phase: crate::SimPhase) {
+        self.counter.set_phase(phase);
+    }
+
+    fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
+        self.counter.phase_counts()
+    }
 }
 
 #[cfg(test)]
@@ -426,7 +433,12 @@ mod tests {
         s_nl[e.stat_space().index_of("vth_m8").unwrap()] = 2.0;
         let nl = e.metrics(&d0, &s_nl, &theta).unwrap().cmrr_db;
         // Neutral-line deviation must hurt far less than mismatch-line.
-        assert!(base - nl < 0.5 * (base - ml), "NL drop {} vs ML drop {}", base - nl, base - ml);
+        assert!(
+            base - nl < 0.5 * (base - ml),
+            "NL drop {} vs ML drop {}",
+            base - nl,
+            base - ml
+        );
     }
 
     #[test]

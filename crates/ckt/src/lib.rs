@@ -49,7 +49,7 @@ mod tech;
 
 pub use analytic::{AnalyticEnv, AnalyticEnvBuilder};
 pub use design::{DesignParam, DesignSpace};
-pub use env::{CircuitEnv, SimCounter};
+pub use env::{CircuitEnv, SimCounter, SimPhase};
 pub use error::CktError;
 pub use extract::{OpampMetrics, SlewRateMethod};
 pub use folded::FoldedCascode;

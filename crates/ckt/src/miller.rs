@@ -25,9 +25,7 @@
 use specwise_linalg::DVec;
 use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
-use crate::extract::{
-    dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder,
-};
+use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
 use crate::{
     CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
     SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
@@ -190,8 +188,9 @@ impl MillerOpamp {
         polarity: MosPolarity,
     ) -> Result<MosfetParams, CktError> {
         let (w, l) = self.geometry(d, device);
-        let (delta_vth, beta_factor) =
-            self.stats.device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
+        let (delta_vth, beta_factor) = self
+            .stats
+            .device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
         let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
         p.delta_vth = delta_vth;
         p.beta_factor = beta_factor;
@@ -328,6 +327,14 @@ impl CircuitEnv for MillerOpamp {
     fn reset_sim_count(&self) {
         self.counter.reset();
     }
+
+    fn set_sim_phase(&self, phase: crate::SimPhase) {
+        self.counter.set_phase(phase);
+    }
+
+    fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
+        self.counter.phase_counts()
+    }
 }
 
 #[cfg(test)]
@@ -373,7 +380,10 @@ mod tests {
         s[e.stat_space().index_of("vthn_glob").unwrap()] = 3.0;
         let shifted = e.eval_performances(&d0, &s, &theta).unwrap();
         let diff = (&shifted - &base).norm_inf();
-        assert!(diff > 1e-3, "global shift must move performances, diff = {diff}");
+        assert!(
+            diff > 1e-3,
+            "global shift must move performances, diff = {diff}"
+        );
     }
 
     #[test]

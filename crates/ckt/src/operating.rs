@@ -61,12 +61,20 @@ impl OperatingRange {
     pub fn new(temp_lo: f64, temp_hi: f64, vdd_lo: f64, vdd_hi: f64) -> Self {
         assert!(temp_lo < temp_hi, "temperature range inverted");
         assert!(0.0 < vdd_lo && vdd_lo < vdd_hi, "vdd range invalid");
-        OperatingRange { temp_lo, temp_hi, vdd_lo, vdd_hi }
+        OperatingRange {
+            temp_lo,
+            temp_hi,
+            vdd_lo,
+            vdd_hi,
+        }
     }
 
     /// The nominal (center) operating point.
     pub fn nominal(&self) -> OperatingPoint {
-        OperatingPoint::new(0.5 * (self.temp_lo + self.temp_hi), 0.5 * (self.vdd_lo + self.vdd_hi))
+        OperatingPoint::new(
+            0.5 * (self.temp_lo + self.temp_hi),
+            0.5 * (self.vdd_lo + self.vdd_hi),
+        )
     }
 
     /// The four corner operating points (the candidate worst cases).

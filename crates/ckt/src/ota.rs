@@ -22,9 +22,7 @@
 use specwise_linalg::DVec;
 use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
-use crate::extract::{
-    dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder,
-};
+use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
 use crate::{
     CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
     SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
@@ -168,8 +166,9 @@ impl FiveTransistorOta {
         polarity: MosPolarity,
     ) -> Result<MosfetParams, CktError> {
         let (w, l) = self.geometry(d, device);
-        let (delta_vth, beta_factor) =
-            self.stats.device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
+        let (delta_vth, beta_factor) = self
+            .stats
+            .device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
         let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
         p.delta_vth = delta_vth;
         p.beta_factor = beta_factor;
@@ -297,6 +296,14 @@ impl CircuitEnv for FiveTransistorOta {
     fn reset_sim_count(&self) {
         self.counter.reset();
     }
+
+    fn set_sim_phase(&self, phase: crate::SimPhase) {
+        self.counter.set_phase(phase);
+    }
+
+    fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
+        self.counter.phase_counts()
+    }
 }
 
 #[cfg(test)]
@@ -344,12 +351,18 @@ mod tests {
         let e = env();
         let d0 = e.design_space().initial();
         let theta = e.operating_range().nominal();
-        let base = e.metrics(&d0, &DVec::zeros(e.stat_dim()), &theta).unwrap().cmrr_db;
+        let base = e
+            .metrics(&d0, &DVec::zeros(e.stat_dim()), &theta)
+            .unwrap()
+            .cmrr_db;
         let mut s = DVec::zeros(e.stat_dim());
         s[e.stat_space().index_of("vth_m3").unwrap()] = 2.5;
         s[e.stat_space().index_of("vth_m4").unwrap()] = -2.5;
         let worse = e.metrics(&d0, &s, &theta).unwrap().cmrr_db;
-        assert!(worse < base, "mirror mismatch must reduce CMRR: {worse} vs {base}");
+        assert!(
+            worse < base,
+            "mirror mismatch must reduce CMRR: {worse} vs {base}"
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ impl Spec {
     /// Panics for a non-finite bound.
     pub fn new(name: &str, unit: &str, kind: SpecKind, bound: f64) -> Self {
         assert!(bound.is_finite(), "specification bound must be finite");
-        Spec { name: name.to_string(), unit: unit.to_string(), kind, bound }
+        Spec {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            kind,
+            bound,
+        }
     }
 
     /// Specification name (e.g. `"CMRR"`).

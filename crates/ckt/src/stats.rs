@@ -89,17 +89,24 @@ impl StatSpace {
                 name: "betap_glob".to_string(),
                 kind: StatKind::GlobalBeta(MosPolarity::Pmos),
             },
-            StatParam { name: "cap_glob".to_string(), kind: StatKind::GlobalCap },
+            StatParam {
+                name: "cap_glob".to_string(),
+                kind: StatKind::GlobalCap,
+            },
         ];
         if with_locals {
             for (dev, _) in devices {
                 params.push(StatParam {
                     name: format!("vth_{dev}"),
-                    kind: StatKind::LocalVth { device: dev.to_string() },
+                    kind: StatKind::LocalVth {
+                        device: dev.to_string(),
+                    },
                 });
                 params.push(StatParam {
                     name: format!("beta_{dev}"),
-                    kind: StatKind::LocalBeta { device: dev.to_string() },
+                    kind: StatKind::LocalBeta {
+                        device: dev.to_string(),
+                    },
                 });
             }
         }
@@ -253,7 +260,14 @@ mod tests {
         let sp = StatSpace::build(&devs, true);
         let t = Technology::c06();
         let (dv, bf) = sp
-            .device_deltas(&t, "m1", MosPolarity::Nmos, 10e-6, 1e-6, &DVec::zeros(sp.dim()))
+            .device_deltas(
+                &t,
+                "m1",
+                MosPolarity::Nmos,
+                10e-6,
+                1e-6,
+                &DVec::zeros(sp.dim()),
+            )
             .unwrap();
         assert_eq!(dv, 0.0);
         assert_eq!(bf, 1.0);
@@ -266,8 +280,12 @@ mod tests {
         let t = Technology::c06();
         let mut s = DVec::zeros(sp.dim());
         s[sp.index_of("vthn_glob").unwrap()] = 1.0;
-        let (dv_n, _) = sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-5, 1e-6, &s).unwrap();
-        let (dv_p, _) = sp.device_deltas(&t, "m3", MosPolarity::Pmos, 1e-5, 1e-6, &s).unwrap();
+        let (dv_n, _) = sp
+            .device_deltas(&t, "m1", MosPolarity::Nmos, 1e-5, 1e-6, &s)
+            .unwrap();
+        let (dv_p, _) = sp
+            .device_deltas(&t, "m3", MosPolarity::Pmos, 1e-5, 1e-6, &s)
+            .unwrap();
         assert!((dv_n - t.sigma_vth_global_n).abs() < 1e-15);
         assert_eq!(dv_p, 0.0);
     }
@@ -279,15 +297,22 @@ mod tests {
         let t = Technology::c06();
         let mut s = DVec::zeros(sp.dim());
         s[sp.index_of("vth_m1").unwrap()] = 1.0;
-        let (small, _) =
-            sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s).unwrap();
-        let (large, _) =
-            sp.device_deltas(&t, "m1", MosPolarity::Nmos, 4e-6, 1e-6, &s).unwrap();
-        assert!((small / large - 2.0).abs() < 1e-12, "σ halves when area quadruples");
+        let (small, _) = sp
+            .device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s)
+            .unwrap();
+        let (large, _) = sp
+            .device_deltas(&t, "m1", MosPolarity::Nmos, 4e-6, 1e-6, &s)
+            .unwrap();
+        assert!(
+            (small / large - 2.0).abs() < 1e-12,
+            "σ halves when area quadruples"
+        );
         // m2's local parameter does not move m1.
         let mut s2 = DVec::zeros(sp.dim());
         s2[sp.index_of("vth_m2").unwrap()] = 1.0;
-        let (dv, _) = sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s2).unwrap();
+        let (dv, _) = sp
+            .device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s2)
+            .unwrap();
         assert_eq!(dv, 0.0);
     }
 
@@ -298,7 +323,9 @@ mod tests {
         let t = Technology::c06();
         let mut s = DVec::zeros(sp.dim());
         s[sp.index_of("betan_glob").unwrap()] = -1000.0;
-        let (_, bf) = sp.device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s).unwrap();
+        let (_, bf) = sp
+            .device_deltas(&t, "m1", MosPolarity::Nmos, 1e-6, 1e-6, &s)
+            .unwrap();
         assert_eq!(bf, 0.05);
     }
 

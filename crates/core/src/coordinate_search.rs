@@ -68,7 +68,9 @@ impl CoordinateSearch {
         d_start: &DVec,
     ) -> Result<(DVec, YieldEstimate), SpecwiseError> {
         if self.options.grid_points < 2 {
-            return Err(SpecwiseError::InvalidConfig { reason: "grid_points must be >= 2" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "grid_points must be >= 2",
+            });
         }
         let n_d = d_start.len();
         let mut tracker = model.tracker(d_start)?;
@@ -100,8 +102,7 @@ impl CoordinateSearch {
                     // model is trustworthy).
                     let gain = est.passed() as isize - best_here.passed() as isize;
                     if gain >= self.options.min_gain as isize
-                        || (gain >= 0
-                            && (v - d_now[k]).abs() < (best_val - d_now[k]).abs() - 1e-15)
+                        || (gain >= 0 && (v - d_now[k]).abs() < (best_val - d_now[k]).abs() - 1e-15)
                     {
                         best_here = est;
                         best_val = v;
@@ -152,7 +153,9 @@ mod tests {
         // margin = s0 + d0 over d0 ∈ [−2, 2]: best at d0 = 2.
         let ly = LinearizedYield::new(vec![lin(0, 0.0, &[1.0], &[1.0])], 1, 20_000, 5).unwrap();
         let cs = CoordinateSearch::new(CoordinateSearchOptions::default());
-        let (d, y) = cs.run(&ly, &box_constraints(1, -2.0, 2.0), &DVec::zeros(1)).unwrap();
+        let (d, y) = cs
+            .run(&ly, &box_constraints(1, -2.0, 2.0), &DVec::zeros(1))
+            .unwrap();
         assert!((d[0] - 2.0).abs() < 1e-9, "d = {d}");
         assert!(y.value() > 0.97);
     }
@@ -163,14 +166,19 @@ mod tests {
         // Symmetric → optimum at d0 = 0 with Ȳ ≈ Φ(0)… the joint optimum of
         // P(Z1 > −d)·P(Z2 > d) is at d = 0.
         let ly = LinearizedYield::new(
-            vec![lin(0, 1.0, &[1.0, 0.0], &[1.0]), lin(1, 1.0, &[0.0, 1.0], &[-1.0])],
+            vec![
+                lin(0, 1.0, &[1.0, 0.0], &[1.0]),
+                lin(1, 1.0, &[0.0, 1.0], &[-1.0]),
+            ],
             2,
             40_000,
             7,
         )
         .unwrap();
         let cs = CoordinateSearch::new(CoordinateSearchOptions::default());
-        let (d, _) = cs.run(&ly, &box_constraints(1, -3.0, 3.0), &DVec::zeros(1)).unwrap();
+        let (d, _) = cs
+            .run(&ly, &box_constraints(1, -3.0, 3.0), &DVec::zeros(1))
+            .unwrap();
         assert!(d[0].abs() < 0.35, "d = {d}");
     }
 
@@ -207,7 +215,9 @@ mod tests {
         )
         .unwrap();
         let cs = CoordinateSearch::new(CoordinateSearchOptions::default());
-        let (d, y) = cs.run(&ly, &box_constraints(2, -3.0, 3.0), &DVec::zeros(2)).unwrap();
+        let (d, y) = cs
+            .run(&ly, &box_constraints(2, -3.0, 3.0), &DVec::zeros(2))
+            .unwrap();
         assert!((d[0] - 3.0).abs() < 1e-9);
         assert!((d[1] - 3.0).abs() < 1e-9);
         // Joint pass probability ≈ Φ(2)·Φ(2.5) ≈ 0.971.
@@ -220,7 +230,9 @@ mod tests {
         // the search must terminate and return the start.
         let ly = LinearizedYield::new(vec![lin(0, -100.0, &[1.0], &[0.0])], 1, 5_000, 1).unwrap();
         let cs = CoordinateSearch::new(CoordinateSearchOptions::default());
-        let (d, y) = cs.run(&ly, &box_constraints(1, -2.0, 2.0), &DVec::zeros(1)).unwrap();
+        let (d, y) = cs
+            .run(&ly, &box_constraints(1, -2.0, 2.0), &DVec::zeros(1))
+            .unwrap();
         assert_eq!(d[0], 0.0);
         assert_eq!(y.passed(), 0);
     }
@@ -231,6 +243,8 @@ mod tests {
         let mut opts = CoordinateSearchOptions::default();
         opts.grid_points = 1;
         let cs = CoordinateSearch::new(opts);
-        assert!(cs.run(&ly, &box_constraints(1, -1.0, 1.0), &DVec::zeros(1)).is_err());
+        assert!(cs
+            .run(&ly, &box_constraints(1, -1.0, 1.0), &DVec::zeros(1))
+            .is_err());
     }
 }

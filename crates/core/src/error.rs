@@ -43,10 +43,17 @@ impl fmt::Display for SpecwiseError {
             SpecwiseError::Circuit(e) => write!(f, "circuit evaluation failed: {e}"),
             SpecwiseError::Stat(e) => write!(f, "statistical computation failed: {e}"),
             SpecwiseError::NoFeasibleStart { worst_violation } => {
-                write!(f, "no feasible starting point found (violation {worst_violation:.3e})")
+                write!(
+                    f,
+                    "no feasible starting point found (violation {worst_violation:.3e})"
+                )
             }
             SpecwiseError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
-            SpecwiseError::DimensionMismatch { what, expected, found } => {
+            SpecwiseError::DimensionMismatch {
+                what,
+                expected,
+                found,
+            } => {
                 write!(f, "{what} vector has length {found}, expected {expected}")
             }
         }

@@ -1,7 +1,8 @@
 //! The linearized feasibility region (paper Eq. 15) and the feasible
 //! starting-point search (paper Sec. 5.5).
 
-use specwise_ckt::CircuitEnv;
+use specwise_ckt::SimPhase;
+use specwise_exec::Evaluator;
 use specwise_linalg::{DMat, DVec};
 use specwise_wcd::constraint_jacobian;
 
@@ -49,7 +50,13 @@ impl LinearConstraints {
                 found: jac.ncols(),
             });
         }
-        Ok(LinearConstraints { c0, jac, d_f, lower, upper })
+        Ok(LinearConstraints {
+            c0,
+            jac,
+            d_f,
+            lower,
+            upper,
+        })
     }
 
     /// Builds by finite differences on a circuit environment at `d_f`.
@@ -57,11 +64,12 @@ impl LinearConstraints {
     /// # Errors
     ///
     /// Propagates evaluation errors.
-    pub fn from_env(
-        env: &dyn CircuitEnv,
+    pub fn from_env<E: Evaluator + ?Sized>(
+        env: &E,
         d_f: &DVec,
         fd_step: f64,
     ) -> Result<Self, SpecwiseError> {
+        env.set_sim_phase(SimPhase::Feasibility);
         let (c0, jac) = constraint_jacobian(env, d_f, fd_step)?;
         LinearConstraints::new(
             c0,
@@ -174,7 +182,11 @@ pub struct FeasibleStartOptions {
 
 impl Default for FeasibleStartOptions {
     fn default() -> Self {
-        FeasibleStartOptions { max_iterations: 20, fd_step: 1e-3, tolerance: 0.0 }
+        FeasibleStartOptions {
+            max_iterations: 20,
+            fd_step: 1e-3,
+            tolerance: 0.0,
+        }
     }
 }
 
@@ -186,11 +198,12 @@ impl Default for FeasibleStartOptions {
 ///
 /// Returns [`SpecwiseError::NoFeasibleStart`] when the projection fails to
 /// reach feasibility within the iteration budget.
-pub fn find_feasible_start(
-    env: &dyn CircuitEnv,
+pub fn find_feasible_start<E: Evaluator + ?Sized>(
+    env: &E,
     d0: &DVec,
     options: &FeasibleStartOptions,
 ) -> Result<DVec, SpecwiseError> {
+    env.set_sim_phase(SimPhase::Feasibility);
     let space = env.design_space();
     let mut d = space.project(d0)?;
     let mut worst = f64::INFINITY;
@@ -231,7 +244,9 @@ pub fn find_feasible_start(
     if c.iter().all(|&x| x >= options.tolerance) {
         Ok(d)
     } else {
-        Err(SpecwiseError::NoFeasibleStart { worst_violation: -worst_final })
+        Err(SpecwiseError::NoFeasibleStart {
+            worst_violation: -worst_final,
+        })
     }
 }
 
@@ -284,7 +299,10 @@ mod tests {
             DVec::from_slice(&[3.0]),
         );
         assert!(lc.is_empty());
-        assert_eq!(lc.coord_interval(&DVec::from_slice(&[1.0]), 0), Some((-2.0, 3.0)));
+        assert_eq!(
+            lc.coord_interval(&DVec::from_slice(&[1.0]), 0),
+            Some((-2.0, 3.0))
+        );
         assert!(lc.feasible(&DVec::from_slice(&[0.0])));
         assert!(!lc.feasible(&DVec::from_slice(&[4.0])));
     }
@@ -300,9 +318,13 @@ mod tests {
             DVec::filled(2, 10.0),
         )
         .unwrap();
-        assert!(lc.coord_interval(&DVec::from_slice(&[1.0, 1.0]), 0).is_none());
+        assert!(lc
+            .coord_interval(&DVec::from_slice(&[1.0, 1.0]), 0)
+            .is_none());
         // Along coordinate 1 the constraint is repairable: d1 ≥ 2.
-        let (lo, hi) = lc.coord_interval(&DVec::from_slice(&[1.0, 1.0]), 1).unwrap();
+        let (lo, hi) = lc
+            .coord_interval(&DVec::from_slice(&[1.0, 1.0]), 1)
+            .unwrap();
         assert!((lo - 2.0).abs() < 1e-12);
         assert_eq!(hi, 10.0);
     }

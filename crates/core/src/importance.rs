@@ -8,15 +8,40 @@
 //! With proposal `q(ŝ) = N(µ, I)` the weight of a sample is
 //! `w(ŝ) = φ(ŝ)/φ_µ(ŝ) = exp(µᵀµ/2 − µᵀŝ)`, and
 //! `P(fail) = E_q[1_fail(ŝ)·w(ŝ)]`.
+//!
+//! Samples are drawn up front and evaluated as one batch per corner group;
+//! a sample that already failed an earlier group is excluded from later
+//! batches, preserving the short-circuit (and simulation count) of the
+//! serial loop.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_ckt::{OperatingPoint, SimPhase};
+use specwise_exec::{EvalPoint, Evaluator};
 use specwise_linalg::DVec;
 use specwise_stat::StandardNormal;
 use specwise_wcd::worst_case_corners;
 
 use crate::SpecwiseError;
+
+/// Options of the importance-sampling verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsOptions {
+    /// Number of proposal samples.
+    pub n: usize,
+    /// RNG seed of the proposal draw — explicit so that every run is
+    /// reproducible by construction.
+    pub seed: u64,
+}
+
+impl Default for IsOptions {
+    fn default() -> Self {
+        IsOptions {
+            n: 4_000,
+            seed: 2001,
+        }
+    }
+}
 
 /// Result of an importance-sampled yield verification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +57,9 @@ pub struct IsResult {
     pub effective_sample_size: f64,
     /// Number of proposal samples drawn.
     pub n: usize,
+    /// Number of sample evaluations that failed to simulate; such samples
+    /// count as failures (a nonfunctional circuit yields nothing).
+    pub sim_failures: usize,
 }
 
 /// Runs a mean-shifted importance-sampling verification at design `d`.
@@ -42,15 +70,33 @@ pub struct IsResult {
 /// # Errors
 ///
 /// Propagates evaluation errors; rejects `n == 0` and dimension mismatches.
-pub fn importance_verify(
-    env: &dyn CircuitEnv,
+pub fn importance_verify<E: Evaluator + ?Sized>(
+    env: &E,
     d: &DVec,
     shift: &DVec,
     n: usize,
     seed: u64,
 ) -> Result<IsResult, SpecwiseError> {
+    importance_verify_with(env, d, shift, &IsOptions { n, seed })
+}
+
+/// Runs a mean-shifted importance-sampling verification with explicit
+/// options.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; rejects `n == 0` and dimension mismatches.
+pub fn importance_verify_with<E: Evaluator + ?Sized>(
+    env: &E,
+    d: &DVec,
+    shift: &DVec,
+    options: &IsOptions,
+) -> Result<IsResult, SpecwiseError> {
+    let n = options.n;
     if n == 0 {
-        return Err(SpecwiseError::InvalidConfig { reason: "need at least one sample" });
+        return Err(SpecwiseError::InvalidConfig {
+            reason: "need at least one sample",
+        });
     }
     if shift.len() != env.stat_dim() {
         return Err(SpecwiseError::DimensionMismatch {
@@ -59,6 +105,7 @@ pub fn importance_verify(
             found: shift.len(),
         });
     }
+    env.set_sim_phase(SimPhase::Verification);
 
     // Per-spec worst-case corners (shared simulations per group, as in
     // `mc_verify`).
@@ -71,39 +118,56 @@ pub fn importance_verify(
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    // Draw every proposal sample first — the same RNG call order as a
+    // serial draw-then-evaluate loop.
+    let mut rng = StdRng::seed_from_u64(options.seed);
     let normal = StandardNormal::new();
     let half_mu2 = 0.5 * shift.dot(shift);
-    let mut sum_w = 0.0;
-    let mut sum_w2 = 0.0;
-    let mut fail_w = 0.0;
-    let mut fail_w2 = 0.0;
+    let mut samples = Vec::with_capacity(n);
+    let mut weights = Vec::with_capacity(n);
     let mut z = DVec::zeros(env.stat_dim());
-
     for _ in 0..n {
         normal.fill(&mut rng, z.as_mut_slice());
         let s = &z + shift;
-        let w = (half_mu2 - shift.dot(&s)).exp();
-        sum_w += w;
-        sum_w2 += w * w;
-        let mut failed = false;
-        'groups: for (theta, specs) in &groups {
-            let margins = match env.eval_margins(d, &s, theta) {
-                Ok(m) => m,
+        weights.push((half_mu2 - shift.dot(&s)).exp());
+        samples.push(s);
+    }
+
+    let mut failed = vec![false; n];
+    let mut sim_failures = 0usize;
+    for (theta, specs) in &groups {
+        // Samples that already failed an earlier group are settled — the
+        // serial loop would have `break`ed before simulating them here.
+        let live: Vec<usize> = (0..n).filter(|&j| !failed[j]).collect();
+        if live.is_empty() {
+            break;
+        }
+        let points: Vec<EvalPoint> = live
+            .iter()
+            .map(|&j| EvalPoint::new(d.clone(), samples[j].clone(), *theta))
+            .collect();
+        for (&j, result) in live.iter().zip(env.eval_margins_batch(&points)) {
+            match result {
+                Ok(margins) => {
+                    if specs.iter().any(|&i| margins[i] < 0.0) {
+                        failed[j] = true;
+                    }
+                }
                 Err(specwise_ckt::CktError::Simulation(_)) => {
-                    failed = true;
-                    break 'groups;
+                    sim_failures += 1;
+                    failed[j] = true;
                 }
                 Err(e) => return Err(e.into()),
-            };
-            if specs.iter().any(|&i| margins[i] < 0.0) {
-                failed = true;
-                break 'groups;
             }
         }
-        if failed {
-            fail_w += w;
-            fail_w2 += w * w;
+    }
+
+    let mut fail_w = 0.0;
+    let mut fail_w2 = 0.0;
+    for j in 0..n {
+        if failed[j] {
+            fail_w += weights[j];
+            fail_w2 += weights[j] * weights[j];
         }
     }
 
@@ -111,14 +175,18 @@ pub fn importance_verify(
     let p_fail = (fail_w / nf).clamp(0.0, 1.0);
     // Var of the IS estimator: (E[1·w²] − p²)/n.
     let var = ((fail_w2 / nf) - p_fail * p_fail).max(0.0) / nf;
-    let ess = if fail_w2 > 0.0 { fail_w * fail_w / fail_w2 } else { 0.0 };
-    let _ = (sum_w, sum_w2);
+    let ess = if fail_w2 > 0.0 {
+        fail_w * fail_w / fail_w2
+    } else {
+        0.0
+    };
     Ok(IsResult {
         failure_probability: p_fail,
         yield_value: 1.0 - p_fail,
         std_error: var.sqrt(),
         effective_sample_size: ess,
         n,
+        sim_failures,
     })
 }
 
@@ -126,12 +194,15 @@ pub fn importance_verify(
 mod tests {
     use super::*;
     use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+    use specwise_exec::{EvalService, ExecConfig, RetryPolicy};
     use specwise_stat::std_normal_cdf;
 
     /// margin = b + s0 → P(fail) = Φ(−b).
     fn env(b: f64) -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("b", "", 0.0, 10.0, b)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "b", "", 0.0, 10.0, b,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0]]))
@@ -153,8 +224,13 @@ mod tests {
             "IS estimate {} vs truth {truth}",
             r.failure_probability
         );
-        assert!(r.std_error < 0.3 * truth, "IS std error {} too large", r.std_error);
+        assert!(
+            r.std_error < 0.3 * truth,
+            "IS std error {} too large",
+            r.std_error
+        );
         assert!(r.effective_sample_size > 100.0);
+        assert_eq!(r.sim_failures, 0);
     }
 
     #[test]
@@ -165,7 +241,11 @@ mod tests {
         let e = env(b);
         let d = DVec::from_slice(&[b]);
         let plain = crate::mc_verify(&e, &d, 4_000, 3).unwrap();
-        assert_eq!(plain.yield_estimate.bad_samples(), 0, "plain MC sees nothing");
+        assert_eq!(
+            plain.yield_estimate.bad_samples(),
+            0,
+            "plain MC sees nothing"
+        );
         let shift = DVec::from_slice(&[-b, 0.0]);
         let r = importance_verify(&e, &d, &shift, 4_000, 3).unwrap();
         let truth = std_normal_cdf(-b);
@@ -181,6 +261,62 @@ mod tests {
         let truth = std_normal_cdf(-1.0);
         assert!((r.failure_probability - truth).abs() < 0.01);
         assert!((r.yield_value + r.failure_probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_service_matches_bare_env_bit_for_bit() {
+        let b = 3.0;
+        let e = env(b);
+        let d = DVec::from_slice(&[b]);
+        let shift = DVec::from_slice(&[-b, 0.0]);
+        let serial = importance_verify(&e, &d, &shift, 2_000, 13).unwrap();
+        for workers in [1usize, 2, 8] {
+            let cfg = ExecConfig {
+                workers,
+                cache_capacity: 0,
+                retry: RetryPolicy::none(),
+                min_parallel_batch: 2,
+            };
+            let svc = EvalService::new(&e, cfg);
+            let par = importance_verify(&svc, &d, &shift, 2_000, 13).unwrap();
+            assert_eq!(
+                serial.failure_probability.to_bits(),
+                par.failure_probability.to_bits(),
+                "workers = {workers}"
+            );
+            assert_eq!(serial.std_error.to_bits(), par.std_error.to_bits());
+        }
+    }
+
+    #[test]
+    fn simulation_failures_count_as_failing_samples() {
+        // Non-convergence in the deep shifted tail: all samples with
+        // s0 < −4 "diverge". They must count as failures, not abort.
+        let b = 3.5;
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "b", "", 0.0, 10.0, b,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0]]))
+            .fail_when_stat(|_, s| s[0] < -4.0)
+            .build()
+            .unwrap();
+        let d = DVec::from_slice(&[b]);
+        let shift = DVec::from_slice(&[-b, 0.0]);
+        let r = importance_verify(&e, &d, &shift, 4_000, 9).unwrap();
+        // The proposal is centred at s0 = −3.5, so roughly Φ(−0.5) ≈ 31 %
+        // of the samples land below −4 and fail to simulate.
+        assert!(
+            r.sim_failures > 800,
+            "expected many tail failures, got {}",
+            r.sim_failures
+        );
+        // Those samples are all true failures too (b + s0 < −0.5 < 0), so
+        // the estimate still tracks the analytic tail probability.
+        let truth = std_normal_cdf(-b);
+        assert!((r.failure_probability / truth - 1.0).abs() < 0.3);
     }
 
     #[test]

@@ -60,13 +60,18 @@ mod yield_model;
 
 pub use coordinate_search::{CoordinateSearch, CoordinateSearchOptions};
 pub use error::SpecwiseError;
-pub use importance::{importance_verify, IsResult};
 pub use feasibility::{find_feasible_start, FeasibleStartOptions, LinearConstraints};
+pub use importance::{importance_verify, importance_verify_with, IsOptions, IsResult};
 pub use line_search::line_search_feasible;
-pub use mc_verify::{mc_verify, McVerification};
+pub use mc_verify::{mc_verify, mc_verify_with, McOptions, McVerification};
 pub use mismatch::{eta, phi, MismatchAnalysis, MismatchEntry, PhiOptions};
-pub use optimizer::{IterationSnapshot, Objective, OptimizerConfig, OptimizationTrace, YieldOptimizer};
-pub use report::{effort_table, improvement_table, iteration_table, mismatch_table, sensitivity_table};
+pub use optimizer::{
+    IterationSnapshot, Objective, OptimizationTrace, OptimizerConfig, YieldOptimizer,
+};
 pub use quad_yield::QuadraticYield;
+pub use report::{
+    effort_breakdown_table, effort_table, improvement_table, iteration_table, mismatch_table,
+    sensitivity_table,
+};
 pub use wcd_max::WcdMaximizer;
 pub use yield_model::{LinearizedYield, ShiftTracker};

@@ -5,7 +5,8 @@
 //! region: `γ_max = max{γ ∈ [0, 1] : c(d_f + γ·r) ≥ 0}` with a small number
 //! of real circuit simulations (the paper quotes ~10).
 
-use specwise_ckt::CircuitEnv;
+use specwise_ckt::SimPhase;
+use specwise_exec::Evaluator;
 use specwise_linalg::DVec;
 
 use crate::SpecwiseError;
@@ -23,15 +24,18 @@ use crate::SpecwiseError;
 /// # Panics
 ///
 /// Panics when `d_f` and `d_star` have different lengths.
-pub fn line_search_feasible(
-    env: &dyn CircuitEnv,
+pub fn line_search_feasible<E: Evaluator + ?Sized>(
+    env: &E,
     d_f: &DVec,
     d_star: &DVec,
     max_evals: usize,
 ) -> Result<(DVec, f64), SpecwiseError> {
     assert_eq!(d_f.len(), d_star.len(), "design lengths differ");
+    env.set_sim_phase(SimPhase::LineSearch);
     if max_evals < 2 {
-        return Err(SpecwiseError::InvalidConfig { reason: "line search needs >= 2 evaluations" });
+        return Err(SpecwiseError::InvalidConfig {
+            reason: "line search needs >= 2 evaluations",
+        });
     }
     let r = d_star - d_f;
     if r.norm2() == 0.0 {
@@ -70,7 +74,9 @@ mod tests {
     /// Feasible iff d0 ≤ 2.
     fn env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("x", "", -10.0, 10.0, 0.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "x", "", -10.0, 10.0, 0.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0]]))
@@ -82,13 +88,9 @@ mod tests {
     #[test]
     fn full_step_when_target_feasible() {
         let e = env();
-        let (d, g) = line_search_feasible(
-            &e,
-            &DVec::from_slice(&[0.0]),
-            &DVec::from_slice(&[1.5]),
-            10,
-        )
-        .unwrap();
+        let (d, g) =
+            line_search_feasible(&e, &DVec::from_slice(&[0.0]), &DVec::from_slice(&[1.5]), 10)
+                .unwrap();
         assert_eq!(g, 1.0);
         assert_eq!(d.as_slice(), &[1.5]);
     }
@@ -96,13 +98,9 @@ mod tests {
     #[test]
     fn pulls_back_to_boundary() {
         let e = env();
-        let (d, g) = line_search_feasible(
-            &e,
-            &DVec::from_slice(&[0.0]),
-            &DVec::from_slice(&[8.0]),
-            20,
-        )
-        .unwrap();
+        let (d, g) =
+            line_search_feasible(&e, &DVec::from_slice(&[0.0]), &DVec::from_slice(&[8.0]), 20)
+                .unwrap();
         assert!(g < 1.0);
         assert!(d[0] <= 2.0 + 1e-9, "d = {d}");
         assert!(d[0] > 1.9, "should approach the boundary: {d}");
@@ -122,26 +120,18 @@ mod tests {
     #[test]
     fn budget_checked() {
         let e = env();
-        assert!(line_search_feasible(
-            &e,
-            &DVec::from_slice(&[0.0]),
-            &DVec::from_slice(&[1.0]),
-            1
-        )
-        .is_err());
+        assert!(
+            line_search_feasible(&e, &DVec::from_slice(&[0.0]), &DVec::from_slice(&[1.0]), 1)
+                .is_err()
+        );
     }
 
     #[test]
     fn respects_simulation_budget() {
         let e = env();
         e.reset_sim_count();
-        let _ = line_search_feasible(
-            &e,
-            &DVec::from_slice(&[0.0]),
-            &DVec::from_slice(&[8.0]),
-            10,
-        )
-        .unwrap();
+        let _ = line_search_feasible(&e, &DVec::from_slice(&[0.0]), &DVec::from_slice(&[8.0]), 10)
+            .unwrap();
         assert!(e.sim_count() <= 10, "{} sims", e.sim_count());
     }
 }

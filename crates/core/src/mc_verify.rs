@@ -3,15 +3,40 @@
 //! Each sample is evaluated at the per-spec worst-case operating points;
 //! samples sharing a worst-case corner share one simulation, which is the
 //! sharing behind the paper's effort bound `N* ≤ N·min(n_spec, 2^dim(Θ))`.
+//!
+//! All samples are drawn up front (in the same RNG order a serial loop
+//! would use) and evaluated as one batch per corner group, so running
+//! against an [`EvalService`](specwise_exec::EvalService) spreads the
+//! simulations over its worker pool without changing any result bit.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_ckt::{OperatingPoint, SimPhase};
+use specwise_exec::{EvalPoint, Evaluator};
 use specwise_linalg::DVec;
 use specwise_stat::{RunningMoments, StandardNormal, YieldEstimate};
 use specwise_wcd::worst_case_corners;
 
 use crate::SpecwiseError;
+
+/// Options of the simulation-based Monte-Carlo verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McOptions {
+    /// Number of standardized samples (the paper used 300 per snapshot).
+    pub n_samples: usize,
+    /// RNG seed of the sample draw — explicit so that every run is
+    /// reproducible by construction.
+    pub seed: u64,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        McOptions {
+            n_samples: 300,
+            seed: 2001,
+        }
+    }
+}
 
 /// Result of a simulation-based Monte-Carlo verification.
 #[derive(Debug, Clone)]
@@ -26,13 +51,21 @@ pub struct McVerification {
     pub per_spec_margins: Vec<RunningMoments>,
     /// The worst-case operating point used for each spec.
     pub theta_wc: Vec<OperatingPoint>,
+    /// Number of sample evaluations that failed to simulate (non-converged
+    /// DC solves that survived any retries). Such samples are counted as
+    /// failing every spec of their corner group instead of aborting the
+    /// verification.
+    pub sim_failures: usize,
 }
 
 impl McVerification {
     /// Per-spec bad counts in per mille.
     pub fn bad_per_mille(&self) -> Vec<f64> {
         let n = self.yield_estimate.total() as f64;
-        self.per_spec_bad.iter().map(|&b| 1000.0 * b as f64 / n).collect()
+        self.per_spec_bad
+            .iter()
+            .map(|&b| 1000.0 * b as f64 / n)
+            .collect()
     }
 }
 
@@ -42,15 +75,32 @@ impl McVerification {
 /// # Errors
 ///
 /// Propagates evaluation errors; rejects `n_samples == 0`.
-pub fn mc_verify(
-    env: &dyn CircuitEnv,
+pub fn mc_verify<E: Evaluator + ?Sized>(
+    env: &E,
     d: &DVec,
     n_samples: usize,
     seed: u64,
 ) -> Result<McVerification, SpecwiseError> {
+    mc_verify_with(env, d, &McOptions { n_samples, seed })
+}
+
+/// Runs a simulation-based Monte-Carlo verification with explicit options.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; rejects `n_samples == 0`.
+pub fn mc_verify_with<E: Evaluator + ?Sized>(
+    env: &E,
+    d: &DVec,
+    options: &McOptions,
+) -> Result<McVerification, SpecwiseError> {
+    let n_samples = options.n_samples;
     if n_samples == 0 {
-        return Err(SpecwiseError::InvalidConfig { reason: "need at least one sample" });
+        return Err(SpecwiseError::InvalidConfig {
+            reason: "need at least one sample",
+        });
     }
+    env.set_sim_phase(SimPhase::Verification);
     let n_spec = env.specs().len();
 
     // Per-spec worst-case corners at the nominal statistical point.
@@ -66,48 +116,60 @@ pub fn mc_verify(
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    // Draw every sample first — one `fill` per sample, exactly the RNG
+    // call order of a serial evaluate-as-you-draw loop.
+    let mut rng = StdRng::seed_from_u64(options.seed);
     let normal = StandardNormal::new();
+    let mut samples = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let mut s = DVec::zeros(env.stat_dim());
+        normal.fill(&mut rng, s.as_mut_slice());
+        samples.push(s);
+    }
+
     let mut per_spec_bad = vec![0usize; n_spec];
     let mut per_spec_margins = vec![RunningMoments::new(); n_spec];
-    let mut passed = 0usize;
-    let mut s = DVec::zeros(env.stat_dim());
+    let mut ok = vec![true; n_samples];
+    let mut sim_failures = 0usize;
 
-    for _ in 0..n_samples {
-        normal.fill(&mut rng, s.as_mut_slice());
-        let mut all_ok = true;
-        for (theta, specs) in &groups {
-            // A sample whose circuit fails to simulate is a nonfunctional
-            // circuit: count it as failing every spec of this group.
-            let margins = match env.eval_margins(d, &s, theta) {
-                Ok(m) => m,
+    for (theta, specs) in &groups {
+        let points: Vec<EvalPoint> = samples
+            .iter()
+            .map(|s| EvalPoint::new(d.clone(), s.clone(), *theta))
+            .collect();
+        for (j, result) in env.eval_margins_batch(&points).into_iter().enumerate() {
+            match result {
+                Ok(margins) => {
+                    for &i in specs {
+                        per_spec_margins[i].push(margins[i]);
+                        if margins[i] < 0.0 {
+                            per_spec_bad[i] += 1;
+                            ok[j] = false;
+                        }
+                    }
+                }
+                // A sample whose circuit fails to simulate is a
+                // nonfunctional circuit: count it as failing every spec of
+                // this group instead of aborting the verification.
                 Err(specwise_ckt::CktError::Simulation(_)) => {
+                    sim_failures += 1;
                     for &i in specs {
                         per_spec_bad[i] += 1;
                     }
-                    all_ok = false;
-                    continue;
+                    ok[j] = false;
                 }
                 Err(e) => return Err(e.into()),
-            };
-            for &i in specs {
-                per_spec_margins[i].push(margins[i]);
-                if margins[i] < 0.0 {
-                    per_spec_bad[i] += 1;
-                    all_ok = false;
-                }
             }
-        }
-        if all_ok {
-            passed += 1;
         }
     }
 
+    let passed = ok.iter().filter(|&&x| x).count();
     Ok(McVerification {
         yield_estimate: YieldEstimate::from_counts(passed, n_samples),
         per_spec_bad,
         per_spec_margins,
         theta_wc,
+        sim_failures,
     })
 }
 
@@ -115,16 +177,17 @@ pub fn mc_verify(
 mod tests {
     use super::*;
     use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+    use specwise_exec::{EvalService, ExecConfig, RetryPolicy};
 
     fn env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", -10.0, 10.0, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -10.0, 10.0, 1.0,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
             .spec(Spec::new("f1", "", SpecKind::LowerBound, 0.0))
-            .performances(|d, s, _| {
-                DVec::from_slice(&[d[0] + s[0], 2.0 + s[1]])
-            })
+            .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0], 2.0 + s[1]]))
             .build()
             .unwrap()
     }
@@ -139,6 +202,7 @@ mod tests {
         let bad = v.bad_per_mille();
         assert!((bad[0] - 158.7).abs() < 12.0, "bad0 = {}", bad[0]);
         assert!((bad[1] - 22.8).abs() < 6.0, "bad1 = {}", bad[1]);
+        assert_eq!(v.sim_failures, 0);
     }
 
     #[test]
@@ -160,6 +224,9 @@ mod tests {
         // 4 corner sims + N (both specs share one θ_wc since the margins
         // are θ-independent → single group).
         assert_eq!(e.sim_count(), 4 + n as u64);
+        // All of them are attributed to the verification phase.
+        let by_phase = e.sim_phase_counts();
+        assert_eq!(by_phase[SimPhase::Verification.index()], 4 + n as u64);
     }
 
     #[test]
@@ -172,8 +239,90 @@ mod tests {
     }
 
     #[test]
+    fn parallel_service_matches_bare_env_bit_for_bit() {
+        let e = env();
+        let d = DVec::from_slice(&[0.5]);
+        let serial = mc_verify(&e, &d, 2_000, 42).unwrap();
+        for workers in [1usize, 2, 8] {
+            let cfg = ExecConfig {
+                workers,
+                cache_capacity: 0,
+                retry: RetryPolicy::none(),
+                min_parallel_batch: 2,
+            };
+            let svc = EvalService::new(&e, cfg);
+            let par = mc_verify(&svc, &d, 2_000, 42).unwrap();
+            assert_eq!(
+                serial.yield_estimate, par.yield_estimate,
+                "workers = {workers}"
+            );
+            assert_eq!(serial.per_spec_bad, par.per_spec_bad);
+            for (a, b) in serial.per_spec_margins.iter().zip(&par.per_spec_margins) {
+                assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+                assert_eq!(a.std_dev().to_bits(), b.std_dev().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn non_converging_sample_degrades_to_counted_failure() {
+        // The DC solve "diverges" whenever s0 > 1.5 — roughly Φ(−1.5) ≈
+        // 6.7 % of the samples. The verification must not abort: those
+        // samples count as failing every spec of their group.
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -10.0, 10.0, 1.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("f1", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0], 2.0 + s[1]]))
+            .fail_when_stat(|_, s| s[0] > 1.5)
+            .build()
+            .unwrap();
+        let d = DVec::from_slice(&[1.0]);
+        let n = 4_000;
+        let v = mc_verify(&e, &d, n, 7).unwrap();
+        let frac = v.sim_failures as f64 / n as f64;
+        assert!(frac > 0.03 && frac < 0.12, "Φ(−1.5) ≈ 6.7 %, got {frac}");
+        // Both specs of the shared group inherit every degraded sample.
+        assert!(v.per_spec_bad[1] >= v.sim_failures);
+        // The same run through a retrying EvalService degrades identically
+        // (the failure region is open — no perturbation recovers it) and
+        // reports the failures in its counters.
+        let svc = EvalService::new(
+            &e,
+            ExecConfig {
+                workers: 2,
+                cache_capacity: 0,
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    perturb: 1e-9,
+                },
+                min_parallel_batch: 2,
+            },
+        );
+        let vs = mc_verify(&svc, &d, n, 7).unwrap();
+        assert_eq!(vs.sim_failures, v.sim_failures);
+        assert_eq!(vs.yield_estimate, v.yield_estimate);
+        let report = svc.report();
+        assert_eq!(report.sim_failures, v.sim_failures as u64);
+        assert!(report.retries >= 2 * report.sim_failures);
+    }
+
+    #[test]
     fn rejects_zero_samples() {
         let e = env();
         assert!(mc_verify(&e, &DVec::from_slice(&[1.0]), 0, 1).is_err());
+    }
+
+    #[test]
+    fn options_struct_defaults_are_explicit() {
+        let o = McOptions::default();
+        assert_eq!(o.n_samples, 300);
+        assert_eq!(o.seed, 2001);
+        let e = env();
+        let v = mc_verify_with(&e, &DVec::from_slice(&[1.0]), &o).unwrap();
+        assert_eq!(v.yield_estimate.total(), 300);
     }
 }

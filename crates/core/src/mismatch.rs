@@ -31,7 +31,10 @@ pub struct PhiOptions {
 impl Default for PhiOptions {
     fn default() -> Self {
         // 5° full acceptance, 15° cutoff.
-        PhiOptions { delta1: std::f64::consts::PI / 36.0, delta2: std::f64::consts::PI / 12.0 }
+        PhiOptions {
+            delta1: std::f64::consts::PI / 36.0,
+            delta2: std::f64::consts::PI / 12.0,
+        }
     }
 }
 
@@ -143,7 +146,12 @@ impl MismatchAnalysis {
                 }
                 let m = self.measure(&wc.s_wc, wc.beta_wc, k, l);
                 if m > min_measure {
-                    entries.push(MismatchEntry { spec: wc.spec, k, l, measure: m });
+                    entries.push(MismatchEntry {
+                        spec: wc.spec,
+                        k,
+                        l,
+                        measure: m,
+                    });
                 }
             }
         }
@@ -153,8 +161,10 @@ impl MismatchAnalysis {
 
     /// Ranks pairs across all worst-case points (one per spec).
     pub fn rank_all(&self, wcs: &[WorstCasePoint], min_measure: f64) -> Vec<MismatchEntry> {
-        let mut entries: Vec<MismatchEntry> =
-            wcs.iter().flat_map(|wc| self.rank(wc, min_measure)).collect();
+        let mut entries: Vec<MismatchEntry> = wcs
+            .iter()
+            .flat_map(|wc| self.rank(wc, min_measure))
+            .collect();
         entries.sort_by(|a, b| b.measure.partial_cmp(&a.measure).expect("finite measures"));
         entries
     }
@@ -272,7 +282,10 @@ mod tests {
         let a = MismatchAnalysis::new();
         let critical = a.measure(&DVec::from_slice(&s), -3.0, 0, 1);
         let robust = a.measure(&DVec::from_slice(&s), 3.0, 0, 1);
-        assert!(critical > robust, "requirement 4: robustness lowers the measure");
+        assert!(
+            critical > robust,
+            "requirement 4: robustness lowers the measure"
+        );
     }
 
     #[test]

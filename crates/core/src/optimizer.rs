@@ -16,7 +16,8 @@
 
 use std::time::{Duration, Instant};
 
-use specwise_ckt::CircuitEnv;
+use specwise_ckt::SimPhase;
+use specwise_exec::{Evaluator, ExecReport};
 use specwise_linalg::DVec;
 use specwise_stat::YieldEstimate;
 use specwise_wcd::{WcAnalysis, WcOptions, WcResult, WorstCasePoint};
@@ -120,6 +121,14 @@ pub struct OptimizationTrace {
     pub wall_time: Duration,
     /// Total simulator calls of the run.
     pub total_sims: u64,
+    /// Simulator calls attributed to each algorithm phase (indexed by
+    /// [`SimPhase::index`]).
+    pub phase_sims: [u64; SimPhase::COUNT],
+    /// Execution-engine report (cache hits, retries, parallel wall time)
+    /// when the run went through an
+    /// [`EvalService`](specwise_exec::EvalService); `None` on a bare
+    /// environment.
+    pub exec: Option<ExecReport>,
 }
 
 impl OptimizationTrace {
@@ -134,7 +143,9 @@ impl OptimizationTrace {
     ///
     /// Never panics for traces produced by [`YieldOptimizer::run`].
     pub fn initial(&self) -> &IterationSnapshot {
-        self.snapshots.first().expect("trace has an initial snapshot")
+        self.snapshots
+            .first()
+            .expect("trace has an initial snapshot")
     }
 
     /// The final snapshot.
@@ -174,7 +185,7 @@ impl YieldOptimizer {
     /// # Errors
     ///
     /// Propagates evaluation/analysis errors and feasible-start failure.
-    pub fn run(&self, env: &dyn CircuitEnv) -> Result<OptimizationTrace, SpecwiseError> {
+    pub fn run<E: Evaluator + ?Sized>(&self, env: &E) -> Result<OptimizationTrace, SpecwiseError> {
         self.run_from(env, &env.design_space().initial())
     }
 
@@ -183,17 +194,21 @@ impl YieldOptimizer {
     /// # Errors
     ///
     /// Propagates evaluation/analysis errors and feasible-start failure.
-    pub fn run_from(
+    pub fn run_from<E: Evaluator + ?Sized>(
         &self,
-        env: &dyn CircuitEnv,
+        env: &E,
         d0: &DVec,
     ) -> Result<OptimizationTrace, SpecwiseError> {
         let cfg = &self.config;
         if cfg.mc_samples == 0 {
-            return Err(SpecwiseError::InvalidConfig { reason: "mc_samples must be > 0" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "mc_samples must be > 0",
+            });
         }
         if cfg.max_iterations == 0 {
-            return Err(SpecwiseError::InvalidConfig { reason: "max_iterations must be > 0" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "max_iterations must be > 0",
+            });
         }
         let start = Instant::now();
         env.reset_sim_count();
@@ -304,12 +319,14 @@ impl YieldOptimizer {
             snapshots,
             wall_time: start.elapsed(),
             total_sims: env.sim_count(),
+            phase_sims: env.sim_phase_counts(),
+            exec: env.exec_report(),
         })
     }
 
-    fn snapshot(
+    fn snapshot<E: Evaluator + ?Sized>(
         &self,
-        env: &dyn CircuitEnv,
+        env: &E,
         label: &str,
         d_f: &DVec,
         analysis: &WcResult,
@@ -318,7 +335,12 @@ impl YieldOptimizer {
         let estimated_yield = model.estimate(d_f)?;
         let bad_per_mille = model.bad_per_mille(d_f)?;
         let verified = if self.config.verify_samples > 0 {
-            Some(mc_verify(env, d_f, self.config.verify_samples, self.config.seed ^ 0xABCD)?)
+            Some(mc_verify(
+                env,
+                d_f,
+                self.config.verify_samples,
+                self.config.seed ^ 0xABCD,
+            )?)
         } else {
             None
         };
@@ -370,9 +392,7 @@ fn collapsed_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specwise_ckt::{
-        AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind,
-    };
+    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
     use specwise_wcd::LinearizationPoint;
 
     /// A two-spec analytic problem with a feasibility constraint:
@@ -382,13 +402,13 @@ mod tests {
     /// * constraint: d0 ≤ 5 (c = 5 − d0).
     fn env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 10.0, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "d0", "", 0.0, 10.0, 1.0,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
             .spec(Spec::new("f1", "", SpecKind::LowerBound, 0.0))
-            .performances(|d, s, _| {
-                DVec::from_slice(&[d[0] - 2.0 + s[0], 6.0 - d[0] + s[1]])
-            })
+            .performances(|d, s, _| DVec::from_slice(&[d[0] - 2.0 + s[0], 6.0 - d[0] + s[1]]))
             .constraints(vec!["c".into()], |d| DVec::from_slice(&[5.0 - d[0]]))
             .build()
             .unwrap()
@@ -406,8 +426,20 @@ mod tests {
     fn improves_yield_on_analytic_problem() {
         let e = env();
         let trace = YieldOptimizer::new(quick_config()).run(&e).unwrap();
-        let y0 = trace.initial().verified.as_ref().unwrap().yield_estimate.value();
-        let y1 = trace.final_snapshot().verified.as_ref().unwrap().yield_estimate.value();
+        let y0 = trace
+            .initial()
+            .verified
+            .as_ref()
+            .unwrap()
+            .yield_estimate
+            .value();
+        let y1 = trace
+            .final_snapshot()
+            .verified
+            .as_ref()
+            .unwrap()
+            .yield_estimate
+            .value();
         // Initial: P(Z > 1) ≈ 16 %. Optimum (d0 ≈ 4): ≈ 97 %.
         assert!(y0 < 0.25, "initial yield {y0}");
         assert!(y1 > 0.9, "final yield {y1}");
@@ -471,6 +503,56 @@ mod tests {
         let mut cfg = quick_config();
         cfg.max_iterations = 0;
         assert!(YieldOptimizer::new(cfg).run(&e).is_err());
+    }
+
+    #[test]
+    fn run_through_eval_service_matches_bare_env_and_reports() {
+        let e = env();
+        let trace = YieldOptimizer::new(quick_config()).run(&e).unwrap();
+        assert!(trace.exec.is_none(), "bare env has no exec report");
+        // The phase attribution must cover every simulation of the run.
+        let attributed: u64 = trace.phase_sims.iter().sum();
+        assert_eq!(attributed, trace.total_sims);
+        // Nothing lands in the unattributed bucket.
+        assert_eq!(trace.phase_sims[specwise_ckt::SimPhase::Other.index()], 0);
+        for phase in [
+            specwise_ckt::SimPhase::Feasibility,
+            specwise_ckt::SimPhase::Wcd,
+            specwise_ckt::SimPhase::Linearization,
+            specwise_ckt::SimPhase::Verification,
+        ] {
+            assert!(trace.phase_sims[phase.index()] > 0, "no sims in {phase:?}");
+        }
+
+        let e2 = env();
+        let svc = specwise_exec::EvalService::new(
+            &e2,
+            specwise_exec::ExecConfig {
+                workers: 4,
+                cache_capacity: 1024,
+                retry: specwise_exec::RetryPolicy::default(),
+                min_parallel_batch: 2,
+            },
+        );
+        let t2 = YieldOptimizer::new(quick_config()).run(&svc).unwrap();
+        // Identical trajectory and yields through the parallel service.
+        assert_eq!(trace.final_design(), t2.final_design());
+        assert_eq!(
+            trace
+                .final_snapshot()
+                .verified
+                .as_ref()
+                .unwrap()
+                .yield_estimate,
+            t2.final_snapshot()
+                .verified
+                .as_ref()
+                .unwrap()
+                .yield_estimate
+        );
+        let report = t2.exec.expect("EvalService attaches a report");
+        assert!(report.cache_hits > 0, "repeated anchors must hit the cache");
+        assert!(report.batches > 0, "batched loops must have fanned out");
     }
 
     #[test]

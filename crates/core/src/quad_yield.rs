@@ -43,10 +43,14 @@ impl QuadraticYield {
         seed: u64,
     ) -> Result<Self, SpecwiseError> {
         if models.is_empty() {
-            return Err(SpecwiseError::InvalidConfig { reason: "no quadratic models supplied" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "no quadratic models supplied",
+            });
         }
         if n_samples == 0 {
-            return Err(SpecwiseError::InvalidConfig { reason: "need at least one sample" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "need at least one sample",
+            });
         }
         let n_s = models[0].s_anchor.len();
         for m in &models {
@@ -69,7 +73,12 @@ impl QuadraticYield {
                 parts[(mi, j)] = m.sample_part(&sample);
             }
         }
-        Ok(QuadraticYield { models, parts, n_samples, d_f })
+        Ok(QuadraticYield {
+            models,
+            parts,
+            n_samples,
+            d_f,
+        })
     }
 
     /// Number of Monte-Carlo samples.
@@ -99,8 +108,7 @@ impl QuadraticYield {
         let shifts: DVec = self.models.iter().map(|m| m.design_shift(d)).collect();
         let mut pass = 0usize;
         for j in 0..self.n_samples {
-            let ok = (0..self.models.len())
-                .all(|mi| self.parts[(mi, j)] + shifts[mi] >= 0.0);
+            let ok = (0..self.models.len()).all(|mi| self.parts[(mi, j)] + shifts[mi] >= 0.0);
             if ok {
                 pass += 1;
             }
@@ -119,7 +127,9 @@ mod tests {
     /// which no single linear model can represent.
     fn quad_env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", -5.0, 5.0, 0.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 0.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|_, s, _| DVec::from_slice(&[1.0 - s[0] * s[0]]))
@@ -142,7 +152,9 @@ mod tests {
     fn design_shift_moves_quadratic_yield() {
         // margin = d0 + 1 − s0²: raising d0 widens the pass band.
         let e = AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", -5.0, 5.0, 0.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 0.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| DVec::from_slice(&[d[0] + 1.0 - s[0] * s[0]]))

@@ -32,7 +32,11 @@ pub fn iteration_table(env: &dyn CircuitEnv, trace: &OptimizationTrace) -> Strin
     let _ = writeln!(out);
     for snap in trace.snapshots() {
         if snap.collapsed {
-            let _ = writeln!(out, "--- {} (collapsed: unsimulatable design) ---", snap.label);
+            let _ = writeln!(
+                out,
+                "--- {} (collapsed: unsimulatable design) ---",
+                snap.label
+            );
         } else {
             let _ = writeln!(out, "--- {} ---", snap.label);
         }
@@ -48,7 +52,12 @@ pub fn iteration_table(env: &dyn CircuitEnv, trace: &OptimizationTrace) -> Strin
         let _ = writeln!(out);
         match &snap.verified {
             Some(mc) => {
-                let _ = writeln!(out, "{:<14}{:.1}%", "Y (verified)", mc.yield_estimate.percent());
+                let _ = writeln!(
+                    out,
+                    "{:<14}{:.1}%",
+                    "Y (verified)",
+                    mc.yield_estimate.percent()
+                );
             }
             None => {
                 let _ = writeln!(
@@ -86,8 +95,16 @@ pub fn improvement_table(
         let mu2 = b.per_spec_margins[i].mean();
         let s1 = a.per_spec_margins[i].std_dev();
         let s2 = b.per_spec_margins[i].std_dev();
-        let dmu = if mu1.abs() > 1e-30 { 100.0 * (mu2 - mu1) / mu1 } else { f64::NAN };
-        let dsig = if s1.abs() > 1e-30 { 100.0 * (s2 - s1) / s1 } else { f64::NAN };
+        let dmu = if mu1.abs() > 1e-30 {
+            100.0 * (mu2 - mu1) / mu1
+        } else {
+            f64::NAN
+        };
+        let dsig = if s1.abs() > 1e-30 {
+            100.0 * (s2 - s1) / s1
+        } else {
+            f64::NAN
+        };
         let _ = writeln!(out, "{:<14}{:>16.1}{:>16.1}", s.name(), dmu, dsig);
     }
     Some(out)
@@ -103,7 +120,13 @@ pub fn mismatch_table(env: &dyn CircuitEnv, entries: &[MismatchEntry], top: usiz
         let spec_name = env.specs()[e.spec].name();
         let k = names.get(e.k).copied().unwrap_or("?");
         let l = names.get(e.l).copied().unwrap_or("?");
-        let _ = writeln!(out, "{:<10}{:<28}{:>10.2}", spec_name, format!("{k} / {l}"), e.measure);
+        let _ = writeln!(
+            out,
+            "{:<10}{:<28}{:>10.2}",
+            spec_name,
+            format!("{k} / {l}"),
+            e.measure
+        );
     }
     out
 }
@@ -148,9 +171,44 @@ pub fn sensitivity_table(env: &dyn CircuitEnv, analysis: &specwise_wcd::WcResult
 /// times.
 pub fn effort_table(rows: &[(String, u64, std::time::Duration)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<22}{:>14}{:>18}", "Circuit", "# Simulations", "Wall Clock Time");
+    let _ = writeln!(
+        out,
+        "{:<22}{:>14}{:>18}",
+        "Circuit", "# Simulations", "Wall Clock Time"
+    );
     for (name, sims, wall) in rows {
         let _ = writeln!(out, "{:<22}{:>14}{:>17.1}s", name, sims, wall.as_secs_f64());
+    }
+    out
+}
+
+/// Renders the extended Table 7 breakdown: per run, the simulation count of
+/// every algorithm phase, plus — when the run went through an
+/// [`EvalService`](specwise_exec::EvalService) — the cache hit rate and the
+/// worker count of the parallel engine.
+pub fn effort_breakdown_table(rows: &[(String, &OptimizationTrace)]) -> String {
+    use specwise_ckt::SimPhase;
+    let mut out = String::new();
+    let short = ["Feas", "Wcd", "Lin", "LineS", "Verify", "Other"];
+    let _ = write!(out, "{:<22}{:>9}", "Circuit", "Total");
+    for label in short {
+        let _ = write!(out, "{:>9}", label);
+    }
+    let _ = writeln!(out, "{:>9}{:>9}{:>10}", "Hit %", "Workers", "Wall");
+    for (name, trace) in rows {
+        let _ = write!(out, "{:<22}{:>9}", name, trace.total_sims);
+        for phase in SimPhase::ALL {
+            let _ = write!(out, "{:>9}", trace.phase_sims[phase.index()]);
+        }
+        match &trace.exec {
+            Some(r) => {
+                let _ = write!(out, "{:>8.1}%{:>9}", 100.0 * r.hit_rate(), r.workers);
+            }
+            None => {
+                let _ = write!(out, "{:>9}{:>9}", "-", "1");
+            }
+        }
+        let _ = writeln!(out, "{:>9.2}s", trace.wall_time.as_secs_f64());
     }
     out
 }
@@ -164,7 +222,9 @@ mod tests {
 
     fn env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 10.0, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "d0", "", 0.0, 10.0, 1.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("gain", "dB", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| DVec::from_slice(&[d[0] - 2.0 + s[0]]))
@@ -239,7 +299,9 @@ mod tests {
         // [0, 2]: the unconstrained optimizer walks into the fail region
         // and must record a collapsed snapshot.
         let e = AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 10.0, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "d0", "", 0.0, 10.0, 1.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("gain", "dB", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| DVec::from_slice(&[d[0] - 2.0 + s[0]]))
@@ -252,16 +314,41 @@ mod tests {
         cfg.use_constraints = false;
         cfg.max_iterations = 1;
         let t = YieldOptimizer::new(cfg).run(&e).unwrap();
-        assert!(t.final_snapshot().collapsed, "optimizer must record the collapse");
+        assert!(
+            t.final_snapshot().collapsed,
+            "optimizer must record the collapse"
+        );
         let s = iteration_table(&e, &t);
-        assert!(s.contains("collapsed"), "table must mark the collapsed row:\n{s}");
+        assert!(
+            s.contains("collapsed"),
+            "table must mark the collapsed row:\n{s}"
+        );
+    }
+
+    #[test]
+    fn effort_breakdown_covers_phases_and_engine() {
+        let (_, t) = trace();
+        let s = effort_breakdown_table(&[("Analytic".to_string(), &t)]);
+        assert!(s.contains("Wcd"), "phase columns expected:\n{s}");
+        assert!(s.contains("Verify"), "phase columns expected:\n{s}");
+        assert!(s.contains("Analytic"));
+        // Bare-env run: no cache column value, worker count 1.
+        assert!(s.contains('-'));
     }
 
     #[test]
     fn effort_table_lists_rows() {
         let rows = vec![
-            ("Folded-Cascode".to_string(), 689u64, std::time::Duration::from_secs(60)),
-            ("Miller".to_string(), 627u64, std::time::Duration::from_secs(30)),
+            (
+                "Folded-Cascode".to_string(),
+                689u64,
+                std::time::Duration::from_secs(60),
+            ),
+            (
+                "Miller".to_string(),
+                627u64,
+                std::time::Duration::from_secs(30),
+            ),
         ];
         let s = effort_table(&rows);
         assert!(s.contains("689"));

@@ -65,7 +65,9 @@ impl WcdMaximizer {
         linearizations: &[SpecLinearization],
     ) -> Result<Self, SpecwiseError> {
         if wc_points.is_empty() || linearizations.is_empty() {
-            return Err(SpecwiseError::InvalidConfig { reason: "empty worst-case analysis" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "empty worst-case analysis",
+            });
         }
         let mut models = Vec::new();
         for lin in linearizations {
@@ -93,7 +95,11 @@ impl WcdMaximizer {
                 reason: "no statistically sensitive specifications",
             });
         }
-        Ok(WcdMaximizer { models, grid_points: 32, max_sweeps: 10 })
+        Ok(WcdMaximizer {
+            models,
+            grid_points: 32,
+            max_sweeps: 10,
+        })
     }
 
     /// Overrides the coordinate-scan resolution.
@@ -103,7 +109,9 @@ impl WcdMaximizer {
     /// Returns [`SpecwiseError::InvalidConfig`] for fewer than 2 points.
     pub fn with_grid(mut self, grid_points: usize) -> Result<Self, SpecwiseError> {
         if grid_points < 2 {
-            return Err(SpecwiseError::InvalidConfig { reason: "grid_points must be >= 2" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "grid_points must be >= 2",
+            });
         }
         self.grid_points = grid_points;
         Ok(self)
@@ -111,7 +119,10 @@ impl WcdMaximizer {
 
     /// The minimum linearized worst-case distance at `d`.
     pub fn min_beta(&self, d: &DVec) -> f64 {
-        self.models.iter().map(|m| m.eval(d)).fold(f64::INFINITY, f64::min)
+        self.models
+            .iter()
+            .map(|m| m.eval(d))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximizes `min_i β̄_i(d)` by constrained coordinate search; returns
@@ -203,7 +214,9 @@ mod tests {
         let wcs = vec![wc(0, 1.0, 1), wc(1, 3.0, 1)];
         let lins = vec![lin(0, &[1.0], &[1.0]), lin(1, &[1.0], &[-1.0])];
         let m = WcdMaximizer::from_analysis(&wcs, &lins).unwrap();
-        let (d, b) = m.run(&box_constraints(1, -5.0, 5.0), &DVec::zeros(1)).unwrap();
+        let (d, b) = m
+            .run(&box_constraints(1, -5.0, 5.0), &DVec::zeros(1))
+            .unwrap();
         assert!((d[0] - 1.0).abs() < 0.2, "d = {d}");
         assert!((b - 2.0).abs() < 0.2, "min beta = {b}");
     }

@@ -71,10 +71,14 @@ impl LinearizedYield {
         seed: u64,
     ) -> Result<Self, SpecwiseError> {
         if models.is_empty() {
-            return Err(SpecwiseError::InvalidConfig { reason: "no linear models supplied" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "no linear models supplied",
+            });
         }
         if n_samples == 0 {
-            return Err(SpecwiseError::InvalidConfig { reason: "need at least one sample" });
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "need at least one sample",
+            });
         }
         let n_s = models[0].s_wc.len();
         for m in &models {
@@ -103,7 +107,13 @@ impl LinearizedYield {
                 parts[(mi, j)] = m.sample_part(&sample);
             }
         }
-        Ok(LinearizedYield { models, parts, n_samples, n_specs, d_f })
+        Ok(LinearizedYield {
+            models,
+            parts,
+            n_samples,
+            n_specs,
+            d_f,
+        })
     }
 
     /// Like [`LinearizedYield::new`] but with Latin-hypercube stratified
@@ -172,7 +182,10 @@ impl LinearizedYield {
     /// Returns a dimension error when `d` has the wrong length.
     pub fn estimate(&self, d: &DVec) -> Result<YieldEstimate, SpecwiseError> {
         let shifts = self.shifts(d)?;
-        Ok(YieldEstimate::from_counts(self.count_passing(&shifts), self.n_samples))
+        Ok(YieldEstimate::from_counts(
+            self.count_passing(&shifts),
+            self.n_samples,
+        ))
     }
 
     /// Yield estimate from precomputed shifts (used by the coordinate
@@ -245,7 +258,11 @@ impl LinearizedYield {
     /// Returns a dimension error when `d` has the wrong length.
     pub fn tracker(&self, d: &DVec) -> Result<ShiftTracker<'_>, SpecwiseError> {
         let shifts = self.shifts(d)?;
-        Ok(ShiftTracker { model: self, d: d.clone(), shifts })
+        Ok(ShiftTracker {
+            model: self,
+            d: d.clone(),
+            shifts,
+        })
     }
 }
 
@@ -294,7 +311,13 @@ mod tests {
     use super::*;
     use specwise_ckt::OperatingPoint;
 
-    fn lin(spec: usize, anchor: f64, grad_s: &[f64], grad_d: &[f64], s_wc: &[f64]) -> SpecLinearization {
+    fn lin(
+        spec: usize,
+        anchor: f64,
+        grad_s: &[f64],
+        grad_d: &[f64],
+        s_wc: &[f64],
+    ) -> SpecLinearization {
         SpecLinearization {
             spec,
             mirrored: false,

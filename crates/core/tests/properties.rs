@@ -8,9 +8,13 @@ use specwise_linalg::{DMat, DVec};
 use specwise_wcd::SpecLinearization;
 
 fn lin_from(seed: u64, spec: usize, n_s: usize, n_d: usize) -> SpecLinearization {
-    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(spec as u64 + 1);
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(spec as u64 + 1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
     };
     SpecLinearization {

@@ -1,0 +1,266 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! 0.5 API surface used by this workspace's benches.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! `[patch.crates-io]` section substitutes this crate (DESIGN.md §3). It
+//! implements the subset the benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId::from_parameter`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros and [`black_box`] —
+//! with a plain `Instant`-based measurement loop: warm up briefly, then
+//! time batches until a time budget is spent, and print mean/min per
+//! iteration. No statistics, plots, or baseline files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().0;
+        run_benchmark(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'c ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the time budget per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs one benchmark that receives a reference to its input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; we print as we go).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value, mirroring upstream.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId(format!("{}/{p}", name.into()))
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (accepts `&str`, `String`, ids).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting per-iteration samples until the budget or the
+    /// sample count is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup = Instant::now();
+        black_box(f());
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+        let deadline = Instant::now() + self.budget;
+        // Batch iterations so cheap bodies are not dominated by clock reads.
+        let batch = (Duration::from_micros(50).as_nanos() / estimate.as_nanos()).max(1) as u32;
+        while self.samples.len() < self.sample_size && Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed() / batch);
+        }
+        if self.samples.is_empty() {
+            self.samples.push(estimate);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: measurement_time,
+        sample_size,
+    };
+    f(&mut b);
+    let n = b.samples.len().max(1) as u32;
+    let mean = b.samples.iter().sum::<Duration>() / n;
+    let min = b.samples.iter().min().copied().unwrap_or(mean);
+    println!(
+        "bench {label:<50} mean {:>12?}  min {:>12?}  ({n} samples)",
+        mean, min
+    );
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(20));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn runs_benchmarks_without_panicking() {
+        let mut c = Criterion::default();
+        quick(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,215 @@
+//! Bounded memoization cache for performance evaluations.
+//!
+//! Keys are the quantized bit patterns of the evaluation point `(d, ŝ, θ)`:
+//! the low 16 mantissa bits of every coordinate are cleared, so float noise
+//! below ~1.5·10⁻¹¹ relative maps to the same bucket. Quantization alone
+//! could alias two genuinely distinct points, so each entry additionally
+//! stores the *exact* bit patterns of its inputs and a lookup only hits on
+//! exact equality — the quantized key merely buckets candidates. Distinct
+//! points that share a bucket coexist as separate entries and can never
+//! serve each other's results.
+//!
+//! Capacity is bounded; insertion beyond capacity evicts the oldest entry
+//! (FIFO), which matches the access pattern of the optimizer: points are
+//! revisited within an iteration (corner re-evaluations, line-search
+//! backtracking onto the base point) but rarely across distant iterations.
+
+use specwise_ckt::OperatingPoint;
+use specwise_linalg::DVec;
+use std::collections::{HashMap, VecDeque};
+
+/// Mask clearing the low 16 mantissa bits of an `f64` (≈ 1.5e-11 relative
+/// quantization) for bucketing.
+const QUANT_MASK: u64 = !0xFFFF;
+
+/// Canonical bit pattern of one coordinate: `-0.0` folds to `0.0`, every
+/// NaN folds to one pattern, so equal-valued points always share a bucket.
+fn canonical_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else if x.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Quantized and exact bit encodings of an evaluation point.
+fn encode(d: &DVec, s_hat: &DVec, theta: &OperatingPoint) -> (Vec<u64>, Vec<u64>) {
+    let n = d.len() + s_hat.len() + 3;
+    let mut quant = Vec::with_capacity(n);
+    let mut exact = Vec::with_capacity(n);
+    // The design/stat split is part of the key: (d=[x], ŝ=[]) must not
+    // collide with (d=[], ŝ=[x]).
+    quant.push(d.len() as u64);
+    exact.push(d.len() as u64);
+    for &x in d
+        .iter()
+        .chain(s_hat.iter())
+        .chain([theta.temp_c, theta.vdd].iter())
+    {
+        let bits = canonical_bits(x);
+        quant.push(bits & QUANT_MASK);
+        exact.push(bits);
+    }
+    (quant, exact)
+}
+
+struct Entry {
+    exact: Vec<u64>,
+    value: DVec,
+}
+
+/// Bounded FIFO memoization cache; see the module docs for the keying
+/// scheme. Not thread-safe by itself — the service wraps it in a mutex.
+pub(crate) struct Cache {
+    capacity: usize,
+    buckets: HashMap<Vec<u64>, Vec<Entry>>,
+    order: VecDeque<Vec<u64>>,
+    len: usize,
+}
+
+impl Cache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Cache {
+            capacity,
+            buckets: HashMap::new(),
+            order: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of cached evaluations.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Looks up an exact match for `(d, ŝ, θ)`.
+    pub(crate) fn get(&self, d: &DVec, s_hat: &DVec, theta: &OperatingPoint) -> Option<DVec> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let (quant, exact) = encode(d, s_hat, theta);
+        self.buckets
+            .get(&quant)?
+            .iter()
+            .find(|e| e.exact == exact)
+            .map(|e| e.value.clone())
+    }
+
+    /// Inserts a successful evaluation, evicting the oldest entry when full.
+    pub(crate) fn put(&mut self, d: &DVec, s_hat: &DVec, theta: &OperatingPoint, value: &DVec) {
+        if self.capacity == 0 {
+            return;
+        }
+        let (quant, exact) = encode(d, s_hat, theta);
+        let bucket = self.buckets.entry(quant.clone()).or_default();
+        if bucket.iter().any(|e| e.exact == exact) {
+            return; // benign race: another worker inserted the same point
+        }
+        bucket.push(Entry {
+            exact,
+            value: value.clone(),
+        });
+        self.order.push_back(quant);
+        self.len += 1;
+        while self.len > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                if let Some(bucket) = self.buckets.get_mut(&old) {
+                    if !bucket.is_empty() {
+                        bucket.remove(0);
+                        self.len -= 1;
+                    }
+                    if bucket.is_empty() {
+                        self.buckets.remove(&old);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta() -> OperatingPoint {
+        OperatingPoint::new(27.0, 3.3)
+    }
+
+    fn v(values: &[f64]) -> DVec {
+        DVec::from_slice(values)
+    }
+
+    #[test]
+    fn hit_requires_exact_bits() {
+        let mut c = Cache::new(16);
+        let d = v(&[1.0, 2.0]);
+        let s = v(&[0.5]);
+        c.put(&d, &s, &theta(), &v(&[42.0]));
+        assert_eq!(c.get(&d, &s, &theta()).unwrap().as_slice(), &[42.0]);
+        // A point in the same quantization bucket (1 ulp away) must miss:
+        // quantized bucketing may group them, but the exact-bits guard
+        // rejects the false hit.
+        let s_near = v(&[f64::from_bits(0.5f64.to_bits() + 1)]);
+        assert!(c.get(&d, &s_near, &theta()).is_none());
+        // And a clearly distinct point must miss too.
+        assert!(c.get(&d, &v(&[0.6]), &theta()).is_none());
+    }
+
+    #[test]
+    fn nearby_points_coexist_without_aliasing() {
+        let mut c = Cache::new(16);
+        let d = v(&[1.0]);
+        let s_a = v(&[0.5]);
+        let s_b = v(&[f64::from_bits(0.5f64.to_bits() + 1)]); // same bucket
+        c.put(&d, &s_a, &theta(), &v(&[1.0]));
+        c.put(&d, &s_b, &theta(), &v(&[2.0]));
+        assert_eq!(c.get(&d, &s_a, &theta()).unwrap().as_slice(), &[1.0]);
+        assert_eq!(c.get(&d, &s_b, &theta()).unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn design_stat_split_is_keyed() {
+        let mut c = Cache::new(16);
+        c.put(&v(&[1.0]), &v(&[]), &theta(), &v(&[10.0]));
+        assert!(c.get(&v(&[]), &v(&[1.0]), &theta()).is_none());
+    }
+
+    #[test]
+    fn negative_zero_folds_to_zero() {
+        let mut c = Cache::new(16);
+        c.put(&v(&[0.0]), &v(&[]), &theta(), &v(&[7.0]));
+        assert_eq!(
+            c.get(&v(&[-0.0]), &v(&[]), &theta()).unwrap().as_slice(),
+            &[7.0]
+        );
+    }
+
+    #[test]
+    fn capacity_bounds_and_fifo_eviction() {
+        let mut c = Cache::new(3);
+        for i in 0..5 {
+            c.put(&v(&[i as f64]), &v(&[]), &theta(), &v(&[i as f64]));
+        }
+        assert_eq!(c.len(), 3);
+        assert!(
+            c.get(&v(&[0.0]), &v(&[]), &theta()).is_none(),
+            "oldest evicted"
+        );
+        assert!(c.get(&v(&[1.0]), &v(&[]), &theta()).is_none());
+        for i in 2..5 {
+            assert!(c.get(&v(&[i as f64]), &v(&[]), &theta()).is_some());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = Cache::new(0);
+        c.put(&v(&[1.0]), &v(&[]), &theta(), &v(&[1.0]));
+        assert_eq!(c.len(), 0);
+        assert!(c.get(&v(&[1.0]), &v(&[]), &theta()).is_none());
+    }
+}

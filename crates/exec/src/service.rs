@@ -1,0 +1,874 @@
+//! The [`Evaluator`] abstraction and the [`EvalService`] engine.
+//!
+//! [`Evaluator`] is what the worst-case analysis, linearization, line
+//! search, and Monte-Carlo verification layers program against: the same
+//! accessors and evaluation calls as [`CircuitEnv`], plus *batch* variants
+//! that evaluate many points at once. Every `CircuitEnv + Sync` is an
+//! `Evaluator` through a blanket implementation whose batches run serially
+//! — existing behavior, bit for bit.
+//!
+//! [`EvalService`] wraps an environment and upgrades those batch calls
+//! with a scoped-thread worker pool, a bounded memoization cache, and a
+//! retry policy for non-converged simulations, while keeping results in
+//! input order and bit-identical to the serial path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use specwise_ckt::{
+    CircuitEnv, CktError, DesignSpace, OperatingPoint, OperatingRange, SimPhase, Spec, StatSpace,
+};
+use specwise_linalg::DVec;
+
+use crate::cache::Cache;
+use crate::config::{fmt_duration, ExecConfig};
+
+/// One evaluation request: the full argument triple of
+/// [`CircuitEnv::eval_performances`], owned so batches can cross threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalPoint {
+    /// Design point.
+    pub d: DVec,
+    /// Standardized statistical point.
+    pub s_hat: DVec,
+    /// Operating condition.
+    pub theta: OperatingPoint,
+}
+
+impl EvalPoint {
+    /// Creates a request.
+    pub fn new(d: DVec, s_hat: DVec, theta: OperatingPoint) -> Self {
+        EvalPoint { d, s_hat, theta }
+    }
+}
+
+/// The evaluation interface of the simulator-driven loops.
+///
+/// Mirrors the [`CircuitEnv`] surface (same method names, so call sites
+/// only change their bound, not their body) and adds batch evaluation.
+/// Implementors: every `CircuitEnv + Sync` (serial batches, via the blanket
+/// impl) and [`EvalService`] (parallel, cached, fault-tolerant batches).
+pub trait Evaluator: Sync {
+    /// Human-readable circuit name.
+    fn name(&self) -> &str;
+
+    /// The design space.
+    fn design_space(&self) -> &DesignSpace;
+
+    /// The standardized statistical space.
+    fn stat_space(&self) -> &StatSpace;
+
+    /// Dimension of the statistical space.
+    fn stat_dim(&self) -> usize;
+
+    /// The performance specifications.
+    fn specs(&self) -> &[Spec];
+
+    /// The operating range `Θ`.
+    fn operating_range(&self) -> &OperatingRange;
+
+    /// Names of the functional constraints.
+    fn constraint_names(&self) -> Vec<String>;
+
+    /// Evaluates all performances at `(d, ŝ, θ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError`] for dimension mismatches or failed simulations.
+    fn eval_performances(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError>;
+
+    /// Evaluates the margin vector at `(d, ŝ, θ)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Evaluator::eval_performances`] errors.
+    fn eval_margins(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError>;
+
+    /// Evaluates the functional constraints `c(d) ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CktError`] for dimension mismatches or failed simulations.
+    fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError>;
+
+    /// Evaluates margins at every point, returning results in input order.
+    /// A failed point yields its error in the corresponding slot; the other
+    /// points are unaffected.
+    fn eval_margins_batch(&self, points: &[EvalPoint]) -> Vec<Result<DVec, CktError>> {
+        points
+            .iter()
+            .map(|p| self.eval_margins(&p.d, &p.s_hat, &p.theta))
+            .collect()
+    }
+
+    /// Evaluates performances at every point, in input order.
+    fn eval_performances_batch(&self, points: &[EvalPoint]) -> Vec<Result<DVec, CktError>> {
+        points
+            .iter()
+            .map(|p| self.eval_performances(&p.d, &p.s_hat, &p.theta))
+            .collect()
+    }
+
+    /// Evaluates constraints at every design point, in input order.
+    fn eval_constraints_batch(&self, designs: &[DVec]) -> Vec<Result<DVec, CktError>> {
+        designs.iter().map(|d| self.eval_constraints(d)).collect()
+    }
+
+    /// Number of simulator invocations so far.
+    fn sim_count(&self) -> u64;
+
+    /// Resets the simulation counter.
+    fn reset_sim_count(&self);
+
+    /// Selects the [`SimPhase`] subsequent simulations are charged to.
+    fn set_sim_phase(&self, phase: SimPhase);
+
+    /// Per-phase simulation counts.
+    fn sim_phase_counts(&self) -> [u64; SimPhase::COUNT];
+
+    /// Execution statistics, when the evaluator collects them
+    /// ([`EvalService`] does; plain environments return `None`).
+    fn exec_report(&self) -> Option<ExecReport> {
+        None
+    }
+}
+
+impl<T: CircuitEnv + Sync + ?Sized> Evaluator for T {
+    fn name(&self) -> &str {
+        CircuitEnv::name(self)
+    }
+
+    fn design_space(&self) -> &DesignSpace {
+        CircuitEnv::design_space(self)
+    }
+
+    fn stat_space(&self) -> &StatSpace {
+        CircuitEnv::stat_space(self)
+    }
+
+    fn stat_dim(&self) -> usize {
+        CircuitEnv::stat_dim(self)
+    }
+
+    fn specs(&self) -> &[Spec] {
+        CircuitEnv::specs(self)
+    }
+
+    fn operating_range(&self) -> &OperatingRange {
+        CircuitEnv::operating_range(self)
+    }
+
+    fn constraint_names(&self) -> Vec<String> {
+        CircuitEnv::constraint_names(self)
+    }
+
+    fn eval_performances(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        CircuitEnv::eval_performances(self, d, s_hat, theta)
+    }
+
+    fn eval_margins(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        CircuitEnv::eval_margins(self, d, s_hat, theta)
+    }
+
+    fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
+        CircuitEnv::eval_constraints(self, d)
+    }
+
+    fn sim_count(&self) -> u64 {
+        CircuitEnv::sim_count(self)
+    }
+
+    fn reset_sim_count(&self) {
+        CircuitEnv::reset_sim_count(self)
+    }
+
+    fn set_sim_phase(&self, phase: SimPhase) {
+        CircuitEnv::set_sim_phase(self, phase)
+    }
+
+    fn sim_phase_counts(&self) -> [u64; SimPhase::COUNT] {
+        CircuitEnv::sim_phase_counts(self)
+    }
+}
+
+/// Snapshot of an [`EvalService`]'s execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Configured worker-pool size.
+    pub workers: usize,
+    /// Cache lookups answered from memory (simulations saved).
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to the environment.
+    pub cache_misses: u64,
+    /// Retry attempts issued for failed simulations.
+    pub retries: u64,
+    /// Evaluations that failed at first but succeeded on a retry.
+    pub recovered: u64,
+    /// Evaluations that exhausted retries with a simulation failure.
+    pub sim_failures: u64,
+    /// Batch calls served.
+    pub batches: u64,
+    /// Total points across all batch calls.
+    pub batch_points: u64,
+    /// Simulations charged to each phase (indexed by [`SimPhase::index`]).
+    pub phase_sims: [u64; SimPhase::COUNT],
+    /// Wall-clock evaluation time charged to each phase.
+    pub phase_wall: [Duration; SimPhase::COUNT],
+    /// Total simulations the wrapped environment performed.
+    pub total_sims: u64,
+    /// Wall-clock time since the service was created (or last reset).
+    pub wall: Duration,
+}
+
+impl ExecReport {
+    /// Cache hit rate in `[0, 1]` (`0` when the cache was never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Wall-clock time spent evaluating, summed over phases.
+    pub fn eval_wall(&self) -> Duration {
+        self.phase_wall.iter().sum()
+    }
+
+    /// Per-phase rows `(label, simulations, wall time)` for effort tables,
+    /// in [`SimPhase::ALL`] order, zero-simulation phases omitted.
+    pub fn phase_rows(&self) -> Vec<(String, u64, Duration)> {
+        SimPhase::ALL
+            .iter()
+            .filter(|p| self.phase_sims[p.index()] > 0)
+            .map(|p| {
+                (
+                    p.label().to_string(),
+                    self.phase_sims[p.index()],
+                    self.phase_wall[p.index()],
+                )
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "exec: {} sims, {} workers, wall {}",
+            self.total_sims,
+            self.workers,
+            fmt_duration(self.wall)
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate()
+        )?;
+        writeln!(
+            f,
+            "robustness: {} retries, {} recovered, {} failures",
+            self.retries, self.recovered, self.sim_failures
+        )?;
+        for (label, sims, wall) in self.phase_rows() {
+            writeln!(f, "  {label:<14} {sims:>8} sims  {:>9}", fmt_duration(wall))?;
+        }
+        Ok(())
+    }
+}
+
+/// The evaluation engine: wraps a [`CircuitEnv`] and serves all
+/// simulator-driven loops with parallel batches, memoization, retries,
+/// and per-phase accounting. See the [crate docs](crate) for an overview.
+pub struct EvalService<'e, E: CircuitEnv + Sync + ?Sized> {
+    env: &'e E,
+    config: ExecConfig,
+    cache: Mutex<Cache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    retries: AtomicU64,
+    recovered: AtomicU64,
+    sim_failures: AtomicU64,
+    batches: AtomicU64,
+    batch_points: AtomicU64,
+    phase: AtomicUsize,
+    phase_wall_ns: [AtomicU64; SimPhase::COUNT],
+    started: Instant,
+}
+
+impl<E: CircuitEnv + Sync + ?Sized> std::fmt::Debug for EvalService<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalService")
+            .field("env", &CircuitEnv::name(self.env))
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
+    /// Wraps `env` with the given configuration.
+    pub fn new(env: &'e E, config: ExecConfig) -> Self {
+        EvalService {
+            env,
+            cache: Mutex::new(Cache::new(config.cache_capacity)),
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            sim_failures: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_points: AtomicU64::new(0),
+            phase: AtomicUsize::new(SimPhase::Other.index()),
+            phase_wall_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            started: Instant::now(),
+        }
+    }
+
+    /// Wraps `env` with configuration from the process environment
+    /// ([`ExecConfig::from_env`]).
+    pub fn from_env(env: &'e E) -> Self {
+        EvalService::new(env, ExecConfig::from_env())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The wrapped environment.
+    pub fn env(&self) -> &'e E {
+        self.env
+    }
+
+    /// Number of memoized evaluations currently held.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("exec cache poisoned").len()
+    }
+
+    fn charge_wall(&self, elapsed: Duration) {
+        let idx = self.phase.load(Ordering::Relaxed).min(SimPhase::COUNT - 1);
+        self.phase_wall_ns[idx].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Performance evaluation with cache and retry, *without* wall-clock
+    /// accounting — timed by the public entry points so batch items are
+    /// not double-counted.
+    fn performances_inner(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        if self.config.cache_capacity > 0 {
+            if let Some(hit) = self
+                .cache
+                .lock()
+                .expect("exec cache poisoned")
+                .get(d, s_hat, theta)
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let result = self.evaluate_with_retry(d, s_hat, theta);
+        if let Ok(value) = &result {
+            if self.config.cache_capacity > 0 {
+                self.cache
+                    .lock()
+                    .expect("exec cache poisoned")
+                    .put(d, s_hat, theta, value);
+            }
+        }
+        result
+    }
+
+    fn evaluate_with_retry(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = if attempt == 0 {
+                CircuitEnv::eval_performances(self.env, d, s_hat, theta)
+            } else {
+                // Deterministic nudge off the failing point; see
+                // `RetryPolicy` for the rationale and magnitude.
+                let mut nudged = s_hat.clone();
+                for v in nudged.iter_mut() {
+                    *v += self.config.retry.perturb * attempt as f64;
+                }
+                CircuitEnv::eval_performances(self.env, d, &nudged, theta)
+            };
+            match result {
+                Err(CktError::Simulation(_)) if attempt < self.config.retry.max_retries => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if matches!(e, CktError::Simulation(_)) {
+                        self.sim_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+                Ok(value) => {
+                    if attempt > 0 {
+                        self.recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(value);
+                }
+            }
+        }
+    }
+
+    fn margins_from_performances(&self, perf: DVec) -> DVec {
+        CircuitEnv::specs(self.env)
+            .iter()
+            .zip(perf.iter())
+            .map(|(spec, &f)| spec.margin(f))
+            .collect()
+    }
+
+    /// Fans `points` out over the worker pool, writing each result into its
+    /// input slot. `op` must be safe to call concurrently (it is: the env is
+    /// `Sync` and the service's shared state is atomics + a mutex).
+    fn run_batch<In, Out>(&self, points: &[In], op: impl Fn(&In) -> Out + Sync) -> Vec<Out>
+    where
+        In: Sync,
+        Out: Send,
+    {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_points
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let workers = self.config.workers.clamp(1, points.len().max(1));
+        let result = if workers <= 1 || points.len() < self.config.min_parallel_batch {
+            points.iter().map(&op).collect()
+        } else {
+            let mut slots: Vec<Option<Out>> = Vec::with_capacity(points.len());
+            slots.resize_with(points.len(), || None);
+            let chunk = points.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (ins, outs) in points.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(|| {
+                        for (p, slot) in ins.iter().zip(outs.iter_mut()) {
+                            *slot = Some(op(p));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("worker filled every slot"))
+                .collect()
+        };
+        self.charge_wall(t0.elapsed());
+        result
+    }
+
+    /// Snapshot of the execution statistics.
+    pub fn report(&self) -> ExecReport {
+        ExecReport {
+            workers: self.config.workers,
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            sim_failures: self.sim_failures.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_points: self.batch_points.load(Ordering::Relaxed),
+            phase_sims: CircuitEnv::sim_phase_counts(self.env),
+            phase_wall: std::array::from_fn(|i| {
+                Duration::from_nanos(self.phase_wall_ns[i].load(Ordering::Relaxed))
+            }),
+            total_sims: CircuitEnv::sim_count(self.env),
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+impl<E: CircuitEnv + Sync + ?Sized> Evaluator for EvalService<'_, E> {
+    fn name(&self) -> &str {
+        CircuitEnv::name(self.env)
+    }
+
+    fn design_space(&self) -> &DesignSpace {
+        CircuitEnv::design_space(self.env)
+    }
+
+    fn stat_space(&self) -> &StatSpace {
+        CircuitEnv::stat_space(self.env)
+    }
+
+    fn stat_dim(&self) -> usize {
+        CircuitEnv::stat_dim(self.env)
+    }
+
+    fn specs(&self) -> &[Spec] {
+        CircuitEnv::specs(self.env)
+    }
+
+    fn operating_range(&self) -> &OperatingRange {
+        CircuitEnv::operating_range(self.env)
+    }
+
+    fn constraint_names(&self) -> Vec<String> {
+        CircuitEnv::constraint_names(self.env)
+    }
+
+    fn eval_performances(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        let t0 = Instant::now();
+        let result = self.performances_inner(d, s_hat, theta);
+        self.charge_wall(t0.elapsed());
+        result
+    }
+
+    fn eval_margins(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+    ) -> Result<DVec, CktError> {
+        let t0 = Instant::now();
+        let result = self
+            .performances_inner(d, s_hat, theta)
+            .map(|p| self.margins_from_performances(p));
+        self.charge_wall(t0.elapsed());
+        result
+    }
+
+    fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
+        // Constraints are d-only; a ŝ-perturbing retry does not apply, but
+        // transient failures are still retried at the same point.
+        let t0 = Instant::now();
+        let mut attempt: u32 = 0;
+        let result = loop {
+            match CircuitEnv::eval_constraints(self.env, d) {
+                Err(CktError::Simulation(_)) if attempt < self.config.retry.max_retries => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if matches!(e, CktError::Simulation(_)) {
+                        self.sim_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break Err(e);
+                }
+                Ok(value) => {
+                    if attempt > 0 {
+                        self.recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break Ok(value);
+                }
+            }
+        };
+        self.charge_wall(t0.elapsed());
+        result
+    }
+
+    fn eval_margins_batch(&self, points: &[EvalPoint]) -> Vec<Result<DVec, CktError>> {
+        self.run_batch(points, |p| {
+            self.performances_inner(&p.d, &p.s_hat, &p.theta)
+                .map(|perf| self.margins_from_performances(perf))
+        })
+    }
+
+    fn eval_performances_batch(&self, points: &[EvalPoint]) -> Vec<Result<DVec, CktError>> {
+        self.run_batch(points, |p| {
+            self.performances_inner(&p.d, &p.s_hat, &p.theta)
+        })
+    }
+
+    fn eval_constraints_batch(&self, designs: &[DVec]) -> Vec<Result<DVec, CktError>> {
+        self.run_batch(designs, |d| {
+            let mut attempt: u32 = 0;
+            loop {
+                match CircuitEnv::eval_constraints(self.env, d) {
+                    Err(CktError::Simulation(_)) if attempt < self.config.retry.max_retries => {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        attempt += 1;
+                    }
+                    Err(e) => {
+                        if matches!(e, CktError::Simulation(_)) {
+                            self.sim_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break Err(e);
+                    }
+                    Ok(value) => {
+                        if attempt > 0 {
+                            self.recovered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break Ok(value);
+                    }
+                }
+            }
+        })
+    }
+
+    fn sim_count(&self) -> u64 {
+        CircuitEnv::sim_count(self.env)
+    }
+
+    fn reset_sim_count(&self) {
+        CircuitEnv::reset_sim_count(self.env)
+    }
+
+    fn set_sim_phase(&self, phase: SimPhase) {
+        self.phase.store(phase.index(), Ordering::Relaxed);
+        CircuitEnv::set_sim_phase(self.env, phase);
+    }
+
+    fn sim_phase_counts(&self) -> [u64; SimPhase::COUNT] {
+        CircuitEnv::sim_phase_counts(self.env)
+    }
+
+    fn exec_report(&self) -> Option<ExecReport> {
+        Some(self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RetryPolicy;
+    use specwise_ckt::{AnalyticEnv, DesignParam, SpecKind};
+
+    fn env() -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 1.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, th| {
+                DVec::from_slice(&[d[0] + 0.5 * s[0] - 0.25 * s[1] * s[1] + 1e-3 * th.vdd])
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn points(n: usize) -> Vec<EvalPoint> {
+        let theta = OperatingPoint::new(27.0, 3.3);
+        (0..n)
+            .map(|i| {
+                EvalPoint::new(
+                    DVec::from_slice(&[0.1 * i as f64]),
+                    DVec::from_slice(&[0.01 * i as f64, -0.02 * i as f64]),
+                    theta,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_bit_for_bit_across_worker_counts() {
+        let e = env();
+        let pts = points(23);
+        // Reference: the blanket (serial) implementation on the raw env.
+        let reference = Evaluator::eval_margins_batch(&e, &pts);
+        for workers in [1usize, 2, 8] {
+            let service = EvalService::new(
+                &e,
+                ExecConfig::serial()
+                    .with_workers(workers)
+                    .with_cache_capacity(0),
+            );
+            let got = service.eval_margins_batch(&pts);
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(reference.iter()) {
+                let (g, r) = (g.as_ref().unwrap(), r.as_ref().unwrap());
+                assert_eq!(g.as_slice(), r.as_slice(), "workers={workers} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn constraints_batch_matches_serial() {
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 1.0,
+            )]))
+            .stat_dim(1)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, _, _| DVec::from_slice(&[d[0]]))
+            .constraints(vec!["c0".into()], |d| DVec::from_slice(&[d[0] - 1.0]))
+            .build()
+            .unwrap();
+        let designs: Vec<DVec> = (0..11)
+            .map(|i| DVec::from_slice(&[0.3 * i as f64]))
+            .collect();
+        let reference = Evaluator::eval_constraints_batch(&e, &designs);
+        for workers in [1usize, 2, 8] {
+            let service = EvalService::new(&e, ExecConfig::serial().with_workers(workers));
+            let got = service.eval_constraints_batch(&designs);
+            for (g, r) in got.iter().zip(reference.iter()) {
+                assert_eq!(
+                    g.as_ref().unwrap().as_slice(),
+                    r.as_ref().unwrap().as_slice(),
+                    "workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_saves_simulations_and_returns_identical_values() {
+        let e = env();
+        let service = EvalService::new(&e, ExecConfig::default().with_workers(1));
+        let p = points(1).remove(0);
+        let first = service.eval_margins(&p.d, &p.s_hat, &p.theta).unwrap();
+        let sims_after_first = Evaluator::sim_count(&service);
+        let second = service.eval_margins(&p.d, &p.s_hat, &p.theta).unwrap();
+        assert_eq!(
+            Evaluator::sim_count(&service),
+            sims_after_first,
+            "hit must not simulate"
+        );
+        assert_eq!(first.as_slice(), second.as_slice());
+        let report = service.report();
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.cache_misses, 1);
+    }
+
+    #[test]
+    fn nearby_but_distinct_points_never_alias_through_the_service() {
+        let e = env();
+        let service = EvalService::new(&e, ExecConfig::default().with_workers(1));
+        let theta = OperatingPoint::new(27.0, 3.3);
+        let d = DVec::from_slice(&[1.0]);
+        let s_a = DVec::from_slice(&[0.5, 0.0]);
+        // One ulp away: same quantization bucket, different point.
+        let s_b = DVec::from_slice(&[f64::from_bits(0.5f64.to_bits() + 1), 0.0]);
+        let m_a = service.eval_margins(&d, &s_a, &theta).unwrap();
+        let m_b = service.eval_margins(&d, &s_b, &theta).unwrap();
+        let expect_a = CircuitEnv::eval_margins(&e, &d, &s_a, &theta).unwrap();
+        let expect_b = CircuitEnv::eval_margins(&e, &d, &s_b, &theta).unwrap();
+        assert_eq!(m_a.as_slice(), expect_a.as_slice());
+        assert_eq!(m_b.as_slice(), expect_b.as_slice());
+        assert_eq!(
+            service.report().cache_misses,
+            2,
+            "both points must evaluate"
+        );
+    }
+
+    #[test]
+    fn retry_recovers_from_point_failures() {
+        // Fails exactly at ŝ = (0.5, 0.5); the retry's perturbed point
+        // converges.
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 1.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0]]))
+            .fail_when_stat(|_, s| s[0] == 0.5 && s[1] == 0.5)
+            .build()
+            .unwrap();
+        let service = EvalService::new(
+            &e,
+            ExecConfig::default()
+                .with_workers(1)
+                .with_retry(RetryPolicy {
+                    max_retries: 2,
+                    perturb: 1e-9,
+                }),
+        );
+        let theta = OperatingPoint::new(27.0, 3.3);
+        let m = service
+            .eval_margins(
+                &DVec::from_slice(&[1.0]),
+                &DVec::from_slice(&[0.5, 0.5]),
+                &theta,
+            )
+            .unwrap();
+        assert!((m[0] - 1.5).abs() < 1e-6);
+        let report = service.report();
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.sim_failures, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_error_without_poisoning_the_batch() {
+        // The whole band s[0] ∈ [0.4, 0.6] fails — retries cannot escape.
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 1.0,
+            )]))
+            .stat_dim(1)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0]]))
+            .fail_when_stat(|_, s| (0.4..=0.6).contains(&s[0]))
+            .build()
+            .unwrap();
+        let service = EvalService::new(&e, ExecConfig::default().with_workers(2));
+        let theta = OperatingPoint::new(27.0, 3.3);
+        let pts: Vec<EvalPoint> = [0.0, 0.5, 1.0, 0.45, 2.0]
+            .iter()
+            .map(|&s| EvalPoint::new(DVec::from_slice(&[1.0]), DVec::from_slice(&[s]), theta))
+            .collect();
+        let results = service.eval_margins_batch(&pts);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CktError::Simulation(_))));
+        assert!(results[2].is_ok());
+        assert!(matches!(results[3], Err(CktError::Simulation(_))));
+        assert!(results[4].is_ok());
+        let report = service.report();
+        assert_eq!(report.sim_failures, 2);
+        assert!(report.retries >= 2);
+    }
+
+    #[test]
+    fn report_tracks_batches_and_phases() {
+        let e = env();
+        let service = EvalService::new(&e, ExecConfig::default().with_workers(2));
+        Evaluator::set_sim_phase(&service, SimPhase::Verification);
+        let pts = points(6);
+        let _ = service.eval_margins_batch(&pts);
+        let report = service.report();
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.batch_points, 6);
+        assert_eq!(report.phase_sims[SimPhase::Verification.index()], 6);
+        assert!(report.phase_wall[SimPhase::Verification.index()] > Duration::ZERO);
+        assert_eq!(report.total_sims, 6);
+        assert!(report
+            .phase_rows()
+            .iter()
+            .any(|(l, n, _)| l == "verification" && *n == 6));
+    }
+}

@@ -39,7 +39,10 @@ impl Cholesky {
     /// strictly positive.
     pub fn new(a: &DMat) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
         }
         let n = a.nrows();
         if n == 0 {
@@ -175,12 +178,18 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = DMat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
-        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
     }
 
     #[test]
     fn rejects_non_square() {
-        assert!(matches!(DMat::zeros(2, 3).cholesky(), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            DMat::zeros(2, 3).cholesky(),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -22,12 +22,16 @@ pub struct CVec {
 impl CVec {
     /// Creates a zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        CVec { data: vec![Complex64::ZERO; n] }
+        CVec {
+            data: vec![Complex64::ZERO; n],
+        }
     }
 
     /// Creates a vector by copying a slice.
     pub fn from_slice(values: &[Complex64]) -> Self {
-        CVec { data: values.to_vec() }
+        CVec {
+            data: values.to_vec(),
+        }
     }
 
     /// Number of components.
@@ -86,7 +90,11 @@ pub struct CMat {
 impl CMat {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMat { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -140,14 +148,20 @@ impl CMat {
 impl Index<(usize, usize)> for CMat {
     type Output = Complex64;
     fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for CMat {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -170,7 +184,10 @@ impl CLu {
     /// [`LinalgError::Singular`].
     pub fn new(a: &CMat) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
         }
         let n = a.nrows();
         if n == 0 {
@@ -315,7 +332,9 @@ mod tests {
     fn random_like_complex_residual() {
         let mut state = 99u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let n = 12;

@@ -52,7 +52,10 @@ impl Complex64 {
     /// assert!((z.im - 2.0).abs() < 1e-15);
     /// ```
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Complex64 { re: r * theta.cos(), im: r * theta.sin() }
+        Complex64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Magnitude `|z|`, computed with `hypot` for robustness.
@@ -72,7 +75,10 @@ impl Complex64 {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex64 {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Multiplicative inverse `1/z`, using Smith's algorithm to avoid

@@ -43,14 +43,24 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::DimensionMismatch { op, expected, found } => {
-                write!(f, "dimension mismatch in {op}: expected {expected}, found {found}")
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {op}: expected {expected}, found {found}"
+                )
             }
             LinalgError::Singular { pivot } => {
                 write!(f, "matrix is singular (zero pivot at index {pivot})")
             }
             LinalgError::NotPositiveDefinite { column } => {
-                write!(f, "matrix is not positive definite (failure at column {column})")
+                write!(
+                    f,
+                    "matrix is not positive definite (failure at column {column})"
+                )
             }
             LinalgError::NotSquare { rows, cols } => {
                 write!(f, "matrix must be square, got {rows}x{cols}")

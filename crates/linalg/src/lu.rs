@@ -42,7 +42,10 @@ impl Lu {
     /// [`LinalgError::Singular`] when a pivot underflows the threshold.
     pub fn new(a: &DMat) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
         }
         let n = a.nrows();
         if n == 0 {
@@ -88,7 +91,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -170,7 +177,11 @@ mod tests {
     #[test]
     fn solves_diagonal() {
         let a = DMat::from_diagonal(&DVec::from_slice(&[2.0, 4.0]));
-        let x = a.lu().unwrap().solve(&DVec::from_slice(&[2.0, 8.0])).unwrap();
+        let x = a
+            .lu()
+            .unwrap()
+            .solve(&DVec::from_slice(&[2.0, 8.0]))
+            .unwrap();
         assert_eq!(x.as_slice(), &[1.0, 2.0]);
     }
 
@@ -229,7 +240,9 @@ mod tests {
         // Deterministic pseudo-random fill (LCG) to avoid a rand dependency here.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         for n in [1usize, 2, 5, 10, 20] {

@@ -27,7 +27,11 @@ pub struct DMat {
 impl DMat {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DMat { rows, cols, data: vec![0.0; rows * cols] }
+        DMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -77,7 +81,11 @@ impl DMat {
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(DMat { rows: rows.len(), cols, data })
+        Ok(DMat {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a diagonal matrix from a vector of diagonal entries.
@@ -251,14 +259,20 @@ impl DMat {
 impl Index<(usize, usize)> for DMat {
     type Output = f64;
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for DMat {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -282,7 +296,11 @@ impl fmt::Display for DMat {
 impl Add for &DMat {
     type Output = DMat;
     fn add(self, rhs: &DMat) -> DMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         DMat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + rhs[(i, j)])
     }
 }
@@ -290,7 +308,11 @@ impl Add for &DMat {
 impl Sub for &DMat {
     type Output = DMat;
     fn sub(self, rhs: &DMat) -> DMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         DMat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - rhs[(i, j)])
     }
 }
@@ -337,7 +359,10 @@ mod tests {
     fn matmul_rejects_bad_dims() {
         let a = DMat::zeros(2, 3);
         let b = DMat::zeros(2, 2);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

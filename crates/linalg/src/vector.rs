@@ -37,12 +37,16 @@ impl DVec {
 
     /// Creates a vector with every component equal to `value`.
     pub fn filled(n: usize, value: f64) -> Self {
-        DVec { data: vec![value; n] }
+        DVec {
+            data: vec![value; n],
+        }
     }
 
     /// Creates a vector by copying a slice.
     pub fn from_slice(values: &[f64]) -> Self {
-        DVec { data: values.to_vec() }
+        DVec {
+            data: values.to_vec(),
+        }
     }
 
     /// Creates a vector from a generator function of the index.
@@ -53,7 +57,9 @@ impl DVec {
     /// assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
     /// ```
     pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
-        DVec { data: (0..n).map(&mut f).collect() }
+        DVec {
+            data: (0..n).map(&mut f).collect(),
+        }
     }
 
     /// A standard-basis vector `e_k` of length `n`.
@@ -236,7 +242,9 @@ impl From<Vec<f64>> for DVec {
 
 impl FromIterator<f64> for DVec {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        DVec { data: iter.into_iter().collect() }
+        DVec {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -383,7 +391,10 @@ mod tests {
     fn hadamard_checks_dims() {
         let a = DVec::from_slice(&[1.0, 2.0]);
         let b = DVec::from_slice(&[3.0]);
-        assert!(matches!(a.hadamard(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.hadamard(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
         let c = DVec::from_slice(&[3.0, 4.0]);
         assert_eq!(a.hadamard(&c).unwrap().as_slice(), &[3.0, 8.0]);
     }

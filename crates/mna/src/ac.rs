@@ -36,10 +36,9 @@ impl AcSolution {
     ///
     /// Returns [`MnaError::NotFound`] when the name is not a branch element.
     pub fn branch_current(&self, name: &str) -> Result<Complex64, MnaError> {
-        let branch = self
-            .branch_of
-            .get(name)
-            .ok_or_else(|| MnaError::NotFound { name: name.to_string() })?;
+        let branch = self.branch_of.get(name).ok_or_else(|| MnaError::NotFound {
+            name: name.to_string(),
+        })?;
         Ok(self.x[self.branch_base + branch])
     }
 
@@ -118,7 +117,13 @@ impl AcSolver {
                 ElementKind::Capacitor { a, b: nb, farads } => {
                     stamp_cap(&mut c, *a, *nb, *farads, circuit);
                 }
-                ElementKind::Mosfet { d, g: ng, s, b: nbk, params } => {
+                ElementKind::Mosfet {
+                    d,
+                    g: ng,
+                    s,
+                    b: nbk,
+                    params,
+                } => {
                     let (_, _, _, ev) =
                         eval_mosfet_at(circuit, op.unknowns(), *d, *ng, *s, *nbk, params);
                     let cov = params.model.cov * params.w;
@@ -160,7 +165,13 @@ impl AcSolver {
             }
         }
 
-        AcSolver { g, c, b, branch_of, branch_base: circuit.num_nodes() - 1 }
+        AcSolver {
+            g,
+            c,
+            b,
+            branch_of,
+            branch_base: circuit.num_nodes() - 1,
+        }
     }
 
     /// Solves the complex system at frequency `freq` \[Hz\].
@@ -172,7 +183,9 @@ impl AcSolver {
     /// matrix cannot be factored.
     pub fn solve(&self, freq: f64) -> Result<AcSolution, MnaError> {
         if !freq.is_finite() || freq < 0.0 {
-            return Err(MnaError::InvalidRequest { reason: "frequency must be finite and >= 0" });
+            return Err(MnaError::InvalidRequest {
+                reason: "frequency must be finite and >= 0",
+            });
         }
         let omega = 2.0 * std::f64::consts::PI * freq;
         let n = self.g.nrows();
@@ -225,7 +238,9 @@ impl AcSolver {
         f_hi: f64,
     ) -> Result<Option<f64>, MnaError> {
         if !(f_lo > 0.0) || !(f_hi > f_lo) {
-            return Err(MnaError::InvalidRequest { reason: "need 0 < f_lo < f_hi" });
+            return Err(MnaError::InvalidRequest {
+                reason: "need 0 < f_lo < f_hi",
+            });
         }
         let mag = |s: &AcSolution| s.voltage(node).abs();
         let mut prev_f = f_lo;
@@ -280,7 +295,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let vout = ckt.node("out");
-        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0)
+            .unwrap();
         ckt.set_ac("VIN", 1.0).unwrap();
         ckt.resistor("R1", vin, vout, 1e3).unwrap();
         ckt.capacitor("C1", vout, Circuit::GROUND, 1e-9).unwrap();
@@ -318,7 +334,10 @@ mod tests {
         let (ckt, _) = rc_lowpass();
         let op = DcOp::new(&ckt).solve().unwrap();
         let ac = AcSolver::new(&ckt, &op);
-        assert!(matches!(ac.solve(-1.0), Err(MnaError::InvalidRequest { .. })));
+        assert!(matches!(
+            ac.solve(-1.0),
+            Err(MnaError::InvalidRequest { .. })
+        ));
     }
 
     #[test]
@@ -327,10 +346,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let vout = ckt.node("out");
-        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0)
+            .unwrap();
         ckt.set_ac("VIN", 1.0).unwrap();
         // VCCS driving an RC load: H(0) = gm·R = 100.
-        ckt.vccs("G1", vout, Circuit::GROUND, Circuit::GROUND, vin, 1e-3).unwrap();
+        ckt.vccs("G1", vout, Circuit::GROUND, Circuit::GROUND, vin, 1e-3)
+            .unwrap();
         ckt.resistor("RL", vout, Circuit::GROUND, 100e3).unwrap();
         ckt.capacitor("CL", vout, Circuit::GROUND, 1e-9).unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
@@ -358,13 +379,16 @@ mod tests {
         let vdd = ckt.node("vdd");
         let gate = ckt.node("g");
         let out = ckt.node("out");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
-        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0).unwrap();
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+            .unwrap();
+        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0)
+            .unwrap();
         ckt.set_ac("VG", 1.0).unwrap();
         ckt.resistor("RD", vdd, out, 20e3).unwrap();
         ckt.capacitor("CL", out, Circuit::GROUND, 1e-12).unwrap();
         let params = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
-        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params)
+            .unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
         let m = op.mosfet_op("M1").unwrap().clone();
         let ac = AcSolver::new(&ckt, &op);
@@ -373,7 +397,11 @@ mod tests {
         let rd_eff = 1.0 / (1.0 / 20e3 + m.gds);
         let av = m.gm * rd_eff;
         assert!(h0.re < 0.0, "inverting stage");
-        assert!((h0.abs() / av - 1.0).abs() < 0.05, "|H|={} vs {av}", h0.abs());
+        assert!(
+            (h0.abs() / av - 1.0).abs() < 0.05,
+            "|H|={} vs {av}",
+            h0.abs()
+        );
         // Gain must fall at high frequency (CL + device caps).
         let hf = ac.solve(10e9).unwrap().voltage(out).abs();
         assert!(hf < h0.abs());

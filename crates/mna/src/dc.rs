@@ -104,10 +104,9 @@ impl DcSolution {
     ///
     /// Returns [`MnaError::NotFound`] when the name is not a branch element.
     pub fn branch_current(&self, name: &str) -> Result<f64, MnaError> {
-        let branch = self
-            .branch_of
-            .get(name)
-            .ok_or_else(|| MnaError::NotFound { name: name.to_string() })?;
+        let branch = self.branch_of.get(name).ok_or_else(|| MnaError::NotFound {
+            name: name.to_string(),
+        })?;
         Ok(self.x[self.branch_base + branch])
     }
 
@@ -149,7 +148,10 @@ pub struct DcOp<'c> {
 impl<'c> DcOp<'c> {
     /// Creates an analysis with default [`NewtonOptions`].
     pub fn new(circuit: &'c Circuit) -> Self {
-        DcOp { circuit, options: NewtonOptions::default() }
+        DcOp {
+            circuit,
+            options: NewtonOptions::default(),
+        }
     }
 
     /// Creates an analysis with custom options.
@@ -177,10 +179,14 @@ impl<'c> DcOp<'c> {
     pub fn solve_from(&self, initial: &DVec) -> Result<DcSolution, MnaError> {
         let n = self.circuit.num_unknowns();
         if initial.len() != n {
-            return Err(MnaError::InvalidRequest { reason: "initial guess length mismatch" });
+            return Err(MnaError::InvalidRequest {
+                reason: "initial guess length mismatch",
+            });
         }
         if n == 0 {
-            return Err(MnaError::InvalidRequest { reason: "circuit has no unknowns" });
+            return Err(MnaError::InvalidRequest {
+                reason: "circuit has no unknowns",
+            });
         }
 
         // Stage 1: plain Newton.
@@ -240,8 +246,11 @@ impl<'c> DcOp<'c> {
             .kinds()
             .iter()
             .any(|k| matches!(k, ElementKind::Mosfet { .. } | ElementKind::Diode { .. }));
-        let damping_vmax =
-            if has_nonlinear { self.options.damping_vmax } else { f64::INFINITY };
+        let damping_vmax = if has_nonlinear {
+            self.options.damping_vmax
+        } else {
+            f64::INFINITY
+        };
         let mut jac = DMat::zeros(n, n);
         let mut res = DVec::zeros(n);
         for iter in 0..self.options.max_iterations {
@@ -253,7 +262,9 @@ impl<'c> DcOp<'c> {
                     residual: f64::NAN,
                 });
             }
-            let lu = jac.lu().map_err(|_| MnaError::SingularMatrix { analysis: "dc" })?;
+            let lu = jac
+                .lu()
+                .map_err(|_| MnaError::SingularMatrix { analysis: "dc" })?;
             let mut delta = lu.solve(&(-&res))?;
             let mut vmax = 0.0_f64;
             for i in 0..nv {
@@ -302,8 +313,10 @@ impl<'c> DcOp<'c> {
         for (idx, kind) in self.circuit.kinds().iter().enumerate() {
             match kind {
                 ElementKind::VoltageSource { branch, .. } | ElementKind::Vcvs { branch, .. } => {
-                    branch_of
-                        .insert(self.circuit.element_name(ElementId(idx)).to_string(), *branch);
+                    branch_of.insert(
+                        self.circuit.element_name(ElementId(idx)).to_string(),
+                        *branch,
+                    );
                 }
                 _ => {}
             }
@@ -418,7 +431,14 @@ pub(crate) fn stamp_system(
                 add_res(res, *p, i);
                 add_res(res, *nn, -i);
             }
-            ElementKind::VoltageSource { p, n: nn, dc, stimulus, branch, .. } => {
+            ElementKind::VoltageSource {
+                p,
+                n: nn,
+                dc,
+                stimulus,
+                branch,
+                ..
+            } => {
                 let value = match (stimulus_time, stimulus) {
                     (Some(t), Some(stim)) => stim.at(t),
                     _ => *dc,
@@ -435,7 +455,13 @@ pub(crate) fn stamp_system(
                 add_jac(jac, Some(br), ip, 1.0);
                 add_jac(jac, Some(br), inn, -1.0);
             }
-            ElementKind::Vccs { p, n: nn, cp, cn, gm } => {
+            ElementKind::Vccs {
+                p,
+                n: nn,
+                cp,
+                cn,
+                gm,
+            } => {
                 let i = gm * (vnode(x, ckt, *cp) - vnode(x, ckt, *cn));
                 add_res(res, *p, i);
                 add_res(res, *nn, -i);
@@ -446,7 +472,14 @@ pub(crate) fn stamp_system(
                 add_jac(jac, inn, icp, -gm);
                 add_jac(jac, inn, icn, *gm);
             }
-            ElementKind::Vcvs { p, n: nn, cp, cn, gain, branch } => {
+            ElementKind::Vcvs {
+                p,
+                n: nn,
+                cp,
+                cn,
+                gain,
+                branch,
+            } => {
                 let br = ckt.branch_unknown(*branch);
                 let i_br = x[br];
                 add_res(res, *p, i_br);
@@ -455,14 +488,20 @@ pub(crate) fn stamp_system(
                 let (icp, icn) = (ckt.node_unknown(*cp), ckt.node_unknown(*cn));
                 add_jac(jac, ip, Some(br), 1.0);
                 add_jac(jac, inn, Some(br), -1.0);
-                res[br] = vnode(x, ckt, *p) - vnode(x, ckt, *nn)
+                res[br] = vnode(x, ckt, *p)
+                    - vnode(x, ckt, *nn)
                     - gain * (vnode(x, ckt, *cp) - vnode(x, ckt, *cn));
                 add_jac(jac, Some(br), ip, 1.0);
                 add_jac(jac, Some(br), inn, -1.0);
                 add_jac(jac, Some(br), icp, -gain);
                 add_jac(jac, Some(br), icn, *gain);
             }
-            ElementKind::Diode { a, k, is_sat, ideality } => {
+            ElementKind::Diode {
+                a,
+                k,
+                is_sat,
+                ideality,
+            } => {
                 // i = Is·(exp(x) − 1), x = v/(n·V_T); the exponential is
                 // continued linearly above x = 40 so Newton iterates cannot
                 // overflow (value and derivative stay continuous).
@@ -573,7 +612,11 @@ mod tests {
         ckt.current_source("I1", a, Circuit::GROUND, 1e-3).unwrap();
         ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
-        assert!((op.voltage(a) + 1.0).abs() < 1e-8, "v(a) = {}", op.voltage(a));
+        assert!(
+            (op.voltage(a) + 1.0).abs() < 1e-8,
+            "v(a) = {}",
+            op.voltage(a)
+        );
     }
 
     #[test]
@@ -581,8 +624,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let inp = ckt.node("in");
         let out = ckt.node("out");
-        ckt.voltage_source("VIN", inp, Circuit::GROUND, 0.1).unwrap();
-        ckt.vccs("G1", out, Circuit::GROUND, inp, Circuit::GROUND, 1e-3).unwrap();
+        ckt.voltage_source("VIN", inp, Circuit::GROUND, 0.1)
+            .unwrap();
+        ckt.vccs("G1", out, Circuit::GROUND, inp, Circuit::GROUND, 1e-3)
+            .unwrap();
         ckt.resistor("RL", out, Circuit::GROUND, 10e3).unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
         // i = gm·vin = 0.1 mA out of node `out` → v(out) = −i·RL = −1 V.
@@ -594,8 +639,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let inp = ckt.node("in");
         let out = ckt.node("out");
-        ckt.voltage_source("VIN", inp, Circuit::GROUND, 0.25).unwrap();
-        ckt.vcvs("E1", out, Circuit::GROUND, inp, Circuit::GROUND, 4.0).unwrap();
+        ckt.voltage_source("VIN", inp, Circuit::GROUND, 0.25)
+            .unwrap();
+        ckt.vcvs("E1", out, Circuit::GROUND, inp, Circuit::GROUND, 4.0)
+            .unwrap();
         ckt.resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
         assert!((op.voltage(out) - 1.0).abs() < 1e-8);
@@ -606,13 +653,19 @@ mod tests {
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let d = ckt.node("d");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+            .unwrap();
         ckt.resistor("R1", vdd, d, 10e3).unwrap();
         let params = MosfetParams::new(MosfetModel::default_nmos(), 20e-6, 2e-6);
-        ckt.mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        ckt.mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, params)
+            .unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
         let m = op.mosfet_op("M1").unwrap();
-        assert_eq!(m.region, MosRegion::Saturation, "diode device must saturate");
+        assert_eq!(
+            m.region,
+            MosRegion::Saturation,
+            "diode device must saturate"
+        );
         // KCL: resistor current equals drain current.
         let ir = (3.0 - op.voltage(d)) / 10e3;
         assert!((ir - m.id).abs() < 1e-9, "ir={ir} id={}", m.id);
@@ -625,11 +678,14 @@ mod tests {
         let vdd = ckt.node("vdd");
         let gate = ckt.node("g");
         let out = ckt.node("out");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
-        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0).unwrap();
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+            .unwrap();
+        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0)
+            .unwrap();
         ckt.resistor("RD", vdd, out, 20e3).unwrap();
         let params = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
-        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params)
+            .unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
         let m = op.mosfet_op("M1").unwrap();
         assert!(op.voltage(out) > 0.0 && op.voltage(out) < 3.0);
@@ -645,8 +701,10 @@ mod tests {
         let vdd = ckt.node("vdd");
         let out = ckt.node("out");
         let gate = ckt.node("g");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
-        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0).unwrap();
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+            .unwrap();
+        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.0)
+            .unwrap();
         // PMOS: source at VDD, drain to ground through resistor.
         let params = MosfetParams::new(MosfetModel::default_pmos(), 20e-6, 1e-6);
         ckt.mosfet("M1", out, gate, vdd, vdd, params).unwrap();
@@ -668,11 +726,13 @@ mod tests {
         let hi = ckt.node("hi");
         let gate = ckt.node("g");
         ckt.voltage_source("VHI", hi, Circuit::GROUND, 2.0).unwrap();
-        ckt.voltage_source("VG", gate, Circuit::GROUND, 2.0).unwrap();
+        ckt.voltage_source("VG", gate, Circuit::GROUND, 2.0)
+            .unwrap();
         let params = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
         // Terminals: d = ground side via resistor, s = hi. vds < 0 initially.
         let d = ckt.node("d");
-        ckt.mosfet("M1", d, gate, hi, Circuit::GROUND, params).unwrap();
+        ckt.mosfet("M1", d, gate, hi, Circuit::GROUND, params)
+            .unwrap();
         ckt.resistor("R1", d, Circuit::GROUND, 10e3).unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
         // Current must flow from hi (acting drain) to d (acting source) and
@@ -702,10 +762,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let d = ckt.node("d");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+            .unwrap();
         ckt.resistor("R1", vdd, d, 10e3).unwrap();
         let params = MosfetParams::new(MosfetModel::default_nmos(), 20e-6, 2e-6);
-        ckt.mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        ckt.mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, params)
+            .unwrap();
         let cold = DcOp::new(&ckt).solve().unwrap();
         let warm = DcOp::new(&ckt).solve_from(cold.unknowns()).unwrap();
         assert!(warm.iterations() <= cold.iterations());
@@ -718,11 +780,14 @@ mod tests {
         let vdd = ckt.node("vdd");
         let out = ckt.node("out");
         let gate = ckt.node("g");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
-        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.1).unwrap();
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+            .unwrap();
+        ckt.voltage_source("VG", gate, Circuit::GROUND, 1.1)
+            .unwrap();
         ckt.resistor("RD", vdd, out, 15e3).unwrap();
         let params = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
-        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params)
+            .unwrap();
         let op = DcOp::new(&ckt).solve().unwrap();
         let n = ckt.num_unknowns();
         let mut jac = DMat::zeros(n, n);
@@ -763,7 +828,10 @@ mod diode_tests {
         let vt = 8.617_333e-5 * ckt.temperature();
         let i_diode = 1e-14 * ((vd / vt).exp() - 1.0);
         let i_res = (3.0 - vd) / 1e3;
-        assert!((i_diode / i_res - 1.0).abs() < 1e-6, "KCL: {i_diode} vs {i_res}");
+        assert!(
+            (i_diode / i_res - 1.0).abs() < 1e-6,
+            "KCL: {i_diode} vs {i_res}"
+        );
     }
 
     #[test]
@@ -794,7 +862,10 @@ mod diode_tests {
             let op = DcOp::new(&ckt).solve().unwrap();
             op.voltage(d)
         };
-        assert!(drop(2.0) > drop(1.0) + 0.3, "n=2 roughly doubles the knee voltage");
+        assert!(
+            drop(2.0) > drop(1.0) + 0.3,
+            "n=2 roughly doubles the knee voltage"
+        );
     }
 
     #[test]
@@ -824,6 +895,9 @@ mod diode_tests {
         let ac = AcSolver::new(&ckt, &op);
         let h = ac.solve(0.0).unwrap().voltage(d).abs();
         let expected = rd / (rd + 1e3);
-        assert!((h / expected - 1.0).abs() < 0.01, "divider {h} vs {expected}");
+        assert!(
+            (h / expected - 1.0).abs() < 0.01,
+            "divider {h} vs {expected}"
+        );
     }
 }

@@ -54,13 +54,20 @@ impl fmt::Display for MnaError {
             }
             MnaError::DuplicateName { name } => write!(f, "duplicate element name {name}"),
             MnaError::NotFound { name } => write!(f, "element or node {name} not found"),
-            MnaError::NoConvergence { analysis, iterations, residual } => write!(
+            MnaError::NoConvergence {
+                analysis,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "{analysis} analysis failed to converge after {iterations} iterations \
                  (residual {residual:.3e})"
             ),
             MnaError::SingularMatrix { analysis } => {
-                write!(f, "singular MNA matrix in {analysis} analysis (floating node?)")
+                write!(
+                    f,
+                    "singular MNA matrix in {analysis} analysis (floating node?)"
+                )
             }
             MnaError::InvalidRequest { reason } => write!(f, "invalid analysis request: {reason}"),
         }
@@ -73,9 +80,13 @@ impl From<LinalgError> for MnaError {
     fn from(e: LinalgError) -> Self {
         match e {
             LinalgError::Singular { .. } | LinalgError::NotPositiveDefinite { .. } => {
-                MnaError::SingularMatrix { analysis: "linear solve" }
+                MnaError::SingularMatrix {
+                    analysis: "linear solve",
+                }
             }
-            _ => MnaError::InvalidRequest { reason: "linear algebra dimension error" },
+            _ => MnaError::InvalidRequest {
+                reason: "linear algebra dimension error",
+            },
         }
     }
 }

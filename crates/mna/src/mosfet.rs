@@ -140,7 +140,13 @@ pub struct MosfetParams {
 impl MosfetParams {
     /// Creates an instance with nominal statistics.
     pub fn new(model: MosfetModel, w: f64, l: f64) -> Self {
-        MosfetParams { model, w, l, delta_vth: 0.0, beta_factor: 1.0 }
+        MosfetParams {
+            model,
+            w,
+            l,
+            delta_vth: 0.0,
+            beta_factor: 1.0,
+        }
     }
 
     /// Effective threshold magnitude at temperature `t` (before body effect).
@@ -197,7 +203,11 @@ pub fn eval_nmos_frame(p: &MosfetParams, vgs: f64, vds: f64, vbs: f64, t: f64) -
     let sqrt_term = sqrt_arg.sqrt();
     let vth = p.vth_at(t) + p.model.gamma * (sqrt_term - phi.sqrt());
     // d vth / d vbs = -d vth / d vsb = -γ / (2√(φ+vsb)), guarded at the clamp.
-    let dvth_dvbs = if sqrt_arg > 0.0 { p.model.gamma / (2.0 * sqrt_term) } else { 0.0 };
+    let dvth_dvbs = if sqrt_arg > 0.0 {
+        p.model.gamma / (2.0 * sqrt_term)
+    } else {
+        0.0
+    };
 
     let beta = p.beta_at(t);
     let vov = vgs - vth;
@@ -225,14 +235,30 @@ pub fn eval_nmos_frame(p: &MosfetParams, vgs: f64, vds: f64, vbs: f64, t: f64) -
         // ∂id/∂vbs = ∂id/∂vth · ∂vth/∂vbs = −gm · ∂vth/∂vbs; with
         // ∂vth/∂vbs = −dvth_dvbs (vth falls as vbs rises) this yields +gm·dvth_dvbs.
         let gmb = gm * dvth_dvbs;
-        MosEval { id, gm, gds, gmb, region: MosRegion::Triode, vth, vov }
+        MosEval {
+            id,
+            gm,
+            gds,
+            gmb,
+            region: MosRegion::Triode,
+            vth,
+            vov,
+        }
     } else {
         let clm = 1.0 + lambda * vds;
         let id = 0.5 * beta * vov * vov * clm;
         let gm = beta * vov * clm;
         let gds = 0.5 * beta * vov * vov * lambda;
         let gmb = gm * dvth_dvbs;
-        MosEval { id, gm, gds, gmb, region: MosRegion::Saturation, vth, vov }
+        MosEval {
+            id,
+            gm,
+            gds,
+            gmb,
+            region: MosRegion::Saturation,
+            vth,
+            vov,
+        }
     }
 }
 
@@ -295,9 +321,18 @@ mod tests {
             let gmb_fd = (eval_nmos_frame(&p, vgs, vds, vbs + h, t).id
                 - eval_nmos_frame(&p, vgs, vds, vbs - h, t).id)
                 / (2.0 * h);
-            assert!((e.gm - gm_fd).abs() < 1e-6 * (1.0 + gm_fd.abs()), "gm at {vgs},{vds},{vbs}");
-            assert!((e.gds - gds_fd).abs() < 1e-6 * (1.0 + gds_fd.abs()), "gds at {vgs},{vds},{vbs}");
-            assert!((e.gmb - gmb_fd).abs() < 1e-6 * (1.0 + gmb_fd.abs()), "gmb at {vgs},{vds},{vbs}");
+            assert!(
+                (e.gm - gm_fd).abs() < 1e-6 * (1.0 + gm_fd.abs()),
+                "gm at {vgs},{vds},{vbs}"
+            );
+            assert!(
+                (e.gds - gds_fd).abs() < 1e-6 * (1.0 + gds_fd.abs()),
+                "gds at {vgs},{vds},{vbs}"
+            );
+            assert!(
+                (e.gmb - gmb_fd).abs() < 1e-6 * (1.0 + gmb_fd.abs()),
+                "gmb at {vgs},{vds},{vbs}"
+            );
         }
     }
 

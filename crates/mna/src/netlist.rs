@@ -74,7 +74,12 @@ impl Stimulus {
                     v0 + (v1 - v0) * (t - t0) / t_rise
                 }
             }
-            Stimulus::Sine { offset, ampl, freq, delay } => {
+            Stimulus::Sine {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
                 if t < delay {
                     offset
                 } else {
@@ -235,7 +240,9 @@ impl Circuit {
         self.node_lookup
             .get(name)
             .copied()
-            .ok_or_else(|| MnaError::NotFound { name: name.to_string() })
+            .ok_or_else(|| MnaError::NotFound {
+                name: name.to_string(),
+            })
     }
 
     /// Name of a node.
@@ -273,13 +280,18 @@ impl Circuit {
     ///
     /// Panics for non-positive or non-finite temperatures.
     pub fn set_temperature(&mut self, kelvin: f64) {
-        assert!(kelvin.is_finite() && kelvin > 0.0, "invalid temperature {kelvin}");
+        assert!(
+            kelvin.is_finite() && kelvin > 0.0,
+            "invalid temperature {kelvin}"
+        );
         self.temperature = kelvin;
     }
 
     fn insert(&mut self, name: &str, kind: ElementKind) -> Result<ElementId, MnaError> {
         if self.name_lookup.contains_key(name) {
-            return Err(MnaError::DuplicateName { name: name.to_string() });
+            return Err(MnaError::DuplicateName {
+                name: name.to_string(),
+            });
         }
         let id = ElementId(self.kinds.len());
         self.names.push(name.to_string());
@@ -294,9 +306,18 @@ impl Circuit {
     ///
     /// Returns [`MnaError::InvalidValue`] for non-positive resistance and
     /// [`MnaError::DuplicateName`] for a reused name.
-    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<ElementId, MnaError> {
+    pub fn resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<ElementId, MnaError> {
         if !(ohms > 0.0) || !ohms.is_finite() {
-            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "resistance must be positive and finite" });
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "resistance must be positive and finite",
+            });
         }
         self.insert(name, ElementKind::Resistor { a, b, ohms })
     }
@@ -307,9 +328,18 @@ impl Circuit {
     ///
     /// Returns [`MnaError::InvalidValue`] for negative capacitance and
     /// [`MnaError::DuplicateName`] for a reused name.
-    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> Result<ElementId, MnaError> {
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<ElementId, MnaError> {
         if !(farads >= 0.0) || !farads.is_finite() {
-            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "capacitance must be non-negative and finite" });
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "capacitance must be non-negative and finite",
+            });
         }
         self.insert(name, ElementKind::Capacitor { a, b, farads })
     }
@@ -319,9 +349,25 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`MnaError::DuplicateName`] for a reused name.
-    pub fn voltage_source(&mut self, name: &str, p: NodeId, n: NodeId, dc: f64) -> Result<ElementId, MnaError> {
+    pub fn voltage_source(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        dc: f64,
+    ) -> Result<ElementId, MnaError> {
         let branch = self.branches;
-        let id = self.insert(name, ElementKind::VoltageSource { p, n, dc, ac: 0.0, stimulus: None, branch })?;
+        let id = self.insert(
+            name,
+            ElementKind::VoltageSource {
+                p,
+                n,
+                dc,
+                ac: 0.0,
+                stimulus: None,
+                branch,
+            },
+        )?;
         self.branches += 1;
         Ok(id)
     }
@@ -332,7 +378,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`MnaError::DuplicateName`] for a reused name.
-    pub fn current_source(&mut self, name: &str, p: NodeId, n: NodeId, dc: f64) -> Result<ElementId, MnaError> {
+    pub fn current_source(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        dc: f64,
+    ) -> Result<ElementId, MnaError> {
         self.insert(name, ElementKind::CurrentSource { p, n, dc, ac: 0.0 })
     }
 
@@ -342,7 +394,15 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`MnaError::DuplicateName`] for a reused name.
-    pub fn vccs(&mut self, name: &str, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) -> Result<ElementId, MnaError> {
+    pub fn vccs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> Result<ElementId, MnaError> {
         self.insert(name, ElementKind::Vccs { p, n, cp, cn, gm })
     }
 
@@ -352,9 +412,27 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`MnaError::DuplicateName`] for a reused name.
-    pub fn vcvs(&mut self, name: &str, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gain: f64) -> Result<ElementId, MnaError> {
+    pub fn vcvs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> Result<ElementId, MnaError> {
         let branch = self.branches;
-        let id = self.insert(name, ElementKind::Vcvs { p, n, cp, cn, gain, branch })?;
+        let id = self.insert(
+            name,
+            ElementKind::Vcvs {
+                p,
+                n,
+                cp,
+                cn,
+                gain,
+                branch,
+            },
+        )?;
         self.branches += 1;
         Ok(id)
     }
@@ -365,12 +443,27 @@ impl Circuit {
     ///
     /// Returns [`MnaError::InvalidValue`] for non-positive geometry and
     /// [`MnaError::DuplicateName`] for a reused name.
-    pub fn mosfet(&mut self, name: &str, d: NodeId, g: NodeId, s: NodeId, b: NodeId, params: MosfetParams) -> Result<ElementId, MnaError> {
-        if !(params.w > 0.0) || !(params.l > 0.0) || !params.w.is_finite() || !params.l.is_finite() {
-            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "W and L must be positive and finite" });
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        params: MosfetParams,
+    ) -> Result<ElementId, MnaError> {
+        if !(params.w > 0.0) || !(params.l > 0.0) || !params.w.is_finite() || !params.l.is_finite()
+        {
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "W and L must be positive and finite",
+            });
         }
         if !(params.beta_factor > 0.0) {
-            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "beta_factor must be positive" });
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "beta_factor must be positive",
+            });
         }
         self.insert(name, ElementKind::Mosfet { d, g, s, b, params })
     }
@@ -382,14 +475,35 @@ impl Circuit {
     ///
     /// Returns [`MnaError::InvalidValue`] for non-positive parameters and
     /// [`MnaError::DuplicateName`] for a reused name.
-    pub fn diode(&mut self, name: &str, a: NodeId, k: NodeId, is_sat: f64, ideality: f64) -> Result<ElementId, MnaError> {
+    pub fn diode(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        k: NodeId,
+        is_sat: f64,
+        ideality: f64,
+    ) -> Result<ElementId, MnaError> {
         if !(is_sat > 0.0) || !is_sat.is_finite() {
-            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "saturation current must be positive and finite" });
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "saturation current must be positive and finite",
+            });
         }
         if !(ideality > 0.0) || !ideality.is_finite() {
-            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "ideality factor must be positive and finite" });
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "ideality factor must be positive and finite",
+            });
         }
-        self.insert(name, ElementKind::Diode { a, k, is_sat, ideality })
+        self.insert(
+            name,
+            ElementKind::Diode {
+                a,
+                k,
+                is_sat,
+                ideality,
+            },
+        )
     }
 
     /// Looks up an element by name.
@@ -401,7 +515,9 @@ impl Circuit {
         self.name_lookup
             .get(name)
             .copied()
-            .ok_or_else(|| MnaError::NotFound { name: name.to_string() })
+            .ok_or_else(|| MnaError::NotFound {
+                name: name.to_string(),
+            })
     }
 
     /// Name of an element.
@@ -431,7 +547,10 @@ impl Circuit {
                 *dc = value;
                 Ok(())
             }
-            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "set_dc requires an independent source" }),
+            _ => Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "set_dc requires an independent source",
+            }),
         }
     }
 
@@ -448,7 +567,10 @@ impl Circuit {
                 *ac = magnitude;
                 Ok(())
             }
-            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "set_ac requires an independent source" }),
+            _ => Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "set_ac requires an independent source",
+            }),
         }
     }
 
@@ -479,7 +601,10 @@ impl Circuit {
                 *stimulus = Some(stim);
                 Ok(())
             }
-            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "set_stimulus requires a voltage source" }),
+            _ => Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "set_stimulus requires a voltage source",
+            }),
         }
     }
 
@@ -493,7 +618,10 @@ impl Circuit {
     /// new geometry is invalid.
     pub fn set_mosfet_params(&mut self, name: &str, params: MosfetParams) -> Result<(), MnaError> {
         if !(params.w > 0.0) || !(params.l > 0.0) || !(params.beta_factor > 0.0) {
-            return Err(MnaError::InvalidValue { element: name.to_string(), reason: "invalid MOSFET parameters" });
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "invalid MOSFET parameters",
+            });
         }
         let id = self.find(name)?;
         match &mut self.kinds[id.0] {
@@ -501,7 +629,10 @@ impl Circuit {
                 *p = params;
                 Ok(())
             }
-            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "set_mosfet_params requires a MOSFET" }),
+            _ => Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "set_mosfet_params requires a MOSFET",
+            }),
         }
     }
 
@@ -515,7 +646,10 @@ impl Circuit {
         let id = self.find(name)?;
         match &self.kinds[id.0] {
             ElementKind::Mosfet { params, .. } => Ok(*params),
-            _ => Err(MnaError::InvalidValue { element: name.to_string(), reason: "mosfet_params requires a MOSFET" }),
+            _ => Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "mosfet_params requires a MOSFET",
+            }),
         }
     }
 
@@ -586,7 +720,9 @@ mod tests {
         assert!(ckt.resistor("R", a, Circuit::GROUND, -5.0).is_err());
         assert!(ckt.capacitor("C", a, Circuit::GROUND, -1e-12).is_err());
         let params = MosfetParams::new(MosfetModel::default_nmos(), 0.0, 1e-6);
-        assert!(ckt.mosfet("M", a, a, Circuit::GROUND, Circuit::GROUND, params).is_err());
+        assert!(ckt
+            .mosfet("M", a, a, Circuit::GROUND, Circuit::GROUND, params)
+            .is_err());
     }
 
     #[test]
@@ -596,7 +732,8 @@ mod tests {
         let b = ckt.node("b");
         ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
         ckt.resistor("R1", a, b, 1e3).unwrap();
-        ckt.vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, 2.0).unwrap();
+        ckt.vcvs("E1", b, Circuit::GROUND, a, Circuit::GROUND, 2.0)
+            .unwrap();
         assert_eq!(ckt.num_nodes(), 3);
         assert_eq!(ckt.num_branches(), 2);
         assert_eq!(ckt.num_unknowns(), 4);
@@ -622,7 +759,8 @@ mod tests {
         let d = ckt.node("d");
         let g = ckt.node("g");
         let params = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
-        ckt.mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        ckt.mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, params)
+            .unwrap();
         let mut p2 = ckt.mosfet_params("M1").unwrap();
         p2.delta_vth = 0.01;
         ckt.set_mosfet_params("M1", p2).unwrap();
@@ -632,11 +770,21 @@ mod tests {
 
     #[test]
     fn stimulus_shapes() {
-        let step = Stimulus::Step { v0: 0.0, v1: 1.0, t0: 1e-6, t_rise: 1e-6 };
+        let step = Stimulus::Step {
+            v0: 0.0,
+            v1: 1.0,
+            t0: 1e-6,
+            t_rise: 1e-6,
+        };
         assert_eq!(step.at(0.0), 0.0);
         assert!((step.at(1.5e-6) - 0.5).abs() < 1e-12);
         assert_eq!(step.at(5e-6), 1.0);
-        let sine = Stimulus::Sine { offset: 1.0, ampl: 0.5, freq: 1e3, delay: 0.0 };
+        let sine = Stimulus::Sine {
+            offset: 1.0,
+            ampl: 0.5,
+            freq: 1e3,
+            delay: 0.0,
+        };
         assert!((sine.at(0.25e-3) - 1.5).abs() < 1e-12);
         assert_eq!(Stimulus::Dc(3.0).initial(), 3.0);
     }

@@ -37,17 +37,21 @@ use crate::{Circuit, MnaError, MosfetModel, MosfetParams, NodeId};
 fn parse_value(token: &str) -> Result<f64, ParseDeckError> {
     let t = token.trim();
     if t.is_empty() {
-        return Err(ParseDeckError::BadValue { token: token.to_string() });
+        return Err(ParseDeckError::BadValue {
+            token: token.to_string(),
+        });
     }
     // Split the leading numeric part from the suffix.
     let num_end = t
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
         .unwrap_or(t.len());
     // Guard against exponents like 1e-9 whose '-' follows 'e'.
     let (num_str, suffix) = t.split_at(num_end);
-    let base: f64 = num_str
-        .parse()
-        .map_err(|_| ParseDeckError::BadValue { token: token.to_string() })?;
+    let base: f64 = num_str.parse().map_err(|_| ParseDeckError::BadValue {
+        token: token.to_string(),
+    })?;
     let suffix = suffix.to_ascii_lowercase();
     let scale = if suffix.starts_with("meg") {
         1e6
@@ -65,7 +69,9 @@ fn parse_value(token: &str) -> Result<f64, ParseDeckError> {
             // A bare unit word like "V" or "Ohm".
             Some(c) if c.is_ascii_alphabetic() => 1.0,
             Some(_) => {
-                return Err(ParseDeckError::BadValue { token: token.to_string() });
+                return Err(ParseDeckError::BadValue {
+                    token: token.to_string(),
+                });
             }
         }
     };
@@ -178,9 +184,8 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, ParseDeckError> {
             match directive {
                 "END" => break,
                 "TEMP" => {
-                    let celsius = parse_value(
-                        fields.get(1).ok_or(ParseDeckError::TooFewFields { line })?,
-                    )?;
+                    let celsius =
+                        parse_value(fields.get(1).ok_or(ParseDeckError::TooFewFields { line })?)?;
                     ckt.set_temperature(celsius + 273.15);
                 }
                 _ => {
@@ -195,7 +200,10 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, ParseDeckError> {
 
         let mut node = |name: &str| -> NodeId { ckt_node(&mut ckt, name) };
         let need = |k: usize| -> Result<&str, ParseDeckError> {
-            fields.get(k).copied().ok_or(ParseDeckError::TooFewFields { line })
+            fields
+                .get(k)
+                .copied()
+                .ok_or(ParseDeckError::TooFewFields { line })
         };
 
         match upper.chars().next() {
@@ -291,7 +299,10 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, ParseDeckError> {
                 ckt.mosfet(head, d, g, s, b, MosfetParams::new(model, w, l))?;
             }
             _ => {
-                return Err(ParseDeckError::UnknownElement { line, token: head.to_string() })
+                return Err(ParseDeckError::UnknownElement {
+                    line,
+                    token: head.to_string(),
+                })
             }
         }
     }
@@ -459,6 +470,9 @@ mod tests {
     #[test]
     fn duplicate_names_rejected_via_circuit_error() {
         let r = parse_deck("R1 a 0 1k\nR1 a 0 2k");
-        assert!(matches!(r, Err(ParseDeckError::Circuit(MnaError::DuplicateName { .. }))));
+        assert!(matches!(
+            r,
+            Err(ParseDeckError::Circuit(MnaError::DuplicateName { .. }))
+        ));
     }
 }

@@ -35,7 +35,10 @@ pub struct DcSweep {
 impl DcSweep {
     /// Sweep over an explicit list of values.
     pub fn new(source: &str, values: Vec<f64>) -> Self {
-        DcSweep { source: source.to_string(), values }
+        DcSweep {
+            source: source.to_string(),
+            values,
+        }
     }
 
     /// Linearly spaced sweep with `n ≥ 2` points from `from` to `to`
@@ -49,7 +52,9 @@ impl DcSweep {
         let values = if n == 1 {
             vec![from]
         } else {
-            (0..n).map(|k| from + (to - from) * k as f64 / (n - 1) as f64).collect()
+            (0..n)
+                .map(|k| from + (to - from) * k as f64 / (n - 1) as f64)
+                .collect()
         };
         DcSweep::new(source, values)
     }
@@ -92,10 +97,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let d = ckt.node("d");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 0.0).unwrap();
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 0.0)
+            .unwrap();
         ckt.resistor("R1", vdd, d, 10e3).unwrap();
         let params = MosfetParams::new(MosfetModel::default_nmos(), 20e-6, 2e-6);
-        ckt.mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+        ckt.mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, params)
+            .unwrap();
         let pts = DcSweep::linear("VDD", 0.5, 3.0, 11).run(&mut ckt).unwrap();
         let mut last = -1.0;
         for (v, sol) in &pts {

@@ -99,7 +99,10 @@ impl TransientResult {
     ///
     /// Panics on an empty result (cannot happen for a successful run).
     pub fn final_voltage(&self, n: NodeId) -> f64 {
-        *self.voltage(n).last().expect("transient result is never empty")
+        *self
+            .voltage(n)
+            .last()
+            .expect("transient result is never empty")
     }
 }
 
@@ -170,7 +173,13 @@ impl<'c> Transient<'c> {
         for kind in ckt.kinds() {
             match kind {
                 ElementKind::Capacitor { a, b, farads } => {
-                    caps.push(TranCap { a: *a, b: *b, farads: *farads, v_prev: 0.0, i_prev: 0.0 });
+                    caps.push(TranCap {
+                        a: *a,
+                        b: *b,
+                        farads: *farads,
+                        v_prev: 0.0,
+                        i_prev: 0.0,
+                    });
                 }
                 ElementKind::Mosfet { d, g, s, b, params } => {
                     let (_, _, _, ev) = eval_mosfet_at(ckt, &x, *d, *g, *s, *b, params);
@@ -183,7 +192,13 @@ impl<'c> Transient<'c> {
                     };
                     for (na, nb, c) in [(*g, *s, cgs), (*g, *d, cgd), (*g, *b, cgb)] {
                         if c > 0.0 {
-                            caps.push(TranCap { a: na, b: nb, farads: c, v_prev: 0.0, i_prev: 0.0 });
+                            caps.push(TranCap {
+                                a: na,
+                                b: nb,
+                                farads: c,
+                                v_prev: 0.0,
+                                i_prev: 0.0,
+                            });
                         }
                     }
                 }
@@ -243,9 +258,9 @@ impl<'c> Transient<'c> {
                         jac[(j, i)] -= geq;
                     }
                 }
-                let lu = jac
-                    .lu()
-                    .map_err(|_| MnaError::SingularMatrix { analysis: "transient" })?;
+                let lu = jac.lu().map_err(|_| MnaError::SingularMatrix {
+                    analysis: "transient",
+                })?;
                 let delta = lu.solve(&(-&res))?;
                 x += &delta;
                 let mut dv = 0.0_f64;
@@ -293,9 +308,18 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let vout = ckt.node("out");
-        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
-        ckt.set_stimulus("VIN", Waveform::Step { v0: 0.0, v1: 1.0, t0: 0.0, t_rise: 1e-12 })
+        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0)
             .unwrap();
+        ckt.set_stimulus(
+            "VIN",
+            Waveform::Step {
+                v0: 0.0,
+                v1: 1.0,
+                t0: 0.0,
+                t_rise: 1e-12,
+            },
+        )
+        .unwrap();
         ckt.resistor("R1", vin, vout, 1e3).unwrap();
         ckt.capacitor("C1", vout, Circuit::GROUND, 1e-9).unwrap();
         let tau = 1e-6;
@@ -318,9 +342,18 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let vout = ckt.node("out");
-        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
-        ckt.set_stimulus("VIN", Waveform::Step { v0: 0.0, v1: 2.0, t0: 0.0, t_rise: 1e-12 })
+        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0)
             .unwrap();
+        ckt.set_stimulus(
+            "VIN",
+            Waveform::Step {
+                v0: 0.0,
+                v1: 2.0,
+                t0: 0.0,
+                t_rise: 1e-12,
+            },
+        )
+        .unwrap();
         ckt.resistor("R1", vin, vout, 1e3).unwrap();
         ckt.capacitor("C1", vout, Circuit::GROUND, 1e-9).unwrap();
         let mut opts = TransientOptions::new(5e-9, 10e-6);
@@ -334,15 +367,23 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let vout = ckt.node("out");
-        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0)
+            .unwrap();
         ckt.set_stimulus(
             "VIN",
-            Waveform::Sine { offset: 0.0, ampl: 1.0, freq: 1e3, delay: 0.0 },
+            Waveform::Sine {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e3,
+                delay: 0.0,
+            },
         )
         .unwrap();
         ckt.resistor("R1", vin, vout, 1e3).unwrap();
         ckt.capacitor("C1", vout, Circuit::GROUND, 1e-9).unwrap(); // pole at 159 kHz
-        let tr = Transient::new(&ckt, TransientOptions::new(1e-6, 2e-3)).run().unwrap();
+        let tr = Transient::new(&ckt, TransientOptions::new(1e-6, 2e-3))
+            .run()
+            .unwrap();
         let v = tr.voltage(vout);
         let peak = v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
         assert!((peak - 1.0).abs() < 0.02, "peak {peak}");
@@ -355,10 +396,13 @@ mod tests {
         let mut ckt = Circuit::new();
         let out = ckt.node("out");
         // 10 µA from ground into node out.
-        ckt.current_source("I1", Circuit::GROUND, out, 10e-6).unwrap();
+        ckt.current_source("I1", Circuit::GROUND, out, 10e-6)
+            .unwrap();
         ckt.resistor("Rbig", out, Circuit::GROUND, 1e5).unwrap();
         ckt.capacitor("CL", out, Circuit::GROUND, 1e-12).unwrap();
-        let tr = Transient::new(&ckt, TransientOptions::new(1e-9, 200e-9)).run().unwrap();
+        let tr = Transient::new(&ckt, TransientOptions::new(1e-9, 200e-9))
+            .run()
+            .unwrap();
         // Slope should be I/C = 1e7 V/s — but the DC initial point already
         // charges the node to I·R; instead check the slope during charge by
         // observing it is bounded by I/C.
@@ -372,15 +416,28 @@ mod tests {
         let vdd = ckt.node("vdd");
         let gate = ckt.node("g");
         let out = ckt.node("out");
-        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
-        ckt.voltage_source("VG", gate, Circuit::GROUND, 0.0).unwrap();
-        ckt.set_stimulus("VG", Waveform::Step { v0: 0.0, v1: 1.2, t0: 10e-9, t_rise: 1e-9 })
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
             .unwrap();
+        ckt.voltage_source("VG", gate, Circuit::GROUND, 0.0)
+            .unwrap();
+        ckt.set_stimulus(
+            "VG",
+            Waveform::Step {
+                v0: 0.0,
+                v1: 1.2,
+                t0: 10e-9,
+                t_rise: 1e-9,
+            },
+        )
+        .unwrap();
         ckt.resistor("RD", vdd, out, 20e3).unwrap();
         ckt.capacitor("CL", out, Circuit::GROUND, 0.5e-12).unwrap();
         let params = MosfetParams::new(MosfetModel::default_nmos(), 10e-6, 1e-6);
-        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params).unwrap();
-        let tr = Transient::new(&ckt, TransientOptions::new(0.2e-9, 300e-9)).run().unwrap();
+        ckt.mosfet("M1", out, gate, Circuit::GROUND, Circuit::GROUND, params)
+            .unwrap();
+        let tr = Transient::new(&ckt, TransientOptions::new(0.2e-9, 300e-9))
+            .run()
+            .unwrap();
         let v = tr.voltage(out);
         // Starts at VDD (device off), ends lower once the device turns on.
         assert!((v[0] - 3.0).abs() < 1e-6);
@@ -393,7 +450,9 @@ mod tests {
         let a = ckt.node("a");
         ckt.voltage_source("V1", a, Circuit::GROUND, 1.0).unwrap();
         ckt.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
-        let tr = Transient::new(&ckt, TransientOptions::new(1e-9, 20e-9)).run().unwrap();
+        let tr = Transient::new(&ckt, TransientOptions::new(1e-9, 20e-9))
+            .run()
+            .unwrap();
         for w in tr.times().windows(2) {
             assert!(w[1] > w[0]);
         }

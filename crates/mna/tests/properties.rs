@@ -14,7 +14,8 @@ fn ladder_voltage(resistors: &[f64], v1: f64, i2: f64) -> f64 {
     for (k, &r) in resistors.iter().enumerate() {
         let n = ckt.node(&format!("n{}", k + 1));
         ckt.resistor(&format!("Rs{k}"), prev, n, r).unwrap();
-        ckt.resistor(&format!("Rp{k}"), n, Circuit::GROUND, 2.0 * r).unwrap();
+        ckt.resistor(&format!("Rp{k}"), n, Circuit::GROUND, 2.0 * r)
+            .unwrap();
         prev = n;
     }
     // Current source injecting into the last node.

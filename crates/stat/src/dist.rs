@@ -85,17 +85,26 @@ impl Normal {
     /// parameters are finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, StatError> {
         if !mu.is_finite() {
-            return Err(StatError::InvalidParameter { name: "mu", value: mu });
+            return Err(StatError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         if !(sigma > 0.0) || !sigma.is_finite() {
-            return Err(StatError::InvalidParameter { name: "sigma", value: sigma });
+            return Err(StatError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+            });
         }
         Ok(Normal { mu, sigma })
     }
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mu: 0.0, sigma: 1.0 }
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Location parameter µ.
@@ -152,10 +161,16 @@ impl LogNormal {
     /// parameters are finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, StatError> {
         if !mu.is_finite() {
-            return Err(StatError::InvalidParameter { name: "mu", value: mu });
+            return Err(StatError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         if !(sigma > 0.0) || !sigma.is_finite() {
-            return Err(StatError::InvalidParameter { name: "sigma", value: sigma });
+            return Err(StatError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+            });
         }
         Ok(LogNormal { mu, sigma })
     }
@@ -210,10 +225,16 @@ impl Uniform {
     /// finite.
     pub fn new(a: f64, b: f64) -> Result<Self, StatError> {
         if !a.is_finite() {
-            return Err(StatError::InvalidParameter { name: "a", value: a });
+            return Err(StatError::InvalidParameter {
+                name: "a",
+                value: a,
+            });
         }
         if !b.is_finite() || !(b > a) {
-            return Err(StatError::InvalidParameter { name: "b", value: b });
+            return Err(StatError::InvalidParameter {
+                name: "b",
+                value: b,
+            });
         }
         Ok(Uniform { a, b })
     }
@@ -326,7 +347,11 @@ mod tests {
         let d = LogNormal::new(0.5, 0.2).unwrap();
         let n = 50_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean / d.mean() - 1.0).abs() < 0.02, "mean {mean} vs {}", d.mean());
+        assert!(
+            (mean / d.mean() - 1.0).abs() < 0.02,
+            "mean {mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

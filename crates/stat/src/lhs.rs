@@ -78,8 +78,8 @@ mod tests {
         let n = 2_000;
         let samples = latin_hypercube_normal(&mut rng, n, 1);
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
-        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / (n - 1) as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
         // Stratification makes these *much* tighter than iid sampling.
         assert!(mean.abs() < 0.005, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "var {var}");

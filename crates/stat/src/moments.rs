@@ -31,7 +31,13 @@ pub struct RunningMoments {
 impl RunningMoments {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningMoments { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.

@@ -78,7 +78,10 @@ impl Mvn {
         }
         for &s in sigmas.iter() {
             if !(s > 0.0) || !s.is_finite() {
-                return Err(StatError::InvalidParameter { name: "sigma", value: s });
+                return Err(StatError::InvalidParameter {
+                    name: "sigma",
+                    value: s,
+                });
             }
         }
         let cov = DMat::from_diagonal(&sigmas.hadamard(sigmas)?);
@@ -163,8 +166,7 @@ mod tests {
 
     fn example() -> Mvn {
         let mean = DVec::from_slice(&[1.0, 2.0, -1.0]);
-        let cov = DMat::from_rows(&[&[2.0, 0.4, 0.0], &[0.4, 1.0, 0.2], &[0.0, 0.2, 0.5]])
-            .unwrap();
+        let cov = DMat::from_rows(&[&[2.0, 0.4, 0.0], &[0.4, 1.0, 0.2], &[0.0, 0.2, 0.5]]).unwrap();
         Mvn::new(mean, &cov).unwrap()
     }
 
@@ -208,7 +210,11 @@ mod tests {
                     acc += (samples[(i, a)] - mean[a]) * (samples[(i, b)] - mean[b]);
                 }
                 let emp = acc / (n - 1) as f64;
-                assert!((emp - c[(a, b)]).abs() < 0.08, "cov[{a}][{b}]: {emp} vs {}", c[(a, b)]);
+                assert!(
+                    (emp - c[(a, b)]).abs() < 0.08,
+                    "cov[{a}][{b}]: {emp} vs {}",
+                    c[(a, b)]
+                );
             }
         }
     }
@@ -217,20 +223,25 @@ mod tests {
     fn rejects_dimension_mismatch() {
         let mean = DVec::zeros(2);
         let cov = DMat::identity(3);
-        assert!(matches!(Mvn::new(mean, &cov), Err(StatError::DimensionMismatch { .. })));
+        assert!(matches!(
+            Mvn::new(mean, &cov),
+            Err(StatError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn rejects_indefinite_covariance() {
         let mean = DVec::zeros(2);
         let cov = DMat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
-        assert!(matches!(Mvn::new(mean, &cov), Err(StatError::Covariance(_))));
+        assert!(matches!(
+            Mvn::new(mean, &cov),
+            Err(StatError::Covariance(_))
+        ));
     }
 
     #[test]
     fn from_sigmas_diagonal() {
-        let mvn =
-            Mvn::from_sigmas(DVec::zeros(2), &DVec::from_slice(&[2.0, 3.0])).unwrap();
+        let mvn = Mvn::from_sigmas(DVec::zeros(2), &DVec::from_slice(&[2.0, 3.0])).unwrap();
         let s = mvn.from_standard(&DVec::from_slice(&[1.0, 1.0]));
         assert!((s[0] - 2.0).abs() < 1e-14);
         assert!((s[1] - 3.0).abs() < 1e-14);
@@ -241,7 +252,9 @@ mod tests {
     fn ln_pdf_peak_at_mean() {
         let mvn = example();
         let at_mean = mvn.ln_pdf(mvn.mean()).unwrap();
-        let off = mvn.ln_pdf(&(mvn.mean() + &DVec::from_slice(&[1.0, 0.0, 0.0]))).unwrap();
+        let off = mvn
+            .ln_pdf(&(mvn.mean() + &DVec::from_slice(&[1.0, 0.0, 0.0])))
+            .unwrap();
         assert!(at_mean > off);
     }
 

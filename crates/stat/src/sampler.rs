@@ -29,7 +29,9 @@ pub struct StandardNormal {
 impl StandardNormal {
     /// Creates a sampler with an empty cache.
     pub fn new() -> Self {
-        StandardNormal { cached: Cell::new(None) }
+        StandardNormal {
+            cached: Cell::new(None),
+        }
     }
 
     /// Draws one standard normal variate.
@@ -85,7 +87,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let normal = StandardNormal::new();
         let n = 100_000;
-        let beyond2 = (0..n).filter(|_| normal.sample(&mut rng).abs() > 2.0).count();
+        let beyond2 = (0..n)
+            .filter(|_| normal.sample(&mut rng).abs() > 2.0)
+            .count();
         let frac = beyond2 as f64 / n as f64;
         // P(|Z| > 2) ≈ 0.0455.
         assert!((frac - 0.0455).abs() < 0.005, "frac {frac}");

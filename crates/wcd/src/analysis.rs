@@ -2,7 +2,8 @@
 //! operating corners, worst-case points, spec-wise linearizations and
 //! mirrored (quadratic) models.
 
-use specwise_ckt::CircuitEnv;
+use specwise_ckt::SimPhase;
+use specwise_exec::Evaluator;
 use specwise_linalg::DVec;
 
 use crate::corners::worst_case_corners;
@@ -44,21 +45,36 @@ impl WcResult {
 }
 
 /// Orchestrates the worst-case analysis (paper Secs. 2, 5.2).
-#[derive(Clone)]
-pub struct WcAnalysis<'e> {
-    env: &'e dyn CircuitEnv,
+///
+/// Generic over the [`Evaluator`], so the same analysis runs against a bare
+/// environment or an [`EvalService`](specwise_exec::EvalService) with
+/// parallel batches and caching.
+pub struct WcAnalysis<'e, E: Evaluator + ?Sized> {
+    env: &'e E,
     options: WcOptions,
 }
 
-impl std::fmt::Debug for WcAnalysis<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WcAnalysis").field("env", &self.env.name()).field("options", &self.options).finish()
+impl<E: Evaluator + ?Sized> Clone for WcAnalysis<'_, E> {
+    fn clone(&self) -> Self {
+        WcAnalysis {
+            env: self.env,
+            options: self.options,
+        }
     }
 }
 
-impl<'e> WcAnalysis<'e> {
-    /// Creates an analysis bound to an environment.
-    pub fn new(env: &'e dyn CircuitEnv, options: WcOptions) -> Self {
+impl<E: Evaluator + ?Sized> std::fmt::Debug for WcAnalysis<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WcAnalysis")
+            .field("env", &self.env.name())
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
+    /// Creates an analysis bound to an evaluator.
+    pub fn new(env: &'e E, options: WcOptions) -> Self {
         WcAnalysis { env, options }
     }
 
@@ -73,6 +89,7 @@ impl<'e> WcAnalysis<'e> {
         self.options.validate()?;
         let env = self.env;
         let n_spec = env.specs().len();
+        env.set_sim_phase(SimPhase::Wcd);
 
         // Per-spec worst-case operating corners (shared corner sweep).
         let corners = worst_case_corners(env, d_f, &DVec::zeros(env.stat_dim()))?;
@@ -85,6 +102,7 @@ impl<'e> WcAnalysis<'e> {
         for spec in 0..n_spec {
             let (theta_wc, nominal_margin) = corners[spec];
 
+            env.set_sim_phase(SimPhase::Wcd);
             let wc = match self.options.linearization_point {
                 LinearizationPoint::WorstCase => {
                     match search.run(env, d_f, spec, &theta_wc) {
@@ -102,6 +120,7 @@ impl<'e> WcAnalysis<'e> {
             };
 
             // Design-space gradient at the anchor.
+            env.set_sim_phase(SimPhase::Linearization);
             let (margins_anchor, jac_d) =
                 margins_gradient_d(env, d_f, &wc.s_wc, &wc.theta_wc, self.options.fd_step_d)?;
             let lin = SpecLinearization {
@@ -121,11 +140,13 @@ impl<'e> WcAnalysis<'e> {
             // is much lower, the performance degrades on both sides of the
             // nominal point and a mirrored model is added (Eqs. 21–22).
             if self.options.mirrored_models
-                && matches!(self.options.linearization_point, LinearizationPoint::WorstCase)
+                && matches!(
+                    self.options.linearization_point,
+                    LinearizationPoint::WorstCase
+                )
                 && wc.s_wc.norm2() > 1e-9
             {
-                let m_mirror =
-                    env.eval_margins(d_f, &(-&wc.s_wc), &wc.theta_wc)?[wc.spec];
+                let m_mirror = env.eval_margins(d_f, &(-&wc.s_wc), &wc.theta_wc)?[wc.spec];
                 let linear_expectation = 2.0 * wc.nominal_margin - lin.margin_at_anchor;
                 if m_mirror < 0.5 * linear_expectation {
                     linearizations.push(lin.to_mirrored());
@@ -136,7 +157,12 @@ impl<'e> WcAnalysis<'e> {
             wc_points.push(wc);
         }
 
-        Ok(WcResult { d_f: d_f.clone(), wc_points, linearizations, nominal_margins })
+        Ok(WcResult {
+            d_f: d_f.clone(),
+            wc_points,
+            linearizations,
+            nominal_margins,
+        })
     }
 
     /// Builds a nominal-anchored pseudo worst-case point (for the Table 4
@@ -181,7 +207,9 @@ mod tests {
     /// Two specs: a linear one and a mismatch-shaped (concave quadratic) one.
     fn env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 3.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 3.0,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("lin", "", SpecKind::LowerBound, 0.0))
             .spec(Spec::new("quad", "", SpecKind::LowerBound, 0.0))
@@ -204,8 +232,7 @@ mod tests {
         let res = WcAnalysis::new(&e, WcOptions::default()).run(&d).unwrap();
         assert_eq!(res.worst_case_points().len(), 2);
         // The quadratic spec must have received a mirrored twin.
-        let mirrored: Vec<_> =
-            res.linearizations().iter().filter(|l| l.mirrored).collect();
+        let mirrored: Vec<_> = res.linearizations().iter().filter(|l| l.mirrored).collect();
         assert_eq!(mirrored.len(), 1, "expected exactly one mirrored model");
         assert_eq!(mirrored[0].spec, 1);
         // The linear spec must not.
@@ -223,7 +250,11 @@ mod tests {
         let res = WcAnalysis::new(&e, WcOptions::default()).run(&d).unwrap();
         let wc = &res.worst_case_points()[0];
         // margin = 3 + 2 s0 + s1 → distance 3/√5.
-        assert!((wc.beta_wc - 3.0 / 5f64.sqrt()).abs() < 1e-3, "beta {}", wc.beta_wc);
+        assert!(
+            (wc.beta_wc - 3.0 / 5f64.sqrt()).abs() < 1e-3,
+            "beta {}",
+            wc.beta_wc
+        );
         assert!((res.nominal_margins()[0] - 3.0).abs() < 1e-9);
     }
 
@@ -266,7 +297,9 @@ mod tests {
     #[test]
     fn insensitive_spec_tolerated() {
         let e = AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 3.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 3.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("dead", "", SpecKind::LowerBound, 0.0))
             .spec(Spec::new("live", "", SpecKind::LowerBound, 0.0))

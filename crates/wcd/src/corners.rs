@@ -1,6 +1,7 @@
 //! Worst-case operating-point search by corner enumeration (paper Eq. 2).
 
-use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_ckt::OperatingPoint;
+use specwise_exec::{EvalPoint, Evaluator};
 use specwise_linalg::DVec;
 
 use crate::WcdError;
@@ -11,21 +12,26 @@ use crate::WcdError;
 ///
 /// Returns per-spec `(θ_wc, margin at θ_wc)`. Costs one simulation per
 /// corner (`2^dim(Θ)` total), shared across all specs — the sharing the
-/// paper's effort bound `N* ≤ N·min(n_spec, 2^dim(Θ))` exploits.
+/// paper's effort bound `N* ≤ N·min(n_spec, 2^dim(Θ))` exploits. The
+/// corners are independent and go out as one batch.
 ///
 /// # Errors
 ///
 /// Propagates circuit-evaluation errors.
-pub fn worst_case_corners(
-    env: &dyn CircuitEnv,
+pub fn worst_case_corners<E: Evaluator + ?Sized>(
+    env: &E,
     d: &DVec,
     s_hat: &DVec,
 ) -> Result<Vec<(OperatingPoint, f64)>, WcdError> {
     let corners = env.operating_range().corners();
     let n_spec = env.specs().len();
+    let points: Vec<EvalPoint> = corners
+        .iter()
+        .map(|theta| EvalPoint::new(d.clone(), s_hat.clone(), *theta))
+        .collect();
     let mut best: Vec<Option<(OperatingPoint, f64)>> = vec![None; n_spec];
-    for theta in &corners {
-        let margins = env.eval_margins(d, s_hat, theta)?;
+    for (theta, result) in corners.iter().zip(env.eval_margins_batch(&points)) {
+        let margins = result?;
         for i in 0..n_spec {
             match &best[i] {
                 Some((_, m)) if *m <= margins[i] => {}
@@ -33,19 +39,22 @@ pub fn worst_case_corners(
             }
         }
     }
-    Ok(best.into_iter().map(|b| b.expect("at least one corner")).collect())
+    Ok(best
+        .into_iter()
+        .map(|b| b.expect("at least one corner"))
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specwise_ckt::{
-        AnalyticEnv, DesignParam, DesignSpace, OperatingRange, Spec, SpecKind,
-    };
+    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, OperatingRange, Spec, SpecKind};
 
     fn env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", -5.0, 5.0, 0.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 0.0,
+            )]))
             .stat_dim(1)
             .operating_range(OperatingRange::new(-40.0, 125.0, 3.0, 3.6))
             // f0 worst at high temperature, f1 worst at low VDD.

@@ -34,11 +34,18 @@ impl fmt::Display for WcdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WcdError::Circuit(e) => write!(f, "circuit evaluation failed: {e}"),
-            WcdError::DimensionMismatch { what, expected, found } => {
+            WcdError::DimensionMismatch {
+                what,
+                expected,
+                found,
+            } => {
                 write!(f, "{what} vector has length {found}, expected {expected}")
             }
             WcdError::DegenerateGradient { spec } => {
-                write!(f, "worst-case search stalled for spec {spec}: gradient vanished")
+                write!(
+                    f,
+                    "worst-case search stalled for spec {spec}: gradient vanished"
+                )
             }
             WcdError::InvalidOption { reason } => write!(f, "invalid option: {reason}"),
         }

@@ -1,10 +1,16 @@
 //! Finite-difference gradients of margins and constraints.
 //!
 //! TITAN's internal sensitivities are not available to us (DESIGN.md §6), so
-//! gradients are forward differences: `n+1` evaluations per gradient, with
-//! the base evaluation shared by the caller where possible.
+//! gradients are forward differences: `n+1` evaluations per gradient. The
+//! base and all perturbed points are independent, so each gradient is issued
+//! as a single batch through the [`Evaluator`] — an [`EvalService`] fans it
+//! out over its worker pool, a plain environment runs it serially; the
+//! results are bit-identical either way.
+//!
+//! [`EvalService`]: specwise_exec::EvalService
 
-use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_ckt::OperatingPoint;
+use specwise_exec::{EvalPoint, Evaluator};
 use specwise_linalg::{DMat, DVec};
 
 use crate::WcdError;
@@ -17,23 +23,34 @@ use crate::WcdError;
 /// # Errors
 ///
 /// Propagates circuit-evaluation errors; rejects non-positive `h`.
-pub fn margins_gradient_s(
-    env: &dyn CircuitEnv,
+pub fn margins_gradient_s<E: Evaluator + ?Sized>(
+    env: &E,
     d: &DVec,
     s_hat: &DVec,
     theta: &OperatingPoint,
     h: f64,
 ) -> Result<(DVec, DMat), WcdError> {
     if !(h > 0.0) {
-        return Err(WcdError::InvalidOption { reason: "fd step must be > 0" });
+        return Err(WcdError::InvalidOption {
+            reason: "fd step must be > 0",
+        });
     }
-    let base = env.eval_margins(d, s_hat, theta)?;
-    let (n_spec, n_s) = (base.len(), s_hat.len());
-    let mut jac = DMat::zeros(n_spec, n_s);
+    let n_s = s_hat.len();
+    let mut points = Vec::with_capacity(n_s + 1);
+    points.push(EvalPoint::new(d.clone(), s_hat.clone(), *theta));
     for j in 0..n_s {
         let mut s2 = s_hat.clone();
         s2[j] += h;
-        let m2 = env.eval_margins(d, &s2, theta)?;
+        points.push(EvalPoint::new(d.clone(), s2, *theta));
+    }
+    let mut results = env.eval_margins_batch(&points).into_iter();
+    let base = results
+        .next()
+        .expect("batch returns one result per point")?;
+    let n_spec = base.len();
+    let mut jac = DMat::zeros(n_spec, n_s);
+    for (j, result) in results.enumerate() {
+        let m2 = result?;
         for i in 0..n_spec {
             jac[(i, j)] = (m2[i] - base[i]) / h;
         }
@@ -49,30 +66,43 @@ pub fn margins_gradient_s(
 /// # Errors
 ///
 /// Propagates circuit-evaluation errors; rejects non-positive `h_rel`.
-pub fn margins_gradient_d(
-    env: &dyn CircuitEnv,
+pub fn margins_gradient_d<E: Evaluator + ?Sized>(
+    env: &E,
     d: &DVec,
     s_hat: &DVec,
     theta: &OperatingPoint,
     h_rel: f64,
 ) -> Result<(DVec, DMat), WcdError> {
     if !(h_rel > 0.0) {
-        return Err(WcdError::InvalidOption { reason: "fd step must be > 0" });
+        return Err(WcdError::InvalidOption {
+            reason: "fd step must be > 0",
+        });
     }
-    let base = env.eval_margins(d, s_hat, theta)?;
     let space = env.design_space();
-    let (n_spec, n_d) = (base.len(), d.len());
-    let mut jac = DMat::zeros(n_spec, n_d);
+    let n_d = d.len();
+    let mut signed_steps = Vec::with_capacity(n_d);
+    let mut points = Vec::with_capacity(n_d + 1);
+    points.push(EvalPoint::new(d.clone(), s_hat.clone(), *theta));
     for k in 0..n_d {
         let p = &space.params()[k];
         let step = h_rel * (p.upper - p.lower);
         // Step inward when at the upper bound.
         let signed = if d[k] + step <= p.upper { step } else { -step };
+        signed_steps.push(signed);
         let mut d2 = d.clone();
         d2[k] += signed;
-        let m2 = env.eval_margins(&d2, s_hat, theta)?;
+        points.push(EvalPoint::new(d2, s_hat.clone(), *theta));
+    }
+    let mut results = env.eval_margins_batch(&points).into_iter();
+    let base = results
+        .next()
+        .expect("batch returns one result per point")?;
+    let n_spec = base.len();
+    let mut jac = DMat::zeros(n_spec, n_d);
+    for (k, result) in results.enumerate() {
+        let m2 = result?;
         for i in 0..n_spec {
-            jac[(i, k)] = (m2[i] - base[i]) / signed;
+            jac[(i, k)] = (m2[i] - base[i]) / signed_steps[k];
         }
     }
     Ok((base, jac))
@@ -84,27 +114,40 @@ pub fn margins_gradient_d(
 /// # Errors
 ///
 /// Propagates circuit-evaluation errors; rejects non-positive `h_rel`.
-pub fn constraint_jacobian(
-    env: &dyn CircuitEnv,
+pub fn constraint_jacobian<E: Evaluator + ?Sized>(
+    env: &E,
     d: &DVec,
     h_rel: f64,
 ) -> Result<(DVec, DMat), WcdError> {
     if !(h_rel > 0.0) {
-        return Err(WcdError::InvalidOption { reason: "fd step must be > 0" });
+        return Err(WcdError::InvalidOption {
+            reason: "fd step must be > 0",
+        });
     }
-    let base = env.eval_constraints(d)?;
     let space = env.design_space();
-    let (n_c, n_d) = (base.len(), d.len());
-    let mut jac = DMat::zeros(n_c, n_d);
+    let n_d = d.len();
+    let mut signed_steps = Vec::with_capacity(n_d);
+    let mut designs = Vec::with_capacity(n_d + 1);
+    designs.push(d.clone());
     for k in 0..n_d {
         let p = &space.params()[k];
         let step = h_rel * (p.upper - p.lower);
         let signed = if d[k] + step <= p.upper { step } else { -step };
+        signed_steps.push(signed);
         let mut d2 = d.clone();
         d2[k] += signed;
-        let c2 = env.eval_constraints(&d2)?;
+        designs.push(d2);
+    }
+    let mut results = env.eval_constraints_batch(&designs).into_iter();
+    let base = results
+        .next()
+        .expect("batch returns one result per point")?;
+    let n_c = base.len();
+    let mut jac = DMat::zeros(n_c, n_d);
+    for (k, result) in results.enumerate() {
+        let c2 = result?;
         for i in 0..n_c {
-            jac[(i, k)] = (c2[i] - base[i]) / signed;
+            jac[(i, k)] = (c2[i] - base[i]) / signed_steps[k];
         }
     }
     Ok((base, jac))
@@ -125,12 +168,11 @@ mod tests {
             .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
             .spec(Spec::new("f1", "", SpecKind::UpperBound, 4.0))
             .performances(|d, s, _| {
-                DVec::from_slice(&[
-                    2.0 * d[0] + 3.0 * s[0] - s[1],
-                    d[1] * d[1] + 0.5 * s[1],
-                ])
+                DVec::from_slice(&[2.0 * d[0] + 3.0 * s[0] - s[1], d[1] * d[1] + 0.5 * s[1]])
             })
-            .constraints(vec!["c0".to_string()], |d| DVec::from_slice(&[d[0] + d[1] - 1.0]))
+            .constraints(vec!["c0".to_string()], |d| {
+                DVec::from_slice(&[d[0] + d[1] - 1.0])
+            })
             .build()
             .unwrap()
     }
@@ -185,6 +227,38 @@ mod tests {
         )
         .unwrap();
         assert!((jac[(1, 1)] + 20.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn design_gradient_at_upper_bound_identical_through_parallel_service() {
+        // Regression: the batched/parallel path must take the same inward
+        // step as the serial path when parameters sit at their upper bounds,
+        // including the all-parameters-at-bound corner of the design box.
+        use specwise_exec::{EvalService, ExecConfig};
+        let e = env();
+        let theta = e.operating_range().nominal();
+        let corner = DVec::from_slice(&[5.0, 10.0]); // both at upper bound
+        let (m_serial, jac_serial) =
+            margins_gradient_d(&e, &corner, &DVec::zeros(2), &theta, 1e-6).unwrap();
+        for workers in [1usize, 2, 8] {
+            let service = EvalService::new(
+                &e,
+                ExecConfig::serial()
+                    .with_workers(workers)
+                    .with_cache_capacity(0),
+            );
+            let (m, jac) =
+                margins_gradient_d(&service, &corner, &DVec::zeros(2), &theta, 1e-6).unwrap();
+            assert_eq!(m.as_slice(), m_serial.as_slice(), "workers={workers}");
+            for i in 0..2 {
+                for k in 0..2 {
+                    assert_eq!(jac[(i, k)], jac_serial[(i, k)], "workers={workers}");
+                }
+            }
+        }
+        // And the inward-step sign is actually exercised: f1 = b² at the
+        // bound b = 10 has slope 20, margin flips it to −20.
+        assert!((jac_serial[(1, 1)] + 20.0).abs() < 1e-2);
     }
 
     #[test]

@@ -57,19 +57,29 @@ impl WcOptions {
     /// tolerances.
     pub fn validate(&self) -> Result<(), crate::WcdError> {
         if !(self.fd_step_s > 0.0) {
-            return Err(crate::WcdError::InvalidOption { reason: "fd_step_s must be > 0" });
+            return Err(crate::WcdError::InvalidOption {
+                reason: "fd_step_s must be > 0",
+            });
         }
         if !(self.fd_step_d > 0.0) {
-            return Err(crate::WcdError::InvalidOption { reason: "fd_step_d must be > 0" });
+            return Err(crate::WcdError::InvalidOption {
+                reason: "fd_step_d must be > 0",
+            });
         }
         if self.max_sqp_iters == 0 {
-            return Err(crate::WcdError::InvalidOption { reason: "max_sqp_iters must be > 0" });
+            return Err(crate::WcdError::InvalidOption {
+                reason: "max_sqp_iters must be > 0",
+            });
         }
         if !(self.beta_max > 0.0) {
-            return Err(crate::WcdError::InvalidOption { reason: "beta_max must be > 0" });
+            return Err(crate::WcdError::InvalidOption {
+                reason: "beta_max must be > 0",
+            });
         }
         if !(self.margin_tol_rel > 0.0) {
-            return Err(crate::WcdError::InvalidOption { reason: "margin_tol_rel must be > 0" });
+            return Err(crate::WcdError::InvalidOption {
+                reason: "margin_tol_rel must be > 0",
+            });
         }
         Ok(())
     }

@@ -10,7 +10,8 @@
 //! accuracies can be compared against simulation Monte Carlo (see
 //! `tests/model_order.rs` at the workspace root).
 
-use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_ckt::OperatingPoint;
+use specwise_exec::{EvalPoint, Evaluator};
 use specwise_linalg::DVec;
 
 use crate::{SpecLinearization, WcdError};
@@ -49,8 +50,8 @@ impl QuadraticMarginModel {
     /// # Errors
     ///
     /// Propagates evaluation errors; rejects non-positive steps.
-    pub fn fit(
-        env: &dyn CircuitEnv,
+    pub fn fit<E: Evaluator + ?Sized>(
+        env: &E,
         d_f: &DVec,
         spec: usize,
         theta: &OperatingPoint,
@@ -58,7 +59,9 @@ impl QuadraticMarginModel {
         h: f64,
     ) -> Result<Self, WcdError> {
         if !(h > 0.0) {
-            return Err(WcdError::InvalidOption { reason: "fd step must be > 0" });
+            return Err(WcdError::InvalidOption {
+                reason: "fd step must be > 0",
+            });
         }
         let n_s = env.stat_dim();
         if s_anchor.len() != n_s {
@@ -68,16 +71,26 @@ impl QuadraticMarginModel {
                 found: s_anchor.len(),
             });
         }
-        let m0 = env.eval_margins(d_f, s_anchor, theta)?[spec];
-        let mut grad_s = DVec::zeros(n_s);
-        let mut hess_diag = DVec::zeros(n_s);
+        // One batch: the anchor plus ± probes per axis.
+        let mut points = Vec::with_capacity(2 * n_s + 1);
+        points.push(EvalPoint::new(d_f.clone(), s_anchor.clone(), *theta));
         for i in 0..n_s {
             let mut sp = s_anchor.clone();
             sp[i] += h;
             let mut sm = s_anchor.clone();
             sm[i] -= h;
-            let mp = env.eval_margins(d_f, &sp, theta)?[spec];
-            let mm = env.eval_margins(d_f, &sm, theta)?[spec];
+            points.push(EvalPoint::new(d_f.clone(), sp, *theta));
+            points.push(EvalPoint::new(d_f.clone(), sm, *theta));
+        }
+        let mut results = env.eval_margins_batch(&points).into_iter();
+        let m0 = results
+            .next()
+            .expect("batch returns one result per point")?[spec];
+        let mut grad_s = DVec::zeros(n_s);
+        let mut hess_diag = DVec::zeros(n_s);
+        for i in 0..n_s {
+            let mp = results.next().expect("one +h probe per axis")?[spec];
+            let mm = results.next().expect("one -h probe per axis")?[spec];
             grad_s[i] = (mp - mm) / (2.0 * h);
             hess_diag[i] = (mp - 2.0 * m0 + mm) / (h * h);
         }
@@ -138,7 +151,9 @@ mod tests {
     /// margin = 2 + 3·s0 − s1² + 0.5·d0 — linear + pure diagonal quadratic.
     fn env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", -10.0, 10.0, 0.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -10.0, 10.0, 0.0,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| {
@@ -159,7 +174,11 @@ mod tests {
         assert!((q.grad_s[0] - 3.0).abs() < 1e-9, "g0 = {}", q.grad_s[0]);
         assert!((q.grad_s[1] - 0.8).abs() < 1e-9, "g1 = {}", q.grad_s[1]);
         assert!(q.hess_diag[0].abs() < 1e-7, "h0 = {}", q.hess_diag[0]);
-        assert!((q.hess_diag[1] + 2.0).abs() < 1e-7, "h1 = {}", q.hess_diag[1]);
+        assert!(
+            (q.hess_diag[1] + 2.0).abs() < 1e-7,
+            "h1 = {}",
+            q.hess_diag[1]
+        );
         assert!((q.grad_d[0] - 0.5).abs() < 1e-4);
     }
 

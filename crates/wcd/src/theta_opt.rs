@@ -7,7 +7,8 @@
 //! inside the `Θ` box — an optional extension beyond the paper's corner
 //! assumption.
 
-use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_ckt::OperatingPoint;
+use specwise_exec::Evaluator;
 use specwise_linalg::DVec;
 
 use crate::WcdError;
@@ -55,8 +56,8 @@ fn golden_min(
 /// # Errors
 ///
 /// Propagates evaluation errors; rejects too-small budgets.
-pub fn refine_worst_theta(
-    env: &dyn CircuitEnv,
+pub fn refine_worst_theta<E: Evaluator + ?Sized>(
+    env: &E,
     d: &DVec,
     s_hat: &DVec,
     spec: usize,
@@ -64,7 +65,9 @@ pub fn refine_worst_theta(
     evals_per_axis: usize,
 ) -> Result<(OperatingPoint, f64), WcdError> {
     if evals_per_axis < 3 {
-        return Err(WcdError::InvalidOption { reason: "evals_per_axis must be >= 3" });
+        return Err(WcdError::InvalidOption {
+            reason: "evals_per_axis must be >= 3",
+        });
     }
     let range = env.operating_range();
     let (t_lo, t_hi) = range.temp_bounds();
@@ -110,7 +113,9 @@ mod tests {
     /// Margin with an *interior* worst-case temperature at 60 °C.
     fn interior_env() -> AnalyticEnv {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 1.0,
+            )]))
             .stat_dim(1)
             .operating_range(OperatingRange::new(-40.0, 125.0, 3.0, 3.6))
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
@@ -131,9 +136,20 @@ mod tests {
         let corners = worst_case_corners(&e, &d, &s).unwrap();
         let (theta_corner, m_corner) = corners[0];
         let (theta, m) = refine_worst_theta(&e, &d, &s, 0, theta_corner, 12).unwrap();
-        assert!(m < m_corner - 0.5, "refined margin {m} must beat corner {m_corner}");
-        assert!((theta.temp_c - 60.0).abs() < 5.0, "dip near 60°C, got {}", theta.temp_c);
-        assert!((theta.vdd - 3.0).abs() < 0.05, "low VDD is worst, got {}", theta.vdd);
+        assert!(
+            m < m_corner - 0.5,
+            "refined margin {m} must beat corner {m_corner}"
+        );
+        assert!(
+            (theta.temp_c - 60.0).abs() < 5.0,
+            "dip near 60°C, got {}",
+            theta.temp_c
+        );
+        assert!(
+            (theta.vdd - 3.0).abs() < 0.05,
+            "low VDD is worst, got {}",
+            theta.vdd
+        );
         // Analytic minimum: 1 − 2 + 0 = −1.
         assert!((m + 1.0).abs() < 0.05, "margin at the dip ≈ −1, got {m}");
     }
@@ -142,7 +158,9 @@ mod tests {
     fn monotone_case_stays_at_corner() {
         // Margin monotone in both θ axes: the corner is already worst.
         let e = AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 1.0,
+            )]))
             .stat_dim(1)
             .operating_range(OperatingRange::new(-40.0, 125.0, 3.0, 3.6))
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))

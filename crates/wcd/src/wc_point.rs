@@ -6,7 +6,8 @@
 //! iterate and jump to the point of the zero-margin hyperplane closest to
 //! the origin, repeating until the true margin vanishes there.
 
-use specwise_ckt::{CircuitEnv, OperatingPoint};
+use specwise_ckt::OperatingPoint;
+use specwise_exec::Evaluator;
 use specwise_linalg::DVec;
 
 use crate::gradient::margins_gradient_s;
@@ -48,7 +49,10 @@ impl WorstCasePoint {
         }
         let mut idx: Vec<usize> = (0..self.s_wc.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.s_wc[b].abs().partial_cmp(&self.s_wc[a].abs()).expect("finite components")
+            self.s_wc[b]
+                .abs()
+                .partial_cmp(&self.s_wc[a].abs())
+                .expect("finite components")
         });
         Some((idx[0], idx[1]))
     }
@@ -77,9 +81,9 @@ impl WorstCaseSearch {
     /// Propagates evaluation errors; returns
     /// [`WcdError::DegenerateGradient`] when the margin does not depend on
     /// the statistical parameters at all.
-    pub fn run(
+    pub fn run<E: Evaluator + ?Sized>(
         &self,
-        env: &dyn CircuitEnv,
+        env: &E,
         d: &DVec,
         spec: usize,
         theta_wc: &OperatingPoint,
@@ -102,8 +106,7 @@ impl WorstCaseSearch {
         let mut converged = false;
 
         for iter in 0..self.options.max_sqp_iters {
-            let (margins, jac) =
-                margins_gradient_s(env, d, &s, theta_wc, self.options.fd_step_s)?;
+            let (margins, jac) = margins_gradient_s(env, d, &s, theta_wc, self.options.fd_step_s)?;
             let m = margins[spec];
             let g = jac.row(spec);
             let _ = iter;
@@ -160,11 +163,14 @@ impl WorstCaseSearch {
         }
 
         let beta_mag = s.norm2();
-        let beta_wc = if nominal_margin >= 0.0 { beta_mag } else { -beta_mag };
+        let beta_wc = if nominal_margin >= 0.0 {
+            beta_mag
+        } else {
+            -beta_mag
+        };
         // Refresh the gradient at the final point when we moved (the last
         // stored gradient belongs to the previous iterate).
-        let (margins_f, jac_f) =
-            margins_gradient_s(env, d, &s, theta_wc, self.options.fd_step_s)?;
+        let (margins_f, jac_f) = margins_gradient_s(env, d, &s, theta_wc, self.options.fd_step_s)?;
         let _ = (last_margin, last_grad);
         Ok(WorstCasePoint {
             spec,
@@ -187,7 +193,9 @@ mod tests {
     fn linear_env(offset: f64) -> AnalyticEnv {
         // margin = offset + 3·s0 − 4·s1 (lower-bound spec at 0).
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", -10.0, 10.0, offset)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -10.0, 10.0, offset,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| DVec::from_slice(&[d[0] + 3.0 * s[0] - 4.0 * s[1]]))
@@ -235,14 +243,19 @@ mod tests {
         // grad = (3, −4); s_wc = (−0.6, 0.8) = −0.2·grad.
         let cross = wc.s_wc[0] * wc.grad_s[1] - wc.s_wc[1] * wc.grad_s[0];
         assert!(cross.abs() < 1e-6, "not collinear: {cross}");
-        assert!(wc.s_wc.dot(&wc.grad_s) < 0.0, "must point against the gradient");
+        assert!(
+            wc.s_wc.dot(&wc.grad_s) < 0.0,
+            "must point against the gradient"
+        );
     }
 
     #[test]
     fn uncritical_spec_clamped_to_beta_max() {
         // Tiny sensitivity: cannot fail within 8σ.
         let env = AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 5.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 5.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|d, s, _| DVec::from_slice(&[d[0] + 1e-3 * s[0]]))
@@ -260,12 +273,12 @@ mod tests {
     fn quadratic_margin_converges() {
         // margin = 2 − s0² − 0.25·s1²; boundary at ‖(s0, 0)‖ = √2 (closest).
         let env = AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 2.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 2.0,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
-            .performances(|d, s, _| {
-                DVec::from_slice(&[d[0] - s[0] * s[0] - 0.25 * s[1] * s[1]])
-            })
+            .performances(|d, s, _| DVec::from_slice(&[d[0] - s[0] * s[0] - 0.25 * s[1] * s[1]]))
             .build()
             .unwrap();
         let theta = env.operating_range().nominal();
@@ -278,13 +291,19 @@ mod tests {
         // both — degenerate at the nominal point. The fd step perturbs it
         // slightly so the search still finds the boundary ring.
         assert!(wc.margin_at_wc.abs() < 0.05, "margin {}", wc.margin_at_wc);
-        assert!((wc.s_wc.norm2() - 2f64.sqrt()).abs() < 0.3, "norm {}", wc.s_wc.norm2());
+        assert!(
+            (wc.s_wc.norm2() - 2f64.sqrt()).abs() < 0.3,
+            "norm {}",
+            wc.s_wc.norm2()
+        );
     }
 
     #[test]
     fn degenerate_gradient_detected() {
         let env = AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("a", "", 0.0, 10.0, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 1.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
             .performances(|d, _, _| DVec::from_slice(&[d[0]]))

@@ -31,9 +31,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     if trace.snapshots().len() >= 2 {
         let snaps = trace.snapshots();
         println!("=== Improvement between iterations (cf. paper Table 2) ===");
-        if let Some(t) =
-            improvement_table(&env, &snaps[snaps.len() - 2], &snaps[snaps.len() - 1])
-        {
+        if let Some(t) = improvement_table(&env, &snaps[snaps.len() - 2], &snaps[snaps.len() - 1]) {
             println!("{t}");
         }
     }

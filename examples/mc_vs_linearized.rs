@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!(
         "  {} linear models ({} mirrored twins for mismatch-shaped specs)",
         analysis.linearizations().len(),
-        analysis.linearizations().iter().filter(|l| l.mirrored).count(),
+        analysis
+            .linearizations()
+            .iter()
+            .filter(|l| l.mirrored)
+            .count(),
     );
     let model = LinearizedYield::new(
         analysis.linearizations().to_vec(),
@@ -34,7 +38,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Compare Ȳ (linearized) against Ỹ (simulation MC) at the anchor and at
     // perturbed designs along the w1 axis.
-    println!("\n{:>10} {:>18} {:>18}", "w1 [um]", "linearized Ybar", "simulated Ytilde");
+    println!(
+        "\n{:>10} {:>18} {:>18}",
+        "w1 [um]", "linearized Ybar", "simulated Ytilde"
+    );
     for scale in [1.0, 1.2, 1.5, 2.0] {
         let mut d = d0.clone();
         d[0] *= scale;

@@ -25,9 +25,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     if trace.snapshots().len() >= 2 {
         let snaps = trace.snapshots();
         println!("=== Improvement between iterations ===");
-        if let Some(t) =
-            improvement_table(&env, &snaps[snaps.len() - 2], &snaps[snaps.len() - 1])
-        {
+        if let Some(t) = improvement_table(&env, &snaps[snaps.len() - 2], &snaps[snaps.len() - 1]) {
             println!("{t}");
         }
     }
@@ -39,7 +37,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     println!("\nFinal design:");
-    for (p, v) in env.design_space().params().iter().zip(trace.final_design().iter()) {
+    for (p, v) in env
+        .design_space()
+        .params()
+        .iter()
+        .zip(trace.final_design().iter())
+    {
         println!("  {:<4} = {:>8.2} {}", p.name, v, p.unit);
     }
     Ok(())

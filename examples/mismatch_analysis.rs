@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let theta = env.operating_range().nominal();
     println!("CMRR over the (vth_m7, vth_m8) plane (cf. paper Fig. 1):");
-    println!("{:>8} {:>16} {:>16}", "t [σ]", "mismatch line", "neutral line");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "t [σ]", "mismatch line", "neutral line"
+    );
     for t in [-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0] {
         let mut s_ml = DVec::zeros(env.stat_dim());
         s_ml[k] = t;

@@ -30,7 +30,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let perf = env.eval_performances(&d0, &nominal_stats, &theta)?;
     println!("Initial nominal performances:");
     for (spec, value) in env.specs().iter().zip(perf.iter()) {
-        println!("  {:<22} measured {:>9.2} {}", spec.to_string(), value, spec.unit());
+        println!(
+            "  {:<22} measured {:>9.2} {}",
+            spec.to_string(),
+            value,
+            spec.unit()
+        );
     }
 
     // 2. Simulation-based Monte-Carlo yield of the initial design
@@ -49,7 +54,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let after = trace.final_snapshot();
     println!(
         "After one iteration:    {}",
-        after.verified.as_ref().expect("verification enabled").yield_estimate
+        after
+            .verified
+            .as_ref()
+            .expect("verification enabled")
+            .yield_estimate
     );
     println!(
         "({} simulator calls, {:.1} s)",

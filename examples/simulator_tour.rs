@@ -43,13 +43,22 @@ fn main() -> Result<(), Box<dyn Error>> {
     let f3db = ac
         .find_crossing(out, a0 / 2f64.sqrt(), 1e3, 1e12)?
         .expect("bandwidth crossing exists");
-    println!("  |A| = {a0:.1} ({:.1} dB), f_3dB = {:.1} MHz", 20.0 * a0.log10(), f3db / 1e6);
+    println!(
+        "  |A| = {a0:.1} ({:.1} dB), f_3dB = {:.1} MHz",
+        20.0 * a0.log10(),
+        f3db / 1e6
+    );
 
     // --- 2. Transient: inverter step response. ----------------------------
     let mut tr_ckt = ckt.clone();
     tr_ckt.set_stimulus(
         "VG",
-        Waveform::Step { v0: 1.0, v1: 1.3, t0: 10e-9, t_rise: 1e-9 },
+        Waveform::Step {
+            v0: 1.0,
+            v1: 1.3,
+            t0: 10e-9,
+            t_rise: 1e-9,
+        },
     )?;
     let tr = Transient::new(&tr_ckt, TransientOptions::new(0.1e-9, 200e-9)).run()?;
     println!(
@@ -76,7 +85,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let sr_transient = env_transient.metrics(&d0, &s0, &theta)?.slew_v_per_s;
 
     println!("  analytic (I_tail/C_L): {:.1} V/µs", sr_analytic / 1e6);
-    println!("  transient (unity buffer step): {:.1} V/µs", sr_transient / 1e6);
+    println!(
+        "  transient (unity buffer step): {:.1} V/µs",
+        sr_transient / 1e6
+    );
     let ratio = sr_transient / sr_analytic;
     println!("  ratio: {ratio:.2} (the textbook formula is the large-signal limit)");
     Ok(())

@@ -20,7 +20,11 @@ M1  out g 0 0 NMOS W=12u L=1.2u
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut ckt = parse_deck(DECK)?;
-    println!("parsed {} elements, {} nodes", ckt.num_elements(), ckt.num_nodes());
+    println!(
+        "parsed {} elements, {} nodes",
+        ckt.num_elements(),
+        ckt.num_nodes()
+    );
 
     // DC operating point.
     let op = DcOp::new(&ckt).solve()?;
@@ -48,7 +52,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // Transient: small gate step.
-    ckt.set_stimulus("VG", Stimulus::Step { v0: 1.05, v1: 1.10, t0: 5e-9, t_rise: 1e-9 })?;
+    ckt.set_stimulus(
+        "VG",
+        Stimulus::Step {
+            v0: 1.05,
+            v1: 1.10,
+            t0: 5e-9,
+            t_rise: 1e-9,
+        },
+    )?;
     let tr = Transient::new(&ckt, TransientOptions::new(0.1e-9, 120e-9)).run()?;
     println!(
         "TRAN: V(out) {:.3} V -> {:.3} V after a 50 mV gate step",

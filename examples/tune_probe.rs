@@ -32,31 +32,28 @@ fn main() {
     let th = fc.operating_range().nominal();
     for pair in [("m1", "m2"), ("m3", "m4"), ("m5", "m6"), ("m7", "m8")] {
         for kind in ["vth", "beta"] {
-            let ia = fc.stat_space().index_of(&format!("{kind}_{}", pair.0)).unwrap();
-            let ib = fc.stat_space().index_of(&format!("{kind}_{}", pair.1)).unwrap();
+            let ia = fc
+                .stat_space()
+                .index_of(&format!("{kind}_{}", pair.0))
+                .unwrap();
+            let ib = fc
+                .stat_space()
+                .index_of(&format!("{kind}_{}", pair.1))
+                .unwrap();
             let mut s = DVec::zeros(fc.stat_dim());
             s[ia] = 1.0;
             s[ib] = -1.0;
             match fc.metrics(&d0, &s, &th) {
-                Ok(m) => println!(
-                    "ML {kind} {}/{}: CMRR={:.2} dB",
-                    pair.0,
-                    pair.1,
-                    m.cmrr_db
-                ),
+                Ok(m) => println!("ML {kind} {}/{}: CMRR={:.2} dB", pair.0, pair.1, m.cmrr_db),
                 Err(e) => println!("ML {kind} {:?}: ERROR {e}", pair),
             }
         }
     }
     println!(
         "s=0 CMRR at wc corner (125C, 3V): {:.2}",
-        fc.metrics(
-            &d0,
-            &s0,
-            &specwise_ckt::OperatingPoint::new(125.0, 3.0)
-        )
-        .unwrap()
-        .cmrr_db
+        fc.metrics(&d0, &s0, &specwise_ckt::OperatingPoint::new(125.0, 3.0))
+            .unwrap()
+            .cmrr_db
     );
 
     println!("== Miller, nominal s, corners + nominal ==");

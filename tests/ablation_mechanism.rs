@@ -52,7 +52,9 @@ fn config() -> OptimizerConfig {
 
 fn final_yield(cfg: OptimizerConfig) -> f64 {
     let env = mismatch_env();
-    let trace = YieldOptimizer::new(cfg).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(cfg)
+        .run(&env)
+        .expect("optimization runs");
     trace
         .final_snapshot()
         .verified
@@ -69,7 +71,10 @@ fn worst_case_linearization_beats_nominal_linearization() {
     let mut cfg = config();
     cfg.wc_options.linearization_point = LinearizationPoint::Nominal;
     let y_nominal = final_yield(cfg);
-    assert!(y_wc > 0.78, "worst-case anchoring should approach the constrained optimum (~0.85), got {y_wc}");
+    assert!(
+        y_wc > 0.78,
+        "worst-case anchoring should approach the constrained optimum (~0.85), got {y_wc}"
+    );
     assert!(
         y_wc > y_nominal + 0.1,
         "worst-case anchoring must clearly beat nominal: {y_wc} vs {y_nominal}"
@@ -85,7 +90,9 @@ fn nominal_linearization_misjudges_the_quadratic_spec() {
     let mut cfg = config();
     cfg.wc_options.linearization_point = LinearizationPoint::Nominal;
     cfg.max_iterations = 1;
-    let trace = YieldOptimizer::new(cfg).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(cfg)
+        .run(&env)
+        .expect("optimization runs");
     let snap = trace.initial();
     let model_bad = snap.bad_per_mille[0];
     let true_bad = snap.verified.as_ref().unwrap().bad_per_mille()[0];
@@ -101,14 +108,21 @@ fn constraints_keep_the_search_inside_the_budget() {
     // optimizer pushes both parameters to their boxes, overshooting the
     // budget; with it the optimum respects `area + bias ≤ 6`.
     let env = mismatch_env();
-    let trace = YieldOptimizer::new(config()).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(config())
+        .run(&env)
+        .expect("optimization runs");
     let d = trace.final_design();
-    assert!(d[0] + d[1] <= 6.0 + 1e-6, "constrained optimum respects the budget: {d}");
+    assert!(
+        d[0] + d[1] <= 6.0 + 1e-6,
+        "constrained optimum respects the budget: {d}"
+    );
 
     let env = mismatch_env();
     let mut cfg = config();
     cfg.use_constraints = false;
-    let trace = YieldOptimizer::new(cfg).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(cfg)
+        .run(&env)
+        .expect("optimization runs");
     let d_unconstrained = trace.final_design();
     assert!(
         d_unconstrained[0] + d_unconstrained[1] > 6.0,
@@ -123,7 +137,9 @@ fn mirrored_models_capture_the_two_sided_failure() {
     // margin = 1 − (s0 − s1)², so the true yield is
     // P(|Z0 − Z1| ≤ 1) = P(|Z| ≤ 1/√2) ≈ 0.5205.
     let env = AnalyticEnv::builder()
-        .design(DesignSpace::new(vec![DesignParam::new("dummy", "", 0.0, 1.0, 0.5)]))
+        .design(DesignSpace::new(vec![DesignParam::new(
+            "dummy", "", 0.0, 1.0, 0.5,
+        )]))
         .stat_dim(2)
         .spec(Spec::new("quad", "", SpecKind::LowerBound, 0.0))
         .performances(|_, s, _| {

@@ -16,20 +16,47 @@ fn quick_config() -> OptimizerConfig {
 #[test]
 fn folded_cascode_starts_near_zero_yield_and_improves() {
     let env = FoldedCascode::paper_setup();
-    let trace = YieldOptimizer::new(quick_config()).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(quick_config())
+        .run(&env)
+        .expect("optimization runs");
 
     let initial = trace.initial();
-    let y0 = initial.verified.as_ref().expect("verification on").yield_estimate;
+    let y0 = initial
+        .verified
+        .as_ref()
+        .expect("verification on")
+        .yield_estimate;
     // Paper Table 1: 0 % initial yield, ft and CMRR the main culprits.
-    assert!(y0.value() < 0.15, "initial yield {} should be near zero", y0);
-    assert!(initial.nominal_margins[1] < 0.0, "ft margin negative initially");
-    assert!(initial.nominal_margins[2] < 0.0, "CMRR margin negative initially");
-    assert!(initial.bad_per_mille[1] > 900.0, "ft nearly all-bad initially");
-    assert!(initial.bad_per_mille[2] > 900.0, "CMRR nearly all-bad initially");
+    assert!(
+        y0.value() < 0.15,
+        "initial yield {} should be near zero",
+        y0
+    );
+    assert!(
+        initial.nominal_margins[1] < 0.0,
+        "ft margin negative initially"
+    );
+    assert!(
+        initial.nominal_margins[2] < 0.0,
+        "CMRR margin negative initially"
+    );
+    assert!(
+        initial.bad_per_mille[1] > 900.0,
+        "ft nearly all-bad initially"
+    );
+    assert!(
+        initial.bad_per_mille[2] > 900.0,
+        "CMRR nearly all-bad initially"
+    );
     assert!(initial.nominal_margins[0] > 0.0, "A0 passes initially");
     assert!(initial.nominal_margins[4] > 0.0, "Power passes initially");
 
-    let y1 = trace.final_snapshot().verified.as_ref().expect("verification on").yield_estimate;
+    let y1 = trace
+        .final_snapshot()
+        .verified
+        .as_ref()
+        .expect("verification on")
+        .yield_estimate;
     assert!(
         y1.value() > y0.value() + 0.4,
         "one iteration must lift the yield substantially: {} -> {}",
@@ -43,7 +70,9 @@ fn cmrr_is_the_dominant_mismatch_spec_with_mirror_pair_first() {
     let env = FoldedCascode::paper_setup();
     let mut cfg = quick_config();
     cfg.verify_samples = 0;
-    let trace = YieldOptimizer::new(cfg).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(cfg)
+        .run(&env)
+        .expect("optimization runs");
 
     let entries = MismatchAnalysis::new().rank_all(&trace.initial().wc_points, 0.05);
     assert!(!entries.is_empty(), "mismatch pairs must be detected");
@@ -58,7 +87,11 @@ fn cmrr_is_the_dominant_mismatch_spec_with_mirror_pair_first() {
         pair == ("vth_m7", "vth_m8") || pair == ("vth_m8", "vth_m7"),
         "top pair should be the mirror pair, got {pair:?}"
     );
-    assert!(top.measure > 0.3, "dominant measure {} should be sizable", top.measure);
+    assert!(
+        top.measure > 0.3,
+        "dominant measure {} should be sizable",
+        top.measure
+    );
     // Every measure is in [0, 1] and sorted descending.
     for e in &entries {
         assert!((0.0..=1.0).contains(&e.measure));
@@ -73,11 +106,16 @@ fn mirrored_models_are_generated_for_cmrr() {
     use specwise_wcd::{WcAnalysis, WcOptions};
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
-    let result = WcAnalysis::new(&env, WcOptions::default()).run(&d0).expect("analysis runs");
+    let result = WcAnalysis::new(&env, WcOptions::default())
+        .run(&d0)
+        .expect("analysis runs");
     // CMRR (spec 2) shows the semidefinite-quadratic mismatch behaviour of
     // the paper's Fig. 1: its linearization must have a mirrored twin.
-    let cmrr_models: Vec<_> =
-        result.linearizations().iter().filter(|l| l.spec == 2).collect();
+    let cmrr_models: Vec<_> = result
+        .linearizations()
+        .iter()
+        .filter(|l| l.spec == 2)
+        .collect();
     assert!(
         cmrr_models.iter().any(|l| l.mirrored),
         "CMRR should receive a mirrored model (got {} models)",

@@ -15,15 +15,30 @@ fn quick_config() -> OptimizerConfig {
 #[test]
 fn miller_yield_optimization_improves_verified_yield() {
     let env = MillerOpamp::paper_setup();
-    let trace = YieldOptimizer::new(quick_config()).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(quick_config())
+        .run(&env)
+        .expect("optimization runs");
 
-    let y0 = trace.initial().verified.as_ref().expect("verification on").yield_estimate;
-    let y1 = trace.final_snapshot().verified.as_ref().expect("verification on").yield_estimate;
+    let y0 = trace
+        .initial()
+        .verified
+        .as_ref()
+        .expect("verification on")
+        .yield_estimate;
+    let y1 = trace
+        .final_snapshot()
+        .verified
+        .as_ref()
+        .expect("verification on")
+        .yield_estimate;
 
     // Paper Table 6: 33.7 % -> 99.3 %. Shape check: mid-range start, near-1 end.
     assert!(y0.value() < 0.6, "initial yield {} should be mid-range", y0);
     assert!(y1.value() > 0.9, "final yield {} should be near 1", y1);
-    assert!(y1.value() > y0.value() + 0.3, "yield must improve substantially");
+    assert!(
+        y1.value() > y0.value() + 0.3,
+        "yield must improve substantially"
+    );
 }
 
 #[test]
@@ -31,7 +46,9 @@ fn miller_initially_fails_slew_rate() {
     let env = MillerOpamp::paper_setup();
     let mut cfg = quick_config();
     cfg.max_iterations = 1;
-    let trace = YieldOptimizer::new(cfg).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(cfg)
+        .run(&env)
+        .expect("optimization runs");
 
     // SRp is spec index 3; its nominal margin at the worst corner starts
     // negative (paper: −0.1) and ends positive.
@@ -55,11 +72,19 @@ fn miller_initially_fails_slew_rate() {
 #[test]
 fn miller_final_design_respects_constraints_and_bounds() {
     let env = MillerOpamp::paper_setup();
-    let trace = YieldOptimizer::new(quick_config()).run(&env).expect("optimization runs");
+    let trace = YieldOptimizer::new(quick_config())
+        .run(&env)
+        .expect("optimization runs");
     let d = trace.final_design();
-    env.design_space().validate(d).expect("final design inside the box");
+    env.design_space()
+        .validate(d)
+        .expect("final design inside the box");
     let c = env.eval_constraints(d).expect("constraints evaluate");
     for (i, name) in env.constraint_names().iter().enumerate() {
-        assert!(c[i] >= -1e-9, "constraint {name} violated at the optimum: {}", c[i]);
+        assert!(
+            c[i] >= -1e-9,
+            "constraint {name} violated at the optimum: {}",
+            c[i]
+        );
     }
 }

@@ -21,7 +21,9 @@ fn linear_wc_models_match_simulation_within_paper_tolerance() {
     // our 400-sample simulation reference.
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
-    let analysis = WcAnalysis::new(&env, WcOptions::default()).run(&d0).expect("analysis");
+    let analysis = WcAnalysis::new(&env, WcOptions::default())
+        .run(&d0)
+        .expect("analysis");
     let linear = LinearizedYield::new(
         analysis.linearizations().to_vec(),
         env.specs().len(),
@@ -30,7 +32,10 @@ fn linear_wc_models_match_simulation_within_paper_tolerance() {
     )
     .expect("model");
     let y_lin = linear.estimate(&d0).expect("estimate").value();
-    let y_sim = mc_verify(&env, &d0, 400, 77).expect("verify").yield_estimate.value();
+    let y_sim = mc_verify(&env, &d0, 400, 77)
+        .expect("verify")
+        .yield_estimate
+        .value();
     assert!(
         (y_lin - y_sim).abs() < 0.05,
         "worst-case linearization {y_lin} vs simulation {y_sim}"
@@ -46,7 +51,9 @@ fn quadratic_models_add_little_over_wc_linear_on_the_circuit() {
     let theta_nominal = env.operating_range().nominal();
 
     // Worst-case linear models (the paper's choice).
-    let analysis = WcAnalysis::new(&env, WcOptions::default()).run(&d0).expect("analysis");
+    let analysis = WcAnalysis::new(&env, WcOptions::default())
+        .run(&d0)
+        .expect("analysis");
     let linear = LinearizedYield::new(
         analysis.linearizations().to_vec(),
         env.specs().len(),
@@ -69,7 +76,10 @@ fn quadratic_models_add_little_over_wc_linear_on_the_circuit() {
     let quad = QuadraticYield::new(quads, 10_000, 5).expect("model");
     let y_quad = quad.estimate(&d0).expect("estimate").value();
 
-    let y_sim = mc_verify(&env, &d0, 400, 13).expect("verify").yield_estimate.value();
+    let y_sim = mc_verify(&env, &d0, 400, 13)
+        .expect("verify")
+        .yield_estimate
+        .value();
 
     // Both model classes must bracket the (near-zero) simulated yield; the
     // linear WC models must not be materially worse than the quadratic ones.
@@ -85,7 +95,9 @@ fn quadratic_beats_nominal_linear_on_pure_mismatch_shape() {
     // worst-case anchoring. margin = 1 − (s0 − s1)²/2.
     use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
     let env = AnalyticEnv::builder()
-        .design(DesignSpace::new(vec![DesignParam::new("a", "", -5.0, 5.0, 0.0)]))
+        .design(DesignSpace::new(vec![DesignParam::new(
+            "a", "", -5.0, 5.0, 0.0,
+        )]))
         .stat_dim(2)
         .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
         .performances(|_, s, _| {
@@ -98,19 +110,26 @@ fn quadratic_beats_nominal_linear_on_pure_mismatch_shape() {
     let d0 = DVec::from_slice(&[0.0]);
 
     // Truth: pass iff |s0 − s1| ≤ √2 ⇔ |Z| ≤ 1 → ≈ 0.6827.
-    let y_sim = mc_verify(&env, &d0, 20_000, 3).unwrap().yield_estimate.value();
+    let y_sim = mc_verify(&env, &d0, 20_000, 3)
+        .unwrap()
+        .yield_estimate
+        .value();
     assert!((y_sim - 0.6827).abs() < 0.01);
 
     // Quadratic at nominal: near-exact. (The diagonal Hessian misses the
     // cross term −s0·s1, so it is not perfect — but far better than any
     // single linear model.)
     let q = QuadraticMarginModel::fit(&env, &d0, 0, &theta, &DVec::zeros(2), 0.1).unwrap();
-    let y_quad = QuadraticYield::new(vec![q], 20_000, 9).unwrap().estimate(&d0).unwrap().value();
+    let y_quad = QuadraticYield::new(vec![q], 20_000, 9)
+        .unwrap()
+        .estimate(&d0)
+        .unwrap()
+        .value();
 
     // Nominal linear: gradient ≈ 0 → the model believes the margin is the
     // constant +1 → yield ≈ 100 %.
-    let (_, jac) = specwise_wcd::margins_gradient_s(&env, &d0, &DVec::zeros(2), &theta, 0.1)
-        .unwrap();
+    let (_, jac) =
+        specwise_wcd::margins_gradient_s(&env, &d0, &DVec::zeros(2), &theta, 0.1).unwrap();
     let lin = specwise_wcd::SpecLinearization {
         spec: 0,
         mirrored: false,
@@ -121,8 +140,11 @@ fn quadratic_beats_nominal_linear_on_pure_mismatch_shape() {
         grad_s: jac.row(0),
         grad_d: DVec::from_slice(&[0.0]),
     };
-    let y_nominal_lin =
-        LinearizedYield::new(vec![lin], 1, 20_000, 9).unwrap().estimate(&d0).unwrap().value();
+    let y_nominal_lin = LinearizedYield::new(vec![lin], 1, 20_000, 9)
+        .unwrap()
+        .estimate(&d0)
+        .unwrap()
+        .value();
 
     assert!(
         (y_quad - y_sim).abs() < 0.5 * (y_nominal_lin - y_sim).abs(),

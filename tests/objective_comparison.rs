@@ -3,7 +3,7 @@
 //! their difference is understood.
 
 use specwise::{Objective, OptimizerConfig, YieldOptimizer};
-use specwise_ckt::{AnalyticEnv, CircuitEnv, DesignParam, DesignSpace, Spec, SpecKind};
+use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
 use specwise_linalg::DVec;
 
 fn config(objective: Objective) -> OptimizerConfig {
@@ -22,13 +22,13 @@ fn both_objectives_solve_a_symmetric_tradeoff() {
     // both objectives should balance at d0 ≈ 2 (the symmetric point).
     let build = || {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 4.0, 0.5)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "d0", "", 0.0, 4.0, 0.5,
+            )]))
             .stat_dim(2)
             .spec(Spec::new("lo", "", SpecKind::LowerBound, 0.0))
             .spec(Spec::new("hi", "", SpecKind::LowerBound, 0.0))
-            .performances(|d, s, _| {
-                DVec::from_slice(&[d[0] - 1.0 + s[0], 3.0 - d[0] + s[1]])
-            })
+            .performances(|d, s, _| DVec::from_slice(&[d[0] - 1.0 + s[0], 3.0 - d[0] + s[1]]))
             .build()
             .unwrap()
     };
@@ -36,7 +36,10 @@ fn both_objectives_solve_a_symmetric_tradeoff() {
         let env = build();
         let trace = YieldOptimizer::new(config(objective)).run(&env).unwrap();
         let d = trace.final_design()[0];
-        assert!((d - 2.0).abs() < 0.5, "{objective:?}: balanced point expected, got {d}");
+        assert!(
+            (d - 2.0).abs() < 0.5,
+            "{objective:?}: balanced point expected, got {d}"
+        );
         let y = trace
             .final_snapshot()
             .verified
@@ -63,18 +66,20 @@ fn direct_yield_exploits_correlation_where_min_beta_cannot() {
     // f1's failures happen at the same samples).
     let build = || {
         AnalyticEnv::builder()
-            .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 4.5, 1.0)]))
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "d0", "", 0.0, 4.5, 1.0,
+            )]))
             .stat_dim(1)
             .spec(Spec::new("tight", "", SpecKind::LowerBound, 0.0))
             .spec(Spec::new("wide", "", SpecKind::LowerBound, 0.0))
-            .performances(|d, s, _| {
-                DVec::from_slice(&[d[0] - 1.0 + s[0], 5.0 - d[0] + 3.0 * s[0]])
-            })
+            .performances(|d, s, _| DVec::from_slice(&[d[0] - 1.0 + s[0], 5.0 - d[0] + 3.0 * s[0]]))
             .build()
             .unwrap()
     };
     let env_y = build();
-    let trace_y = YieldOptimizer::new(config(Objective::DirectYield)).run(&env_y).unwrap();
+    let trace_y = YieldOptimizer::new(config(Objective::DirectYield))
+        .run(&env_y)
+        .unwrap();
     let y_direct = trace_y
         .final_snapshot()
         .verified
@@ -84,8 +89,9 @@ fn direct_yield_exploits_correlation_where_min_beta_cannot() {
         .value();
 
     let env_b = build();
-    let trace_b =
-        YieldOptimizer::new(config(Objective::MinWorstCaseDistance)).run(&env_b).unwrap();
+    let trace_b = YieldOptimizer::new(config(Objective::MinWorstCaseDistance))
+        .run(&env_b)
+        .unwrap();
     let y_minbeta = trace_b
         .final_snapshot()
         .verified
@@ -105,14 +111,17 @@ fn direct_yield_exploits_correlation_where_min_beta_cannot() {
 #[test]
 fn min_beta_objective_improves_worst_case_distances() {
     let env = AnalyticEnv::builder()
-        .design(DesignSpace::new(vec![DesignParam::new("d0", "", 0.0, 10.0, 0.5)]))
+        .design(DesignSpace::new(vec![DesignParam::new(
+            "d0", "", 0.0, 10.0, 0.5,
+        )]))
         .stat_dim(1)
         .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
         .performances(|d, s, _| DVec::from_slice(&[d[0] - 1.0 + 0.5 * s[0]]))
         .build()
         .unwrap();
-    let trace =
-        YieldOptimizer::new(config(Objective::MinWorstCaseDistance)).run(&env).unwrap();
+    let trace = YieldOptimizer::new(config(Objective::MinWorstCaseDistance))
+        .run(&env)
+        .unwrap();
     let beta0 = trace.initial().wc_points[0].beta_wc;
     let beta1 = trace.final_snapshot().wc_points[0].beta_wc;
     assert!(beta1 > beta0 + 1.0, "beta must grow: {beta0} -> {beta1}");

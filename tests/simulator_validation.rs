@@ -12,7 +12,8 @@ fn rc_divider_matches_closed_form_across_frequency() {
     let mut ckt = Circuit::new();
     let vin = ckt.node("in");
     let vout = ckt.node("out");
-    ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
+    ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0)
+        .unwrap();
     ckt.set_ac("VIN", 1.0).unwrap();
     let (r, c) = (4.7e3, 2.2e-9);
     ckt.resistor("R", vin, vout, r).unwrap();
@@ -36,9 +37,18 @@ fn transient_energy_conservation_rc_charge() {
     let mut ckt = Circuit::new();
     let vin = ckt.node("in");
     let vout = ckt.node("out");
-    ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0).unwrap();
-    ckt.set_stimulus("VIN", Waveform::Step { v0: 0.0, v1: 1.0, t0: 0.0, t_rise: 1e-12 })
+    ckt.voltage_source("VIN", vin, Circuit::GROUND, 0.0)
         .unwrap();
+    ckt.set_stimulus(
+        "VIN",
+        Waveform::Step {
+            v0: 0.0,
+            v1: 1.0,
+            t0: 0.0,
+            t_rise: 1e-12,
+        },
+    )
+    .unwrap();
     let (r, c) = (1e3, 1e-9);
     ckt.resistor("R", vin, vout, r).unwrap();
     ckt.capacitor("C", vout, Circuit::GROUND, c).unwrap();
@@ -56,7 +66,10 @@ fn transient_energy_conservation_rc_charge() {
         dissipated += i_avg * ((1.0 - v[k]) + (1.0 - v[k - 1])) / 2.0 * dt;
     }
     let stored = 0.5 * c * tr.final_voltage(vout).powi(2);
-    assert!((stored - 0.5 * c).abs() < 0.01 * 0.5 * c, "capacitor fully charged");
+    assert!(
+        (stored - 0.5 * c).abs() < 0.01 * 0.5 * c,
+        "capacitor fully charged"
+    );
     assert!(
         (dissipated - stored).abs() < 0.05 * stored,
         "dissipated {dissipated:.3e} vs stored {stored:.3e}"
@@ -78,8 +91,14 @@ fn feedback_and_open_loop_operating_points_agree() {
     let a = env.metrics(&d0, &s0, &theta).unwrap();
     let b = env.metrics(&d0, &s0, &theta).unwrap();
     assert_eq!(a, b, "metric extraction is deterministic");
-    assert!(a.a0_db > 40.0 && a.a0_db < 80.0, "plausible folded-cascode gain");
-    assert!(a.cmrr_db > a.a0_db, "CMRR exceeds differential gain for this topology");
+    assert!(
+        a.a0_db > 40.0 && a.a0_db < 80.0,
+        "plausible folded-cascode gain"
+    );
+    assert!(
+        a.cmrr_db > a.a0_db,
+        "CMRR exceeds differential gain for this topology"
+    );
 }
 
 #[test]
@@ -94,7 +113,10 @@ fn miller_slew_rate_transient_close_to_analytic() {
         t_stop: 8e-6,
         step: 1.0,
     });
-    let sr_transient = transient_env.metrics(&d0, &s0, &theta).unwrap().slew_v_per_s;
+    let sr_transient = transient_env
+        .metrics(&d0, &s0, &theta)
+        .unwrap()
+        .slew_v_per_s;
     let ratio = sr_transient / sr_analytic;
     assert!(
         (0.5..2.0).contains(&ratio),
@@ -109,11 +131,13 @@ fn mosfet_gm_over_id_in_square_law_range() {
     let vdd = ckt.node("vdd");
     let g = ckt.node("g");
     let d = ckt.node("d");
-    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0).unwrap();
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+        .unwrap();
     ckt.voltage_source("VG", g, Circuit::GROUND, 1.0).unwrap();
     ckt.resistor("RD", vdd, d, 10e3).unwrap();
     let params = MosfetParams::new(MosfetModel::default_nmos(), 20e-6, 2e-6);
-    ckt.mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, params).unwrap();
+    ckt.mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, params)
+        .unwrap();
     let op = DcOp::new(&ckt).solve().unwrap();
     let m = op.mosfet_op("M1").unwrap();
     let gm_over_id = m.gm / m.id;

@@ -18,7 +18,9 @@ fn sigma(d: f64) -> f64 {
 
 fn env() -> AnalyticEnv {
     AnalyticEnv::builder()
-        .design(DesignSpace::new(vec![DesignParam::new("d", "", 0.5, 50.0, 2.0)]))
+        .design(DesignSpace::new(vec![DesignParam::new(
+            "d", "", 0.5, 50.0, 2.0,
+        )]))
         .stat_dim(1)
         .spec(Spec::new("m", "", SpecKind::LowerBound, 0.0))
         // Standardized formulation (paper Eq. 14): the σ(d)·ŝ product is
@@ -49,7 +51,9 @@ fn standardized_yield(d: f64, n: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let trials = (0..n).map(|_| {
         let s_hat = DVec::from_slice(&[normal.sample(&mut rng)]);
-        e.eval_margins(&DVec::from_slice(&[d]), &s_hat, &theta).unwrap()[0] >= 0.0
+        e.eval_margins(&DVec::from_slice(&[d]), &s_hat, &theta)
+            .unwrap()[0]
+            >= 0.0
     });
     YieldEstimate::from_trials(trials).value()
 }
@@ -61,8 +65,14 @@ fn standardized_and_physical_yields_agree() {
         let analytic = std_normal_cdf(d / sigma(d));
         let phys = physical_yield(d, 60_000, 11);
         let std = standardized_yield(d, 60_000, 13);
-        assert!((phys - analytic).abs() < 0.01, "physical {phys} vs analytic {analytic} at d={d}");
-        assert!((std - analytic).abs() < 0.01, "standardized {std} vs analytic {analytic} at d={d}");
+        assert!(
+            (phys - analytic).abs() < 0.01,
+            "physical {phys} vs analytic {analytic} at d={d}"
+        );
+        assert!(
+            (std - analytic).abs() < 0.01,
+            "standardized {std} vs analytic {analytic} at d={d}"
+        );
     }
 }
 
@@ -75,8 +85,7 @@ fn variance_reduction_channel_visible_to_design_gradient() {
     let theta = e.operating_range().nominal();
     let d = DVec::from_slice(&[4.0]);
     let s_hat = DVec::from_slice(&[1.5]);
-    let (_, jac) =
-        specwise_wcd::margins_gradient_d(&e, &d, &s_hat, &theta, 1e-6).unwrap();
+    let (_, jac) = specwise_wcd::margins_gradient_d(&e, &d, &s_hat, &theta, 1e-6).unwrap();
     let expected = 1.0 + 4.0f64.powf(-1.5) * 1.5;
     assert!(
         (jac[(0, 0)] - expected).abs() < 1e-3,

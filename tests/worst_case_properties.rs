@@ -10,7 +10,9 @@ use specwise_wcd::{WcOptions, WorstCaseSearch};
 fn linear_env(offset: f64, grad: Vec<f64>) -> AnalyticEnv {
     let n = grad.len();
     AnalyticEnv::builder()
-        .design(DesignSpace::new(vec![DesignParam::new("off", "", -100.0, 100.0, 0.0)]))
+        .design(DesignSpace::new(vec![DesignParam::new(
+            "off", "", -100.0, 100.0, 0.0,
+        )]))
         .stat_dim(n)
         .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
         .performances(move |d, s, _| {
