@@ -1,0 +1,170 @@
+//! Sparse-MNA kernel benchmarks (ISSUE 2): dense-cold vs sparse-cold vs
+//! sparse+warm on the two paper circuits, measured on the workload that
+//! dominates Table 7 — an MC-verification style stream of performance
+//! evaluations at perturbed statistical samples around a fixed design.
+//!
+//! Variants:
+//!
+//! * `dense-cold`  — dense LU, every Newton solve from zero,
+//! * `sparse-cold` — cached-symbolic sparse LU, Newton from zero,
+//! * `sparse-warm` — sparse LU plus the [`WarmStartCache`]: each sample's
+//!   DC solves seed from the previous converged operating point (the warm
+//!   cache is cleared at the top of every timed iteration so exact-hit
+//!   replay never flatters the numbers).
+//!
+//! Quick mode: set `SPECWISE_BENCH_QUICK=1` to shrink the sample stream and
+//! the measurement budget (used by the CI smoke job).
+//!
+//! Results are recorded in `EXPERIMENTS.md` and `BENCH_sparse.json`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specwise_ckt::{CircuitEnv, FoldedCascode, MillerOpamp};
+use specwise_linalg::DVec;
+use specwise_mna::{set_solver_override, SolverChoice};
+
+fn quick() -> bool {
+    std::env::var("SPECWISE_BENCH_QUICK").is_ok()
+}
+
+/// Deterministic stream of standardized mismatch samples `ŝ ~ N(0, I)`
+/// (Box–Muller over the vendored xoshiro generator).
+fn sample_stream(dim: usize, count: usize) -> Vec<DVec> {
+    let mut rng = StdRng::seed_from_u64(20010618);
+    (0..count)
+        .map(|_| {
+            DVec::from(
+                (0..dim)
+                    .map(|_| {
+                        let u1: f64 = rng.gen::<f64>().max(1e-12);
+                        let u2: f64 = rng.gen();
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// Runs one MC-verification pass: performances at every sample of the
+/// stream. Returns a checksum so the work cannot be optimized away.
+///
+/// Commits the warm-start snapshot between samples (a no-op on disabled
+/// caches), so each sample's Newton solves can seed from the previous
+/// converged operating point — the serial-stream usage pattern.
+fn mc_pass<E: CircuitEnv>(env: &E, d: &DVec, samples: &[DVec]) -> f64 {
+    let theta = env.operating_range().nominal();
+    let mut acc = 0.0;
+    for s in samples {
+        env.warm_commit();
+        let perf = env.eval_performances(d, s, &theta).unwrap();
+        acc += perf.iter().sum::<f64>();
+    }
+    acc
+}
+
+struct Workload<E: CircuitEnv> {
+    name: &'static str,
+    make: fn(bool) -> E,
+    clear_warm: fn(&E),
+}
+
+fn folded(warm: bool) -> FoldedCascode {
+    FoldedCascode::paper_setup().with_warm_start(warm)
+}
+
+fn miller(warm: bool) -> MillerOpamp {
+    MillerOpamp::paper_setup().with_warm_start(warm)
+}
+
+fn bench_workload<E: CircuitEnv>(c: &mut Criterion, w: &Workload<E>) {
+    let n_samples = if quick() { 4 } else { 24 };
+    let env_cold = (w.make)(false);
+    let env_warm = (w.make)(true);
+    let d0 = env_cold.design_space().initial();
+    let samples = sample_stream(env_cold.stat_dim(), n_samples);
+
+    // Parity guard: the three variants must agree on the first sample
+    // before any timing is trusted.
+    let theta = env_cold.operating_range().nominal();
+    set_solver_override(Some(SolverChoice::Dense));
+    let p_dense = env_cold
+        .eval_performances(&d0, &samples[0], &theta)
+        .unwrap();
+    set_solver_override(Some(SolverChoice::Sparse));
+    let p_sparse = env_cold
+        .eval_performances(&d0, &samples[0], &theta)
+        .unwrap();
+    for i in 0..p_dense.len() {
+        let err = (p_dense[i] - p_sparse[i]).abs() / (1.0 + p_dense[i].abs());
+        assert!(
+            err < 1e-6,
+            "{}: dense/sparse disagree on performance {i}: {} vs {}",
+            w.name,
+            p_dense[i],
+            p_sparse[i]
+        );
+    }
+    set_solver_override(None);
+
+    let mut group = c.benchmark_group(format!("mc_verify_{}", w.name));
+    if quick() {
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(200));
+    } else {
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(4));
+    }
+
+    group.bench_function("dense-cold", |b| {
+        set_solver_override(Some(SolverChoice::Dense));
+        b.iter(|| mc_pass(&env_cold, &d0, &samples));
+        set_solver_override(None);
+    });
+    group.bench_function("sparse-cold", |b| {
+        set_solver_override(Some(SolverChoice::Sparse));
+        b.iter(|| mc_pass(&env_cold, &d0, &samples));
+        set_solver_override(None);
+    });
+    group.bench_function("sparse-warm", |b| {
+        set_solver_override(Some(SolverChoice::Sparse));
+        b.iter(|| {
+            // Fresh cache each iteration: within-stream near-hit seeding
+            // only, no exact-hit replay between iterations.
+            (w.clear_warm)(&env_warm);
+            mc_pass(&env_warm, &d0, &samples)
+        });
+        set_solver_override(None);
+    });
+    group.finish();
+}
+
+fn bench_folded(c: &mut Criterion) {
+    bench_workload(
+        c,
+        &Workload {
+            name: "folded_cascode",
+            make: folded,
+            clear_warm: |e| e.warm_cache().clear(),
+        },
+    );
+}
+
+fn bench_miller(c: &mut Criterion) {
+    bench_workload(
+        c,
+        &Workload {
+            name: "miller",
+            make: miller,
+            clear_warm: |e| e.warm_cache().clear(),
+        },
+    );
+}
+
+criterion_group!(benches, bench_folded, bench_miller);
+criterion_main!(benches);

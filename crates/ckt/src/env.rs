@@ -241,6 +241,15 @@ pub trait CircuitEnv {
     fn sim_phase_counts(&self) -> [u64; SimPhase::COUNT] {
         [0; SimPhase::COUNT]
     }
+
+    /// Publishes pending warm-start state (see
+    /// [`WarmStartCache::commit`](crate::WarmStartCache::commit)).
+    ///
+    /// Batch evaluators call this exactly once per batch, *before* the
+    /// batch runs, so every point is seeded from the same committed
+    /// snapshot regardless of worker count or completion order. Default:
+    /// no-op (environment has no warm-start cache).
+    fn warm_commit(&self) {}
 }
 
 #[cfg(test)]

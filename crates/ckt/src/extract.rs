@@ -22,10 +22,9 @@
 //! call — mirroring how the paper's Table 7 counts TITAN invocations.
 
 use specwise_linalg::DVec;
-use specwise_mna::{
-    AcSolver, Circuit, DcOp, DcSolution, MnaError, NodeId, Stimulus, Transient, TransientOptions,
-};
+use specwise_mna::{AcSolver, Circuit, DcSolution, NodeId, Stimulus, Transient, TransientOptions};
 
+use crate::warm::{WarmConfig, WarmKey, WarmStartCache};
 use crate::{CktError, OperatingPoint, SimCounter};
 
 /// How the slew rate is extracted.
@@ -117,10 +116,16 @@ pub(crate) fn measure(
     theta: &OperatingPoint,
     sr_method: SlewRateMethod,
     counter: &SimCounter,
+    warm: &WarmStartCache,
 ) -> Result<(OpampMetrics, DcSolution), CktError> {
     // 1. Feedback configuration: operating point, power, slew.
     let fb = builder.build(d, s_hat, theta, true, 0.0)?;
-    let op_fb = DcOp::new(&fb.circuit).solve().map_err(CktError::from)?;
+    let op_fb = warm
+        .solve(
+            &fb.circuit,
+            WarmKey::new(WarmConfig::Feedback, d, s_hat, theta, &[]),
+        )
+        .map_err(CktError::from)?;
     counter.add(1);
     let vout_fb = op_fb.voltage(fb.out);
     let i_vdd = op_fb.branch_current(&fb.vdd_src).map_err(CktError::from)?;
@@ -163,7 +168,12 @@ pub(crate) fn measure(
         performance: "open-loop analysis",
         reason: "builder did not provide an inverting input source",
     })?;
-    let op_ol = DcOp::new(&ol.circuit).solve().map_err(CktError::from)?;
+    let op_ol = warm
+        .solve(
+            &ol.circuit,
+            WarmKey::new(WarmConfig::OpenLoop, d, s_hat, theta, &[vout_fb]),
+        )
+        .map_err(CktError::from)?;
     counter.add(1);
 
     // Differential drive: +1/2 on vinp, −1/2 on vinn.
@@ -266,12 +276,17 @@ pub(crate) fn saturation_constraints(
 }
 
 /// Helper used by topologies: pretty errors for simulation failures during
-/// constraint evaluation.
+/// constraint evaluation. The solve is warm-started from the cache under the
+/// constraint-configuration key derived from the design vector and θ.
 pub(crate) fn dc_solve_counted(
     circuit: &Circuit,
     counter: &SimCounter,
+    warm: &WarmStartCache,
+    d: &DVec,
+    theta: &OperatingPoint,
 ) -> Result<DcSolution, CktError> {
-    let op: Result<DcSolution, MnaError> = DcOp::new(circuit).solve();
+    let key = WarmKey::new(WarmConfig::Constraint, d, &DVec::zeros(0), theta, &[]);
+    let op = warm.solve(circuit, key);
     counter.add(1);
     op.map_err(CktError::from)
 }

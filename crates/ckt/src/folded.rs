@@ -29,6 +29,7 @@ use specwise_linalg::DVec;
 use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
 use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
+use crate::warm::WarmStartCache;
 use crate::{
     CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
     SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
@@ -90,6 +91,7 @@ pub struct FoldedCascode {
     range: OperatingRange,
     sr_method: SlewRateMethod,
     counter: SimCounter,
+    warm: WarmStartCache,
 }
 
 impl FoldedCascode {
@@ -126,6 +128,7 @@ impl FoldedCascode {
             range: OperatingRange::new(-40.0, 125.0, 3.0, 3.6),
             sr_method: SlewRateMethod::Analytic,
             counter: SimCounter::new(),
+            warm: WarmStartCache::from_env(),
         }
     }
 
@@ -133,6 +136,23 @@ impl FoldedCascode {
     pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
         self.sr_method = method;
         self
+    }
+
+    /// Forces the DC warm-start cache on or off (overriding the
+    /// `SPECWISE_WARM_START` environment knob); used by benchmarks and
+    /// A/B comparisons.
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm = if enabled {
+            WarmStartCache::always_enabled()
+        } else {
+            WarmStartCache::disabled()
+        };
+        self
+    }
+
+    /// The DC warm-start cache (e.g. to clear between benchmark runs).
+    pub fn warm_cache(&self) -> &WarmStartCache {
+        &self.warm
     }
 
     /// The technology card in use.
@@ -153,7 +173,15 @@ impl FoldedCascode {
         theta: &OperatingPoint,
     ) -> Result<OpampMetrics, CktError> {
         self.check_dims(d, s_hat)?;
-        let (m, _) = measure(self, d, s_hat, theta, self.sr_method, &self.counter)?;
+        let (m, _) = measure(
+            self,
+            d,
+            s_hat,
+            theta,
+            self.sr_method,
+            &self.counter,
+            &self.warm,
+        )?;
         Ok(m)
     }
 
@@ -332,7 +360,7 @@ impl CircuitEnv for FoldedCascode {
         self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
         let theta = self.range.nominal();
         let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
-        let op = dc_solve_counted(&built.circuit, &self.counter)?;
+        let op = dc_solve_counted(&built.circuit, &self.counter, &self.warm, d, &theta)?;
         Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
     }
 
@@ -350,6 +378,10 @@ impl CircuitEnv for FoldedCascode {
 
     fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
         self.counter.phase_counts()
+    }
+
+    fn warm_commit(&self) {
+        self.warm.commit();
     }
 }
 

@@ -46,6 +46,7 @@ mod ota;
 mod spec;
 mod stats;
 mod tech;
+mod warm;
 
 pub use analytic::{AnalyticEnv, AnalyticEnvBuilder};
 pub use design::{DesignParam, DesignSpace};
@@ -59,3 +60,4 @@ pub use ota::FiveTransistorOta;
 pub use spec::{Spec, SpecKind};
 pub use stats::{StatKind, StatParam, StatSpace};
 pub use tech::Technology;
+pub use warm::WarmStartCache;

@@ -26,6 +26,7 @@ use specwise_linalg::DVec;
 use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
 use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
+use crate::warm::WarmStartCache;
 use crate::{
     CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
     SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
@@ -84,6 +85,7 @@ pub struct MillerOpamp {
     range: OperatingRange,
     sr_method: SlewRateMethod,
     counter: SimCounter,
+    warm: WarmStartCache,
 }
 
 impl MillerOpamp {
@@ -119,6 +121,7 @@ impl MillerOpamp {
             range: OperatingRange::new(-40.0, 125.0, 4.5, 5.5),
             sr_method: SlewRateMethod::Analytic,
             counter: SimCounter::new(),
+            warm: WarmStartCache::from_env(),
         }
     }
 
@@ -126,6 +129,23 @@ impl MillerOpamp {
     pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
         self.sr_method = method;
         self
+    }
+
+    /// Forces the DC warm-start cache on or off (overriding the
+    /// `SPECWISE_WARM_START` environment knob); used by benchmarks and
+    /// A/B comparisons.
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm = if enabled {
+            WarmStartCache::always_enabled()
+        } else {
+            WarmStartCache::disabled()
+        };
+        self
+    }
+
+    /// The DC warm-start cache (e.g. to clear between benchmark runs).
+    pub fn warm_cache(&self) -> &WarmStartCache {
+        &self.warm
     }
 
     /// The technology card in use.
@@ -145,7 +165,15 @@ impl MillerOpamp {
         theta: &OperatingPoint,
     ) -> Result<OpampMetrics, CktError> {
         self.check_dims(d, s_hat)?;
-        let (m, _) = measure(self, d, s_hat, theta, self.sr_method, &self.counter)?;
+        let (m, _) = measure(
+            self,
+            d,
+            s_hat,
+            theta,
+            self.sr_method,
+            &self.counter,
+            &self.warm,
+        )?;
         Ok(m)
     }
 
@@ -316,7 +344,7 @@ impl CircuitEnv for MillerOpamp {
         self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
         let theta = self.range.nominal();
         let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
-        let op = dc_solve_counted(&built.circuit, &self.counter)?;
+        let op = dc_solve_counted(&built.circuit, &self.counter, &self.warm, d, &theta)?;
         Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
     }
 
@@ -334,6 +362,10 @@ impl CircuitEnv for MillerOpamp {
 
     fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
         self.counter.phase_counts()
+    }
+
+    fn warm_commit(&self) {
+        self.warm.commit();
     }
 }
 

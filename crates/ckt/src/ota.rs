@@ -23,6 +23,7 @@ use specwise_linalg::DVec;
 use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
 use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
+use crate::warm::WarmStartCache;
 use crate::{
     CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
     SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
@@ -74,6 +75,7 @@ pub struct FiveTransistorOta {
     range: OperatingRange,
     sr_method: SlewRateMethod,
     counter: SimCounter,
+    warm: WarmStartCache,
 }
 
 impl FiveTransistorOta {
@@ -104,6 +106,7 @@ impl FiveTransistorOta {
             range: OperatingRange::new(-40.0, 125.0, 3.0, 3.6),
             sr_method: SlewRateMethod::Analytic,
             counter: SimCounter::new(),
+            warm: WarmStartCache::from_env(),
         }
     }
 
@@ -111,6 +114,23 @@ impl FiveTransistorOta {
     pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
         self.sr_method = method;
         self
+    }
+
+    /// Forces the DC warm-start cache on or off (overriding the
+    /// `SPECWISE_WARM_START` environment knob); used by benchmarks and
+    /// A/B comparisons.
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm = if enabled {
+            WarmStartCache::always_enabled()
+        } else {
+            WarmStartCache::disabled()
+        };
+        self
+    }
+
+    /// The DC warm-start cache (e.g. to clear between benchmark runs).
+    pub fn warm_cache(&self) -> &WarmStartCache {
+        &self.warm
     }
 
     /// Full metric set at one evaluation point.
@@ -125,7 +145,15 @@ impl FiveTransistorOta {
         theta: &OperatingPoint,
     ) -> Result<OpampMetrics, CktError> {
         self.check_dims(d, s_hat)?;
-        let (m, _) = measure(self, d, s_hat, theta, self.sr_method, &self.counter)?;
+        let (m, _) = measure(
+            self,
+            d,
+            s_hat,
+            theta,
+            self.sr_method,
+            &self.counter,
+            &self.warm,
+        )?;
         Ok(m)
     }
 
@@ -285,7 +313,7 @@ impl CircuitEnv for FiveTransistorOta {
         self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
         let theta = self.range.nominal();
         let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
-        let op = dc_solve_counted(&built.circuit, &self.counter)?;
+        let op = dc_solve_counted(&built.circuit, &self.counter, &self.warm, d, &theta)?;
         Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
     }
 
@@ -303,6 +331,10 @@ impl CircuitEnv for FiveTransistorOta {
 
     fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
         self.counter.phase_counts()
+    }
+
+    fn warm_commit(&self) {
+        self.warm.commit();
     }
 }
 

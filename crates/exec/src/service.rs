@@ -106,6 +106,7 @@ pub trait Evaluator: Sync {
     /// A failed point yields its error in the corresponding slot; the other
     /// points are unaffected.
     fn eval_margins_batch(&self, points: &[EvalPoint]) -> Vec<Result<DVec, CktError>> {
+        self.warm_commit();
         points
             .iter()
             .map(|p| self.eval_margins(&p.d, &p.s_hat, &p.theta))
@@ -114,6 +115,7 @@ pub trait Evaluator: Sync {
 
     /// Evaluates performances at every point, in input order.
     fn eval_performances_batch(&self, points: &[EvalPoint]) -> Vec<Result<DVec, CktError>> {
+        self.warm_commit();
         points
             .iter()
             .map(|p| self.eval_performances(&p.d, &p.s_hat, &p.theta))
@@ -122,8 +124,17 @@ pub trait Evaluator: Sync {
 
     /// Evaluates constraints at every design point, in input order.
     fn eval_constraints_batch(&self, designs: &[DVec]) -> Vec<Result<DVec, CktError>> {
+        self.warm_commit();
         designs.iter().map(|d| self.eval_constraints(d)).collect()
     }
+
+    /// Publishes pending warm-start state (see
+    /// [`CircuitEnv::warm_commit`]). Batch entry points call this exactly
+    /// once before running, so every point in a batch is seeded from the
+    /// same committed snapshot regardless of worker count or completion
+    /// order — keeping Newton iteration counts (and therefore simulation
+    /// counts) bitwise-deterministic under parallel evaluation.
+    fn warm_commit(&self) {}
 
     /// Number of simulator invocations so far.
     fn sim_count(&self) -> u64;
@@ -209,6 +220,10 @@ impl<T: CircuitEnv + Sync + ?Sized> Evaluator for T {
 
     fn sim_phase_counts(&self) -> [u64; SimPhase::COUNT] {
         CircuitEnv::sim_phase_counts(self)
+    }
+
+    fn warm_commit(&self) {
+        CircuitEnv::warm_commit(self)
     }
 }
 
@@ -468,6 +483,11 @@ impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batch_points
             .fetch_add(points.len() as u64, Ordering::Relaxed);
+        // Publish the warm-start snapshot exactly once, before fan-out:
+        // every point of this batch seeds from the same committed state, so
+        // Newton iteration counts do not depend on worker count or
+        // completion order.
+        CircuitEnv::warm_commit(self.env);
         let t0 = Instant::now();
         let workers = self.config.workers.clamp(1, points.len().max(1));
         let result = if workers <= 1 || points.len() < self.config.min_parallel_batch {
@@ -653,6 +673,10 @@ impl<E: CircuitEnv + Sync + ?Sized> Evaluator for EvalService<'_, E> {
 
     fn sim_phase_counts(&self) -> [u64; SimPhase::COUNT] {
         CircuitEnv::sim_phase_counts(self.env)
+    }
+
+    fn warm_commit(&self) {
+        CircuitEnv::warm_commit(self.env)
     }
 
     fn exec_report(&self) -> Option<ExecReport> {

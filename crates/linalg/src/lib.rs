@@ -11,7 +11,11 @@
 //!   (paper Eq. 11) and to sample correlated Gaussians,
 //! * [`Qr`] — Householder QR for least-squares sub-problems,
 //! * [`Complex64`], [`CVec`], [`CMat`], [`CLu`] — complex arithmetic and a
-//!   complex solver for small-signal AC analysis.
+//!   complex solver for small-signal AC analysis,
+//! * [`SparsePattern`], [`SparseSymbolic`], [`SparseLu`], [`Triplets`] —
+//!   sparse CSC assembly and a fill-reducing sparse LU (real and complex)
+//!   with a cached symbolic/numeric split for repeated factorizations of
+//!   one circuit topology.
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+mod sparse;
 mod vector;
 
 pub use cholesky::Cholesky;
@@ -47,4 +52,5 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::DMat;
 pub use qr::Qr;
+pub use sparse::{SparseLu, SparsePattern, SparseScalar, SparseSymbolic, Triplets};
 pub use vector::DVec;

@@ -222,6 +222,11 @@ impl DMat {
         self.data.iter().all(|x| x.is_finite())
     }
 
+    /// Sets every entry to `value` in place (no reallocation).
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// LU factorization with partial pivoting.
     ///
     /// # Errors

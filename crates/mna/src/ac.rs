@@ -3,12 +3,15 @@
 //! frequency.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
-use specwise_linalg::{CMat, CVec, Complex64, DMat, DVec};
+use specwise_linalg::{CMat, CVec, Complex64, DMat, DVec, SparseLu, SparseSymbolic};
 
 use crate::dc::{eval_mosfet_at, stamp_system, DcSolution};
 use crate::mosfet::MosRegion;
 use crate::netlist::ElementKind;
+use crate::solver::{self, Analysis};
 use crate::{Circuit, MnaError, NodeId};
 
 /// Phasor solution of one AC frequency point.
@@ -63,14 +66,92 @@ impl AcSolution {
 /// The real conductance matrix `G` (the DC Jacobian at the operating point),
 /// the capacitance matrix `C` (linear capacitors plus Meyer MOSFET
 /// capacitances) and the stimulus vector are built once; each
-/// [`AcSolver::solve`] then factors one complex system.
-#[derive(Debug, Clone)]
+/// [`AcSolver::solve`] then factors one complex system. On the sparse
+/// backend the cached symbolic factorization of the circuit topology is
+/// shared across every frequency point, and the numeric factorization of
+/// one frequency refactors in place for the next; the dense backend reuses
+/// one complex workspace instead of allocating `n²` per point.
 pub struct AcSolver {
     g: DMat,
     c: DMat,
     b: DVec,
     branch_of: HashMap<String, usize>,
     branch_base: usize,
+    sparse: Option<AcSparse>,
+    dense_ws: Mutex<DenseWs>,
+}
+
+/// Reused dense complex system (one allocation for all frequency points).
+struct DenseWs {
+    a: CMat,
+    rhs: CVec,
+}
+
+impl DenseWs {
+    fn fresh(n: usize) -> Self {
+        DenseWs {
+            a: CMat::zeros(n, n),
+            rhs: CVec::zeros(n),
+        }
+    }
+}
+
+/// Sparse AC data: G and C gathered onto the cached AC sparsity pattern.
+struct AcSparse {
+    sym: Arc<SparseSymbolic>,
+    gvals: Vec<f64>,
+    cvals: Vec<f64>,
+    state: Mutex<AcSparseState>,
+}
+
+/// Mutable per-solve state: complex values, warm factorization, buffers.
+struct AcSparseState {
+    zvals: Vec<Complex64>,
+    lu: Option<SparseLu<Complex64>>,
+    bbuf: Vec<Complex64>,
+    xbuf: Vec<Complex64>,
+    scratch: Vec<Complex64>,
+}
+
+impl AcSparseState {
+    fn fresh(n: usize, nnz: usize) -> Self {
+        AcSparseState {
+            zvals: vec![Complex64::ZERO; nnz],
+            lu: None,
+            bbuf: vec![Complex64::ZERO; n],
+            xbuf: vec![Complex64::ZERO; n],
+            scratch: vec![Complex64::ZERO; n],
+        }
+    }
+}
+
+impl Clone for AcSolver {
+    fn clone(&self) -> Self {
+        let n = self.g.nrows();
+        AcSolver {
+            g: self.g.clone(),
+            c: self.c.clone(),
+            b: self.b.clone(),
+            branch_of: self.branch_of.clone(),
+            branch_base: self.branch_base,
+            sparse: self.sparse.as_ref().map(|s| AcSparse {
+                sym: Arc::clone(&s.sym),
+                gvals: s.gvals.clone(),
+                cvals: s.cvals.clone(),
+                state: Mutex::new(AcSparseState::fresh(n, s.gvals.len())),
+            }),
+            dense_ws: Mutex::new(DenseWs::fresh(n)),
+        }
+    }
+}
+
+impl fmt::Debug for AcSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AcSolver")
+            .field("n", &self.g.nrows())
+            .field("sparse", &self.sparse.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl AcSolver {
@@ -165,12 +246,40 @@ impl AcSolver {
             }
         }
 
+        // Sparse backend: gather G and C onto the cached AC sparsity
+        // pattern (a superset of both matrices' nonzeros — the pattern
+        // includes every capacitance pair over all MOSFET regions).
+        let sparse = if solver::uses_sparse(n) {
+            let sym = solver::symbolic_for(circuit, Analysis::Ac);
+            let pat = sym.pattern();
+            let nnz = pat.nnz();
+            let mut gvals = vec![0.0; nnz];
+            let mut cvals = vec![0.0; nnz];
+            for col in 0..n {
+                let start = pat.col_range(col).start;
+                for (off, &row) in pat.col(col).iter().enumerate() {
+                    gvals[start + off] = g[(row, col)];
+                    cvals[start + off] = c[(row, col)];
+                }
+            }
+            Some(AcSparse {
+                sym,
+                gvals,
+                cvals,
+                state: Mutex::new(AcSparseState::fresh(n, nnz)),
+            })
+        } else {
+            None
+        };
+
         AcSolver {
             g,
             c,
             b,
             branch_of,
             branch_base: circuit.num_nodes() - 1,
+            sparse,
+            dense_ws: Mutex::new(DenseWs::fresh(n)),
         }
     }
 
@@ -189,20 +298,47 @@ impl AcSolver {
         }
         let omega = 2.0 * std::f64::consts::PI * freq;
         let n = self.g.nrows();
-        let mut a = CMat::zeros(n, n);
-        for i in 0..n {
-            for j in 0..n {
-                a[(i, j)] = Complex64::new(self.g[(i, j)], omega * self.c[(i, j)]);
+        let x = if let Some(sp) = &self.sparse {
+            let mut guard = sp.state.lock().expect("ac sparse state poisoned");
+            let st = &mut *guard;
+            for k in 0..sp.gvals.len() {
+                st.zvals[k] = Complex64::new(sp.gvals[k], omega * sp.cvals[k]);
             }
-        }
-        let mut rhs = CVec::zeros(n);
-        for i in 0..n {
-            rhs[i] = Complex64::from_real(self.b[i]);
-        }
-        let x = a
-            .lu()
-            .map_err(|_| MnaError::SingularMatrix { analysis: "ac" })?
-            .solve(&rhs)?;
+            // Refactor on the frozen pivot sequence of the previous frequency
+            // point; fall back to a fresh factorization when the pivots go
+            // stale (bit-identical results whenever both succeed).
+            let refreshed = match st.lu.take() {
+                Some(mut f) => match f.refactor(&sp.sym, &st.zvals) {
+                    Ok(()) => Some(f),
+                    Err(_) => None,
+                },
+                None => None,
+            };
+            let f = match refreshed {
+                Some(f) => f,
+                None => SparseLu::factor(&sp.sym, &st.zvals)
+                    .map_err(|_| MnaError::SingularMatrix { analysis: "ac" })?,
+            };
+            for i in 0..n {
+                st.bbuf[i] = Complex64::from_real(self.b[i]);
+            }
+            f.solve_slice(&st.bbuf, &mut st.xbuf, &mut st.scratch)?;
+            st.lu = Some(f);
+            CVec::from_slice(&st.xbuf)
+        } else {
+            let mut ws = self.dense_ws.lock().expect("ac dense workspace poisoned");
+            for i in 0..n {
+                for j in 0..n {
+                    ws.a[(i, j)] = Complex64::new(self.g[(i, j)], omega * self.c[(i, j)]);
+                }
+            }
+            for i in 0..n {
+                ws.rhs[i] = Complex64::from_real(self.b[i]);
+            }
+            ws.a.lu()
+                .map_err(|_| MnaError::SingularMatrix { analysis: "ac" })?
+                .solve(&ws.rhs)?
+        };
         Ok(AcSolution {
             x,
             branch_of: self.branch_of.clone(),

@@ -49,6 +49,7 @@ mod error;
 mod mosfet;
 mod netlist;
 mod parser;
+mod solver;
 mod sweep;
 mod transient;
 
@@ -58,5 +59,9 @@ pub use error::MnaError;
 pub use mosfet::{MosEval, MosPolarity, MosRegion, MosfetModel, MosfetParams};
 pub use netlist::{Circuit, ElementId, NodeId, Stimulus};
 pub use parser::{parse_deck, ParseDeckError};
+pub use solver::{
+    clear_symbolic_cache, set_solver_override, symbolic_cache_len, uses_sparse, SolverChoice,
+    SPARSE_AUTO_THRESHOLD,
+};
 pub use sweep::DcSweep;
 pub use transient::{Integrator, Transient, TransientOptions, TransientResult, Waveform};

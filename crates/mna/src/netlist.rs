@@ -670,6 +670,62 @@ impl Circuit {
         &self.kinds
     }
 
+    /// Exact structural key of the circuit topology: node/branch counts plus
+    /// every element's kind tag and terminal wiring, element values excluded.
+    ///
+    /// Two circuits share a key iff they stamp the same MNA coordinates for
+    /// every analysis, so the key indexes the symbolic-factorization cache.
+    /// The per-element tag + fixed arity make the encoding prefix-free — no
+    /// two distinct topologies collide.
+    pub(crate) fn structure_key(&self) -> Vec<u64> {
+        let mut key = Vec::with_capacity(2 + self.kinds.len() * 6);
+        key.push(self.num_nodes() as u64);
+        key.push(self.branches as u64);
+        for kind in &self.kinds {
+            match kind {
+                ElementKind::Resistor { a, b, .. } => {
+                    key.extend([1, a.0 as u64, b.0 as u64]);
+                }
+                ElementKind::Capacitor { a, b, .. } => {
+                    key.extend([2, a.0 as u64, b.0 as u64]);
+                }
+                ElementKind::VoltageSource { p, n, branch, .. } => {
+                    key.extend([3, p.0 as u64, n.0 as u64, *branch as u64]);
+                }
+                ElementKind::CurrentSource { p, n, .. } => {
+                    key.extend([4, p.0 as u64, n.0 as u64]);
+                }
+                ElementKind::Vccs { p, n, cp, cn, .. } => {
+                    key.extend([5, p.0 as u64, n.0 as u64, cp.0 as u64, cn.0 as u64]);
+                }
+                ElementKind::Vcvs {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    branch,
+                    ..
+                } => {
+                    key.extend([
+                        6,
+                        p.0 as u64,
+                        n.0 as u64,
+                        cp.0 as u64,
+                        cn.0 as u64,
+                        *branch as u64,
+                    ]);
+                }
+                ElementKind::Mosfet { d, g, s, b, .. } => {
+                    key.extend([7, d.0 as u64, g.0 as u64, s.0 as u64, b.0 as u64]);
+                }
+                ElementKind::Diode { a, k, .. } => {
+                    key.extend([8, a.0 as u64, k.0 as u64]);
+                }
+            }
+        }
+        key
+    }
+
     /// Internal: index of the unknown carrying a node voltage, `None` for ground.
     pub(crate) fn node_unknown(&self, n: NodeId) -> Option<usize> {
         if n.is_ground() {

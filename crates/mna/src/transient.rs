@@ -7,11 +7,12 @@
 
 pub use crate::netlist::Stimulus as Waveform;
 
-use specwise_linalg::{DMat, DVec};
+use specwise_linalg::DVec;
 
 use crate::dc::{eval_mosfet_at, stamp_system, DcOp};
 use crate::mosfet::MosRegion;
 use crate::netlist::ElementKind;
+use crate::solver::{Analysis, SystemSolver};
 use crate::{Circuit, MnaError, NodeId};
 
 /// Integration method for the capacitor companion models.
@@ -223,14 +224,19 @@ impl<'c> Transient<'c> {
         times.push(0.0);
         states.push(x.clone());
 
-        let mut jac = DMat::zeros(n, n);
+        // One workspace for the whole run: assembly buffer plus (on the
+        // sparse backend) a factorization that refactors in place across
+        // every Newton iteration of every time step. The `Tran` pattern
+        // includes all capacitor companion entries.
+        let mut sys = SystemSolver::new(ckt, Analysis::Tran);
         let mut res = DVec::zeros(n);
         for step in 1..=steps {
             let t = step as f64 * dt;
             // Newton at time t with companion models.
             let mut converged = false;
             for _ in 0..self.options.max_iterations {
-                stamp_system(ckt, &x, 1e-12, 1.0, Some(t), &mut jac, &mut res);
+                stamp_system(ckt, &x, 1e-12, 1.0, Some(t), sys.stamper(), &mut res);
+                let jac = sys.stamper();
                 for cap in &caps {
                     let v_now = vnode(&x, cap.a) - vnode(&x, cap.b);
                     let (geq, ieq_hist) = match self.options.integrator {
@@ -247,21 +253,18 @@ impl<'c> Transient<'c> {
                     let (ia, ib) = (ckt.node_unknown(cap.a), ckt.node_unknown(cap.b));
                     if let Some(i) = ia {
                         res[i] += i_cap;
-                        jac[(i, i)] += geq;
+                        jac.add(i, i, geq);
                     }
                     if let Some(j) = ib {
                         res[j] -= i_cap;
-                        jac[(j, j)] += geq;
+                        jac.add(j, j, geq);
                     }
                     if let (Some(i), Some(j)) = (ia, ib) {
-                        jac[(i, j)] -= geq;
-                        jac[(j, i)] -= geq;
+                        jac.add(i, j, -geq);
+                        jac.add(j, i, -geq);
                     }
                 }
-                let lu = jac.lu().map_err(|_| MnaError::SingularMatrix {
-                    analysis: "transient",
-                })?;
-                let delta = lu.solve(&(-&res))?;
+                let delta = sys.factor_solve(&res, "transient")?;
                 x += &delta;
                 let mut dv = 0.0_f64;
                 for i in 0..(ckt.num_nodes() - 1) {

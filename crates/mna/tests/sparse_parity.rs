@@ -1,0 +1,205 @@
+//! Dense-vs-sparse backend parity on a MOSFET circuit large enough to take
+//! the sparse path under `Auto`, plus the symbolic-cache regression: reusing
+//! the cached symbolic factorization across a parameter sweep must produce
+//! solutions bit-identical to factoring fresh every time.
+
+use std::sync::Mutex;
+
+use specwise_mna::{
+    clear_symbolic_cache, set_solver_override, symbolic_cache_len, uses_sparse, AcSolver, Circuit,
+    DcOp, MosfetModel, MosfetParams, SolverChoice, Transient, TransientOptions, Waveform,
+};
+
+/// The backend override is process-global; serialize tests that flip it.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_backend<R>(choice: SolverChoice, f: impl FnOnce() -> R) -> R {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_solver_override(Some(choice));
+    let out = f();
+    set_solver_override(None);
+    out
+}
+
+/// Five-transistor OTA: NMOS differential pair, PMOS mirror load, resistive
+/// tail — 6 non-ground nodes + 3 source branches = 9 MNA unknowns, above the
+/// sparse auto-threshold.
+fn ota(vdd_v: f64, w_scale: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("inp");
+    let inn = ckt.node("inn");
+    let tail = ckt.node("tail");
+    let d1 = ckt.node("d1");
+    let out = ckt.node("out");
+    ckt.voltage_source("VDD", vdd, Circuit::GROUND, vdd_v)
+        .unwrap();
+    ckt.voltage_source("VINP", inp, Circuit::GROUND, 1.2)
+        .unwrap();
+    ckt.set_ac("VINP", 1.0).unwrap();
+    ckt.voltage_source("VINN", inn, Circuit::GROUND, 1.2)
+        .unwrap();
+    let nmos = |w: f64| MosfetParams::new(MosfetModel::default_nmos(), w * w_scale, 1e-6);
+    let pmos = |w: f64| MosfetParams::new(MosfetModel::default_pmos(), w * w_scale, 1e-6);
+    ckt.mosfet("M1", d1, inp, tail, Circuit::GROUND, nmos(20e-6))
+        .unwrap();
+    ckt.mosfet("M2", out, inn, tail, Circuit::GROUND, nmos(20e-6))
+        .unwrap();
+    ckt.mosfet("M3", d1, d1, vdd, vdd, pmos(40e-6)).unwrap();
+    ckt.mosfet("M4", out, d1, vdd, vdd, pmos(40e-6)).unwrap();
+    ckt.resistor("RT", tail, Circuit::GROUND, 20e3).unwrap();
+    ckt.capacitor("CL", out, Circuit::GROUND, 1e-12).unwrap();
+    ckt
+}
+
+#[test]
+fn ota_takes_sparse_path_under_auto() {
+    let ckt = ota(3.0, 1.0);
+    assert!(ckt.num_unknowns() >= 8, "n = {}", ckt.num_unknowns());
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_solver_override(None);
+    // Default env has no SPECWISE_SOLVER; Auto applies.
+    if std::env::var("SPECWISE_SOLVER").is_err() {
+        assert!(uses_sparse(ckt.num_unknowns()));
+    }
+    assert!(!uses_sparse(2));
+}
+
+#[test]
+fn dc_sparse_matches_dense() {
+    let ckt = ota(3.0, 1.0);
+    let dense = with_backend(SolverChoice::Dense, || DcOp::new(&ckt).solve().unwrap());
+    let sparse = with_backend(SolverChoice::Sparse, || DcOp::new(&ckt).solve().unwrap());
+    for i in 0..dense.unknowns().len() {
+        assert!(
+            (dense.unknowns()[i] - sparse.unknowns()[i]).abs() < 1e-8,
+            "unknown {i}: dense {} sparse {}",
+            dense.unknowns()[i],
+            sparse.unknowns()[i]
+        );
+    }
+    for (md, ms) in dense.mosfet_ops().iter().zip(sparse.mosfet_ops()) {
+        assert_eq!(md.region, ms.region, "{}", md.name);
+        assert!(
+            (md.id - ms.id).abs() < 1e-12 * (1.0 + md.id.abs()),
+            "{}",
+            md.name
+        );
+    }
+}
+
+#[test]
+fn ac_sparse_matches_dense() {
+    let ckt = ota(3.0, 1.0);
+    let out = ckt.find_node("out").unwrap();
+    let run = |choice| {
+        with_backend(choice, || {
+            let op = DcOp::new(&ckt).solve().unwrap();
+            let ac = AcSolver::new(&ckt, &op);
+            [1.0, 1e3, 1e6, 1e9]
+                .iter()
+                .map(|&f| ac.solve(f).unwrap().voltage(out))
+                .collect::<Vec<_>>()
+        })
+    };
+    let dense = run(SolverChoice::Dense);
+    let sparse = run(SolverChoice::Sparse);
+    for (hd, hs) in dense.iter().zip(&sparse) {
+        let err = (*hd - *hs).abs() / (1.0 + hd.abs());
+        assert!(err < 1e-9, "dense {hd:?} sparse {hs:?}");
+    }
+}
+
+#[test]
+fn transient_sparse_matches_dense() {
+    let mut ckt = ota(3.0, 1.0);
+    ckt.set_stimulus(
+        "VINP",
+        Waveform::Step {
+            v0: 1.2,
+            v1: 1.3,
+            t0: 5e-9,
+            t_rise: 1e-9,
+        },
+    )
+    .unwrap();
+    let out = ckt.find_node("out").unwrap();
+    let run = |choice| {
+        with_backend(choice, || {
+            Transient::new(&ckt, TransientOptions::new(0.5e-9, 50e-9))
+                .run()
+                .unwrap()
+                .voltage(out)
+        })
+    };
+    let dense = run(SolverChoice::Dense);
+    let sparse = run(SolverChoice::Sparse);
+    assert_eq!(dense.len(), sparse.len());
+    for (k, (vd, vs)) in dense.iter().zip(&sparse).enumerate() {
+        assert!((vd - vs).abs() < 1e-7, "step {k}: dense {vd} sparse {vs}");
+    }
+}
+
+#[test]
+fn symbolic_cache_reuse_is_bit_identical_across_sweep() {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_solver_override(Some(SolverChoice::Sparse));
+
+    let vdds = [2.7, 2.85, 3.0, 3.15, 3.3];
+
+    // Pass 1: the symbolic factorization is computed once and reused for
+    // every sweep point (all five circuits share one topology).
+    clear_symbolic_cache();
+    let cached: Vec<Vec<f64>> = vdds
+        .iter()
+        .map(|&v| {
+            let ckt = ota(v, 1.0);
+            DcOp::new(&ckt)
+                .solve()
+                .unwrap()
+                .unknowns()
+                .as_slice()
+                .to_vec()
+        })
+        .collect();
+    assert_eq!(symbolic_cache_len(), 1, "one topology, one DC cache entry");
+
+    // Pass 2: force a fresh symbolic analysis before every point.
+    let fresh: Vec<Vec<f64>> = vdds
+        .iter()
+        .map(|&v| {
+            clear_symbolic_cache();
+            let ckt = ota(v, 1.0);
+            DcOp::new(&ckt)
+                .solve()
+                .unwrap()
+                .unknowns()
+                .as_slice()
+                .to_vec()
+        })
+        .collect();
+
+    set_solver_override(None);
+    for (k, (a, b)) in cached.iter().zip(&fresh).enumerate() {
+        assert_eq!(a, b, "sweep point {k} not bit-identical");
+    }
+}
+
+#[test]
+fn solution_from_reconstructs_operating_records() {
+    let ckt = ota(3.0, 1.0);
+    let solved = with_backend(SolverChoice::Sparse, || DcOp::new(&ckt).solve().unwrap());
+    let rebuilt = DcOp::new(&ckt)
+        .solution_from(solved.unknowns().clone())
+        .unwrap();
+    assert_eq!(rebuilt.iterations(), 0);
+    assert_eq!(
+        solved.unknowns().as_slice(),
+        rebuilt.unknowns().as_slice(),
+        "unknowns pass through untouched"
+    );
+    for (a, b) in solved.mosfet_ops().iter().zip(rebuilt.mosfet_ops()) {
+        assert_eq!(a.region, b.region);
+        assert_eq!(a.id, b.id, "{}: bit-identical op records", a.name);
+    }
+}

@@ -2,10 +2,13 @@
 //!
 //! TITAN's internal sensitivities are not available to us (DESIGN.md §6), so
 //! gradients are forward differences: `n+1` evaluations per gradient. The
-//! base and all perturbed points are independent, so each gradient is issued
-//! as a single batch through the [`Evaluator`] — an [`EvalService`] fans it
-//! out over its worker pool, a plain environment runs it serially; the
-//! results are bit-identical either way.
+//! base point is evaluated first, as its own batch, and only then are the
+//! `n` perturbed points issued together — by the time a perturbed solve
+//! starts, the base operating point already sits in the environment's
+//! warm-start cache and seeds its Newton iteration (DESIGN.md §7). The
+//! perturbed points are independent of each other, so an [`EvalService`]
+//! fans them out over its worker pool while a plain environment runs them
+//! serially; the results are bit-identical either way.
 //!
 //! [`EvalService`]: specwise_exec::EvalService
 
@@ -36,17 +39,20 @@ pub fn margins_gradient_s<E: Evaluator + ?Sized>(
         });
     }
     let n_s = s_hat.len();
-    let mut points = Vec::with_capacity(n_s + 1);
-    points.push(EvalPoint::new(d.clone(), s_hat.clone(), *theta));
+    // Base first, alone: seeds the warm-start cache for the perturbed batch.
+    let base_point = [EvalPoint::new(d.clone(), s_hat.clone(), *theta)];
+    let base = env
+        .eval_margins_batch(&base_point)
+        .into_iter()
+        .next()
+        .expect("batch returns one result per point")?;
+    let mut points = Vec::with_capacity(n_s);
     for j in 0..n_s {
         let mut s2 = s_hat.clone();
         s2[j] += h;
         points.push(EvalPoint::new(d.clone(), s2, *theta));
     }
-    let mut results = env.eval_margins_batch(&points).into_iter();
-    let base = results
-        .next()
-        .expect("batch returns one result per point")?;
+    let results = env.eval_margins_batch(&points).into_iter();
     let n_spec = base.len();
     let mut jac = DMat::zeros(n_spec, n_s);
     for (j, result) in results.enumerate() {
@@ -81,8 +87,14 @@ pub fn margins_gradient_d<E: Evaluator + ?Sized>(
     let space = env.design_space();
     let n_d = d.len();
     let mut signed_steps = Vec::with_capacity(n_d);
-    let mut points = Vec::with_capacity(n_d + 1);
-    points.push(EvalPoint::new(d.clone(), s_hat.clone(), *theta));
+    // Base first, alone: seeds the warm-start cache for the perturbed batch.
+    let base_point = [EvalPoint::new(d.clone(), s_hat.clone(), *theta)];
+    let base = env
+        .eval_margins_batch(&base_point)
+        .into_iter()
+        .next()
+        .expect("batch returns one result per point")?;
+    let mut points = Vec::with_capacity(n_d);
     for k in 0..n_d {
         let p = &space.params()[k];
         let step = h_rel * (p.upper - p.lower);
@@ -93,10 +105,7 @@ pub fn margins_gradient_d<E: Evaluator + ?Sized>(
         d2[k] += signed;
         points.push(EvalPoint::new(d2, s_hat.clone(), *theta));
     }
-    let mut results = env.eval_margins_batch(&points).into_iter();
-    let base = results
-        .next()
-        .expect("batch returns one result per point")?;
+    let results = env.eval_margins_batch(&points).into_iter();
     let n_spec = base.len();
     let mut jac = DMat::zeros(n_spec, n_d);
     for (k, result) in results.enumerate() {
@@ -127,8 +136,13 @@ pub fn constraint_jacobian<E: Evaluator + ?Sized>(
     let space = env.design_space();
     let n_d = d.len();
     let mut signed_steps = Vec::with_capacity(n_d);
-    let mut designs = Vec::with_capacity(n_d + 1);
-    designs.push(d.clone());
+    // Base first, alone: seeds the warm-start cache for the perturbed batch.
+    let base = env
+        .eval_constraints_batch(std::slice::from_ref(d))
+        .into_iter()
+        .next()
+        .expect("batch returns one result per point")?;
+    let mut designs = Vec::with_capacity(n_d);
     for k in 0..n_d {
         let p = &space.params()[k];
         let step = h_rel * (p.upper - p.lower);
@@ -138,10 +152,7 @@ pub fn constraint_jacobian<E: Evaluator + ?Sized>(
         d2[k] += signed;
         designs.push(d2);
     }
-    let mut results = env.eval_constraints_batch(&designs).into_iter();
-    let base = results
-        .next()
-        .expect("batch returns one result per point")?;
+    let results = env.eval_constraints_batch(&designs).into_iter();
     let n_c = base.len();
     let mut jac = DMat::zeros(n_c, n_d);
     for (k, result) in results.enumerate() {
