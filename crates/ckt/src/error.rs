@@ -37,6 +37,14 @@ pub enum CktError {
         /// Description of the problem.
         reason: &'static str,
     },
+    /// An annotated deck failed to parse or compile into a testbench.
+    Deck {
+        /// 1-based deck line the problem originates from (0 when the
+        /// problem is not tied to a single line).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CktError {
@@ -60,6 +68,13 @@ impl fmt::Display for CktError {
                 write!(f, "could not extract {performance}: {reason}")
             }
             CktError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CktError::Deck { line, reason } => {
+                if *line == 0 {
+                    write!(f, "deck error: {reason}")
+                } else {
+                    write!(f, "deck line {line}: {reason}")
+                }
+            }
         }
     }
 }

@@ -24,43 +24,75 @@
 //!
 //! Specifications (paper Table 1): `A0 ≥ 40 dB`, `ft ≥ 40 MHz`,
 //! `CMRR ≥ 80 dB`, `SR ≥ 35 V/µs`, `P ≤ 3.5 mW`.
+//!
+//! The environment is a thin wrapper over the deck-driven [`Testbench`]:
+//! the `.match` groups reproduce the seed's per-device mismatch ordering
+//! (every device carries local parameters, pairs declared jointly).
 
 use specwise_linalg::DVec;
-use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
-use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
 use crate::warm::WarmStartCache;
 use crate::{
-    CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
-    SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
+    CircuitEnv, CktError, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
+    SlewRateMethod, Spec, StatSpace, Technology, Testbench,
 };
 
-/// Device list in netlist order (name, polarity).
-const DEVICES: [(&str, MosPolarity); 11] = [
-    ("m1", MosPolarity::Nmos),
-    ("m2", MosPolarity::Nmos),
-    ("m3", MosPolarity::Pmos),
-    ("m4", MosPolarity::Pmos),
-    ("m5", MosPolarity::Pmos),
-    ("m6", MosPolarity::Pmos),
-    ("m7", MosPolarity::Nmos),
-    ("m8", MosPolarity::Nmos),
-    ("mt", MosPolarity::Nmos),
-    ("mb1", MosPolarity::Nmos),
-    ("mb2", MosPolarity::Pmos),
-];
-
-/// Load capacitance \[F\].
-const CL: f64 = 2.0e-12;
-/// Cascode gate bias below VDD \[V\].
-const VCASC_BELOW_VDD: f64 = 1.5;
-/// Bias diode geometries \[m\].
-const MB1_W: f64 = 10e-6;
-const MB1_L: f64 = 2e-6;
-const MB2_W: f64 = 20e-6;
-const MB2_L: f64 = 2e-6;
-/// Tail device channel length \[m\].
-const TAIL_L: f64 = 1e-6;
+/// The annotated deck defining the environment. The `.match` flattening
+/// order (m1 m2 m3 m4 m5 m6 m7 m8 mt mb1 mb2) fixes the statistical
+/// parameter ordering.
+const DECK: &str = "\
+.name folded-cascode opamp
+.nodes vdd inp out f1 f2 o1 tail vbn vbp vcp
+.design w1 um 4.0 400.0 36.0
+.design l1 um 0.6 10.0 1.0
+.design w3 um 4.0 400.0 70.0
+.design l3 um 0.6 10.0 1.0
+.design w5 um 4.0 400.0 60.0
+.design l5 um 0.6 10.0 0.8
+.design w7 um 4.0 400.0 11.0
+.design l7 um 0.6 10.0 1.0
+.design wt um 4.0 400.0 36.0
+.design ib uA 2.0 200.0 10.0
+.range temp -40.0 125.0
+.range vdd 3.0 3.6
+.spec A0 dB min 40.0 dcgain
+.spec ft MHz min 40.0 ugf
+.spec CMRR dB min 80.0 cmrr
+.spec SRp V/us min 35.0 slew
+.spec Power mW max 3.5 power
+.match m1 m2
+.match m3 m4
+.match m5 m6
+.match m7 m8
+.match mt
+.match mb1
+.match mb2
+.tb vinp VINP
+.tb vinn VINN
+.tb out out
+.tb vdd VDD
+.tb tail mt
+.tb slewcap CL
+VDD vdd 0 {vdd}
+VINP inp 0 {vcm}
+VINN inn 0 {vcm}
+VCASC vdd vcp 1.5
+IB1 vdd vbn {ib}
+IB2 vbp 0 {ib}
+m1 f1 inp tail 0 NMOS W={w1} L={l1}
+m2 f2 inn tail 0 NMOS W={w1} L={l1}
+m3 f1 vbp vdd vdd PMOS W={w3} L={l3}
+m4 f2 vbp vdd vdd PMOS W={w3} L={l3}
+m5 o1 vcp f1 vdd PMOS W={w5} L={l5}
+m6 out vcp f2 vdd PMOS W={w5} L={l5}
+m7 o1 o1 0 0 NMOS W={w7} L={l7}
+m8 out o1 0 0 NMOS W={w7} L={l7}
+mt tail vbn 0 0 NMOS W={wt} L=1e-6
+mb1 vbn vbn 0 0 NMOS W=10e-6 L=2e-6
+mb2 vbp vbp vdd vdd PMOS W=20e-6 L=2e-6
+CL out 0 2.0e-12
+.end
+";
 
 /// The folded-cascode opamp environment (paper Fig. 7).
 ///
@@ -84,14 +116,7 @@ const TAIL_L: f64 = 1e-6;
 /// ```
 #[derive(Debug)]
 pub struct FoldedCascode {
-    tech: Technology,
-    design: DesignSpace,
-    stats: StatSpace,
-    specs: Vec<Spec>,
-    range: OperatingRange,
-    sr_method: SlewRateMethod,
-    counter: SimCounter,
-    warm: WarmStartCache,
+    tb: Testbench,
 }
 
 impl FoldedCascode {
@@ -100,41 +125,19 @@ impl FoldedCascode {
     /// violates the ft and CMRR specs at the worst-case operating corner
     /// (Table 1, "Initial" rows).
     pub fn paper_setup() -> Self {
-        let design = DesignSpace::new(vec![
-            DesignParam::new("w1", "um", 4.0, 400.0, 36.0),
-            DesignParam::new("l1", "um", 0.6, 10.0, 1.0),
-            DesignParam::new("w3", "um", 4.0, 400.0, 70.0),
-            DesignParam::new("l3", "um", 0.6, 10.0, 1.0),
-            DesignParam::new("w5", "um", 4.0, 400.0, 60.0),
-            DesignParam::new("l5", "um", 0.6, 10.0, 0.8),
-            DesignParam::new("w7", "um", 4.0, 400.0, 11.0),
-            DesignParam::new("l7", "um", 0.6, 10.0, 1.0),
-            DesignParam::new("wt", "um", 4.0, 400.0, 36.0),
-            DesignParam::new("ib", "uA", 2.0, 200.0, 10.0),
-        ]);
-        let stats = StatSpace::build(&DEVICES, true);
-        let specs = vec![
-            Spec::new("A0", "dB", SpecKind::LowerBound, 40.0),
-            Spec::new("ft", "MHz", SpecKind::LowerBound, 40.0),
-            Spec::new("CMRR", "dB", SpecKind::LowerBound, 80.0),
-            Spec::new("SRp", "V/us", SpecKind::LowerBound, 35.0),
-            Spec::new("Power", "mW", SpecKind::UpperBound, 3.5),
-        ];
         FoldedCascode {
-            tech: Technology::c06(),
-            design,
-            stats,
-            specs,
-            range: OperatingRange::new(-40.0, 125.0, 3.0, 3.6),
-            sr_method: SlewRateMethod::Analytic,
-            counter: SimCounter::new(),
-            warm: WarmStartCache::from_env(),
+            tb: Testbench::from_deck(DECK).expect("embedded folded-cascode deck is valid"),
         }
+    }
+
+    /// The annotated deck this environment is compiled from.
+    pub fn deck() -> &'static str {
+        DECK
     }
 
     /// Replaces the slew-rate extraction method.
     pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
-        self.sr_method = method;
+        self.tb = self.tb.with_sr_method(method);
         self
     }
 
@@ -142,22 +145,18 @@ impl FoldedCascode {
     /// `SPECWISE_WARM_START` environment knob); used by benchmarks and
     /// A/B comparisons.
     pub fn with_warm_start(mut self, enabled: bool) -> Self {
-        self.warm = if enabled {
-            WarmStartCache::always_enabled()
-        } else {
-            WarmStartCache::disabled()
-        };
+        self.tb = self.tb.with_warm_start(enabled);
         self
     }
 
     /// The DC warm-start cache (e.g. to clear between benchmark runs).
     pub fn warm_cache(&self) -> &WarmStartCache {
-        &self.warm
+        self.tb.warm_cache()
     }
 
     /// The technology card in use.
     pub fn technology(&self) -> &Technology {
-        &self.tech
+        self.tb.technology()
     }
 
     /// Full metric set (physical units) at one evaluation point — the
@@ -172,172 +171,33 @@ impl FoldedCascode {
         s_hat: &DVec,
         theta: &OperatingPoint,
     ) -> Result<OpampMetrics, CktError> {
-        self.check_dims(d, s_hat)?;
-        let (m, _) = measure(
-            self,
-            d,
-            s_hat,
-            theta,
-            self.sr_method,
-            &self.counter,
-            &self.warm,
-        )?;
-        Ok(m)
-    }
-
-    fn check_dims(&self, d: &DVec, s_hat: &DVec) -> Result<(), CktError> {
-        if d.len() != self.design.dim() {
-            return Err(CktError::DimensionMismatch {
-                what: "design",
-                expected: self.design.dim(),
-                found: d.len(),
-            });
-        }
-        if s_hat.len() != self.stats.dim() {
-            return Err(CktError::DimensionMismatch {
-                what: "stat",
-                expected: self.stats.dim(),
-                found: s_hat.len(),
-            });
-        }
-        Ok(())
-    }
-
-    /// Geometry of every device \[m\] for a design vector (µm units inside `d`).
-    fn geometry(&self, d: &DVec, device: &str) -> (f64, f64) {
-        let um = 1e-6;
-        match device {
-            "m1" | "m2" => (d[0] * um, d[1] * um),
-            "m3" | "m4" => (d[2] * um, d[3] * um),
-            "m5" | "m6" => (d[4] * um, d[5] * um),
-            "m7" | "m8" => (d[6] * um, d[7] * um),
-            "mt" => (d[8] * um, TAIL_L),
-            "mb1" => (MB1_W, MB1_L),
-            "mb2" => (MB2_W, MB2_L),
-            other => unreachable!("unknown device {other}"),
-        }
-    }
-
-    fn device_params(
-        &self,
-        d: &DVec,
-        s_hat: &DVec,
-        device: &str,
-        polarity: MosPolarity,
-    ) -> Result<MosfetParams, CktError> {
-        let (w, l) = self.geometry(d, device);
-        let (delta_vth, beta_factor) = self
-            .stats
-            .device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
-        let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
-        p.delta_vth = delta_vth;
-        p.beta_factor = beta_factor;
-        Ok(p)
-    }
-}
-
-impl OpampBuilder for FoldedCascode {
-    fn build(
-        &self,
-        d: &DVec,
-        s_hat: &DVec,
-        theta: &OperatingPoint,
-        feedback: bool,
-        vinn_dc: f64,
-    ) -> Result<BuiltOpamp, CktError> {
-        let mut ckt = Circuit::new();
-        ckt.set_temperature(theta.temp_k());
-        let gnd = Circuit::GROUND;
-        let vdd = ckt.node("vdd");
-        let inp = ckt.node("inp");
-        let out = ckt.node("out");
-        let f1 = ckt.node("f1");
-        let f2 = ckt.node("f2");
-        let o1 = ckt.node("o1");
-        let tail = ckt.node("tail");
-        let vbn = ckt.node("vbn");
-        let vbp = ckt.node("vbp");
-        let vcp = ckt.node("vcp");
-        // Inverting gate: the output itself under feedback, a driven node
-        // otherwise.
-        let inn = if feedback { out } else { ckt.node("inn") };
-
-        let vcm = theta.vdd / 2.0;
-        let ib = d[9] * 1e-6;
-
-        ckt.voltage_source("VDD", vdd, gnd, theta.vdd)?;
-        ckt.voltage_source("VINP", inp, gnd, vcm)?;
-        let vinn_src = if feedback {
-            None
-        } else {
-            ckt.voltage_source("VINN", inn, gnd, vinn_dc)?;
-            Some("VINN".to_string())
-        };
-        // Cascode gate bias tracks VDD.
-        ckt.voltage_source("VCASC", vdd, vcp, VCASC_BELOW_VDD)?;
-        // Bias reference currents.
-        ckt.current_source("IB1", vdd, vbn, ib)?;
-        ckt.current_source("IB2", vbp, gnd, ib)?;
-
-        // Devices — keep this order in sync with `DEVICES`.
-        let p = |dev: &str, pol| self.device_params(d, s_hat, dev, pol);
-        ckt.mosfet("m1", f1, inp, tail, gnd, p("m1", MosPolarity::Nmos)?)?;
-        ckt.mosfet("m2", f2, inn, tail, gnd, p("m2", MosPolarity::Nmos)?)?;
-        ckt.mosfet("m3", f1, vbp, vdd, vdd, p("m3", MosPolarity::Pmos)?)?;
-        ckt.mosfet("m4", f2, vbp, vdd, vdd, p("m4", MosPolarity::Pmos)?)?;
-        ckt.mosfet("m5", o1, vcp, f1, vdd, p("m5", MosPolarity::Pmos)?)?;
-        ckt.mosfet("m6", out, vcp, f2, vdd, p("m6", MosPolarity::Pmos)?)?;
-        ckt.mosfet("m7", o1, o1, gnd, gnd, p("m7", MosPolarity::Nmos)?)?;
-        ckt.mosfet("m8", out, o1, gnd, gnd, p("m8", MosPolarity::Nmos)?)?;
-        ckt.mosfet("mt", tail, vbn, gnd, gnd, p("mt", MosPolarity::Nmos)?)?;
-        ckt.mosfet("mb1", vbn, vbn, gnd, gnd, p("mb1", MosPolarity::Nmos)?)?;
-        ckt.mosfet("mb2", vbp, vbp, vdd, vdd, p("mb2", MosPolarity::Pmos)?)?;
-
-        let cl = CL * self.stats.cap_factor(&self.tech, s_hat)?;
-        ckt.capacitor("CL", out, gnd, cl)?;
-
-        Ok(BuiltOpamp {
-            circuit: ckt,
-            vinp_src: "VINP".to_string(),
-            vinn_src,
-            out,
-            vdd_src: "VDD".to_string(),
-            vcm,
-            slew_cap: cl,
-            tail_device: "mt".to_string(),
-        })
+        self.tb.metrics(d, s_hat, theta)
     }
 }
 
 impl CircuitEnv for FoldedCascode {
     fn name(&self) -> &str {
-        "folded-cascode opamp"
+        self.tb.name()
     }
 
     fn design_space(&self) -> &DesignSpace {
-        &self.design
+        self.tb.design_space()
     }
 
     fn stat_space(&self) -> &StatSpace {
-        &self.stats
+        self.tb.stat_space()
     }
 
     fn specs(&self) -> &[Spec] {
-        &self.specs
+        self.tb.specs()
     }
 
     fn operating_range(&self) -> &OperatingRange {
-        &self.range
+        self.tb.operating_range()
     }
 
     fn constraint_names(&self) -> Vec<String> {
-        let mut names = Vec::with_capacity(3 * DEVICES.len());
-        for (dev, _) in DEVICES {
-            names.push(format!("vsat_{dev}"));
-            names.push(format!("vov_{dev}"));
-            names.push(format!("vovmax_{dev}"));
-        }
-        names
+        self.tb.constraint_names()
     }
 
     fn eval_performances(
@@ -346,42 +206,31 @@ impl CircuitEnv for FoldedCascode {
         s_hat: &DVec,
         theta: &OperatingPoint,
     ) -> Result<DVec, CktError> {
-        let m = self.metrics(d, s_hat, theta)?;
-        Ok(DVec::from_slice(&[
-            m.a0_db,
-            m.ft_hz / 1e6,
-            m.cmrr_db,
-            m.slew_v_per_s / 1e6,
-            m.power_w * 1e3,
-        ]))
+        self.tb.eval_performances(d, s_hat, theta)
     }
 
     fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
-        self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
-        let theta = self.range.nominal();
-        let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
-        let op = dc_solve_counted(&built.circuit, &self.counter, &self.warm, d, &theta)?;
-        Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
+        self.tb.eval_constraints(d)
     }
 
     fn sim_count(&self) -> u64 {
-        self.counter.count()
+        self.tb.sim_count()
     }
 
     fn reset_sim_count(&self) {
-        self.counter.reset();
+        self.tb.reset_sim_count();
     }
 
     fn set_sim_phase(&self, phase: crate::SimPhase) {
-        self.counter.set_phase(phase);
+        self.tb.set_sim_phase(phase);
     }
 
     fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
-        self.counter.phase_counts()
+        self.tb.sim_phase_counts()
     }
 
     fn warm_commit(&self) {
-        self.warm.commit();
+        self.tb.warm_commit();
     }
 }
 
@@ -430,6 +279,31 @@ mod tests {
             )
             .unwrap();
         assert!(e.sim_count() >= 5, "count = {}", e.sim_count());
+    }
+
+    #[test]
+    fn stat_space_order_matches_seed_layout() {
+        // 5 globals, then vth/beta locals for every device in netlist order.
+        let e = env();
+        assert_eq!(e.stat_dim(), 5 + 2 * 11);
+        assert_eq!(e.stat_space().index_of("vth_m1"), Some(5));
+        assert_eq!(e.stat_space().index_of("beta_mb2"), Some(5 + 2 * 11 - 1));
+        let pairs = Testbench::from_deck(FoldedCascode::deck())
+            .unwrap()
+            .stat_map()
+            .pairs()
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect::<Vec<_>>();
+        assert_eq!(
+            pairs,
+            vec![
+                ("m1".to_string(), "m2".to_string()),
+                ("m3".to_string(), "m4".to_string()),
+                ("m5".to_string(), "m6".to_string()),
+                ("m7".to_string(), "m8".to_string()),
+            ]
+        );
     }
 
     #[test]

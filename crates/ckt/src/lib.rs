@@ -38,26 +38,28 @@ mod analytic;
 mod design;
 mod env;
 mod error;
-mod extract;
 mod folded;
+mod measure;
 mod miller;
 mod operating;
 mod ota;
 mod spec;
 mod stats;
 mod tech;
+mod testbench;
 mod warm;
 
 pub use analytic::{AnalyticEnv, AnalyticEnvBuilder};
 pub use design::{DesignParam, DesignSpace};
 pub use env::{CircuitEnv, SimCounter, SimPhase};
 pub use error::CktError;
-pub use extract::{OpampMetrics, SlewRateMethod};
 pub use folded::FoldedCascode;
+pub use measure::{Measure, MeasureContext, MeasureFn, OpampMetrics, SlewRateMethod};
 pub use miller::MillerOpamp;
 pub use operating::{OperatingPoint, OperatingRange};
 pub use ota::FiveTransistorOta;
 pub use spec::{Spec, SpecKind};
 pub use stats::{StatKind, StatParam, StatSpace};
 pub use tech::Technology;
+pub use testbench::{DesignBinding, DesignMap, DesignTarget, StatMap, Testbench};
 pub use warm::WarmStartCache;

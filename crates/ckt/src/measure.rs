@@ -1,5 +1,6 @@
-//! Shared opamp measurement harness: open-loop gain, unity-gain frequency,
-//! phase margin, CMRR, slew rate and power from MNA simulations.
+//! Shared opamp measurement harness — open-loop gain, unity-gain frequency,
+//! phase margin, CMRR, slew rate and power from MNA simulations — plus the
+//! [`Measure`] vocabulary that maps deck `.spec` lines onto the harness.
 //!
 //! # Measurement methodology
 //!
@@ -21,11 +22,119 @@
 //! one stimulus configuration) and transient run counts as one simulator
 //! call — mirroring how the paper's Table 7 counts TITAN invocations.
 
+use std::sync::Arc;
+
 use specwise_linalg::DVec;
 use specwise_mna::{AcSolver, Circuit, DcSolution, NodeId, Stimulus, Transient, TransientOptions};
 
 use crate::warm::{WarmConfig, WarmKey, WarmStartCache};
 use crate::{CktError, OperatingPoint, SimCounter};
+
+/// Everything a [`Measure`] can read: the harness metrics plus the feedback
+/// configuration's netlist and DC operating point.
+#[derive(Debug)]
+pub struct MeasureContext<'a> {
+    /// The metrics extracted by the measurement harness.
+    pub metrics: &'a OpampMetrics,
+    /// The feedback-configuration DC operating point.
+    pub op: &'a DcSolution,
+    /// The feedback-configuration netlist (for node lookups).
+    pub circuit: &'a Circuit,
+}
+
+/// A user-provided measurement function: the payload of [`Measure::Custom`]
+/// and the argument of `Testbench::with_custom_measure`.
+pub type MeasureFn = Arc<dyn Fn(&MeasureContext) -> Result<f64, CktError> + Send + Sync>;
+
+/// One named measurement of a deck-driven testbench: what a `.spec` line's
+/// `<measure>` token selects.
+#[derive(Clone)]
+pub enum Measure {
+    /// Open-loop DC gain \[dB\] (`dcgain`).
+    DcGain,
+    /// Unity-gain frequency \[Hz\] (`ugf`).
+    UnityGainFreq,
+    /// Phase margin \[degrees\] (`pm`).
+    PhaseMargin,
+    /// Common-mode rejection ratio \[dB\] (`cmrr`).
+    Cmrr,
+    /// Power-supply rejection ratio \[dB\] (`psrr`).
+    Psrr,
+    /// Positive slew rate \[V/s\] (`slew`).
+    SlewRate,
+    /// Total supply power \[W\] (`power`).
+    Power,
+    /// DC voltage of a node in the feedback configuration
+    /// (`vdc(<node>)`).
+    DcNodeVoltage(String),
+    /// User escape hatch: an arbitrary function of the measurement context,
+    /// attached programmatically via `Testbench::with_custom_measure`.
+    Custom(MeasureFn),
+}
+
+impl std::fmt::Debug for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Measure::DcGain => write!(f, "DcGain"),
+            Measure::UnityGainFreq => write!(f, "UnityGainFreq"),
+            Measure::PhaseMargin => write!(f, "PhaseMargin"),
+            Measure::Cmrr => write!(f, "Cmrr"),
+            Measure::Psrr => write!(f, "Psrr"),
+            Measure::SlewRate => write!(f, "SlewRate"),
+            Measure::Power => write!(f, "Power"),
+            Measure::DcNodeVoltage(node) => write!(f, "DcNodeVoltage({node:?})"),
+            Measure::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl Measure {
+    /// Parses a `.spec` measure token (`dcgain`, `ugf`, `pm`, `cmrr`,
+    /// `psrr`, `slew`, `power`, `vdc(<node>)`); `None` for unknown tokens.
+    pub fn parse(token: &str) -> Option<Self> {
+        match token.to_ascii_lowercase().as_str() {
+            "dcgain" => Some(Measure::DcGain),
+            "ugf" => Some(Measure::UnityGainFreq),
+            "pm" => Some(Measure::PhaseMargin),
+            "cmrr" => Some(Measure::Cmrr),
+            "psrr" => Some(Measure::Psrr),
+            "slew" => Some(Measure::SlewRate),
+            "power" => Some(Measure::Power),
+            lower => {
+                // `vdc(<node>)` keeps the node name's original case.
+                let inner = lower.strip_prefix("vdc(")?.strip_suffix(')')?;
+                if inner.is_empty() {
+                    return None;
+                }
+                let node = &token[4..4 + inner.len()];
+                Some(Measure::DcNodeVoltage(node.to_string()))
+            }
+        }
+    }
+
+    /// Evaluates the measurement in SI units.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CktError`] when a referenced node does not exist or a
+    /// custom closure fails.
+    pub fn eval(&self, ctx: &MeasureContext) -> Result<f64, CktError> {
+        match self {
+            Measure::DcGain => Ok(ctx.metrics.a0_db),
+            Measure::UnityGainFreq => Ok(ctx.metrics.ft_hz),
+            Measure::PhaseMargin => Ok(ctx.metrics.phase_margin_deg),
+            Measure::Cmrr => Ok(ctx.metrics.cmrr_db),
+            Measure::Psrr => Ok(ctx.metrics.psrr_db),
+            Measure::SlewRate => Ok(ctx.metrics.slew_v_per_s),
+            Measure::Power => Ok(ctx.metrics.power_w),
+            Measure::DcNodeVoltage(node) => {
+                let id = ctx.circuit.find_node(node).map_err(CktError::from)?;
+                Ok(ctx.op.voltage(id))
+            }
+            Measure::Custom(f) => f(ctx),
+        }
+    }
+}
 
 /// How the slew rate is extracted.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,22 +217,37 @@ pub(crate) trait OpampBuilder {
 /// than an error.
 const DEGENERATE_FT_HZ: f64 = 1.0;
 
-/// Runs the full measurement flow.
+/// The harness output: metrics plus the feedback configuration's netlist
+/// and operating point (what node-level measures read).
+#[derive(Debug)]
+pub(crate) struct Measured {
+    /// The extracted metrics.
+    pub metrics: OpampMetrics,
+    /// The feedback-configuration netlist.
+    pub fb_circuit: Circuit,
+    /// The feedback-configuration DC operating point.
+    pub op_fb: DcSolution,
+}
+
+/// Runs the full measurement flow. `identity` namespaces the warm-start
+/// cache entries per environment/netlist.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn measure(
     builder: &dyn OpampBuilder,
+    identity: u64,
     d: &DVec,
     s_hat: &DVec,
     theta: &OperatingPoint,
     sr_method: SlewRateMethod,
     counter: &SimCounter,
     warm: &WarmStartCache,
-) -> Result<(OpampMetrics, DcSolution), CktError> {
+) -> Result<Measured, CktError> {
     // 1. Feedback configuration: operating point, power, slew.
     let fb = builder.build(d, s_hat, theta, true, 0.0)?;
     let op_fb = warm
         .solve(
             &fb.circuit,
-            WarmKey::new(WarmConfig::Feedback, d, s_hat, theta, &[]),
+            WarmKey::new(identity, WarmConfig::Feedback, d, s_hat, theta, &[]),
         )
         .map_err(CktError::from)?;
     counter.add(1);
@@ -171,7 +295,7 @@ pub(crate) fn measure(
     let op_ol = warm
         .solve(
             &ol.circuit,
-            WarmKey::new(WarmConfig::OpenLoop, d, s_hat, theta, &[vout_fb]),
+            WarmKey::new(identity, WarmConfig::OpenLoop, d, s_hat, theta, &[vout_fb]),
         )
         .map_err(CktError::from)?;
     counter.add(1);
@@ -239,8 +363,8 @@ pub(crate) fn measure(
         (20.0 * (adm0 / apsr0).log10()).min(200.0)
     };
 
-    Ok((
-        OpampMetrics {
+    Ok(Measured {
+        metrics: OpampMetrics {
             a0_db,
             ft_hz,
             phase_margin_deg,
@@ -249,8 +373,9 @@ pub(crate) fn measure(
             power_w,
             psrr_db,
         },
+        fb_circuit: fb.circuit,
         op_fb,
-    ))
+    })
 }
 
 /// Builds the functional-constraint vector from the feedback operating
@@ -280,12 +405,20 @@ pub(crate) fn saturation_constraints(
 /// constraint-configuration key derived from the design vector and θ.
 pub(crate) fn dc_solve_counted(
     circuit: &Circuit,
+    identity: u64,
     counter: &SimCounter,
     warm: &WarmStartCache,
     d: &DVec,
     theta: &OperatingPoint,
 ) -> Result<DcSolution, CktError> {
-    let key = WarmKey::new(WarmConfig::Constraint, d, &DVec::zeros(0), theta, &[]);
+    let key = WarmKey::new(
+        identity,
+        WarmConfig::Constraint,
+        d,
+        &DVec::zeros(0),
+        theta,
+        &[],
+    );
     let op = warm.solve(circuit, key);
     counter.add(1);
     op.map_err(CktError::from)

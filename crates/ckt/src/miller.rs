@@ -21,39 +21,65 @@
 //!
 //! Specifications (paper Table 6): `A0 ≥ 80 dB`, `ft ≥ 1.3 MHz`,
 //! `Φm ≥ 60°`, `SR ≥ 3 V/µs`, `P ≤ 1.3 mW`.
+//!
+//! The environment is a thin wrapper over the deck-driven [`Testbench`]:
+//! the whole setup — topology, design space, specs, operating range,
+//! harness wiring — lives in the annotated deck returned by
+//! [`MillerOpamp::deck`].
 
 use specwise_linalg::DVec;
-use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
-use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
 use crate::warm::WarmStartCache;
 use crate::{
-    CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
-    SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
+    CircuitEnv, CktError, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
+    SlewRateMethod, Spec, StatSpace, Technology, Testbench,
 };
 
-/// Device list in netlist order (name, polarity).
-const DEVICES: [(&str, MosPolarity); 8] = [
-    ("m1", MosPolarity::Pmos),
-    ("m2", MosPolarity::Pmos),
-    ("m3", MosPolarity::Nmos),
-    ("m4", MosPolarity::Nmos),
-    ("m6", MosPolarity::Nmos),
-    ("m7", MosPolarity::Pmos),
-    ("mt", MosPolarity::Pmos),
-    ("mb2", MosPolarity::Pmos),
-];
-
-/// Load capacitance \[F\].
-const CL: f64 = 40.0e-12;
-/// Compensation nulling resistor \[Ω\].
-const RZ: f64 = 1.2e3;
-/// Bias diode geometry \[m\].
-const MB2_W: f64 = 20e-6;
-const MB2_L: f64 = 2e-6;
-/// Fixed channel lengths \[m\].
-const TAIL_L: f64 = 2e-6;
-const M7_L: f64 = 2e-6;
+/// The annotated deck defining the environment. No `.match` groups: the
+/// paper's Table 6 experiment uses global variations only.
+const DECK: &str = "\
+.name Miller opamp
+.nodes vdd inp out x1 x2 xz tail vbp
+.design w1 um 2.0 400.0 8.0
+.design l1 um 0.6 10.0 2.0
+.design w3 um 2.0 400.0 2.5
+.design l3 um 0.6 10.0 2.0
+.design w6 um 2.0 400.0 30.0
+.design l6 um 0.6 10.0 1.0
+.design w7 um 2.0 800.0 180.0
+.design wt um 2.0 400.0 17.0
+.design ib uA 1.0 100.0 10.0
+.design cc pF 0.5 30.0 3.0
+.range temp -40.0 125.0
+.range vdd 4.5 5.5
+.spec A0 dB min 80.0 dcgain
+.spec ft MHz min 1.3 ugf
+.spec PM deg min 60.0 pm
+.spec SRp V/us min 3.0 slew
+.spec Power mW max 1.3 power
+.tb vinp VINP
+.tb vinn VINN
+.tb out out
+.tb vdd VDD
+.tb tail mt
+.tb slewcap CC
+VDD vdd 0 {vdd}
+VINP inp 0 {vcm}
+VINN inn 0 {vcm}
+IB2 vbp 0 {ib}
+m1 x1 inn tail vdd PMOS W={w1} L={l1}
+m2 x2 inp tail vdd PMOS W={w1} L={l1}
+m3 x1 x1 0 0 NMOS W={w3} L={l3}
+m4 x2 x1 0 0 NMOS W={w3} L={l3}
+m6 out x2 0 0 NMOS W={w6} L={l6}
+m7 out vbp vdd vdd PMOS W={w7} L=2e-6
+mt tail vbp vdd vdd PMOS W={wt} L=2e-6
+mb2 vbp vbp vdd vdd PMOS W=20e-6 L=2e-6
+RZ x2 xz 1.2e3
+CC xz out {cc}
+CL out 0 40.0e-12
+.end
+";
 
 /// The Miller two-stage opamp environment (paper Fig. 8).
 ///
@@ -78,14 +104,7 @@ const M7_L: f64 = 2e-6;
 /// ```
 #[derive(Debug)]
 pub struct MillerOpamp {
-    tech: Technology,
-    design: DesignSpace,
-    stats: StatSpace,
-    specs: Vec<Spec>,
-    range: OperatingRange,
-    sr_method: SlewRateMethod,
-    counter: SimCounter,
-    warm: WarmStartCache,
+    tb: Testbench,
 }
 
 impl MillerOpamp {
@@ -93,41 +112,19 @@ impl MillerOpamp {
     /// yield (Table 6 "Initial": 33.7 %), marginally failing the slew-rate
     /// specification and sitting close to the phase-margin bound.
     pub fn paper_setup() -> Self {
-        let design = DesignSpace::new(vec![
-            DesignParam::new("w1", "um", 2.0, 400.0, 8.0),
-            DesignParam::new("l1", "um", 0.6, 10.0, 2.0),
-            DesignParam::new("w3", "um", 2.0, 400.0, 2.5),
-            DesignParam::new("l3", "um", 0.6, 10.0, 2.0),
-            DesignParam::new("w6", "um", 2.0, 400.0, 30.0),
-            DesignParam::new("l6", "um", 0.6, 10.0, 1.0),
-            DesignParam::new("w7", "um", 2.0, 800.0, 180.0),
-            DesignParam::new("wt", "um", 2.0, 400.0, 17.0),
-            DesignParam::new("ib", "uA", 1.0, 100.0, 10.0),
-            DesignParam::new("cc", "pF", 0.5, 30.0, 3.0),
-        ]);
-        let stats = StatSpace::build(&DEVICES, false);
-        let specs = vec![
-            Spec::new("A0", "dB", SpecKind::LowerBound, 80.0),
-            Spec::new("ft", "MHz", SpecKind::LowerBound, 1.3),
-            Spec::new("PM", "deg", SpecKind::LowerBound, 60.0),
-            Spec::new("SRp", "V/us", SpecKind::LowerBound, 3.0),
-            Spec::new("Power", "mW", SpecKind::UpperBound, 1.3),
-        ];
         MillerOpamp {
-            tech: Technology::c06(),
-            design,
-            stats,
-            specs,
-            range: OperatingRange::new(-40.0, 125.0, 4.5, 5.5),
-            sr_method: SlewRateMethod::Analytic,
-            counter: SimCounter::new(),
-            warm: WarmStartCache::from_env(),
+            tb: Testbench::from_deck(DECK).expect("embedded Miller deck is valid"),
         }
+    }
+
+    /// The annotated deck this environment is compiled from.
+    pub fn deck() -> &'static str {
+        DECK
     }
 
     /// Replaces the slew-rate extraction method.
     pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
-        self.sr_method = method;
+        self.tb = self.tb.with_sr_method(method);
         self
     }
 
@@ -135,22 +132,18 @@ impl MillerOpamp {
     /// `SPECWISE_WARM_START` environment knob); used by benchmarks and
     /// A/B comparisons.
     pub fn with_warm_start(mut self, enabled: bool) -> Self {
-        self.warm = if enabled {
-            WarmStartCache::always_enabled()
-        } else {
-            WarmStartCache::disabled()
-        };
+        self.tb = self.tb.with_warm_start(enabled);
         self
     }
 
     /// The DC warm-start cache (e.g. to clear between benchmark runs).
     pub fn warm_cache(&self) -> &WarmStartCache {
-        &self.warm
+        self.tb.warm_cache()
     }
 
     /// The technology card in use.
     pub fn technology(&self) -> &Technology {
-        &self.tech
+        self.tb.technology()
     }
 
     /// Full metric set at one evaluation point.
@@ -164,164 +157,33 @@ impl MillerOpamp {
         s_hat: &DVec,
         theta: &OperatingPoint,
     ) -> Result<OpampMetrics, CktError> {
-        self.check_dims(d, s_hat)?;
-        let (m, _) = measure(
-            self,
-            d,
-            s_hat,
-            theta,
-            self.sr_method,
-            &self.counter,
-            &self.warm,
-        )?;
-        Ok(m)
-    }
-
-    fn check_dims(&self, d: &DVec, s_hat: &DVec) -> Result<(), CktError> {
-        if d.len() != self.design.dim() {
-            return Err(CktError::DimensionMismatch {
-                what: "design",
-                expected: self.design.dim(),
-                found: d.len(),
-            });
-        }
-        if s_hat.len() != self.stats.dim() {
-            return Err(CktError::DimensionMismatch {
-                what: "stat",
-                expected: self.stats.dim(),
-                found: s_hat.len(),
-            });
-        }
-        Ok(())
-    }
-
-    fn geometry(&self, d: &DVec, device: &str) -> (f64, f64) {
-        let um = 1e-6;
-        match device {
-            "m1" | "m2" => (d[0] * um, d[1] * um),
-            "m3" | "m4" => (d[2] * um, d[3] * um),
-            "m6" => (d[4] * um, d[5] * um),
-            "m7" => (d[6] * um, M7_L),
-            "mt" => (d[7] * um, TAIL_L),
-            "mb2" => (MB2_W, MB2_L),
-            other => unreachable!("unknown device {other}"),
-        }
-    }
-
-    fn device_params(
-        &self,
-        d: &DVec,
-        s_hat: &DVec,
-        device: &str,
-        polarity: MosPolarity,
-    ) -> Result<MosfetParams, CktError> {
-        let (w, l) = self.geometry(d, device);
-        let (delta_vth, beta_factor) = self
-            .stats
-            .device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
-        let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
-        p.delta_vth = delta_vth;
-        p.beta_factor = beta_factor;
-        Ok(p)
-    }
-}
-
-impl OpampBuilder for MillerOpamp {
-    fn build(
-        &self,
-        d: &DVec,
-        s_hat: &DVec,
-        theta: &OperatingPoint,
-        feedback: bool,
-        vinn_dc: f64,
-    ) -> Result<BuiltOpamp, CktError> {
-        let mut ckt = Circuit::new();
-        ckt.set_temperature(theta.temp_k());
-        let gnd = Circuit::GROUND;
-        let vdd = ckt.node("vdd");
-        let inp = ckt.node("inp");
-        let out = ckt.node("out");
-        let x1 = ckt.node("x1");
-        let x2 = ckt.node("x2");
-        let xz = ckt.node("xz");
-        let tail = ckt.node("tail");
-        let vbp = ckt.node("vbp");
-        let inn = if feedback { out } else { ckt.node("inn") };
-
-        let vcm = theta.vdd / 2.0;
-        let ib = d[8] * 1e-6;
-        let cc = d[9] * 1e-12;
-
-        ckt.voltage_source("VDD", vdd, gnd, theta.vdd)?;
-        ckt.voltage_source("VINP", inp, gnd, vcm)?;
-        let vinn_src = if feedback {
-            None
-        } else {
-            ckt.voltage_source("VINN", inn, gnd, vinn_dc)?;
-            Some("VINN".to_string())
-        };
-        ckt.current_source("IB2", vbp, gnd, ib)?;
-
-        let p = |dev: &str, pol| self.device_params(d, s_hat, dev, pol);
-        ckt.mosfet("m1", x1, inn, tail, vdd, p("m1", MosPolarity::Pmos)?)?;
-        ckt.mosfet("m2", x2, inp, tail, vdd, p("m2", MosPolarity::Pmos)?)?;
-        ckt.mosfet("m3", x1, x1, gnd, gnd, p("m3", MosPolarity::Nmos)?)?;
-        ckt.mosfet("m4", x2, x1, gnd, gnd, p("m4", MosPolarity::Nmos)?)?;
-        ckt.mosfet("m6", out, x2, gnd, gnd, p("m6", MosPolarity::Nmos)?)?;
-        ckt.mosfet("m7", out, vbp, vdd, vdd, p("m7", MosPolarity::Pmos)?)?;
-        ckt.mosfet("mt", tail, vbp, vdd, vdd, p("mt", MosPolarity::Pmos)?)?;
-        ckt.mosfet("mb2", vbp, vbp, vdd, vdd, p("mb2", MosPolarity::Pmos)?)?;
-
-        // Miller compensation: x2 — Rz — xz — Cc — out. All capacitors see
-        // the global capacitance spread coherently (same oxide).
-        let cap_factor = self.stats.cap_factor(&self.tech, s_hat)?;
-        let cc = cc * cap_factor;
-        ckt.resistor("RZ", x2, xz, RZ)?;
-        ckt.capacitor("CC", xz, out, cc)?;
-        ckt.capacitor("CL", out, gnd, CL * cap_factor)?;
-
-        Ok(BuiltOpamp {
-            circuit: ckt,
-            vinp_src: "VINP".to_string(),
-            vinn_src,
-            out,
-            vdd_src: "VDD".to_string(),
-            vcm,
-            slew_cap: cc,
-            tail_device: "mt".to_string(),
-        })
+        self.tb.metrics(d, s_hat, theta)
     }
 }
 
 impl CircuitEnv for MillerOpamp {
     fn name(&self) -> &str {
-        "Miller opamp"
+        self.tb.name()
     }
 
     fn design_space(&self) -> &DesignSpace {
-        &self.design
+        self.tb.design_space()
     }
 
     fn stat_space(&self) -> &StatSpace {
-        &self.stats
+        self.tb.stat_space()
     }
 
     fn specs(&self) -> &[Spec] {
-        &self.specs
+        self.tb.specs()
     }
 
     fn operating_range(&self) -> &OperatingRange {
-        &self.range
+        self.tb.operating_range()
     }
 
     fn constraint_names(&self) -> Vec<String> {
-        let mut names = Vec::with_capacity(3 * DEVICES.len());
-        for (dev, _) in DEVICES {
-            names.push(format!("vsat_{dev}"));
-            names.push(format!("vov_{dev}"));
-            names.push(format!("vovmax_{dev}"));
-        }
-        names
+        self.tb.constraint_names()
     }
 
     fn eval_performances(
@@ -330,42 +192,31 @@ impl CircuitEnv for MillerOpamp {
         s_hat: &DVec,
         theta: &OperatingPoint,
     ) -> Result<DVec, CktError> {
-        let m = self.metrics(d, s_hat, theta)?;
-        Ok(DVec::from_slice(&[
-            m.a0_db,
-            m.ft_hz / 1e6,
-            m.phase_margin_deg,
-            m.slew_v_per_s / 1e6,
-            m.power_w * 1e3,
-        ]))
+        self.tb.eval_performances(d, s_hat, theta)
     }
 
     fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
-        self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
-        let theta = self.range.nominal();
-        let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
-        let op = dc_solve_counted(&built.circuit, &self.counter, &self.warm, d, &theta)?;
-        Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
+        self.tb.eval_constraints(d)
     }
 
     fn sim_count(&self) -> u64 {
-        self.counter.count()
+        self.tb.sim_count()
     }
 
     fn reset_sim_count(&self) {
-        self.counter.reset();
+        self.tb.reset_sim_count();
     }
 
     fn set_sim_phase(&self, phase: crate::SimPhase) {
-        self.counter.set_phase(phase);
+        self.tb.set_sim_phase(phase);
     }
 
     fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
-        self.counter.phase_counts()
+        self.tb.sim_phase_counts()
     }
 
     fn warm_commit(&self) {
-        self.warm.commit();
+        self.tb.warm_commit();
     }
 }
 
@@ -447,5 +298,17 @@ mod tests {
             m.slew_v_per_s,
             sr_approx
         );
+    }
+
+    #[test]
+    fn design_map_reflects_deck_bindings() {
+        let e = env();
+        let map_env = Testbench::from_deck(MillerOpamp::deck()).unwrap();
+        let cc = map_env.design_map().bindings_of("cc");
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc[0].element, "CC");
+        let w1 = map_env.design_map().bindings_of("w1");
+        assert_eq!(w1.len(), 2, "w1 drives m1 and m2");
+        assert_eq!(e.design_space().dim(), map_env.design_space().dim());
     }
 }

@@ -18,34 +18,59 @@
 //! small: six devices, six design parameters, and relaxed specifications —
 //! it optimizes in well under a second and is used by the quick-start
 //! documentation and smoke tests.
+//!
+//! The environment is a thin wrapper over the deck-driven [`Testbench`];
+//! see `examples/custom_circuit.rs` for the same pattern applied to a
+//! circuit that has no hand-written Rust at all.
 
 use specwise_linalg::DVec;
-use specwise_mna::{Circuit, MosPolarity, MosfetParams};
 
-use crate::extract::{dc_solve_counted, measure, saturation_constraints, BuiltOpamp, OpampBuilder};
 use crate::warm::WarmStartCache;
 use crate::{
-    CircuitEnv, CktError, DesignParam, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
-    SimCounter, SlewRateMethod, Spec, SpecKind, StatSpace, Technology,
+    CircuitEnv, CktError, DesignSpace, OpampMetrics, OperatingPoint, OperatingRange,
+    SlewRateMethod, Spec, StatSpace, Testbench,
 };
 
-/// Device list in netlist order (name, polarity).
-const DEVICES: [(&str, MosPolarity); 6] = [
-    ("m1", MosPolarity::Nmos),
-    ("m2", MosPolarity::Nmos),
-    ("m3", MosPolarity::Pmos),
-    ("m4", MosPolarity::Pmos),
-    ("mt", MosPolarity::Nmos),
-    ("mb1", MosPolarity::Nmos),
-];
-
-/// Load capacitance \[F\].
-const CL: f64 = 2.0e-12;
-/// Bias diode geometry \[m\].
-const MB1_W: f64 = 10e-6;
-const MB1_L: f64 = 2e-6;
-/// Tail device channel length \[m\].
-const TAIL_L: f64 = 2e-6;
+/// The annotated deck defining the environment.
+const DECK: &str = "\
+.name five-transistor OTA
+.nodes vdd inp out x1 tail vbn
+.design w1 um 2.0 200.0 6.0
+.design l1 um 0.6 10.0 1.0
+.design w3 um 2.0 200.0 12.0
+.design l3 um 0.6 10.0 2.0
+.design wt um 2.0 200.0 20.0
+.design ib uA 1.0 100.0 5.0
+.range temp -40.0 125.0
+.range vdd 3.0 3.6
+.spec A0 dB min 30.0 dcgain
+.spec ft MHz min 4.0 ugf
+.spec CMRR dB min 55.0 cmrr
+.spec SRp V/us min 4.0 slew
+.spec Power mW max 0.5 power
+.match m1 m2
+.match m3 m4
+.match mt
+.match mb1
+.tb vinp VINP
+.tb vinn VINN
+.tb out out
+.tb vdd VDD
+.tb tail mt
+.tb slewcap CL
+VDD vdd 0 {vdd}
+VINP inp 0 {vcm}
+VINN inn 0 {vcm}
+IB1 vdd vbn {ib}
+m1 x1 inp tail 0 NMOS W={w1} L={l1}
+m2 out inn tail 0 NMOS W={w1} L={l1}
+m3 x1 x1 vdd vdd PMOS W={w3} L={l3}
+m4 out x1 vdd vdd PMOS W={w3} L={l3}
+mt tail vbn 0 0 NMOS W={wt} L=2e-6
+mb1 vbn vbn 0 0 NMOS W=10e-6 L=2e-6
+CL out 0 2.0e-12
+.end
+";
 
 /// The five-transistor OTA environment.
 ///
@@ -68,51 +93,26 @@ const TAIL_L: f64 = 2e-6;
 /// ```
 #[derive(Debug)]
 pub struct FiveTransistorOta {
-    tech: Technology,
-    design: DesignSpace,
-    stats: StatSpace,
-    specs: Vec<Spec>,
-    range: OperatingRange,
-    sr_method: SlewRateMethod,
-    counter: SimCounter,
-    warm: WarmStartCache,
+    tb: Testbench,
 }
 
 impl FiveTransistorOta {
     /// A modest default setup: every spec passes at the nominal point with
     /// a small margin, so the optimizer has work to do on the tails.
     pub fn default_setup() -> Self {
-        let design = DesignSpace::new(vec![
-            DesignParam::new("w1", "um", 2.0, 200.0, 6.0),
-            DesignParam::new("l1", "um", 0.6, 10.0, 1.0),
-            DesignParam::new("w3", "um", 2.0, 200.0, 12.0),
-            DesignParam::new("l3", "um", 0.6, 10.0, 2.0),
-            DesignParam::new("wt", "um", 2.0, 200.0, 20.0),
-            DesignParam::new("ib", "uA", 1.0, 100.0, 5.0),
-        ]);
-        let stats = StatSpace::build(&DEVICES, true);
-        let specs = vec![
-            Spec::new("A0", "dB", SpecKind::LowerBound, 30.0),
-            Spec::new("ft", "MHz", SpecKind::LowerBound, 4.0),
-            Spec::new("CMRR", "dB", SpecKind::LowerBound, 55.0),
-            Spec::new("SRp", "V/us", SpecKind::LowerBound, 4.0),
-            Spec::new("Power", "mW", SpecKind::UpperBound, 0.5),
-        ];
         FiveTransistorOta {
-            tech: Technology::c06(),
-            design,
-            stats,
-            specs,
-            range: OperatingRange::new(-40.0, 125.0, 3.0, 3.6),
-            sr_method: SlewRateMethod::Analytic,
-            counter: SimCounter::new(),
-            warm: WarmStartCache::from_env(),
+            tb: Testbench::from_deck(DECK).expect("embedded OTA deck is valid"),
         }
+    }
+
+    /// The annotated deck this environment is compiled from.
+    pub fn deck() -> &'static str {
+        DECK
     }
 
     /// Replaces the slew-rate extraction method.
     pub fn with_sr_method(mut self, method: SlewRateMethod) -> Self {
-        self.sr_method = method;
+        self.tb = self.tb.with_sr_method(method);
         self
     }
 
@@ -120,17 +120,13 @@ impl FiveTransistorOta {
     /// `SPECWISE_WARM_START` environment knob); used by benchmarks and
     /// A/B comparisons.
     pub fn with_warm_start(mut self, enabled: bool) -> Self {
-        self.warm = if enabled {
-            WarmStartCache::always_enabled()
-        } else {
-            WarmStartCache::disabled()
-        };
+        self.tb = self.tb.with_warm_start(enabled);
         self
     }
 
     /// The DC warm-start cache (e.g. to clear between benchmark runs).
     pub fn warm_cache(&self) -> &WarmStartCache {
-        &self.warm
+        self.tb.warm_cache()
     }
 
     /// Full metric set at one evaluation point.
@@ -144,153 +140,33 @@ impl FiveTransistorOta {
         s_hat: &DVec,
         theta: &OperatingPoint,
     ) -> Result<OpampMetrics, CktError> {
-        self.check_dims(d, s_hat)?;
-        let (m, _) = measure(
-            self,
-            d,
-            s_hat,
-            theta,
-            self.sr_method,
-            &self.counter,
-            &self.warm,
-        )?;
-        Ok(m)
-    }
-
-    fn check_dims(&self, d: &DVec, s_hat: &DVec) -> Result<(), CktError> {
-        if d.len() != self.design.dim() {
-            return Err(CktError::DimensionMismatch {
-                what: "design",
-                expected: self.design.dim(),
-                found: d.len(),
-            });
-        }
-        if s_hat.len() != self.stats.dim() {
-            return Err(CktError::DimensionMismatch {
-                what: "stat",
-                expected: self.stats.dim(),
-                found: s_hat.len(),
-            });
-        }
-        Ok(())
-    }
-
-    fn geometry(&self, d: &DVec, device: &str) -> (f64, f64) {
-        let um = 1e-6;
-        match device {
-            "m1" | "m2" => (d[0] * um, d[1] * um),
-            "m3" | "m4" => (d[2] * um, d[3] * um),
-            "mt" => (d[4] * um, TAIL_L),
-            "mb1" => (MB1_W, MB1_L),
-            other => unreachable!("unknown device {other}"),
-        }
-    }
-
-    fn device_params(
-        &self,
-        d: &DVec,
-        s_hat: &DVec,
-        device: &str,
-        polarity: MosPolarity,
-    ) -> Result<MosfetParams, CktError> {
-        let (w, l) = self.geometry(d, device);
-        let (delta_vth, beta_factor) = self
-            .stats
-            .device_deltas(&self.tech, device, polarity, w, l, s_hat)?;
-        let mut p = MosfetParams::new(*self.tech.model(polarity), w, l);
-        p.delta_vth = delta_vth;
-        p.beta_factor = beta_factor;
-        Ok(p)
-    }
-}
-
-impl OpampBuilder for FiveTransistorOta {
-    fn build(
-        &self,
-        d: &DVec,
-        s_hat: &DVec,
-        theta: &OperatingPoint,
-        feedback: bool,
-        vinn_dc: f64,
-    ) -> Result<BuiltOpamp, CktError> {
-        let mut ckt = Circuit::new();
-        ckt.set_temperature(theta.temp_k());
-        let gnd = Circuit::GROUND;
-        let vdd = ckt.node("vdd");
-        let inp = ckt.node("inp");
-        let out = ckt.node("out");
-        let x1 = ckt.node("x1");
-        let tail = ckt.node("tail");
-        let vbn = ckt.node("vbn");
-        let inn = if feedback { out } else { ckt.node("inn") };
-
-        let vcm = theta.vdd / 2.0;
-        let ib = d[5] * 1e-6;
-
-        ckt.voltage_source("VDD", vdd, gnd, theta.vdd)?;
-        ckt.voltage_source("VINP", inp, gnd, vcm)?;
-        let vinn_src = if feedback {
-            None
-        } else {
-            ckt.voltage_source("VINN", inn, gnd, vinn_dc)?;
-            Some("VINN".to_string())
-        };
-        ckt.current_source("IB1", vdd, vbn, ib)?;
-
-        let p = |dev: &str, pol| self.device_params(d, s_hat, dev, pol);
-        // M1 (the non-inverting gate) drives the diode side of the mirror.
-        ckt.mosfet("m1", x1, inp, tail, gnd, p("m1", MosPolarity::Nmos)?)?;
-        ckt.mosfet("m2", out, inn, tail, gnd, p("m2", MosPolarity::Nmos)?)?;
-        ckt.mosfet("m3", x1, x1, vdd, vdd, p("m3", MosPolarity::Pmos)?)?;
-        ckt.mosfet("m4", out, x1, vdd, vdd, p("m4", MosPolarity::Pmos)?)?;
-        ckt.mosfet("mt", tail, vbn, gnd, gnd, p("mt", MosPolarity::Nmos)?)?;
-        ckt.mosfet("mb1", vbn, vbn, gnd, gnd, p("mb1", MosPolarity::Nmos)?)?;
-
-        let cl = CL * self.stats.cap_factor(&self.tech, s_hat)?;
-        ckt.capacitor("CL", out, gnd, cl)?;
-
-        Ok(BuiltOpamp {
-            circuit: ckt,
-            vinp_src: "VINP".to_string(),
-            vinn_src,
-            out,
-            vdd_src: "VDD".to_string(),
-            vcm,
-            slew_cap: cl,
-            tail_device: "mt".to_string(),
-        })
+        self.tb.metrics(d, s_hat, theta)
     }
 }
 
 impl CircuitEnv for FiveTransistorOta {
     fn name(&self) -> &str {
-        "five-transistor OTA"
+        self.tb.name()
     }
 
     fn design_space(&self) -> &DesignSpace {
-        &self.design
+        self.tb.design_space()
     }
 
     fn stat_space(&self) -> &StatSpace {
-        &self.stats
+        self.tb.stat_space()
     }
 
     fn specs(&self) -> &[Spec] {
-        &self.specs
+        self.tb.specs()
     }
 
     fn operating_range(&self) -> &OperatingRange {
-        &self.range
+        self.tb.operating_range()
     }
 
     fn constraint_names(&self) -> Vec<String> {
-        let mut names = Vec::with_capacity(3 * DEVICES.len());
-        for (dev, _) in DEVICES {
-            names.push(format!("vsat_{dev}"));
-            names.push(format!("vov_{dev}"));
-            names.push(format!("vovmax_{dev}"));
-        }
-        names
+        self.tb.constraint_names()
     }
 
     fn eval_performances(
@@ -299,42 +175,31 @@ impl CircuitEnv for FiveTransistorOta {
         s_hat: &DVec,
         theta: &OperatingPoint,
     ) -> Result<DVec, CktError> {
-        let m = self.metrics(d, s_hat, theta)?;
-        Ok(DVec::from_slice(&[
-            m.a0_db,
-            m.ft_hz / 1e6,
-            m.cmrr_db,
-            m.slew_v_per_s / 1e6,
-            m.power_w * 1e3,
-        ]))
+        self.tb.eval_performances(d, s_hat, theta)
     }
 
     fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
-        self.check_dims(d, &DVec::zeros(self.stats.dim()))?;
-        let theta = self.range.nominal();
-        let built = self.build(d, &DVec::zeros(self.stats.dim()), &theta, true, 0.0)?;
-        let op = dc_solve_counted(&built.circuit, &self.counter, &self.warm, d, &theta)?;
-        Ok(saturation_constraints(&op, 0.05, 0.05, 0.5))
+        self.tb.eval_constraints(d)
     }
 
     fn sim_count(&self) -> u64 {
-        self.counter.count()
+        self.tb.sim_count()
     }
 
     fn reset_sim_count(&self) {
-        self.counter.reset();
+        self.tb.reset_sim_count();
     }
 
     fn set_sim_phase(&self, phase: crate::SimPhase) {
-        self.counter.set_phase(phase);
+        self.tb.set_sim_phase(phase);
     }
 
     fn sim_phase_counts(&self) -> [u64; crate::SimPhase::COUNT] {
-        self.counter.phase_counts()
+        self.tb.sim_phase_counts()
     }
 
     fn warm_commit(&self) {
-        self.warm.commit();
+        self.tb.warm_commit();
     }
 }
 
@@ -374,8 +239,8 @@ mod tests {
     #[test]
     fn stat_dimensions() {
         let e = env();
-        // 5 globals + 2 locals per device.
-        assert_eq!(e.stat_dim(), 5 + 2 * DEVICES.len());
+        // 5 globals + 2 locals per device (six matched devices).
+        assert_eq!(e.stat_dim(), 5 + 2 * 6);
     }
 
     #[test]

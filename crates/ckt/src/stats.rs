@@ -72,6 +72,19 @@ impl StatSpace {
     /// plus the capacitance spread), plus (`with_locals`) a local Vth and a
     /// local β parameter per listed device.
     pub fn build(devices: &[(&str, MosPolarity)], with_locals: bool) -> Self {
+        if with_locals {
+            let names: Vec<&str> = devices.iter().map(|(dev, _)| *dev).collect();
+            Self::with_locals(&names)
+        } else {
+            Self::with_locals(&[])
+        }
+    }
+
+    /// Builds a space from the device names that receive local mismatch
+    /// parameters: the five globals, then `vth_<dev>`/`beta_<dev>` per
+    /// listed device, in order. This is the constructor the deck-driven
+    /// `Testbench` uses with the `.match` group members.
+    pub fn with_locals(local_devices: &[&str]) -> Self {
         let mut params = vec![
             StatParam {
                 name: "vthn_glob".to_string(),
@@ -94,21 +107,19 @@ impl StatSpace {
                 kind: StatKind::GlobalCap,
             },
         ];
-        if with_locals {
-            for (dev, _) in devices {
-                params.push(StatParam {
-                    name: format!("vth_{dev}"),
-                    kind: StatKind::LocalVth {
-                        device: dev.to_string(),
-                    },
-                });
-                params.push(StatParam {
-                    name: format!("beta_{dev}"),
-                    kind: StatKind::LocalBeta {
-                        device: dev.to_string(),
-                    },
-                });
-            }
+        for dev in local_devices {
+            params.push(StatParam {
+                name: format!("vth_{dev}"),
+                kind: StatKind::LocalVth {
+                    device: (*dev).to_string(),
+                },
+            });
+            params.push(StatParam {
+                name: format!("beta_{dev}"),
+                kind: StatKind::LocalBeta {
+                    device: (*dev).to_string(),
+                },
+            });
         }
         StatSpace { params }
     }
@@ -252,6 +263,17 @@ mod tests {
         let devs = devices();
         assert_eq!(StatSpace::build(&devs, true).dim(), 5 + 6);
         assert_eq!(StatSpace::build(&devs, false).dim(), 5);
+    }
+
+    #[test]
+    fn with_locals_matches_build() {
+        let devs = devices();
+        let names: Vec<&str> = devs.iter().map(|(d, _)| *d).collect();
+        assert_eq!(
+            StatSpace::with_locals(&names),
+            StatSpace::build(&devs, true)
+        );
+        assert_eq!(StatSpace::with_locals(&[]), StatSpace::build(&devs, false));
     }
 
     #[test]

@@ -61,8 +61,6 @@ pub(crate) enum WarmConfig {
 }
 
 impl WarmConfig {
-    const COUNT: usize = 3;
-
     fn index(self) -> usize {
         match self {
             WarmConfig::Feedback => 0,
@@ -72,18 +70,26 @@ impl WarmConfig {
     }
 }
 
-/// Exact evaluation signature: configuration plus the bit patterns of every
-/// input that influences the DC solve.
+/// Exact evaluation signature: environment/netlist identity, configuration,
+/// plus the bit patterns of every input that influences the DC solve.
+///
+/// The identity component keeps two environments that share one cache (or
+/// two `Testbench` instances compiled from different decks) from ever
+/// replaying each other's operating points — identical `(d, ŝ, θ)` vectors
+/// on different netlists are different keys.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct WarmKey {
+    identity: u64,
     config: WarmConfig,
     bits: Vec<u64>,
 }
 
 impl WarmKey {
-    /// Builds a key from the evaluation inputs. `extra` carries any derived
-    /// quantities that also feed the netlist (e.g. the open-loop bias).
+    /// Builds a key from the evaluation inputs. `identity` distinguishes
+    /// environments/netlists; `extra` carries any derived quantities that
+    /// also feed the netlist (e.g. the open-loop bias).
     pub(crate) fn new(
+        identity: u64,
         config: WarmConfig,
         d: &DVec,
         s_hat: &DVec,
@@ -96,7 +102,15 @@ impl WarmKey {
         bits.push(theta.temp_c.to_bits());
         bits.push(theta.vdd.to_bits());
         bits.extend(extra.iter().map(|v| v.to_bits()));
-        WarmKey { config, bits }
+        WarmKey {
+            identity,
+            config,
+            bits,
+        }
+    }
+
+    fn seed_slot(&self) -> (u64, usize) {
+        (self.identity, self.config.index())
     }
 }
 
@@ -108,12 +122,12 @@ const EXACT_CAPACITY: usize = 8192;
 struct WarmState {
     /// Committed signature → converged unknown vector (exact-hit store).
     exact: HashMap<WarmKey, DVec>,
-    /// Committed per-configuration near-hit seeds.
-    seed: [Option<DVec>; WarmConfig::COUNT],
+    /// Committed near-hit seeds, one per `(identity, configuration)`.
+    seed: HashMap<(u64, usize), DVec>,
     /// Solutions stored since the last commit (invisible to lookups).
     pending_exact: HashMap<WarmKey, DVec>,
-    /// Smallest-signature solution per configuration in the pending window.
-    pending_seed: [Option<(Vec<u64>, DVec)>; WarmConfig::COUNT],
+    /// Smallest-signature pending solution per `(identity, configuration)`.
+    pending_seed: HashMap<(u64, usize), (Vec<u64>, DVec)>,
 }
 
 /// Per-environment cache of converged DC operating points with snapshot
@@ -199,7 +213,7 @@ impl WarmStartCache {
             return;
         }
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if st.pending_exact.is_empty() && st.pending_seed.iter().all(Option::is_none) {
+        if st.pending_exact.is_empty() && st.pending_seed.is_empty() {
             return;
         }
         if st.exact.len() + st.pending_exact.len() > EXACT_CAPACITY {
@@ -207,10 +221,9 @@ impl WarmStartCache {
         }
         let pending = std::mem::take(&mut st.pending_exact);
         st.exact.extend(pending);
-        for i in 0..WarmConfig::COUNT {
-            if let Some((_, x)) = st.pending_seed[i].take() {
-                st.seed[i] = Some(x);
-            }
+        let pending_seed = std::mem::take(&mut st.pending_seed);
+        for (slot, (_, x)) in pending_seed {
+            st.seed.insert(slot, x);
         }
     }
 
@@ -234,8 +247,8 @@ impl WarmStartCache {
                     return op.solution_from(x.clone());
                 }
             }
-            st.seed[key.config.index()]
-                .as_ref()
+            st.seed
+                .get(&key.seed_slot())
                 .filter(|x| x.len() == n)
                 .cloned()
         };
@@ -244,13 +257,14 @@ impl WarmStartCache {
             None => op.solve()?,
         };
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        let slot = &mut st.pending_seed[key.config.index()];
-        let replace = match slot {
+        let slot = key.seed_slot();
+        let replace = match st.pending_seed.get(&slot) {
             Some((bits, _)) => key.bits < *bits,
             None => true,
         };
         if replace {
-            *slot = Some((key.bits.clone(), sol.unknowns().clone()));
+            st.pending_seed
+                .insert(slot, (key.bits.clone(), sol.unknowns().clone()));
         }
         st.pending_exact.insert(key, sol.unknowns().clone());
         Ok(sol)
@@ -273,7 +287,12 @@ mod tests {
     }
 
     fn key(v: f64) -> WarmKey {
+        key_for(0, v)
+    }
+
+    fn key_for(identity: u64, v: f64) -> WarmKey {
         WarmKey::new(
+            identity,
             WarmConfig::Feedback,
             &DVec::from_slice(&[v]),
             &DVec::zeros(0),
@@ -330,8 +349,25 @@ mod tests {
         assert_ne!(hi.unknowns().as_slice()[1], lo.unknowns().as_slice()[1]);
         cache.commit();
         let st = cache.state.lock().unwrap();
-        let seed = st.seed[WarmConfig::Feedback.index()].as_ref().unwrap();
+        let seed = st.seed.get(&(0, WarmConfig::Feedback.index())).unwrap();
         assert_eq!(seed.as_slice(), lo.unknowns().as_slice());
+    }
+
+    #[test]
+    fn identities_do_not_replay_each_others_points() {
+        let cache = WarmStartCache::always_enabled();
+        let ckt = divider(3.0);
+        cache.solve(&ckt, key_for(1, 3.0)).unwrap();
+        cache.commit();
+        // Same (d, ŝ, θ) signature under a different identity: neither an
+        // exact hit (iterations > 0) nor a shared seed slot.
+        let other = cache.solve(&ckt, key_for(2, 3.0)).unwrap();
+        assert!(other.iterations() > 0, "no cross-identity exact hit");
+        cache.commit();
+        let st = cache.state.lock().unwrap();
+        assert!(st.seed.contains_key(&(1, WarmConfig::Feedback.index())));
+        assert!(st.seed.contains_key(&(2, WarmConfig::Feedback.index())));
+        assert_eq!(st.exact.len(), 2, "one committed point per identity");
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub use dc::{DcOp, DcSolution, MosOpInfo, NewtonOptions};
 pub use error::MnaError;
 pub use mosfet::{MosEval, MosPolarity, MosRegion, MosfetModel, MosfetParams};
 pub use netlist::{Circuit, ElementId, NodeId, Stimulus};
-pub use parser::{parse_deck, ParseDeckError};
+pub use parser::{
+    parse_deck, parse_deck_ast, DeckAst, DeckElement, DeckElementKind, DeckValue, DesignDirective,
+    MatchDirective, ParseDeckError, RangeDirective, SpecDirective, TbDirective,
+};
 pub use solver::{
     clear_symbolic_cache, set_solver_override, symbolic_cache_len, uses_sparse, SolverChoice,
     SPARSE_AUTO_THRESHOLD,

@@ -1,7 +1,19 @@
-//! A SPICE-style netlist deck parser.
+//! A SPICE-style netlist deck parser with testbench annotations.
 //!
-//! Supports the subset of SPICE syntax the simulator implements, so decks
-//! can be written by hand or exported from schematic tools:
+//! The parser is two-layered:
+//!
+//! 1. [`parse_deck_ast`] turns the text into a [`DeckAst`] — elements whose
+//!    values may be `{param}` placeholders, plus typed records for the
+//!    testbench directives (`.design`, `.spec`, `.range`, `.match`, …). The
+//!    AST can be printed back to canonical deck text with
+//!    [`DeckAst::to_deck`] (a `parse → print → parse` round trip is the
+//!    identity).
+//! 2. [`parse_deck`] (and [`DeckAst::to_circuit`]) lowers the AST to a
+//!    [`Circuit`] for direct simulation; every `{param}` placeholder must
+//!    have been substituted by then (`specwise-ckt`'s `Testbench` is the
+//!    layer that binds placeholders to design variables).
+//!
+//! Supported element lines:
 //!
 //! ```text
 //! * comment lines start with '*', ';' starts an inline comment
@@ -14,30 +26,39 @@
 //! G<name> <n+> <n-> <nc+> <nc-> <gm>   ; VCCS
 //! M<name> <d> <g> <s> <b> <NMOS|PMOS> W=<value> L=<value>
 //! D<name> <a> <k> [IS=<value>] [N=<value>]
-//! .TEMP <celsius>
-//! .END
+//! ```
+//!
+//! Testbench directives (consumed by `Testbench::from_deck`; ignored when
+//! lowering to a plain [`Circuit`]):
+//!
+//! ```text
+//! .name <free text>                    ; environment name
+//! .nodes <n1> <n2> ...                 ; pre-declare node ordering
+//! .design <var> <unit> <lo> <hi> <init>
+//! .spec <name> <unit> <min|max> <bound> <measure>
+//! .range <temp|vdd> <lo> <hi>
+//! .match <dev> [<dev> ...]             ; local-mismatch group
+//! .tb <key> <value>                    ; harness wiring (vinp, out, ...)
+//! .temp <celsius>
+//! .end
 //! ```
 //!
 //! Values accept the SPICE magnitude suffixes `T G MEG K M U N P F`
 //! (case-insensitive; `M` is milli, `MEG` is 1e6) with an optional trailing
-//! unit word (`10K`, `2.5u`, `1.2pF`, `3meg`).
+//! unit word (`10K`, `2.5u`, `1.2pF`, `3meg`), or a `{param}` placeholder.
 //!
 //! MOSFETs use the built-in Level-1 model cards
 //! ([`MosfetModel::default_nmos`]/[`MosfetModel::default_pmos`]); per-deck
 //! model cards are out of scope.
 
-use crate::{Circuit, MnaError, MosfetModel, MosfetParams, NodeId};
+use crate::{Circuit, MnaError, MosPolarity, MosfetModel, MosfetParams, NodeId};
 
 /// Parses a numeric field with SPICE magnitude suffixes.
-///
-/// # Errors
-///
-/// Returns [`MnaError::InvalidRequest`]-style parse errors via
-/// [`ParseDeckError`].
-fn parse_value(token: &str) -> Result<f64, ParseDeckError> {
+fn parse_value(token: &str, line: usize) -> Result<f64, ParseDeckError> {
     let t = token.trim();
     if t.is_empty() {
         return Err(ParseDeckError::BadValue {
+            line,
             token: token.to_string(),
         });
     }
@@ -50,6 +71,7 @@ fn parse_value(token: &str) -> Result<f64, ParseDeckError> {
     // Guard against exponents like 1e-9 whose '-' follows 'e'.
     let (num_str, suffix) = t.split_at(num_end);
     let base: f64 = num_str.parse().map_err(|_| ParseDeckError::BadValue {
+        line,
         token: token.to_string(),
     })?;
     let suffix = suffix.to_ascii_lowercase();
@@ -70,6 +92,7 @@ fn parse_value(token: &str) -> Result<f64, ParseDeckError> {
             Some(c) if c.is_ascii_alphabetic() => 1.0,
             Some(_) => {
                 return Err(ParseDeckError::BadValue {
+                    line,
                     token: token.to_string(),
                 });
             }
@@ -78,16 +101,275 @@ fn parse_value(token: &str) -> Result<f64, ParseDeckError> {
     Ok(base * scale)
 }
 
-/// Errors produced when parsing a netlist deck.
+/// A value field in a deck: a resolved number or a `{param}` placeholder to
+/// be bound by a higher layer (e.g. a design variable of a testbench).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeckValue {
+    /// A literal numeric value (SI units after suffix expansion).
+    Num(f64),
+    /// An unbound `{name}` placeholder.
+    Param(String),
+}
+
+impl DeckValue {
+    fn parse(token: &str, line: usize) -> Result<Self, ParseDeckError> {
+        if let Some(inner) = token.strip_prefix('{').and_then(|t| t.strip_suffix('}')) {
+            if inner.is_empty() || inner.contains(char::is_whitespace) {
+                return Err(ParseDeckError::BadValue {
+                    line,
+                    token: token.to_string(),
+                });
+            }
+            return Ok(DeckValue::Param(inner.to_string()));
+        }
+        Ok(DeckValue::Num(parse_value(token, line)?))
+    }
+
+    /// The literal value, or an [`ParseDeckError::UnboundParam`] error when
+    /// this is still a placeholder.
+    fn require_num(&self, line: usize) -> Result<f64, ParseDeckError> {
+        match self {
+            DeckValue::Num(v) => Ok(*v),
+            DeckValue::Param(name) => Err(ParseDeckError::UnboundParam {
+                line,
+                name: name.clone(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for DeckValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // `{:e}` prints the shortest exponent form that round-trips.
+            DeckValue::Num(v) => write!(f, "{v:e}"),
+            DeckValue::Param(name) => write!(f, "{{{name}}}"),
+        }
+    }
+}
+
+/// One element line of a deck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeckElement {
+    /// 1-based source line.
+    pub line: usize,
+    /// Instance name (the full head token, e.g. `"RZ"`, `"m1"`).
+    pub name: String,
+    /// Terminals and values.
+    pub kind: DeckElementKind,
+}
+
+/// The typed body of a [`DeckElement`]. Node fields hold raw node names
+/// (`"0"`/`"gnd"` mean ground).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeckElementKind {
+    /// `R<name> a b value`.
+    Resistor {
+        /// First terminal node.
+        a: String,
+        /// Second terminal node.
+        b: String,
+        /// Resistance \[Ω\].
+        value: DeckValue,
+    },
+    /// `C<name> a b value`.
+    Capacitor {
+        /// First terminal node.
+        a: String,
+        /// Second terminal node.
+        b: String,
+        /// Capacitance \[F\].
+        value: DeckValue,
+    },
+    /// `V<name> p n dc [AC mag]`.
+    VoltageSource {
+        /// Positive terminal node.
+        p: String,
+        /// Negative terminal node.
+        n: String,
+        /// DC value \[V\].
+        dc: DeckValue,
+        /// Optional AC magnitude.
+        ac: Option<f64>,
+    },
+    /// `I<name> p n dc [AC mag]`.
+    CurrentSource {
+        /// Positive terminal node (current flows p → n inside the source).
+        p: String,
+        /// Negative terminal node.
+        n: String,
+        /// DC value \[A\].
+        dc: DeckValue,
+        /// Optional AC magnitude.
+        ac: Option<f64>,
+    },
+    /// `E<name> p n cp cn gain` (VCVS).
+    Vcvs {
+        /// Positive output node.
+        p: String,
+        /// Negative output node.
+        n: String,
+        /// Positive controlling node.
+        cp: String,
+        /// Negative controlling node.
+        cn: String,
+        /// Voltage gain.
+        gain: DeckValue,
+    },
+    /// `G<name> p n cp cn gm` (VCCS).
+    Vccs {
+        /// Positive output node.
+        p: String,
+        /// Negative output node.
+        n: String,
+        /// Positive controlling node.
+        cp: String,
+        /// Negative controlling node.
+        cn: String,
+        /// Transconductance \[S\].
+        gm: DeckValue,
+    },
+    /// `M<name> d g s b NMOS|PMOS W= L=`.
+    Mosfet {
+        /// Drain node.
+        d: String,
+        /// Gate node.
+        g: String,
+        /// Source node.
+        s: String,
+        /// Bulk node.
+        b: String,
+        /// Channel polarity.
+        polarity: MosPolarity,
+        /// Channel width \[m\].
+        w: DeckValue,
+        /// Channel length \[m\].
+        l: DeckValue,
+    },
+    /// `D<name> a k [IS=] [N=]`.
+    Diode {
+        /// Anode node.
+        a: String,
+        /// Cathode node.
+        k: String,
+        /// Saturation current \[A\].
+        is_sat: DeckValue,
+        /// Ideality factor.
+        ideality: DeckValue,
+    },
+}
+
+/// A `.design <var> <unit> <lo> <hi> <init>` directive: one design variable
+/// of the testbench, referenced from element values as `{var}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignDirective {
+    /// 1-based source line.
+    pub line: usize,
+    /// Variable name.
+    pub name: String,
+    /// Display/scaling unit (e.g. `um`, `uA`, `pF`).
+    pub unit: String,
+    /// Lower bound (in `unit`).
+    pub lower: f64,
+    /// Upper bound (in `unit`).
+    pub upper: f64,
+    /// Initial value (in `unit`).
+    pub initial: f64,
+}
+
+/// A `.spec <name> <unit> <min|max> <bound> <measure>` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecDirective {
+    /// 1-based source line.
+    pub line: usize,
+    /// Specification name (e.g. `A0`).
+    pub name: String,
+    /// Display unit; also selects the SI conversion (e.g. `MHz`, `mW`).
+    pub unit: String,
+    /// `true` for a `min` (lower-bound) spec, `false` for `max`.
+    pub lower_bound: bool,
+    /// The bound value (in `unit`).
+    pub bound: f64,
+    /// The measurement producing this performance (e.g. `dcgain`, `ugf`,
+    /// `vdc(out)`).
+    pub measure: String,
+}
+
+/// A `.range <temp|vdd> <lo> <hi>` directive: one axis of the operating
+/// range Θ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeDirective {
+    /// 1-based source line.
+    pub line: usize,
+    /// The quantity: `"temp"` \[°C\] or `"vdd"` \[V\] (lower-cased).
+    pub quantity: String,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+}
+
+/// A `.match <dev> [<dev> ...]` directive: a group of devices that receive
+/// local (Pelgrom) mismatch parameters, in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchDirective {
+    /// 1-based source line.
+    pub line: usize,
+    /// MOSFET instance names.
+    pub devices: Vec<String>,
+}
+
+/// A `.tb <key> <value>` directive: testbench harness wiring (which sources
+/// are the inputs/supply, which node is the output, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TbDirective {
+    /// 1-based source line.
+    pub line: usize,
+    /// Key (e.g. `vinp`, `out`, `tail`, `slewcap`).
+    pub key: String,
+    /// Value (an element or node name).
+    pub value: String,
+}
+
+/// The parsed form of an annotated deck: elements (values possibly still
+/// `{param}` placeholders) plus the testbench directives.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeckAst {
+    /// `.name` free text, when present.
+    pub title: Option<String>,
+    /// `.nodes` pre-declared node names, in order. Declaring nodes pins the
+    /// node numbering regardless of element order.
+    pub nodes: Vec<String>,
+    /// `.temp` value \[°C\], when present.
+    pub temp_c: Option<f64>,
+    /// Element lines, in order.
+    pub elements: Vec<DeckElement>,
+    /// `.design` directives, in order.
+    pub designs: Vec<DesignDirective>,
+    /// `.spec` directives, in order.
+    pub specs: Vec<SpecDirective>,
+    /// `.range` directives, in order.
+    pub ranges: Vec<RangeDirective>,
+    /// `.match` directives, in order.
+    pub matches: Vec<MatchDirective>,
+    /// `.tb` directives, in order.
+    pub tb: Vec<TbDirective>,
+}
+
+/// Errors produced when parsing a netlist deck. Every variant carries the
+/// 1-based deck line it originates from (see [`ParseDeckError::line`]).
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ParseDeckError {
     /// A numeric field could not be parsed.
     BadValue {
+        /// 1-based line number.
+        line: usize,
         /// The offending token.
         token: String,
     },
-    /// A line has too few fields for its element type.
+    /// A line has too few fields for its element type or directive.
     TooFewFields {
         /// 1-based line number.
         line: usize,
@@ -106,22 +388,79 @@ pub enum ParseDeckError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// A testbench directive is malformed.
+    BadDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The directive (e.g. `".spec"`).
+        directive: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A `{param}` placeholder survived to circuit lowering without being
+    /// bound to a value.
+    UnboundParam {
+        /// 1-based line number of the element using the placeholder.
+        line: usize,
+        /// The placeholder name.
+        name: String,
+    },
     /// The netlist builder rejected an element (duplicate name, bad value…).
-    Circuit(MnaError),
+    Circuit {
+        /// 1-based line number of the offending element.
+        line: usize,
+        /// The element's instance name.
+        element: String,
+        /// The underlying netlist error.
+        source: MnaError,
+    },
+}
+
+impl ParseDeckError {
+    /// The 1-based deck line the error originates from.
+    pub fn line(&self) -> usize {
+        match self {
+            ParseDeckError::BadValue { line, .. }
+            | ParseDeckError::TooFewFields { line }
+            | ParseDeckError::UnknownElement { line, .. }
+            | ParseDeckError::BadMosfet { line, .. }
+            | ParseDeckError::BadDirective { line, .. }
+            | ParseDeckError::UnboundParam { line, .. }
+            | ParseDeckError::Circuit { line, .. } => *line,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseDeckError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseDeckError::BadValue { token } => write!(f, "cannot parse value {token:?}"),
-            ParseDeckError::TooFewFields { line } => write!(f, "too few fields on line {line}"),
+            ParseDeckError::BadValue { line, token } => {
+                write!(f, "line {line}: cannot parse value {token:?}")
+            }
+            ParseDeckError::TooFewFields { line } => write!(f, "line {line}: too few fields"),
             ParseDeckError::UnknownElement { line, token } => {
-                write!(f, "unknown element or directive {token:?} on line {line}")
+                write!(f, "line {line}: unknown element or directive {token:?}")
             }
             ParseDeckError::BadMosfet { line, reason } => {
-                write!(f, "bad MOSFET on line {line}: {reason}")
+                write!(f, "line {line}: bad MOSFET: {reason}")
             }
-            ParseDeckError::Circuit(e) => write!(f, "netlist error: {e}"),
+            ParseDeckError::BadDirective {
+                line,
+                directive,
+                reason,
+            } => {
+                write!(f, "line {line}: bad {directive} directive: {reason}")
+            }
+            ParseDeckError::UnboundParam { line, name } => {
+                write!(f, "line {line}: unbound parameter {{{name}}}")
+            }
+            ParseDeckError::Circuit {
+                line,
+                element,
+                source,
+            } => {
+                write!(f, "line {line}: netlist error at {element:?}: {source}")
+            }
         }
     }
 }
@@ -129,24 +468,516 @@ impl std::fmt::Display for ParseDeckError {
 impl std::error::Error for ParseDeckError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ParseDeckError::Circuit(e) => Some(e),
+            ParseDeckError::Circuit { source, .. } => Some(source),
             _ => None,
         }
     }
 }
 
-impl From<MnaError> for ParseDeckError {
-    fn from(e: MnaError) -> Self {
-        ParseDeckError::Circuit(e)
+/// Extracts the value of a `K=<value>` style keyword field,
+/// case-insensitively on the key, preserving the value's case.
+fn keyword_value<'a>(field: &'a str, key: &str) -> Option<&'a str> {
+    let prefix_len = key.len() + 1;
+    if field.len() >= prefix_len
+        && field.as_bytes()[key.len()] == b'='
+        && field[..key.len()].eq_ignore_ascii_case(key)
+    {
+        Some(&field[prefix_len..])
+    } else {
+        None
+    }
+}
+
+/// Parses a deck into its [`DeckAst`] without building a circuit, keeping
+/// `{param}` placeholders and testbench directives.
+///
+/// # Errors
+///
+/// Returns [`ParseDeckError`] (with the 1-based line number) for malformed
+/// lines or directives.
+pub fn parse_deck_ast(deck: &str) -> Result<DeckAst, ParseDeckError> {
+    let mut ast = DeckAst::default();
+    for (lineno, raw) in deck.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments.
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() || text.starts_with('*') {
+            continue;
+        }
+        let fields: Vec<&str> = text.split_whitespace().collect();
+        let head = fields[0];
+        let upper = head.to_ascii_uppercase();
+
+        let need = |k: usize| -> Result<&str, ParseDeckError> {
+            fields
+                .get(k)
+                .copied()
+                .ok_or(ParseDeckError::TooFewFields { line })
+        };
+        let num = |k: usize| -> Result<f64, ParseDeckError> { parse_value(need(k)?, line) };
+        let value =
+            |k: usize| -> Result<DeckValue, ParseDeckError> { DeckValue::parse(need(k)?, line) };
+        let bad = |directive: &str, reason: String| ParseDeckError::BadDirective {
+            line,
+            directive: directive.to_string(),
+            reason,
+        };
+
+        if let Some(directive) = upper.strip_prefix('.') {
+            match directive {
+                "END" => break,
+                "TEMP" => ast.temp_c = Some(num(1)?),
+                "NAME" => {
+                    if fields.len() < 2 {
+                        return Err(ParseDeckError::TooFewFields { line });
+                    }
+                    ast.title = Some(fields[1..].join(" "));
+                }
+                "NODES" => {
+                    if fields.len() < 2 {
+                        return Err(ParseDeckError::TooFewFields { line });
+                    }
+                    for f in &fields[1..] {
+                        ast.nodes.push((*f).to_string());
+                    }
+                }
+                "DESIGN" => {
+                    if fields.len() != 6 {
+                        return Err(bad(
+                            ".design",
+                            format!(
+                                "expected `.design <var> <unit> <lo> <hi> <init>`, got {} fields",
+                                fields.len()
+                            ),
+                        ));
+                    }
+                    ast.designs.push(DesignDirective {
+                        line,
+                        name: need(1)?.to_string(),
+                        unit: need(2)?.to_string(),
+                        lower: num(3)?,
+                        upper: num(4)?,
+                        initial: num(5)?,
+                    });
+                }
+                "SPEC" => {
+                    if fields.len() != 6 {
+                        return Err(bad(
+                            ".spec",
+                            format!("expected `.spec <name> <unit> <min|max> <bound> <measure>`, got {} fields", fields.len()),
+                        ));
+                    }
+                    let dir = need(3)?;
+                    let lower_bound = if dir.eq_ignore_ascii_case("min") {
+                        true
+                    } else if dir.eq_ignore_ascii_case("max") {
+                        false
+                    } else {
+                        return Err(bad(
+                            ".spec",
+                            format!("direction must be `min` or `max`, got {dir:?}"),
+                        ));
+                    };
+                    ast.specs.push(SpecDirective {
+                        line,
+                        name: need(1)?.to_string(),
+                        unit: need(2)?.to_string(),
+                        lower_bound,
+                        bound: num(4)?,
+                        measure: need(5)?.to_string(),
+                    });
+                }
+                "RANGE" => {
+                    if fields.len() != 4 {
+                        return Err(bad(
+                            ".range",
+                            format!(
+                                "expected `.range <temp|vdd> <lo> <hi>`, got {} fields",
+                                fields.len()
+                            ),
+                        ));
+                    }
+                    let quantity = need(1)?.to_ascii_lowercase();
+                    if quantity != "temp" && quantity != "vdd" {
+                        return Err(bad(
+                            ".range",
+                            format!("quantity must be `temp` or `vdd`, got {:?}", need(1)?),
+                        ));
+                    }
+                    ast.ranges.push(RangeDirective {
+                        line,
+                        quantity,
+                        lower: num(2)?,
+                        upper: num(3)?,
+                    });
+                }
+                "MATCH" => {
+                    if fields.len() < 2 {
+                        return Err(bad(".match", "expected at least one device".to_string()));
+                    }
+                    let devices: Vec<String> =
+                        fields[1..].iter().map(|f| (*f).to_string()).collect();
+                    for (i, dev) in devices.iter().enumerate() {
+                        if devices[..i].contains(dev) {
+                            return Err(bad(".match", format!("device {dev:?} listed twice")));
+                        }
+                    }
+                    ast.matches.push(MatchDirective { line, devices });
+                }
+                "TB" => {
+                    if fields.len() != 3 {
+                        return Err(bad(
+                            ".tb",
+                            format!("expected `.tb <key> <value>`, got {} fields", fields.len()),
+                        ));
+                    }
+                    ast.tb.push(TbDirective {
+                        line,
+                        key: need(1)?.to_ascii_lowercase(),
+                        value: need(2)?.to_string(),
+                    });
+                }
+                _ => {
+                    return Err(ParseDeckError::UnknownElement {
+                        line,
+                        token: head.to_string(),
+                    })
+                }
+            }
+            continue;
+        }
+
+        let node = |k: usize| -> Result<String, ParseDeckError> { Ok(need(k)?.to_string()) };
+        let kind = match upper.chars().next() {
+            Some('R') => DeckElementKind::Resistor {
+                a: node(1)?,
+                b: node(2)?,
+                value: value(3)?,
+            },
+            Some('C') => DeckElementKind::Capacitor {
+                a: node(1)?,
+                b: node(2)?,
+                value: value(3)?,
+            },
+            Some('V') | Some('I') => {
+                let p = node(1)?;
+                let n = node(2)?;
+                let dc = value(3)?;
+                let ac = match fields.get(4) {
+                    Some(kw) if kw.eq_ignore_ascii_case("ac") => Some(num(5)?),
+                    _ => None,
+                };
+                if upper.starts_with('V') {
+                    DeckElementKind::VoltageSource { p, n, dc, ac }
+                } else {
+                    DeckElementKind::CurrentSource { p, n, dc, ac }
+                }
+            }
+            Some('E') => DeckElementKind::Vcvs {
+                p: node(1)?,
+                n: node(2)?,
+                cp: node(3)?,
+                cn: node(4)?,
+                gain: value(5)?,
+            },
+            Some('G') => DeckElementKind::Vccs {
+                p: node(1)?,
+                n: node(2)?,
+                cp: node(3)?,
+                cn: node(4)?,
+                gm: value(5)?,
+            },
+            Some('D') => {
+                let a = node(1)?;
+                let k = node(2)?;
+                let mut is_sat = DeckValue::Num(1e-14);
+                let mut ideality = DeckValue::Num(1.0);
+                for f in &fields[3..] {
+                    if let Some(v) = keyword_value(f, "IS") {
+                        is_sat = DeckValue::parse(v, line)?;
+                    } else if let Some(v) = keyword_value(f, "N") {
+                        ideality = DeckValue::parse(v, line)?;
+                    }
+                }
+                DeckElementKind::Diode {
+                    a,
+                    k,
+                    is_sat,
+                    ideality,
+                }
+            }
+            Some('M') => {
+                let d = node(1)?;
+                let g = node(2)?;
+                let s = node(3)?;
+                let b = node(4)?;
+                let polarity = match need(5)?.to_ascii_uppercase().as_str() {
+                    "NMOS" => MosPolarity::Nmos,
+                    "PMOS" => MosPolarity::Pmos,
+                    _ => {
+                        return Err(ParseDeckError::BadMosfet {
+                            line,
+                            reason: "model must be NMOS or PMOS",
+                        })
+                    }
+                };
+                let mut w = None;
+                let mut l = None;
+                for f in &fields[6..] {
+                    if let Some(v) = keyword_value(f, "W") {
+                        w = Some(DeckValue::parse(v, line)?);
+                    } else if let Some(v) = keyword_value(f, "L") {
+                        l = Some(DeckValue::parse(v, line)?);
+                    }
+                }
+                let (Some(w), Some(l)) = (w, l) else {
+                    return Err(ParseDeckError::BadMosfet {
+                        line,
+                        reason: "W= and L= are required",
+                    });
+                };
+                DeckElementKind::Mosfet {
+                    d,
+                    g,
+                    s,
+                    b,
+                    polarity,
+                    w,
+                    l,
+                }
+            }
+            _ => {
+                return Err(ParseDeckError::UnknownElement {
+                    line,
+                    token: head.to_string(),
+                })
+            }
+        };
+        ast.elements.push(DeckElement {
+            line,
+            name: head.to_string(),
+            kind,
+        });
+    }
+    Ok(ast)
+}
+
+impl DeckAst {
+    /// Lowers the AST to a [`Circuit`]. Testbench directives (`.design`,
+    /// `.spec`, …) carry no circuit content and are ignored; every element
+    /// value must be a literal by now.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDeckError::UnboundParam`] for surviving `{param}`
+    /// placeholders and [`ParseDeckError::Circuit`] (with the element's
+    /// line) when the netlist builder rejects an element.
+    pub fn to_circuit(&self) -> Result<Circuit, ParseDeckError> {
+        let mut ckt = Circuit::new();
+        for n in &self.nodes {
+            ckt_node(&mut ckt, n);
+        }
+        if let Some(c) = self.temp_c {
+            ckt.set_temperature(c + 273.15);
+        }
+        for e in &self.elements {
+            let line = e.line;
+            let wrap = |err: MnaError| ParseDeckError::Circuit {
+                line,
+                element: e.name.clone(),
+                source: err,
+            };
+            match &e.kind {
+                DeckElementKind::Resistor { a, b, value } => {
+                    let (a, b) = (ckt_node(&mut ckt, a), ckt_node(&mut ckt, b));
+                    ckt.resistor(&e.name, a, b, value.require_num(line)?)
+                        .map_err(wrap)?;
+                }
+                DeckElementKind::Capacitor { a, b, value } => {
+                    let (a, b) = (ckt_node(&mut ckt, a), ckt_node(&mut ckt, b));
+                    ckt.capacitor(&e.name, a, b, value.require_num(line)?)
+                        .map_err(wrap)?;
+                }
+                DeckElementKind::VoltageSource { p, n, dc, ac } => {
+                    let (p, n) = (ckt_node(&mut ckt, p), ckt_node(&mut ckt, n));
+                    ckt.voltage_source(&e.name, p, n, dc.require_num(line)?)
+                        .map_err(wrap)?;
+                    if let Some(mag) = ac {
+                        ckt.set_ac(&e.name, *mag).map_err(wrap)?;
+                    }
+                }
+                DeckElementKind::CurrentSource { p, n, dc, ac } => {
+                    let (p, n) = (ckt_node(&mut ckt, p), ckt_node(&mut ckt, n));
+                    ckt.current_source(&e.name, p, n, dc.require_num(line)?)
+                        .map_err(wrap)?;
+                    if let Some(mag) = ac {
+                        ckt.set_ac(&e.name, *mag).map_err(wrap)?;
+                    }
+                }
+                DeckElementKind::Vcvs { p, n, cp, cn, gain } => {
+                    let (p, n) = (ckt_node(&mut ckt, p), ckt_node(&mut ckt, n));
+                    let (cp, cn) = (ckt_node(&mut ckt, cp), ckt_node(&mut ckt, cn));
+                    ckt.vcvs(&e.name, p, n, cp, cn, gain.require_num(line)?)
+                        .map_err(wrap)?;
+                }
+                DeckElementKind::Vccs { p, n, cp, cn, gm } => {
+                    let (p, n) = (ckt_node(&mut ckt, p), ckt_node(&mut ckt, n));
+                    let (cp, cn) = (ckt_node(&mut ckt, cp), ckt_node(&mut ckt, cn));
+                    ckt.vccs(&e.name, p, n, cp, cn, gm.require_num(line)?)
+                        .map_err(wrap)?;
+                }
+                DeckElementKind::Mosfet {
+                    d,
+                    g,
+                    s,
+                    b,
+                    polarity,
+                    w,
+                    l,
+                } => {
+                    let (d, g) = (ckt_node(&mut ckt, d), ckt_node(&mut ckt, g));
+                    let (s, b) = (ckt_node(&mut ckt, s), ckt_node(&mut ckt, b));
+                    let model = match polarity {
+                        MosPolarity::Nmos => MosfetModel::default_nmos(),
+                        MosPolarity::Pmos => MosfetModel::default_pmos(),
+                    };
+                    let params =
+                        MosfetParams::new(model, w.require_num(line)?, l.require_num(line)?);
+                    ckt.mosfet(&e.name, d, g, s, b, params).map_err(wrap)?;
+                }
+                DeckElementKind::Diode {
+                    a,
+                    k,
+                    is_sat,
+                    ideality,
+                } => {
+                    let (a, k) = (ckt_node(&mut ckt, a), ckt_node(&mut ckt, k));
+                    ckt.diode(
+                        &e.name,
+                        a,
+                        k,
+                        is_sat.require_num(line)?,
+                        ideality.require_num(line)?,
+                    )
+                    .map_err(wrap)?;
+                }
+            }
+        }
+        Ok(ckt)
+    }
+
+    /// Prints the AST back to canonical deck text. Parsing the output
+    /// reproduces an equal AST (numbers are printed in round-trip exponent
+    /// form, placeholders as `{name}`).
+    pub fn to_deck(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let n = |v: f64| format!("{v:e}");
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, ".name {title}");
+        }
+        if !self.nodes.is_empty() {
+            let _ = writeln!(out, ".nodes {}", self.nodes.join(" "));
+        }
+        if let Some(c) = self.temp_c {
+            let _ = writeln!(out, ".temp {}", n(c));
+        }
+        for d in &self.designs {
+            let _ = writeln!(
+                out,
+                ".design {} {} {} {} {}",
+                d.name,
+                d.unit,
+                n(d.lower),
+                n(d.upper),
+                n(d.initial)
+            );
+        }
+        for r in &self.ranges {
+            let _ = writeln!(out, ".range {} {} {}", r.quantity, n(r.lower), n(r.upper));
+        }
+        for s in &self.specs {
+            let _ = writeln!(
+                out,
+                ".spec {} {} {} {} {}",
+                s.name,
+                s.unit,
+                if s.lower_bound { "min" } else { "max" },
+                n(s.bound),
+                s.measure
+            );
+        }
+        for m in &self.matches {
+            let _ = writeln!(out, ".match {}", m.devices.join(" "));
+        }
+        for t in &self.tb {
+            let _ = writeln!(out, ".tb {} {}", t.key, t.value);
+        }
+        for e in &self.elements {
+            match &e.kind {
+                DeckElementKind::Resistor { a, b, value }
+                | DeckElementKind::Capacitor { a, b, value } => {
+                    let _ = writeln!(out, "{} {} {} {}", e.name, a, b, value);
+                }
+                DeckElementKind::VoltageSource { p, n, dc, ac }
+                | DeckElementKind::CurrentSource { p, n, dc, ac } => {
+                    let _ = write!(out, "{} {} {} {}", e.name, p, n, dc);
+                    if let Some(mag) = ac {
+                        let _ = write!(out, " AC {mag:e}");
+                    }
+                    out.push('\n');
+                }
+                DeckElementKind::Vcvs { p, n, cp, cn, gain } => {
+                    let _ = writeln!(out, "{} {} {} {} {} {}", e.name, p, n, cp, cn, gain);
+                }
+                DeckElementKind::Vccs { p, n, cp, cn, gm } => {
+                    let _ = writeln!(out, "{} {} {} {} {} {}", e.name, p, n, cp, cn, gm);
+                }
+                DeckElementKind::Mosfet {
+                    d,
+                    g,
+                    s,
+                    b,
+                    polarity,
+                    w,
+                    l,
+                } => {
+                    let model = match polarity {
+                        MosPolarity::Nmos => "NMOS",
+                        MosPolarity::Pmos => "PMOS",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{} {} {} {} {} {} W={} L={}",
+                        e.name, d, g, s, b, model, w, l
+                    );
+                }
+                DeckElementKind::Diode {
+                    a,
+                    k,
+                    is_sat,
+                    ideality,
+                } => {
+                    let _ = writeln!(out, "{} {} {} IS={} N={}", e.name, a, k, is_sat, ideality);
+                }
+            }
+        }
+        out.push_str(".end\n");
+        out
     }
 }
 
 /// Parses a SPICE-style deck into a [`Circuit`].
 ///
+/// Testbench directives are accepted and ignored at this level; decks with
+/// unbound `{param}` placeholders are rejected (use
+/// `specwise_ckt::Testbench::from_deck` to bind them).
+///
 /// # Errors
 ///
 /// Returns [`ParseDeckError`] for malformed lines; element-level validation
-/// errors are wrapped in [`ParseDeckError::Circuit`].
+/// errors are wrapped in [`ParseDeckError::Circuit`] with the element's
+/// 1-based line number and instance name.
 ///
 /// # Example
 ///
@@ -168,145 +999,7 @@ impl From<MnaError> for ParseDeckError {
 /// # }
 /// ```
 pub fn parse_deck(deck: &str) -> Result<Circuit, ParseDeckError> {
-    let mut ckt = Circuit::new();
-    for (lineno, raw) in deck.lines().enumerate() {
-        let line = lineno + 1;
-        // Strip comments.
-        let text = raw.split(';').next().unwrap_or("").trim();
-        if text.is_empty() || text.starts_with('*') {
-            continue;
-        }
-        let fields: Vec<&str> = text.split_whitespace().collect();
-        let head = fields[0];
-        let upper = head.to_ascii_uppercase();
-
-        if let Some(directive) = upper.strip_prefix('.') {
-            match directive {
-                "END" => break,
-                "TEMP" => {
-                    let celsius =
-                        parse_value(fields.get(1).ok_or(ParseDeckError::TooFewFields { line })?)?;
-                    ckt.set_temperature(celsius + 273.15);
-                }
-                _ => {
-                    return Err(ParseDeckError::UnknownElement {
-                        line,
-                        token: head.to_string(),
-                    })
-                }
-            }
-            continue;
-        }
-
-        let mut node = |name: &str| -> NodeId { ckt_node(&mut ckt, name) };
-        let need = |k: usize| -> Result<&str, ParseDeckError> {
-            fields
-                .get(k)
-                .copied()
-                .ok_or(ParseDeckError::TooFewFields { line })
-        };
-
-        match upper.chars().next() {
-            Some('R') => {
-                let (a, b) = (node(need(1)?), node(need(2)?));
-                let v = parse_value(need(3)?)?;
-                ckt.resistor(head, a, b, v)?;
-            }
-            Some('C') => {
-                let (a, b) = (node(need(1)?), node(need(2)?));
-                let v = parse_value(need(3)?)?;
-                ckt.capacitor(head, a, b, v)?;
-            }
-            Some('V') => {
-                let (p, n) = (node(need(1)?), node(need(2)?));
-                let v = parse_value(need(3)?)?;
-                ckt.voltage_source(head, p, n, v)?;
-                // Optional "AC <mag>".
-                if let Some(kw) = fields.get(4) {
-                    if kw.eq_ignore_ascii_case("ac") {
-                        let mag = parse_value(need(5)?)?;
-                        ckt.set_ac(head, mag)?;
-                    }
-                }
-            }
-            Some('I') => {
-                let (p, n) = (node(need(1)?), node(need(2)?));
-                let v = parse_value(need(3)?)?;
-                ckt.current_source(head, p, n, v)?;
-                if let Some(kw) = fields.get(4) {
-                    if kw.eq_ignore_ascii_case("ac") {
-                        let mag = parse_value(need(5)?)?;
-                        ckt.set_ac(head, mag)?;
-                    }
-                }
-            }
-            Some('E') => {
-                let (p, n) = (node(need(1)?), node(need(2)?));
-                let (cp, cn) = (node(need(3)?), node(need(4)?));
-                let gain = parse_value(need(5)?)?;
-                ckt.vcvs(head, p, n, cp, cn, gain)?;
-            }
-            Some('G') => {
-                let (p, n) = (node(need(1)?), node(need(2)?));
-                let (cp, cn) = (node(need(3)?), node(need(4)?));
-                let gm = parse_value(need(5)?)?;
-                ckt.vccs(head, p, n, cp, cn, gm)?;
-            }
-            Some('D') => {
-                let (a, k) = (node(need(1)?), node(need(2)?));
-                let mut is_sat = 1e-14;
-                let mut ideality = 1.0;
-                for f in &fields[3..] {
-                    let fu = f.to_ascii_uppercase();
-                    if let Some(v) = fu.strip_prefix("IS=") {
-                        is_sat = parse_value(v)?;
-                    } else if let Some(v) = fu.strip_prefix("N=") {
-                        ideality = parse_value(v)?;
-                    }
-                }
-                ckt.diode(head, a, k, is_sat, ideality)?;
-            }
-            Some('M') => {
-                let (d, g) = (node(need(1)?), node(need(2)?));
-                let (s, b) = (node(need(3)?), node(need(4)?));
-                let model_name = need(5)?.to_ascii_uppercase();
-                let model = match model_name.as_str() {
-                    "NMOS" => MosfetModel::default_nmos(),
-                    "PMOS" => MosfetModel::default_pmos(),
-                    _ => {
-                        return Err(ParseDeckError::BadMosfet {
-                            line,
-                            reason: "model must be NMOS or PMOS",
-                        })
-                    }
-                };
-                let mut w = None;
-                let mut l = None;
-                for f in &fields[6..] {
-                    let fu = f.to_ascii_uppercase();
-                    if let Some(v) = fu.strip_prefix("W=") {
-                        w = Some(parse_value(v)?);
-                    } else if let Some(v) = fu.strip_prefix("L=") {
-                        l = Some(parse_value(v)?);
-                    }
-                }
-                let (Some(w), Some(l)) = (w, l) else {
-                    return Err(ParseDeckError::BadMosfet {
-                        line,
-                        reason: "W= and L= are required",
-                    });
-                };
-                ckt.mosfet(head, d, g, s, b, MosfetParams::new(model, w, l))?;
-            }
-            _ => {
-                return Err(ParseDeckError::UnknownElement {
-                    line,
-                    token: head.to_string(),
-                })
-            }
-        }
-    }
-    Ok(ckt)
+    parse_deck_ast(deck)?.to_circuit()
 }
 
 /// Node interning that maps `0`/`GND`/`gnd` to ground.
@@ -326,7 +1019,7 @@ mod tests {
     #[test]
     fn value_suffixes() {
         let close = |t: &str, want: f64| {
-            let got = parse_value(t).unwrap();
+            let got = parse_value(t, 1).unwrap();
             assert!((got / want - 1.0).abs() < 1e-12, "{t}: {got} vs {want}");
         };
         close("10k", 10e3);
@@ -341,8 +1034,8 @@ mod tests {
         close("4f", 4e-15);
         close("1G", 1e9);
         close("3V", 3.0);
-        assert!(parse_value("abc").is_err());
-        assert!(parse_value("").is_err());
+        assert!(parse_value("abc", 1).is_err());
+        assert!(parse_value("", 1).is_err());
     }
 
     #[test]
@@ -459,7 +1152,7 @@ mod tests {
         ));
         assert!(matches!(
             parse_deck("R1 a 0 -5"),
-            Err(ParseDeckError::Circuit(_))
+            Err(ParseDeckError::Circuit { .. })
         ));
         assert!(matches!(
             parse_deck(".include foo.cir"),
@@ -468,11 +1161,157 @@ mod tests {
     }
 
     #[test]
+    fn circuit_errors_carry_line_and_element() {
+        let err = parse_deck("V1 a 0 1.0\nR1 a 0 1k\nR2 b 0 -5").unwrap_err();
+        match &err {
+            ParseDeckError::Circuit { line, element, .. } => {
+                assert_eq!(*line, 3);
+                assert_eq!(element, "R2");
+            }
+            other => panic!("expected Circuit error, got {other:?}"),
+        }
+        assert_eq!(err.line(), 3);
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "message was: {msg}");
+        assert!(msg.contains("R2"), "message was: {msg}");
+    }
+
+    #[test]
     fn duplicate_names_rejected_via_circuit_error() {
         let r = parse_deck("R1 a 0 1k\nR1 a 0 2k");
         assert!(matches!(
             r,
-            Err(ParseDeckError::Circuit(MnaError::DuplicateName { .. }))
+            Err(ParseDeckError::Circuit {
+                line: 2,
+                source: MnaError::DuplicateName { .. },
+                ..
+            })
         ));
+    }
+
+    #[test]
+    fn directives_parse_into_ast() {
+        let ast = parse_deck_ast(
+            ".name my testbench
+             .nodes vdd out
+             .design w1 um 2 400 8
+             .spec A0 dB min 80 dcgain
+             .spec Power mW max 1.3 power
+             .range temp -40 125
+             .range vdd 4.5 5.5
+             .match m1 m2
+             .tb out out
+             VDD vdd 0 {vdd}
+             M1 out vdd 0 0 NMOS W={w1} L=1u
+             .end",
+        )
+        .unwrap();
+        assert_eq!(ast.title.as_deref(), Some("my testbench"));
+        assert_eq!(ast.nodes, vec!["vdd", "out"]);
+        assert_eq!(ast.designs.len(), 1);
+        assert_eq!(ast.designs[0].name, "w1");
+        assert_eq!(ast.designs[0].unit, "um");
+        assert_eq!(ast.designs[0].lower, 2.0);
+        assert_eq!(ast.specs.len(), 2);
+        assert!(ast.specs[0].lower_bound);
+        assert!(!ast.specs[1].lower_bound);
+        assert_eq!(ast.specs[1].measure, "power");
+        assert_eq!(ast.ranges.len(), 2);
+        assert_eq!(ast.matches[0].devices, vec!["m1", "m2"]);
+        assert_eq!(ast.tb[0].key, "out");
+        match &ast.elements[0].kind {
+            DeckElementKind::VoltageSource { dc, .. } => {
+                assert_eq!(*dc, DeckValue::Param("vdd".to_string()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_param_rejected_at_circuit_level() {
+        let err = parse_deck("V1 a 0 {vdd}").unwrap_err();
+        assert!(matches!(err, ParseDeckError::UnboundParam { line: 1, .. }));
+        assert!(err.to_string().contains("{vdd}"));
+    }
+
+    #[test]
+    fn malformed_directives_rejected() {
+        // .spec: wrong arity, bad direction, bad bound.
+        assert!(matches!(
+            parse_deck_ast(".spec A0 dB min 80"),
+            Err(ParseDeckError::BadDirective { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_deck_ast(".spec A0 dB atleast 80 dcgain"),
+            Err(ParseDeckError::BadDirective { .. })
+        ));
+        assert!(matches!(
+            parse_deck_ast(".spec A0 dB min eighty dcgain"),
+            Err(ParseDeckError::BadValue { .. })
+        ));
+        // .match: empty, duplicate device.
+        assert!(matches!(
+            parse_deck_ast(".match"),
+            Err(ParseDeckError::BadDirective { .. })
+        ));
+        assert!(matches!(
+            parse_deck_ast(".match m1 m1"),
+            Err(ParseDeckError::BadDirective { .. })
+        ));
+        // .range: unknown quantity.
+        assert!(matches!(
+            parse_deck_ast(".range humidity 0 1"),
+            Err(ParseDeckError::BadDirective { .. })
+        ));
+        // .design: wrong arity.
+        assert!(matches!(
+            parse_deck_ast(".design w1 um 2 400"),
+            Err(ParseDeckError::BadDirective { .. })
+        ));
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let deck = ".name Miller opamp
+             .nodes vdd inp out
+             .temp 27
+             .design w1 um 2 400 8
+             .design ib uA 1 100 10
+             .range temp -40 125
+             .spec A0 dB min 80 dcgain
+             .match m1 m2
+             .tb vinp VINP
+             VDD vdd 0 {vdd} ; supply
+             VINP inp 0 2.5 AC 0.5
+             IB1 vdd bias {ib}
+             RZ a b 1.2e3
+             CC a out 3p
+             E1 e 0 a b 2
+             G1 g 0 a b 1m
+             M1 out inp 0 0 NMOS W={w1} L=2e-6
+             D1 a 0 IS=1e-12 N=2
+             .end";
+        let ast = parse_deck_ast(deck).unwrap();
+        let printed = ast.to_deck();
+        let ast2 = parse_deck_ast(&printed).unwrap();
+        assert_eq!(ast, ast2, "printed deck:\n{printed}");
+        // Printing is idempotent.
+        assert_eq!(printed, ast2.to_deck());
+    }
+
+    #[test]
+    fn declared_nodes_pin_numbering() {
+        let ckt = parse_deck(
+            ".nodes b a
+             V1 a 0 1.0
+             R1 a b 1k
+             R2 b 0 1k",
+        )
+        .unwrap();
+        // `b` was declared first, so it gets the smaller node id even
+        // though `a` appears first in the elements.
+        let a = ckt.find_node("a").unwrap();
+        let b = ckt.find_node("b").unwrap();
+        assert!(b < a);
     }
 }

@@ -1,0 +1,185 @@
+//! Property tests for the annotated-deck parser: `deck → parse → print →
+//! parse` must reproduce the same AST for randomly generated directives and
+//! elements, and malformed directives must be rejected.
+
+use proptest::prelude::*;
+use specwise_mna::{parse_deck_ast, DeckValue, ParseDeckError};
+
+const UNITS: &[&str] = &["um", "nm", "uA", "pF", "dB", "MHz", "mW", "V/us", "deg"];
+const MEASURES: &[&str] = &[
+    "dcgain", "ugf", "pm", "cmrr", "psrr", "slew", "power", "vdc(out)",
+];
+
+fn fnum() -> impl Strategy<Value = f64> {
+    (0usize..6, 0.0..1.0f64).prop_map(|(k, u)| match k {
+        0 => -1e9 + u * 2e9,
+        1 => -10.0 + u * 20.0,
+        2 => 1e-15 + u * 1e-3,
+        3 => 0.0,
+        4 => -40.0,
+        _ => 125.0,
+    })
+}
+
+fn fbool() -> impl Strategy<Value = bool> {
+    (0usize..2).prop_map(|b| b == 1)
+}
+
+#[derive(Debug, Clone)]
+struct DesignGen {
+    unit: usize,
+    lower: f64,
+    span: f64,
+}
+
+#[derive(Debug, Clone)]
+struct SpecGen {
+    unit: usize,
+    min: bool,
+    bound: f64,
+    measure: usize,
+}
+
+fn design_gen() -> impl Strategy<Value = DesignGen> {
+    (0..UNITS.len(), fnum(), 0.1..1e6f64).prop_map(|(unit, lower, span)| DesignGen {
+        unit,
+        lower,
+        span,
+    })
+}
+
+fn spec_gen() -> impl Strategy<Value = SpecGen> {
+    (0..UNITS.len(), fbool(), fnum(), 0..MEASURES.len()).prop_map(|(unit, min, bound, measure)| {
+        SpecGen {
+            unit,
+            min,
+            bound,
+            measure,
+        }
+    })
+}
+
+/// Builds a deck exercising every directive plus a few elements with both
+/// literal and `{param}` values.
+fn build_deck(
+    designs: &[DesignGen],
+    specs: &[SpecGen],
+    temp: (f64, f64),
+    vdd: (f64, f64),
+    match_sizes: &[usize],
+    r_value: f64,
+    use_param_cap: bool,
+) -> String {
+    let mut deck = String::from(".name generated deck\n.nodes vdd out\n");
+    for (i, d) in designs.iter().enumerate() {
+        deck.push_str(&format!(
+            ".design v{i} {} {:e} {:e} {:e}\n",
+            UNITS[d.unit],
+            d.lower,
+            d.lower + d.span,
+            d.lower + d.span / 2.0
+        ));
+    }
+    // Categories in the canonical printer order so the `line` fields of the
+    // reparsed AST line up with the original.
+    deck.push_str(&format!(".range temp {:e} {:e}\n", temp.0, temp.0 + temp.1));
+    deck.push_str(&format!(".range vdd {:e} {:e}\n", vdd.0, vdd.0 + vdd.1));
+    for (i, s) in specs.iter().enumerate() {
+        deck.push_str(&format!(
+            ".spec S{i} {} {} {:e} {}\n",
+            UNITS[s.unit],
+            if s.min { "min" } else { "max" },
+            s.bound,
+            MEASURES[s.measure]
+        ));
+    }
+    let mut dev = 0;
+    for &size in match_sizes {
+        let names: Vec<String> = (0..size.max(1))
+            .map(|_| {
+                dev += 1;
+                format!("m{dev}")
+            })
+            .collect();
+        deck.push_str(&format!(".match {}\n", names.join(" ")));
+    }
+    deck.push_str(".tb out out\n.tb vinp VINP\n");
+    deck.push_str("VDD vdd 0 {vdd}\nVINP inp 0 2.5 AC 0.5\n");
+    deck.push_str(&format!("R1 vdd out {r_value:e}\n"));
+    if use_param_cap {
+        deck.push_str("CL out 0 {cl}\n");
+    } else {
+        deck.push_str("CL out 0 1p\n");
+    }
+    deck.push_str("M1 out inp 0 0 NMOS W={w} L=1u\n.end\n");
+    deck
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_round_trip(
+        designs in prop::collection::vec(design_gen(), 0..5),
+        specs in prop::collection::vec(spec_gen(), 0..5),
+        temp in (fnum(), 1.0..500.0f64),
+        vdd in (0.5..10.0f64, 0.1..5.0f64),
+        match_sizes in prop::collection::vec(1usize..4, 0..4),
+        r_value in 1.0..1e9f64,
+        use_param_cap in fbool(),
+    ) {
+        let deck = build_deck(
+            &designs, &specs, temp, vdd, &match_sizes, r_value, use_param_cap,
+        );
+        let ast = parse_deck_ast(&deck).expect("generated deck parses");
+        prop_assert_eq!(ast.designs.len(), designs.len());
+        prop_assert_eq!(ast.specs.len(), specs.len());
+        prop_assert_eq!(ast.matches.len(), match_sizes.len());
+        let printed = ast.to_deck();
+        let reparsed = parse_deck_ast(&printed)
+            .unwrap_or_else(|e| panic!("printed deck must parse: {e}\n{printed}"));
+        prop_assert_eq!(&ast, &reparsed, "printed deck:\n{}", printed);
+        // Printing is a fixed point after one canonicalization pass.
+        prop_assert_eq!(printed, reparsed.to_deck());
+    }
+
+    #[test]
+    fn numeric_values_survive_the_round_trip_bit_for_bit(v in fnum()) {
+        let deck = format!("R1 a 0 {v:e}\n");
+        let ast = parse_deck_ast(&deck).unwrap();
+        let printed = ast.to_deck();
+        let reparsed = parse_deck_ast(&printed).unwrap();
+        let get = |a: &specwise_mna::DeckAst| match &a.elements[0].kind {
+            specwise_mna::DeckElementKind::Resistor { value: DeckValue::Num(x), .. } => *x,
+            other => panic!("unexpected: {other:?}"),
+        };
+        prop_assert_eq!(get(&ast).to_bits(), get(&reparsed).to_bits());
+    }
+}
+
+#[test]
+fn malformed_spec_lines_are_rejected_with_line_numbers() {
+    for (deck, line) in [
+        ("R1 a 0 1k\n.spec A0 dB min 80", 2),
+        (".spec A0 dB between 1 2", 1),
+        ("* c\n\n.spec A0 dB min 80 dcgain extra", 3),
+    ] {
+        let err = parse_deck_ast(deck).expect_err(deck);
+        assert!(
+            matches!(err, ParseDeckError::BadDirective { ref directive, .. } if directive == ".spec"),
+            "{deck:?} gave {err:?}"
+        );
+        assert_eq!(err.line(), line, "{deck:?}");
+    }
+}
+
+#[test]
+fn malformed_match_lines_are_rejected() {
+    for deck in [".match", ".match m1 m2 m1"] {
+        let err = parse_deck_ast(deck).expect_err(deck);
+        assert!(
+            matches!(err, ParseDeckError::BadDirective { ref directive, .. } if directive == ".match"),
+            "{deck:?} gave {err:?}"
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //!   fails to improve.
 //!
 //! Run with `cargo run --release --example ablations`.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
 
 use std::error::Error;
 
@@ -18,12 +19,20 @@ use specwise::{iteration_table, OptimizerConfig, YieldOptimizer};
 use specwise_ckt::FoldedCascode;
 use specwise_wcd::LinearizationPoint;
 
+fn quick_knobs(cfg: &mut OptimizerConfig) {
+    if std::env::var("SPECWISE_EXAMPLE_QUICK").is_ok() {
+        cfg.mc_samples = 500;
+        cfg.verify_samples = 50;
+    }
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     println!("=== Ablation 1: no functional constraints (cf. paper Table 3) ===");
     let env = FoldedCascode::paper_setup();
     let mut cfg = OptimizerConfig::default();
     cfg.use_constraints = false;
     cfg.max_iterations = 1;
+    quick_knobs(&mut cfg);
     let trace = YieldOptimizer::new(cfg).run(&env)?;
     println!("{}", iteration_table(&env, &trace));
 
@@ -32,6 +41,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut cfg = OptimizerConfig::default();
     cfg.wc_options.linearization_point = LinearizationPoint::Nominal;
     cfg.max_iterations = 1;
+    quick_knobs(&mut cfg);
     let trace = YieldOptimizer::new(cfg).run(&env)?;
     println!("{}", iteration_table(&env, &trace));
 

@@ -4,6 +4,7 @@
 //! linearization.
 //!
 //! Run with `cargo run --release --example folded_cascode_yield`.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
 
 use std::error::Error;
 
@@ -15,7 +16,12 @@ use specwise_ckt::{CircuitEnv, FoldedCascode};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let env = FoldedCascode::paper_setup();
-    let config = OptimizerConfig::default();
+    let mut config = OptimizerConfig::default();
+    if std::env::var("SPECWISE_EXAMPLE_QUICK").is_ok() {
+        config.mc_samples = 500;
+        config.verify_samples = 0;
+        config.max_iterations = 1;
+    }
     println!(
         "Optimizing the {} ({} design parameters, {} statistical parameters)…",
         env.name(),

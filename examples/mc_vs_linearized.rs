@@ -7,6 +7,7 @@
 //! design points along a line in the design space.
 //!
 //! Run with `cargo run --release --example mc_vs_linearized`.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
 
 use std::error::Error;
 
@@ -15,6 +16,8 @@ use specwise_ckt::{CircuitEnv, FoldedCascode};
 use specwise_wcd::{WcAnalysis, WcOptions};
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let quick = std::env::var("SPECWISE_EXAMPLE_QUICK").is_ok();
+    let (model_samples, verify_samples) = if quick { (1_000, 50) } else { (10_000, 300) };
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
 
@@ -32,7 +35,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let model = LinearizedYield::new(
         analysis.linearizations().to_vec(),
         env.specs().len(),
-        10_000,
+        model_samples,
         2001,
     )?;
 
@@ -46,7 +49,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let mut d = d0.clone();
         d[0] *= scale;
         let linearized = model.estimate(&d)?;
-        let simulated = mc_verify(&env, &d, 300, 42)?;
+        let simulated = mc_verify(&env, &d, verify_samples, 42)?;
         println!(
             "{:>10.1} {:>17.1}% {:>17.1}%",
             d[0],

@@ -2,6 +2,7 @@
 //! Miller (two-stage) opamp under global process variations.
 //!
 //! Run with `cargo run --release --example miller_yield`.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
 
 use std::error::Error;
 
@@ -10,6 +11,12 @@ use specwise_ckt::{CircuitEnv, MillerOpamp};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let env = MillerOpamp::paper_setup();
+    let mut config = OptimizerConfig::default();
+    if std::env::var("SPECWISE_EXAMPLE_QUICK").is_ok() {
+        config.mc_samples = 500;
+        config.verify_samples = 0;
+        config.max_iterations = 1;
+    }
     println!(
         "Optimizing the {} ({} design parameters, {} global statistical parameters)…",
         env.name(),
@@ -17,7 +24,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         env.stat_dim()
     );
 
-    let trace = YieldOptimizer::new(OptimizerConfig::default()).run(&env)?;
+    let trace = YieldOptimizer::new(config).run(&env)?;
 
     println!("\n=== Optimization trace (cf. paper Table 6) ===");
     println!("{}", iteration_table(&env, &trace));

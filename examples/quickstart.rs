@@ -11,6 +11,7 @@
 //! 4. verify the improvement.
 //!
 //! Run with `cargo run --release --example quickstart`.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for an even faster smoke-test run.
 
 use std::error::Error;
 
@@ -21,6 +22,7 @@ use specwise_linalg::DVec;
 fn main() -> Result<(), Box<dyn Error>> {
     // The circuit environment: the folded-cascode opamp of the paper's
     // Fig. 7, with global + local (mismatch) process variations.
+    let quick = std::env::var("SPECWISE_EXAMPLE_QUICK").is_ok();
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
     let nominal_stats = DVec::zeros(env.stat_dim());
@@ -40,14 +42,14 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 2. Simulation-based Monte-Carlo yield of the initial design
     //    (evaluated at each spec's worst-case operating corner, Eqs. 6-7).
-    let before = mc_verify(&env, &d0, 200, 7)?;
+    let before = mc_verify(&env, &d0, if quick { 50 } else { 200 }, 7)?;
     println!("\nInitial verified yield: {}", before.yield_estimate);
 
     // 3. One iteration of the paper's optimization loop (Fig. 6).
     let mut config = OptimizerConfig::default();
     config.max_iterations = 1;
-    config.mc_samples = 4_000;
-    config.verify_samples = 200;
+    config.mc_samples = if quick { 500 } else { 4_000 };
+    config.verify_samples = if quick { 50 } else { 200 };
     let trace = YieldOptimizer::new(config).run(&env)?;
 
     // 4. The improvement.

@@ -1,11 +1,21 @@
-//! Using the SPICE-style deck parser: load a netlist from text, run DC,
-//! AC and transient analyses on it.
+//! The SPICE-style deck layer, bottom to top:
+//!
+//! 1. plain decks — parse a netlist from text and run DC/AC/transient
+//!    analyses on the resulting [`specwise_mna::Circuit`],
+//! 2. annotated decks — the same parser also understands the testbench
+//!    directives (`.design`, `.range`, `.spec`, `.match`, `.tb`) that let
+//!    [`specwise_ckt::Testbench`] compile a complete yield-optimization
+//!    environment from one file; here we inspect the AST of the built-in
+//!    Miller opamp deck and round-trip it through the canonical printer.
 //!
 //! Run with `cargo run --release --example spice_deck`.
 
 use std::error::Error;
 
-use specwise_mna::{parse_deck, AcSolver, DcOp, Stimulus, Transient, TransientOptions};
+use specwise_ckt::{CircuitEnv, MillerOpamp, Testbench};
+use specwise_mna::{
+    parse_deck, parse_deck_ast, AcSolver, DcOp, Stimulus, Transient, TransientOptions,
+};
 
 const DECK: &str = "
 * single-stage common-source amplifier with source degeneration bypassed
@@ -19,6 +29,7 @@ M1  out g 0 0 NMOS W=12u L=1.2u
 ";
 
 fn main() -> Result<(), Box<dyn Error>> {
+    // ---- 1. A plain deck: parse and simulate directly. -------------------
     let mut ckt = parse_deck(DECK)?;
     println!(
         "parsed {} elements, {} nodes",
@@ -66,6 +77,49 @@ fn main() -> Result<(), Box<dyn Error>> {
         "TRAN: V(out) {:.3} V -> {:.3} V after a 50 mV gate step",
         tr.voltage(out)[0],
         tr.final_voltage(out)
+    );
+
+    // ---- 2. An annotated deck: the full testbench IR. --------------------
+    // The built-in Miller environment is itself compiled from a deck; its
+    // AST exposes every directive as typed data.
+    let ast = parse_deck_ast(MillerOpamp::deck())?;
+    println!(
+        "\nannotated deck {:?}: {} elements, {} design vars, {} specs, {} tb keys",
+        ast.title.as_deref().unwrap_or("?"),
+        ast.elements.len(),
+        ast.designs.len(),
+        ast.specs.len(),
+        ast.tb.len()
+    );
+    for s in &ast.specs {
+        println!(
+            "  .spec {:<6} {} {} {} -> measured by {:?}",
+            s.name,
+            if s.lower_bound { ">=" } else { "<=" },
+            s.bound,
+            s.unit,
+            s.measure
+        );
+    }
+
+    // The canonical printer round-trips the AST exactly (including every
+    // numeric value, bit for bit) — decks are a faithful storage format.
+    let printed = ast.to_deck();
+    assert_eq!(parse_deck_ast(&printed)?, ast, "print/parse round-trip");
+    println!("canonical print round-trips: {} bytes", printed.len());
+
+    // And the same deck text compiles into a complete CircuitEnv.
+    let env = Testbench::from_deck(MillerOpamp::deck())?;
+    let perf = env.eval_performances(
+        &env.design_space().initial(),
+        &specwise_linalg::DVec::zeros(env.stat_dim()),
+        &env.operating_range().nominal(),
+    )?;
+    println!(
+        "compiled {:?} from the deck: nominal A0 = {:.1} dB, ft = {:.2} MHz",
+        env.name(),
+        perf[0],
+        perf[1]
     );
     Ok(())
 }

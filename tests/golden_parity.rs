@@ -1,0 +1,226 @@
+//! Golden parity: the deck-driven `Testbench` environments must reproduce
+//! the original hand-coded environments bit-for-bit.
+//!
+//! The `GOLDEN_*` constants below were captured from the seed (pre-IR)
+//! implementations of `MillerOpamp`, `FoldedCascode` and
+//! `FiveTransistorOta`: FNV-1a hashes over the exact bit patterns of
+//! `eval_performances` and `eval_constraints` at the paper's nominal design
+//! and at five seeded random `(d, ŝ, θ)` points, plus the raw nominal
+//! performance bits for debuggability. Any deviation — a reordered node, a
+//! different unit-conversion operation, a changed Newton seed — changes a
+//! hash.
+//!
+//! To regenerate after an *intentional* numerical change:
+//!
+//! ```text
+//! cargo test --release --test golden_parity -- --ignored regenerate --nocapture
+//! ```
+
+use rand::{Rng, SeedableRng};
+use specwise_ckt::{CircuitEnv, FiveTransistorOta, FoldedCascode, MillerOpamp};
+use specwise_linalg::DVec;
+
+/// FNV-1a over a sequence of f64 bit patterns.
+fn fnv1a(bits: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bits {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+struct Point {
+    d: DVec,
+    s: DVec,
+    temp_c: f64,
+    vdd: f64,
+}
+
+/// Nominal point plus five seeded random points: multiplicative jitter on
+/// the initial design (projected back into the box), |ŝ| ≤ 1, θ ∈ Θ.
+fn points(env: &dyn CircuitEnv, seed: u64) -> Vec<Point> {
+    let space = env.design_space();
+    let range = env.operating_range();
+    let nominal = range.nominal();
+    let mut pts = vec![Point {
+        d: space.initial(),
+        s: DVec::zeros(env.stat_dim()),
+        temp_c: nominal.temp_c,
+        vdd: nominal.vdd,
+    }];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (t_lo, t_hi) = range.temp_bounds();
+    let (v_lo, v_hi) = range.vdd_bounds();
+    for _ in 0..5 {
+        let d0 = space.initial();
+        let d: DVec = d0.iter().map(|&x| x * rng.gen_range(0.9..1.1)).collect();
+        let d = space.project(&d).expect("projection succeeds");
+        let s: DVec = (0..env.stat_dim())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        pts.push(Point {
+            d,
+            s,
+            temp_c: rng.gen_range(t_lo..t_hi),
+            vdd: rng.gen_range(v_lo..v_hi),
+        });
+    }
+    pts
+}
+
+/// Per-point `(perf_hash, cons_hash)` plus the raw nominal performance bits.
+fn capture(env: &dyn CircuitEnv, seed: u64) -> (Vec<(u64, u64)>, Vec<u64>) {
+    let mut hashes = Vec::new();
+    let mut nominal_bits = Vec::new();
+    for (i, p) in points(env, seed).iter().enumerate() {
+        let theta = specwise_ckt::OperatingPoint::new(p.temp_c, p.vdd);
+        let perf = env
+            .eval_performances(&p.d, &p.s, &theta)
+            .expect("golden point evaluates");
+        let cons = env.eval_constraints(&p.d).expect("constraints evaluate");
+        if i == 0 {
+            nominal_bits = perf.iter().map(|v| v.to_bits()).collect();
+        }
+        hashes.push((
+            fnv1a(perf.iter().map(|v| v.to_bits())),
+            fnv1a(cons.iter().map(|v| v.to_bits())),
+        ));
+    }
+    (hashes, nominal_bits)
+}
+
+const MILLER_SEED: u64 = 101;
+const FOLDED_SEED: u64 = 102;
+const OTA_SEED: u64 = 103;
+
+const GOLDEN_MILLER: [(u64, u64); 6] = [
+    (0x6f7ca5f6214c5a07, 0x78b60f6fec45fb3d),
+    (0xc6ae280723b132a4, 0x090942e3e8a1974d),
+    (0xd9612540b62b0fab, 0x9643ea801c8311d2),
+    (0x2647beb285081bc0, 0xd3d926391c7f9a5f),
+    (0x77f348699d26f709, 0xc65f9d634c4535fc),
+    (0xeffb5a4eb14f06dd, 0x350a20dfc344d7fd),
+];
+const GOLDEN_MILLER_NOMINAL: [u64; 5] = [
+    0x405547d88afb4a84,
+    0x3ffb9b319db45417,
+    0x404f010933549632,
+    0x4006df8906be998a,
+    0x3fe21a2b422a5072,
+];
+const GOLDEN_FOLDED: [(u64, u64); 6] = [
+    (0xdb6f0d07e25ca390, 0x84d8b0711117345e),
+    (0xe92af55eada8a1f1, 0xa21d566b24ebb358),
+    (0x40aae31c4528f2d3, 0x8ed11564a9622744),
+    (0x3125d2a8bf30aa9a, 0x99a840b15c8903d2),
+    (0xa421d35c72d7fb0a, 0x4560d42b67fc570b),
+    (0x4d28b31bdf58921d, 0x44e123de8df3ad70),
+];
+const GOLDEN_FOLDED_NOMINAL: [u64; 5] = [
+    0x4049832b991cd03f,
+    0x404654a35c6d67ee,
+    0x405481150da6172f,
+    0x40423c777ee4fd45,
+    0x3fe0e05eca9d9794,
+];
+const GOLDEN_OTA: [(u64, u64); 6] = [
+    (0x7c31fb2322f5bb86, 0x9a86069f58135c5b),
+    (0x2ff07847762d6a07, 0x322f8a9bdee0e1bf),
+    (0x24a2f3cbd2c1cb10, 0xa5e641b164b7fd5a),
+    (0xbd32753d53e39e1c, 0xf8564755444ca3f6),
+    (0x3b7b236a202fbe99, 0x8c02a1255ca40be9),
+    (0x90acd3c420dc9aa0, 0xa655f84bd2ad7240),
+];
+const GOLDEN_OTA_NOMINAL: [u64; 5] = [
+    0x404727b6e667d9a2,
+    0x401acc5495ebc39c,
+    0x40530052238e7d6b,
+    0x4013f416610041d8,
+    0x3fa94e00f29d62fc,
+];
+
+fn check(env: &dyn CircuitEnv, seed: u64, golden: &[(u64, u64)], golden_nominal: &[u64]) {
+    let (hashes, nominal_bits) = capture(env, seed);
+    for (i, (bits, want)) in nominal_bits.iter().zip(golden_nominal).enumerate() {
+        assert_eq!(
+            bits,
+            want,
+            "{}: nominal performance {} drifted: {} (bits {:#018x}, want {:#018x})",
+            env.name(),
+            env.specs()[i].name(),
+            f64::from_bits(*bits),
+            bits,
+            want
+        );
+    }
+    for (i, (got, want)) in hashes.iter().zip(golden).enumerate() {
+        assert_eq!(
+            got.0,
+            want.0,
+            "{}: eval_performances hash mismatch at point {i}",
+            env.name()
+        );
+        assert_eq!(
+            got.1,
+            want.1,
+            "{}: eval_constraints hash mismatch at point {i}",
+            env.name()
+        );
+    }
+}
+
+#[test]
+fn miller_matches_seed_golden() {
+    check(
+        &MillerOpamp::paper_setup(),
+        MILLER_SEED,
+        &GOLDEN_MILLER,
+        &GOLDEN_MILLER_NOMINAL,
+    );
+}
+
+#[test]
+fn folded_matches_seed_golden() {
+    check(
+        &FoldedCascode::paper_setup(),
+        FOLDED_SEED,
+        &GOLDEN_FOLDED,
+        &GOLDEN_FOLDED_NOMINAL,
+    );
+}
+
+#[test]
+fn ota_matches_seed_golden() {
+    check(
+        &FiveTransistorOta::default_setup(),
+        OTA_SEED,
+        &GOLDEN_OTA,
+        &GOLDEN_OTA_NOMINAL,
+    );
+}
+
+/// Prints fresh golden constants (run with `--ignored --nocapture` and paste
+/// the output over the `GOLDEN_*` constants above).
+#[test]
+#[ignore]
+fn regenerate() {
+    let print = |label: &str, env: &dyn CircuitEnv, seed: u64| {
+        let (hashes, nominal) = capture(env, seed);
+        println!("const GOLDEN_{label}: [(u64, u64); 6] = [");
+        for (p, c) in &hashes {
+            println!("    ({p:#018x}, {c:#018x}),");
+        }
+        println!("];");
+        println!("const GOLDEN_{label}_NOMINAL: [u64; {}] = [", nominal.len());
+        for b in &nominal {
+            println!("    {b:#018x},");
+        }
+        println!("];");
+    };
+    print("MILLER", &MillerOpamp::paper_setup(), MILLER_SEED);
+    print("FOLDED", &FoldedCascode::paper_setup(), FOLDED_SEED);
+    print("OTA", &FiveTransistorOta::default_setup(), OTA_SEED);
+}
