@@ -14,6 +14,12 @@ use crate::{CktError, DesignSpace, OperatingPoint, OperatingRange, Spec, StatSpa
 /// gradients, line search, and Monte-Carlo verification — and the paper's
 /// effort discussion (§7, Table 7) argues about where that budget goes.
 /// Tagging each simulation with its phase makes the split reportable.
+///
+/// The per-phase counts surface in two places: the effort tables of
+/// `specwise::effort_breakdown_table`, and — on traced runs — as
+/// `sims_<label>` counters on the `run` span of the `specwise-trace`
+/// journal (spaces in [`SimPhase::label`] become underscores, e.g.
+/// `sims_line_search`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SimPhase {
     /// Feasibility search / constraint evaluation (paper §6.1).
@@ -78,7 +84,9 @@ impl SimPhase {
 /// currently active [`SimPhase`], so callers that set the phase around
 /// algorithm stages get a per-phase breakdown for free; environments whose
 /// evaluation paths funnel through [`SimCounter::add`] need no call-site
-/// changes.
+/// changes. Traced optimizer runs absorb these counts as span counters,
+/// so the journal's `run` span carries the same totals the effort tables
+/// print.
 #[derive(Debug)]
 pub struct SimCounter {
     total: AtomicU64,

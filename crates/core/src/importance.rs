@@ -20,6 +20,7 @@ use specwise_ckt::{OperatingPoint, SimPhase};
 use specwise_exec::{EvalPoint, Evaluator};
 use specwise_linalg::DVec;
 use specwise_stat::StandardNormal;
+use specwise_trace::Tracer;
 use specwise_wcd::worst_case_corners;
 
 use crate::SpecwiseError;
@@ -87,6 +88,49 @@ pub fn importance_verify<E: Evaluator + ?Sized>(
 ///
 /// Propagates evaluation errors; rejects `n == 0` and dimension mismatches.
 pub fn importance_verify_with<E: Evaluator + ?Sized>(
+    env: &E,
+    d: &DVec,
+    shift: &DVec,
+    options: &IsOptions,
+) -> Result<IsResult, SpecwiseError> {
+    importance_verify_traced(env, d, shift, options, &Tracer::disabled())
+}
+
+/// [`importance_verify_with`] recording an `is_verify` span (sample and
+/// simulation-failure counts, the estimated failure probability, the IS
+/// estimator's variance/standard error over the weights, the effective
+/// sample size, and the simulation effort) into `tracer`'s journal.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; rejects `n == 0` and dimension mismatches.
+pub fn importance_verify_traced<E: Evaluator + ?Sized>(
+    env: &E,
+    d: &DVec,
+    shift: &DVec,
+    options: &IsOptions,
+    tracer: &Tracer,
+) -> Result<IsResult, SpecwiseError> {
+    let mut span = tracer.span("is_verify");
+    let sims_before = if span.is_enabled() {
+        env.sim_count()
+    } else {
+        0
+    };
+    let result = importance_verify_inner(env, d, shift, options)?;
+    if span.is_enabled() {
+        span.set_attr("n", options.n);
+        span.set_attr("failure_probability", result.failure_probability);
+        span.set_attr("std_error", result.std_error);
+        span.set_attr("variance", result.std_error * result.std_error);
+        span.set_attr("effective_sample_size", result.effective_sample_size);
+        span.set_attr("sim_failures", result.sim_failures);
+        span.add_count("sims", env.sim_count() - sims_before);
+    }
+    Ok(result)
+}
+
+fn importance_verify_inner<E: Evaluator + ?Sized>(
     env: &E,
     d: &DVec,
     shift: &DVec,

@@ -43,7 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod coordinate_search;
 mod error;
@@ -61,9 +61,11 @@ mod yield_model;
 pub use coordinate_search::{CoordinateSearch, CoordinateSearchOptions};
 pub use error::SpecwiseError;
 pub use feasibility::{find_feasible_start, FeasibleStartOptions, LinearConstraints};
-pub use importance::{importance_verify, importance_verify_with, IsOptions, IsResult};
+pub use importance::{
+    importance_verify, importance_verify_traced, importance_verify_with, IsOptions, IsResult,
+};
 pub use line_search::line_search_feasible;
-pub use mc_verify::{mc_verify, mc_verify_with, McOptions, McVerification};
+pub use mc_verify::{mc_verify, mc_verify_traced, mc_verify_with, McOptions, McVerification};
 pub use mismatch::{eta, phi, MismatchAnalysis, MismatchEntry, PhiOptions};
 pub use optimizer::{
     IterationSnapshot, Objective, OptimizationTrace, OptimizerConfig, YieldOptimizer,
@@ -71,7 +73,10 @@ pub use optimizer::{
 pub use quad_yield::QuadraticYield;
 pub use report::{
     effort_breakdown_table, effort_table, improvement_table, iteration_table, mismatch_table,
-    sensitivity_table,
+    run_report, sensitivity_table,
 };
+// Re-exported so downstream users can enable run journaling without naming
+// `specwise-trace` directly (`YieldOptimizer::with_tracer(Tracer::from_env())`).
+pub use specwise_trace::{Journal, Tracer};
 pub use wcd_max::WcdMaximizer;
 pub use yield_model::{LinearizedYield, ShiftTracker};

@@ -15,6 +15,7 @@ use specwise_ckt::{OperatingPoint, SimPhase};
 use specwise_exec::{EvalPoint, Evaluator};
 use specwise_linalg::DVec;
 use specwise_stat::{RunningMoments, StandardNormal, YieldEstimate};
+use specwise_trace::Tracer;
 use specwise_wcd::worst_case_corners;
 
 use crate::SpecwiseError;
@@ -90,6 +91,52 @@ pub fn mc_verify<E: Evaluator + ?Sized>(
 ///
 /// Propagates evaluation errors; rejects `n_samples == 0`.
 pub fn mc_verify_with<E: Evaluator + ?Sized>(
+    env: &E,
+    d: &DVec,
+    options: &McOptions,
+) -> Result<McVerification, SpecwiseError> {
+    mc_verify_traced(env, d, options, &Tracer::disabled())
+}
+
+/// [`mc_verify_with`] recording an `mc_verify` span (sample, pass and
+/// simulation-failure counts, the per-spec bad counts, and the simulation
+/// effort) into `tracer`'s journal.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; rejects `n_samples == 0`.
+pub fn mc_verify_traced<E: Evaluator + ?Sized>(
+    env: &E,
+    d: &DVec,
+    options: &McOptions,
+    tracer: &Tracer,
+) -> Result<McVerification, SpecwiseError> {
+    let mut span = tracer.span("mc_verify");
+    let sims_before = if span.is_enabled() {
+        env.sim_count()
+    } else {
+        0
+    };
+    let result = mc_verify_inner(env, d, options)?;
+    if span.is_enabled() {
+        span.set_attr("n_samples", options.n_samples);
+        span.set_attr("passed", result.yield_estimate.passed());
+        span.set_attr("yield", result.yield_estimate.value());
+        span.set_attr("sim_failures", result.sim_failures);
+        span.set_attr(
+            "per_spec_bad",
+            result
+                .per_spec_bad
+                .iter()
+                .map(|&b| b as f64)
+                .collect::<Vec<f64>>(),
+        );
+        span.add_count("sims", env.sim_count() - sims_before);
+    }
+    Ok(result)
+}
+
+fn mc_verify_inner<E: Evaluator + ?Sized>(
     env: &E,
     d: &DVec,
     options: &McOptions,

@@ -20,11 +20,12 @@ use specwise_ckt::SimPhase;
 use specwise_exec::{Evaluator, ExecReport};
 use specwise_linalg::DVec;
 use specwise_stat::YieldEstimate;
+use specwise_trace::{Span, Tracer};
 use specwise_wcd::{WcAnalysis, WcOptions, WcResult, WorstCasePoint};
 
 use crate::{
-    find_feasible_start, line_search_feasible, mc_verify, CoordinateSearch,
-    CoordinateSearchOptions, FeasibleStartOptions, LinearConstraints, LinearizedYield,
+    find_feasible_start, line_search_feasible, mc_verify_traced, CoordinateSearch,
+    CoordinateSearchOptions, FeasibleStartOptions, LinearConstraints, LinearizedYield, McOptions,
     McVerification, SpecwiseError, WcdMaximizer,
 };
 
@@ -167,12 +168,26 @@ impl OptimizationTrace {
 #[derive(Debug, Clone)]
 pub struct YieldOptimizer {
     config: OptimizerConfig,
+    tracer: Tracer,
 }
 
 impl YieldOptimizer {
     /// Creates an optimizer.
     pub fn new(config: OptimizerConfig) -> Self {
-        YieldOptimizer { config }
+        YieldOptimizer {
+            config,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a [`Tracer`]: the run then emits the full Fig. 6 span
+    /// hierarchy (`run` → `feasible_start` / `wc_analysis` / per-iteration
+    /// `iteration` with `constraints`, `coordinate_search`, `line_search`
+    /// children / `mc_verify`) into the tracer's journal. The default
+    /// disabled tracer records nothing and costs one branch per phase.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The configuration in use.
@@ -214,43 +229,81 @@ impl YieldOptimizer {
         env.reset_sim_count();
         let n_spec = env.specs().len();
 
+        let mut run_span = self.tracer.span("run");
+        if run_span.is_enabled() {
+            run_span.set_attr("env", env.name());
+            run_span.set_attr("n_specs", n_spec);
+            run_span.set_attr("mc_samples", cfg.mc_samples);
+            run_span.set_attr("max_iterations", cfg.max_iterations);
+            run_span.set_attr("use_constraints", cfg.use_constraints);
+        }
+        let tr = run_span.tracer();
+
         // Step 0 (Sec. 5.5): feasible starting point.
-        let mut d_f = if cfg.use_constraints {
-            find_feasible_start(env, d0, &cfg.feasible_start)?
-        } else {
-            env.design_space().project(d0)?
+        let mut d_f = {
+            let mut span = tr.span("feasible_start");
+            let sims_before = env.sim_count();
+            let d_f = if cfg.use_constraints {
+                find_feasible_start(env, d0, &cfg.feasible_start)?
+            } else {
+                env.design_space().project(d0)?
+            };
+            span.add_count("sims", env.sim_count() - sims_before);
+            d_f
         };
 
         let mut snapshots = Vec::new();
-        let mut analysis = WcAnalysis::new(env, cfg.wc_options).run(&d_f)?;
+        let mut analysis = WcAnalysis::new(env, cfg.wc_options)
+            .with_tracer(tr.clone())
+            .run(&d_f)?;
         let mut model = LinearizedYield::new(
             analysis.linearizations().to_vec(),
             n_spec,
             cfg.mc_samples,
             cfg.seed,
         )?;
-        snapshots.push(self.snapshot(env, "Initial", &d_f, &analysis, &model)?);
+        snapshots.push(self.snapshot(env, "Initial", &d_f, &analysis, &model, &tr)?);
 
         for iter in 1..=cfg.max_iterations {
+            let mut iter_span = tr.span("iteration");
+            if iter_span.is_enabled() {
+                iter_span.set_attr("iter", iter);
+                iter_span.set_attr("accepted", true);
+            }
+            let itr = iter_span.tracer();
+
             // Feasibility region linearization (Eq. 15) or box-only ablation.
-            let constraints = if cfg.use_constraints {
-                LinearConstraints::from_env(env, &d_f, cfg.wc_options.fd_step_d)?
-            } else {
-                LinearConstraints::box_only(
-                    &d_f,
-                    env.design_space().lower(),
-                    env.design_space().upper(),
-                )
+            let constraints = {
+                let mut span = itr.span("constraints");
+                let sims_before = env.sim_count();
+                let constraints = if cfg.use_constraints {
+                    LinearConstraints::from_env(env, &d_f, cfg.wc_options.fd_step_d)?
+                } else {
+                    LinearConstraints::box_only(
+                        &d_f,
+                        env.design_space().lower(),
+                        env.design_space().upper(),
+                    )
+                };
+                span.add_count("sims", env.sim_count() - sims_before);
+                constraints
             };
 
             // Inner maximization over the linear models.
+            let mut search_span = itr.span("coordinate_search");
             let d_star = match cfg.objective {
                 Objective::DirectYield => {
                     // Coordinate search on the MC yield estimate (Eq. 19).
                     let search = CoordinateSearch::new(cfg.coordinate_search);
                     let base = model.estimate(&d_f)?;
                     let (d_star, best) = search.run(&model, &constraints, &d_f)?;
+                    if search_span.is_enabled() {
+                        search_span.set_attr("base_passed", base.passed());
+                        search_span.set_attr("best_passed", best.passed());
+                    }
+                    drop(search_span);
                     if best.passed() <= base.passed() {
+                        iter_span.set_attr("accepted", false);
                         break; // Ȳ cannot be improved further (Fig. 6 exit).
                     }
                     d_star
@@ -262,7 +315,13 @@ impl YieldOptimizer {
                     )?;
                     let base = maximizer.min_beta(&d_f);
                     let (d_star, best) = maximizer.run(&constraints, &d_f)?;
+                    if search_span.is_enabled() {
+                        search_span.set_attr("base_min_beta", base);
+                        search_span.set_attr("best_min_beta", best);
+                    }
+                    drop(search_span);
                     if best <= base + 1e-9 {
+                        iter_span.set_attr("accepted", false);
                         break; // min-beta cannot be improved further
                     }
                     d_star
@@ -271,11 +330,21 @@ impl YieldOptimizer {
 
             // Line search back into the true feasibility region (Eq. 23).
             let d_new = if cfg.use_constraints {
-                line_search_feasible(env, &d_f, &d_star, cfg.line_search_evals)?.0
+                let mut span = itr.span("line_search");
+                let sims_before = env.sim_count();
+                let (d_new, gamma) =
+                    line_search_feasible(env, &d_f, &d_star, cfg.line_search_evals)?;
+                if span.is_enabled() {
+                    span.set_attr("gamma", gamma);
+                    span.set_attr("max_evals", cfg.line_search_evals);
+                    span.add_count("sims", env.sim_count() - sims_before);
+                }
+                d_new
             } else {
                 d_star
             };
             if (&d_new - &d_f).norm_inf() < 1e-12 {
+                iter_span.set_attr("accepted", false);
                 break; // constraint pull-back cancelled the whole move
             }
             d_f = d_new;
@@ -287,7 +356,10 @@ impl YieldOptimizer {
                 3 => "3rd Iter.".to_string(),
                 n => format!("{n}th Iter."),
             };
-            match WcAnalysis::new(env, cfg.wc_options).run(&d_f) {
+            match WcAnalysis::new(env, cfg.wc_options)
+                .with_tracer(itr.clone())
+                .run(&d_f)
+            {
                 Ok(a) => {
                     analysis = a;
                     model = LinearizedYield::new(
@@ -296,12 +368,13 @@ impl YieldOptimizer {
                         cfg.mc_samples,
                         cfg.seed.wrapping_add(iter as u64),
                     )?;
-                    snapshots.push(self.snapshot(env, &label, &d_f, &analysis, &model)?);
+                    snapshots.push(self.snapshot(env, &label, &d_f, &analysis, &model, &itr)?);
                 }
                 Err(e) if is_simulation_failure(&e) => {
                     // The move produced a nonfunctional circuit (possible
                     // only without the feasibility machinery — the Table 3
                     // ablation). Record it as a dead design and stop.
+                    iter_span.set_attr("collapsed", true);
                     snapshots.push(collapsed_snapshot(
                         &label,
                         &d_f,
@@ -313,6 +386,12 @@ impl YieldOptimizer {
                 }
                 Err(e) => return Err(e.into()),
             }
+        }
+
+        finish_run_span(&mut run_span, env);
+        drop(run_span);
+        if let Some(journal) = self.tracer.journal() {
+            journal.flush();
         }
 
         Ok(OptimizationTrace {
@@ -331,15 +410,19 @@ impl YieldOptimizer {
         d_f: &DVec,
         analysis: &WcResult,
         model: &LinearizedYield,
+        tracer: &Tracer,
     ) -> Result<IterationSnapshot, SpecwiseError> {
         let estimated_yield = model.estimate(d_f)?;
         let bad_per_mille = model.bad_per_mille(d_f)?;
         let verified = if self.config.verify_samples > 0 {
-            Some(mc_verify(
+            Some(mc_verify_traced(
                 env,
                 d_f,
-                self.config.verify_samples,
-                self.config.seed ^ 0xABCD,
+                &McOptions {
+                    n_samples: self.config.verify_samples,
+                    seed: self.config.seed ^ 0xABCD,
+                },
+                tracer,
             )?)
         } else {
             None
@@ -355,6 +438,34 @@ impl YieldOptimizer {
             sim_count: env.sim_count(),
             collapsed: false,
         })
+    }
+}
+
+/// Attaches the end-of-run accounting to the root `run` span: total and
+/// per-phase simulation counts (the `SimCounter` attribution), plus the
+/// engine counters (cache hits, retries, batches) when the run went through
+/// an [`EvalService`](specwise_exec::EvalService).
+fn finish_run_span<E: Evaluator + ?Sized>(span: &mut Span, env: &E) {
+    if !span.is_enabled() {
+        return;
+    }
+    span.add_count("sims", env.sim_count());
+    let per_phase = env.sim_phase_counts();
+    for phase in SimPhase::ALL {
+        let n = per_phase[phase.index()];
+        if n > 0 {
+            span.add_count(&format!("sims_{}", phase.label().replace(' ', "_")), n);
+        }
+    }
+    if let Some(report) = env.exec_report() {
+        span.set_attr("workers", report.workers);
+        span.add_count("cache_hits", report.cache_hits);
+        span.add_count("cache_misses", report.cache_misses);
+        span.add_count("retries", report.retries);
+        span.add_count("recovered", report.recovered);
+        span.add_count("sim_failures", report.sim_failures);
+        span.add_count("batches", report.batches);
+        span.add_count("batch_points", report.batch_points);
     }
 }
 

@@ -7,6 +7,7 @@
 use std::fmt::Write as _;
 
 use specwise_ckt::CircuitEnv;
+use specwise_trace::Tracer;
 
 use crate::{IterationSnapshot, MismatchEntry, OptimizationTrace};
 
@@ -209,6 +210,64 @@ pub fn effort_breakdown_table(rows: &[(String, &OptimizationTrace)]) -> String {
             }
         }
         let _ = writeln!(out, "{:>9.2}s", trace.wall_time.as_secs_f64());
+    }
+    out
+}
+
+/// Renders the complete end-of-run report the examples print: the
+/// iteration table, the final design, the simulation effort line, and —
+/// when `tracer` is enabled — the journal path and the per-phase span
+/// summary of the run (flushing the journal first so the JSONL file is
+/// complete on disk by the time the path is shown).
+///
+/// When the journal is backed by a file (`SPECWISE_TRACE=run.jsonl`), a
+/// `run.jsonl.chrome.json` sidecar in Chrome Trace Event format is written
+/// next to it, ready to load in `chrome://tracing` or Perfetto.
+pub fn run_report(env: &dyn CircuitEnv, trace: &OptimizationTrace, tracer: &Tracer) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", iteration_table(env, trace));
+    let _ = writeln!(out, "final design:");
+    for (p, v) in env
+        .design_space()
+        .params()
+        .iter()
+        .zip(trace.final_design().iter())
+    {
+        let _ = writeln!(out, "  {:<4} = {:>8.2} {}", p.name, v, p.unit);
+    }
+    let _ = writeln!(
+        out,
+        "\neffort: {} simulator calls, {:.1} s wall clock (cf. paper Table 7)",
+        trace.total_sims,
+        trace.wall_time.as_secs_f64()
+    );
+    if let Some(report) = &trace.exec {
+        let _ = writeln!(out, "\n{report}");
+    }
+    if let Some(journal) = tracer.journal() {
+        journal.flush();
+        let _ = writeln!(out);
+        out.push_str(&journal.summary());
+        if let Some(path) = journal.path() {
+            let mut chrome = path.as_os_str().to_owned();
+            chrome.push(".chrome.json");
+            match journal.write_chrome_trace(&chrome) {
+                Ok(()) => {
+                    let _ = writeln!(
+                        out,
+                        "chrome trace:  {} (load in chrome://tracing or Perfetto)",
+                        std::path::Path::new(&chrome).display()
+                    );
+                }
+                Err(err) => {
+                    let _ = writeln!(
+                        out,
+                        "chrome trace:  export failed ({}): {err}",
+                        std::path::Path::new(&chrome).display()
+                    );
+                }
+            }
+        }
     }
     out
 }

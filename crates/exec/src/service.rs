@@ -20,6 +20,7 @@ use specwise_ckt::{
     CircuitEnv, CktError, DesignSpace, OperatingPoint, OperatingRange, SimPhase, Spec, StatSpace,
 };
 use specwise_linalg::DVec;
+use specwise_trace::Tracer;
 
 use crate::cache::Cache;
 use crate::config::{fmt_duration, ExecConfig};
@@ -334,6 +335,7 @@ pub struct EvalService<'e, E: CircuitEnv + Sync + ?Sized> {
     phase: AtomicUsize,
     phase_wall_ns: [AtomicU64; SimPhase::COUNT],
     started: Instant,
+    tracer: Tracer,
 }
 
 impl<E: CircuitEnv + Sync + ?Sized> std::fmt::Debug for EvalService<'_, E> {
@@ -362,7 +364,16 @@ impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
             phase: AtomicUsize::new(SimPhase::Other.index()),
             phase_wall_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             started: Instant::now(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a [`Tracer`]: every batch fan-out emits a `batch` event
+    /// (point count + active phase) into the journal. With the default
+    /// disabled tracer the emission is a single branch per batch.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Wraps `env` with configuration from the process environment
@@ -483,6 +494,16 @@ impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batch_points
             .fetch_add(points.len() as u64, Ordering::Relaxed);
+        if self.tracer.is_enabled() {
+            let phase = SimPhase::ALL[self.phase.load(Ordering::Relaxed).min(SimPhase::COUNT - 1)];
+            self.tracer.event(
+                "batch",
+                &[
+                    ("points", points.len().into()),
+                    ("phase", phase.label().into()),
+                ],
+            );
+        }
         // Publish the warm-start snapshot exactly once, before fan-out:
         // every point of this batch seeds from the same committed state, so
         // Newton iteration counts do not depend on worker count or

@@ -226,7 +226,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Allowed size arguments of [`vec`]: a fixed length or a range.
+        /// Allowed size arguments of [`vec()`]: a fixed length or a range.
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
@@ -249,7 +249,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

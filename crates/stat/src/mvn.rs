@@ -8,7 +8,8 @@ use crate::{StandardNormal, StatError};
 /// A multivariate normal distribution `N(µ, C)` factored as `C = G·Gᵀ`.
 ///
 /// This is the statistical-parameter model of the paper: samples are drawn
-/// as `s = G·ŝ + s0` with `ŝ ~ N(0, I)` (Eq. 11), and the same factor maps
+/// as `s = G·ŝ + s0` with `ŝ ~ N(0, I)` (Eq. 11) so the probability density
+/// becomes the standard normal of Eq. 12, and the same factor maps
 /// worst-case points back and forth between the physical and the
 /// standardized space.
 ///

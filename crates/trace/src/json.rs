@@ -1,0 +1,512 @@
+//! Minimal hand-rolled JSON support.
+//!
+//! The workspace is fully offline and `specwise-trace` is zero-dependency by
+//! design, so journal records are serialized with a small purpose-built
+//! writer and parsed back (for round-trip tests and [`crate::Journal::from_jsonl`])
+//! with an equally small recursive-descent parser. Both cover exactly the
+//! JSON subset the journal emits: objects, arrays, strings, finite numbers,
+//! booleans and `null`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A typed attribute value attached to a span or event.
+///
+/// Everything the flow records — spec indices, worst-case distances
+/// `β_wc`, statistical points `ŝ_wc`, accepted/rejected flags, estimator
+/// variances — fits one of these variants. Non-finite floats serialize as
+/// `null` (JSON has no NaN/∞).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    /// A boolean flag (e.g. `accepted`, `converged`, `mirrored`).
+    Bool(bool),
+    /// An unsigned counter-like value (sample counts, spec indices).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A scalar measurement (margins, distances, variances).
+    F64(f64),
+    /// A free-form label (spec names, corner descriptions).
+    Str(String),
+    /// A numeric vector (worst-case points `θ_wc`, `ŝ_wc`).
+    List(Vec<f64>),
+}
+
+impl From<bool> for TraceValue {
+    fn from(v: bool) -> Self {
+        TraceValue::Bool(v)
+    }
+}
+impl From<u64> for TraceValue {
+    fn from(v: u64) -> Self {
+        TraceValue::U64(v)
+    }
+}
+impl From<usize> for TraceValue {
+    fn from(v: usize) -> Self {
+        TraceValue::U64(v as u64)
+    }
+}
+impl From<u32> for TraceValue {
+    fn from(v: u32) -> Self {
+        TraceValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for TraceValue {
+    fn from(v: i64) -> Self {
+        TraceValue::I64(v)
+    }
+}
+impl From<f64> for TraceValue {
+    fn from(v: f64) -> Self {
+        TraceValue::F64(v)
+    }
+}
+impl From<&str> for TraceValue {
+    fn from(v: &str) -> Self {
+        TraceValue::Str(v.to_string())
+    }
+}
+impl From<String> for TraceValue {
+    fn from(v: String) -> Self {
+        TraceValue::Str(v)
+    }
+}
+impl From<&[f64]> for TraceValue {
+    fn from(v: &[f64]) -> Self {
+        TraceValue::List(v.to_vec())
+    }
+}
+impl From<Vec<f64>> for TraceValue {
+    fn from(v: Vec<f64>) -> Self {
+        TraceValue::List(v)
+    }
+}
+
+impl TraceValue {
+    /// Append this value's JSON representation to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            TraceValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            TraceValue::U64(n) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{n}");
+            }
+            TraceValue::I64(n) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{n}");
+            }
+            TraceValue::F64(x) => write_f64(out, *x),
+            TraceValue::Str(s) => write_json_string(out, s),
+            TraceValue::List(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_f64(out, *x);
+                }
+                out.push(']');
+            }
+        }
+    }
+
+    /// Reconstruct a value from parsed JSON (inverse of [`write_json`]).
+    ///
+    /// Integral numbers come back as [`TraceValue::U64`]/[`TraceValue::I64`],
+    /// everything else as [`TraceValue::F64`]; `null` (a serialized
+    /// non-finite float) comes back as NaN.
+    ///
+    /// [`write_json`]: TraceValue::write_json
+    pub fn from_json(json: &Json) -> Option<TraceValue> {
+        match json {
+            Json::Bool(b) => Some(TraceValue::Bool(*b)),
+            Json::Num(x) => Some(num_to_value(*x)),
+            Json::Str(s) => Some(TraceValue::Str(s.clone())),
+            Json::Null => Some(TraceValue::F64(f64::NAN)),
+            Json::Arr(items) => {
+                let mut xs = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Json::Num(x) => xs.push(*x),
+                        Json::Null => xs.push(f64::NAN),
+                        _ => return None,
+                    }
+                }
+                Some(TraceValue::List(xs))
+            }
+            Json::Obj(_) => None,
+        }
+    }
+}
+
+fn num_to_value(x: f64) -> TraceValue {
+    if x.fract() == 0.0 && x.abs() < 9.0e15 {
+        if x >= 0.0 {
+            TraceValue::U64(x as u64)
+        } else {
+            TraceValue::I64(x as i64)
+        }
+    } else {
+        TraceValue::F64(x)
+    }
+}
+
+/// Write a finite float as a round-trippable JSON number (`null` if
+/// non-finite, which JSON cannot represent).
+pub fn write_f64(out: &mut String, x: f64) {
+    use fmt::Write as _;
+    if x.is_finite() {
+        if x.fract() == 0.0 && x.abs() < 1.0e15 {
+            // Keep integral floats compact and unambiguous ("3.0", not "3").
+            let _ = write!(out, "{x:.1}");
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal with full escaping.
+pub fn write_json_string(out: &mut String, s: &str) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value (used by [`crate::Journal::from_jsonl`] and the
+/// schema tests; not a general-purpose JSON library).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is not preserved (keys are sorted).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is an integral number ≥ 0.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 9.0e15 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced by [`parse`]: byte offset plus a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a single JSON document. Trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: &str) -> JsonError {
+    JsonError {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "invalid utf-8"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(start, "invalid number"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| err(*pos, "invalid code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point.
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid utf-8"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"{"a": [1, 2.5, -3e2, null], "b": {"c": "x\n\"y\""}, "t": true}"#;
+        let json = parse(doc).unwrap();
+        assert_eq!(json.get("a").unwrap().as_arr().unwrap().len(), 4);
+        assert_eq!(
+            json.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            json.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\n\"y\"")
+        );
+        assert_eq!(json.get("t"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let nasty = "tab\t newline\n quote\" backslash\\ unicode \u{1}µ";
+        let mut out = String::new();
+        write_json_string(&mut out, nasty);
+        let parsed = parse(&out).unwrap();
+        assert_eq!(parsed.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for x in [0.0, -1.5, 3.0, 1.0e-12, 6.02214076e23, -0.3333333333333333] {
+            let mut out = String::new();
+            write_f64(&mut out, x);
+            let parsed = parse(&out).unwrap();
+            assert_eq!(parsed.as_f64(), Some(x), "value {x} via {out}");
+        }
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn trace_value_round_trips() {
+        let values = [
+            TraceValue::Bool(true),
+            TraceValue::U64(42),
+            TraceValue::I64(-7),
+            TraceValue::F64(1.25),
+            TraceValue::Str("β_wc".to_string()),
+            TraceValue::List(vec![0.5, -0.5, 3.0]),
+        ];
+        for v in values {
+            let mut out = String::new();
+            v.write_json(&mut out);
+            let parsed = parse(&out).unwrap();
+            assert_eq!(TraceValue::from_json(&parsed), Some(v), "via {out}");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The [`Tracer`] handle and RAII [`Span`] guard.
+
+use std::sync::Arc;
+
+use crate::journal::{EventRecord, Journal, Record, SpanRecord};
+use crate::json::TraceValue;
+
+/// Name of the environment variable that enables tracing in
+/// [`Tracer::from_env`]: set it to a file path to stream the run journal
+/// there as JSONL (e.g. `SPECWISE_TRACE=run.jsonl`).
+pub const TRACE_ENV_VAR: &str = "SPECWISE_TRACE";
+
+#[derive(Clone)]
+struct Enabled {
+    journal: Arc<Journal>,
+    parent: Option<u64>,
+}
+
+/// A cheap, cloneable handle for emitting spans and events into a
+/// [`Journal`] — or a no-op when tracing is disabled.
+///
+/// The disabled state is a `None` inside the handle, so every emission
+/// method is a single branch when tracing is off; the flow can keep its
+/// instrumentation unconditional without measurable overhead (asserted by
+/// the `exec` Criterion bench).
+///
+/// A tracer carries the id of the span it was derived from
+/// ([`Span::tracer`]), so spans opened through it become children of that
+/// span. The top-level handle from [`Tracer::new`] / [`Tracer::from_env`]
+/// opens root spans.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Enabled>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    /// Same as [`Tracer::disabled`].
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing. This is the default everywhere a
+    /// tracer is accepted.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer emitting root spans into `journal`.
+    pub fn new(journal: Arc<Journal>) -> Tracer {
+        Tracer {
+            inner: Some(Enabled {
+                journal,
+                parent: None,
+            }),
+        }
+    }
+
+    /// Build a tracer from the [`TRACE_ENV_VAR`] environment knob: when
+    /// `SPECWISE_TRACE=path.jsonl` is set (non-empty), the returned tracer
+    /// streams the journal to that path; otherwise it is disabled. An
+    /// unwritable path prints a warning to stderr and disables tracing
+    /// rather than failing the run.
+    pub fn from_env() -> Tracer {
+        match std::env::var(TRACE_ENV_VAR) {
+            Ok(path) if !path.trim().is_empty() => match Journal::with_jsonl(path.trim()) {
+                Ok(journal) => Tracer::new(Arc::new(journal)),
+                Err(e) => {
+                    eprintln!("specwise-trace: cannot open {path:?}: {e}; tracing disabled");
+                    Tracer::disabled()
+                }
+            },
+            _ => Tracer::disabled(),
+        }
+    }
+
+    /// `true` when this handle records into a journal.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The backing journal, when enabled.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.inner.as_ref().map(|e| &e.journal)
+    }
+
+    /// Open a span. The span closes (and is recorded) when the returned
+    /// guard drops; use [`Span::tracer`] to nest children under it.
+    /// On a disabled tracer this returns a no-op guard.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            None => Span { state: None },
+            Some(enabled) => {
+                let journal = Arc::clone(&enabled.journal);
+                let id = journal.next_span_id();
+                let start_us = journal.now_us();
+                Span {
+                    state: Some(SpanState {
+                        journal,
+                        id,
+                        parent: enabled.parent,
+                        name: name.to_string(),
+                        start_us,
+                        attrs: Vec::new(),
+                        counters: Vec::new(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Emit an instantaneous event (attached to the parent span of this
+    /// tracer, if any). A no-op on a disabled tracer.
+    pub fn event(&self, name: &str, attrs: &[(&str, TraceValue)]) {
+        if let Some(enabled) = &self.inner {
+            let ts_us = enabled.journal.now_us();
+            enabled.journal.record(Record::Event(EventRecord {
+                span: enabled.parent,
+                name: name.to_string(),
+                thread: 0,
+                ts_us,
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            }));
+        }
+    }
+}
+
+struct SpanState {
+    journal: Arc<Journal>,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_us: u64,
+    attrs: Vec<(String, TraceValue)>,
+    counters: Vec<(String, u64)>,
+}
+
+/// RAII guard for an open span: records the completed [`SpanRecord`]
+/// (with its end timestamp, attributes and counters) when dropped.
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Span {
+    /// `true` when this span records into a journal.
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The span id, when enabled.
+    pub fn id(&self) -> Option<u64> {
+        self.state.as_ref().map(|s| s.id)
+    }
+
+    /// A tracer whose spans/events become children of this span.
+    pub fn tracer(&self) -> Tracer {
+        match &self.state {
+            None => Tracer::disabled(),
+            Some(state) => Tracer {
+                inner: Some(Enabled {
+                    journal: Arc::clone(&state.journal),
+                    parent: Some(state.id),
+                }),
+            },
+        }
+    }
+
+    /// Set (or overwrite) an attribute on this span.
+    pub fn set_attr(&mut self, key: &str, value: impl Into<TraceValue>) {
+        if let Some(state) = &mut self.state {
+            let value = value.into();
+            if let Some(slot) = state.attrs.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                state.attrs.push((key.to_string(), value));
+            }
+        }
+    }
+
+    /// Add `n` to a named counter on this span (created at 0).
+    pub fn add_count(&mut self, key: &str, n: u64) {
+        if let Some(state) = &mut self.state {
+            if let Some(slot) = state.counters.iter_mut().find(|(k, _)| k == key) {
+                slot.1 += n;
+            } else {
+                state.counters.push((key.to_string(), n));
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let end_us = state.journal.now_us();
+            state.journal.record(Record::Span(SpanRecord {
+                id: state.id,
+                parent: state.parent,
+                name: state.name,
+                thread: 0,
+                start_us: state.start_us,
+                end_us,
+                attrs: state.attrs,
+                counters: state.counters,
+            }));
+        }
+    }
+}

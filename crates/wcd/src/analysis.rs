@@ -5,6 +5,7 @@
 use specwise_ckt::SimPhase;
 use specwise_exec::Evaluator;
 use specwise_linalg::DVec;
+use specwise_trace::Tracer;
 
 use crate::corners::worst_case_corners;
 use crate::gradient::margins_gradient_d;
@@ -52,6 +53,7 @@ impl WcResult {
 pub struct WcAnalysis<'e, E: Evaluator + ?Sized> {
     env: &'e E,
     options: WcOptions,
+    tracer: Tracer,
 }
 
 impl<E: Evaluator + ?Sized> Clone for WcAnalysis<'_, E> {
@@ -59,6 +61,7 @@ impl<E: Evaluator + ?Sized> Clone for WcAnalysis<'_, E> {
         WcAnalysis {
             env: self.env,
             options: self.options,
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -75,7 +78,21 @@ impl<E: Evaluator + ?Sized> std::fmt::Debug for WcAnalysis<'_, E> {
 impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
     /// Creates an analysis bound to an evaluator.
     pub fn new(env: &'e E, options: WcOptions) -> Self {
-        WcAnalysis { env, options }
+        WcAnalysis {
+            env,
+            options,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a [`Tracer`]: the analysis then records one `wc_analysis`
+    /// span with a `corners` child plus, per specification, a `wcd_spec`
+    /// span (carrying `θ_wc`, `ŝ_wc`, `β_wc` and the Eq. 8 search's
+    /// simulation count) and a `linearize` span for the design-gradient
+    /// finite-difference batch of Eq. 16.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Runs the analysis at the design point `d_f`.
@@ -91,8 +108,17 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
         let n_spec = env.specs().len();
         env.set_sim_phase(SimPhase::Wcd);
 
+        let mut analysis_span = self.tracer.span("wc_analysis");
+        let tr = analysis_span.tracer();
+
         // Per-spec worst-case operating corners (shared corner sweep).
-        let corners = worst_case_corners(env, d_f, &DVec::zeros(env.stat_dim()))?;
+        let corners = {
+            let mut span = tr.span("corners");
+            let sims_before = env.sim_count();
+            let corners = worst_case_corners(env, d_f, &DVec::zeros(env.stat_dim()))?;
+            span.add_count("sims", env.sim_count() - sims_before);
+            corners
+        };
         let nominal_margins: DVec = corners.iter().map(|(_, m)| *m).collect();
 
         let mut wc_points = Vec::with_capacity(n_spec);
@@ -103,6 +129,8 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
             let (theta_wc, nominal_margin) = corners[spec];
 
             env.set_sim_phase(SimPhase::Wcd);
+            let mut wcd_span = tr.span("wcd_spec");
+            let sims_before = env.sim_count();
             let wc = match self.options.linearization_point {
                 LinearizationPoint::WorstCase => {
                     match search.run(env, d_f, spec, &theta_wc) {
@@ -118,9 +146,21 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
                     self.nominal_anchor(d_f, spec, theta_wc, nominal_margin)?
                 }
             };
+            if wcd_span.is_enabled() {
+                wcd_span.set_attr("spec", spec);
+                wcd_span.set_attr("name", env.specs()[spec].name());
+                wcd_span.set_attr("theta_wc", vec![wc.theta_wc.temp_c, wc.theta_wc.vdd]);
+                wcd_span.set_attr("s_wc", wc.s_wc.as_slice());
+                wcd_span.set_attr("beta_wc", wc.beta_wc);
+                wcd_span.set_attr("converged", wc.converged);
+                wcd_span.add_count("sims", env.sim_count() - sims_before);
+            }
+            drop(wcd_span);
 
             // Design-space gradient at the anchor.
             env.set_sim_phase(SimPhase::Linearization);
+            let mut lin_span = tr.span("linearize");
+            let sims_before = env.sim_count();
             let (margins_anchor, jac_d) =
                 margins_gradient_d(env, d_f, &wc.s_wc, &wc.theta_wc, self.options.fd_step_d)?;
             let lin = SpecLinearization {
@@ -139,6 +179,7 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
             // linear performance the margin there would be ≈ 2·m(0); if it
             // is much lower, the performance degrades on both sides of the
             // nominal point and a mirrored model is added (Eqs. 21–22).
+            let mut mirrored = false;
             if self.options.mirrored_models
                 && matches!(
                     self.options.linearization_point,
@@ -150,11 +191,23 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
                 let linear_expectation = 2.0 * wc.nominal_margin - lin.margin_at_anchor;
                 if m_mirror < 0.5 * linear_expectation {
                     linearizations.push(lin.to_mirrored());
+                    mirrored = true;
                 }
             }
+            if lin_span.is_enabled() {
+                lin_span.set_attr("spec", spec);
+                lin_span.set_attr("mirrored", mirrored);
+                lin_span.add_count("sims", env.sim_count() - sims_before);
+            }
+            drop(lin_span);
 
             linearizations.push(lin);
             wc_points.push(wc);
+        }
+
+        if analysis_span.is_enabled() {
+            analysis_span.set_attr("n_specs", n_spec);
+            analysis_span.set_attr("n_models", linearizations.len());
         }
 
         Ok(WcResult {

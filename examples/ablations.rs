@@ -11,11 +11,12 @@
 //!   fails to improve.
 //!
 //! Run with `cargo run --release --example ablations`.
-//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration and
+//! `SPECWISE_TRACE=run.jsonl` to journal both ablation runs to one file.
 
 use std::error::Error;
 
-use specwise::{iteration_table, OptimizerConfig, YieldOptimizer};
+use specwise::{run_report, OptimizerConfig, Tracer, YieldOptimizer};
 use specwise_ckt::FoldedCascode;
 use specwise_wcd::LinearizationPoint;
 
@@ -26,24 +27,41 @@ fn quick_knobs(cfg: &mut OptimizerConfig) {
     }
 }
 
-fn main() -> Result<(), Box<dyn Error>> {
-    println!("=== Ablation 1: no functional constraints (cf. paper Table 3) ===");
+/// Runs one ablation configuration and prints the shared end-of-run report;
+/// both ablations journal into the same tracer, so a traced run yields one
+/// file with two top-level `run` spans.
+fn run_ablation(header: &str, cfg: OptimizerConfig, tracer: &Tracer) -> Result<(), Box<dyn Error>> {
+    println!("{header}");
     let env = FoldedCascode::paper_setup();
+    let trace = YieldOptimizer::new(cfg)
+        .with_tracer(tracer.clone())
+        .run(&env)?;
+    print!("{}", run_report(&env, &trace, tracer));
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let tracer = Tracer::from_env();
+
     let mut cfg = OptimizerConfig::default();
     cfg.use_constraints = false;
     cfg.max_iterations = 1;
     quick_knobs(&mut cfg);
-    let trace = YieldOptimizer::new(cfg).run(&env)?;
-    println!("{}", iteration_table(&env, &trace));
+    run_ablation(
+        "=== Ablation 1: no functional constraints (cf. paper Table 3) ===",
+        cfg,
+        &tracer,
+    )?;
 
-    println!("=== Ablation 2: linearization at the nominal point (cf. paper Table 4) ===");
-    let env = FoldedCascode::paper_setup();
     let mut cfg = OptimizerConfig::default();
     cfg.wc_options.linearization_point = LinearizationPoint::Nominal;
     cfg.max_iterations = 1;
     quick_knobs(&mut cfg);
-    let trace = YieldOptimizer::new(cfg).run(&env)?;
-    println!("{}", iteration_table(&env, &trace));
+    run_ablation(
+        "\n=== Ablation 2: linearization at the nominal point (cf. paper Table 4) ===",
+        cfg,
+        &tracer,
+    )?;
 
     Ok(())
 }

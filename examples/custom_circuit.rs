@@ -20,11 +20,14 @@
 //!   device and slewing capacitor).
 //!
 //! Run with `cargo run --release --example custom_circuit`.
-//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration and
+//! `SPECWISE_TRACE=run.jsonl` to journal every flow phase to disk.
 
 use std::error::Error;
 
-use specwise::{importance_verify, iteration_table, OptimizerConfig, YieldOptimizer};
+use specwise::{
+    importance_verify_traced, run_report, IsOptions, OptimizerConfig, Tracer, YieldOptimizer,
+};
 use specwise_ckt::{CircuitEnv, Testbench};
 use specwise_linalg::DVec;
 
@@ -128,18 +131,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         cfg.mc_samples = 5_000;
         cfg.verify_samples = 300;
     }
-    let trace = YieldOptimizer::new(cfg).run(&env)?;
-    println!("\n{}", iteration_table(&env, &trace));
-
-    println!("final design:");
-    for (p, v) in env
-        .design_space()
-        .params()
-        .iter()
-        .zip(trace.final_design().iter())
-    {
-        println!("  {:<4} = {:>8.2} {}", p.name, v, p.unit);
-    }
+    let tracer = Tracer::from_env();
+    let trace = YieldOptimizer::new(cfg)
+        .with_tracer(tracer.clone())
+        .run(&env)?;
+    println!();
+    print!("{}", run_report(&env, &trace, &tracer));
 
     if !quick {
         // After optimization the failure probability is usually too small
@@ -156,7 +153,13 @@ fn main() -> Result<(), Box<dyn Error>> {
             env.specs()[critical.spec].name(),
             critical.beta_wc
         );
-        let is = importance_verify(&env, &final_snap.design, &critical.s_wc, 2_000, 99)?;
+        let is = importance_verify_traced(
+            &env,
+            &final_snap.design,
+            &critical.s_wc,
+            &IsOptions { n: 2_000, seed: 99 },
+            &tracer,
+        )?;
         println!(
             "importance-sampled failure probability: {:.3e} (std err {:.1e}, ESS {:.0})",
             is.failure_probability, is.std_error, is.effective_sample_size

@@ -4,18 +4,20 @@
 //! linearization.
 //!
 //! Run with `cargo run --release --example folded_cascode_yield`.
-//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration and
+//! `SPECWISE_TRACE=run.jsonl` to journal every flow phase to disk.
 
 use std::error::Error;
 
 use specwise::{
-    improvement_table, iteration_table, mismatch_table, MismatchAnalysis, OptimizerConfig,
+    improvement_table, mismatch_table, run_report, MismatchAnalysis, OptimizerConfig, Tracer,
     YieldOptimizer,
 };
 use specwise_ckt::{CircuitEnv, FoldedCascode};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let env = FoldedCascode::paper_setup();
+    let tracer = Tracer::from_env();
     let mut config = OptimizerConfig::default();
     if std::env::var("SPECWISE_EXAMPLE_QUICK").is_ok() {
         config.mc_samples = 500;
@@ -29,14 +31,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         env.stat_dim()
     );
 
-    let trace = YieldOptimizer::new(config).run(&env)?;
+    let trace = YieldOptimizer::new(config)
+        .with_tracer(tracer.clone())
+        .run(&env)?;
 
     println!("\n=== Optimization trace (cf. paper Table 1) ===");
-    println!("{}", iteration_table(&env, &trace));
+    print!("{}", run_report(&env, &trace, &tracer));
 
     if trace.snapshots().len() >= 2 {
         let snaps = trace.snapshots();
-        println!("=== Improvement between iterations (cf. paper Table 2) ===");
+        println!("\n=== Improvement between iterations (cf. paper Table 2) ===");
         if let Some(t) = improvement_table(&env, &snaps[snaps.len() - 2], &snaps[snaps.len() - 1]) {
             println!("{t}");
         }
@@ -45,17 +49,5 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("=== Mismatch analysis at the initial design (cf. paper Table 5) ===");
     let entries = MismatchAnalysis::new().rank_all(&trace.initial().wc_points, 0.01);
     println!("{}", mismatch_table(&env, &entries, 5));
-
-    println!(
-        "Effort: {} simulator calls, {:.1} s wall clock (cf. paper Table 7)",
-        trace.total_sims,
-        trace.wall_time.as_secs_f64()
-    );
-
-    let final_design = trace.final_design();
-    println!("\nFinal design:");
-    for (p, v) in env.design_space().params().iter().zip(final_design.iter()) {
-        println!("  {:<4} = {:>8.2} {}", p.name, v, p.unit);
-    }
     Ok(())
 }

@@ -7,11 +7,12 @@
 //! design points along a line in the design space.
 //!
 //! Run with `cargo run --release --example mc_vs_linearized`.
-//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration and
+//! `SPECWISE_TRACE=run.jsonl` to journal the analysis and MC phases.
 
 use std::error::Error;
 
-use specwise::{mc_verify, LinearizedYield};
+use specwise::{mc_verify_traced, LinearizedYield, McOptions, Tracer};
 use specwise_ckt::{CircuitEnv, FoldedCascode};
 use specwise_wcd::{WcAnalysis, WcOptions};
 
@@ -20,9 +21,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let (model_samples, verify_samples) = if quick { (1_000, 50) } else { (10_000, 300) };
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
+    let tracer = Tracer::from_env();
 
     println!("Building spec-wise linearizations at the initial design…");
-    let analysis = WcAnalysis::new(&env, WcOptions::default()).run(&d0)?;
+    let analysis = WcAnalysis::new(&env, WcOptions::default())
+        .with_tracer(tracer.clone())
+        .run(&d0)?;
     println!(
         "  {} linear models ({} mirrored twins for mismatch-shaped specs)",
         analysis.linearizations().len(),
@@ -49,7 +53,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         let mut d = d0.clone();
         d[0] *= scale;
         let linearized = model.estimate(&d)?;
-        let simulated = mc_verify(&env, &d, verify_samples, 42)?;
+        let simulated = mc_verify_traced(
+            &env,
+            &d,
+            &McOptions {
+                n_samples: verify_samples,
+                seed: 42,
+            },
+            &tracer,
+        )?;
         println!(
             "{:>10.1} {:>17.1}% {:>17.1}%",
             d[0],
@@ -60,5 +72,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nNear the anchor the linearized estimate tracks the simulation MC");
     println!("closely at a tiny fraction of the cost; far from the anchor the");
     println!("models are re-linearized by the optimizer (Fig. 6 loop).");
+    if let Some(journal) = tracer.journal() {
+        journal.flush();
+        println!("\n{}", journal.summary());
+    }
     Ok(())
 }

@@ -2,15 +2,17 @@
 //! Miller (two-stage) opamp under global process variations.
 //!
 //! Run with `cargo run --release --example miller_yield`.
-//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for a fast smoke-test configuration and
+//! `SPECWISE_TRACE=run.jsonl` to journal every flow phase to disk.
 
 use std::error::Error;
 
-use specwise::{improvement_table, iteration_table, OptimizerConfig, YieldOptimizer};
+use specwise::{improvement_table, run_report, OptimizerConfig, Tracer, YieldOptimizer};
 use specwise_ckt::{CircuitEnv, MillerOpamp};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let env = MillerOpamp::paper_setup();
+    let tracer = Tracer::from_env();
     let mut config = OptimizerConfig::default();
     if std::env::var("SPECWISE_EXAMPLE_QUICK").is_ok() {
         config.mc_samples = 500;
@@ -24,33 +26,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         env.stat_dim()
     );
 
-    let trace = YieldOptimizer::new(config).run(&env)?;
+    let trace = YieldOptimizer::new(config)
+        .with_tracer(tracer.clone())
+        .run(&env)?;
 
     println!("\n=== Optimization trace (cf. paper Table 6) ===");
-    println!("{}", iteration_table(&env, &trace));
+    print!("{}", run_report(&env, &trace, &tracer));
 
     if trace.snapshots().len() >= 2 {
         let snaps = trace.snapshots();
-        println!("=== Improvement between iterations ===");
+        println!("\n=== Improvement between iterations ===");
         if let Some(t) = improvement_table(&env, &snaps[snaps.len() - 2], &snaps[snaps.len() - 1]) {
             println!("{t}");
         }
-    }
-
-    println!(
-        "Effort: {} simulator calls, {:.1} s wall clock (cf. paper Table 7)",
-        trace.total_sims,
-        trace.wall_time.as_secs_f64()
-    );
-
-    println!("\nFinal design:");
-    for (p, v) in env
-        .design_space()
-        .params()
-        .iter()
-        .zip(trace.final_design().iter())
-    {
-        println!("  {:<4} = {:>8.2} {}", p.name, v, p.unit);
     }
     Ok(())
 }

@@ -7,10 +7,11 @@
 //! show the Fig. 1 ridge structure of CMRR.
 //!
 //! Run with `cargo run --release --example mismatch_analysis`.
+//! Set `SPECWISE_TRACE=run.jsonl` to journal the worst-case analysis.
 
 use std::error::Error;
 
-use specwise::{eta, mismatch_table, MismatchAnalysis};
+use specwise::{eta, mismatch_table, MismatchAnalysis, Tracer};
 use specwise_ckt::{CircuitEnv, FoldedCascode};
 use specwise_linalg::DVec;
 use specwise_wcd::{WcAnalysis, WcOptions};
@@ -18,10 +19,13 @@ use specwise_wcd::{WcAnalysis, WcOptions};
 fn main() -> Result<(), Box<dyn Error>> {
     let env = FoldedCascode::paper_setup();
     let d0 = env.design_space().initial();
+    let tracer = Tracer::from_env();
 
     // Worst-case analysis at the initial design: per-spec worst-case
     // operating corners, worst-case points and distances.
-    let result = WcAnalysis::new(&env, WcOptions::default()).run(&d0)?;
+    let result = WcAnalysis::new(&env, WcOptions::default())
+        .with_tracer(tracer.clone())
+        .run(&d0)?;
     println!("Worst-case distances (β_wc) at the initial design:");
     for wc in result.worst_case_points() {
         println!(
@@ -66,5 +70,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nThe mismatch line degrades CMRR on both sides of nominal (the");
     println!("semidefinite-quadratic behaviour handled by the mirrored models,");
     println!("Eqs. 21-22), while the neutral line is almost flat.");
+    if let Some(journal) = tracer.journal() {
+        journal.flush();
+        println!("\n{}", journal.summary());
+    }
     Ok(())
 }

@@ -11,11 +11,12 @@
 //! 4. verify the improvement.
 //!
 //! Run with `cargo run --release --example quickstart`.
-//! Set `SPECWISE_EXAMPLE_QUICK=1` for an even faster smoke-test run.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for an even faster smoke-test run and
+//! `SPECWISE_TRACE=run.jsonl` to journal every flow phase to disk.
 
 use std::error::Error;
 
-use specwise::{mc_verify, OptimizerConfig, YieldOptimizer};
+use specwise::{mc_verify_traced, McOptions, OptimizerConfig, Tracer, YieldOptimizer};
 use specwise_ckt::{CircuitEnv, FoldedCascode};
 use specwise_linalg::DVec;
 
@@ -42,7 +43,16 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 2. Simulation-based Monte-Carlo yield of the initial design
     //    (evaluated at each spec's worst-case operating corner, Eqs. 6-7).
-    let before = mc_verify(&env, &d0, if quick { 50 } else { 200 }, 7)?;
+    let tracer = Tracer::from_env();
+    let before = mc_verify_traced(
+        &env,
+        &d0,
+        &McOptions {
+            n_samples: if quick { 50 } else { 200 },
+            seed: 7,
+        },
+        &tracer,
+    )?;
     println!("\nInitial verified yield: {}", before.yield_estimate);
 
     // 3. One iteration of the paper's optimization loop (Fig. 6).
@@ -50,7 +60,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     config.max_iterations = 1;
     config.mc_samples = if quick { 500 } else { 4_000 };
     config.verify_samples = if quick { 50 } else { 200 };
-    let trace = YieldOptimizer::new(config).run(&env)?;
+    let trace = YieldOptimizer::new(config)
+        .with_tracer(tracer.clone())
+        .run(&env)?;
 
     // 4. The improvement.
     let after = trace.final_snapshot();
@@ -67,5 +79,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         trace.total_sims,
         trace.wall_time.as_secs_f64()
     );
+    if let Some(journal) = tracer.journal() {
+        journal.flush();
+        println!("\n{}", journal.summary());
+    }
     Ok(())
 }

@@ -4,6 +4,7 @@
 //! of the folded-cascode opamp.
 //!
 //! Run with `cargo run --release --example simulator_tour`.
+//! Set `SPECWISE_TRACE=run.jsonl` to journal each tour stop as a span.
 
 use std::error::Error;
 
@@ -12,9 +13,15 @@ use specwise_linalg::DVec;
 use specwise_mna::{
     AcSolver, Circuit, DcOp, MosfetModel, MosfetParams, Transient, TransientOptions, Waveform,
 };
+use specwise_trace::Tracer;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    // The tracer works standalone too: each tour stop below becomes a span
+    // in the journal when `SPECWISE_TRACE` points at a file.
+    let tracer = Tracer::from_env();
+
     // --- 1. A common-source amplifier from scratch. -----------------------
+    let mut span = tracer.span("common_source");
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
     let gate = ckt.node("g");
@@ -48,8 +55,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         20.0 * a0.log10(),
         f3db / 1e6
     );
+    span.set_attr("a0_db", 20.0 * a0.log10());
+    span.set_attr("f3db_mhz", f3db / 1e6);
+    drop(span);
 
     // --- 2. Transient: inverter step response. ----------------------------
+    let span = tracer.span("transient_step");
     let mut tr_ckt = ckt.clone();
     tr_ckt.set_stimulus(
         "VG",
@@ -67,8 +78,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         tr.final_voltage(out),
         tr.max_slope(out) / 1e6
     );
+    drop(span);
 
     // --- 3. Slew rate of the folded cascode: analytic vs transient. -------
+    let mut span = tracer.span("slew_cross_check");
     println!("\nFolded-cascode slew rate, analytic vs large-signal transient:");
     let theta = FoldedCascode::paper_setup().operating_range().nominal();
     let d0 = FoldedCascode::paper_setup().design_space().initial();
@@ -91,5 +104,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let ratio = sr_transient / sr_analytic;
     println!("  ratio: {ratio:.2} (the textbook formula is the large-signal limit)");
+    span.set_attr("ratio", ratio);
+    drop(span);
+
+    if let Some(journal) = tracer.journal() {
+        journal.flush();
+        println!("\n{}", journal.summary());
+    }
     Ok(())
 }

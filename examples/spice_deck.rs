@@ -9,6 +9,7 @@
 //!    Miller opamp deck and round-trip it through the canonical printer.
 //!
 //! Run with `cargo run --release --example spice_deck`.
+//! Set `SPECWISE_TRACE=run.jsonl` to journal the two layers as spans.
 
 use std::error::Error;
 
@@ -16,6 +17,7 @@ use specwise_ckt::{CircuitEnv, MillerOpamp, Testbench};
 use specwise_mna::{
     parse_deck, parse_deck_ast, AcSolver, DcOp, Stimulus, Transient, TransientOptions,
 };
+use specwise_trace::Tracer;
 
 const DECK: &str = "
 * single-stage common-source amplifier with source degeneration bypassed
@@ -29,8 +31,12 @@ M1  out g 0 0 NMOS W=12u L=1.2u
 ";
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let tracer = Tracer::from_env();
+
     // ---- 1. A plain deck: parse and simulate directly. -------------------
+    let mut span = tracer.span("plain_deck");
     let mut ckt = parse_deck(DECK)?;
+    span.set_attr("elements", ckt.num_elements());
     println!(
         "parsed {} elements, {} nodes",
         ckt.num_elements(),
@@ -79,10 +85,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         tr.final_voltage(out)
     );
 
+    drop(span);
+
     // ---- 2. An annotated deck: the full testbench IR. --------------------
     // The built-in Miller environment is itself compiled from a deck; its
     // AST exposes every directive as typed data.
+    let mut span = tracer.span("annotated_deck");
     let ast = parse_deck_ast(MillerOpamp::deck())?;
+    span.set_attr("specs", ast.specs.len());
     println!(
         "\nannotated deck {:?}: {} elements, {} design vars, {} specs, {} tb keys",
         ast.title.as_deref().unwrap_or("?"),
@@ -121,5 +131,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         perf[0],
         perf[1]
     );
+    drop(span);
+
+    if let Some(journal) = tracer.journal() {
+        journal.flush();
+        println!("\n{}", journal.summary());
+    }
     Ok(())
 }

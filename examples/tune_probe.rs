@@ -1,16 +1,20 @@
 //! Development probe: prints the raw metrics of both opamps at the initial
 //! design over the operating corners and under sample mismatch deviations.
 //! Used to calibrate the paper_setup() sizings; kept as a diagnostic tool.
+//! Set `SPECWISE_TRACE=run.jsonl` to journal the probe sections as spans.
 
 use specwise_ckt::{CircuitEnv, FoldedCascode, MillerOpamp};
 use specwise_linalg::DVec;
+use specwise_trace::Tracer;
 
 fn main() {
+    let tracer = Tracer::from_env();
     let fc = FoldedCascode::paper_setup();
     let d0 = fc.design_space().initial();
     let s0 = DVec::zeros(fc.stat_dim());
 
     println!("== Folded cascode, nominal s, all corners + nominal theta ==");
+    let span = tracer.span("folded_cascode_probe");
     let mut thetas = fc.operating_range().corners();
     thetas.push(fc.operating_range().nominal());
     for th in &thetas {
@@ -56,7 +60,10 @@ fn main() {
             .cmrr_db
     );
 
+    drop(span);
+
     println!("== Miller, nominal s, corners + nominal ==");
+    let span = tracer.span("miller_probe");
     let mi = MillerOpamp::paper_setup();
     let dm = mi.design_space().initial();
     let sm = DVec::zeros(mi.stat_dim());
@@ -74,5 +81,11 @@ fn main() {
             ),
             Err(e) => println!("{th}: ERROR {e}"),
         }
+    }
+    drop(span);
+
+    if let Some(journal) = tracer.journal() {
+        journal.flush();
+        println!("\n{}", journal.summary());
     }
 }

@@ -8,6 +8,8 @@
 //! * [`specwise_mna`] — the circuit simulator
 //! * [`specwise_ckt`] — circuits, technology, statistical spaces
 //! * [`specwise_wcd`] — worst-case analysis and spec-wise linearization
+//! * [`specwise_trace`] — the structured run journal (spans, JSONL,
+//!   Chrome-trace export)
 //! * [`specwise`] — the yield optimizer and mismatch analysis
 
 pub use specwise;
@@ -15,4 +17,15 @@ pub use specwise_ckt;
 pub use specwise_linalg;
 pub use specwise_mna;
 pub use specwise_stat;
+pub use specwise_trace;
 pub use specwise_wcd;
+
+// Compile the markdown code blocks of the top-level docs as doctests so the
+// README and DESIGN.md snippets can never silently go stale.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
+#[cfg(doctest)]
+#[doc = include_str!("../DESIGN.md")]
+mod design_doctests {}
