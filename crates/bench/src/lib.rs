@@ -193,13 +193,13 @@ pub fn run_fig4(n: usize) -> Result<Vec<(f64, f64, f64, f64)>, CktError> {
             d[8] = wt;
             let c = match env.eval_constraints(&d) {
                 Ok(c) => c,
-                Err(CktError::Simulation(_)) => continue,
+                Err(e) if e.is_simulation_failure() => continue,
                 Err(e) => return Err(e),
             };
             let min_c = c.iter().fold(f64::INFINITY, |m, &x| m.min(x));
             let a0 = match env.eval_performances(&d, &s0, &theta) {
                 Ok(p) => p[0],
-                Err(CktError::Simulation(_)) => continue,
+                Err(e) if e.is_simulation_failure() => continue,
                 Err(e) => return Err(e),
             };
             out.push((w3, wt, a0, min_c));

@@ -45,6 +45,59 @@ pub enum CktError {
         /// Description of the problem.
         reason: String,
     },
+    /// A worker panicked while evaluating a point. Evaluation engines
+    /// isolate panics with `catch_unwind`, so a poisoned sample degrades to
+    /// this error instead of killing the process. Treated like a failed
+    /// simulation by retry and degradation policies.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An error annotated with where it happened: the evaluation phase,
+    /// spec under analysis, and a short summary of the offending
+    /// `(d, ŝ, θ)` point. Produced at layer boundaries (e.g. an
+    /// `EvalService` whose retries are exhausted) so a failed run names the
+    /// point instead of surfacing a bare [`CktError::Simulation`].
+    Context {
+        /// Human-readable location/point description.
+        context: String,
+        /// The underlying error.
+        source: Box<CktError>,
+    },
+}
+
+impl CktError {
+    /// Wraps this error with a location annotation (see
+    /// [`CktError::Context`]). Chains nest: the innermost context is the
+    /// most specific.
+    #[must_use]
+    pub fn with_context(self, context: impl Into<String>) -> CktError {
+        CktError::Context {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// The error underneath any [`CktError::Context`] annotations.
+    pub fn root(&self) -> &CktError {
+        match self {
+            CktError::Context { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// `true` for failures of the simulation itself — a non-converged or
+    /// singular solve ([`CktError::Simulation`]) or an isolated worker
+    /// panic ([`CktError::WorkerPanic`]) — looking through any
+    /// [`CktError::Context`] annotations. These are the errors retry and
+    /// degradation policies may absorb; configuration and dimension errors
+    /// must propagate.
+    pub fn is_simulation_failure(&self) -> bool {
+        matches!(
+            self.root(),
+            CktError::Simulation(_) | CktError::WorkerPanic { .. }
+        )
+    }
 }
 
 impl fmt::Display for CktError {
@@ -75,6 +128,10 @@ impl fmt::Display for CktError {
                     write!(f, "deck line {line}: {reason}")
                 }
             }
+            CktError::WorkerPanic { message } => {
+                write!(f, "worker panicked during evaluation: {message}")
+            }
+            CktError::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }
 }
@@ -83,6 +140,7 @@ impl Error for CktError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CktError::Simulation(e) => Some(e),
+            CktError::Context { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -91,5 +149,48 @@ impl Error for CktError {
 impl From<MnaError> for CktError {
     fn from(e: MnaError) -> Self {
         CktError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_error() -> CktError {
+        CktError::Simulation(MnaError::NoConvergence {
+            analysis: "dc",
+            iterations: 50,
+            residual: 1.0,
+        })
+    }
+
+    #[test]
+    fn context_wrapping_preserves_simulation_classification() {
+        let err = sim_error()
+            .with_context("wcd search, spec 'gain'")
+            .with_context("d=[1, 2] ŝ=[0] θ=nominal");
+        assert!(err.is_simulation_failure());
+        assert_eq!(err.root(), &sim_error());
+        let msg = err.to_string();
+        assert!(msg.contains("wcd search, spec 'gain'"), "{msg}");
+        assert!(msg.contains("simulation failed"), "{msg}");
+    }
+
+    #[test]
+    fn worker_panic_counts_as_simulation_failure() {
+        let err = CktError::WorkerPanic {
+            message: "index out of bounds".into(),
+        };
+        assert!(err.is_simulation_failure());
+        assert!(err.to_string().contains("worker panicked"));
+    }
+
+    #[test]
+    fn non_simulation_errors_stay_fatal_through_context() {
+        let err = CktError::InvalidConfig {
+            reason: "bad option",
+        }
+        .with_context("optimizer setup");
+        assert!(!err.is_simulation_failure());
     }
 }

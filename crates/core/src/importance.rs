@@ -58,9 +58,27 @@ pub struct IsResult {
     pub effective_sample_size: f64,
     /// Number of proposal samples drawn.
     pub n: usize,
-    /// Number of sample evaluations that failed to simulate; such samples
-    /// count as failures (a nonfunctional circuit yields nothing).
+    /// Number of sample evaluations that failed to simulate or produced
+    /// non-finite margins; such samples count as failures (a nonfunctional
+    /// circuit yields nothing).
     pub sim_failures: usize,
+    /// Importance weight (normalized by `n`) carried by degraded samples
+    /// with no observed spec violation — the probability mass whose true
+    /// pass/fail status is unknown. Widens [`IsResult::yield_interval`].
+    pub degraded_weight: f64,
+}
+
+impl IsResult {
+    /// The yield interval `[low, high]` implied by counting-and-excluding
+    /// degraded samples: `low` counts every degraded sample as failing
+    /// (this is [`IsResult::yield_value`]), `high` returns their
+    /// importance-weighted mass to the passing side. With no degradation
+    /// the interval collapses to the point estimate.
+    pub fn yield_interval(&self) -> (f64, f64) {
+        let low = self.yield_value;
+        let high = (low + self.degraded_weight).min(1.0);
+        (low, high)
+    }
 }
 
 /// Runs a mean-shifted importance-sampling verification at design `d`.
@@ -125,6 +143,9 @@ pub fn importance_verify_traced<E: Evaluator + ?Sized>(
         span.set_attr("variance", result.std_error * result.std_error);
         span.set_attr("effective_sample_size", result.effective_sample_size);
         span.set_attr("sim_failures", result.sim_failures);
+        let (lo, hi) = result.yield_interval();
+        span.set_attr("yield_low", lo);
+        span.set_attr("yield_high", hi);
         span.add_count("sims", env.sim_count() - sims_before);
     }
     Ok(result)
@@ -178,6 +199,8 @@ fn importance_verify_inner<E: Evaluator + ?Sized>(
     }
 
     let mut failed = vec![false; n];
+    let mut violated = vec![false; n];
+    let mut degraded = vec![false; n];
     let mut sim_failures = 0usize;
     for (theta, specs) in &groups {
         // Samples that already failed an earlier group are settled — the
@@ -192,13 +215,23 @@ fn importance_verify_inner<E: Evaluator + ?Sized>(
             .collect();
         for (&j, result) in live.iter().zip(env.eval_margins_batch(&points)) {
             match result {
+                // Non-finite margins are as unusable as a failed solve —
+                // `NaN < 0.0` is false, so without the guard a NaN sample
+                // would silently count as passing.
+                Ok(margins) if specs.iter().any(|&i| !margins[i].is_finite()) => {
+                    sim_failures += 1;
+                    degraded[j] = true;
+                    failed[j] = true;
+                }
                 Ok(margins) => {
                     if specs.iter().any(|&i| margins[i] < 0.0) {
                         failed[j] = true;
+                        violated[j] = true;
                     }
                 }
-                Err(specwise_ckt::CktError::Simulation(_)) => {
+                Err(e) if e.is_simulation_failure() => {
                     sim_failures += 1;
+                    degraded[j] = true;
                     failed[j] = true;
                 }
                 Err(e) => return Err(e.into()),
@@ -208,10 +241,14 @@ fn importance_verify_inner<E: Evaluator + ?Sized>(
 
     let mut fail_w = 0.0;
     let mut fail_w2 = 0.0;
+    let mut degraded_w = 0.0;
     for j in 0..n {
         if failed[j] {
             fail_w += weights[j];
             fail_w2 += weights[j] * weights[j];
+        }
+        if degraded[j] && !violated[j] {
+            degraded_w += weights[j];
         }
     }
 
@@ -231,6 +268,7 @@ fn importance_verify_inner<E: Evaluator + ?Sized>(
         effective_sample_size: ess,
         n,
         sim_failures,
+        degraded_weight: (degraded_w / nf).clamp(0.0, 1.0),
     })
 }
 

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod checkpoint;
 mod coordinate_search;
 mod error;
 mod feasibility;
@@ -58,6 +59,7 @@ mod report;
 mod wcd_max;
 mod yield_model;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_ENV_VAR, CHECKPOINT_VERSION};
 pub use coordinate_search::{CoordinateSearch, CoordinateSearchOptions};
 pub use error::SpecwiseError;
 pub use feasibility::{find_feasible_start, FeasibleStartOptions, LinearConstraints};

@@ -53,10 +53,14 @@ pub struct McVerification {
     /// The worst-case operating point used for each spec.
     pub theta_wc: Vec<OperatingPoint>,
     /// Number of sample evaluations that failed to simulate (non-converged
-    /// DC solves that survived any retries). Such samples are counted as
-    /// failing every spec of their corner group instead of aborting the
-    /// verification.
+    /// DC solves that survived any retries) or produced non-finite margins.
+    /// Such samples are counted as failing every spec of their corner group
+    /// instead of aborting the verification.
     pub sim_failures: usize,
+    /// Samples that were degraded (simulation failure or non-finite
+    /// margins) without any *observed* spec violation. Their true pass/fail
+    /// status is unknown; they widen [`McVerification::yield_interval`].
+    pub degraded_samples: usize,
 }
 
 impl McVerification {
@@ -67,6 +71,19 @@ impl McVerification {
             .iter()
             .map(|&b| 1000.0 * b as f64 / n)
             .collect()
+    }
+
+    /// The yield interval `[low, high]` implied by counting-and-excluding
+    /// degraded samples: `low` counts every degraded sample as failing
+    /// (this is [`McVerification::yield_estimate`], the conservative
+    /// point estimate), `high` counts every degraded sample with no
+    /// observed spec violation as passing. With no degradation the
+    /// interval collapses to the point estimate.
+    pub fn yield_interval(&self) -> (f64, f64) {
+        let n = self.yield_estimate.total() as f64;
+        let low = self.yield_estimate.value();
+        let high = (low + self.degraded_samples as f64 / n).min(1.0);
+        (low, high)
     }
 }
 
@@ -123,6 +140,10 @@ pub fn mc_verify_traced<E: Evaluator + ?Sized>(
         span.set_attr("passed", result.yield_estimate.passed());
         span.set_attr("yield", result.yield_estimate.value());
         span.set_attr("sim_failures", result.sim_failures);
+        span.set_attr("degraded_samples", result.degraded_samples);
+        let (lo, hi) = result.yield_interval();
+        span.set_attr("yield_low", lo);
+        span.set_attr("yield_high", hi);
         span.set_attr(
             "per_spec_bad",
             result
@@ -177,6 +198,11 @@ fn mc_verify_inner<E: Evaluator + ?Sized>(
     let mut per_spec_bad = vec![0usize; n_spec];
     let mut per_spec_margins = vec![RunningMoments::new(); n_spec];
     let mut ok = vec![true; n_samples];
+    // A sample observed violating a spec is a true failure; a sample that
+    // only ever failed to evaluate might still pass — the split feeds the
+    // reported yield interval.
+    let mut violated = vec![false; n_samples];
+    let mut degraded = vec![false; n_samples];
     let mut sim_failures = 0usize;
 
     for (theta, specs) in &groups {
@@ -186,20 +212,36 @@ fn mc_verify_inner<E: Evaluator + ?Sized>(
             .collect();
         for (j, result) in env.eval_margins_batch(&points).into_iter().enumerate() {
             match result {
+                // A non-finite margin is as unusable as a failed solve —
+                // without the guard a NaN would silently count as passing
+                // (`NaN < 0.0` is false).
+                Ok(margins) if specs.iter().any(|&i| !margins[i].is_finite()) => {
+                    sim_failures += 1;
+                    degraded[j] = true;
+                    for &i in specs {
+                        per_spec_bad[i] += 1;
+                        if margins[i].is_finite() {
+                            per_spec_margins[i].push(margins[i]);
+                        }
+                    }
+                    ok[j] = false;
+                }
                 Ok(margins) => {
                     for &i in specs {
                         per_spec_margins[i].push(margins[i]);
                         if margins[i] < 0.0 {
                             per_spec_bad[i] += 1;
                             ok[j] = false;
+                            violated[j] = true;
                         }
                     }
                 }
                 // A sample whose circuit fails to simulate is a
                 // nonfunctional circuit: count it as failing every spec of
                 // this group instead of aborting the verification.
-                Err(specwise_ckt::CktError::Simulation(_)) => {
+                Err(e) if e.is_simulation_failure() => {
                     sim_failures += 1;
+                    degraded[j] = true;
                     for &i in specs {
                         per_spec_bad[i] += 1;
                     }
@@ -211,12 +253,16 @@ fn mc_verify_inner<E: Evaluator + ?Sized>(
     }
 
     let passed = ok.iter().filter(|&&x| x).count();
+    let degraded_samples = (0..n_samples)
+        .filter(|&j| degraded[j] && !violated[j])
+        .count();
     Ok(McVerification {
         yield_estimate: YieldEstimate::from_counts(passed, n_samples),
         per_spec_bad,
         per_spec_margins,
         theta_wc,
         sim_failures,
+        degraded_samples,
     })
 }
 
@@ -355,6 +401,59 @@ mod tests {
         let report = svc.report();
         assert_eq!(report.sim_failures, v.sim_failures as u64);
         assert!(report.retries >= 2 * report.sim_failures);
+    }
+
+    #[test]
+    fn degraded_samples_widen_the_yield_interval() {
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -10.0, 10.0, 1.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("f1", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0], 2.0 + s[1]]))
+            .fail_when_stat(|_, s| s[0] > 1.5)
+            .build()
+            .unwrap();
+        let n = 4_000;
+        let v = mc_verify(&e, &DVec::from_slice(&[1.0]), n, 7).unwrap();
+        assert!(v.sim_failures > 0);
+        assert!(v.degraded_samples > 0);
+        let (lo, hi) = v.yield_interval();
+        // Low end is the conservative point estimate (degraded = failing);
+        // the width is exactly the unresolved degraded fraction.
+        assert_eq!(lo, v.yield_estimate.value());
+        let width = v.degraded_samples as f64 / n as f64;
+        assert!((hi - lo - width).abs() < 1e-12, "({lo}, {hi}) vs {width}");
+    }
+
+    #[test]
+    fn non_finite_margins_never_count_as_passing() {
+        // NaN margins in a band of samples: without the guard `NaN < 0.0`
+        // is false and the sample would silently pass.
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -10.0, 10.0, 1.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("f1", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| {
+                let f0 = if s[0] > 1.5 { f64::NAN } else { d[0] + s[0] };
+                DVec::from_slice(&[f0, 2.0 + s[1]])
+            })
+            .build()
+            .unwrap();
+        let n = 4_000;
+        let v = mc_verify(&e, &DVec::from_slice(&[1.0]), n, 7).unwrap();
+        assert!(v.sim_failures > 0, "NaN band must register as degradation");
+        assert!(v.yield_estimate.value() < 1.0);
+        // The margin moments are not poisoned by the NaNs.
+        assert!(v.per_spec_margins[0].mean().is_finite());
+        assert!(v.per_spec_margins[1].mean().is_finite());
+        // NaN samples count as failing spec 0 (conservatively).
+        assert!(v.per_spec_bad[0] >= v.sim_failures);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! 5. record a snapshot (margins, bad samples, estimated and verified
 //!    yield) and repeat until the estimate stops improving.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use specwise_ckt::SimPhase;
@@ -24,9 +25,9 @@ use specwise_trace::{Span, Tracer};
 use specwise_wcd::{WcAnalysis, WcOptions, WcResult, WorstCasePoint};
 
 use crate::{
-    find_feasible_start, line_search_feasible, mc_verify_traced, CoordinateSearch,
+    find_feasible_start, line_search_feasible, mc_verify_traced, Checkpoint, CoordinateSearch,
     CoordinateSearchOptions, FeasibleStartOptions, LinearConstraints, LinearizedYield, McOptions,
-    McVerification, SpecwiseError, WcdMaximizer,
+    McVerification, SpecwiseError, WcdMaximizer, CHECKPOINT_ENV_VAR, CHECKPOINT_VERSION,
 };
 
 /// The objective maximized by the inner coordinate search.
@@ -69,6 +70,13 @@ pub struct OptimizerConfig {
     pub feasible_start: FeasibleStartOptions,
     /// The inner-loop objective.
     pub objective: Objective,
+    /// Run-level degradation budget: the run stops (with a partial trace
+    /// whose [`OptimizationTrace::aborted`] names the reason) once the
+    /// cumulative count of absorbed degradation events — simulation
+    /// failures surviving retries, caught worker panics, worst-case
+    /// searches that fell back to stale points — exceeds this bound.
+    /// `None` (the default) never aborts on degradations.
+    pub failure_budget: Option<u64>,
 }
 
 impl Default for OptimizerConfig {
@@ -84,6 +92,7 @@ impl Default for OptimizerConfig {
             line_search_evals: 10,
             feasible_start: FeasibleStartOptions::default(),
             objective: Objective::DirectYield,
+            failure_budget: None,
         }
     }
 }
@@ -130,6 +139,14 @@ pub struct OptimizationTrace {
     /// [`EvalService`](specwise_exec::EvalService); `None` on a bare
     /// environment.
     pub exec: Option<ExecReport>,
+    /// `Some(reason)` when the run stopped early because the configured
+    /// [`failure budget`](OptimizerConfig::failure_budget) was exhausted.
+    /// The snapshots up to the abort point are intact — callers get a
+    /// partial but well-formed trace instead of an opaque error.
+    pub aborted: Option<String>,
+    /// `true` when this trace continued from a checkpoint instead of
+    /// starting fresh (see [`CHECKPOINT_ENV_VAR`]).
+    pub resumed: bool,
 }
 
 impl OptimizationTrace {
@@ -169,6 +186,7 @@ impl OptimizationTrace {
 pub struct YieldOptimizer {
     config: OptimizerConfig,
     tracer: Tracer,
+    checkpoint: Option<PathBuf>,
 }
 
 impl YieldOptimizer {
@@ -177,7 +195,24 @@ impl YieldOptimizer {
         YieldOptimizer {
             config,
             tracer: Tracer::disabled(),
+            checkpoint: None,
         }
+    }
+
+    /// Attaches a checkpoint file: the run writes its state there after
+    /// every completed iteration (atomically — temp file + rename), and a
+    /// later run pointed at the same file resumes from the last completed
+    /// iteration, reproducing the uninterrupted run bit-for-bit. Without
+    /// this call the path is taken from the [`CHECKPOINT_ENV_VAR`]
+    /// environment variable when set.
+    ///
+    /// An unreadable or incompatible checkpoint file degrades to a fresh
+    /// run with a warning; a failed checkpoint *write* warns and continues
+    /// (the optimization never dies for its life insurance).
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
     }
 
     /// Attaches a [`Tracer`]: the run then emits the full Fig. 6 span
@@ -239,32 +274,107 @@ impl YieldOptimizer {
         }
         let tr = run_span.tracer();
 
-        // Step 0 (Sec. 5.5): feasible starting point.
-        let mut d_f = {
-            let mut span = tr.span("feasible_start");
-            let sims_before = env.sim_count();
-            let d_f = if cfg.use_constraints {
-                find_feasible_start(env, d0, &cfg.feasible_start)?
-            } else {
-                env.design_space().project(d0)?
+        // Checkpoint/resume: an explicit path wins, then the environment
+        // knob. A loadable checkpoint resumes the run from its last
+        // completed iteration; anything else degrades to a fresh run.
+        let ckpt_path: Option<PathBuf> = self.checkpoint.clone().or_else(|| {
+            std::env::var(CHECKPOINT_ENV_VAR)
+                .ok()
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from)
+        });
+        let resume = ckpt_path
+            .as_deref()
+            .and_then(|p| self.try_resume(env, p, &tr));
+        let resumed = resume.is_some();
+        if run_span.is_enabled() {
+            run_span.set_attr("resumed", resumed);
+        }
+
+        // Degradation events observed by *this* process (restored
+        // snapshots are not re-counted against the budget on resume).
+        let mut degradation_events: u64 = 0;
+        let mut aborted: Option<String> = None;
+
+        let (mut d_f, mut analysis, mut model, mut snapshots, first_iter, sim_base, phase_base) =
+            match resume {
+                Some(ck) => {
+                    // The model RNG stream is a pure function of (seed,
+                    // iteration), so restoring the iteration count restores
+                    // the stream position.
+                    let model = LinearizedYield::new(
+                        ck.analysis.linearizations().to_vec(),
+                        n_spec,
+                        cfg.mc_samples,
+                        cfg.seed.wrapping_add(ck.iteration as u64),
+                    )?;
+                    (
+                        ck.d_f,
+                        ck.analysis,
+                        model,
+                        ck.snapshots,
+                        ck.iteration + 1,
+                        ck.sim_count,
+                        ck.phase_sims,
+                    )
+                }
+                None => {
+                    // Step 0 (Sec. 5.5): feasible starting point.
+                    let d_f = {
+                        let mut span = tr.span("feasible_start");
+                        let sims_before = env.sim_count();
+                        let d_f = if cfg.use_constraints {
+                            find_feasible_start(env, d0, &cfg.feasible_start)?
+                        } else {
+                            env.design_space().project(d0)?
+                        };
+                        span.add_count("sims", env.sim_count() - sims_before);
+                        d_f
+                    };
+                    let analysis = WcAnalysis::new(env, cfg.wc_options)
+                        .with_tracer(tr.clone())
+                        .run(&d_f)?;
+                    let model = LinearizedYield::new(
+                        analysis.linearizations().to_vec(),
+                        n_spec,
+                        cfg.mc_samples,
+                        cfg.seed,
+                    )?;
+                    let snapshots =
+                        vec![self.snapshot(env, "Initial", &d_f, &analysis, &model, &tr, 0)?];
+                    (
+                        d_f,
+                        analysis,
+                        model,
+                        snapshots,
+                        1,
+                        0u64,
+                        [0u64; SimPhase::COUNT],
+                    )
+                }
             };
-            span.add_count("sims", env.sim_count() - sims_before);
-            d_f
-        };
 
-        let mut snapshots = Vec::new();
-        let mut analysis = WcAnalysis::new(env, cfg.wc_options)
-            .with_tracer(tr.clone())
-            .run(&d_f)?;
-        let mut model = LinearizedYield::new(
-            analysis.linearizations().to_vec(),
-            n_spec,
-            cfg.mc_samples,
-            cfg.seed,
-        )?;
-        snapshots.push(self.snapshot(env, "Initial", &d_f, &analysis, &model, &tr)?);
+        if !resumed {
+            degradation_events += snapshot_degradations(snapshots.last());
+            self.save_checkpoint(
+                ckpt_path.as_deref(),
+                env,
+                0,
+                &d_f,
+                &analysis,
+                &snapshots,
+                sim_base,
+                &phase_base,
+                &tr,
+            );
+            aborted = self.budget_exceeded(env, degradation_events, &tr);
+        }
 
-        for iter in 1..=cfg.max_iterations {
+        for iter in first_iter..=cfg.max_iterations {
+            if aborted.is_some() {
+                break;
+            }
             let mut iter_span = tr.span("iteration");
             if iter_span.is_enabled() {
                 iter_span.set_attr("iter", iter);
@@ -356,19 +466,39 @@ impl YieldOptimizer {
                 3 => "3rd Iter.".to_string(),
                 n => format!("{n}th Iter."),
             };
+            // The previous analysis arms the degradation ladder: a failed
+            // per-spec search falls back to its last-known worst-case data
+            // instead of killing the run.
             match WcAnalysis::new(env, cfg.wc_options)
                 .with_tracer(itr.clone())
+                .with_fallback(&analysis)
                 .run(&d_f)
             {
                 Ok(a) => {
                     analysis = a;
+                    degradation_events += analysis.fallback_specs().len() as u64;
                     model = LinearizedYield::new(
                         analysis.linearizations().to_vec(),
                         n_spec,
                         cfg.mc_samples,
                         cfg.seed.wrapping_add(iter as u64),
                     )?;
-                    snapshots.push(self.snapshot(env, &label, &d_f, &analysis, &model, &itr)?);
+                    snapshots
+                        .push(self.snapshot(env, &label, &d_f, &analysis, &model, &itr, sim_base)?);
+                    degradation_events += snapshot_degradations(snapshots.last());
+                    drop(iter_span);
+                    self.save_checkpoint(
+                        ckpt_path.as_deref(),
+                        env,
+                        iter,
+                        &d_f,
+                        &analysis,
+                        &snapshots,
+                        sim_base,
+                        &phase_base,
+                        &tr,
+                    );
+                    aborted = self.budget_exceeded(env, degradation_events, &tr);
                 }
                 Err(e) if is_simulation_failure(&e) => {
                     // The move produced a nonfunctional circuit (possible
@@ -380,7 +510,7 @@ impl YieldOptimizer {
                         &d_f,
                         n_spec,
                         cfg.mc_samples,
-                        env.sim_count(),
+                        sim_base + env.sim_count(),
                     ));
                     break;
                 }
@@ -394,15 +524,143 @@ impl YieldOptimizer {
             journal.flush();
         }
 
+        let mut phase_sims = env.sim_phase_counts();
+        for (total, base) in phase_sims.iter_mut().zip(&phase_base) {
+            *total += base;
+        }
         Ok(OptimizationTrace {
             snapshots,
             wall_time: start.elapsed(),
-            total_sims: env.sim_count(),
-            phase_sims: env.sim_phase_counts(),
+            total_sims: sim_base + env.sim_count(),
+            phase_sims,
             exec: env.exec_report(),
+            aborted,
+            resumed,
         })
     }
 
+    /// Attempts to load and validate a checkpoint; any problem degrades to
+    /// a fresh run with a warning (stderr + journal), never an error.
+    fn try_resume<E: Evaluator + ?Sized>(
+        &self,
+        env: &E,
+        path: &Path,
+        tr: &Tracer,
+    ) -> Option<Checkpoint> {
+        if !path.exists() {
+            return None;
+        }
+        let reject = |why: String| {
+            eprintln!("specwise: ignoring checkpoint {path:?}: {why}; starting fresh");
+            tr.warn(
+                "checkpoint rejected",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("reason", why.into()),
+                ],
+            );
+            None
+        };
+        let ck = match Checkpoint::load(path) {
+            Ok(ck) => ck,
+            Err(e) => return reject(e.to_string()),
+        };
+        if ck.seed != self.config.seed {
+            return reject(format!(
+                "checkpoint seed {} does not match configured seed {}",
+                ck.seed, self.config.seed
+            ));
+        }
+        if ck.d_f.len() != env.design_space().dim() {
+            return reject(format!(
+                "checkpoint design has {} parameters, environment has {}",
+                ck.d_f.len(),
+                env.design_space().dim()
+            ));
+        }
+        if ck.snapshots.is_empty() {
+            return reject("checkpoint has no snapshots".to_string());
+        }
+        tr.event(
+            "resumed",
+            &[
+                ("path", path.display().to_string().into()),
+                ("iteration", ck.iteration.into()),
+                ("sim_count", ck.sim_count.into()),
+            ],
+        );
+        Some(ck)
+    }
+
+    /// Writes a checkpoint; a failed write warns and continues (the run
+    /// never dies for its life insurance).
+    #[allow(clippy::too_many_arguments)]
+    fn save_checkpoint<E: Evaluator + ?Sized>(
+        &self,
+        path: Option<&Path>,
+        env: &E,
+        iteration: usize,
+        d_f: &DVec,
+        analysis: &WcResult,
+        snapshots: &[IterationSnapshot],
+        sim_base: u64,
+        phase_base: &[u64; SimPhase::COUNT],
+        tr: &Tracer,
+    ) {
+        let Some(path) = path else { return };
+        let mut phase_sims = env.sim_phase_counts();
+        for (total, base) in phase_sims.iter_mut().zip(phase_base) {
+            *total += base;
+        }
+        let ck = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            seed: self.config.seed,
+            iteration,
+            d_f: d_f.clone(),
+            sim_count: sim_base + env.sim_count(),
+            phase_sims,
+            analysis: analysis.clone(),
+            snapshots: snapshots.to_vec(),
+        };
+        if let Err(e) = ck.save(path) {
+            eprintln!("specwise: checkpoint write to {path:?} failed: {e}; continuing without");
+            tr.warn(
+                "checkpoint write failed",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
+        }
+    }
+
+    /// Checks the cumulative degradation count against the configured
+    /// failure budget; `Some(reason)` aborts the loop.
+    fn budget_exceeded<E: Evaluator + ?Sized>(
+        &self,
+        env: &E,
+        events: u64,
+        tr: &Tracer,
+    ) -> Option<String> {
+        let budget = self.config.failure_budget?;
+        let exec = env
+            .exec_report()
+            .map(|r| r.sim_failures + r.panics_caught)
+            .unwrap_or(0);
+        let total = events + exec;
+        if total <= budget {
+            return None;
+        }
+        let reason =
+            format!("failure budget exhausted: {total} degradation events (budget {budget})");
+        tr.warn(
+            "run aborted",
+            &[("reason", reason.as_str().into()), ("events", total.into())],
+        );
+        Some(reason)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn snapshot<E: Evaluator + ?Sized>(
         &self,
         env: &E,
@@ -411,6 +669,7 @@ impl YieldOptimizer {
         analysis: &WcResult,
         model: &LinearizedYield,
         tracer: &Tracer,
+        sim_base: u64,
     ) -> Result<IterationSnapshot, SpecwiseError> {
         let estimated_yield = model.estimate(d_f)?;
         let bad_per_mille = model.bad_per_mille(d_f)?;
@@ -435,10 +694,19 @@ impl YieldOptimizer {
             estimated_yield,
             verified,
             wc_points: analysis.worst_case_points().to_vec(),
-            sim_count: env.sim_count(),
+            sim_count: sim_base + env.sim_count(),
             collapsed: false,
         })
     }
+}
+
+/// Degradations recorded in one snapshot: verification samples that failed
+/// to simulate (and were counted-and-excluded instead of aborting).
+fn snapshot_degradations(snapshot: Option<&IterationSnapshot>) -> u64 {
+    snapshot
+        .and_then(|s| s.verified.as_ref())
+        .map(|v| v.sim_failures as u64)
+        .unwrap_or(0)
 }
 
 /// Attaches the end-of-run accounting to the root `run` span: total and
@@ -464,6 +732,7 @@ fn finish_run_span<E: Evaluator + ?Sized>(span: &mut Span, env: &E) {
         span.add_count("retries", report.retries);
         span.add_count("recovered", report.recovered);
         span.add_count("sim_failures", report.sim_failures);
+        span.add_count("panics_caught", report.panics_caught);
         span.add_count("batches", report.batches);
         span.add_count("batch_points", report.batch_points);
     }
@@ -472,10 +741,7 @@ fn finish_run_span<E: Evaluator + ?Sized>(span: &mut Span, env: &E) {
 /// `true` for errors caused by an unsimulatable circuit (as opposed to
 /// configuration or dimension errors, which must propagate).
 fn is_simulation_failure(e: &specwise_wcd::WcdError) -> bool {
-    matches!(
-        e,
-        specwise_wcd::WcdError::Circuit(specwise_ckt::CktError::Simulation(_))
-    )
+    matches!(e, specwise_wcd::WcdError::Circuit(c) if c.is_simulation_failure())
 }
 
 /// Snapshot of a nonfunctional design: NaN margins, every sample bad,
@@ -664,6 +930,139 @@ mod tests {
         let report = t2.exec.expect("EvalService attaches a report");
         assert!(report.cache_hits > 0, "repeated anchors must hit the cache");
         assert!(report.batches > 0, "batched loops must have fanned out");
+    }
+
+    fn unique_ckpt(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("specwise-optimizer-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run_bit_for_bit() {
+        let e = env();
+        let reference = YieldOptimizer::new(quick_config()).run(&e).unwrap();
+        assert!(!reference.resumed);
+
+        // "Kill" a checkpointed run after its first iteration…
+        let path = unique_ckpt("resume");
+        let mut short = quick_config();
+        short.max_iterations = 1;
+        let e2 = env();
+        let partial = YieldOptimizer::new(short)
+            .with_checkpoint(&path)
+            .run(&e2)
+            .unwrap();
+        assert_eq!(partial.snapshots().len(), 2);
+        assert!(path.exists(), "checkpoint must be on disk");
+
+        // …and resume with the full iteration budget.
+        let e3 = env();
+        let resumed = YieldOptimizer::new(quick_config())
+            .with_checkpoint(&path)
+            .run(&e3)
+            .unwrap();
+        assert!(resumed.resumed);
+        assert_eq!(resumed.snapshots().len(), reference.snapshots().len());
+        for (a, b) in resumed.snapshots().iter().zip(reference.snapshots()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(
+                a.design
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                b.design
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "design at {} must be bit-identical",
+                a.label
+            );
+            assert_eq!(a.estimated_yield, b.estimated_yield);
+            assert_eq!(
+                a.verified.as_ref().map(|v| v.yield_estimate),
+                b.verified.as_ref().map(|v| v.yield_estimate)
+            );
+            assert_eq!(a.sim_count, b.sim_count, "sim accounting at {}", a.label);
+        }
+        assert_eq!(resumed.total_sims, reference.total_sims);
+        assert_eq!(resumed.phase_sims, reference.phase_sims);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatched_checkpoint_degrades_to_fresh_run() {
+        let path = unique_ckpt("mismatch");
+        let e = env();
+        let mut cfg = quick_config();
+        cfg.seed = 7;
+        YieldOptimizer::new(cfg)
+            .with_checkpoint(&path)
+            .run(&e)
+            .unwrap();
+        // A different seed must refuse the checkpoint and start fresh
+        // (not error, not silently resume a diverging stream).
+        let e2 = env();
+        let trace = YieldOptimizer::new(quick_config())
+            .with_checkpoint(&path)
+            .run(&e2)
+            .unwrap();
+        assert!(!trace.resumed);
+        assert_eq!(trace.initial().label, "Initial");
+        // Corrupt bytes degrade the same way.
+        std::fs::write(&path, "definitely not a checkpoint").unwrap();
+        let e3 = env();
+        let trace = YieldOptimizer::new(quick_config())
+            .with_checkpoint(&path)
+            .run(&e3)
+            .unwrap();
+        assert!(!trace.resumed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The optimizer test env with a failing corner of the sample space
+    /// that only Monte-Carlo verification visits: the worst-case searches
+    /// and mirror probes move along one coordinate at a time (the other
+    /// stays ≈ 0), so they never enter `s0 > 1.2 ∧ s1 > 1.2`.
+    fn flaky_env() -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "d0", "", 0.0, 10.0, 1.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f0", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("f1", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] - 2.0 + s[0], 6.0 - d[0] + s[1]]))
+            .constraints(vec!["c".into()], |d| DVec::from_slice(&[5.0 - d[0]]))
+            .fail_when_stat(|_, s| s[0] > 1.2 && s[1] > 1.2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn failure_budget_aborts_with_partial_trace() {
+        let mut cfg = quick_config();
+        cfg.failure_budget = Some(2);
+        let trace = YieldOptimizer::new(cfg).run(&flaky_env()).unwrap();
+        let reason = trace.aborted.as_ref().expect("budget must trip");
+        assert!(reason.contains("failure budget"), "reason: {reason}");
+        // Partial but well-formed: at least the initial snapshot, with its
+        // verification interval reflecting the excluded samples.
+        assert!(!trace.snapshots().is_empty());
+        let v = trace.initial().verified.as_ref().unwrap();
+        assert!(v.sim_failures > 2, "got {} failures", v.sim_failures);
+        let (lo, hi) = v.yield_interval();
+        assert!(hi >= lo);
+        // An unlimited budget lets the same degraded run finish.
+        let trace = YieldOptimizer::new(quick_config())
+            .run(&flaky_env())
+            .unwrap();
+        assert!(trace.aborted.is_none());
+        assert!(trace.snapshots().len() > 1);
     }
 
     #[test]

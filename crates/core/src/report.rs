@@ -241,6 +241,32 @@ pub fn run_report(env: &dyn CircuitEnv, trace: &OptimizationTrace, tracer: &Trac
         trace.total_sims,
         trace.wall_time.as_secs_f64()
     );
+    if trace.resumed {
+        let _ = writeln!(out, "resumed from checkpoint (effort counts continued)");
+    }
+    if let Some(reason) = &trace.aborted {
+        let _ = writeln!(out, "RUN ABORTED EARLY: {reason}");
+        let _ = writeln!(
+            out,
+            "  (snapshots up to the abort point are reported above)"
+        );
+    }
+    // Verification robustness: surface the degraded-sample yield interval
+    // whenever degradation widened it beyond the point estimate.
+    if let Some(v) = &trace.final_snapshot().verified {
+        let (lo, hi) = v.yield_interval();
+        if v.degraded_samples > 0 {
+            let _ = writeln!(
+                out,
+                "verified yield interval: [{:.1} %, {:.1} %] ({} samples excluded after \
+                 exhausting retries, {} simulation failures)",
+                100.0 * lo,
+                100.0 * hi,
+                v.degraded_samples,
+                v.sim_failures
+            );
+        }
+    }
     if let Some(report) = &trace.exec {
         let _ = writeln!(out, "\n{report}");
     }

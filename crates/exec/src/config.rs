@@ -102,7 +102,10 @@ impl ExecConfig {
     /// * `SPECWISE_RETRIES` — max retries for failed simulations,
     /// * `SPECWISE_RETRY_PERTURB` — per-retry `ŝ` perturbation.
     ///
-    /// Unset or unparsable variables keep their defaults.
+    /// Unset variables keep their defaults; a set-but-malformed value also
+    /// keeps the default, after a one-line stderr warning naming the
+    /// variable and the rejected value (a silent fallback here once meant a
+    /// typo'd `SPECWISE_WORKERS=8x` quietly ran serial).
     pub fn from_env() -> Self {
         let mut cfg = ExecConfig::default();
         if let Some(n) = parse_var::<usize>("SPECWISE_WORKERS") {
@@ -122,7 +125,23 @@ impl ExecConfig {
 }
 
 fn parse_var<T: std::str::FromStr>(name: &str) -> Option<T> {
-    std::env::var(name).ok()?.trim().parse().ok()
+    let raw = std::env::var(name).ok()?;
+    match parse_checked(name, &raw) {
+        Ok(value) => Some(value),
+        Err(warning) => {
+            eprintln!("{warning}");
+            None
+        }
+    }
+}
+
+/// Parses one `SPECWISE_*` value; a malformed value yields the warning
+/// line that [`ExecConfig::from_env`] prints to stderr before falling back
+/// to the default.
+pub(crate) fn parse_checked<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+    raw.trim().parse().map_err(|_| {
+        format!("specwise: ignoring malformed {name}={raw:?} (not a valid value); keeping default")
+    })
 }
 
 /// Formats a duration compactly for report tables (`1.23s`, `45.6ms`).
@@ -169,6 +188,20 @@ mod tests {
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.cache_capacity, 7);
         assert_eq!(cfg.retry.max_retries, 5);
+    }
+
+    #[test]
+    fn malformed_env_values_warn_and_name_the_variable() {
+        let err = parse_checked::<usize>("SPECWISE_WORKERS", "8x").unwrap_err();
+        assert!(err.contains("SPECWISE_WORKERS"), "{err}");
+        assert!(err.contains("8x"), "{err}");
+        assert!(err.contains("keeping default"), "{err}");
+        // Well-formed values (with surrounding whitespace) still parse.
+        assert_eq!(parse_checked::<usize>("SPECWISE_WORKERS", " 8 "), Ok(8));
+        assert_eq!(
+            parse_checked::<f64>("SPECWISE_RETRY_PERTURB", "1e-9"),
+            Ok(1e-9)
+        );
     }
 
     #[test]

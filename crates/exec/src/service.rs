@@ -12,6 +12,7 @@
 //! retry policy for non-converged simulations, while keeping results in
 //! input order and bit-identical to the serial path.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -243,6 +244,9 @@ pub struct ExecReport {
     pub recovered: u64,
     /// Evaluations that exhausted retries with a simulation failure.
     pub sim_failures: u64,
+    /// Worker panics isolated by `catch_unwind` and degraded to
+    /// [`CktError::WorkerPanic`] instead of aborting the process.
+    pub panics_caught: u64,
     /// Batch calls served.
     pub batches: u64,
     /// Total points across all batch calls.
@@ -308,14 +312,33 @@ impl std::fmt::Display for ExecReport {
         )?;
         writeln!(
             f,
-            "robustness: {} retries, {} recovered, {} failures",
-            self.retries, self.recovered, self.sim_failures
+            "robustness: {} retries, {} recovered, {} failures, {} panics caught",
+            self.retries, self.recovered, self.sim_failures, self.panics_caught
         )?;
         for (label, sims, wall) in self.phase_rows() {
             writeln!(f, "  {label:<14} {sims:>8} sims  {:>9}", fmt_duration(wall))?;
         }
         Ok(())
     }
+}
+
+/// Renders a vector for error context: up to four components, then an
+/// ellipsis with the total length, so annotated errors stay one line even
+/// for high-dimensional statistical spaces.
+fn summarize_vec(v: &DVec) -> String {
+    const SHOWN: usize = 4;
+    let mut out = String::from("[");
+    for (i, x) in v.iter().take(SHOWN).enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{x:.6}"));
+    }
+    if v.len() > SHOWN {
+        out.push_str(&format!(", … ({} total)", v.len()));
+    }
+    out.push(']');
+    out
 }
 
 /// The evaluation engine: wraps a [`CircuitEnv`] and serves all
@@ -330,6 +353,7 @@ pub struct EvalService<'e, E: CircuitEnv + Sync + ?Sized> {
     retries: AtomicU64,
     recovered: AtomicU64,
     sim_failures: AtomicU64,
+    panics_caught: AtomicU64,
     batches: AtomicU64,
     batch_points: AtomicU64,
     phase: AtomicUsize,
@@ -359,6 +383,7 @@ impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
             retries: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
             sim_failures: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_points: AtomicU64::new(0),
             phase: AtomicUsize::new(SimPhase::Other.index()),
@@ -435,6 +460,47 @@ impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
         result
     }
 
+    /// Runs one raw environment call with panic isolation: a panicking
+    /// simulation degrades to [`CktError::WorkerPanic`] instead of
+    /// unwinding through the worker pool and aborting the process.
+    fn call_isolated<T>(&self, f: impl FnOnce() -> Result<T, CktError>) -> Result<T, CktError> {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(CktError::WorkerPanic { message })
+            }
+        }
+    }
+
+    fn active_phase(&self) -> SimPhase {
+        SimPhase::ALL[self.phase.load(Ordering::Relaxed).min(SimPhase::COUNT - 1)]
+    }
+
+    /// Annotates an escaping simulation failure with where it happened, so
+    /// a failed run names the offending point instead of a bare
+    /// [`CktError::Simulation`]. Non-simulation errors (dimension
+    /// mismatches, configuration problems) keep their exact variant —
+    /// callers match on those.
+    fn annotate_failure(&self, e: CktError, point: String) -> CktError {
+        if e.is_simulation_failure() {
+            self.sim_failures.fetch_add(1, Ordering::Relaxed);
+            e.with_context(format!(
+                "evaluation in phase '{}' at {point}",
+                self.active_phase().label()
+            ))
+        } else {
+            e
+        }
+    }
+
     fn evaluate_with_retry(
         &self,
         d: &DVec,
@@ -444,7 +510,7 @@ impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
         let mut attempt: u32 = 0;
         loop {
             let result = if attempt == 0 {
-                CircuitEnv::eval_performances(self.env, d, s_hat, theta)
+                self.call_isolated(|| CircuitEnv::eval_performances(self.env, d, s_hat, theta))
             } else {
                 // Deterministic nudge off the failing point; see
                 // `RetryPolicy` for the rationale and magnitude.
@@ -452,18 +518,50 @@ impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
                 for v in nudged.iter_mut() {
                     *v += self.config.retry.perturb * attempt as f64;
                 }
-                CircuitEnv::eval_performances(self.env, d, &nudged, theta)
+                self.call_isolated(|| CircuitEnv::eval_performances(self.env, d, &nudged, theta))
             };
             match result {
-                Err(CktError::Simulation(_)) if attempt < self.config.retry.max_retries => {
+                Err(e) if e.is_simulation_failure() && attempt < self.config.retry.max_retries => {
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     attempt += 1;
                 }
                 Err(e) => {
-                    if matches!(e, CktError::Simulation(_)) {
-                        self.sim_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(self.annotate_failure(
+                        e,
+                        format!(
+                            "d={} ŝ={} θ=({} °C, {} V)",
+                            summarize_vec(d),
+                            summarize_vec(s_hat),
+                            theta.temp_c,
+                            theta.vdd
+                        ),
+                    ));
+                }
+                Ok(value) => {
+                    if attempt > 0 {
+                        self.recovered.fetch_add(1, Ordering::Relaxed);
                     }
-                    return Err(e);
+                    return Ok(value);
+                }
+            }
+        }
+    }
+
+    /// Constraint evaluation with panic isolation and same-point retries
+    /// (constraints are d-only; a ŝ-perturbing retry does not apply).
+    fn constraints_with_retry(&self, d: &DVec) -> Result<DVec, CktError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.call_isolated(|| CircuitEnv::eval_constraints(self.env, d));
+            match result {
+                Err(e) if e.is_simulation_failure() && attempt < self.config.retry.max_retries => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    return Err(
+                        self.annotate_failure(e, format!("constraints at d={}", summarize_vec(d)))
+                    );
                 }
                 Ok(value) => {
                     if attempt > 0 {
@@ -544,6 +642,7 @@ impl<'e, E: CircuitEnv + Sync + ?Sized> EvalService<'e, E> {
             retries: self.retries.load(Ordering::Relaxed),
             recovered: self.recovered.load(Ordering::Relaxed),
             sim_failures: self.sim_failures.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batch_points: self.batch_points.load(Ordering::Relaxed),
             phase_sims: CircuitEnv::sim_phase_counts(self.env),
@@ -612,30 +711,8 @@ impl<E: CircuitEnv + Sync + ?Sized> Evaluator for EvalService<'_, E> {
     }
 
     fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
-        // Constraints are d-only; a ŝ-perturbing retry does not apply, but
-        // transient failures are still retried at the same point.
         let t0 = Instant::now();
-        let mut attempt: u32 = 0;
-        let result = loop {
-            match CircuitEnv::eval_constraints(self.env, d) {
-                Err(CktError::Simulation(_)) if attempt < self.config.retry.max_retries => {
-                    self.retries.fetch_add(1, Ordering::Relaxed);
-                    attempt += 1;
-                }
-                Err(e) => {
-                    if matches!(e, CktError::Simulation(_)) {
-                        self.sim_failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                    break Err(e);
-                }
-                Ok(value) => {
-                    if attempt > 0 {
-                        self.recovered.fetch_add(1, Ordering::Relaxed);
-                    }
-                    break Ok(value);
-                }
-            }
-        };
+        let result = self.constraints_with_retry(d);
         self.charge_wall(t0.elapsed());
         result
     }
@@ -654,29 +731,7 @@ impl<E: CircuitEnv + Sync + ?Sized> Evaluator for EvalService<'_, E> {
     }
 
     fn eval_constraints_batch(&self, designs: &[DVec]) -> Vec<Result<DVec, CktError>> {
-        self.run_batch(designs, |d| {
-            let mut attempt: u32 = 0;
-            loop {
-                match CircuitEnv::eval_constraints(self.env, d) {
-                    Err(CktError::Simulation(_)) if attempt < self.config.retry.max_retries => {
-                        self.retries.fetch_add(1, Ordering::Relaxed);
-                        attempt += 1;
-                    }
-                    Err(e) => {
-                        if matches!(e, CktError::Simulation(_)) {
-                            self.sim_failures.fetch_add(1, Ordering::Relaxed);
-                        }
-                        break Err(e);
-                    }
-                    Ok(value) => {
-                        if attempt > 0 {
-                            self.recovered.fetch_add(1, Ordering::Relaxed);
-                        }
-                        break Ok(value);
-                    }
-                }
-            }
-        })
+        self.run_batch(designs, |d| self.constraints_with_retry(d))
     }
 
     fn sim_count(&self) -> u64 {
@@ -889,13 +944,55 @@ mod tests {
             .collect();
         let results = service.eval_margins_batch(&pts);
         assert!(results[0].is_ok());
-        assert!(matches!(results[1], Err(CktError::Simulation(_))));
         assert!(results[2].is_ok());
-        assert!(matches!(results[3], Err(CktError::Simulation(_))));
         assert!(results[4].is_ok());
+        for idx in [1usize, 3] {
+            let err = results[idx].as_ref().unwrap_err();
+            assert!(err.is_simulation_failure(), "slot {idx}: {err}");
+            assert!(matches!(err.root(), CktError::Simulation(_)));
+            // The escaping error names the phase and the offending point.
+            let msg = err.to_string();
+            assert!(msg.contains("phase 'other'"), "{msg}");
+            assert!(msg.contains("ŝ="), "{msg}");
+        }
         let report = service.report();
         assert_eq!(report.sim_failures, 2);
         assert!(report.retries >= 2);
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_degrades_to_an_error() {
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", -5.0, 5.0, 1.0,
+            )]))
+            .stat_dim(1)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| {
+                assert!(s[0] < 0.75, "poisoned sample");
+                DVec::from_slice(&[d[0] + s[0]])
+            })
+            .build()
+            .unwrap();
+        let service = EvalService::new(&e, ExecConfig::default().with_workers(2));
+        let theta = OperatingPoint::new(27.0, 3.3);
+        let pts: Vec<EvalPoint> = [0.0, 0.9, 0.5]
+            .iter()
+            .map(|&s| EvalPoint::new(DVec::from_slice(&[1.0]), DVec::from_slice(&[s]), theta))
+            .collect();
+        // Silence the default panic hook for the intentional panic.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let results = service.eval_margins_batch(&pts);
+        std::panic::set_hook(prev_hook);
+        assert!(results[0].is_ok());
+        assert!(results[2].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert!(matches!(err.root(), CktError::WorkerPanic { .. }), "{err}");
+        assert!(err.to_string().contains("poisoned sample"), "{err}");
+        let report = service.report();
+        assert!(report.panics_caught >= 1);
+        assert_eq!(report.sim_failures, 1);
     }
 
     #[test]

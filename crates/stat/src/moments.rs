@@ -95,6 +95,30 @@ impl RunningMoments {
         self.max
     }
 
+    /// The raw accumulator state `(count, mean, m2, min, max)` — exactly
+    /// what [`RunningMoments::from_raw`] needs to reconstruct the
+    /// accumulator bit-for-bit. Used by the optimizer's checkpoint codec.
+    pub fn raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from raw state captured by
+    /// [`RunningMoments::raw`]. With `count == 0` the float fields are
+    /// ignored and an empty accumulator is returned (so serializers need
+    /// not represent the empty state's infinite min/max).
+    pub fn from_raw(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return RunningMoments::new();
+        }
+        RunningMoments {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &RunningMoments) {
         if other.count == 0 {
@@ -182,6 +206,19 @@ mod tests {
         assert!((a.sample_variance() - full.sample_variance()).abs() < 1e-12);
         assert_eq!(a.min(), full.min());
         assert_eq!(a.max(), full.max());
+    }
+
+    #[test]
+    fn raw_round_trips_bit_for_bit() {
+        let m: RunningMoments = [1.5, -2.0, 0.25, 8.0].into_iter().collect();
+        let (count, mean, m2, min, max) = m.raw();
+        let r = RunningMoments::from_raw(count, mean, m2, min, max);
+        assert_eq!(r, m);
+        assert_eq!(r.mean().to_bits(), m.mean().to_bits());
+        assert_eq!(r.sample_variance().to_bits(), m.sample_variance().to_bits());
+        // The empty state reconstructs regardless of the float payload.
+        let empty = RunningMoments::from_raw(0, f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+        assert_eq!(empty, RunningMoments::new());
     }
 
     #[test]

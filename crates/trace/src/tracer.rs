@@ -118,6 +118,20 @@ impl Tracer {
         }
     }
 
+    /// Emit a `warn` event carrying `message` plus `attrs` — the journal's
+    /// channel for degradations that did not abort the run (a worst-case
+    /// search that fell back to stale points, a sample excluded from
+    /// verification, a checkpoint that could not be written). A no-op on a
+    /// disabled tracer.
+    pub fn warn(&self, message: &str, attrs: &[(&str, TraceValue)]) {
+        if self.is_enabled() {
+            let mut all: Vec<(&str, TraceValue)> = Vec::with_capacity(attrs.len() + 1);
+            all.push(("message", message.into()));
+            all.extend(attrs.iter().map(|(k, v)| (*k, v.clone())));
+            self.event("warn", &all);
+        }
+    }
+
     /// Emit an instantaneous event (attached to the parent span of this
     /// tracer, if any). A no-op on a disabled tracer.
     pub fn event(&self, name: &str, attrs: &[(&str, TraceValue)]) {

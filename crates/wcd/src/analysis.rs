@@ -19,9 +19,30 @@ pub struct WcResult {
     wc_points: Vec<WorstCasePoint>,
     linearizations: Vec<SpecLinearization>,
     nominal_margins: DVec,
+    fallbacks: Vec<usize>,
 }
 
 impl WcResult {
+    /// Reassembles a result from its parts — the checkpoint/resume path of
+    /// the yield optimizer deserializes analyses through this. `fallbacks`
+    /// lists the specs whose worst-case data was carried over from an
+    /// earlier analysis (see [`WcAnalysis::with_fallback`]).
+    pub fn from_parts(
+        d_f: DVec,
+        wc_points: Vec<WorstCasePoint>,
+        linearizations: Vec<SpecLinearization>,
+        nominal_margins: DVec,
+        fallbacks: Vec<usize>,
+    ) -> Self {
+        WcResult {
+            d_f,
+            wc_points,
+            linearizations,
+            nominal_margins,
+            fallbacks,
+        }
+    }
+
     /// The analyzed design point.
     pub fn design(&self) -> &DVec {
         &self.d_f
@@ -43,6 +64,12 @@ impl WcResult {
     pub fn nominal_margins(&self) -> &DVec {
         &self.nominal_margins
     }
+
+    /// Specs whose worst-case search failed and fell back to last-known
+    /// points (empty on a fully clean analysis).
+    pub fn fallback_specs(&self) -> &[usize] {
+        &self.fallbacks
+    }
 }
 
 /// Orchestrates the worst-case analysis (paper Secs. 2, 5.2).
@@ -54,6 +81,14 @@ pub struct WcAnalysis<'e, E: Evaluator + ?Sized> {
     env: &'e E,
     options: WcOptions,
     tracer: Tracer,
+    fallback: Option<WcFallback>,
+}
+
+/// Last-known worst-case data used when a per-spec search fails.
+#[derive(Debug, Clone)]
+struct WcFallback {
+    wc_points: Vec<WorstCasePoint>,
+    linearizations: Vec<SpecLinearization>,
 }
 
 impl<E: Evaluator + ?Sized> Clone for WcAnalysis<'_, E> {
@@ -62,6 +97,7 @@ impl<E: Evaluator + ?Sized> Clone for WcAnalysis<'_, E> {
             env: self.env,
             options: self.options,
             tracer: self.tracer.clone(),
+            fallback: self.fallback.clone(),
         }
     }
 }
@@ -82,7 +118,25 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
             env,
             options,
             tracer: Tracer::disabled(),
+            fallback: None,
         }
+    }
+
+    /// Arms the degradation ladder with the last successful analysis:
+    /// when a per-spec worst-case search (or its linearization batch)
+    /// fails with a *simulation* error, the analysis falls back to that
+    /// spec's last-known `θ_wc`/`ŝ_wc` — and, if even re-linearizing there
+    /// fails, to the previous linear models — instead of aborting the
+    /// whole iteration. Every fallback emits a `warn` event into the
+    /// journal and is listed in [`WcResult::fallback_specs`]. Errors that
+    /// are not simulation failures still propagate.
+    #[must_use]
+    pub fn with_fallback(mut self, previous: &WcResult) -> Self {
+        self.fallback = Some(WcFallback {
+            wc_points: previous.wc_points.clone(),
+            linearizations: previous.linearizations.clone(),
+        });
+        self
     }
 
     /// Attaches a [`Tracer`]: the analysis then records one `wc_analysis`
@@ -123,6 +177,7 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
 
         let mut wc_points = Vec::with_capacity(n_spec);
         let mut linearizations = Vec::new();
+        let mut fallbacks: Vec<usize> = Vec::new();
         let search = WorstCaseSearch::new(self.options);
 
         for spec in 0..n_spec {
@@ -131,6 +186,7 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
             env.set_sim_phase(SimPhase::Wcd);
             let mut wcd_span = tr.span("wcd_spec");
             let sims_before = env.sim_count();
+            let mut fell_back = false;
             let wc = match self.options.linearization_point {
                 LinearizationPoint::WorstCase => {
                     match search.run(env, d_f, spec, &theta_wc) {
@@ -139,6 +195,24 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
                             // Spec insensitive to ŝ: anchor at nominal.
                             self.nominal_anchor(d_f, spec, theta_wc, nominal_margin)?
                         }
+                        // First rung of the degradation ladder: a failed
+                        // search falls back to the spec's last-known
+                        // worst-case point instead of aborting.
+                        Err(e) if e.is_simulation_failure() && self.last_point(spec).is_some() => {
+                            tr.warn(
+                                "worst-case search failed; falling back to last-known point",
+                                &[
+                                    ("spec", spec.into()),
+                                    ("name", env.specs()[spec].name().into()),
+                                    ("error", e.to_string().into()),
+                                ],
+                            );
+                            let mut prev = self.last_point(spec).expect("checked").clone();
+                            prev.nominal_margin = nominal_margin;
+                            prev.converged = false;
+                            fell_back = true;
+                            prev
+                        }
                         Err(e) => return Err(e),
                     }
                 }
@@ -146,6 +220,9 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
                     self.nominal_anchor(d_f, spec, theta_wc, nominal_margin)?
                 }
             };
+            if fell_back {
+                fallbacks.push(spec);
+            }
             if wcd_span.is_enabled() {
                 wcd_span.set_attr("spec", spec);
                 wcd_span.set_attr("name", env.specs()[spec].name());
@@ -153,6 +230,7 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
                 wcd_span.set_attr("s_wc", wc.s_wc.as_slice());
                 wcd_span.set_attr("beta_wc", wc.beta_wc);
                 wcd_span.set_attr("converged", wc.converged);
+                wcd_span.set_attr("fallback", fell_back);
                 wcd_span.add_count("sims", env.sim_count() - sims_before);
             }
             drop(wcd_span);
@@ -161,8 +239,44 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
             env.set_sim_phase(SimPhase::Linearization);
             let mut lin_span = tr.span("linearize");
             let sims_before = env.sim_count();
-            let (margins_anchor, jac_d) =
-                margins_gradient_d(env, d_f, &wc.s_wc, &wc.theta_wc, self.options.fd_step_d)?;
+            let gradient =
+                margins_gradient_d(env, d_f, &wc.s_wc, &wc.theta_wc, self.options.fd_step_d);
+            let (margins_anchor, jac_d) = match gradient {
+                Ok(parts) => parts,
+                // Second rung: even the fallback anchor cannot be
+                // linearized — reuse the spec's previous linear models
+                // verbatim (stale, but a usable direction) with a warning.
+                Err(e) if e.is_simulation_failure() && self.has_last_models(spec) => {
+                    tr.warn(
+                        "linearization failed; reusing previous spec models",
+                        &[
+                            ("spec", spec.into()),
+                            ("name", env.specs()[spec].name().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                    if !fell_back {
+                        fallbacks.push(spec);
+                    }
+                    if lin_span.is_enabled() {
+                        lin_span.set_attr("spec", spec);
+                        lin_span.set_attr("fallback", true);
+                        lin_span.add_count("sims", env.sim_count() - sims_before);
+                    }
+                    drop(lin_span);
+                    let fallback = self.fallback.as_ref().expect("checked");
+                    linearizations.extend(
+                        fallback
+                            .linearizations
+                            .iter()
+                            .filter(|l| l.spec == spec)
+                            .cloned(),
+                    );
+                    wc_points.push(wc);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let lin = SpecLinearization {
                 spec,
                 mirrored: false,
@@ -187,11 +301,24 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
                 )
                 && wc.s_wc.norm2() > 1e-9
             {
-                let m_mirror = env.eval_margins(d_f, &(-&wc.s_wc), &wc.theta_wc)?[wc.spec];
-                let linear_expectation = 2.0 * wc.nominal_margin - lin.margin_at_anchor;
-                if m_mirror < 0.5 * linear_expectation {
-                    linearizations.push(lin.to_mirrored());
-                    mirrored = true;
+                match env.eval_margins(d_f, &(-&wc.s_wc), &wc.theta_wc) {
+                    Ok(m) => {
+                        let m_mirror = m[wc.spec];
+                        let linear_expectation = 2.0 * wc.nominal_margin - lin.margin_at_anchor;
+                        if m_mirror < 0.5 * linear_expectation {
+                            linearizations.push(lin.to_mirrored());
+                            mirrored = true;
+                        }
+                    }
+                    // The probe is an optimization; losing it degrades the
+                    // model (no mirrored twin), not the analysis.
+                    Err(e) if e.is_simulation_failure() => {
+                        tr.warn(
+                            "mirror probe failed; skipping mirrored-model detection",
+                            &[("spec", spec.into()), ("error", e.to_string().into())],
+                        );
+                    }
+                    Err(e) => return Err(e.into()),
                 }
             }
             if lin_span.is_enabled() {
@@ -208,6 +335,7 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
         if analysis_span.is_enabled() {
             analysis_span.set_attr("n_specs", n_spec);
             analysis_span.set_attr("n_models", linearizations.len());
+            analysis_span.set_attr("n_fallbacks", fallbacks.len());
         }
 
         Ok(WcResult {
@@ -215,7 +343,22 @@ impl<'e, E: Evaluator + ?Sized> WcAnalysis<'e, E> {
             wc_points,
             linearizations,
             nominal_margins,
+            fallbacks,
         })
+    }
+
+    /// The last-known worst-case point of `spec`, when armed.
+    fn last_point(&self, spec: usize) -> Option<&WorstCasePoint> {
+        self.fallback
+            .as_ref()
+            .and_then(|f| f.wc_points.iter().find(|p| p.spec == spec))
+    }
+
+    /// Whether previous linear models exist for `spec`.
+    fn has_last_models(&self, spec: usize) -> bool {
+        self.fallback
+            .as_ref()
+            .is_some_and(|f| f.linearizations.iter().any(|l| l.spec == spec))
     }
 
     /// Builds a nominal-anchored pseudo worst-case point (for the Table 4
@@ -345,6 +488,96 @@ mod tests {
         // No mirrored models in nominal mode.
         assert!(res.linearizations().iter().all(|l| !l.mirrored));
         assert_eq!(res.linearizations().len(), 2);
+    }
+
+    #[test]
+    fn failed_search_falls_back_to_previous_points() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        let probe = Arc::clone(&flag);
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 3.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("lin", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("quad", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| {
+                DVec::from_slice(&[
+                    d[0] + 2.0 * s[0] + s[1],
+                    d[0] - 0.4 * (s[0] - s[1]) * (s[0] - s[1]) - 0.3 * (s[0] - s[1]),
+                ])
+            })
+            // Once armed, every evaluation away from the nominal point
+            // fails — the worst-case searches cannot reach their anchors.
+            .fail_when_stat(move |_, s| probe.load(Ordering::Relaxed) && s.norm2() > 0.25)
+            .build()
+            .unwrap();
+        let d = DVec::from_slice(&[3.0]);
+        let clean = WcAnalysis::new(&e, WcOptions::default()).run(&d).unwrap();
+        assert!(clean.fallback_specs().is_empty());
+
+        flag.store(true, Ordering::Relaxed);
+        // Without a fallback armed the failure propagates.
+        let err = WcAnalysis::new(&e, WcOptions::default())
+            .run(&d)
+            .unwrap_err();
+        assert!(err.is_simulation_failure());
+        // With the previous result armed, the analysis degrades instead:
+        // stale worst-case points and stale linear models, flagged.
+        let res = WcAnalysis::new(&e, WcOptions::default())
+            .with_fallback(&clean)
+            .run(&d)
+            .unwrap();
+        assert_eq!(res.fallback_specs(), &[0, 1]);
+        for (wc, prev) in res
+            .worst_case_points()
+            .iter()
+            .zip(clean.worst_case_points())
+        {
+            assert_eq!(wc.s_wc.as_slice(), prev.s_wc.as_slice());
+            assert_eq!(wc.theta_wc, prev.theta_wc);
+            assert!(!wc.converged, "fallback points must be marked stale");
+        }
+        assert_eq!(res.linearizations().len(), clean.linearizations().len());
+    }
+
+    #[test]
+    fn failed_mirror_probe_degrades_to_no_mirrored_model() {
+        // Fails exactly in the quadrant the linear spec's mirror probe
+        // lands in (−ŝ_wc ∝ +(2, 1)); the searches themselves move the
+        // other way and never touch it.
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "a", "", 0.0, 10.0, 3.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("lin", "", SpecKind::LowerBound, 0.0))
+            .spec(Spec::new("quad", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| {
+                DVec::from_slice(&[
+                    d[0] + 2.0 * s[0] + s[1],
+                    d[0] - 0.4 * (s[0] - s[1]) * (s[0] - s[1]) - 0.3 * (s[0] - s[1]),
+                ])
+            })
+            .fail_when_stat(|_, s| s[0] > 0.3 && s[1] > 0.1)
+            .build()
+            .unwrap();
+        let d = DVec::from_slice(&[3.0]);
+        // Losing the probe costs at most a mirrored twin, never the run.
+        let res = WcAnalysis::new(&e, WcOptions::default()).run(&d).unwrap();
+        assert!(res.fallback_specs().is_empty());
+        assert!(res
+            .linearizations()
+            .iter()
+            .filter(|l| l.spec == 0)
+            .all(|l| !l.mirrored));
+        // The quadratic spec's probe lands elsewhere and still mirrors.
+        assert!(res
+            .linearizations()
+            .iter()
+            .any(|l| l.spec == 1 && l.mirrored));
     }
 
     #[test]

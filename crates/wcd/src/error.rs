@@ -30,6 +30,16 @@ pub enum WcdError {
     },
 }
 
+impl WcdError {
+    /// `true` when the error is a failure of the simulation itself (see
+    /// [`CktError::is_simulation_failure`]) — the class degradation
+    /// policies may absorb. Configuration, option, and dimension errors
+    /// must propagate.
+    pub fn is_simulation_failure(&self) -> bool {
+        matches!(self, WcdError::Circuit(c) if c.is_simulation_failure())
+    }
+}
+
 impl fmt::Display for WcdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
