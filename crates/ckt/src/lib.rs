@@ -59,6 +59,7 @@ pub use miller::MillerOpamp;
 pub use operating::{OperatingPoint, OperatingRange};
 pub use ota::FiveTransistorOta;
 pub use spec::{Spec, SpecKind};
+pub use specwise_mna::DeckLimits;
 pub use stats::{StatKind, StatParam, StatSpace};
 pub use tech::Technology;
 pub use testbench::{DesignBinding, DesignMap, DesignTarget, StatMap, Testbench};

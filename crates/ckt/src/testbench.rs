@@ -49,7 +49,8 @@
 
 use specwise_linalg::DVec;
 use specwise_mna::{
-    parse_deck_ast, Circuit, DeckAst, DeckElementKind, DeckValue, MosPolarity, MosfetParams, NodeId,
+    parse_deck_ast, parse_deck_ast_limited, Circuit, DeckAst, DeckElementKind, DeckLimits,
+    DeckValue, MosPolarity, MosfetParams, NodeId,
 };
 
 use crate::measure::{
@@ -364,6 +365,18 @@ impl Testbench {
     /// the netlist, and incomplete `.tb` wiring.
     pub fn from_deck(deck: &str) -> Result<Self, CktError> {
         let ast = parse_deck_ast(deck).map_err(|e| derr(e.line(), e.to_string()))?;
+        let identity = fnv1a_bytes(ast.to_deck().bytes());
+        Self::compile(&ast, identity)
+    }
+
+    /// [`Testbench::from_deck`] with explicit ingestion [`DeckLimits`] — the
+    /// untrusted-input boundary used by services that accept decks over the
+    /// wire. Limit violations (deck too large, too many directives or
+    /// elements, `{param}` brace bombs) surface as [`CktError::Deck`] with
+    /// the offending line; hostile input never panics.
+    pub fn from_deck_limited(deck: &str, limits: &DeckLimits) -> Result<Self, CktError> {
+        let ast =
+            parse_deck_ast_limited(deck, limits).map_err(|e| derr(e.line(), e.to_string()))?;
         let identity = fnv1a_bytes(ast.to_deck().bytes());
         Self::compile(&ast, identity)
     }

@@ -75,10 +75,14 @@ pub enum CheckpointError {
     /// The file is not a valid checkpoint (parse failure or missing
     /// fields).
     Malformed(String),
-    /// The file has an incompatible layout version.
+    /// The file has an incompatible layout version — e.g. written by a
+    /// *newer* build. Loaders treat this exactly like a corrupt file:
+    /// degrade to a fresh run with a warning, never abort.
     Version {
         /// Version found in the file.
         found: u64,
+        /// Version this build reads and writes ([`CHECKPOINT_VERSION`]).
+        current: u64,
     },
 }
 
@@ -87,10 +91,17 @@ impl fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
             CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
-            CheckpointError::Version { found } => write!(
-                f,
-                "incompatible checkpoint version {found} (expected {CHECKPOINT_VERSION})"
-            ),
+            CheckpointError::Version { found, current } => {
+                let hint = if *found > *current {
+                    " — written by a newer build"
+                } else {
+                    ""
+                };
+                write!(
+                    f,
+                    "incompatible checkpoint version {found} (this build reads {current}{hint})"
+                )
+            }
         }
     }
 }
@@ -188,7 +199,10 @@ impl Checkpoint {
         }
         let version = get_u64(&json, "version")?;
         if version != CHECKPOINT_VERSION {
-            return Err(CheckpointError::Version { found: version });
+            return Err(CheckpointError::Version {
+                found: version,
+                current: CHECKPOINT_VERSION,
+            });
         }
         let phase_json = get_arr(&json, "phase_sims")?;
         if phase_json.len() != SimPhase::COUNT {
@@ -713,11 +727,22 @@ mod tests {
             Checkpoint::from_json_str("{\"format\":\"something-else\",\"version\":1}"),
             Err(CheckpointError::Malformed(_))
         ));
+        // A *future* version (written by a newer build) is a typed Version
+        // error carrying both versions, so loaders can warn precisely.
         let mut ck = sample_checkpoint();
         ck.version = CHECKPOINT_VERSION + 1;
+        let err = Checkpoint::from_json_str(&ck.to_json()).unwrap_err();
         assert!(matches!(
-            Checkpoint::from_json_str(&ck.to_json()),
-            Err(CheckpointError::Version { found }) if found == CHECKPOINT_VERSION + 1
+            err,
+            CheckpointError::Version { found, current }
+                if found == CHECKPOINT_VERSION + 1 && current == CHECKPOINT_VERSION
         ));
+        assert!(err.to_string().contains("newer build"), "{err}");
+        // A past version is the same typed error, without the hint.
+        let mut ck = sample_checkpoint();
+        ck.version = 0;
+        let err = Checkpoint::from_json_str(&ck.to_json()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Version { found: 0, .. }));
+        assert!(!err.to_string().contains("newer build"), "{err}");
     }
 }

@@ -15,6 +15,7 @@
 //!    yield) and repeat until the estimate stops improving.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use specwise_ckt::SimPhase;
@@ -181,12 +182,27 @@ impl OptimizationTrace {
     }
 }
 
+/// Observer invoked with every checkpoint state the optimizer persists.
+type CheckpointHook = Arc<dyn Fn(&Checkpoint) + Send + Sync>;
+
 /// The yield optimizer (paper Fig. 6).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct YieldOptimizer {
     config: OptimizerConfig,
     tracer: Tracer,
     checkpoint: Option<PathBuf>,
+    checkpoint_hook: Option<CheckpointHook>,
+}
+
+impl std::fmt::Debug for YieldOptimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("YieldOptimizer")
+            .field("config", &self.config)
+            .field("tracer", &self.tracer)
+            .field("checkpoint", &self.checkpoint)
+            .field("checkpoint_hook", &self.checkpoint_hook.is_some())
+            .finish()
+    }
 }
 
 impl YieldOptimizer {
@@ -196,6 +212,7 @@ impl YieldOptimizer {
             config,
             tracer: Tracer::disabled(),
             checkpoint: None,
+            checkpoint_hook: None,
         }
     }
 
@@ -212,6 +229,21 @@ impl YieldOptimizer {
     #[must_use]
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Registers a job-granular checkpoint observer: `hook` is called with
+    /// every checkpoint state the run produces — after the initial analysis
+    /// and after each completed iteration — whether or not a checkpoint
+    /// *path* is configured. Services supervising many runs (e.g.
+    /// `specwise-serve`) use this to publish per-job progress without
+    /// re-reading checkpoint files.
+    #[must_use]
+    pub fn with_checkpoint_hook(
+        mut self,
+        hook: impl Fn(&Checkpoint) + Send + Sync + 'static,
+    ) -> Self {
+        self.checkpoint_hook = Some(Arc::new(hook));
         self
     }
 
@@ -607,7 +639,9 @@ impl YieldOptimizer {
         phase_base: &[u64; SimPhase::COUNT],
         tr: &Tracer,
     ) {
-        let Some(path) = path else { return };
+        if path.is_none() && self.checkpoint_hook.is_none() {
+            return;
+        }
         let mut phase_sims = env.sim_phase_counts();
         for (total, base) in phase_sims.iter_mut().zip(phase_base) {
             *total += base;
@@ -622,6 +656,10 @@ impl YieldOptimizer {
             analysis: analysis.clone(),
             snapshots: snapshots.to_vec(),
         };
+        if let Some(hook) = &self.checkpoint_hook {
+            hook(&ck);
+        }
+        let Some(path) = path else { return };
         if let Err(e) = ck.save(path) {
             eprintln!("specwise: checkpoint write to {path:?} failed: {e}; continuing without");
             tr.warn(
@@ -1022,6 +1060,113 @@ mod tests {
             .unwrap();
         assert!(!trace.resumed);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Runs a checkpointed quick config against `path` and returns the
+    /// trace plus every "checkpoint rejected" journal warning's reason.
+    fn run_with_journal(path: &std::path::Path) -> (OptimizationTrace, Vec<String>) {
+        let journal = std::sync::Arc::new(specwise_trace::Journal::in_memory());
+        let e = env();
+        let trace = YieldOptimizer::new(quick_config())
+            .with_checkpoint(path)
+            .with_tracer(Tracer::new(std::sync::Arc::clone(&journal)))
+            .run(&e)
+            .unwrap();
+        let reasons = journal
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                specwise_trace::Record::Event(ev) if ev.name == "warn" => {
+                    let msg = ev.attrs.iter().find(|(k, _)| k == "message")?;
+                    let reason = ev.attrs.iter().find(|(k, _)| k == "reason")?;
+                    match (&msg.1, &reason.1) {
+                        (
+                            specwise_trace::TraceValue::Str(m),
+                            specwise_trace::TraceValue::Str(why),
+                        ) if m == "checkpoint rejected" => Some(why.clone()),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        (trace, reasons)
+    }
+
+    #[test]
+    fn future_version_and_corrupt_checkpoints_degrade_to_fresh_with_warning() {
+        let path = unique_ckpt("future-version");
+        let e = env();
+        YieldOptimizer::new(quick_config())
+            .with_checkpoint(&path)
+            .run(&e)
+            .unwrap();
+
+        // Bump the on-disk version to a future layout, as a newer build
+        // would write. The loader must degrade to a fresh run and say why
+        // in the journal — not abort, not resume garbage.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let marker = format!("\"version\":{CHECKPOINT_VERSION}");
+        assert!(text.contains(&marker), "checkpoint layout changed?");
+        let future = CHECKPOINT_VERSION + 41;
+        std::fs::write(
+            &path,
+            text.replacen(&marker, &format!("\"version\":{future}"), 1),
+        )
+        .unwrap();
+        let (trace, reasons) = run_with_journal(&path);
+        assert!(!trace.resumed, "future version must not resume");
+        assert_eq!(reasons.len(), 1, "warnings: {reasons:?}");
+        assert!(
+            reasons[0].contains(&future.to_string()) && reasons[0].contains("newer build"),
+            "reason: {}",
+            reasons[0]
+        );
+
+        // A corrupt file takes the same degrade path with its own reason.
+        std::fs::write(&path, "definitely not a checkpoint").unwrap();
+        let (trace, reasons) = run_with_journal(&path);
+        assert!(!trace.resumed, "corrupt file must not resume");
+        assert_eq!(reasons.len(), 1, "warnings: {reasons:?}");
+        assert!(
+            reasons[0].contains("malformed checkpoint"),
+            "reason: {}",
+            reasons[0]
+        );
+
+        // An intact checkpoint still resumes (the happy path is untouched).
+        let e2 = env();
+        YieldOptimizer::new(quick_config())
+            .with_checkpoint(&path)
+            .run(&e2)
+            .unwrap();
+        let (trace, reasons) = run_with_journal(&path);
+        assert!(trace.resumed);
+        assert!(reasons.is_empty(), "warnings: {reasons:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_hook_observes_every_state_even_without_a_path() {
+        let states: std::sync::Arc<std::sync::Mutex<Vec<(usize, usize)>>> =
+            std::sync::Arc::default();
+        let sink = std::sync::Arc::clone(&states);
+        let e = env();
+        let trace = YieldOptimizer::new(quick_config())
+            .with_checkpoint_hook(move |ck| {
+                sink.lock()
+                    .unwrap()
+                    .push((ck.iteration, ck.snapshots.len()));
+            })
+            .run(&e)
+            .unwrap();
+        let states = states.lock().unwrap();
+        // One state after the initial analysis, one per completed iteration.
+        assert_eq!(states.len(), trace.snapshots().len());
+        for (i, (iteration, snaps)) in states.iter().enumerate() {
+            assert_eq!(*iteration, i);
+            assert_eq!(*snaps, i + 1);
+        }
     }
 
     /// The optimizer test env with a failing corner of the sample space

@@ -94,6 +94,23 @@ impl ExecConfig {
         self
     }
 
+    /// Divides this configuration's worker threads across `shards`
+    /// concurrent services (minimum one thread each), so a pool of
+    /// side-by-side jobs — `specwise-serve`'s worker slots — shares the
+    /// machine instead of oversubscribing it `shards`-fold. Worker count
+    /// never changes results (the engine is bit-identical at any worker
+    /// count), only scheduling.
+    pub fn into_shard(mut self, shards: usize) -> Self {
+        self.workers = (self.workers / shards.max(1)).max(1);
+        self
+    }
+
+    /// [`ExecConfig::default`] sharded `shards` ways via
+    /// [`ExecConfig::into_shard`].
+    pub fn sharded(shards: usize) -> Self {
+        ExecConfig::default().into_shard(shards)
+    }
+
     /// Reads the configuration from the environment, starting from the
     /// defaults:
     ///
@@ -188,6 +205,20 @@ mod tests {
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.cache_capacity, 7);
         assert_eq!(cfg.retry.max_retries, 5);
+    }
+
+    #[test]
+    fn sharding_divides_workers_with_a_floor_of_one() {
+        let base = ExecConfig::default().with_workers(8);
+        assert_eq!(base.clone().into_shard(2).workers, 4);
+        assert_eq!(base.clone().into_shard(3).workers, 2);
+        assert_eq!(base.clone().into_shard(100).workers, 1);
+        assert_eq!(base.clone().into_shard(0).workers, 8, "0 shards ≡ 1");
+        // Only the worker count changes.
+        let sharded = base.clone().into_shard(2);
+        assert_eq!(sharded.cache_capacity, base.cache_capacity);
+        assert_eq!(sharded.retry, base.retry);
+        assert!(ExecConfig::sharded(4).workers >= 1);
     }
 
     #[test]

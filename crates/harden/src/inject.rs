@@ -196,6 +196,13 @@ impl<E: CircuitEnv + ?Sized> CircuitEnv for FaultInjector<'_, E> {
         self.env.stat_space()
     }
 
+    fn stat_dim(&self) -> usize {
+        // Forward explicitly: the trait's default derives the dimension
+        // from the stat space, which would drop a wrapped environment's
+        // override (e.g. `AnalyticEnv`'s truncated synthetic space).
+        self.env.stat_dim()
+    }
+
     fn specs(&self) -> &[Spec] {
         self.env.specs()
     }
@@ -279,24 +286,80 @@ impl<E: CircuitEnv + ?Sized> CircuitEnv for FaultInjector<'_, E> {
     }
 }
 
-/// An environment wrapper that turns fatal after a fixed number of
-/// simulations — the in-process stand-in for "the job got killed" in
-/// checkpoint/resume tests. Once tripped, every evaluation returns a
-/// *non-retryable* error (`CktError::InvalidConfig`), so no retry policy
-/// can absorb it and the run stops where the budget ran out.
-pub struct KillSwitch<'e, E: CircuitEnv + ?Sized> {
-    env: &'e E,
+/// A sharable evaluation budget: one atomic meter that any number of
+/// [`KillSwitch`] wrappers (one per job of a tenant, say) charge together.
+///
+/// `specwise-serve` hangs one of these on every tenant so concurrent jobs
+/// draw from a common allowance, and reads [`SharedBudget::used`] for its
+/// per-tenant sim-count metrics.
+#[derive(Debug)]
+pub struct SharedBudget {
     budget: u64,
     used: AtomicU64,
     tripped: AtomicBool,
+}
+
+impl SharedBudget {
+    /// A fresh meter allowing `budget` evaluations.
+    pub fn new(budget: u64) -> Self {
+        SharedBudget {
+            budget,
+            used: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured allowance.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Evaluations charged so far (including any rejected after the trip).
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Whether the allowance was exhausted at least once.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Charge one evaluation; `false` once the allowance is exhausted.
+    fn charge(&self) -> bool {
+        if self.used.fetch_add(1, Ordering::Relaxed) >= self.budget {
+            self.tripped.store(true, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+}
+
+/// An environment wrapper that turns fatal after a fixed number of
+/// simulations — the in-process stand-in for "the job got killed" in
+/// checkpoint/resume tests. Once tripped, every evaluation of a
+/// [`KillSwitch::new`] wrapper returns a *non-retryable* error
+/// (`CktError::InvalidConfig`), so no retry policy can absorb it and the
+/// run stops where the budget ran out.
+///
+/// The [`KillSwitch::soft`] variant instead fails post-budget evaluations
+/// with a *retryable* simulation error (the same shape a non-converging
+/// solve produces), so downstream layers that tolerate simulation failures
+/// — notably MC verification, which excludes failed samples and widens its
+/// reported yield interval — degrade gracefully instead of aborting.
+pub struct KillSwitch<'e, E: CircuitEnv + ?Sized> {
+    env: &'e E,
+    budget: std::sync::Arc<SharedBudget>,
+    soft: bool,
 }
 
 impl<E: CircuitEnv + ?Sized> std::fmt::Debug for KillSwitch<'_, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KillSwitch")
             .field("env", &self.env.name())
-            .field("budget", &self.budget)
-            .field("used", &self.used.load(Ordering::Relaxed))
+            .field("budget", &self.budget.budget())
+            .field("used", &self.budget.used())
+            .field("soft", &self.soft)
             .finish()
     }
 }
@@ -304,17 +367,42 @@ impl<E: CircuitEnv + ?Sized> std::fmt::Debug for KillSwitch<'_, E> {
 impl<'e, E: CircuitEnv + ?Sized> KillSwitch<'e, E> {
     /// Wraps `env`; evaluations beyond `budget` fail fatally.
     pub fn new(env: &'e E, budget: u64) -> Self {
+        Self::with_budget(env, std::sync::Arc::new(SharedBudget::new(budget)))
+    }
+
+    /// Wraps `env`; evaluations beyond `budget` fail with a retryable
+    /// simulation error, so failure-tolerant layers degrade instead of
+    /// aborting.
+    pub fn soft(env: &'e E, budget: u64) -> Self {
+        let mut ks = Self::new(env, budget);
+        ks.soft = true;
+        ks
+    }
+
+    /// Wraps `env` around an externally owned [`SharedBudget`], fatal mode.
+    pub fn with_budget(env: &'e E, budget: std::sync::Arc<SharedBudget>) -> Self {
         KillSwitch {
             env,
             budget,
-            used: AtomicU64::new(0),
-            tripped: AtomicBool::new(false),
+            soft: false,
         }
+    }
+
+    /// Wraps `env` around an externally owned [`SharedBudget`], soft mode.
+    pub fn soft_with_budget(env: &'e E, budget: std::sync::Arc<SharedBudget>) -> Self {
+        let mut ks = Self::with_budget(env, budget);
+        ks.soft = true;
+        ks
+    }
+
+    /// The budget meter this wrapper charges.
+    pub fn budget(&self) -> &std::sync::Arc<SharedBudget> {
+        &self.budget
     }
 
     /// Whether the budget was exhausted at least once.
     pub fn tripped(&self) -> bool {
-        self.tripped.load(Ordering::Relaxed)
+        self.budget.tripped()
     }
 
     /// Evaluations charged so far (including any rejected after the trip).
@@ -322,17 +410,22 @@ impl<'e, E: CircuitEnv + ?Sized> KillSwitch<'e, E> {
     /// evaluation-call counter, which is how the resume acceptance test
     /// sizes a budget that dies mid-iteration.
     pub fn used(&self) -> u64 {
-        self.used.load(Ordering::Relaxed)
+        self.budget.used()
     }
 
     fn charge(&self) -> Result<(), CktError> {
-        if self.used.fetch_add(1, Ordering::Relaxed) >= self.budget {
-            self.tripped.store(true, Ordering::Relaxed);
+        if self.budget.charge() {
+            Ok(())
+        } else if self.soft {
+            Err(CktError::Simulation(MnaError::NoConvergence {
+                analysis: "kill switch: simulation budget exhausted",
+                iterations: 0,
+                residual: f64::INFINITY,
+            }))
+        } else {
             Err(CktError::InvalidConfig {
                 reason: "kill switch tripped: simulation budget exhausted",
             })
-        } else {
-            Ok(())
         }
     }
 }
@@ -348,6 +441,13 @@ impl<E: CircuitEnv + ?Sized> CircuitEnv for KillSwitch<'_, E> {
 
     fn stat_space(&self) -> &StatSpace {
         self.env.stat_space()
+    }
+
+    fn stat_dim(&self) -> usize {
+        // Forward explicitly: the trait's default derives the dimension
+        // from the stat space, which would drop a wrapped environment's
+        // override (e.g. `AnalyticEnv`'s truncated synthetic space).
+        self.env.stat_dim()
     }
 
     fn specs(&self) -> &[Spec] {

@@ -62,7 +62,7 @@ pub mod config;
 pub mod inject;
 
 pub use config::{FaultConfig, FaultKind, FAULTS_ENV_VAR};
-pub use inject::{FaultInjector, FaultReport, KillSwitch};
+pub use inject::{FaultInjector, FaultReport, KillSwitch, SharedBudget};
 
 #[cfg(test)]
 mod tests {

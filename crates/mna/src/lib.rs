@@ -59,8 +59,9 @@ pub use error::MnaError;
 pub use mosfet::{MosEval, MosPolarity, MosRegion, MosfetModel, MosfetParams};
 pub use netlist::{Circuit, ElementId, NodeId, Stimulus};
 pub use parser::{
-    parse_deck, parse_deck_ast, DeckAst, DeckElement, DeckElementKind, DeckValue, DesignDirective,
-    MatchDirective, ParseDeckError, RangeDirective, SpecDirective, TbDirective,
+    parse_deck, parse_deck_ast, parse_deck_ast_limited, DeckAst, DeckElement, DeckElementKind,
+    DeckLimits, DeckValue, DesignDirective, MatchDirective, ParseDeckError, RangeDirective,
+    SpecDirective, TbDirective,
 };
 pub use solver::{
     clear_symbolic_cache, set_solver_override, symbolic_cache_len, uses_sparse, SolverChoice,

@@ -101,6 +101,38 @@ fn parse_value(token: &str, line: usize) -> Result<f64, ParseDeckError> {
     Ok(base * scale)
 }
 
+/// Hard ingestion limits for deck text, enforced by
+/// [`parse_deck_ast_limited`] (and, with the defaults below, by
+/// [`parse_deck_ast`] itself).
+///
+/// These bound the work an untrusted deck can demand before any circuit is
+/// built: total size, directive and element counts, and `{param}` brace
+/// nesting. Violations surface as typed [`ParseDeckError`] variants — the
+/// parser never panics on hostile input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeckLimits {
+    /// Maximum deck size in bytes.
+    pub max_bytes: usize,
+    /// Maximum number of `.`-directive lines (including `.end`).
+    pub max_directives: usize,
+    /// Maximum number of element lines.
+    pub max_elements: usize,
+    /// Maximum `{param}` brace-nesting depth. The grammar substitutes one
+    /// layer, so depths beyond 1 are always an attempted expansion bomb.
+    pub max_param_depth: usize,
+}
+
+impl Default for DeckLimits {
+    fn default() -> Self {
+        DeckLimits {
+            max_bytes: 1 << 20,
+            max_directives: 1_024,
+            max_elements: 16_384,
+            max_param_depth: 1,
+        }
+    }
+}
+
 /// A value field in a deck: a resolved number or a `{param}` placeholder to
 /// be bound by a higher layer (e.g. a design variable of a testbench).
 #[derive(Debug, Clone, PartialEq)]
@@ -112,8 +144,19 @@ pub enum DeckValue {
 }
 
 impl DeckValue {
-    fn parse(token: &str, line: usize) -> Result<Self, ParseDeckError> {
+    fn parse(token: &str, line: usize, limits: &DeckLimits) -> Result<Self, ParseDeckError> {
         if let Some(inner) = token.strip_prefix('{').and_then(|t| t.strip_suffix('}')) {
+            let open = token.chars().take_while(|c| *c == '{').count();
+            let close = token.chars().rev().take_while(|c| *c == '}').count();
+            // A brace anywhere inside the placeholder name is an attempted
+            // deeper expansion, not a legal name character.
+            if open.min(close) > limits.max_param_depth || inner.contains(['{', '}']) {
+                return Err(ParseDeckError::ParamTooDeep {
+                    line,
+                    token: token.to_string(),
+                    limit: limits.max_param_depth,
+                });
+            }
             if inner.is_empty() || inner.contains(char::is_whitespace) {
                 return Err(ParseDeckError::BadValue {
                     line,
@@ -414,10 +457,43 @@ pub enum ParseDeckError {
         /// The underlying netlist error.
         source: MnaError,
     },
+    /// The deck text exceeds [`DeckLimits::max_bytes`].
+    DeckTooLarge {
+        /// Actual deck size in bytes.
+        bytes: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// More `.`-directive lines than [`DeckLimits::max_directives`] allows.
+    TooManyDirectives {
+        /// 1-based line number of the first directive over the limit.
+        line: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// More element lines than [`DeckLimits::max_elements`] allows.
+    TooManyElements {
+        /// 1-based line number of the first element over the limit.
+        line: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A `{param}` placeholder nests braces deeper than
+    /// [`DeckLimits::max_param_depth`].
+    ParamTooDeep {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+        /// The configured depth limit.
+        limit: usize,
+    },
 }
 
 impl ParseDeckError {
     /// The 1-based deck line the error originates from.
+    /// [`ParseDeckError::DeckTooLarge`] applies to the whole deck and
+    /// reports line 1.
     pub fn line(&self) -> usize {
         match self {
             ParseDeckError::BadValue { line, .. }
@@ -426,7 +502,11 @@ impl ParseDeckError {
             | ParseDeckError::BadMosfet { line, .. }
             | ParseDeckError::BadDirective { line, .. }
             | ParseDeckError::UnboundParam { line, .. }
+            | ParseDeckError::TooManyDirectives { line, .. }
+            | ParseDeckError::TooManyElements { line, .. }
+            | ParseDeckError::ParamTooDeep { line, .. }
             | ParseDeckError::Circuit { line, .. } => *line,
+            ParseDeckError::DeckTooLarge { .. } => 1,
         }
     }
 }
@@ -461,6 +541,21 @@ impl std::fmt::Display for ParseDeckError {
             } => {
                 write!(f, "line {line}: netlist error at {element:?}: {source}")
             }
+            ParseDeckError::DeckTooLarge { bytes, limit } => {
+                write!(f, "deck is {bytes} bytes, limit is {limit}")
+            }
+            ParseDeckError::TooManyDirectives { line, limit } => {
+                write!(f, "line {line}: more than {limit} directives")
+            }
+            ParseDeckError::TooManyElements { line, limit } => {
+                write!(f, "line {line}: more than {limit} elements")
+            }
+            ParseDeckError::ParamTooDeep { line, token, limit } => {
+                write!(
+                    f,
+                    "line {line}: parameter {token:?} nests braces deeper than {limit}"
+                )
+            }
         }
     }
 }
@@ -491,12 +586,37 @@ fn keyword_value<'a>(field: &'a str, key: &str) -> Option<&'a str> {
 /// Parses a deck into its [`DeckAst`] without building a circuit, keeping
 /// `{param}` placeholders and testbench directives.
 ///
+/// Enforces [`DeckLimits::default`] as a hostile-input backstop; use
+/// [`parse_deck_ast_limited`] to tighten (or relax) the bounds at an
+/// untrusted boundary.
+///
 /// # Errors
 ///
 /// Returns [`ParseDeckError`] (with the 1-based line number) for malformed
 /// lines or directives.
 pub fn parse_deck_ast(deck: &str) -> Result<DeckAst, ParseDeckError> {
+    parse_deck_ast_limited(deck, &DeckLimits::default())
+}
+
+/// [`parse_deck_ast`] with explicit [`DeckLimits`] — the untrusted-input
+/// entry point used by ingestion boundaries such as `specwise-serve`.
+///
+/// # Errors
+///
+/// Returns [`ParseDeckError`] for malformed lines or directives, including
+/// the typed limit violations [`ParseDeckError::DeckTooLarge`],
+/// [`ParseDeckError::TooManyDirectives`],
+/// [`ParseDeckError::TooManyElements`] and
+/// [`ParseDeckError::ParamTooDeep`]. Never panics, whatever the input.
+pub fn parse_deck_ast_limited(deck: &str, limits: &DeckLimits) -> Result<DeckAst, ParseDeckError> {
+    if deck.len() > limits.max_bytes {
+        return Err(ParseDeckError::DeckTooLarge {
+            bytes: deck.len(),
+            limit: limits.max_bytes,
+        });
+    }
     let mut ast = DeckAst::default();
+    let mut directives = 0usize;
     for (lineno, raw) in deck.lines().enumerate() {
         let line = lineno + 1;
         // Strip comments.
@@ -515,8 +635,9 @@ pub fn parse_deck_ast(deck: &str) -> Result<DeckAst, ParseDeckError> {
                 .ok_or(ParseDeckError::TooFewFields { line })
         };
         let num = |k: usize| -> Result<f64, ParseDeckError> { parse_value(need(k)?, line) };
-        let value =
-            |k: usize| -> Result<DeckValue, ParseDeckError> { DeckValue::parse(need(k)?, line) };
+        let value = |k: usize| -> Result<DeckValue, ParseDeckError> {
+            DeckValue::parse(need(k)?, line, limits)
+        };
         let bad = |directive: &str, reason: String| ParseDeckError::BadDirective {
             line,
             directive: directive.to_string(),
@@ -524,6 +645,13 @@ pub fn parse_deck_ast(deck: &str) -> Result<DeckAst, ParseDeckError> {
         };
 
         if let Some(directive) = upper.strip_prefix('.') {
+            directives += 1;
+            if directives > limits.max_directives {
+                return Err(ParseDeckError::TooManyDirectives {
+                    line,
+                    limit: limits.max_directives,
+                });
+            }
             match directive {
                 "END" => break,
                 "TEMP" => ast.temp_c = Some(num(1)?),
@@ -694,9 +822,9 @@ pub fn parse_deck_ast(deck: &str) -> Result<DeckAst, ParseDeckError> {
                 let mut ideality = DeckValue::Num(1.0);
                 for f in &fields[3..] {
                     if let Some(v) = keyword_value(f, "IS") {
-                        is_sat = DeckValue::parse(v, line)?;
+                        is_sat = DeckValue::parse(v, line, limits)?;
                     } else if let Some(v) = keyword_value(f, "N") {
-                        ideality = DeckValue::parse(v, line)?;
+                        ideality = DeckValue::parse(v, line, limits)?;
                     }
                 }
                 DeckElementKind::Diode {
@@ -725,9 +853,9 @@ pub fn parse_deck_ast(deck: &str) -> Result<DeckAst, ParseDeckError> {
                 let mut l = None;
                 for f in &fields[6..] {
                     if let Some(v) = keyword_value(f, "W") {
-                        w = Some(DeckValue::parse(v, line)?);
+                        w = Some(DeckValue::parse(v, line, limits)?);
                     } else if let Some(v) = keyword_value(f, "L") {
-                        l = Some(DeckValue::parse(v, line)?);
+                        l = Some(DeckValue::parse(v, line, limits)?);
                     }
                 }
                 let (Some(w), Some(l)) = (w, l) else {
@@ -753,6 +881,12 @@ pub fn parse_deck_ast(deck: &str) -> Result<DeckAst, ParseDeckError> {
                 })
             }
         };
+        if ast.elements.len() >= limits.max_elements {
+            return Err(ParseDeckError::TooManyElements {
+                line,
+                limit: limits.max_elements,
+            });
+        }
         ast.elements.push(DeckElement {
             line,
             name: head.to_string(),
@@ -1268,6 +1402,66 @@ mod tests {
             parse_deck_ast(".design w1 um 2 400"),
             Err(ParseDeckError::BadDirective { .. })
         ));
+    }
+
+    #[test]
+    fn ingestion_limits_reject_hostile_decks_with_typed_errors() {
+        // Oversized deck.
+        let tight = DeckLimits {
+            max_bytes: 64,
+            ..DeckLimits::default()
+        };
+        let big = "* padding\n".repeat(20);
+        assert!(matches!(
+            parse_deck_ast_limited(&big, &tight),
+            Err(ParseDeckError::DeckTooLarge { limit: 64, .. })
+        ));
+
+        // Too many directives.
+        let tight = DeckLimits {
+            max_directives: 3,
+            ..DeckLimits::default()
+        };
+        let deck = ".tb out out\n".repeat(5);
+        let err = parse_deck_ast_limited(&deck, &tight).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseDeckError::TooManyDirectives { line: 4, limit: 3 }
+        ));
+
+        // Too many elements.
+        let tight = DeckLimits {
+            max_elements: 2,
+            ..DeckLimits::default()
+        };
+        let deck = "R1 a 0 1k\nR2 a 0 1k\nR3 a 0 1k\n";
+        assert!(matches!(
+            parse_deck_ast_limited(deck, &tight),
+            Err(ParseDeckError::TooManyElements { line: 3, limit: 2 })
+        ));
+
+        // Brace-nesting bombs, under the default depth limit of 1.
+        for token in ["{{w1}}", "{a{b}c}", "{{{x}}}"] {
+            let deck = format!("V1 a 0 {token}\n");
+            let err = parse_deck_ast(&deck).unwrap_err();
+            assert!(
+                matches!(err, ParseDeckError::ParamTooDeep { line: 1, .. }),
+                "{token}: {err:?}"
+            );
+            assert_eq!(err.line(), 1);
+        }
+        // A plain placeholder still parses.
+        let ast = parse_deck_ast("V1 a 0 {vdd}\n").unwrap();
+        assert_eq!(ast.elements.len(), 1);
+    }
+
+    #[test]
+    fn default_limits_accept_real_decks() {
+        let deck = "V1 in 0 2.0\nR1 in mid 1k\nR2 mid 0 1k\n.end";
+        assert_eq!(
+            parse_deck_ast(deck).unwrap(),
+            parse_deck_ast_limited(deck, &DeckLimits::default()).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Hostile-input fuzzing for the deck parser: random byte soups, truncated
+//! decks, and brace bombs must produce typed [`ParseDeckError`]s (or a
+//! harmless parse), never a panic. This is the ingestion boundary
+//! `specwise-serve` exposes to untrusted clients.
+
+use proptest::prelude::*;
+use specwise_mna::{
+    parse_deck, parse_deck_ast, parse_deck_ast_limited, DeckLimits, ParseDeckError,
+};
+
+/// A representative annotated deck exercising every directive and element
+/// kind the grammar supports.
+const DECK: &str = ".name fuzz testbench
+.nodes vdd inp out
+.temp 27
+.design w1 um 2 400 8
+.design ib uA 1 100 10
+.range temp -40 125
+.range vdd 4.5 5.5
+.spec A0 dB min 80 dcgain
+.match m1 m2
+.tb vinp VINP
+VDD vdd 0 {vdd} ; supply
+VINP inp 0 2.5 AC 0.5
+IB1 vdd bias {ib}
+RZ a b 1.2e3
+CC a out 3p
+E1 e 0 a b 2
+G1 g 0 a b 1m
+M1 out inp 0 0 NMOS W={w1} L=2e-6
+D1 a 0 IS=1e-12 N=2
+.end
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_byte_soup_never_panics(raw in prop::collection::vec(0u16..256, 0..2048)) {
+        let bytes: Vec<u8> = raw.iter().map(|b| *b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_deck_ast(&text);
+        let _ = parse_deck(&text);
+    }
+
+    #[test]
+    fn random_token_decks_never_panic(
+        lines in prop::collection::vec(
+            prop::collection::vec(0usize..TOKENS.len(), 0..8),
+            0..40,
+        ),
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|line| {
+                let mut s = line.iter().map(|i| TOKENS[*i]).collect::<Vec<_>>().join(" ");
+                s.push('\n');
+                s
+            })
+            .collect();
+        let _ = parse_deck_ast(&text);
+        let _ = parse_deck(&text);
+    }
+
+    #[test]
+    fn truncated_decks_never_panic(cut in 0usize..600) {
+        let cut = cut.min(DECK.len());
+        // The deck is pure ASCII, so any cut is a char boundary.
+        let _ = parse_deck_ast(&DECK[..cut]);
+        let _ = parse_deck(&DECK[..cut]);
+    }
+
+    #[test]
+    fn brace_bombs_are_rejected_with_a_typed_error(depth in 2usize..64) {
+        let token = format!("{}w1{}", "{".repeat(depth), "}".repeat(depth));
+        let deck = format!("V1 a 0 {token}\n");
+        let err = parse_deck_ast(&deck).unwrap_err();
+        prop_assert!(
+            matches!(err, ParseDeckError::ParamTooDeep { line: 1, .. }),
+            "depth {}: {:?}",
+            depth,
+            err
+        );
+    }
+
+    #[test]
+    fn tight_limits_always_yield_limit_errors_not_panics(
+        max_bytes in 1usize..64,
+        max_directives in 1usize..4,
+        max_elements in 1usize..4,
+    ) {
+        let limits = DeckLimits {
+            max_bytes,
+            max_directives,
+            max_elements,
+            max_param_depth: 1,
+        };
+        // Whatever the limits, the parser returns — it never panics, and
+        // the full deck always violates at least `max_bytes` here.
+        prop_assert!(parse_deck_ast_limited(DECK, &limits).is_err());
+    }
+}
+
+/// Grammar-adjacent tokens: valid heads, directives, values, and junk, so
+/// random decks reach deep into every parse arm.
+const TOKENS: &[&str] = &[
+    ".design",
+    ".spec",
+    ".range",
+    ".match",
+    ".tb",
+    ".name",
+    ".nodes",
+    ".temp",
+    ".end",
+    ".include",
+    "R1",
+    "C1",
+    "V1",
+    "I1",
+    "E1",
+    "G1",
+    "M1",
+    "D1",
+    "X1",
+    "a",
+    "b",
+    "0",
+    "gnd",
+    "out",
+    "1k",
+    "2.5u",
+    "-5",
+    "1e308",
+    "-1e308",
+    "nan",
+    "{w1}",
+    "{{w1}}",
+    "{",
+    "}",
+    "{}",
+    "AC",
+    "NMOS",
+    "PMOS",
+    "W=10u",
+    "L=",
+    "W={w1}",
+    "IS=1e-12",
+    "N=2",
+    "min",
+    "max",
+    "um",
+    ";",
+    "*",
+    "\u{1F4A3}",
+    "",
+];

@@ -1,0 +1,507 @@
+//! The daemon: a TCP accept loop (thread per connection) over a shared
+//! job scheduler drained by a sharded worker pool.
+//!
+//! Life of a job: a client submits an annotated deck; the handler
+//! compiles it through the hardened limited parser *before* accepting
+//! (malformed and oversized decks bounce with a structured error and the
+//! daemon keeps serving), persists the spec to the spool as `<id>.req`,
+//! and queues it. A worker slot claims the job, runs the full Fig. 6
+//! flow under the tenant's shared simulation budget, checkpoints into
+//! the spool after every iteration, and streams journal records to any
+//! subscribed client. The settled outcome lands in `<id>.out`
+//! (atomically, tmp + rename). On restart the daemon rescans the spool:
+//! specs with an outcome are served from it, specs without one re-enter
+//! the queue and — thanks to their checkpoints — resume bit-for-bit.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use specwise_ckt::{DeckLimits, Testbench};
+use specwise_exec::ExecConfig;
+use specwise_trace::json;
+
+use crate::job::{run_job, JobOutcome, JobRequest, JobSpec};
+use crate::protocol::{end_marker, read_line_bounded, LineRead, Request, WireError};
+use crate::state::ServeState;
+
+/// Daemon configuration. Every field has a `SPECWISE_SERVE_*`
+/// environment knob read by [`ServeConfig::from_env`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`SPECWISE_SERVE_ADDR`). Port `0` picks a free
+    /// port; [`Daemon::local_addr`] reports the bound one.
+    pub addr: String,
+    /// Spool directory for `.req`/`.ckpt`/`.out` job files
+    /// (`SPECWISE_SERVE_SPOOL`).
+    pub spool: PathBuf,
+    /// Concurrent job slots; the evaluation worker pool is divided
+    /// across them (`SPECWISE_SERVE_SLOTS`).
+    pub slots: usize,
+    /// Per-tenant simulation budget in evaluation calls
+    /// (`SPECWISE_SERVE_TENANT_BUDGET`; `0` means unlimited).
+    pub tenant_budget: u64,
+    /// Maximum request line length in bytes (`SPECWISE_SERVE_MAX_LINE`).
+    pub max_line_bytes: usize,
+    /// Deck ingestion limits; `SPECWISE_SERVE_MAX_DECK` overrides the
+    /// byte cap.
+    pub deck_limits: DeckLimits,
+    /// Enable the warm-start cache (`SPECWISE_SERVE_WARM_START`, `0`/`1`).
+    /// Off by default: checkpoints restore optimizer state, not solver
+    /// caches, and bit-for-bit resume after a restart requires cold
+    /// starts.
+    pub warm_start: bool,
+    /// Evaluation-engine base configuration (shared `SPECWISE_WORKERS`
+    /// etc. knobs), sharded [`ServeConfig::slots`] ways per job.
+    pub exec: ExecConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7601".into(),
+            spool: std::env::temp_dir().join("specwise-spool"),
+            slots: 2,
+            tenant_budget: u64::MAX,
+            max_line_bytes: 4 << 20,
+            deck_limits: DeckLimits::default(),
+            warm_start: false,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+fn parse_var<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!(
+                "specwise-serve: ignoring malformed {name}={raw:?} (not a valid value); \
+                 keeping default"
+            );
+            None
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the configuration from the environment, starting from the
+    /// defaults. Set-but-malformed values keep their default after a
+    /// one-line stderr warning naming the variable.
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        if let Some(addr) = std::env::var("SPECWISE_SERVE_ADDR")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+        {
+            cfg.addr = addr.trim().to_owned();
+        }
+        if let Some(spool) = std::env::var("SPECWISE_SERVE_SPOOL")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+        {
+            cfg.spool = PathBuf::from(spool.trim());
+        }
+        if let Some(n) = parse_var::<usize>("SPECWISE_SERVE_SLOTS") {
+            cfg.slots = n.max(1);
+        }
+        if let Some(n) = parse_var::<u64>("SPECWISE_SERVE_TENANT_BUDGET") {
+            cfg.tenant_budget = if n == 0 { u64::MAX } else { n };
+        }
+        if let Some(n) = parse_var::<usize>("SPECWISE_SERVE_MAX_LINE") {
+            cfg.max_line_bytes = n.max(1024);
+        }
+        if let Some(n) = parse_var::<usize>("SPECWISE_SERVE_MAX_DECK") {
+            cfg.deck_limits.max_bytes = n;
+        }
+        if let Some(n) = parse_var::<u8>("SPECWISE_SERVE_WARM_START") {
+            cfg.warm_start = n != 0;
+        }
+        cfg.exec = ExecConfig::from_env();
+        cfg
+    }
+
+    /// The spool path of a job's checkpoint.
+    pub fn checkpoint_path(&self, id: &str) -> PathBuf {
+        self.spool.join(format!("{id}.ckpt"))
+    }
+
+    fn req_path(&self, id: &str) -> PathBuf {
+        self.spool.join(format!("{id}.req"))
+    }
+
+    fn out_path(&self, id: &str) -> PathBuf {
+        self.spool.join(format!("{id}.out"))
+    }
+}
+
+/// Atomic file write: temp file in the same directory, then rename.
+fn write_atomic(path: &std::path::Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; call
+/// [`Daemon::shutdown`] (tests) or [`Daemon::join`] (the binary).
+#[derive(Debug)]
+pub struct Daemon {
+    state: Arc<ServeState>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Starts the daemon: creates the spool, recovers spooled jobs from
+    /// a previous process, binds the listener, and spawns the accept
+    /// loop plus `cfg.slots` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spool-creation and socket-bind failures.
+    pub fn start(cfg: ServeConfig) -> io::Result<Daemon> {
+        std::fs::create_dir_all(&cfg.spool)?;
+        let state = Arc::new(ServeState::new(cfg.tenant_budget));
+        let cfg = Arc::new(cfg);
+        recover_spool(&cfg, &state);
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let workers = (0..cfg.slots)
+            .map(|slot| {
+                let state = Arc::clone(&state);
+                let cfg = Arc::clone(&cfg);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{slot}"))
+                    .spawn(move || worker_loop(&state, &cfg))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept = {
+            let state = Arc::clone(&state);
+            let cfg = Arc::clone(&cfg);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if state.is_shutdown() {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let state = Arc::clone(&state);
+                        let cfg = Arc::clone(&cfg);
+                        // Handler threads are detached: they end at peer
+                        // EOF, and at shutdown they die with the process
+                        // (tests) or the failing socket.
+                        let _ = std::thread::Builder::new().name("serve-conn".into()).spawn(
+                            move || {
+                                let _ = handle_connection(stream, &state, &cfg);
+                            },
+                        );
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Daemon {
+            state,
+            local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound listen address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared scheduler state (used by in-process tests).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Graceful stop: drains nothing — workers finish their current job
+    /// and exit, queued jobs stay in the spool for the next start.
+    pub fn shutdown(mut self) {
+        self.state.shutdown();
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks the caller until the accept loop exits (the binary's main
+    /// thread parks here; the daemon runs until the process is killed).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Rescans the spool directory after a restart. Specs with a settled
+/// outcome are inserted as done; the rest re-enter the queue in job-id
+/// order (their checkpoints make the re-run resume, not restart).
+fn recover_spool(cfg: &ServeConfig, state: &ServeState) {
+    let Ok(entries) = std::fs::read_dir(&cfg.spool) else {
+        return;
+    };
+    let mut ids: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_suffix(".req").map(str::to_owned)
+        })
+        .collect();
+    ids.sort();
+    let mut max_seen = 0u64;
+    for id in ids {
+        let text = match std::fs::read_to_string(cfg.req_path(&id)) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("specwise-serve: skipping unreadable spool entry {id}: {e}");
+                continue;
+            }
+        };
+        let spec = match JobSpec::from_json_str(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("specwise-serve: skipping corrupt spool entry {id}: {e}");
+                continue;
+            }
+        };
+        if let Some(n) = id.strip_prefix("job-").and_then(|s| s.parse::<u64>().ok()) {
+            max_seen = max_seen.max(n);
+        }
+        match std::fs::read_to_string(cfg.out_path(&id)) {
+            Ok(out) => match JobOutcome::from_json_str(&out) {
+                Ok(outcome) => state.insert_settled(spec, outcome),
+                Err(e) => {
+                    eprintln!("specwise-serve: re-running {id} (corrupt outcome: {e})");
+                    state.enqueue(spec);
+                }
+            },
+            Err(_) => {
+                state.enqueue(spec);
+            }
+        }
+    }
+    state.reserve_ids_through(max_seen);
+}
+
+fn worker_loop(state: &ServeState, cfg: &ServeConfig) {
+    while let Some((spec, journal, budget)) = state.claim() {
+        let result = run_job(&spec, cfg, &budget, &journal);
+        if let Ok(outcome) = &result {
+            if let Err(e) = write_atomic(&cfg.out_path(&spec.id), &outcome.to_json()) {
+                eprintln!(
+                    "specwise-serve: failed to spool outcome of {}: {e}",
+                    spec.id
+                );
+            }
+        }
+        state.finish(&spec.id, result);
+    }
+}
+
+fn respond(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &Arc<ServeState>,
+    cfg: &ServeConfig,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut buf = Vec::new();
+    loop {
+        match read_line_bounded(&mut reader, cfg.max_line_bytes, &mut buf)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::Oversized => {
+                let err = WireError::new(
+                    "oversized",
+                    format!(
+                        "request line exceeds {} bytes; submit a smaller deck",
+                        cfg.max_line_bytes
+                    ),
+                );
+                respond(&mut writer, &err.to_line())?;
+            }
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Request::parse(&line) {
+                    Err(err) => respond(&mut writer, &err.to_line())?,
+                    Ok(req) => dispatch(req, &mut reader, &mut writer, state, cfg)?,
+                }
+            }
+        }
+    }
+}
+
+fn dispatch(
+    req: Request,
+    _reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    state: &Arc<ServeState>,
+    cfg: &ServeConfig,
+) -> io::Result<()> {
+    match req {
+        Request::Submit(request) => match accept_job(request, state, cfg) {
+            Ok(id) => {
+                let mut line = String::from("{\"ok\":true,\"job\":");
+                json::write_json_string(&mut line, &id);
+                line.push('}');
+                respond(writer, &line)
+            }
+            Err(err) => respond(writer, &err.to_line()),
+        },
+        Request::Status => respond(writer, &state.status_line()),
+        Request::Result { job, wait } => {
+            let entry = if wait {
+                state.wait_settled(&job)
+            } else {
+                state.entry(&job)
+            };
+            match entry {
+                Err(err) => respond(writer, &err.to_line()),
+                Ok(entry) => {
+                    let mut line = String::from("{\"ok\":true,\"job\":");
+                    json::write_json_string(&mut line, &job);
+                    line.push_str(",\"state\":");
+                    json::write_json_string(&mut line, entry.state.as_str());
+                    match (&entry.outcome, &entry.error) {
+                        (Some(outcome), _) => {
+                            line.push_str(",\"outcome\":");
+                            line.push_str(&outcome.to_json());
+                        }
+                        (None, Some(reason)) => {
+                            line.push_str(",\"error\":{\"kind\":\"job-failed\",\"message\":");
+                            json::write_json_string(&mut line, reason);
+                            line.push('}');
+                        }
+                        (None, None) => {}
+                    }
+                    line.push('}');
+                    respond(writer, &line)
+                }
+            }
+        }
+        Request::Subscribe { job } => match state.entry(&job) {
+            Err(err) => respond(writer, &err.to_line()),
+            Ok(_) => {
+                let mut line = String::from("{\"ok\":true,\"job\":");
+                json::write_json_string(&mut line, &job);
+                line.push('}');
+                respond(writer, &line)?;
+                stream_journal(&job, writer, state)
+            }
+        },
+    }
+}
+
+/// Validates and accepts a submission: the deck must compile through the
+/// limited parser *now* (the untrusted boundary — a hostile deck is
+/// rejected synchronously with a structured error and never reaches a
+/// worker), then the spec is spooled and queued.
+fn accept_job(
+    request: JobRequest,
+    state: &ServeState,
+    cfg: &ServeConfig,
+) -> Result<String, WireError> {
+    if let Err(e) = Testbench::from_deck_limited(&request.deck, &cfg.deck_limits) {
+        return Err(WireError::new("deck", format!("deck rejected: {e}")));
+    }
+    let options = request.resolve();
+    let spec = JobSpec {
+        id: state.next_id(),
+        tenant: request.tenant,
+        deck: request.deck,
+        options,
+    };
+    write_atomic(&cfg.req_path(&spec.id), &spec.to_json())
+        .map_err(|e| WireError::new("bad-request", format!("failed to spool job: {e}")))?;
+    let id = spec.id.clone();
+    state.enqueue(spec);
+    Ok(id)
+}
+
+/// Streams the job's journal to the peer: the subscription starts with
+/// the full backlog (late subscribers see the whole run), then follows
+/// live records until the job settles, and ends with the `{"end":...}`
+/// marker. The connection then returns to request/response mode.
+fn stream_journal(job: &str, writer: &mut TcpStream, state: &ServeState) -> io::Result<()> {
+    let entry = match state.entry(job) {
+        Ok(entry) => entry,
+        Err(err) => return respond(writer, &err.to_line()),
+    };
+    let sub = entry.journal.subscribe();
+    loop {
+        match sub.recv_timeout(Duration::from_millis(50)) {
+            Some(record) => respond(writer, &record.to_json())?,
+            None => {
+                let entry = match state.entry(job) {
+                    Ok(entry) => entry,
+                    Err(_) => break,
+                };
+                if entry.state.settled() {
+                    // The run emits its last record before the worker
+                    // settles the job, so one final drain is complete.
+                    for record in sub.drain() {
+                        respond(writer, &record.to_json())?;
+                    }
+                    respond(writer, &end_marker(job, entry.state.as_str()))?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_paths_and_defaults() {
+        let cfg = ServeConfig::default();
+        assert!(!cfg.warm_start, "bit-for-bit resume needs cold starts");
+        assert!(cfg.slots >= 1);
+        assert_eq!(
+            cfg.checkpoint_path("job-0001"),
+            cfg.spool.join("job-0001.ckpt")
+        );
+        assert_eq!(cfg.req_path("j").extension().unwrap(), "req");
+        assert_eq!(cfg.out_path("j").extension().unwrap(), "out");
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = std::env::temp_dir().join(format!("specwise-serve-aw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file.out");
+        write_atomic(&path, "one").unwrap();
+        write_atomic(&path, "two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

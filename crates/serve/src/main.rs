@@ -1,0 +1,27 @@
+//! The `specwise-serve` binary: starts the daemon from `SPECWISE_SERVE_*`
+//! environment knobs and serves until the process is killed. Queued and
+//! running jobs survive the kill in the spool; the next start resumes
+//! them from their checkpoints bit-for-bit.
+
+use std::io::Write;
+
+use specwise_serve::{Daemon, ServeConfig};
+
+fn main() {
+    let cfg = ServeConfig::from_env();
+    let spool = cfg.spool.display().to_string();
+    match Daemon::start(cfg) {
+        Ok(daemon) => {
+            // The handshake line tells wrappers (and the e2e test) the
+            // resolved address when the config asked for port 0.
+            println!("specwise-serve listening on {}", daemon.local_addr());
+            println!("specwise-serve spool at {spool}");
+            let _ = std::io::stdout().flush();
+            daemon.join();
+        }
+        Err(e) => {
+            eprintln!("specwise-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Shared daemon state: the job table, the FIFO queue the worker pool
+//! drains, per-tenant simulation budgets, and service metrics.
+//!
+//! One mutex guards the whole state (job turnover is a few per minute —
+//! contention is not a concern); two condvars signal the two things
+//! threads wait for: queued work (worker pool) and settled jobs
+//! (`result --wait` connections).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+use specwise_harden::SharedBudget;
+use specwise_trace::json::{self};
+use specwise_trace::Journal;
+
+use crate::job::{JobOutcome, JobSpec};
+use crate::protocol::WireError;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for a worker slot.
+    Queued,
+    /// A worker is running the optimization.
+    Running,
+    /// Settled successfully; the outcome is available.
+    Done,
+    /// Settled with an error.
+    Failed,
+}
+
+impl JobState {
+    /// The state's wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// `true` once the job can no longer change state.
+    pub fn settled(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// One job's full record in the table.
+#[derive(Clone)]
+pub struct JobEntry {
+    /// The accepted spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The job's run journal; subscribers attach here for the live span
+    /// stream (backlog included, so late subscribers see the whole run).
+    pub journal: Arc<Journal>,
+    /// The result, once [`JobState::Done`].
+    pub outcome: Option<JobOutcome>,
+    /// The failure reason, once [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+impl std::fmt::Debug for JobEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobEntry")
+            .field("spec", &self.spec)
+            .field("state", &self.state)
+            .field("journal_records", &self.journal.len())
+            .field("outcome", &self.outcome)
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+/// Service-level counters reported by `status`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Jobs accepted since daemon start (including recovered ones).
+    pub jobs_submitted: u64,
+    /// Jobs settled successfully.
+    pub jobs_done: u64,
+    /// Jobs settled with an error.
+    pub jobs_failed: u64,
+    /// Evaluation-cache hits summed over settled jobs.
+    pub cache_hits: u64,
+    /// Evaluation-cache misses summed over settled jobs.
+    pub cache_misses: u64,
+    /// Simulator calls summed over settled jobs.
+    pub total_sims: u64,
+}
+
+impl Metrics {
+    /// Cache hit rate over settled jobs (`None` before any lookup).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    jobs: HashMap<String, JobEntry>,
+    /// Submission order, for a stable `status` listing.
+    order: Vec<String>,
+    queue: VecDeque<String>,
+    tenants: HashMap<String, Arc<SharedBudget>>,
+    metrics: Metrics,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// The daemon's shared state. All methods are safe to call from any
+/// connection-handler or worker thread.
+#[derive(Debug)]
+pub struct ServeState {
+    inner: Mutex<Inner>,
+    queue_cv: Condvar,
+    done_cv: Condvar,
+    tenant_budget: u64,
+}
+
+impl ServeState {
+    /// Creates empty state; each new tenant gets a fresh simulation
+    /// budget of `tenant_budget` evaluation calls.
+    pub fn new(tenant_budget: u64) -> ServeState {
+        ServeState {
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                order: Vec::new(),
+                queue: VecDeque::new(),
+                tenants: HashMap::new(),
+                metrics: Metrics::default(),
+                next_id: 1,
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            tenant_budget,
+        }
+    }
+
+    /// Allocates the next job id (`job-0001`, `job-0002`, …).
+    pub fn next_id(&self) -> String {
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        format!("job-{id:04}")
+    }
+
+    /// Ensures future [`ServeState::next_id`] calls start above `seen`
+    /// (used when recovering spooled jobs after a restart).
+    pub fn reserve_ids_through(&self, seen: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.next_id = inner.next_id.max(seen + 1);
+    }
+
+    /// Inserts an accepted job and queues it for the worker pool.
+    pub fn enqueue(&self, spec: JobSpec) -> Arc<Journal> {
+        let journal = Arc::new(Journal::in_memory());
+        let mut inner = self.inner.lock().unwrap();
+        let id = spec.id.clone();
+        inner.jobs.insert(
+            id.clone(),
+            JobEntry {
+                spec,
+                state: JobState::Queued,
+                journal: Arc::clone(&journal),
+                outcome: None,
+                error: None,
+            },
+        );
+        inner.order.push(id.clone());
+        inner.queue.push_back(id);
+        inner.metrics.jobs_submitted += 1;
+        drop(inner);
+        self.queue_cv.notify_one();
+        journal
+    }
+
+    /// Inserts an already-settled job recovered from the spool (its
+    /// `.out` file survived the restart), so clients can still fetch it.
+    pub fn insert_settled(&self, spec: JobSpec, outcome: JobOutcome) {
+        let mut inner = self.inner.lock().unwrap();
+        let id = spec.id.clone();
+        inner.jobs.insert(
+            id.clone(),
+            JobEntry {
+                spec,
+                state: JobState::Done,
+                journal: Arc::new(Journal::in_memory()),
+                outcome: Some(outcome),
+                error: None,
+            },
+        );
+        inner.order.push(id);
+        inner.metrics.jobs_submitted += 1;
+        inner.metrics.jobs_done += 1;
+    }
+
+    /// Blocks until a job is queued (returning its spec, journal, and the
+    /// tenant's budget) or the daemon shuts down (returning `None`).
+    pub fn claim(&self) -> Option<(JobSpec, Arc<Journal>, Arc<SharedBudget>)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            if let Some(id) = inner.queue.pop_front() {
+                let budget_cap = self.tenant_budget;
+                let entry = inner.jobs.get_mut(&id).expect("queued job has an entry");
+                entry.state = JobState::Running;
+                let spec = entry.spec.clone();
+                let journal = Arc::clone(&entry.journal);
+                let budget = Arc::clone(
+                    inner
+                        .tenants
+                        .entry(spec.tenant.clone())
+                        .or_insert_with(|| Arc::new(SharedBudget::new(budget_cap))),
+                );
+                return Some((spec, journal, budget));
+            }
+            inner = self.queue_cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Settles a job with its result and wakes `result --wait` clients.
+    pub fn finish(&self, id: &str, result: Result<JobOutcome, String>) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(id) {
+            match result {
+                Ok(outcome) => {
+                    entry.state = JobState::Done;
+                    entry.outcome = Some(outcome.clone());
+                    inner.metrics.jobs_done += 1;
+                    inner.metrics.cache_hits += outcome.cache_hits;
+                    inner.metrics.cache_misses += outcome.cache_misses;
+                    inner.metrics.total_sims += outcome.total_sims;
+                }
+                Err(reason) => {
+                    entry.state = JobState::Failed;
+                    entry.error = Some(reason);
+                    inner.metrics.jobs_failed += 1;
+                }
+            }
+        }
+        drop(inner);
+        self.done_cv.notify_all();
+    }
+
+    /// A snapshot of one job's entry.
+    ///
+    /// # Errors
+    ///
+    /// `"unknown-job"` when the id was never accepted.
+    pub fn entry(&self, id: &str) -> Result<JobEntry, WireError> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .jobs
+            .get(id)
+            .cloned()
+            .ok_or_else(|| WireError::new("unknown-job", format!("no such job {id:?}")))
+    }
+
+    /// Blocks until the job settles, then returns its entry.
+    ///
+    /// # Errors
+    ///
+    /// `"unknown-job"` when the id was never accepted.
+    pub fn wait_settled(&self, id: &str) -> Result<JobEntry, WireError> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            match inner.jobs.get(id) {
+                None => return Err(WireError::new("unknown-job", format!("no such job {id:?}"))),
+                Some(entry) if entry.state.settled() => return Ok(entry.clone()),
+                Some(_) => inner = self.done_cv.wait(inner).unwrap(),
+            }
+        }
+    }
+
+    /// Signals shutdown: wakes the worker pool (which exits after its
+    /// current jobs) and any waiting clients.
+    pub fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.queue_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// `true` once [`ServeState::shutdown`] was called.
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.lock().unwrap().shutdown
+    }
+
+    /// A snapshot of the service metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.lock().unwrap().metrics
+    }
+
+    /// The `status` response: job table, metrics with cache hit rate, and
+    /// per-tenant simulation counts (the tenant budget is reported only
+    /// when finite).
+    pub fn status_line(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from("{\"ok\":true,\"jobs\":[");
+        for (i, id) in inner.order.iter().enumerate() {
+            let entry = &inner.jobs[id];
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"job\":");
+            json::write_json_string(&mut out, id);
+            out.push_str(",\"tenant\":");
+            json::write_json_string(&mut out, &entry.spec.tenant);
+            out.push_str(",\"state\":");
+            json::write_json_string(&mut out, entry.state.as_str());
+            out.push('}');
+        }
+        let m = &inner.metrics;
+        out.push_str(&format!(
+            "],\"metrics\":{{\"jobs_submitted\":{},\"jobs_done\":{},\"jobs_failed\":{},\
+             \"queue_depth\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":",
+            m.jobs_submitted,
+            m.jobs_done,
+            m.jobs_failed,
+            inner.queue.len(),
+            m.cache_hits,
+            m.cache_misses,
+        ));
+        match m.cache_hit_rate() {
+            Some(rate) => json::write_f64(&mut out, rate),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(",\"total_sims\":{},\"tenants\":[", m.total_sims));
+        let mut tenants: Vec<_> = inner.tenants.iter().collect();
+        tenants.sort_by(|a, b| a.0.cmp(b.0));
+        for (i, (tenant, budget)) in tenants.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"tenant\":");
+            json::write_json_string(&mut out, tenant);
+            out.push_str(&format!(",\"sims\":{}", budget.used()));
+            if budget.budget() != u64::MAX {
+                out.push_str(&format!(",\"budget\":{}", budget.budget()));
+            }
+            out.push_str(&format!(",\"tripped\":{}}}", budget.tripped()));
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobOptions;
+
+    fn spec(id: &str, tenant: &str) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            tenant: tenant.into(),
+            deck: "vdd vdd 0 3.3".into(),
+            options: JobOptions::default(),
+        }
+    }
+
+    fn outcome() -> JobOutcome {
+        JobOutcome {
+            design: vec![1.0],
+            estimated_yield: 0.9,
+            verified_yield: None,
+            yield_interval: None,
+            total_sims: 10,
+            resumed: false,
+            cache_hits: 3,
+            cache_misses: 1,
+        }
+    }
+
+    #[test]
+    fn jobs_flow_queued_running_done_and_wake_waiters() {
+        let state = Arc::new(ServeState::new(u64::MAX));
+        state.enqueue(spec("job-0001", "a"));
+        let (claimed, _journal, budget) = state.claim().unwrap();
+        assert_eq!(claimed.id, "job-0001");
+        assert_eq!(state.entry("job-0001").unwrap().state, JobState::Running);
+        assert_eq!(budget.budget(), u64::MAX);
+
+        let waiter = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || state.wait_settled("job-0001").unwrap())
+        };
+        state.finish("job-0001", Ok(outcome()));
+        let entry = waiter.join().unwrap();
+        assert_eq!(entry.state, JobState::Done);
+        assert_eq!(entry.outcome.unwrap().total_sims, 10);
+        let m = state.metrics();
+        assert_eq!((m.jobs_done, m.cache_hits, m.cache_misses), (1, 3, 1));
+        assert_eq!(m.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn tenants_share_one_budget_and_ids_respect_recovery() {
+        let state = ServeState::new(100);
+        state.enqueue(spec("job-0001", "acme"));
+        state.enqueue(spec("job-0002", "acme"));
+        state.enqueue(spec("job-0003", "other"));
+        let (_, _, b1) = state.claim().unwrap();
+        let (_, _, b2) = state.claim().unwrap();
+        let (_, _, b3) = state.claim().unwrap();
+        assert!(Arc::ptr_eq(&b1, &b2), "same tenant ⇒ same budget");
+        assert!(!Arc::ptr_eq(&b1, &b3), "different tenant ⇒ own budget");
+        assert_eq!(b1.budget(), 100);
+
+        state.reserve_ids_through(7);
+        assert_eq!(state.next_id(), "job-0008");
+    }
+
+    #[test]
+    fn unknown_jobs_and_shutdown_are_clean() {
+        let state = ServeState::new(u64::MAX);
+        assert_eq!(state.entry("job-9999").unwrap_err().kind, "unknown-job");
+        assert_eq!(
+            state.wait_settled("job-9999").unwrap_err().kind,
+            "unknown-job"
+        );
+        state.shutdown();
+        assert!(state.claim().is_none(), "shutdown unblocks the pool");
+        assert!(state.is_shutdown());
+    }
+
+    #[test]
+    fn status_line_is_valid_json_with_tenant_rows() {
+        let state = ServeState::new(50);
+        state.enqueue(spec("job-0001", "acme"));
+        let (_, _, budget) = state.claim().unwrap();
+        let _ = budget;
+        state.finish("job-0001", Err("deck rejected: bad".into()));
+        let j = json::parse(&state.status_line()).unwrap();
+        assert_eq!(
+            j.get("jobs").and_then(|x| x.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+        let metrics = j.get("metrics").unwrap();
+        assert_eq!(metrics.get("jobs_failed").and_then(|x| x.as_u64()), Some(1));
+        let tenants = metrics.get("tenants").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(
+            tenants[0].get("tenant").and_then(|x| x.as_str()),
+            Some("acme")
+        );
+        assert_eq!(tenants[0].get("budget").and_then(|x| x.as_u64()), Some(50));
+    }
+}

@@ -6,6 +6,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 use std::thread::ThreadId;
 use std::time::Instant;
@@ -83,6 +84,25 @@ pub enum Record {
     Event(EventRecord),
 }
 
+impl Record {
+    /// The record as a single JSON line — the same schema the JSONL writer
+    /// streams and [`Journal::from_jsonl`] parses (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_record_json(&mut out, self);
+        out
+    }
+
+    /// Parse one record from its [`Record::to_json`] line.
+    pub fn from_json_str(text: &str) -> Result<Record, JournalParseError> {
+        let json = json::parse(text).map_err(|e| JournalParseError {
+            line: 1,
+            message: e.to_string(),
+        })?;
+        record_from_json(&json).map_err(|message| JournalParseError { line: 1, message })
+    }
+}
+
 /// Error from [`Journal::from_jsonl`]: the offending line plus the cause.
 #[derive(Debug, Clone)]
 pub struct JournalParseError {
@@ -104,6 +124,32 @@ struct Inner {
     records: Vec<Record>,
     writer: Option<BufWriter<File>>,
     threads: Vec<ThreadId>,
+    subscribers: Vec<Sender<Record>>,
+}
+
+/// A live feed of journal records, created by [`Journal::subscribe`].
+///
+/// The feed first delivers every record the journal had already accumulated
+/// when the subscription was opened (the backlog), then every subsequent
+/// record in emission order — loss-free, with no duplicates. Dropping the
+/// subscription detaches it; a detached subscriber never blocks or fails
+/// record emission.
+#[derive(Debug)]
+pub struct Subscription {
+    rx: Receiver<Record>,
+}
+
+impl Subscription {
+    /// Wait up to `timeout` for the next record. Returns `None` on timeout
+    /// or once the journal has been dropped and the feed is drained.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Record> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drain every record currently buffered, without blocking.
+    pub fn drain(&self) -> Vec<Record> {
+        self.rx.try_iter().collect()
+    }
 }
 
 /// Thread-safe journal sink.
@@ -137,6 +183,7 @@ impl Journal {
                 records: Vec::new(),
                 writer: None,
                 threads: Vec::new(),
+                subscribers: Vec::new(),
             }),
             next_span: AtomicU64::new(1),
             epoch: Instant::now(),
@@ -186,7 +233,32 @@ impl Journal {
                 let _ = writer.write_all(line.as_bytes());
             }
         }
+        if !inner.subscribers.is_empty() {
+            inner
+                .subscribers
+                .retain(|tx| tx.send(record.clone()).is_ok());
+        }
         inner.records.push(record);
+    }
+
+    /// Open a live [`Subscription`] to this journal.
+    ///
+    /// The backlog is pushed into the feed and the subscriber registered
+    /// under the same lock acquisition that serializes [record] emission,
+    /// so the feed sees every record exactly once, in order, with no
+    /// window for a record to be missed or duplicated around the
+    /// subscription point.
+    ///
+    /// [record]: Journal::records
+    pub fn subscribe(&self) -> Subscription {
+        let (tx, rx) = channel();
+        let mut inner = self.inner.lock().expect("journal lock");
+        for record in &inner.records {
+            // The receiver is still in scope, so the send cannot fail.
+            let _ = tx.send(record.clone());
+        }
+        inner.subscribers.push(tx);
+        Subscription { rx }
     }
 
     /// Number of records so far.

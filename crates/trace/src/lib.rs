@@ -85,7 +85,9 @@ mod journal;
 pub mod json;
 mod tracer;
 
-pub use journal::{EventRecord, Journal, JournalParseError, Record, SpanNode, SpanRecord};
+pub use journal::{
+    EventRecord, Journal, JournalParseError, Record, SpanNode, SpanRecord, Subscription,
+};
 pub use json::{Json, JsonError, TraceValue};
 pub use tracer::{Span, Tracer, TRACE_ENV_VAR};
 
@@ -283,6 +285,81 @@ mod tests {
         assert!(summary.contains("- feasible_start"));
         assert!(summary.contains("- wcd_spec"));
         assert!(summary.contains("135"));
+    }
+
+    #[test]
+    fn subscription_delivers_backlog_then_live_records_in_order() {
+        let journal = Arc::new(Journal::in_memory());
+        let tracer = Tracer::new(Arc::clone(&journal));
+        {
+            let mut span = tracer.span("backlog_span");
+            span.add_count("sims", 1);
+        }
+        tracer.event("backlog_event", &[]);
+        let sub = journal.subscribe();
+        {
+            let mut span = tracer.span("live_span");
+            span.add_count("sims", 2);
+        }
+        drop(tracer);
+        let names: Vec<String> = sub
+            .drain()
+            .iter()
+            .map(|r| match r {
+                Record::Span(s) => s.name.clone(),
+                Record::Event(e) => e.name.clone(),
+            })
+            .collect();
+        assert_eq!(names, ["backlog_span", "backlog_event", "live_span"]);
+        // The feed matches the journal's own record store exactly.
+        assert_eq!(journal.len(), 3);
+        // A dropped subscriber must not break later emission.
+        drop(sub);
+        tracer2_emits(&journal);
+        assert_eq!(journal.len(), 4);
+    }
+
+    fn tracer2_emits(journal: &Arc<Journal>) {
+        let tracer = Tracer::new(Arc::clone(journal));
+        tracer.event("after_drop", &[]);
+    }
+
+    #[test]
+    fn subscription_streams_from_concurrent_emitters_loss_free() {
+        const THREADS: usize = 4;
+        const EVENTS: usize = 100;
+        let journal = Arc::new(Journal::in_memory());
+        let tracer = Tracer::new(Arc::clone(&journal));
+        let sub = journal.subscribe();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    for _ in 0..EVENTS {
+                        tracer.event("tick", &[]);
+                    }
+                });
+            }
+        });
+        assert_eq!(sub.drain().len(), THREADS * EVENTS);
+    }
+
+    #[test]
+    fn record_json_line_round_trips() {
+        let journal = sample_journal();
+        for record in journal.records() {
+            let line = journal_line(&record);
+            let parsed = Record::from_json_str(&line).expect("record parses");
+            assert_eq!(normalized(record), normalized(parsed));
+        }
+        assert!(Record::from_json_str("not json").is_err());
+        assert!(Record::from_json_str("{\"type\":\"mystery\",\"name\":\"x\"}").is_err());
+    }
+
+    fn journal_line(record: &Record) -> String {
+        let line = record.to_json();
+        assert!(!line.contains('\n'), "to_json must be a single line");
+        line
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! * [`specwise_trace`] — the structured run journal (spans, JSONL,
 //!   Chrome-trace export)
 //! * [`specwise`] — the yield optimizer and mismatch analysis
+//! * [`specwise_serve`] — yield optimization as a service: the daemon,
+//!   its wire protocol, and the client
 
 pub use specwise;
 pub use specwise_ckt;
 pub use specwise_linalg;
 pub use specwise_mna;
+pub use specwise_serve;
 pub use specwise_stat;
 pub use specwise_trace;
 pub use specwise_wcd;
