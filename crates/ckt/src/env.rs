@@ -92,6 +92,8 @@ pub struct SimCounter {
     total: AtomicU64,
     per_phase: [AtomicU64; SimPhase::COUNT],
     current_phase: AtomicUsize,
+    adjoint_solves: AtomicU64,
+    fd_sims_avoided: AtomicU64,
 }
 
 impl Default for SimCounter {
@@ -100,6 +102,8 @@ impl Default for SimCounter {
             total: AtomicU64::new(0),
             per_phase: std::array::from_fn(|_| AtomicU64::new(0)),
             current_phase: AtomicUsize::new(SimPhase::Other.index()),
+            adjoint_solves: AtomicU64::new(0),
+            fd_sims_avoided: AtomicU64::new(0),
         }
     }
 }
@@ -148,12 +152,38 @@ impl SimCounter {
         std::array::from_fn(|i| self.per_phase[i].load(Ordering::Relaxed))
     }
 
+    /// Records `n` adjoint/sensitivity factorization solves. These are
+    /// *not* simulator invocations: they ride on already-factored systems,
+    /// so they are tracked beside — never inside — the simulation total
+    /// (the per-phase counts must keep partitioning [`SimCounter::count`]).
+    pub fn add_adjoint(&self, n: u64) {
+        self.adjoint_solves.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adjoint/sensitivity solves recorded so far.
+    pub fn adjoint_solves(&self) -> u64 {
+        self.adjoint_solves.load(Ordering::Relaxed)
+    }
+
+    /// Records that `n` finite-difference simulator calls were avoided by
+    /// the adjoint gradient path.
+    pub fn add_fd_avoided(&self, n: u64) {
+        self.fd_sims_avoided.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Finite-difference simulator calls avoided so far.
+    pub fn fd_sims_avoided(&self) -> u64 {
+        self.fd_sims_avoided.load(Ordering::Relaxed)
+    }
+
     /// Resets all counts to zero (the active phase selection is kept).
     pub fn reset(&self) {
         self.total.store(0, Ordering::Relaxed);
         for c in &self.per_phase {
             c.store(0, Ordering::Relaxed);
         }
+        self.adjoint_solves.store(0, Ordering::Relaxed);
+        self.fd_sims_avoided.store(0, Ordering::Relaxed);
     }
 }
 
@@ -258,6 +288,53 @@ pub trait CircuitEnv {
     /// snapshot regardless of worker count or completion order. Default:
     /// no-op (environment has no warm-start cache).
     fn warm_commit(&self) {}
+
+    /// Evaluates the margin vector at `(d, ŝ, θ)` *plus* a set of perturbed
+    /// points `(d′, ŝ′)` sharing the same θ, using sensitivity analysis on
+    /// the base point's cached factorizations where the environment
+    /// supports it. Returns `(base margins, per-direction margins)`.
+    ///
+    /// `Ok(None)` means there is no sensitivity shortcut for this point —
+    /// or none at all, which is the default — and callers fall back to
+    /// independent finite-difference evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures the finite-difference path would hit
+    /// as well (e.g. a failed base-point solve).
+    fn eval_margins_perturbed(
+        &self,
+        _d: &DVec,
+        _s_hat: &DVec,
+        _theta: &OperatingPoint,
+        _directions: &[(DVec, DVec)],
+    ) -> Result<Option<(DVec, Vec<DVec>)>, CktError> {
+        Ok(None)
+    }
+
+    /// Evaluates margins at many `(ŝ, θ)` sample points for a fixed design
+    /// — the Monte-Carlo shape — letting the environment batch the
+    /// underlying solves. `None` (the default) means no batched path:
+    /// callers loop over [`CircuitEnv::eval_margins`].
+    fn eval_margins_samples(
+        &self,
+        _d: &DVec,
+        _points: &[(DVec, OperatingPoint)],
+    ) -> Option<Vec<Result<DVec, CktError>>> {
+        None
+    }
+
+    /// Adjoint/sensitivity solves recorded so far (see
+    /// [`SimCounter::adjoint_solves`]). Not part of the simulation total.
+    fn adjoint_solve_count(&self) -> u64 {
+        0
+    }
+
+    /// Finite-difference simulator calls avoided by the sensitivity path
+    /// (see [`SimCounter::fd_sims_avoided`]).
+    fn fd_sims_avoided(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +373,22 @@ mod tests {
         assert_eq!(c.phase_counts(), [0; SimPhase::COUNT]);
         // Phase selection survives a reset.
         assert_eq!(c.phase(), SimPhase::Verification);
+    }
+
+    #[test]
+    fn adjoint_counters_stay_out_of_the_total() {
+        let c = SimCounter::new();
+        c.add(4);
+        c.add_adjoint(3);
+        c.add_fd_avoided(12);
+        assert_eq!(c.count(), 4, "adjoint solves must not inflate the total");
+        assert_eq!(c.adjoint_solves(), 3);
+        assert_eq!(c.fd_sims_avoided(), 12);
+        let sum: u64 = c.phase_counts().iter().sum();
+        assert_eq!(sum, c.count(), "phase counts must keep partitioning");
+        c.reset();
+        assert_eq!(c.adjoint_solves(), 0);
+        assert_eq!(c.fd_sims_avoided(), 0);
     }
 
     #[test]

@@ -24,10 +24,13 @@
 
 use std::sync::Arc;
 
-use specwise_linalg::DVec;
-use specwise_mna::{AcSolver, Circuit, DcSolution, NodeId, Stimulus, Transient, TransientOptions};
+use specwise_linalg::{CVec, Complex64, DVec};
+use specwise_mna::{
+    AcSolver, BatchDcOp, Circuit, DcOp, DcSensitivity, DcSolution, NodeId, Stimulus, Transient,
+    TransientOptions,
+};
 
-use crate::warm::{WarmConfig, WarmKey, WarmStartCache};
+use crate::warm::{WarmConfig, WarmKey, WarmSeed, WarmStartCache};
 use crate::{CktError, OperatingPoint, SimCounter};
 
 /// Everything a [`Measure`] can read: the harness metrics plus the feedback
@@ -229,33 +232,128 @@ pub(crate) struct Measured {
     pub op_fb: DcSolution,
 }
 
-/// Runs the full measurement flow. `identity` namespaces the warm-start
-/// cache entries per environment/netlist.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn measure(
-    builder: &dyn OpampBuilder,
-    identity: u64,
-    d: &DVec,
-    s_hat: &DVec,
-    theta: &OperatingPoint,
+/// The shared-solver AC stage output. One [`AcSolver`] built on the
+/// open-loop circuit serves the differential, common-mode and supply
+/// stimuli — the small-signal system matrices are stimulus-independent,
+/// only the right-hand side differs — and the forward solutions and
+/// complex gains are kept for the adjoint direction pass to reuse.
+struct AcStage {
+    ac: AcSolver,
+    h0: Complex64,
+    y_dm0: CVec,
+    a0_db: f64,
+    /// `Some(ft)` when the magnitude crossed unity; `None` is the
+    /// degenerate case reported as [`DEGENERATE_FT_HZ`].
+    crossing: Option<f64>,
+    h_t: Complex64,
+    y_t: Option<CVec>,
+    ft_hz: f64,
+    phase_margin_deg: f64,
+    h_cm0: Complex64,
+    y_cm0: CVec,
+    cmrr_db: f64,
+    h_ps0: Complex64,
+    y_ps0: CVec,
+    psrr_db: f64,
+}
+
+/// Runs the three small-signal analyses on one shared solver. The counter
+/// increments (dm gain, crossing search, cm, ps) and every metric formula
+/// match the historical per-stimulus-solver flow exactly.
+fn ac_stage(
+    ol: &BuiltOpamp,
+    vinn: &str,
+    op_ol: &DcSolution,
+    counter: &SimCounter,
+) -> Result<AcStage, CktError> {
+    let ac = AcSolver::new(&ol.circuit, op_ol);
+
+    // Differential drive: +1/2 on vinp, −1/2 on vinn.
+    let b_dm = ac
+        .drive(&[(&ol.vinp_src, 0.5), (vinn, -0.5)])
+        .map_err(CktError::from)?;
+    let sol_dm0 = ac.solve_driven(0.0, &b_dm).map_err(CktError::from)?;
+    let h0 = sol_dm0.voltage(ol.out);
+    counter.add(1);
+    let adm0 = h0.abs();
+    let a0_db = 20.0 * adm0.max(1e-30).log10();
+
+    // Unity-gain frequency and phase margin.
+    let crossing = ac
+        .find_crossing_driven(ol.out, 1.0, 1.0, 20e9, &b_dm)
+        .map_err(CktError::from)?;
+    let (h_t, y_t, ft_hz, phase_margin_deg) = match crossing {
+        Some(ft) => {
+            let sol_t = ac.solve_driven(ft, &b_dm).map_err(CktError::from)?;
+            let at_ft = sol_t.voltage(ol.out);
+            // Phase margin relative to the stage's own low-frequency phase:
+            // the excess phase lag accumulated up to ft determines stability
+            // in unity feedback.
+            let phase_lag = (h0.arg() - at_ft.arg()).rem_euclid(2.0 * std::f64::consts::PI);
+            (
+                at_ft,
+                Some(sol_t.unknowns().clone()),
+                ft,
+                180.0 - phase_lag.to_degrees(),
+            )
+        }
+        None => (Complex64::ZERO, None, DEGENERATE_FT_HZ, 0.0),
+    };
+    counter.add(1);
+
+    // Common-mode drive: +1 on both inputs.
+    let b_cm = ac
+        .drive(&[(&ol.vinp_src, 1.0), (vinn, 1.0)])
+        .map_err(CktError::from)?;
+    let sol_cm0 = ac.solve_driven(0.0, &b_cm).map_err(CktError::from)?;
+    let h_cm0 = sol_cm0.voltage(ol.out);
+    counter.add(1);
+    let acm0 = h_cm0.abs();
+    let cmrr_db = if acm0 <= 0.0 {
+        200.0
+    } else {
+        (20.0 * (adm0 / acm0).log10()).min(200.0)
+    };
+
+    // Supply drive: +1 on VDD, inputs quiet — PSRR = Adm/Apsr.
+    let b_ps = ac.drive(&[(&ol.vdd_src, 1.0)]).map_err(CktError::from)?;
+    let sol_ps0 = ac.solve_driven(0.0, &b_ps).map_err(CktError::from)?;
+    let h_ps0 = sol_ps0.voltage(ol.out);
+    counter.add(1);
+    let apsr0 = h_ps0.abs();
+    let psrr_db = if apsr0 <= 0.0 {
+        200.0
+    } else {
+        (20.0 * (adm0 / apsr0).log10()).min(200.0)
+    };
+
+    Ok(AcStage {
+        ac,
+        h0,
+        y_dm0: sol_dm0.unknowns().clone(),
+        a0_db,
+        crossing,
+        h_t,
+        y_t,
+        ft_hz,
+        phase_margin_deg,
+        h_cm0,
+        y_cm0: sol_cm0.unknowns().clone(),
+        cmrr_db,
+        h_ps0,
+        y_ps0: sol_ps0.unknowns().clone(),
+        psrr_db,
+    })
+}
+
+/// Extracts the slew rate from the feedback configuration.
+fn slew_rate(
+    fb: &BuiltOpamp,
+    op_fb: &DcSolution,
     sr_method: SlewRateMethod,
     counter: &SimCounter,
-    warm: &WarmStartCache,
-) -> Result<Measured, CktError> {
-    // 1. Feedback configuration: operating point, power, slew.
-    let fb = builder.build(d, s_hat, theta, true, 0.0)?;
-    let op_fb = warm
-        .solve(
-            &fb.circuit,
-            WarmKey::new(identity, WarmConfig::Feedback, d, s_hat, theta, &[]),
-        )
-        .map_err(CktError::from)?;
-    counter.add(1);
-    let vout_fb = op_fb.voltage(fb.out);
-    let i_vdd = op_fb.branch_current(&fb.vdd_src).map_err(CktError::from)?;
-    let power_w = theta.vdd * i_vdd.abs();
-
-    let slew_v_per_s = match sr_method {
+) -> Result<f64, CktError> {
+    match sr_method {
         SlewRateMethod::Analytic => {
             let tail = op_fb
                 .mosfet_op(&fb.tail_device)
@@ -263,7 +361,7 @@ pub(crate) fn measure(
                     performance: "slew rate",
                     reason: "tail device not found",
                 })?;
-            tail.id.abs() / fb.slew_cap
+            Ok(tail.id.abs() / fb.slew_cap)
         }
         SlewRateMethod::Transient { dt, t_stop, step } => {
             let mut tr_ckt = fb.circuit.clone();
@@ -282,9 +380,74 @@ pub(crate) fn measure(
                 .run()
                 .map_err(CktError::from)?;
             counter.add(1);
-            result.max_slope(fb.out)
+            Ok(result.max_slope(fb.out))
         }
-    };
+    }
+}
+
+/// Everything the base measurement pass computed, shared between the scalar
+/// metric extraction ([`measure`]) and the adjoint direction pass
+/// ([`measure_with_directions`]).
+struct MeasureState {
+    fb: BuiltOpamp,
+    op_fb: DcSolution,
+    slew_v_per_s: f64,
+    power_w: f64,
+    slew_is_transient: bool,
+    ol: BuiltOpamp,
+    op_ol: DcSolution,
+    acs: AcStage,
+}
+
+impl MeasureState {
+    fn metrics(&self) -> OpampMetrics {
+        OpampMetrics {
+            a0_db: self.acs.a0_db,
+            ft_hz: self.acs.ft_hz,
+            phase_margin_deg: self.acs.phase_margin_deg,
+            cmrr_db: self.acs.cmrr_db,
+            slew_v_per_s: self.slew_v_per_s,
+            power_w: self.power_w,
+            psrr_db: self.acs.psrr_db,
+        }
+    }
+
+    fn into_measured(self) -> Measured {
+        let metrics = self.metrics();
+        Measured {
+            metrics,
+            fb_circuit: self.fb.circuit,
+            op_fb: self.op_fb,
+        }
+    }
+}
+
+/// The base measurement flow, keeping every intermediate the adjoint
+/// direction pass needs.
+#[allow(clippy::too_many_arguments)]
+fn measure_full(
+    builder: &dyn OpampBuilder,
+    identity: u64,
+    d: &DVec,
+    s_hat: &DVec,
+    theta: &OperatingPoint,
+    sr_method: SlewRateMethod,
+    counter: &SimCounter,
+    warm: &WarmStartCache,
+) -> Result<MeasureState, CktError> {
+    // 1. Feedback configuration: operating point, power, slew.
+    let fb = builder.build(d, s_hat, theta, true, 0.0)?;
+    let op_fb = warm
+        .solve(
+            &fb.circuit,
+            WarmKey::new(identity, WarmConfig::Feedback, d, s_hat, theta, &[]),
+        )
+        .map_err(CktError::from)?;
+    counter.add(1);
+    let vout_fb = op_fb.voltage(fb.out);
+    let i_vdd = op_fb.branch_current(&fb.vdd_src).map_err(CktError::from)?;
+    let power_w = theta.vdd * i_vdd.abs();
+    let slew_v_per_s = slew_rate(&fb, &op_fb, sr_method, counter)?;
 
     // 2. Open-loop configuration biased by the feedback result.
     let ol = builder.build(d, s_hat, theta, false, vout_fb)?;
@@ -300,82 +463,431 @@ pub(crate) fn measure(
         .map_err(CktError::from)?;
     counter.add(1);
 
-    // Differential drive: +1/2 on vinp, −1/2 on vinn.
-    let mut ckt_dm = ol.circuit.clone();
-    ckt_dm.clear_ac();
-    ckt_dm.set_ac(&ol.vinp_src, 0.5).map_err(CktError::from)?;
-    ckt_dm.set_ac(&vinn, -0.5).map_err(CktError::from)?;
-    let ac_dm = AcSolver::new(&ckt_dm, &op_ol);
-    let h0 = ac_dm.solve(0.0).map_err(CktError::from)?.voltage(ol.out);
-    counter.add(1);
-    let adm0 = h0.abs();
-    let a0_db = 20.0 * adm0.max(1e-30).log10();
-
-    // Unity-gain frequency and phase margin.
-    let (ft_hz, phase_margin_deg) = match ac_dm
-        .find_crossing(ol.out, 1.0, 1.0, 20e9)
-        .map_err(CktError::from)?
-    {
-        Some(ft) => {
-            let at_ft = ac_dm.solve(ft).map_err(CktError::from)?.voltage(ol.out);
-            // Phase margin relative to the stage's own low-frequency phase:
-            // the excess phase lag accumulated up to ft determines stability
-            // in unity feedback.
-            let phase_lag = (h0.arg() - at_ft.arg()).rem_euclid(2.0 * std::f64::consts::PI);
-            (ft, 180.0 - phase_lag.to_degrees())
-        }
-        None => (DEGENERATE_FT_HZ, 0.0),
-    };
-    counter.add(1);
-
-    // Common-mode drive: +1 on both inputs.
-    let mut ckt_cm = ol.circuit.clone();
-    ckt_cm.clear_ac();
-    ckt_cm.set_ac(&ol.vinp_src, 1.0).map_err(CktError::from)?;
-    ckt_cm.set_ac(&vinn, 1.0).map_err(CktError::from)?;
-    let ac_cm = AcSolver::new(&ckt_cm, &op_ol);
-    let acm0 = ac_cm
-        .solve(0.0)
-        .map_err(CktError::from)?
-        .voltage(ol.out)
-        .abs();
-    counter.add(1);
-    let cmrr_db = if acm0 <= 0.0 {
-        200.0
-    } else {
-        (20.0 * (adm0 / acm0).log10()).min(200.0)
-    };
-
-    // Supply drive: +1 on VDD, inputs quiet — PSRR = Adm/Apsr.
-    let mut ckt_ps = ol.circuit.clone();
-    ckt_ps.clear_ac();
-    ckt_ps.set_ac(&ol.vdd_src, 1.0).map_err(CktError::from)?;
-    let ac_ps = AcSolver::new(&ckt_ps, &op_ol);
-    let apsr0 = ac_ps
-        .solve(0.0)
-        .map_err(CktError::from)?
-        .voltage(ol.out)
-        .abs();
-    counter.add(1);
-    let psrr_db = if apsr0 <= 0.0 {
-        200.0
-    } else {
-        (20.0 * (adm0 / apsr0).log10()).min(200.0)
-    };
-
-    Ok(Measured {
-        metrics: OpampMetrics {
-            a0_db,
-            ft_hz,
-            phase_margin_deg,
-            cmrr_db,
-            slew_v_per_s,
-            power_w,
-            psrr_db,
-        },
-        fb_circuit: fb.circuit,
+    let acs = ac_stage(&ol, &vinn, &op_ol, counter)?;
+    Ok(MeasureState {
+        fb,
         op_fb,
+        slew_v_per_s,
+        power_w,
+        slew_is_transient: matches!(sr_method, SlewRateMethod::Transient { .. }),
+        ol,
+        op_ol,
+        acs,
     })
+}
+
+/// Runs the full measurement flow. `identity` namespaces the warm-start
+/// cache entries per environment/netlist.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn measure(
+    builder: &dyn OpampBuilder,
+    identity: u64,
+    d: &DVec,
+    s_hat: &DVec,
+    theta: &OperatingPoint,
+    sr_method: SlewRateMethod,
+    counter: &SimCounter,
+    warm: &WarmStartCache,
+) -> Result<Measured, CktError> {
+    measure_full(builder, identity, d, s_hat, theta, sr_method, counter, warm)
+        .map(MeasureState::into_measured)
+}
+
+/// Runs the base measurement flow once, then evaluates every perturbed
+/// point in `directions` (full `(d′, ŝ′)` pairs) by sensitivity analysis on
+/// the base factorizations instead of re-simulating: one frozen-Jacobian
+/// Newton step per DC configuration ([`DcSensitivity`]) and first-order
+/// transfer-function updates `ΔH = −λᵀ·ΔA·y` from the two cached AC
+/// adjoint solves (λ at DC and at the unity-gain crossing). The crossing
+/// itself shifts by `Δft = −Δ|H|(ft) / (∂|H|/∂f)` with
+/// `∂H/∂f = −j2π·λᵀCy`.
+///
+/// Returns `Ok(None)` when the shortcut does not apply — transient slew
+/// extraction, degenerate unity-gain crossing, ill-conditioned magnitude
+/// slope, or a sensitivity factorization/solve failure — so callers fall
+/// back to finite differences.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn measure_with_directions(
+    builder: &dyn OpampBuilder,
+    identity: u64,
+    d: &DVec,
+    s_hat: &DVec,
+    theta: &OperatingPoint,
+    sr_method: SlewRateMethod,
+    counter: &SimCounter,
+    warm: &WarmStartCache,
+    directions: &[(DVec, DVec)],
+) -> Result<Option<(Measured, Vec<Measured>)>, CktError> {
+    let state = measure_full(builder, identity, d, s_hat, theta, sr_method, counter, warm)?;
+    if state.slew_is_transient {
+        // A large-signal transient has no small-signal shortcut.
+        return Ok(None);
+    }
+    let Some(ft) = state.acs.crossing else {
+        // Degenerate crossing: ft is a sentinel, not a smooth function.
+        return Ok(None);
+    };
+    let y_t = state
+        .acs
+        .y_t
+        .as_ref()
+        .expect("crossing implies a stored solution");
+
+    let n_ol = state.ol.circuit.num_unknowns();
+    let mut e_out = CVec::zeros(n_ol);
+    e_out[state.ol.out.index() - 1] = Complex64::ONE;
+    let ac = &state.acs.ac;
+    let (lam0, lam_t) = match (ac.solve_adjoint(0.0, &e_out), ac.solve_adjoint(ft, &e_out)) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => return Ok(None),
+    };
+    let dhdf_t = -(Complex64::I * (2.0 * std::f64::consts::PI)) * ac.cap_bilinear(&lam_t, y_t);
+    let h_t = state.acs.h_t;
+    let slope = (h_t.conj() * dhdf_t).re / h_t.abs();
+    if !slope.is_finite() || slope.abs() * ft < 1e-9 {
+        // |H| locally flat in f: the crossing shift is ill-conditioned.
+        return Ok(None);
+    }
+    let (sens_fb, sens_ol) = match (
+        DcSensitivity::new(&state.fb.circuit, &state.op_fb),
+        DcSensitivity::new(&state.ol.circuit, &state.op_ol),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => return Ok(None),
+    };
+    // Two DC factorizations plus two AC adjoint solves, amortized over
+    // every direction.
+    counter.add_adjoint(4);
+
+    let mut perturbed = Vec::with_capacity(directions.len());
+    for (dp, sp) in directions {
+        let fbp = builder.build(dp, sp, theta, true, 0.0)?;
+        let Ok(op_fbp) = sens_fb.solve_perturbed(&fbp.circuit) else {
+            return Ok(None);
+        };
+        let vout_fbp = op_fbp.voltage(fbp.out);
+        let i_vddp = op_fbp
+            .branch_current(&fbp.vdd_src)
+            .map_err(CktError::from)?;
+        let power_wp = theta.vdd * i_vddp.abs();
+        let slewp = slew_rate(&fbp, &op_fbp, SlewRateMethod::Analytic, counter)?;
+
+        // The open-loop bias tracks the perturbed feedback output — an
+        // RHS-only change the frozen-Jacobian step resolves exactly.
+        let olp = builder.build(dp, sp, theta, false, vout_fbp)?;
+        let Ok(op_olp) = sens_ol.solve_perturbed(&olp.circuit) else {
+            return Ok(None);
+        };
+        let (gp, cp) = AcSolver::small_signal_matrices(&olp.circuit, &op_olp);
+
+        let dh0 = -ac.delta_bilinear(&gp, &cp, 0.0, &lam0, &state.acs.y_dm0);
+        let h0p = state.acs.h0 + dh0;
+        let adm0p = h0p.abs();
+        let a0p_db = 20.0 * adm0p.max(1e-30).log10();
+
+        let dht = -ac.delta_bilinear(&gp, &cp, ft, &lam_t, y_t);
+        let dmag = (h_t.conj() * dht).re / h_t.abs();
+        let dft = -dmag / slope;
+        let ftp = ft + dft;
+        if !ftp.is_finite() || ftp <= 0.0 {
+            // The first-order step left the model's validity range.
+            return Ok(None);
+        }
+        let h_tp = h_t + dht + dhdf_t * dft;
+        let phase_lagp = (h0p.arg() - h_tp.arg()).rem_euclid(2.0 * std::f64::consts::PI);
+        let pmp = 180.0 - phase_lagp.to_degrees();
+
+        let dhcm = -ac.delta_bilinear(&gp, &cp, 0.0, &lam0, &state.acs.y_cm0);
+        let acm0p = (state.acs.h_cm0 + dhcm).abs();
+        let cmrrp = if acm0p <= 0.0 {
+            200.0
+        } else {
+            (20.0 * (adm0p / acm0p).log10()).min(200.0)
+        };
+
+        let dhps = -ac.delta_bilinear(&gp, &cp, 0.0, &lam0, &state.acs.y_ps0);
+        let apsr0p = (state.acs.h_ps0 + dhps).abs();
+        let psrrp = if apsr0p <= 0.0 {
+            200.0
+        } else {
+            (20.0 * (adm0p / apsr0p).log10()).min(200.0)
+        };
+
+        perturbed.push(Measured {
+            metrics: OpampMetrics {
+                a0_db: a0p_db,
+                ft_hz: ftp,
+                phase_margin_deg: pmp,
+                cmrr_db: cmrrp,
+                slew_v_per_s: slewp,
+                power_w: power_wp,
+                psrr_db: psrrp,
+            },
+            fb_circuit: fbp.circuit,
+            op_fb: op_fbp,
+        });
+    }
+    // Each direction would otherwise have cost a full measurement: two DC
+    // solves and four AC analyses.
+    counter.add_fd_avoided(6 * directions.len() as u64);
+    Ok(Some((state.into_measured(), perturbed)))
+}
+
+/// One in-flight sample of [`measure_samples`].
+struct SampleLane {
+    i: usize,
+    fb: BuiltOpamp,
+    op_fb: Option<DcSolution>,
+    key: Option<WarmKey>,
+    seed: Option<DVec>,
+    vout_fb: f64,
+    slew: f64,
+    power: f64,
+    ol: Option<BuiltOpamp>,
+    vinn: String,
+    op_ol: Option<DcSolution>,
+}
+
+/// The outcome of applying the warm-start lookup protocol to one lane.
+enum LaneStart {
+    /// Exact hit: the committed solution replays without Newton work.
+    Solved(DcSolution),
+    /// Join the lockstep batch (seeded on a near hit, cold otherwise).
+    Solve {
+        key: WarmKey,
+        seed: Option<DVec>,
+    },
+    Failed(CktError),
+}
+
+fn lane_start(circuit: &Circuit, key: WarmKey, warm: &WarmStartCache) -> LaneStart {
+    match warm.lookup(circuit.num_unknowns(), &key) {
+        WarmSeed::Exact(x) => match DcOp::new(circuit).solution_from(x) {
+            Ok(op) => LaneStart::Solved(op),
+            Err(e) => LaneStart::Failed(e.into()),
+        },
+        WarmSeed::Near(x0) => LaneStart::Solve {
+            key,
+            seed: Some(x0),
+        },
+        WarmSeed::Cold => LaneStart::Solve { key, seed: None },
+    }
+}
+
+/// Batched variant of [`measure`] over many `(ŝ, θ)` sample points at a
+/// fixed design `d` — the Monte-Carlo shape. The feedback and open-loop DC
+/// solves of all samples advance in lockstep through the shared Newton
+/// iteration ([`BatchDcOp`]), with the warm-start lookup/record protocol
+/// applied per lane, and the AC stage runs per sample on one shared solver.
+/// Per-sample results (values, sim counts, cache effects) are bit-identical
+/// to calling [`measure`] in a loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn measure_samples(
+    builder: &dyn OpampBuilder,
+    identity: u64,
+    d: &DVec,
+    points: &[(DVec, OperatingPoint)],
+    sr_method: SlewRateMethod,
+    counter: &SimCounter,
+    warm: &WarmStartCache,
+) -> Vec<Result<Measured, CktError>> {
+    let mut results: Vec<Option<Result<Measured, CktError>>> =
+        (0..points.len()).map(|_| None).collect();
+    let batcher = BatchDcOp::new();
+
+    // Stage 1: build the feedback configurations and look up warm seeds.
+    let mut lanes: Vec<SampleLane> = Vec::with_capacity(points.len());
+    for (i, (s_hat, theta)) in points.iter().enumerate() {
+        let fb = match builder.build(d, s_hat, theta, true, 0.0) {
+            Ok(fb) => fb,
+            Err(e) => {
+                results[i] = Some(Err(e));
+                continue;
+            }
+        };
+        let key = WarmKey::new(identity, WarmConfig::Feedback, d, s_hat, theta, &[]);
+        let (op_fb, key, seed) = match lane_start(&fb.circuit, key, warm) {
+            LaneStart::Solved(op) => {
+                counter.add(1);
+                (Some(op), None, None)
+            }
+            LaneStart::Solve { key, seed } => (None, Some(key), seed),
+            LaneStart::Failed(e) => {
+                results[i] = Some(Err(e));
+                continue;
+            }
+        };
+        lanes.push(SampleLane {
+            i,
+            fb,
+            op_fb,
+            key,
+            seed,
+            vout_fb: 0.0,
+            slew: 0.0,
+            power: 0.0,
+            ol: None,
+            vinn: String::new(),
+            op_ol: None,
+        });
+    }
+
+    // Lockstep-solve the feedback lanes that missed the exact store.
+    let pend: Vec<usize> = lanes
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.op_fb.is_none())
+        .map(|(j, _)| j)
+        .collect();
+    if !pend.is_empty() {
+        let batch: Vec<(&Circuit, Option<DVec>)> = pend
+            .iter()
+            .map(|&j| (&lanes[j].fb.circuit, lanes[j].seed.clone()))
+            .collect();
+        let sols = batcher.solve_lockstep(&batch);
+        drop(batch);
+        for (&j, sol) in pend.iter().zip(sols) {
+            match sol {
+                Ok(op) => {
+                    let key = lanes[j].key.take().expect("pending lane keeps its key");
+                    warm.record(key, op.unknowns());
+                    counter.add(1);
+                    lanes[j].op_fb = Some(op);
+                }
+                Err(e) => results[lanes[j].i] = Some(Err(e.into())),
+            }
+        }
+        lanes.retain(|l| l.op_fb.is_some());
+    }
+
+    // Stage 2: feedback extraction, open-loop build and warm lookup.
+    for lane in &mut lanes {
+        let (s_hat, theta) = &points[lane.i];
+        let op_fb = lane.op_fb.as_ref().expect("solved in stage 1");
+        lane.vout_fb = op_fb.voltage(lane.fb.out);
+        let i_vdd = match op_fb.branch_current(&lane.fb.vdd_src) {
+            Ok(v) => v,
+            Err(e) => {
+                results[lane.i] = Some(Err(e.into()));
+                continue;
+            }
+        };
+        lane.power = theta.vdd * i_vdd.abs();
+        lane.slew = match slew_rate(&lane.fb, op_fb, sr_method, counter) {
+            Ok(s) => s,
+            Err(e) => {
+                results[lane.i] = Some(Err(e));
+                continue;
+            }
+        };
+        let ol = match builder.build(d, s_hat, theta, false, lane.vout_fb) {
+            Ok(o) => o,
+            Err(e) => {
+                results[lane.i] = Some(Err(e));
+                continue;
+            }
+        };
+        lane.vinn = match ol.vinn_src.clone() {
+            Some(v) => v,
+            None => {
+                results[lane.i] = Some(Err(CktError::Extraction {
+                    performance: "open-loop analysis",
+                    reason: "builder did not provide an inverting input source",
+                }));
+                continue;
+            }
+        };
+        let key = WarmKey::new(
+            identity,
+            WarmConfig::OpenLoop,
+            d,
+            s_hat,
+            theta,
+            &[lane.vout_fb],
+        );
+        match lane_start(&ol.circuit, key, warm) {
+            LaneStart::Solved(op) => {
+                counter.add(1);
+                lane.op_ol = Some(op);
+                lane.key = None;
+                lane.seed = None;
+            }
+            LaneStart::Solve { key, seed } => {
+                lane.key = Some(key);
+                lane.seed = seed;
+            }
+            LaneStart::Failed(e) => {
+                results[lane.i] = Some(Err(e));
+                continue;
+            }
+        }
+        lane.ol = Some(ol);
+    }
+    lanes.retain(|l| results[l.i].is_none());
+
+    // Lockstep-solve the open-loop lanes.
+    let pend: Vec<usize> = lanes
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.op_ol.is_none())
+        .map(|(j, _)| j)
+        .collect();
+    if !pend.is_empty() {
+        let batch: Vec<(&Circuit, Option<DVec>)> = pend
+            .iter()
+            .map(|&j| {
+                (
+                    &lanes[j].ol.as_ref().expect("built in stage 2").circuit,
+                    lanes[j].seed.clone(),
+                )
+            })
+            .collect();
+        let sols = batcher.solve_lockstep(&batch);
+        drop(batch);
+        for (&j, sol) in pend.iter().zip(sols) {
+            match sol {
+                Ok(op) => {
+                    let key = lanes[j].key.take().expect("pending lane keeps its key");
+                    warm.record(key, op.unknowns());
+                    counter.add(1);
+                    lanes[j].op_ol = Some(op);
+                }
+                Err(e) => results[lanes[j].i] = Some(Err(e.into())),
+            }
+        }
+        lanes.retain(|l| l.op_ol.is_some());
+    }
+
+    // Stage 3: the AC stage per sample (shared solver across stimuli).
+    for lane in lanes {
+        let ol = lane.ol.expect("built in stage 2");
+        let op_ol = lane.op_ol.expect("solved");
+        let acs = match ac_stage(&ol, &lane.vinn, &op_ol, counter) {
+            Ok(a) => a,
+            Err(e) => {
+                results[lane.i] = Some(Err(e));
+                continue;
+            }
+        };
+        results[lane.i] = Some(Ok(Measured {
+            metrics: OpampMetrics {
+                a0_db: acs.a0_db,
+                ft_hz: acs.ft_hz,
+                phase_margin_deg: acs.phase_margin_deg,
+                cmrr_db: acs.cmrr_db,
+                slew_v_per_s: lane.slew,
+                power_w: lane.power,
+                psrr_db: acs.psrr_db,
+            },
+            fb_circuit: lane.fb.circuit,
+            op_fb: lane.op_fb.expect("solved in stage 1"),
+        }));
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every sample resolved"))
+        .collect()
 }
 
 /// Builds the functional-constraint vector from the feedback operating

@@ -201,6 +201,32 @@ impl CircuitEnv for FiveTransistorOta {
     fn warm_commit(&self) {
         self.tb.warm_commit();
     }
+
+    fn eval_margins_perturbed(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        directions: &[(DVec, DVec)],
+    ) -> Result<Option<(DVec, Vec<DVec>)>, CktError> {
+        self.tb.eval_margins_perturbed(d, s_hat, theta, directions)
+    }
+
+    fn eval_margins_samples(
+        &self,
+        d: &DVec,
+        points: &[(DVec, OperatingPoint)],
+    ) -> Option<Vec<Result<DVec, CktError>>> {
+        self.tb.eval_margins_samples(d, points)
+    }
+
+    fn adjoint_solve_count(&self) -> u64 {
+        self.tb.adjoint_solve_count()
+    }
+
+    fn fd_sims_avoided(&self) -> u64 {
+        self.tb.fd_sims_avoided()
+    }
 }
 
 #[cfg(test)]

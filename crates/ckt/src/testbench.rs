@@ -54,8 +54,8 @@ use specwise_mna::{
 };
 
 use crate::measure::{
-    dc_solve_counted, measure, saturation_constraints, BuiltOpamp, Measure, MeasureContext,
-    OpampBuilder,
+    dc_solve_counted, measure, measure_samples, measure_with_directions, saturation_constraints,
+    BuiltOpamp, Measure, MeasureContext, Measured, OpampBuilder,
 };
 use crate::warm::WarmStartCache;
 use crate::{
@@ -860,6 +860,22 @@ impl Testbench {
         Ok(m.metrics)
     }
 
+    /// Converts one harness result into the margin vector of this bench's
+    /// spec list — the same `measure → performance → margin` chain as
+    /// [`CircuitEnv::eval_margins`], applied to an already-measured point.
+    fn margins_from(&self, m: &Measured) -> Result<DVec, CktError> {
+        let ctx = MeasureContext {
+            metrics: &m.metrics,
+            op: &m.op_fb,
+            circuit: &m.fb_circuit,
+        };
+        let mut out = Vec::with_capacity(self.measures.len());
+        for ((measure, conv), spec) in self.measures.iter().zip(&self.specs) {
+            out.push(spec.margin(conv.apply(measure.eval(&ctx)?)));
+        }
+        Ok(DVec::from(out))
+    }
+
     fn check_dims(&self, d: &DVec, s_hat: &DVec) -> Result<(), CktError> {
         if d.len() != self.design.dim() {
             return Err(CktError::DimensionMismatch {
@@ -1023,6 +1039,23 @@ impl OpampBuilder for Testbench {
     }
 }
 
+/// Default lockstep width of the batched Monte-Carlo path.
+const DEFAULT_BATCH_WIDTH: usize = 64;
+
+/// Reads the `SPECWISE_BATCH` knob: `0` or `1` disable the batched sample
+/// path (callers fall back to the per-sample loop), any larger value bounds
+/// the lockstep width, unset/garbage uses [`DEFAULT_BATCH_WIDTH`].
+fn batch_width() -> Option<usize> {
+    match std::env::var("SPECWISE_BATCH") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Ok(1) => None,
+            Ok(n) => Some(n),
+            Err(_) => Some(DEFAULT_BATCH_WIDTH),
+        },
+        Err(_) => Some(DEFAULT_BATCH_WIDTH),
+    }
+}
+
 impl CircuitEnv for Testbench {
     fn name(&self) -> &str {
         &self.name
@@ -1119,6 +1152,75 @@ impl CircuitEnv for Testbench {
 
     fn warm_commit(&self) {
         self.warm.commit();
+    }
+
+    fn eval_margins_perturbed(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        directions: &[(DVec, DVec)],
+    ) -> Result<Option<(DVec, Vec<DVec>)>, CktError> {
+        self.check_dims(d, s_hat)?;
+        for (dp, sp) in directions {
+            self.check_dims(dp, sp)?;
+        }
+        let Some((base, per)) = measure_with_directions(
+            self,
+            self.identity,
+            d,
+            s_hat,
+            theta,
+            self.sr_method,
+            &self.counter,
+            &self.warm,
+            directions,
+        )?
+        else {
+            return Ok(None);
+        };
+        let base_margins = self.margins_from(&base)?;
+        let mut out = Vec::with_capacity(per.len());
+        for m in &per {
+            out.push(self.margins_from(m)?);
+        }
+        Ok(Some((base_margins, out)))
+    }
+
+    fn eval_margins_samples(
+        &self,
+        d: &DVec,
+        points: &[(DVec, OperatingPoint)],
+    ) -> Option<Vec<Result<DVec, CktError>>> {
+        let width = batch_width()?;
+        // Malformed inputs take the scalar loop so the per-sample errors
+        // come out exactly as `eval_margins` would report them.
+        if points.iter().any(|(s, _)| self.check_dims(d, s).is_err()) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(points.len());
+        for chunk in points.chunks(width.max(2)) {
+            for r in measure_samples(
+                self,
+                self.identity,
+                d,
+                chunk,
+                self.sr_method,
+                &self.counter,
+                &self.warm,
+            ) {
+                out.push(r.and_then(|m| self.margins_from(&m)));
+            }
+        }
+        Some(out)
+    }
+
+    fn adjoint_solve_count(&self) -> u64 {
+        self.counter.adjoint_solves()
+    }
+
+    fn fd_sims_avoided(&self) -> u64 {
+        self.counter.fd_sims_avoided()
     }
 }
 

@@ -227,6 +227,44 @@ impl WarmStartCache {
         }
     }
 
+    /// Reads the committed snapshot for `key`: an exact replayable solution,
+    /// a near-hit Newton seed of the same configuration, or nothing.
+    /// Pending (uncommitted) state is never visible — see the module docs.
+    pub(crate) fn lookup(&self, n: usize, key: &WarmKey) -> WarmSeed {
+        if !self.enabled {
+            return WarmSeed::Cold;
+        }
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(x) = st.exact.get(key) {
+            if x.len() == n {
+                return WarmSeed::Exact(x.clone());
+            }
+        }
+        match st.seed.get(&key.seed_slot()).filter(|x| x.len() == n) {
+            Some(x) => WarmSeed::Near(x.clone()),
+            None => WarmSeed::Cold,
+        }
+    }
+
+    /// Parks a converged solution in the pending set for the next
+    /// [`commit`](WarmStartCache::commit). The pending near-hit seed keeps
+    /// the smallest signature stored this window (order-independent).
+    pub(crate) fn record(&self, key: WarmKey, x: &DVec) {
+        if !self.enabled {
+            return;
+        }
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = key.seed_slot();
+        let replace = match st.pending_seed.get(&slot) {
+            Some((bits, _)) => key.bits < *bits,
+            None => true,
+        };
+        if replace {
+            st.pending_seed.insert(slot, (key.bits.clone(), x.clone()));
+        }
+        st.pending_exact.insert(key, x.clone());
+    }
+
     /// Solves the DC operating point of `circuit`, warm-started from the
     /// committed snapshot under `key`; parks the converged result in the
     /// pending set for the next [`commit`](WarmStartCache::commit).
@@ -239,36 +277,25 @@ impl WarmStartCache {
         if !self.enabled {
             return op.solve();
         }
-        let n = circuit.num_unknowns();
-        let seed = {
-            let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(x) = st.exact.get(&key) {
-                if x.len() == n {
-                    return op.solution_from(x.clone());
-                }
-            }
-            st.seed
-                .get(&key.seed_slot())
-                .filter(|x| x.len() == n)
-                .cloned()
+        let sol = match self.lookup(circuit.num_unknowns(), &key) {
+            WarmSeed::Exact(x) => return op.solution_from(x),
+            WarmSeed::Near(x0) => op.solve_from(&x0).or_else(|_| op.solve())?,
+            WarmSeed::Cold => op.solve()?,
         };
-        let sol = match seed {
-            Some(x0) => op.solve_from(&x0).or_else(|_| op.solve())?,
-            None => op.solve()?,
-        };
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        let slot = key.seed_slot();
-        let replace = match st.pending_seed.get(&slot) {
-            Some((bits, _)) => key.bits < *bits,
-            None => true,
-        };
-        if replace {
-            st.pending_seed
-                .insert(slot, (key.bits.clone(), sol.unknowns().clone()));
-        }
-        st.pending_exact.insert(key, sol.unknowns().clone());
+        self.record(key, sol.unknowns());
         Ok(sol)
     }
+}
+
+/// Committed-snapshot lookup result (see [`WarmStartCache::lookup`]).
+#[derive(Debug, Clone)]
+pub(crate) enum WarmSeed {
+    /// The exact signature was committed: replay without any Newton work.
+    Exact(DVec),
+    /// A committed solution of the same configuration seeds Newton.
+    Near(DVec),
+    /// Nothing usable committed: cold start.
+    Cold,
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! batches, preserving the short-circuit (and simulation count) of the
 //! serial loop.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use specwise_ckt::{OperatingPoint, SimPhase};
@@ -198,6 +200,9 @@ fn importance_verify_inner<E: Evaluator + ?Sized>(
         samples.push(s);
     }
 
+    // The design vector is shared by reference across every point of every
+    // corner group.
+    let d_arc: Arc<DVec> = Arc::new(d.clone());
     let mut failed = vec![false; n];
     let mut violated = vec![false; n];
     let mut degraded = vec![false; n];
@@ -209,11 +214,22 @@ fn importance_verify_inner<E: Evaluator + ?Sized>(
         if live.is_empty() {
             break;
         }
-        let points: Vec<EvalPoint> = live
-            .iter()
-            .map(|&j| EvalPoint::new(d.clone(), samples[j].clone(), *theta))
-            .collect();
-        for (&j, result) in live.iter().zip(env.eval_margins_batch(&points)) {
+        // Prefer the environment's lockstep sample evaluator (one batched
+        // Newton sweep per corner group, bit-identical to the point loop);
+        // environments without one take the generic batch path.
+        let sample_points: Vec<(DVec, OperatingPoint)> =
+            live.iter().map(|&j| (samples[j].clone(), *theta)).collect();
+        let results = match env.eval_margins_samples(d, &sample_points) {
+            Some(results) => results,
+            None => {
+                let points: Vec<EvalPoint> = live
+                    .iter()
+                    .map(|&j| EvalPoint::new(Arc::clone(&d_arc), samples[j].clone(), *theta))
+                    .collect();
+                env.eval_margins_batch(&points)
+            }
+        };
+        for (&j, result) in live.iter().zip(results) {
             match result {
                 // Non-finite margins are as unusable as a failed solve —
                 // `NaN < 0.0` is false, so without the guard a NaN sample

@@ -9,6 +9,8 @@
 //! against an [`EvalService`](specwise_exec::EvalService) spreads the
 //! simulations over its worker pool without changing any result bit.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use specwise_ckt::{OperatingPoint, SimPhase};
@@ -205,12 +207,26 @@ fn mc_verify_inner<E: Evaluator + ?Sized>(
     let mut degraded = vec![false; n_samples];
     let mut sim_failures = 0usize;
 
+    // The design vector is shared by reference across every point of every
+    // corner group.
+    let d_arc: Arc<DVec> = Arc::new(d.clone());
     for (theta, specs) in &groups {
-        let points: Vec<EvalPoint> = samples
-            .iter()
-            .map(|s| EvalPoint::new(d.clone(), s.clone(), *theta))
-            .collect();
-        for (j, result) in env.eval_margins_batch(&points).into_iter().enumerate() {
+        // Prefer the environment's lockstep sample evaluator (one batched
+        // Newton sweep per corner group, bit-identical to the point loop);
+        // environments without one take the generic batch path.
+        let sample_points: Vec<(DVec, OperatingPoint)> =
+            samples.iter().map(|s| (s.clone(), *theta)).collect();
+        let results = match env.eval_margins_samples(d, &sample_points) {
+            Some(results) => results,
+            None => {
+                let points: Vec<EvalPoint> = samples
+                    .iter()
+                    .map(|s| EvalPoint::new(Arc::clone(&d_arc), s.clone(), *theta))
+                    .collect();
+                env.eval_margins_batch(&points)
+            }
+        };
+        for (j, result) in results.into_iter().enumerate() {
             match result {
                 // A non-finite margin is as unusable as a failed solve —
                 // without the guard a NaN would silently count as passing

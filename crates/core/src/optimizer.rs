@@ -135,6 +135,15 @@ pub struct OptimizationTrace {
     /// Simulator calls attributed to each algorithm phase (indexed by
     /// [`SimPhase::index`]).
     pub phase_sims: [u64; SimPhase::COUNT],
+    /// Adjoint/sensitivity solves on cached factorizations performed by
+    /// this process during the run. Tracked *beside* — never inside —
+    /// [`OptimizationTrace::total_sims`]: the phase counts must keep
+    /// partitioning the total.
+    pub adjoint_solves: u64,
+    /// Full simulator invocations the adjoint gradient shortcut avoided
+    /// in this process (6 per perturbation direction it priced from the
+    /// cached factorizations).
+    pub fd_sims_avoided: u64,
     /// Execution-engine report (cache hits, retries, parallel wall time)
     /// when the run went through an
     /// [`EvalService`](specwise_exec::EvalService); `None` on a bare
@@ -565,6 +574,8 @@ impl YieldOptimizer {
             wall_time: start.elapsed(),
             total_sims: sim_base + env.sim_count(),
             phase_sims,
+            adjoint_solves: env.adjoint_solve_count(),
+            fd_sims_avoided: env.fd_sims_avoided(),
             exec: env.exec_report(),
             aborted,
             resumed,
@@ -756,6 +767,11 @@ fn finish_run_span<E: Evaluator + ?Sized>(span: &mut Span, env: &E) {
         return;
     }
     span.add_count("sims", env.sim_count());
+    let adjoint = env.adjoint_solve_count();
+    if adjoint > 0 {
+        span.add_count("adjoint_solves", adjoint);
+        span.add_count("fd_sims_avoided", env.fd_sims_avoided());
+    }
     let per_phase = env.sim_phase_counts();
     for phase in SimPhase::ALL {
         let n = per_phase[phase.index()];

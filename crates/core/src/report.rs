@@ -241,6 +241,14 @@ pub fn run_report(env: &dyn CircuitEnv, trace: &OptimizationTrace, tracer: &Trac
         trace.total_sims,
         trace.wall_time.as_secs_f64()
     );
+    if trace.adjoint_solves > 0 {
+        let _ = writeln!(
+            out,
+            "adjoint shortcut: {} sensitivity solves on cached factors, \
+             {} full simulations avoided",
+            trace.adjoint_solves, trace.fd_sims_avoided
+        );
+    }
     if trace.resumed {
         let _ = writeln!(out, "resumed from checkpoint (effort counts continued)");
     }

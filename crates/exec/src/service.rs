@@ -14,7 +14,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use specwise_ckt::{
@@ -28,20 +28,35 @@ use crate::config::{fmt_duration, ExecConfig};
 
 /// One evaluation request: the full argument triple of
 /// [`CircuitEnv::eval_performances`], owned so batches can cross threads.
+///
+/// The vectors are [`Arc`]-shared: gradient and sampling loops build many
+/// points that differ from a base point in only one coordinate block, and
+/// sharing the unchanged block avoids one heap allocation + copy per point
+/// (cloning an `EvalPoint` is two refcount bumps).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalPoint {
     /// Design point.
-    pub d: DVec,
+    pub d: Arc<DVec>,
     /// Standardized statistical point.
-    pub s_hat: DVec,
+    pub s_hat: Arc<DVec>,
     /// Operating condition.
     pub theta: OperatingPoint,
 }
 
 impl EvalPoint {
-    /// Creates a request.
-    pub fn new(d: DVec, s_hat: DVec, theta: OperatingPoint) -> Self {
-        EvalPoint { d, s_hat, theta }
+    /// Creates a request. Accepts owned vectors or pre-shared [`Arc`]s, so
+    /// call sites that reuse a base vector across many points pass
+    /// `Arc::clone(&base)` and allocate nothing.
+    pub fn new(
+        d: impl Into<Arc<DVec>>,
+        s_hat: impl Into<Arc<DVec>>,
+        theta: OperatingPoint,
+    ) -> Self {
+        EvalPoint {
+            d: d.into(),
+            s_hat: s_hat.into(),
+            theta,
+        }
     }
 }
 
@@ -150,6 +165,48 @@ pub trait Evaluator: Sync {
     /// Per-phase simulation counts.
     fn sim_phase_counts(&self) -> [u64; SimPhase::COUNT];
 
+    /// Evaluates the margin vector at `(d, ŝ, θ)` plus a set of perturbed
+    /// `(d′, ŝ′)` points via the environment's sensitivity shortcut (see
+    /// [`CircuitEnv::eval_margins_perturbed`]). `Ok(None)` means no
+    /// shortcut applies: callers fall back to finite differences through
+    /// the ordinary batch path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-point simulation failures.
+    fn eval_margins_perturbed(
+        &self,
+        _d: &DVec,
+        _s_hat: &DVec,
+        _theta: &OperatingPoint,
+        _directions: &[(DVec, DVec)],
+    ) -> Result<Option<(DVec, Vec<DVec>)>, CktError> {
+        Ok(None)
+    }
+
+    /// Evaluates margins at many `(ŝ, θ)` sample points for a fixed design,
+    /// letting the environment batch the underlying solves (see
+    /// [`CircuitEnv::eval_margins_samples`]). `None` means no batched
+    /// path: callers use [`Evaluator::eval_margins_batch`].
+    fn eval_margins_samples(
+        &self,
+        _d: &DVec,
+        _points: &[(DVec, OperatingPoint)],
+    ) -> Option<Vec<Result<DVec, CktError>>> {
+        None
+    }
+
+    /// Adjoint/sensitivity solves recorded so far. Not part of
+    /// [`Evaluator::sim_count`].
+    fn adjoint_solve_count(&self) -> u64 {
+        0
+    }
+
+    /// Finite-difference simulator calls avoided by the sensitivity path.
+    fn fd_sims_avoided(&self) -> u64 {
+        0
+    }
+
     /// Execution statistics, when the evaluator collects them
     /// ([`EvalService`] does; plain environments return `None`).
     fn exec_report(&self) -> Option<ExecReport> {
@@ -226,6 +283,32 @@ impl<T: CircuitEnv + Sync + ?Sized> Evaluator for T {
 
     fn warm_commit(&self) {
         CircuitEnv::warm_commit(self)
+    }
+
+    fn eval_margins_perturbed(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        directions: &[(DVec, DVec)],
+    ) -> Result<Option<(DVec, Vec<DVec>)>, CktError> {
+        CircuitEnv::eval_margins_perturbed(self, d, s_hat, theta, directions)
+    }
+
+    fn eval_margins_samples(
+        &self,
+        d: &DVec,
+        points: &[(DVec, OperatingPoint)],
+    ) -> Option<Vec<Result<DVec, CktError>>> {
+        CircuitEnv::eval_margins_samples(self, d, points)
+    }
+
+    fn adjoint_solve_count(&self) -> u64 {
+        CircuitEnv::adjoint_solve_count(self)
+    }
+
+    fn fd_sims_avoided(&self) -> u64 {
+        CircuitEnv::fd_sims_avoided(self)
     }
 }
 
@@ -753,6 +836,68 @@ impl<E: CircuitEnv + Sync + ?Sized> Evaluator for EvalService<'_, E> {
 
     fn warm_commit(&self) {
         CircuitEnv::warm_commit(self.env)
+    }
+
+    fn eval_margins_perturbed(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        directions: &[(DVec, DVec)],
+    ) -> Result<Option<(DVec, Vec<DVec>)>, CktError> {
+        // Commit first for parity with the finite-difference batch path:
+        // the base point seeds from the same snapshot either way.
+        CircuitEnv::warm_commit(self.env);
+        let t0 = Instant::now();
+        let result = self.call_isolated(|| {
+            CircuitEnv::eval_margins_perturbed(self.env, d, s_hat, theta, directions)
+        });
+        self.charge_wall(t0.elapsed());
+        result.map_err(|e| {
+            self.annotate_failure(
+                e,
+                format!(
+                    "sensitivity base d={} ŝ={}",
+                    summarize_vec(d),
+                    summarize_vec(s_hat)
+                ),
+            )
+        })
+    }
+
+    fn eval_margins_samples(
+        &self,
+        d: &DVec,
+        points: &[(DVec, OperatingPoint)],
+    ) -> Option<Vec<Result<DVec, CktError>>> {
+        // The batched path bypasses the memo cache (Monte-Carlo samples are
+        // effectively unique) but still counts as one batch and commits the
+        // warm snapshot exactly once, like every other batch entry point.
+        CircuitEnv::warm_commit(self.env);
+        let t0 = Instant::now();
+        let result = CircuitEnv::eval_margins_samples(self.env, d, points)?;
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_points
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "batch",
+                &[
+                    ("points", points.len().into()),
+                    ("phase", self.active_phase().label().into()),
+                ],
+            );
+        }
+        self.charge_wall(t0.elapsed());
+        Some(result)
+    }
+
+    fn adjoint_solve_count(&self) -> u64 {
+        CircuitEnv::adjoint_solve_count(self.env)
+    }
+
+    fn fd_sims_avoided(&self) -> u64 {
+        CircuitEnv::fd_sims_avoided(self.env)
     }
 
     fn exec_report(&self) -> Option<ExecReport> {

@@ -284,6 +284,20 @@ impl<E: CircuitEnv + ?Sized> CircuitEnv for FaultInjector<'_, E> {
     fn warm_commit(&self) {
         self.env.warm_commit()
     }
+
+    // `eval_margins_perturbed` and `eval_margins_samples` keep their trait
+    // defaults (`None`) on purpose: the batched shortcuts would evaluate
+    // whole groups inside the wrapped environment, bypassing the per-point
+    // fault decisions above. Declining them routes every point through the
+    // fault-injecting scalar path.
+
+    fn adjoint_solve_count(&self) -> u64 {
+        self.env.adjoint_solve_count()
+    }
+
+    fn fd_sims_avoided(&self) -> u64 {
+        self.env.fd_sims_avoided()
+    }
 }
 
 /// A sharable evaluation budget: one atomic meter that any number of
@@ -495,5 +509,52 @@ impl<E: CircuitEnv + ?Sized> CircuitEnv for KillSwitch<'_, E> {
 
     fn warm_commit(&self) {
         self.env.warm_commit()
+    }
+
+    fn eval_margins_perturbed(
+        &self,
+        d: &DVec,
+        s_hat: &DVec,
+        theta: &OperatingPoint,
+        directions: &[(DVec, DVec)],
+    ) -> Result<Option<(DVec, Vec<DVec>)>, CktError> {
+        let r = self
+            .env
+            .eval_margins_perturbed(d, s_hat, theta, directions)?;
+        if r.is_some() {
+            // The shortcut replaces exactly one base measurement; the
+            // perturbations ride on cached factorizations and are not
+            // simulator invocations. Charging only on success keeps the
+            // meter identical to the per-point path when the environment
+            // declines and the caller falls back to finite differences.
+            self.charge()?;
+        }
+        Ok(r)
+    }
+
+    fn eval_margins_samples(
+        &self,
+        d: &DVec,
+        points: &[(DVec, OperatingPoint)],
+    ) -> Option<Vec<Result<DVec, CktError>>> {
+        let mut results = self.env.eval_margins_samples(d, points)?;
+        // One charge per sample, in submission order — the same meter
+        // readings the per-point loop produces. A batch already in flight
+        // when the allowance runs out finishes its lockstep sweep, but the
+        // over-budget samples still report the budget error.
+        for r in &mut results {
+            if let Err(e) = self.charge() {
+                *r = Err(e);
+            }
+        }
+        Some(results)
+    }
+
+    fn adjoint_solve_count(&self) -> u64 {
+        self.env.adjoint_solve_count()
+    }
+
+    fn fd_sims_avoided(&self) -> u64 {
+        self.env.fd_sims_avoided()
     }
 }

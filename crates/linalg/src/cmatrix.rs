@@ -270,6 +270,48 @@ impl CLu {
         }
         Ok(x)
     }
+
+    /// Solves the (unconjugated) transposed system `Aᵀ·y = c` on the same
+    /// factors: `Uᵀ` forward, `Lᵀ` backward, then the row permutation is
+    /// undone. The adjoint AC solve uses this to reuse the factorization of
+    /// `G + jωC` for every output functional.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on length mismatch.
+    pub fn solve_transposed(&self, c: &CVec) -> Result<CVec, LinalgError> {
+        let n = self.dim();
+        if c.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "clu transposed solve",
+                expected: n,
+                found: c.len(),
+            });
+        }
+        // Forward with Uᵀ (lower triangular, non-unit diagonal).
+        let mut w = CVec::zeros(n);
+        for i in 0..n {
+            let mut acc = c[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * w[j];
+            }
+            w[i] = acc / self.lu[(i, i)];
+        }
+        // Backward with Lᵀ (unit upper triangular).
+        for i in (0..n).rev() {
+            let mut acc = w[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(j, i)] * w[j];
+            }
+            w[i] = acc;
+        }
+        // Undo the row permutation: the permuted solve produced y[perm[i]].
+        let mut y = CVec::zeros(n);
+        for i in 0..n {
+            y[self.perm[i]] = w[i];
+        }
+        Ok(y)
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +368,43 @@ mod tests {
         let x = a.lu().unwrap().solve(&b).unwrap();
         assert!((x[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
         assert!((x[0].arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transposed_solve_matches_explicit_transpose() {
+        let mut state = 4242u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1usize, 2, 6, 11] {
+            let mut a = CMat::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = c(next(), next());
+                }
+                a[(i, i)] += c(n as f64, 0.0);
+            }
+            let mut ytrue = CVec::zeros(n);
+            for i in 0..n {
+                ytrue[i] = c(next(), next());
+            }
+            // rhs = Aᵀ·ytrue (unconjugated).
+            let mut rhs = CVec::zeros(n);
+            for j in 0..n {
+                let mut acc = Complex64::ZERO;
+                for i in 0..n {
+                    acc += a[(i, j)] * ytrue[i];
+                }
+                rhs[j] = acc;
+            }
+            let y = a.lu().unwrap().solve_transposed(&rhs).unwrap();
+            for i in 0..n {
+                assert!((y[i] - ytrue[i]).abs() < 1e-10, "n={n} component {i}");
+            }
+        }
     }
 
     #[test]

@@ -667,6 +667,60 @@ impl<T: SparseScalar> SparseLu<T> {
         }
         Ok(())
     }
+
+    /// Solves the transposed system `Aᵀ·y = c` on the same factors, with
+    /// caller-provided scratch of length `n` (no allocation).
+    ///
+    /// With `P·A·Q = L·U` the permuted system reads `Uᵀ·(Lᵀ·ŷ) = ĉ` where
+    /// `ĉ[jj] = c[colperm[jj]]` and `y[prow[k]] = ŷ[k]`: one forward sweep
+    /// with `Uᵀ` (lower triangular) and one backward sweep with `Lᵀ` (unit
+    /// upper), both O(nnz). This is the adjoint-sensitivity workhorse — all
+    /// margin gradients from already-cached numeric factors.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] on length mismatches.
+    pub fn solve_transposed_slice(
+        &self,
+        c: &[T],
+        y: &mut [T],
+        scratch: &mut [T],
+    ) -> Result<(), LinalgError> {
+        let n = self.n;
+        if c.len() != n || y.len() != n || scratch.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sparse lu transposed solve",
+                expected: n,
+                found: c.len().min(y.len()).min(scratch.len()),
+            });
+        }
+        // ĉ = Qᵀ·c, then forward substitution with Uᵀ: column jj of U holds
+        // the entries U[k, jj] for earlier pivot steps k = u_pos[p].
+        for jj in 0..n {
+            scratch[jj] = c[self.colperm[jj]];
+        }
+        for jj in 0..n {
+            let mut acc = scratch[jj];
+            for p in self.u_ptr[jj]..self.u_ptr[jj + 1] {
+                acc = acc - self.u_vals[p] * scratch[self.u_pos[p]];
+            }
+            scratch[jj] = acc / self.u_diag[jj];
+        }
+        // Backward substitution with Lᵀ (unit diagonal): column k of L holds
+        // the multipliers for pivot rows pinv[l_rows[p]] > k.
+        for k in (0..n).rev() {
+            let mut acc = scratch[k];
+            for p in self.l_ptr[k]..self.l_ptr[k + 1] {
+                acc = acc - self.l_vals[p] * scratch[self.pinv[self.l_rows[p]]];
+            }
+            scratch[k] = acc;
+        }
+        // Undo the row permutation.
+        for k in 0..n {
+            y[self.prow[k]] = scratch[k];
+        }
+        Ok(())
+    }
 }
 
 impl SparseLu<f64> {
@@ -681,6 +735,19 @@ impl SparseLu<f64> {
         let mut scratch = vec![0.0; n];
         self.solve_slice(b.as_slice(), &mut x, &mut scratch)?;
         Ok(DVec::from_slice(&x))
+    }
+
+    /// Convenience transposed solve (`Aᵀ·y = c`) for real systems.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `c.len() != dim()`.
+    pub fn solve_transposed(&self, c: &DVec) -> Result<DVec, LinalgError> {
+        let n = self.n;
+        let mut y = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        self.solve_transposed_slice(c.as_slice(), &mut y, &mut scratch)?;
+        Ok(DVec::from_slice(&y))
     }
 }
 
@@ -782,6 +849,82 @@ mod tests {
             let lu = SparseLu::factor(&sym, &vals).unwrap();
             let xs = lu.solve(&b).unwrap();
             assert!((&xs - &xd).norm_inf() < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn transposed_solve_agrees_with_dense_on_pseudorandom_systems() {
+        let mut state = 192837u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1usize, 3, 8, 15, 24] {
+            let mut a = DMat::from_fn(n, n, |_, _| {
+                let v = next();
+                if v.abs() < 0.6 {
+                    0.0
+                } else {
+                    v
+                }
+            });
+            for i in 0..n {
+                a[(i, i)] += n as f64 + 1.0;
+            }
+            let c = DVec::from_fn(n, |i| next() + i as f64);
+            let yd = a.lu().unwrap().solve_transposed(&c).unwrap();
+            let (sym, vals) = from_dense(&a);
+            let lu = SparseLu::factor(&sym, &vals).unwrap();
+            let ys = lu.solve_transposed(&c).unwrap();
+            assert!((&ys - &yd).norm_inf() < 1e-10, "n={n}");
+            // Residual check against the transposed system directly:
+            // (Aᵀ·y)[j] = Σ_i a[i,j]·y[i].
+            for j in 0..n {
+                let acc: f64 = (0..n).map(|i| a[(i, j)] * ys[i]).sum();
+                assert!((acc - c[j]).abs() < 1e-9, "n={n} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn complex_transposed_solve_matches_dense() {
+        use crate::{CMat, CVec};
+        let n = 4;
+        let mut entries = Vec::new();
+        let mut dense = CMat::zeros(n, n);
+        let coords = [
+            (0usize, 0usize, 3.0, 0.5),
+            (1, 1, 4.0, -1.0),
+            (2, 2, 5.0, 0.0),
+            (3, 3, 2.0, 2.0),
+            (0, 2, 1.0, 0.1),
+            (2, 0, -1.0, 0.2),
+            (1, 3, 0.5, -0.5),
+            (3, 1, 0.25, 0.0),
+        ];
+        for &(r, c, re, im) in &coords {
+            entries.push((r, c));
+            dense[(r, c)] = Complex64::new(re, im);
+        }
+        let pattern = SparsePattern::from_entries(n, &entries).unwrap();
+        let mut vals = vec![Complex64::ZERO; pattern.nnz()];
+        for &(r, c, re, im) in &coords {
+            vals[pattern.index_of(r, c).unwrap()] = Complex64::new(re, im);
+        }
+        let sym = SparseSymbolic::new(pattern);
+        let lu = SparseLu::factor(&sym, &vals).unwrap();
+        let c: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(i as f64 + 1.0, -0.5))
+            .collect();
+        let mut y = vec![Complex64::ZERO; n];
+        let mut scratch = vec![Complex64::ZERO; n];
+        lu.solve_transposed_slice(&c, &mut y, &mut scratch).unwrap();
+        let cd = CVec::from_slice(&c);
+        let yd = dense.lu().unwrap().solve_transposed(&cd).unwrap();
+        for i in 0..n {
+            assert!((y[i] - yd[i]).abs() < 1e-12, "component {i}");
         }
     }
 

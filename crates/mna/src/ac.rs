@@ -18,7 +18,7 @@ use crate::{Circuit, MnaError, NodeId};
 #[derive(Debug, Clone)]
 pub struct AcSolution {
     x: CVec,
-    branch_of: HashMap<String, usize>,
+    branch_of: Arc<HashMap<String, usize>>,
     branch_base: usize,
     freq: f64,
 }
@@ -59,6 +59,14 @@ impl AcSolution {
     pub fn phase_deg(&self, n: NodeId) -> f64 {
         self.voltage(n).arg().to_degrees()
     }
+
+    /// The raw complex unknown vector (node voltages then branch currents).
+    ///
+    /// Adjoint sensitivity analysis consumes this as the forward solution
+    /// `y` in the bilinear form `−λᵀ·ΔA·y`.
+    pub fn unknowns(&self) -> &CVec {
+        &self.x
+    }
 }
 
 /// Small-signal AC solver bound to a circuit and its DC operating point.
@@ -75,7 +83,7 @@ pub struct AcSolver {
     g: DMat,
     c: DMat,
     b: DVec,
-    branch_of: HashMap<String, usize>,
+    branch_of: Arc<HashMap<String, usize>>,
     branch_base: usize,
     sparse: Option<AcSparse>,
     dense_ws: Mutex<DenseWs>,
@@ -132,7 +140,7 @@ impl Clone for AcSolver {
             g: self.g.clone(),
             c: self.c.clone(),
             b: self.b.clone(),
-            branch_of: self.branch_of.clone(),
+            branch_of: Arc::clone(&self.branch_of),
             branch_base: self.branch_base,
             sparse: self.sparse.as_ref().map(|s| AcSparse {
                 sym: Arc::clone(&s.sym),
@@ -154,6 +162,101 @@ impl fmt::Debug for AcSolver {
     }
 }
 
+/// Stamps the small-signal conductance matrix `G` (the DC Jacobian at the
+/// operating point, including the default gmin shunt), the capacitance
+/// matrix `C` (linear capacitors plus Meyer MOSFET capacitances) and the
+/// stimulus vector `b` from the netlist's AC magnitudes, all linearized at
+/// the operating-point unknowns `x`.
+fn stamp_gcb(circuit: &Circuit, x: &DVec) -> (DMat, DMat, DVec) {
+    let n = circuit.num_unknowns();
+    let mut g = DMat::zeros(n, n);
+    let mut res = DVec::zeros(n);
+    stamp_system(circuit, x, 1e-12, 1.0, None, &mut g, &mut res);
+
+    let mut c = DMat::zeros(n, n);
+    let stamp_cap = |c: &mut DMat, a: NodeId, b: NodeId, farads: f64, ckt: &Circuit| {
+        let (ia, ib) = (ckt.node_unknown(a), ckt.node_unknown(b));
+        if let Some(i) = ia {
+            c[(i, i)] += farads;
+        }
+        if let Some(j) = ib {
+            c[(j, j)] += farads;
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            c[(i, j)] -= farads;
+            c[(j, i)] -= farads;
+        }
+    };
+    let mut b = DVec::zeros(n);
+
+    for kind in circuit.kinds() {
+        match kind {
+            ElementKind::Capacitor { a, b: nb, farads } => {
+                stamp_cap(&mut c, *a, *nb, *farads, circuit);
+            }
+            ElementKind::Mosfet {
+                d,
+                g: ng,
+                s,
+                b: nbk,
+                params,
+            } => {
+                let (_, _, _, ev) = eval_mosfet_at(circuit, x, *d, *ng, *s, *nbk, params);
+                let cov = params.model.cov * params.w;
+                let cch = params.model.cox * params.w * params.l;
+                let (cgs, cgd, cgb) = match ev.region {
+                    MosRegion::Cutoff => (cov, cov, cch),
+                    MosRegion::Triode => (cov + 0.5 * cch, cov + 0.5 * cch, 0.0),
+                    MosRegion::Saturation => (cov + 2.0 / 3.0 * cch, cov, 0.0),
+                };
+                stamp_cap(&mut c, *ng, *s, cgs, circuit);
+                stamp_cap(&mut c, *ng, *d, cgd, circuit);
+                stamp_cap(&mut c, *ng, *nbk, cgb, circuit);
+            }
+            ElementKind::VoltageSource { ac, branch, .. } if *ac != 0.0 => {
+                b[circuit.branch_unknown(*branch)] = *ac;
+            }
+            ElementKind::CurrentSource { p, n: nn, ac, .. } if *ac != 0.0 => {
+                if let Some(i) = circuit.node_unknown(*p) {
+                    b[i] -= ac;
+                }
+                if let Some(i) = circuit.node_unknown(*nn) {
+                    b[i] += ac;
+                }
+            }
+            _ => {}
+        }
+    }
+    (g, c, b)
+}
+
+/// Assembles `G + jωC` onto the cached sparse pattern and factors it,
+/// refactoring on the frozen pivot sequence of the previous frequency
+/// point; falls back to a fresh factorization when the pivots go stale
+/// (bit-identical results whenever both succeed). The caller stores the
+/// returned factor back into `st.lu` after its solves.
+fn factor_sparse(
+    sp: &AcSparse,
+    st: &mut AcSparseState,
+    omega: f64,
+) -> Result<SparseLu<Complex64>, MnaError> {
+    for k in 0..sp.gvals.len() {
+        st.zvals[k] = Complex64::new(sp.gvals[k], omega * sp.cvals[k]);
+    }
+    let refreshed = match st.lu.take() {
+        Some(mut f) => match f.refactor(&sp.sym, &st.zvals) {
+            Ok(()) => Some(f),
+            Err(_) => None,
+        },
+        None => None,
+    };
+    match refreshed {
+        Some(f) => Ok(f),
+        None => SparseLu::factor(&sp.sym, &st.zvals)
+            .map_err(|_| MnaError::SingularMatrix { analysis: "ac" }),
+    }
+}
+
 impl AcSolver {
     /// Builds the AC system for `circuit` linearized at `op`.
     ///
@@ -168,70 +271,7 @@ impl AcSolver {
             "operating point does not match circuit size"
         );
 
-        // G: the small-signal conductance matrix is exactly the DC Jacobian
-        // at the operating point (with the default gmin shunt for numerical
-        // safety on floating nodes).
-        let mut g = DMat::zeros(n, n);
-        let mut res = DVec::zeros(n);
-        stamp_system(circuit, op.unknowns(), 1e-12, 1.0, None, &mut g, &mut res);
-
-        // C: linear capacitors plus MOSFET Meyer capacitances.
-        let mut c = DMat::zeros(n, n);
-        let stamp_cap = |c: &mut DMat, a: NodeId, b: NodeId, farads: f64, ckt: &Circuit| {
-            let (ia, ib) = (ckt.node_unknown(a), ckt.node_unknown(b));
-            if let Some(i) = ia {
-                c[(i, i)] += farads;
-            }
-            if let Some(j) = ib {
-                c[(j, j)] += farads;
-            }
-            if let (Some(i), Some(j)) = (ia, ib) {
-                c[(i, j)] -= farads;
-                c[(j, i)] -= farads;
-            }
-        };
-        // b: stimulus vector from the AC magnitudes.
-        let mut b = DVec::zeros(n);
-
-        for kind in circuit.kinds() {
-            match kind {
-                ElementKind::Capacitor { a, b: nb, farads } => {
-                    stamp_cap(&mut c, *a, *nb, *farads, circuit);
-                }
-                ElementKind::Mosfet {
-                    d,
-                    g: ng,
-                    s,
-                    b: nbk,
-                    params,
-                } => {
-                    let (_, _, _, ev) =
-                        eval_mosfet_at(circuit, op.unknowns(), *d, *ng, *s, *nbk, params);
-                    let cov = params.model.cov * params.w;
-                    let cch = params.model.cox * params.w * params.l;
-                    let (cgs, cgd, cgb) = match ev.region {
-                        MosRegion::Cutoff => (cov, cov, cch),
-                        MosRegion::Triode => (cov + 0.5 * cch, cov + 0.5 * cch, 0.0),
-                        MosRegion::Saturation => (cov + 2.0 / 3.0 * cch, cov, 0.0),
-                    };
-                    stamp_cap(&mut c, *ng, *s, cgs, circuit);
-                    stamp_cap(&mut c, *ng, *d, cgd, circuit);
-                    stamp_cap(&mut c, *ng, *nbk, cgb, circuit);
-                }
-                ElementKind::VoltageSource { ac, branch, .. } if *ac != 0.0 => {
-                    b[circuit.branch_unknown(*branch)] = *ac;
-                }
-                ElementKind::CurrentSource { p, n: nn, ac, .. } if *ac != 0.0 => {
-                    if let Some(i) = circuit.node_unknown(*p) {
-                        b[i] -= ac;
-                    }
-                    if let Some(i) = circuit.node_unknown(*nn) {
-                        b[i] += ac;
-                    }
-                }
-                _ => {}
-            }
-        }
+        let (g, c, b) = stamp_gcb(circuit, op.unknowns());
 
         let mut branch_of = HashMap::new();
         for (idx, kind) in circuit.kinds().iter().enumerate() {
@@ -276,11 +316,53 @@ impl AcSolver {
             g,
             c,
             b,
-            branch_of,
+            branch_of: Arc::new(branch_of),
             branch_base: circuit.num_nodes() - 1,
             sparse,
             dense_ws: Mutex::new(DenseWs::fresh(n)),
         }
+    }
+
+    /// Stamps only the small-signal matrices `(G, C)` of `circuit`
+    /// linearized at `op` — no stimulus, no solver state. Adjoint
+    /// sensitivity analysis uses this to assemble perturbed matrices for
+    /// the bilinear form [`AcSolver::delta_bilinear`] without paying for a
+    /// full solver build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` does not belong to a circuit of the same size.
+    pub fn small_signal_matrices(circuit: &Circuit, op: &DcSolution) -> (DMat, DMat) {
+        assert_eq!(
+            op.unknowns().len(),
+            circuit.num_unknowns(),
+            "operating point does not match circuit size"
+        );
+        let (g, c, _) = stamp_gcb(circuit, op.unknowns());
+        (g, c)
+    }
+
+    /// Builds a stimulus vector from `(voltage-source name, AC magnitude)`
+    /// pairs, equivalent to cloning the circuit, clearing every AC
+    /// magnitude and calling `set_ac` per source — without the clone or the
+    /// solver rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::NotFound`] when a name is not a branch element
+    /// (voltage source or VCVS).
+    pub fn drive(&self, sources: &[(&str, f64)]) -> Result<DVec, MnaError> {
+        let mut b = DVec::zeros(self.g.nrows());
+        for (name, mag) in sources {
+            let branch = self
+                .branch_of
+                .get(*name)
+                .ok_or_else(|| MnaError::NotFound {
+                    name: (*name).to_string(),
+                })?;
+            b[self.branch_base + branch] = *mag;
+        }
+        Ok(b)
     }
 
     /// Solves the complex system at frequency `freq` \[Hz\].
@@ -291,36 +373,38 @@ impl AcSolver {
     /// frequency and [`MnaError::SingularMatrix`] when the complex MNA
     /// matrix cannot be factored.
     pub fn solve(&self, freq: f64) -> Result<AcSolution, MnaError> {
+        self.solve_driven(freq, &self.b)
+    }
+
+    /// Solves the complex system at `freq` against an explicit stimulus
+    /// vector (see [`AcSolver::drive`]). The system matrix `G + jωC` does
+    /// not depend on the stimulus, so differential-mode, common-mode and
+    /// supply drives share one factorization per frequency point instead
+    /// of rebuilding a solver per drive.
+    ///
+    /// # Errors
+    ///
+    /// As [`AcSolver::solve`], plus [`MnaError::InvalidRequest`] when `b`
+    /// has the wrong length.
+    pub fn solve_driven(&self, freq: f64, b: &DVec) -> Result<AcSolution, MnaError> {
         if !freq.is_finite() || freq < 0.0 {
             return Err(MnaError::InvalidRequest {
                 reason: "frequency must be finite and >= 0",
             });
         }
-        let omega = 2.0 * std::f64::consts::PI * freq;
         let n = self.g.nrows();
+        if b.len() != n {
+            return Err(MnaError::InvalidRequest {
+                reason: "stimulus vector length does not match system size",
+            });
+        }
+        let omega = 2.0 * std::f64::consts::PI * freq;
         let x = if let Some(sp) = &self.sparse {
             let mut guard = sp.state.lock().expect("ac sparse state poisoned");
             let st = &mut *guard;
-            for k in 0..sp.gvals.len() {
-                st.zvals[k] = Complex64::new(sp.gvals[k], omega * sp.cvals[k]);
-            }
-            // Refactor on the frozen pivot sequence of the previous frequency
-            // point; fall back to a fresh factorization when the pivots go
-            // stale (bit-identical results whenever both succeed).
-            let refreshed = match st.lu.take() {
-                Some(mut f) => match f.refactor(&sp.sym, &st.zvals) {
-                    Ok(()) => Some(f),
-                    Err(_) => None,
-                },
-                None => None,
-            };
-            let f = match refreshed {
-                Some(f) => f,
-                None => SparseLu::factor(&sp.sym, &st.zvals)
-                    .map_err(|_| MnaError::SingularMatrix { analysis: "ac" })?,
-            };
+            let f = factor_sparse(sp, st, omega)?;
             for i in 0..n {
-                st.bbuf[i] = Complex64::from_real(self.b[i]);
+                st.bbuf[i] = Complex64::from_real(b[i]);
             }
             f.solve_slice(&st.bbuf, &mut st.xbuf, &mut st.scratch)?;
             st.lu = Some(f);
@@ -333,7 +417,7 @@ impl AcSolver {
                 }
             }
             for i in 0..n {
-                ws.rhs[i] = Complex64::from_real(self.b[i]);
+                ws.rhs[i] = Complex64::from_real(b[i]);
             }
             ws.a.lu()
                 .map_err(|_| MnaError::SingularMatrix { analysis: "ac" })?
@@ -341,10 +425,111 @@ impl AcSolver {
         };
         Ok(AcSolution {
             x,
-            branch_of: self.branch_of.clone(),
+            branch_of: Arc::clone(&self.branch_of),
             branch_base: self.branch_base,
             freq,
         })
+    }
+
+    /// Solves the transposed system `(G + jωC)ᵀ·λ = rhs` on the same
+    /// factors as the forward solve — the adjoint solve of sensitivity
+    /// analysis. One factorization serves both directions, so a margin
+    /// gradient costs one extra triangular solve per output instead of a
+    /// full simulation per parameter.
+    ///
+    /// # Errors
+    ///
+    /// As [`AcSolver::solve_driven`].
+    pub fn solve_adjoint(&self, freq: f64, rhs: &CVec) -> Result<CVec, MnaError> {
+        if !freq.is_finite() || freq < 0.0 {
+            return Err(MnaError::InvalidRequest {
+                reason: "frequency must be finite and >= 0",
+            });
+        }
+        let n = self.g.nrows();
+        if rhs.len() != n {
+            return Err(MnaError::InvalidRequest {
+                reason: "adjoint rhs length does not match system size",
+            });
+        }
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        if let Some(sp) = &self.sparse {
+            let mut guard = sp.state.lock().expect("ac sparse state poisoned");
+            let st = &mut *guard;
+            let f = factor_sparse(sp, st, omega)?;
+            st.bbuf.copy_from_slice(rhs.as_slice());
+            f.solve_transposed_slice(&st.bbuf, &mut st.xbuf, &mut st.scratch)?;
+            st.lu = Some(f);
+            Ok(CVec::from_slice(&st.xbuf))
+        } else {
+            let mut ws = self.dense_ws.lock().expect("ac dense workspace poisoned");
+            for i in 0..n {
+                for j in 0..n {
+                    ws.a[(i, j)] = Complex64::new(self.g[(i, j)], omega * self.c[(i, j)]);
+                }
+            }
+            let lu =
+                ws.a.lu()
+                    .map_err(|_| MnaError::SingularMatrix { analysis: "ac" })?;
+            Ok(lu.solve_transposed(rhs)?)
+        }
+    }
+
+    /// Evaluates the first-order transfer-function perturbation
+    /// `λᵀ·ΔA·y` with `ΔA = (G′ − G) + jω(C′ − C)`, where `(G′, C′)` are
+    /// perturbed small-signal matrices (see
+    /// [`AcSolver::small_signal_matrices`]), `λ` is an adjoint solution and
+    /// `y` a forward solution. The delta is formed entry-wise before the
+    /// products so nearly-identical matrices do not cancel catastrophically.
+    pub fn delta_bilinear(
+        &self,
+        gp: &DMat,
+        cp: &DMat,
+        freq: f64,
+        lambda: &CVec,
+        y: &CVec,
+    ) -> Complex64 {
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        let n = self.g.nrows();
+        let mut acc = Complex64::ZERO;
+        for i in 0..n {
+            let li = lambda[i];
+            if li == Complex64::ZERO {
+                continue;
+            }
+            let mut row = Complex64::ZERO;
+            for j in 0..n {
+                let dg = gp[(i, j)] - self.g[(i, j)];
+                let dc = cp[(i, j)] - self.c[(i, j)];
+                if dg != 0.0 || dc != 0.0 {
+                    row += Complex64::new(dg, omega * dc) * y[j];
+                }
+            }
+            acc += li * row;
+        }
+        acc
+    }
+
+    /// Evaluates `λᵀ·C·y` — the frequency-derivative bilinear form:
+    /// `∂H/∂f = −j2π·λᵀ·C·y` at the evaluation frequency of `λ` and `y`.
+    pub fn cap_bilinear(&self, lambda: &CVec, y: &CVec) -> Complex64 {
+        let n = self.g.nrows();
+        let mut acc = Complex64::ZERO;
+        for i in 0..n {
+            let li = lambda[i];
+            if li == Complex64::ZERO {
+                continue;
+            }
+            let mut row = Complex64::ZERO;
+            for j in 0..n {
+                let cij = self.c[(i, j)];
+                if cij != 0.0 {
+                    row += y[j] * cij;
+                }
+            }
+            acc += li * row;
+        }
+        acc
     }
 
     /// Solves a list of frequencies.
@@ -373,6 +558,24 @@ impl AcSolver {
         f_lo: f64,
         f_hi: f64,
     ) -> Result<Option<f64>, MnaError> {
+        self.find_crossing_driven(node, target, f_lo, f_hi, &self.b)
+    }
+
+    /// [`AcSolver::find_crossing`] against an explicit stimulus vector
+    /// (see [`AcSolver::drive`]), sharing this solver's factorization
+    /// state across drives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn find_crossing_driven(
+        &self,
+        node: NodeId,
+        target: f64,
+        f_lo: f64,
+        f_hi: f64,
+        b: &DVec,
+    ) -> Result<Option<f64>, MnaError> {
         if !(f_lo > 0.0) || !(f_hi > f_lo) {
             return Err(MnaError::InvalidRequest {
                 reason: "need 0 < f_lo < f_hi",
@@ -380,7 +583,7 @@ impl AcSolver {
         }
         let mag = |s: &AcSolution| s.voltage(node).abs();
         let mut prev_f = f_lo;
-        let mut prev_m = mag(&self.solve(f_lo)?);
+        let mut prev_m = mag(&self.solve_driven(f_lo, b)?);
         if prev_m < target {
             return Ok(None); // already below target at the low end
         }
@@ -391,7 +594,7 @@ impl AcSolver {
         let mut f = f_lo * ratio;
         let mut bracket = None;
         while f <= f_hi * (1.0 + 1e-12) {
-            let m = mag(&self.solve(f)?);
+            let m = mag(&self.solve_driven(f, b)?);
             if m < target {
                 bracket = Some((prev_f, f));
                 break;
@@ -408,7 +611,7 @@ impl AcSolver {
         // Bisection on log-frequency.
         for _ in 0..80 {
             let mid = (lo * hi).sqrt();
-            let m = mag(&self.solve(mid)?);
+            let m = mag(&self.solve_driven(mid, b)?);
             if m >= target {
                 lo = mid;
             } else {
@@ -541,6 +744,119 @@ mod tests {
         // Gain must fall at high frequency (CL + device caps).
         let hf = ac.solve(10e9).unwrap().voltage(out).abs();
         assert!(hf < h0.abs());
+    }
+
+    #[test]
+    fn driven_solve_is_bit_identical_to_rebuilt_solver() {
+        // The clone + clear_ac + set_ac + AcSolver::new path must give the
+        // same bits as drive() + solve_driven() on the shared solver — the
+        // system matrix does not depend on the stimulus magnitudes.
+        let (ckt, vout) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let shared = AcSolver::new(&ckt, &op);
+        let b_half = shared.drive(&[("VIN", 0.5)]).unwrap();
+
+        let mut ckt2 = ckt.clone();
+        ckt2.clear_ac();
+        ckt2.set_ac("VIN", 0.5).unwrap();
+        let rebuilt = AcSolver::new(&ckt2, &op);
+
+        for f in [0.0, 10.0, 159154.9, 1e8] {
+            let a = shared.solve_driven(f, &b_half).unwrap().voltage(vout);
+            let want = rebuilt.solve(f).unwrap().voltage(vout);
+            assert_eq!(a.re.to_bits(), want.re.to_bits(), "f={f}");
+            assert_eq!(a.im.to_bits(), want.im.to_bits(), "f={f}");
+        }
+    }
+
+    #[test]
+    fn adjoint_gain_identity() {
+        // With Aᵀλ = e_out, the gain is h = e_outᵀ·x = λᵀ·b.
+        let (ckt, vout) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        let n = ckt.num_unknowns();
+        for f in [0.0, 1e3, 159154.9, 1e7] {
+            let h = ac.solve(f).unwrap().voltage(vout);
+            let mut e_out = CVec::zeros(n);
+            e_out[vout.index() - 1] = Complex64::ONE;
+            let lambda = ac.solve_adjoint(f, &e_out).unwrap();
+            let mut h_adj = Complex64::ZERO;
+            for i in 0..n {
+                h_adj += lambda[i] * Complex64::from_real(ac.b[i]);
+            }
+            assert!((h_adj - h).abs() <= 1e-12 * h.abs().max(1.0), "f={f}");
+        }
+    }
+
+    #[test]
+    fn delta_bilinear_predicts_perturbed_gain_first_order() {
+        // Perturb R by 0.1%: ΔH ≈ −λᵀ·ΔA·y must match the recomputed gain
+        // to first order (error O(‖ΔA‖²) ≈ 1e-6 relative).
+        let (ckt, vout) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        let n = ckt.num_unknowns();
+
+        let mut pert = Circuit::new();
+        let vin = pert.node("in");
+        let vo = pert.node("out");
+        pert.voltage_source("VIN", vin, Circuit::GROUND, 0.0)
+            .unwrap();
+        pert.set_ac("VIN", 1.0).unwrap();
+        pert.resistor("R1", vin, vo, 1e3 * 1.001).unwrap();
+        pert.capacitor("C1", vo, Circuit::GROUND, 1e-9).unwrap();
+        let op_p = DcOp::new(&pert).solve().unwrap();
+        let (gp, cp) = AcSolver::small_signal_matrices(&pert, &op_p);
+        let exact = AcSolver::new(&pert, &op_p);
+
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        for f in [f3db, 10.0 * f3db] {
+            let sol = ac.solve(f).unwrap();
+            let h = sol.voltage(vout);
+            let mut e_out = CVec::zeros(n);
+            e_out[vout.index() - 1] = Complex64::ONE;
+            let lambda = ac.solve_adjoint(f, &e_out).unwrap();
+            let dh = -(ac.delta_bilinear(&gp, &cp, f, &lambda, sol.unknowns()));
+            let h_exact = exact.solve(f).unwrap().voltage(vout);
+            let err = ((h + dh) - h_exact).abs();
+            assert!(err < 1e-5 * h.abs(), "f={f} err={err}");
+        }
+    }
+
+    #[test]
+    fn cap_bilinear_matches_frequency_derivative() {
+        // ∂H/∂f = −j2π·λᵀ·C·y, checked against a central difference.
+        let (ckt, vout) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        let n = ckt.num_unknowns();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let sol = ac.solve(f0).unwrap();
+        let mut e_out = CVec::zeros(n);
+        e_out[vout.index() - 1] = Complex64::ONE;
+        let lambda = ac.solve_adjoint(f0, &e_out).unwrap();
+        let dhdf = -(Complex64::I * (2.0 * std::f64::consts::PI))
+            * ac.cap_bilinear(&lambda, sol.unknowns());
+        let df = f0 * 1e-6;
+        let hp = ac.solve(f0 + df).unwrap().voltage(vout);
+        let hm = ac.solve(f0 - df).unwrap().voltage(vout);
+        let fd = (hp - hm) * (1.0 / (2.0 * df));
+        assert!(
+            (dhdf - fd).abs() < 1e-6 * fd.abs(),
+            "dhdf={dhdf:?} fd={fd:?}"
+        );
+    }
+
+    #[test]
+    fn drive_rejects_unknown_source() {
+        let (ckt, _) = rc_lowpass();
+        let op = DcOp::new(&ckt).solve().unwrap();
+        let ac = AcSolver::new(&ckt, &op);
+        assert!(matches!(
+            ac.drive(&[("NOPE", 1.0)]),
+            Err(MnaError::NotFound { .. })
+        ));
     }
 
     #[test]

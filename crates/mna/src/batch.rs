@@ -1,0 +1,302 @@
+//! Sample-major batched DC operating-point solves.
+//!
+//! Monte-Carlo verification evaluates the same circuit topology at many
+//! parameter points. [`BatchDcOp`] runs the damped Newton iteration for a
+//! batch of such lanes in lockstep: every active lane advances one
+//! [`newton_iteration`] per round, converged lanes retire immediately, and
+//! lanes that fail the plain-Newton stage fall back to the scalar homotopy
+//! path ([`DcOp::solve_from`] / [`DcOp::solve`]).
+//!
+//! Each lane owns its circuit instance (same topology, different parameter
+//! values) and its own [`SystemSolver`] workspace, and steps through the
+//! *same* shared iteration body as the scalar solver — so a batched solve
+//! is bit-identical to solving each lane alone. The batch layout changes
+//! the schedule, never the floats.
+
+use specwise_linalg::DVec;
+
+use crate::dc::{damping_for, newton_iteration, DcOp, DcSolution, NewtonOptions, NewtonStep};
+use crate::solver::{Analysis, SystemSolver};
+use crate::{Circuit, MnaError};
+
+/// Lockstep batched DC operating-point analysis (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct BatchDcOp {
+    options: NewtonOptions,
+}
+
+/// One in-flight Newton lane.
+struct Lane<'c> {
+    idx: usize,
+    circuit: &'c Circuit,
+    damping_vmax: f64,
+    sys: SystemSolver,
+    x: DVec,
+    res: DVec,
+}
+
+impl BatchDcOp {
+    /// Creates a batched analysis with default [`NewtonOptions`].
+    pub fn new() -> Self {
+        BatchDcOp::default()
+    }
+
+    /// Creates a batched analysis with custom options.
+    pub fn with_options(options: NewtonOptions) -> Self {
+        BatchDcOp { options }
+    }
+
+    /// Solves one lane per `(circuit, seed)` entry in lockstep.
+    /// `Some(x0)` warm starts the lane from `x0`; `None` starts cold
+    /// (all-zero guess).
+    ///
+    /// Per-lane results are bit-identical to the scalar equivalents:
+    /// `op.solve_from(&x0).or_else(|_| op.solve())` for seeded lanes and
+    /// `op.solve()` for cold lanes.
+    pub fn solve_lockstep(
+        &self,
+        lanes: &[(&Circuit, Option<DVec>)],
+    ) -> Vec<Result<DcSolution, MnaError>> {
+        let mut results: Vec<Option<Result<DcSolution, MnaError>>> =
+            (0..lanes.len()).map(|_| None).collect();
+
+        let mut active: Vec<Lane<'_>> = Vec::with_capacity(lanes.len());
+        let mut max_iterations = 0usize;
+        for (idx, (circuit, seed)) in lanes.iter().enumerate() {
+            let n = circuit.num_unknowns();
+            if n == 0 {
+                results[idx] = Some(Err(MnaError::InvalidRequest {
+                    reason: "circuit has no unknowns",
+                }));
+                continue;
+            }
+            let x = match seed {
+                Some(x0) if x0.len() == n => x0.clone(),
+                Some(_) => {
+                    // A malformed seed takes the scalar fallback verbatim:
+                    // solve_from rejects it, or_else runs the cold solve.
+                    results[idx] = Some(self.fallback(circuit, seed));
+                    continue;
+                }
+                None => DVec::zeros(n),
+            };
+            max_iterations = max_iterations.max(self.options.max_iterations);
+            active.push(Lane {
+                idx,
+                circuit,
+                damping_vmax: damping_for(circuit, &self.options),
+                sys: SystemSolver::new(circuit, Analysis::Dc),
+                x,
+                res: DVec::zeros(n),
+            });
+        }
+
+        // Lockstep plain-Newton stage: the global round index doubles as
+        // each lane's own iteration count, since every lane joins at round
+        // zero and advances exactly once per round.
+        for iter in 0..max_iterations {
+            if active.is_empty() {
+                break;
+            }
+            let mut still = Vec::with_capacity(active.len());
+            for mut lane in active {
+                match newton_iteration(
+                    lane.circuit,
+                    &self.options,
+                    &mut lane.sys,
+                    &mut lane.x,
+                    &mut lane.res,
+                    self.options.gmin,
+                    1.0,
+                    lane.damping_vmax,
+                ) {
+                    NewtonStep::Converged => {
+                        let op = DcOp::with_options(lane.circuit, self.options);
+                        results[lane.idx] = Some(Ok(op.finish(lane.x, iter + 1)));
+                    }
+                    NewtonStep::Continue => still.push(lane),
+                    NewtonStep::NonFinite | NewtonStep::Failed(_) => {
+                        results[lane.idx] = Some(self.fallback(lane.circuit, &lanes[lane.idx].1));
+                    }
+                }
+            }
+            active = still;
+        }
+
+        // Lanes that exhausted the plain-Newton budget take the scalar
+        // homotopy path (gmin stepping, then source stepping), exactly as
+        // the scalar solver would after its stage-1 failure.
+        for lane in active {
+            results[lane.idx] = Some(self.fallback(lane.circuit, &lanes[lane.idx].1));
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every lane resolved"))
+            .collect()
+    }
+
+    /// Scalar-path fallback for one lane; deterministic, so re-running the
+    /// already-failed plain-Newton stage inside reproduces the scalar float
+    /// sequence exactly.
+    fn fallback(&self, circuit: &Circuit, seed: &Option<DVec>) -> Result<DcSolution, MnaError> {
+        let op = DcOp::with_options(circuit, self.options);
+        match seed {
+            Some(x0) => op.solve_from(x0).or_else(|_| op.solve()),
+            None => op.solve(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DcOp, MosfetModel, MosfetParams};
+
+    fn five_transistor_ota(w_in: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("inp");
+        let inn = ckt.node("inn");
+        let out = ckt.node("out");
+        let tail = ckt.node("tail");
+        let mir = ckt.node("mir");
+        ckt.voltage_source("VDD", vdd, Circuit::GROUND, 3.0)
+            .unwrap();
+        ckt.voltage_source("VINP", inp, Circuit::GROUND, 1.5)
+            .unwrap();
+        ckt.voltage_source("VINN", inn, Circuit::GROUND, 1.5)
+            .unwrap();
+        let nmos = MosfetModel::default_nmos();
+        let pmos = MosfetModel::default_pmos();
+        ckt.mosfet(
+            "M1",
+            mir,
+            inp,
+            tail,
+            Circuit::GROUND,
+            MosfetParams::new(nmos, w_in, 1e-6),
+        )
+        .unwrap();
+        ckt.mosfet(
+            "M2",
+            out,
+            inn,
+            tail,
+            Circuit::GROUND,
+            MosfetParams::new(nmos, w_in, 1e-6),
+        )
+        .unwrap();
+        ckt.mosfet(
+            "M3",
+            mir,
+            mir,
+            vdd,
+            vdd,
+            MosfetParams::new(pmos, 40e-6, 1e-6),
+        )
+        .unwrap();
+        ckt.mosfet(
+            "M4",
+            out,
+            mir,
+            vdd,
+            vdd,
+            MosfetParams::new(pmos, 40e-6, 1e-6),
+        )
+        .unwrap();
+        ckt.resistor("RT", tail, Circuit::GROUND, 5e3).unwrap();
+        ckt
+    }
+
+    fn assert_bit_identical(a: &DcSolution, b: &DcSolution) {
+        assert_eq!(a.iterations(), b.iterations());
+        let (xa, xb) = (a.unknowns(), b.unknowns());
+        assert_eq!(xa.len(), xb.len());
+        for i in 0..xa.len() {
+            assert_eq!(xa[i].to_bits(), xb[i].to_bits(), "unknown {i}");
+        }
+    }
+
+    #[test]
+    fn cold_batch_is_bit_identical_to_scalar() {
+        let ckt = five_transistor_ota(20e-6);
+        let scalar = DcOp::new(&ckt).solve().unwrap();
+        for n_lanes in [1usize, 2, 7] {
+            let lanes: Vec<_> = (0..n_lanes).map(|_| (&ckt, None)).collect();
+            let batch = BatchDcOp::new().solve_lockstep(&lanes);
+            assert_eq!(batch.len(), n_lanes);
+            for sol in batch {
+                assert_bit_identical(&sol.unwrap(), &scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_lanes_match_their_scalar_solves() {
+        // The MC shape: same topology, different device parameters per lane.
+        let ckts: Vec<Circuit> = [18e-6, 20e-6, 23e-6, 31e-6]
+            .iter()
+            .map(|&w| five_transistor_ota(w))
+            .collect();
+        let lanes: Vec<_> = ckts.iter().map(|c| (c, None)).collect();
+        let batch = BatchDcOp::new().solve_lockstep(&lanes);
+        for (ckt, got) in ckts.iter().zip(&batch) {
+            let want = DcOp::new(ckt).solve().unwrap();
+            assert_bit_identical(got.as_ref().unwrap(), &want);
+        }
+    }
+
+    #[test]
+    fn warm_batch_is_bit_identical_to_scalar_warm_path() {
+        let ckt = five_transistor_ota(20e-6);
+        let base = DcOp::new(&ckt).solve().unwrap();
+        // Warm-start from a slightly damped copy of the converged point —
+        // the same shape of seed a warm cache would supply.
+        let seed = DVec::from_fn(base.unknowns().len(), |i| base.unknowns()[i] * 0.98);
+        let op = DcOp::new(&ckt);
+        let scalar = op.solve_from(&seed).or_else(|_| op.solve()).unwrap();
+        let lanes = vec![
+            (&ckt, Some(seed.clone())),
+            (&ckt, None),
+            (&ckt, Some(seed.clone())),
+        ];
+        let batch = BatchDcOp::new().solve_lockstep(&lanes);
+        assert_bit_identical(batch[0].as_ref().unwrap(), &scalar);
+        assert_bit_identical(batch[2].as_ref().unwrap(), &scalar);
+        let cold = DcOp::new(&ckt).solve().unwrap();
+        assert_bit_identical(batch[1].as_ref().unwrap(), &cold);
+    }
+
+    #[test]
+    fn malformed_seed_falls_back_to_cold_solve() {
+        let ckt = five_transistor_ota(20e-6);
+        let cold = DcOp::new(&ckt).solve().unwrap();
+        let lanes = vec![(&ckt, Some(DVec::zeros(2)))];
+        let batch = BatchDcOp::new().solve_lockstep(&lanes);
+        assert_bit_identical(batch[0].as_ref().unwrap(), &cold);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(BatchDcOp::new().solve_lockstep(&[]).is_empty());
+    }
+
+    #[test]
+    fn mixed_seed_lanes_match_their_scalar_solves() {
+        let ckt = five_transistor_ota(20e-6);
+        let base = DcOp::new(&ckt).solve().unwrap();
+        let mk = |f: f64| DVec::from_fn(base.unknowns().len(), |i| base.unknowns()[i] * f);
+        let seeds = [Some(mk(0.9)), Some(mk(1.0)), Some(mk(1.05)), None];
+        let lanes: Vec<_> = seeds.iter().map(|s| (&ckt, s.clone())).collect();
+        let batch = BatchDcOp::new().solve_lockstep(&lanes);
+        let op = DcOp::new(&ckt);
+        for (seed, got) in seeds.iter().zip(&batch) {
+            let want = match seed {
+                Some(s) => op.solve_from(s).or_else(|_| op.solve()).unwrap(),
+                None => op.solve().unwrap(),
+            };
+            assert_bit_identical(got.as_ref().unwrap(), &want);
+        }
+    }
+}

@@ -44,16 +44,19 @@
 #![warn(missing_docs)]
 
 mod ac;
+mod batch;
 mod dc;
 mod error;
 mod mosfet;
 mod netlist;
 mod parser;
+mod sens;
 mod solver;
 mod sweep;
 mod transient;
 
 pub use ac::{AcSolution, AcSolver};
+pub use batch::BatchDcOp;
 pub use dc::{DcOp, DcSolution, MosOpInfo, NewtonOptions};
 pub use error::MnaError;
 pub use mosfet::{MosEval, MosPolarity, MosRegion, MosfetModel, MosfetParams};
@@ -63,6 +66,7 @@ pub use parser::{
     DeckLimits, DeckValue, DesignDirective, MatchDirective, ParseDeckError, RangeDirective,
     SpecDirective, TbDirective,
 };
+pub use sens::DcSensitivity;
 pub use solver::{
     clear_symbolic_cache, set_solver_override, symbolic_cache_len, uses_sparse, SolverChoice,
     SPARSE_AUTO_THRESHOLD,

@@ -184,6 +184,11 @@ pub struct JobOutcome {
     pub yield_interval: Option<(f64, f64)>,
     /// Total simulator calls of the run.
     pub total_sims: u64,
+    /// Adjoint/sensitivity solves on cached factorizations (tracked beside,
+    /// never inside, [`JobOutcome::total_sims`]).
+    pub adjoint_solves: u64,
+    /// Full simulator invocations the adjoint gradient shortcut avoided.
+    pub fd_sims_avoided: u64,
     /// `true` when the run continued from a checkpoint after a restart.
     pub resumed: bool,
     /// Evaluation-cache hits during the run.
@@ -216,8 +221,14 @@ impl JobOutcome {
             out.push(']');
         }
         out.push_str(&format!(
-            ",\"total_sims\":{},\"resumed\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
-            self.total_sims, self.resumed, self.cache_hits, self.cache_misses
+            ",\"total_sims\":{},\"adjoint_solves\":{},\"fd_sims_avoided\":{},\
+             \"resumed\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+            self.total_sims,
+            self.adjoint_solves,
+            self.fd_sims_avoided,
+            self.resumed,
+            self.cache_hits,
+            self.cache_misses
         ));
         out
     }
@@ -254,6 +265,10 @@ impl JobOutcome {
                 .get("total_sims")
                 .and_then(Json::as_u64)
                 .ok_or("job outcome missing integer field \"total_sims\"")?,
+            // Spool files written before the adjoint backend carry neither
+            // counter; default to zero rather than rejecting them.
+            adjoint_solves: j.get("adjoint_solves").and_then(Json::as_u64).unwrap_or(0),
+            fd_sims_avoided: j.get("fd_sims_avoided").and_then(Json::as_u64).unwrap_or(0),
             resumed: matches!(j.get("resumed"), Some(Json::Bool(true))),
             cache_hits: j.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
             cache_misses: j.get("cache_misses").and_then(Json::as_u64).unwrap_or(0),
@@ -311,6 +326,8 @@ pub fn run_job(
         verified_yield: last.verified.as_ref().map(|v| v.yield_estimate.value()),
         yield_interval: last.verified.as_ref().map(|v| v.yield_interval()),
         total_sims: trace.total_sims,
+        adjoint_solves: trace.adjoint_solves,
+        fd_sims_avoided: trace.fd_sims_avoided,
         resumed: trace.resumed,
         cache_hits: report.cache_hits,
         cache_misses: report.cache_misses,
@@ -352,6 +369,8 @@ mod tests {
             verified_yield: Some(2.0 / 3.0),
             yield_interval: Some((2.0 / 3.0, 0.71)),
             total_sims: 12_345,
+            adjoint_solves: 44,
+            fd_sims_avoided: 660,
             resumed: true,
             cache_hits: 99,
             cache_misses: 1,

@@ -89,6 +89,12 @@ pub struct Metrics {
     pub cache_misses: u64,
     /// Simulator calls summed over settled jobs.
     pub total_sims: u64,
+    /// Adjoint/sensitivity solves summed over settled jobs (tracked
+    /// beside, never inside, [`Metrics::total_sims`]).
+    pub adjoint_solves: u64,
+    /// Full simulations the adjoint shortcut avoided, summed over settled
+    /// jobs.
+    pub fd_sims_avoided: u64,
 }
 
 impl Metrics {
@@ -106,6 +112,9 @@ struct Inner {
     order: Vec<String>,
     queue: VecDeque<String>,
     tenants: HashMap<String, Arc<SharedBudget>>,
+    /// Per-tenant `(adjoint_solves, fd_sims_avoided)` sums over settled
+    /// jobs, reported in the `status` tenant rows.
+    tenant_adjoint: HashMap<String, (u64, u64)>,
     metrics: Metrics,
     next_id: u64,
     shutdown: bool,
@@ -131,6 +140,7 @@ impl ServeState {
                 order: Vec::new(),
                 queue: VecDeque::new(),
                 tenants: HashMap::new(),
+                tenant_adjoint: HashMap::new(),
                 metrics: Metrics::default(),
                 next_id: 1,
                 shutdown: false,
@@ -233,10 +243,16 @@ impl ServeState {
                 Ok(outcome) => {
                     entry.state = JobState::Done;
                     entry.outcome = Some(outcome.clone());
+                    let tenant = entry.spec.tenant.clone();
                     inner.metrics.jobs_done += 1;
                     inner.metrics.cache_hits += outcome.cache_hits;
                     inner.metrics.cache_misses += outcome.cache_misses;
                     inner.metrics.total_sims += outcome.total_sims;
+                    inner.metrics.adjoint_solves += outcome.adjoint_solves;
+                    inner.metrics.fd_sims_avoided += outcome.fd_sims_avoided;
+                    let t = inner.tenant_adjoint.entry(tenant).or_default();
+                    t.0 += outcome.adjoint_solves;
+                    t.1 += outcome.fd_sims_avoided;
                 }
                 Err(reason) => {
                     entry.state = JobState::Failed;
@@ -331,7 +347,10 @@ impl ServeState {
             Some(rate) => json::write_f64(&mut out, rate),
             None => out.push_str("null"),
         }
-        out.push_str(&format!(",\"total_sims\":{},\"tenants\":[", m.total_sims));
+        out.push_str(&format!(
+            ",\"total_sims\":{},\"adjoint_solves\":{},\"fd_sims_avoided\":{},\"tenants\":[",
+            m.total_sims, m.adjoint_solves, m.fd_sims_avoided
+        ));
         let mut tenants: Vec<_> = inner.tenants.iter().collect();
         tenants.sort_by(|a, b| a.0.cmp(b.0));
         for (i, (tenant, budget)) in tenants.into_iter().enumerate() {
@@ -341,6 +360,14 @@ impl ServeState {
             out.push_str("{\"tenant\":");
             json::write_json_string(&mut out, tenant);
             out.push_str(&format!(",\"sims\":{}", budget.used()));
+            let (adj, avoided) = inner
+                .tenant_adjoint
+                .get(tenant)
+                .copied()
+                .unwrap_or_default();
+            out.push_str(&format!(
+                ",\"adjoint_solves\":{adj},\"fd_sims_avoided\":{avoided}"
+            ));
             if budget.budget() != u64::MAX {
                 out.push_str(&format!(",\"budget\":{}", budget.budget()));
             }
@@ -372,6 +399,8 @@ mod tests {
             verified_yield: None,
             yield_interval: None,
             total_sims: 10,
+            adjoint_solves: 4,
+            fd_sims_avoided: 12,
             resumed: false,
             cache_hits: 3,
             cache_misses: 1,

@@ -1,16 +1,39 @@
-//! Finite-difference gradients of margins and constraints.
+//! Margin and constraint Jacobians: forward differences or adjoint
+//! sensitivities.
 //!
-//! TITAN's internal sensitivities are not available to us (DESIGN.md §6), so
-//! gradients are forward differences: `n+1` evaluations per gradient. The
-//! base point is evaluated first, as its own batch, and only then are the
-//! `n` perturbed points issued together — by the time a perturbed solve
-//! starts, the base operating point already sits in the environment's
-//! warm-start cache and seeds its Newton iteration (DESIGN.md §7). The
-//! perturbed points are independent of each other, so an [`EvalService`]
-//! fans them out over its worker pool while a plain environment runs them
-//! serially; the results are bit-identical either way.
+//! Two backends produce the margin Jacobians (selected by
+//! `SPECWISE_GRAD=fd|adjoint|auto`, overridable with [`set_grad_override`]):
 //!
+//! - **Forward differences** (`fd`): `n+1` evaluations per gradient. The
+//!   base point is evaluated first, as its own batch, and only then are the
+//!   `n` perturbed points issued together — by the time a perturbed solve
+//!   starts, the base operating point already sits in the environment's
+//!   warm-start cache and seeds its Newton iteration (DESIGN.md §7). The
+//!   perturbed points are independent of each other, so an [`EvalService`]
+//!   fans them out over its worker pool while a plain environment runs them
+//!   serially; the results are bit-identical either way.
+//!
+//! - **Adjoint sensitivities** (`adjoint`, and the default `auto`): one base
+//!   measurement, then every perturbed point is priced from the *cached*
+//!   base factorizations — a frozen-Jacobian Newton step per DC
+//!   configuration and transposed-solve transfer-function updates for the
+//!   AC metrics (DESIGN.md §6). The perturbed *margins* still enter the
+//!   same forward-difference quotient as the `fd` backend, so downstream
+//!   consumers see the identical `(base, jacobian)` contract; only the
+//!   price per column changes. Environments that cannot take the shortcut
+//!   (no MNA system behind them, transient slew extraction, degenerate
+//!   crossing, sensitivity solve failure) report `None` and the call falls
+//!   back to forward differences transparently.
+//!
+//! [`constraint_jacobian`] always uses forward differences: the functional
+//! constraints are cheap sizing rules of `d` alone, with no linear system
+//! behind them to differentiate.
+//!
+//! [`Evaluator::eval_margins_perturbed`]: specwise_exec::Evaluator::eval_margins_perturbed
 //! [`EvalService`]: specwise_exec::EvalService
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 use specwise_ckt::OperatingPoint;
 use specwise_exec::{EvalPoint, Evaluator};
@@ -18,8 +41,76 @@ use specwise_linalg::{DMat, DVec};
 
 use crate::WcdError;
 
+/// Which machinery computes the margin Jacobians.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradBackend {
+    /// Forward differences: one full evaluation per column.
+    Fd,
+    /// Adjoint sensitivities on the cached base factorizations, falling
+    /// back to forward differences when the environment reports the
+    /// shortcut unavailable (`eval_margins_perturbed` returns `None`).
+    Adjoint,
+    /// Resolve to the best available backend: currently identical to
+    /// [`GradBackend::Adjoint`] (try the shortcut, fall back to FD). The
+    /// named variant lets configuration say "whatever is best" distinctly
+    /// from an explicit request.
+    Auto,
+}
+
+/// 0 = no override (env / auto), 1 = auto, 2 = fd, 3 = adjoint.
+static GRAD_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the gradient backend process-wide, taking precedence over the
+/// `SPECWISE_GRAD` environment variable. `None` restores env/auto
+/// behaviour. Intended for benches and parity tests; library code should
+/// prefer the `_with` variants, which take the backend explicitly and
+/// cannot race.
+pub fn set_grad_override(choice: Option<GradBackend>) {
+    let v = match choice {
+        None => 0,
+        Some(GradBackend::Auto) => 1,
+        Some(GradBackend::Fd) => 2,
+        Some(GradBackend::Adjoint) => 3,
+    };
+    GRAD_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+fn env_backend() -> GradBackend {
+    match std::env::var("SPECWISE_GRAD") {
+        Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+            "fd" => GradBackend::Fd,
+            "adjoint" => GradBackend::Adjoint,
+            _ => GradBackend::Auto,
+        },
+        Err(_) => GradBackend::Auto,
+    }
+}
+
+/// The gradient backend under the current override/env/auto policy.
+pub fn grad_backend() -> GradBackend {
+    match GRAD_OVERRIDE.load(Ordering::SeqCst) {
+        1 => GradBackend::Auto,
+        2 => GradBackend::Fd,
+        3 => GradBackend::Adjoint,
+        _ => env_backend(),
+    }
+}
+
+/// Forward-difference quotients `(m₂ − base) / step`, one column each.
+fn quotients(base: &DVec, perturbed: &[DVec], steps: &[f64]) -> DMat {
+    let n_spec = base.len();
+    let mut jac = DMat::zeros(n_spec, perturbed.len());
+    for (j, m2) in perturbed.iter().enumerate() {
+        for i in 0..n_spec {
+            jac[(i, j)] = (m2[i] - base[i]) / steps[j];
+        }
+    }
+    jac
+}
+
 /// Jacobian of all margins w.r.t. the standardized statistical parameters at
-/// `(d, ŝ, θ)`, by forward differences with step `h` (σ units).
+/// `(d, ŝ, θ)`, with step `h` (σ units), under the process-wide backend
+/// policy ([`grad_backend`]).
 ///
 /// Returns `(margins_at_base, jacobian [n_spec × n_s])`.
 ///
@@ -33,14 +124,50 @@ pub fn margins_gradient_s<E: Evaluator + ?Sized>(
     theta: &OperatingPoint,
     h: f64,
 ) -> Result<(DVec, DMat), WcdError> {
+    margins_gradient_s_with(env, grad_backend(), d, s_hat, theta, h)
+}
+
+/// [`margins_gradient_s`] with an explicit backend (race-free in tests).
+///
+/// # Errors
+///
+/// Propagates circuit-evaluation errors; rejects non-positive `h`.
+pub fn margins_gradient_s_with<E: Evaluator + ?Sized>(
+    env: &E,
+    backend: GradBackend,
+    d: &DVec,
+    s_hat: &DVec,
+    theta: &OperatingPoint,
+    h: f64,
+) -> Result<(DVec, DMat), WcdError> {
     if !(h > 0.0) {
         return Err(WcdError::InvalidOption {
             reason: "fd step must be > 0",
         });
     }
     let n_s = s_hat.len();
+    if backend != GradBackend::Fd {
+        let mut directions = Vec::with_capacity(n_s);
+        for j in 0..n_s {
+            let mut s2 = s_hat.clone();
+            s2[j] += h;
+            directions.push((d.clone(), s2));
+        }
+        if let Some((base, per)) = env.eval_margins_perturbed(d, s_hat, theta, &directions)? {
+            let steps = vec![h; n_s];
+            return Ok((base.clone(), quotients(&base, &per, &steps)));
+        }
+        // Shortcut unavailable here: fall through to forward differences.
+    }
     // Base first, alone: seeds the warm-start cache for the perturbed batch.
-    let base_point = [EvalPoint::new(d.clone(), s_hat.clone(), *theta)];
+    // The base vectors are shared by reference across all n+1 points.
+    let d_arc: Arc<DVec> = Arc::new(d.clone());
+    let s_arc: Arc<DVec> = Arc::new(s_hat.clone());
+    let base_point = [EvalPoint::new(
+        Arc::clone(&d_arc),
+        Arc::clone(&s_arc),
+        *theta,
+    )];
     let base = env
         .eval_margins_batch(&base_point)
         .into_iter()
@@ -50,7 +177,7 @@ pub fn margins_gradient_s<E: Evaluator + ?Sized>(
     for j in 0..n_s {
         let mut s2 = s_hat.clone();
         s2[j] += h;
-        points.push(EvalPoint::new(d.clone(), s2, *theta));
+        points.push(EvalPoint::new(Arc::clone(&d_arc), s2, *theta));
     }
     let results = env.eval_margins_batch(&points).into_iter();
     let n_spec = base.len();
@@ -64,7 +191,8 @@ pub fn margins_gradient_s<E: Evaluator + ?Sized>(
     Ok((base, jac))
 }
 
-/// Jacobian of all margins w.r.t. the design parameters at `(d, ŝ, θ)`.
+/// Jacobian of all margins w.r.t. the design parameters at `(d, ŝ, θ)`,
+/// under the process-wide backend policy ([`grad_backend`]).
 ///
 /// The step for parameter `k` is `h_rel·(upper_k − lower_k)`, taken in the
 /// direction that stays inside the design box.
@@ -79,6 +207,22 @@ pub fn margins_gradient_d<E: Evaluator + ?Sized>(
     theta: &OperatingPoint,
     h_rel: f64,
 ) -> Result<(DVec, DMat), WcdError> {
+    margins_gradient_d_with(env, grad_backend(), d, s_hat, theta, h_rel)
+}
+
+/// [`margins_gradient_d`] with an explicit backend (race-free in tests).
+///
+/// # Errors
+///
+/// Propagates circuit-evaluation errors; rejects non-positive `h_rel`.
+pub fn margins_gradient_d_with<E: Evaluator + ?Sized>(
+    env: &E,
+    backend: GradBackend,
+    d: &DVec,
+    s_hat: &DVec,
+    theta: &OperatingPoint,
+    h_rel: f64,
+) -> Result<(DVec, DMat), WcdError> {
     if !(h_rel > 0.0) {
         return Err(WcdError::InvalidOption {
             reason: "fd step must be > 0",
@@ -87,14 +231,7 @@ pub fn margins_gradient_d<E: Evaluator + ?Sized>(
     let space = env.design_space();
     let n_d = d.len();
     let mut signed_steps = Vec::with_capacity(n_d);
-    // Base first, alone: seeds the warm-start cache for the perturbed batch.
-    let base_point = [EvalPoint::new(d.clone(), s_hat.clone(), *theta)];
-    let base = env
-        .eval_margins_batch(&base_point)
-        .into_iter()
-        .next()
-        .expect("batch returns one result per point")?;
-    let mut points = Vec::with_capacity(n_d);
+    let mut perturbed_designs = Vec::with_capacity(n_d);
     for k in 0..n_d {
         let p = &space.params()[k];
         let step = h_rel * (p.upper - p.lower);
@@ -103,8 +240,31 @@ pub fn margins_gradient_d<E: Evaluator + ?Sized>(
         signed_steps.push(signed);
         let mut d2 = d.clone();
         d2[k] += signed;
-        points.push(EvalPoint::new(d2, s_hat.clone(), *theta));
+        perturbed_designs.push(d2);
     }
+    if backend != GradBackend::Fd {
+        let directions: Vec<(DVec, DVec)> = perturbed_designs
+            .iter()
+            .map(|d2| (d2.clone(), s_hat.clone()))
+            .collect();
+        if let Some((base, per)) = env.eval_margins_perturbed(d, s_hat, theta, &directions)? {
+            return Ok((base.clone(), quotients(&base, &per, &signed_steps)));
+        }
+        // Shortcut unavailable here: fall through to forward differences.
+    }
+    // Base first, alone: seeds the warm-start cache for the perturbed batch.
+    // The base ŝ is shared by reference across all n+1 points.
+    let s_arc: Arc<DVec> = Arc::new(s_hat.clone());
+    let base_point = [EvalPoint::new(d.clone(), Arc::clone(&s_arc), *theta)];
+    let base = env
+        .eval_margins_batch(&base_point)
+        .into_iter()
+        .next()
+        .expect("batch returns one result per point")?;
+    let points: Vec<EvalPoint> = perturbed_designs
+        .into_iter()
+        .map(|d2| EvalPoint::new(d2, Arc::clone(&s_arc), *theta))
+        .collect();
     let results = env.eval_margins_batch(&points).into_iter();
     let n_spec = base.len();
     let mut jac = DMat::zeros(n_spec, n_d);
@@ -118,7 +278,8 @@ pub fn margins_gradient_d<E: Evaluator + ?Sized>(
 }
 
 /// Values and Jacobian of the functional constraints `c(d)` at `d`
-/// (paper Eq. 15 inputs).
+/// (paper Eq. 15 inputs). Always forward differences — the sizing rules
+/// carry no linear system to differentiate.
 ///
 /// # Errors
 ///
@@ -169,6 +330,8 @@ mod tests {
     use super::*;
     use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
 
+    use adjoint_wrapper::AdjointCapable;
+
     fn env() -> AnalyticEnv {
         AnalyticEnv::builder()
             .design(DesignSpace::new(vec![
@@ -186,6 +349,89 @@ mod tests {
             })
             .build()
             .unwrap()
+    }
+
+    /// Lives in its own module so only [`CircuitEnv`] is in method-lookup
+    /// scope for the delegation — the blanket `Evaluator` impl would make
+    /// every call ambiguous otherwise.
+    mod adjoint_wrapper {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        use specwise_ckt::{
+            AnalyticEnv, CircuitEnv, CktError, DesignSpace, OperatingPoint, OperatingRange, Spec,
+            StatSpace,
+        };
+        use specwise_linalg::DVec;
+
+        /// Wraps [`AnalyticEnv`] with an `eval_margins_perturbed` answered
+        /// from plain margin evaluations, counting how often the adjoint
+        /// entry point is exercised.
+        pub(super) struct AdjointCapable {
+            inner: AnalyticEnv,
+            pub(super) perturbed_calls: AtomicU64,
+        }
+
+        impl AdjointCapable {
+            pub(super) fn new(inner: AnalyticEnv) -> Self {
+                AdjointCapable {
+                    inner,
+                    perturbed_calls: AtomicU64::new(0),
+                }
+            }
+        }
+
+        impl CircuitEnv for AdjointCapable {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+            fn design_space(&self) -> &DesignSpace {
+                self.inner.design_space()
+            }
+            fn stat_space(&self) -> &StatSpace {
+                self.inner.stat_space()
+            }
+            fn specs(&self) -> &[Spec] {
+                self.inner.specs()
+            }
+            fn operating_range(&self) -> &OperatingRange {
+                self.inner.operating_range()
+            }
+            fn constraint_names(&self) -> Vec<String> {
+                self.inner.constraint_names()
+            }
+            fn eval_performances(
+                &self,
+                d: &DVec,
+                s_hat: &DVec,
+                theta: &OperatingPoint,
+            ) -> Result<DVec, CktError> {
+                self.inner.eval_performances(d, s_hat, theta)
+            }
+            fn eval_constraints(&self, d: &DVec) -> Result<DVec, CktError> {
+                self.inner.eval_constraints(d)
+            }
+            fn sim_count(&self) -> u64 {
+                self.inner.sim_count()
+            }
+            fn reset_sim_count(&self) {
+                self.inner.reset_sim_count()
+            }
+            fn eval_margins_perturbed(
+                &self,
+                d: &DVec,
+                s_hat: &DVec,
+                theta: &OperatingPoint,
+                directions: &[(DVec, DVec)],
+            ) -> Result<Option<(DVec, Vec<DVec>)>, CktError> {
+                self.perturbed_calls.fetch_add(1, Ordering::SeqCst);
+                let base = self.inner.eval_margins(d, s_hat, theta)?;
+                let mut per = Vec::with_capacity(directions.len());
+                for (dp, sp) in directions {
+                    per.push(self.inner.eval_margins(dp, sp, theta)?);
+                }
+                Ok(Some((base, per)))
+            }
+        }
     }
 
     #[test]
@@ -287,5 +533,74 @@ mod tests {
         let theta = e.operating_range().nominal();
         assert!(margins_gradient_s(&e, &DVec::zeros(2), &DVec::zeros(2), &theta, 0.0).is_err());
         assert!(constraint_jacobian(&e, &DVec::zeros(2), -1.0).is_err());
+    }
+
+    #[test]
+    fn adjoint_backend_falls_back_on_plain_env() {
+        // AnalyticEnv keeps the default `eval_margins_perturbed` (None), so
+        // the adjoint backend must fall through to forward differences and
+        // reproduce the FD numbers bit for bit.
+        let e = env();
+        let theta = e.operating_range().nominal();
+        let d = DVec::from_slice(&[1.0, 2.0]);
+        let s = DVec::zeros(2);
+        let (m_fd, j_fd) =
+            margins_gradient_s_with(&e, GradBackend::Fd, &d, &s, &theta, 1e-5).unwrap();
+        for backend in [GradBackend::Adjoint, GradBackend::Auto] {
+            let (m, j) = margins_gradient_s_with(&e, backend, &d, &s, &theta, 1e-5).unwrap();
+            assert_eq!(m.as_slice(), m_fd.as_slice());
+            for i in 0..2 {
+                for k in 0..2 {
+                    assert_eq!(j[(i, k)].to_bits(), j_fd[(i, k)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjoint_backend_uses_perturbed_entry_point() {
+        let e = AdjointCapable::new(env());
+        let theta = e.operating_range().nominal();
+        let d = DVec::from_slice(&[1.0, 2.0]);
+        let s = DVec::zeros(2);
+
+        // Fd never touches the adjoint entry point.
+        let (_, j_fd) = margins_gradient_s_with(&e, GradBackend::Fd, &d, &s, &theta, 1e-5).unwrap();
+        assert_eq!(e.perturbed_calls.load(Ordering::SeqCst), 0);
+
+        // Adjoint goes through it, and the quotients agree with FD because
+        // the wrapper answers from the same margin evaluations.
+        let (_, j_adj) =
+            margins_gradient_s_with(&e, GradBackend::Adjoint, &d, &s, &theta, 1e-5).unwrap();
+        assert_eq!(e.perturbed_calls.load(Ordering::SeqCst), 1);
+        for i in 0..2 {
+            for k in 0..2 {
+                assert_eq!(j_adj[(i, k)].to_bits(), j_fd[(i, k)].to_bits());
+            }
+        }
+
+        // Same on the design side, including the inward step at a bound.
+        let corner = DVec::from_slice(&[5.0, 10.0]);
+        let (_, jd_fd) =
+            margins_gradient_d_with(&e, GradBackend::Fd, &corner, &s, &theta, 1e-6).unwrap();
+        let (_, jd_adj) =
+            margins_gradient_d_with(&e, GradBackend::Adjoint, &corner, &s, &theta, 1e-6).unwrap();
+        assert_eq!(e.perturbed_calls.load(Ordering::SeqCst), 2);
+        for i in 0..2 {
+            for k in 0..2 {
+                assert_eq!(jd_adj[(i, k)].to_bits(), jd_fd[(i, k)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn override_takes_precedence_and_restores() {
+        let default = grad_backend();
+        set_grad_override(Some(GradBackend::Fd));
+        assert_eq!(grad_backend(), GradBackend::Fd);
+        set_grad_override(Some(GradBackend::Adjoint));
+        assert_eq!(grad_backend(), GradBackend::Adjoint);
+        set_grad_override(None);
+        assert_eq!(grad_backend(), default);
     }
 }

@@ -30,6 +30,14 @@ fn exec_config() -> ExecConfig {
 
 #[test]
 fn miller_flow_under_ten_percent_faults_matches_fault_free_run() {
+    // The fault injector must observe every evaluation point, so it
+    // declines the adjoint and batched shortcuts and routes everything
+    // through the scalar per-point path (see `FaultInjector`'s
+    // `CircuitEnv` impl). Pin the fault-free reference to the same
+    // finite-difference path so the two runs compute identical floats —
+    // this test is about retry absorption, not gradient backends.
+    specwise_wcd::set_grad_override(Some(specwise_wcd::GradBackend::Fd));
+
     // Fault-free reference, through the same evaluation engine so the two
     // runs differ only in the injected faults.
     let clean_env = MillerOpamp::paper_setup();
