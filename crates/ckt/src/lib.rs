@@ -37,6 +37,7 @@
 mod analytic;
 mod design;
 mod env;
+pub mod env_knob;
 mod error;
 mod folded;
 mod measure;

@@ -1044,15 +1044,13 @@ const DEFAULT_BATCH_WIDTH: usize = 64;
 
 /// Reads the `SPECWISE_BATCH` knob: `0` or `1` disable the batched sample
 /// path (callers fall back to the per-sample loop), any larger value bounds
-/// the lockstep width, unset/garbage uses [`DEFAULT_BATCH_WIDTH`].
+/// the lockstep width, unset uses [`DEFAULT_BATCH_WIDTH`] and garbage
+/// warns-and-defaults through the shared knob parser.
 fn batch_width() -> Option<usize> {
-    match std::env::var("SPECWISE_BATCH") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(0) | Ok(1) => None,
-            Ok(n) => Some(n),
-            Err(_) => Some(DEFAULT_BATCH_WIDTH),
-        },
-        Err(_) => Some(DEFAULT_BATCH_WIDTH),
+    match crate::env_knob::parse_env_knob::<usize>("SPECWISE_BATCH") {
+        Some(0) | Some(1) => None,
+        Some(n) => Some(n),
+        None => Some(DEFAULT_BATCH_WIDTH),
     }
 }
 

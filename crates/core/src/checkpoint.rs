@@ -29,7 +29,7 @@ use specwise_stat::{RunningMoments, YieldEstimate};
 use specwise_trace::json::{parse, write_f64, write_json_string, Json};
 use specwise_wcd::{SpecLinearization, WcResult, WorstCasePoint};
 
-use crate::{IterationSnapshot, McVerification};
+use crate::{EstimatorKind, IterationSnapshot, McVerification, TailVerification};
 
 /// Name of the environment variable holding the checkpoint path: set
 /// `SPECWISE_CHECKPOINT=run.ckpt` and [`crate::YieldOptimizer::run`] will
@@ -382,6 +382,27 @@ fn write_snapshot(out: &mut String, s: &IterationSnapshot) {
         Some(v) => write_verification(out, v),
         None => out.push_str("null"),
     }
+    // Written only when present, so MC-only checkpoints keep the exact
+    // pre-estimator-layer byte shape (and old readers keep parsing them).
+    if let Some(t) = &s.verified_tail {
+        out.push_str(",\"verified_tail\":{\"estimator\":");
+        write_json_string(out, t.estimator.as_str());
+        out.push_str(",\"failure_probability\":");
+        write_f64(out, t.failure_probability);
+        out.push_str(",\"yield_value\":");
+        write_f64(out, t.yield_value);
+        out.push_str(",\"yield_low\":");
+        write_f64(out, t.yield_low);
+        out.push_str(",\"yield_high\":");
+        write_f64(out, t.yield_high);
+        out.push_str(",\"ess\":");
+        write_f64(out, t.effective_sample_size);
+        let _ = write!(
+            out,
+            ",\"sim_failures\":{},\"degraded\":{}}}",
+            t.sim_failures, t.degraded
+        );
+    }
     out.push_str(",\"wc_points\":[");
     for (i, wc) in s.wc_points.iter().enumerate() {
         if i > 0 {
@@ -574,6 +595,23 @@ fn read_snapshot(j: &Json) -> Result<IterationSnapshot, CheckpointError> {
         Some(Json::Null) | None => None,
         Some(v) => Some(read_verification(v)?),
     };
+    // Optional field: absent in checkpoints written before the estimator
+    // layer (and in every MC-only run).
+    let verified_tail = match j.get("verified_tail") {
+        Some(Json::Null) | None => None,
+        Some(t) => Some(TailVerification {
+            estimator: get_str(t, "estimator")?
+                .parse::<EstimatorKind>()
+                .map_err(|_| malformed("verified_tail.estimator"))?,
+            failure_probability: get_f64(t, "failure_probability")?,
+            yield_value: get_f64(t, "yield_value")?,
+            yield_low: get_f64(t, "yield_low")?,
+            yield_high: get_f64(t, "yield_high")?,
+            effective_sample_size: get_f64(t, "ess")?,
+            sim_failures: get_u64(t, "sim_failures")? as usize,
+            degraded: get_bool(t, "degraded")?,
+        }),
+    };
     Ok(IterationSnapshot {
         label: get_str(j, "label")?,
         design: get_dvec(j, "design")?,
@@ -581,6 +619,7 @@ fn read_snapshot(j: &Json) -> Result<IterationSnapshot, CheckpointError> {
         bad_per_mille: get_floats(j, "bad_per_mille")?,
         estimated_yield: YieldEstimate::from_counts(passed, total),
         verified,
+        verified_tail,
         wc_points: get_arr(j, "wc_points")?
             .iter()
             .map(read_wc_point)
@@ -630,6 +669,16 @@ mod tests {
             bad_per_mille: vec![96.66666666666667],
             estimated_yield: YieldEstimate::from_counts(9033, 10000),
             verified: Some(verified),
+            verified_tail: Some(TailVerification {
+                estimator: EstimatorKind::NormMin,
+                failure_probability: 7.933281519928365e-7,
+                yield_value: 0.9999992066718481,
+                yield_low: 0.9999992066718481,
+                yield_high: 1.0,
+                effective_sample_size: 123.456,
+                sim_failures: 1,
+                degraded: false,
+            }),
             wc_points: vec![wc.clone()],
             sim_count: 1234,
             collapsed: false,
@@ -700,6 +749,32 @@ mod tests {
             v.per_spec_margins[0].sample_variance().to_bits(),
             w.per_spec_margins[0].sample_variance().to_bits()
         );
+        let (p, q) = (
+            s.verified_tail.as_ref().unwrap(),
+            t.verified_tail.as_ref().unwrap(),
+        );
+        assert_eq!(p.estimator, q.estimator);
+        assert_eq!(
+            p.failure_probability.to_bits(),
+            q.failure_probability.to_bits()
+        );
+        assert_eq!(
+            p.effective_sample_size.to_bits(),
+            q.effective_sample_size.to_bits()
+        );
+        assert_eq!(p.degraded, q.degraded);
+    }
+
+    #[test]
+    fn snapshots_without_verified_tail_still_parse() {
+        // Checkpoints written before the estimator layer have no
+        // "verified_tail" field; they must load with `None`.
+        let mut ck = sample_checkpoint();
+        ck.snapshots[0].verified_tail = None;
+        let text = ck.to_json();
+        assert!(!text.contains("verified_tail"));
+        let back = Checkpoint::from_json_str(&text).unwrap();
+        assert!(back.snapshots[0].verified_tail.is_none());
     }
 
     #[test]

@@ -14,17 +14,15 @@
 //! batches, preserving the short-circuit (and simulation count) of the
 //! serial loop.
 
-use std::sync::Arc;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use specwise_ckt::{OperatingPoint, SimPhase};
-use specwise_exec::{EvalPoint, Evaluator};
+use specwise_ckt::{CktError, OperatingPoint};
+use specwise_exec::Evaluator;
 use specwise_linalg::DVec;
 use specwise_stat::StandardNormal;
-use specwise_trace::Tracer;
-use specwise_wcd::worst_case_corners;
+use specwise_trace::{Span, Tracer};
 
+use crate::estimator::{classify_sample, estimate_yield, SampleOutcome, YieldEstimator};
 use crate::SpecwiseError;
 
 /// Options of the importance-sampling verification.
@@ -113,179 +111,179 @@ pub fn importance_verify_with<E: Evaluator + ?Sized>(
     shift: &DVec,
     options: &IsOptions,
 ) -> Result<IsResult, SpecwiseError> {
-    importance_verify_traced(env, d, shift, options, &Tracer::disabled())
+    let estimator = MeanShiftIs {
+        shift: shift.clone(),
+        options: *options,
+    };
+    estimate_yield(&estimator, env, d, &Tracer::disabled())
 }
 
-/// [`importance_verify_with`] recording an `is_verify` span (sample and
-/// simulation-failure counts, the estimated failure probability, the IS
-/// estimator's variance/standard error over the weights, the effective
-/// sample size, and the simulation effort) into `tracer`'s journal.
-///
-/// # Errors
-///
-/// Propagates evaluation errors; rejects `n == 0` and dimension mismatches.
-pub fn importance_verify_traced<E: Evaluator + ?Sized>(
-    env: &E,
-    d: &DVec,
-    shift: &DVec,
-    options: &IsOptions,
-    tracer: &Tracer,
-) -> Result<IsResult, SpecwiseError> {
-    let mut span = tracer.span("is_verify");
-    let sims_before = if span.is_enabled() {
-        env.sim_count()
-    } else {
-        0
-    };
-    let result = importance_verify_inner(env, d, shift, options)?;
-    if span.is_enabled() {
-        span.set_attr("n", options.n);
-        span.set_attr("failure_probability", result.failure_probability);
-        span.set_attr("std_error", result.std_error);
-        span.set_attr("variance", result.std_error * result.std_error);
-        span.set_attr("effective_sample_size", result.effective_sample_size);
-        span.set_attr("sim_failures", result.sim_failures);
-        let (lo, hi) = result.yield_interval();
+/// Mean-shifted importance sampling as a [`YieldEstimator`]: the proposal
+/// `N(µ, I)` is centred at `shift` (typically the dominant worst-case
+/// point) and a sample that already failed an earlier corner group is
+/// excluded from later batches, preserving the short-circuit (and
+/// simulation count) of the serial loop. This is the estimator behind
+/// [`importance_verify`]/[`importance_verify_with`]; run it through
+/// [`estimate_yield`] to record an `is_verify` span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanShiftIs {
+    /// Proposal mean `µ` in the standardized space.
+    pub shift: DVec,
+    /// Sample count and RNG seed.
+    pub options: IsOptions,
+}
+
+/// Accumulator state of [`MeanShiftIs`].
+#[derive(Debug, Clone)]
+pub struct IsState {
+    weights: Vec<f64>,
+    failed: Vec<bool>,
+    violated: Vec<bool>,
+    degraded: Vec<bool>,
+    sim_failures: usize,
+}
+
+impl YieldEstimator for MeanShiftIs {
+    type State = IsState;
+    type Output = IsResult;
+
+    fn name(&self) -> &'static str {
+        "is"
+    }
+
+    fn span_name(&self) -> &'static str {
+        "is_verify"
+    }
+
+    fn validate<E: Evaluator + ?Sized>(&self, env: &E) -> Result<(), SpecwiseError> {
+        if self.options.n == 0 {
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "need at least one sample",
+            });
+        }
+        if self.shift.len() != env.stat_dim() {
+            return Err(SpecwiseError::DimensionMismatch {
+                what: "stat",
+                expected: env.stat_dim(),
+                found: self.shift.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn propose<E: Evaluator + ?Sized>(
+        &self,
+        env: &E,
+        _d: &DVec,
+        _theta_wc: &[OperatingPoint],
+    ) -> Result<(Vec<DVec>, IsState), SpecwiseError> {
+        let n = self.options.n;
+        // Draw every proposal sample first — the same RNG call order as a
+        // serial draw-then-evaluate loop.
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let normal = StandardNormal::new();
+        let half_mu2 = 0.5 * self.shift.dot(&self.shift);
+        let mut samples = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut z = DVec::zeros(env.stat_dim());
+        for _ in 0..n {
+            normal.fill(&mut rng, z.as_mut_slice());
+            let s = &z + &self.shift;
+            weights.push((half_mu2 - self.shift.dot(&s)).exp());
+            samples.push(s);
+        }
+        Ok((
+            samples,
+            IsState {
+                weights,
+                failed: vec![false; n],
+                violated: vec![false; n],
+                degraded: vec![false; n],
+                sim_failures: 0,
+            },
+        ))
+    }
+
+    // Samples that already failed an earlier group are settled — the
+    // serial loop would have `break`ed before simulating them here.
+    fn live(&self, state: &IsState, sample: usize) -> bool {
+        !state.failed[sample]
+    }
+
+    fn accumulate(
+        &self,
+        state: &mut IsState,
+        group_specs: &[usize],
+        sample: usize,
+        result: Result<DVec, CktError>,
+    ) -> Result<(), SpecwiseError> {
+        match classify_sample(result, group_specs)? {
+            SampleOutcome::Valid(margins) => {
+                if group_specs.iter().any(|&i| margins[i] < 0.0) {
+                    state.failed[sample] = true;
+                    state.violated[sample] = true;
+                }
+            }
+            SampleOutcome::Degraded(_) => {
+                state.sim_failures += 1;
+                state.degraded[sample] = true;
+                state.failed[sample] = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize<E: Evaluator + ?Sized>(
+        &self,
+        _env: &E,
+        state: IsState,
+        _theta_wc: Vec<OperatingPoint>,
+    ) -> IsResult {
+        let n = self.options.n;
+        let mut fail_w = 0.0;
+        let mut fail_w2 = 0.0;
+        let mut degraded_w = 0.0;
+        for j in 0..n {
+            if state.failed[j] {
+                fail_w += state.weights[j];
+                fail_w2 += state.weights[j] * state.weights[j];
+            }
+            if state.degraded[j] && !state.violated[j] {
+                degraded_w += state.weights[j];
+            }
+        }
+
+        let nf = n as f64;
+        let p_fail = (fail_w / nf).clamp(0.0, 1.0);
+        // Var of the IS estimator: (E[1·w²] − p²)/n.
+        let var = ((fail_w2 / nf) - p_fail * p_fail).max(0.0) / nf;
+        let ess = if fail_w2 > 0.0 {
+            fail_w * fail_w / fail_w2
+        } else {
+            0.0
+        };
+        IsResult {
+            failure_probability: p_fail,
+            yield_value: 1.0 - p_fail,
+            std_error: var.sqrt(),
+            effective_sample_size: ess,
+            n,
+            sim_failures: state.sim_failures,
+            degraded_weight: (degraded_w / nf).clamp(0.0, 1.0),
+        }
+    }
+
+    fn annotate(&self, span: &mut Span, output: &IsResult) {
+        span.set_attr("n", self.options.n);
+        span.set_attr("failure_probability", output.failure_probability);
+        span.set_attr("std_error", output.std_error);
+        span.set_attr("variance", output.std_error * output.std_error);
+        span.set_attr("effective_sample_size", output.effective_sample_size);
+        span.set_attr("sim_failures", output.sim_failures);
+        let (lo, hi) = output.yield_interval();
         span.set_attr("yield_low", lo);
         span.set_attr("yield_high", hi);
-        span.add_count("sims", env.sim_count() - sims_before);
     }
-    Ok(result)
-}
-
-fn importance_verify_inner<E: Evaluator + ?Sized>(
-    env: &E,
-    d: &DVec,
-    shift: &DVec,
-    options: &IsOptions,
-) -> Result<IsResult, SpecwiseError> {
-    let n = options.n;
-    if n == 0 {
-        return Err(SpecwiseError::InvalidConfig {
-            reason: "need at least one sample",
-        });
-    }
-    if shift.len() != env.stat_dim() {
-        return Err(SpecwiseError::DimensionMismatch {
-            what: "stat",
-            expected: env.stat_dim(),
-            found: shift.len(),
-        });
-    }
-    env.set_sim_phase(SimPhase::Verification);
-
-    // Per-spec worst-case corners (shared simulations per group, as in
-    // `mc_verify`).
-    let corners = worst_case_corners(env, d, &DVec::zeros(env.stat_dim()))?;
-    let mut groups: Vec<(OperatingPoint, Vec<usize>)> = Vec::new();
-    for (i, (t, _)) in corners.iter().enumerate() {
-        match groups.iter_mut().find(|(g, _)| g == t) {
-            Some((_, specs)) => specs.push(i),
-            None => groups.push((*t, vec![i])),
-        }
-    }
-
-    // Draw every proposal sample first — the same RNG call order as a
-    // serial draw-then-evaluate loop.
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let normal = StandardNormal::new();
-    let half_mu2 = 0.5 * shift.dot(shift);
-    let mut samples = Vec::with_capacity(n);
-    let mut weights = Vec::with_capacity(n);
-    let mut z = DVec::zeros(env.stat_dim());
-    for _ in 0..n {
-        normal.fill(&mut rng, z.as_mut_slice());
-        let s = &z + shift;
-        weights.push((half_mu2 - shift.dot(&s)).exp());
-        samples.push(s);
-    }
-
-    // The design vector is shared by reference across every point of every
-    // corner group.
-    let d_arc: Arc<DVec> = Arc::new(d.clone());
-    let mut failed = vec![false; n];
-    let mut violated = vec![false; n];
-    let mut degraded = vec![false; n];
-    let mut sim_failures = 0usize;
-    for (theta, specs) in &groups {
-        // Samples that already failed an earlier group are settled — the
-        // serial loop would have `break`ed before simulating them here.
-        let live: Vec<usize> = (0..n).filter(|&j| !failed[j]).collect();
-        if live.is_empty() {
-            break;
-        }
-        // Prefer the environment's lockstep sample evaluator (one batched
-        // Newton sweep per corner group, bit-identical to the point loop);
-        // environments without one take the generic batch path.
-        let sample_points: Vec<(DVec, OperatingPoint)> =
-            live.iter().map(|&j| (samples[j].clone(), *theta)).collect();
-        let results = match env.eval_margins_samples(d, &sample_points) {
-            Some(results) => results,
-            None => {
-                let points: Vec<EvalPoint> = live
-                    .iter()
-                    .map(|&j| EvalPoint::new(Arc::clone(&d_arc), samples[j].clone(), *theta))
-                    .collect();
-                env.eval_margins_batch(&points)
-            }
-        };
-        for (&j, result) in live.iter().zip(results) {
-            match result {
-                // Non-finite margins are as unusable as a failed solve —
-                // `NaN < 0.0` is false, so without the guard a NaN sample
-                // would silently count as passing.
-                Ok(margins) if specs.iter().any(|&i| !margins[i].is_finite()) => {
-                    sim_failures += 1;
-                    degraded[j] = true;
-                    failed[j] = true;
-                }
-                Ok(margins) => {
-                    if specs.iter().any(|&i| margins[i] < 0.0) {
-                        failed[j] = true;
-                        violated[j] = true;
-                    }
-                }
-                Err(e) if e.is_simulation_failure() => {
-                    sim_failures += 1;
-                    degraded[j] = true;
-                    failed[j] = true;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-    }
-
-    let mut fail_w = 0.0;
-    let mut fail_w2 = 0.0;
-    let mut degraded_w = 0.0;
-    for j in 0..n {
-        if failed[j] {
-            fail_w += weights[j];
-            fail_w2 += weights[j] * weights[j];
-        }
-        if degraded[j] && !violated[j] {
-            degraded_w += weights[j];
-        }
-    }
-
-    let nf = n as f64;
-    let p_fail = (fail_w / nf).clamp(0.0, 1.0);
-    // Var of the IS estimator: (E[1·w²] − p²)/n.
-    let var = ((fail_w2 / nf) - p_fail * p_fail).max(0.0) / nf;
-    let ess = if fail_w2 > 0.0 {
-        fail_w * fail_w / fail_w2
-    } else {
-        0.0
-    };
-    Ok(IsResult {
-        failure_probability: p_fail,
-        yield_value: 1.0 - p_fail,
-        std_error: var.sqrt(),
-        effective_sample_size: ess,
-        n,
-        sim_failures,
-        degraded_weight: (degraded_w / nf).clamp(0.0, 1.0),
-    })
 }
 
 #[cfg(test)]

@@ -48,11 +48,13 @@
 mod checkpoint;
 mod coordinate_search;
 mod error;
+mod estimator;
 mod feasibility;
 mod importance;
 mod line_search;
 mod mc_verify;
 mod mismatch;
+mod norm_min;
 mod optimizer;
 mod quad_yield;
 mod report;
@@ -62,13 +64,17 @@ mod yield_model;
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_ENV_VAR, CHECKPOINT_VERSION};
 pub use coordinate_search::{CoordinateSearch, CoordinateSearchOptions};
 pub use error::SpecwiseError;
+pub use estimator::{
+    classify_sample, estimate_yield, EstimatorKind, SampleOutcome, TailVerification, YieldEstimator,
+};
 pub use feasibility::{find_feasible_start, FeasibleStartOptions, LinearConstraints};
 pub use importance::{
-    importance_verify, importance_verify_traced, importance_verify_with, IsOptions, IsResult,
+    importance_verify, importance_verify_with, IsOptions, IsResult, IsState, MeanShiftIs,
 };
 pub use line_search::line_search_feasible;
-pub use mc_verify::{mc_verify, mc_verify_traced, mc_verify_with, McOptions, McVerification};
+pub use mc_verify::{mc_verify, mc_verify_with, McOptions, McState, McVerification, MonteCarlo};
 pub use mismatch::{eta, phi, MismatchAnalysis, MismatchEntry, PhiOptions};
+pub use norm_min::{NormMinIs, NormMinOptions, NormMinResult};
 pub use optimizer::{
     IterationSnapshot, Objective, OptimizationTrace, OptimizerConfig, YieldOptimizer,
 };

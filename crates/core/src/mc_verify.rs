@@ -9,17 +9,15 @@
 //! against an [`EvalService`](specwise_exec::EvalService) spreads the
 //! simulations over its worker pool without changing any result bit.
 
-use std::sync::Arc;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use specwise_ckt::{OperatingPoint, SimPhase};
-use specwise_exec::{EvalPoint, Evaluator};
+use specwise_ckt::{CktError, OperatingPoint};
+use specwise_exec::Evaluator;
 use specwise_linalg::DVec;
 use specwise_stat::{RunningMoments, StandardNormal, YieldEstimate};
-use specwise_trace::Tracer;
-use specwise_wcd::worst_case_corners;
+use specwise_trace::{Span, Tracer};
 
+use crate::estimator::{classify_sample, estimate_yield, SampleOutcome, YieldEstimator};
 use crate::SpecwiseError;
 
 /// Options of the simulation-based Monte-Carlo verification.
@@ -114,178 +112,174 @@ pub fn mc_verify_with<E: Evaluator + ?Sized>(
     d: &DVec,
     options: &McOptions,
 ) -> Result<McVerification, SpecwiseError> {
-    mc_verify_traced(env, d, options, &Tracer::disabled())
+    estimate_yield(
+        &MonteCarlo { options: *options },
+        env,
+        d,
+        &Tracer::disabled(),
+    )
 }
 
-/// [`mc_verify_with`] recording an `mc_verify` span (sample, pass and
-/// simulation-failure counts, the per-spec bad counts, and the simulation
-/// effort) into `tracer`'s journal.
-///
-/// # Errors
-///
-/// Propagates evaluation errors; rejects `n_samples == 0`.
-pub fn mc_verify_traced<E: Evaluator + ?Sized>(
-    env: &E,
-    d: &DVec,
-    options: &McOptions,
-    tracer: &Tracer,
-) -> Result<McVerification, SpecwiseError> {
-    let mut span = tracer.span("mc_verify");
-    let sims_before = if span.is_enabled() {
-        env.sim_count()
-    } else {
-        0
-    };
-    let result = mc_verify_inner(env, d, options)?;
-    if span.is_enabled() {
-        span.set_attr("n_samples", options.n_samples);
-        span.set_attr("passed", result.yield_estimate.passed());
-        span.set_attr("yield", result.yield_estimate.value());
-        span.set_attr("sim_failures", result.sim_failures);
-        span.set_attr("degraded_samples", result.degraded_samples);
-        let (lo, hi) = result.yield_interval();
+/// Plain simulation Monte Carlo as a [`YieldEstimator`]: every sample is
+/// evaluated in every corner group (the per-spec margin moments need all
+/// margins), degraded samples are counted-and-excluded. This is the
+/// estimator behind [`mc_verify`]/[`mc_verify_with`]; run it through
+/// [`estimate_yield`] to record an `mc_verify` span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Sample count and RNG seed.
+    pub options: McOptions,
+}
+
+/// Accumulator state of [`MonteCarlo`].
+#[derive(Debug, Clone)]
+pub struct McState {
+    per_spec_bad: Vec<usize>,
+    per_spec_margins: Vec<RunningMoments>,
+    ok: Vec<bool>,
+    // A sample observed violating a spec is a true failure; a sample that
+    // only ever failed to evaluate might still pass — the split feeds the
+    // reported yield interval.
+    violated: Vec<bool>,
+    degraded: Vec<bool>,
+    sim_failures: usize,
+}
+
+impl YieldEstimator for MonteCarlo {
+    type State = McState;
+    type Output = McVerification;
+
+    fn name(&self) -> &'static str {
+        "mc"
+    }
+
+    fn span_name(&self) -> &'static str {
+        "mc_verify"
+    }
+
+    fn validate<E: Evaluator + ?Sized>(&self, _env: &E) -> Result<(), SpecwiseError> {
+        if self.options.n_samples == 0 {
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "need at least one sample",
+            });
+        }
+        Ok(())
+    }
+
+    fn propose<E: Evaluator + ?Sized>(
+        &self,
+        env: &E,
+        _d: &DVec,
+        _theta_wc: &[OperatingPoint],
+    ) -> Result<(Vec<DVec>, McState), SpecwiseError> {
+        let n_samples = self.options.n_samples;
+        // Draw every sample first — one `fill` per sample, exactly the RNG
+        // call order of a serial evaluate-as-you-draw loop.
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let normal = StandardNormal::new();
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let mut s = DVec::zeros(env.stat_dim());
+            normal.fill(&mut rng, s.as_mut_slice());
+            samples.push(s);
+        }
+        let n_spec = env.specs().len();
+        Ok((
+            samples,
+            McState {
+                per_spec_bad: vec![0; n_spec],
+                per_spec_margins: vec![RunningMoments::new(); n_spec],
+                ok: vec![true; n_samples],
+                violated: vec![false; n_samples],
+                degraded: vec![false; n_samples],
+                sim_failures: 0,
+            },
+        ))
+    }
+
+    fn accumulate(
+        &self,
+        state: &mut McState,
+        group_specs: &[usize],
+        sample: usize,
+        result: Result<DVec, CktError>,
+    ) -> Result<(), SpecwiseError> {
+        match classify_sample(result, group_specs)? {
+            SampleOutcome::Valid(margins) => {
+                for &i in group_specs {
+                    state.per_spec_margins[i].push(margins[i]);
+                    if margins[i] < 0.0 {
+                        state.per_spec_bad[i] += 1;
+                        state.ok[sample] = false;
+                        state.violated[sample] = true;
+                    }
+                }
+            }
+            // A degraded sample is a nonfunctional circuit: count it as
+            // failing every spec of this group instead of aborting the
+            // verification, keeping any finite margins for the moments.
+            SampleOutcome::Degraded(margins) => {
+                state.sim_failures += 1;
+                state.degraded[sample] = true;
+                for &i in group_specs {
+                    state.per_spec_bad[i] += 1;
+                    if let Some(m) = &margins {
+                        if m[i].is_finite() {
+                            state.per_spec_margins[i].push(m[i]);
+                        }
+                    }
+                }
+                state.ok[sample] = false;
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize<E: Evaluator + ?Sized>(
+        &self,
+        _env: &E,
+        state: McState,
+        theta_wc: Vec<OperatingPoint>,
+    ) -> McVerification {
+        let n_samples = self.options.n_samples;
+        let passed = state.ok.iter().filter(|&&x| x).count();
+        let degraded_samples = (0..n_samples)
+            .filter(|&j| state.degraded[j] && !state.violated[j])
+            .count();
+        McVerification {
+            yield_estimate: YieldEstimate::from_counts(passed, n_samples),
+            per_spec_bad: state.per_spec_bad,
+            per_spec_margins: state.per_spec_margins,
+            theta_wc,
+            sim_failures: state.sim_failures,
+            degraded_samples,
+        }
+    }
+
+    fn annotate(&self, span: &mut Span, output: &McVerification) {
+        span.set_attr("n_samples", self.options.n_samples);
+        span.set_attr("passed", output.yield_estimate.passed());
+        span.set_attr("yield", output.yield_estimate.value());
+        span.set_attr("sim_failures", output.sim_failures);
+        span.set_attr("degraded_samples", output.degraded_samples);
+        let (lo, hi) = output.yield_interval();
         span.set_attr("yield_low", lo);
         span.set_attr("yield_high", hi);
         span.set_attr(
             "per_spec_bad",
-            result
+            output
                 .per_spec_bad
                 .iter()
                 .map(|&b| b as f64)
                 .collect::<Vec<f64>>(),
         );
-        span.add_count("sims", env.sim_count() - sims_before);
     }
-    Ok(result)
-}
-
-fn mc_verify_inner<E: Evaluator + ?Sized>(
-    env: &E,
-    d: &DVec,
-    options: &McOptions,
-) -> Result<McVerification, SpecwiseError> {
-    let n_samples = options.n_samples;
-    if n_samples == 0 {
-        return Err(SpecwiseError::InvalidConfig {
-            reason: "need at least one sample",
-        });
-    }
-    env.set_sim_phase(SimPhase::Verification);
-    let n_spec = env.specs().len();
-
-    // Per-spec worst-case corners at the nominal statistical point.
-    let corners = worst_case_corners(env, d, &DVec::zeros(env.stat_dim()))?;
-    let theta_wc: Vec<OperatingPoint> = corners.iter().map(|(t, _)| *t).collect();
-
-    // Group specs by identical worst-case corner to share simulations.
-    let mut groups: Vec<(OperatingPoint, Vec<usize>)> = Vec::new();
-    for (i, t) in theta_wc.iter().enumerate() {
-        match groups.iter_mut().find(|(g, _)| g == t) {
-            Some((_, specs)) => specs.push(i),
-            None => groups.push((*t, vec![i])),
-        }
-    }
-
-    // Draw every sample first — one `fill` per sample, exactly the RNG
-    // call order of a serial evaluate-as-you-draw loop.
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let normal = StandardNormal::new();
-    let mut samples = Vec::with_capacity(n_samples);
-    for _ in 0..n_samples {
-        let mut s = DVec::zeros(env.stat_dim());
-        normal.fill(&mut rng, s.as_mut_slice());
-        samples.push(s);
-    }
-
-    let mut per_spec_bad = vec![0usize; n_spec];
-    let mut per_spec_margins = vec![RunningMoments::new(); n_spec];
-    let mut ok = vec![true; n_samples];
-    // A sample observed violating a spec is a true failure; a sample that
-    // only ever failed to evaluate might still pass — the split feeds the
-    // reported yield interval.
-    let mut violated = vec![false; n_samples];
-    let mut degraded = vec![false; n_samples];
-    let mut sim_failures = 0usize;
-
-    // The design vector is shared by reference across every point of every
-    // corner group.
-    let d_arc: Arc<DVec> = Arc::new(d.clone());
-    for (theta, specs) in &groups {
-        // Prefer the environment's lockstep sample evaluator (one batched
-        // Newton sweep per corner group, bit-identical to the point loop);
-        // environments without one take the generic batch path.
-        let sample_points: Vec<(DVec, OperatingPoint)> =
-            samples.iter().map(|s| (s.clone(), *theta)).collect();
-        let results = match env.eval_margins_samples(d, &sample_points) {
-            Some(results) => results,
-            None => {
-                let points: Vec<EvalPoint> = samples
-                    .iter()
-                    .map(|s| EvalPoint::new(Arc::clone(&d_arc), s.clone(), *theta))
-                    .collect();
-                env.eval_margins_batch(&points)
-            }
-        };
-        for (j, result) in results.into_iter().enumerate() {
-            match result {
-                // A non-finite margin is as unusable as a failed solve —
-                // without the guard a NaN would silently count as passing
-                // (`NaN < 0.0` is false).
-                Ok(margins) if specs.iter().any(|&i| !margins[i].is_finite()) => {
-                    sim_failures += 1;
-                    degraded[j] = true;
-                    for &i in specs {
-                        per_spec_bad[i] += 1;
-                        if margins[i].is_finite() {
-                            per_spec_margins[i].push(margins[i]);
-                        }
-                    }
-                    ok[j] = false;
-                }
-                Ok(margins) => {
-                    for &i in specs {
-                        per_spec_margins[i].push(margins[i]);
-                        if margins[i] < 0.0 {
-                            per_spec_bad[i] += 1;
-                            ok[j] = false;
-                            violated[j] = true;
-                        }
-                    }
-                }
-                // A sample whose circuit fails to simulate is a
-                // nonfunctional circuit: count it as failing every spec of
-                // this group instead of aborting the verification.
-                Err(e) if e.is_simulation_failure() => {
-                    sim_failures += 1;
-                    degraded[j] = true;
-                    for &i in specs {
-                        per_spec_bad[i] += 1;
-                    }
-                    ok[j] = false;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-    }
-
-    let passed = ok.iter().filter(|&&x| x).count();
-    let degraded_samples = (0..n_samples)
-        .filter(|&j| degraded[j] && !violated[j])
-        .count();
-    Ok(McVerification {
-        yield_estimate: YieldEstimate::from_counts(passed, n_samples),
-        per_spec_bad,
-        per_spec_margins,
-        theta_wc,
-        sim_failures,
-        degraded_samples,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, SimPhase, Spec, SpecKind};
     use specwise_exec::{EvalService, ExecConfig, RetryPolicy};
 
     fn env() -> AnalyticEnv {

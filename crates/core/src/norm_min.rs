@@ -1,0 +1,582 @@
+//! Minimum-norm failure-point importance sampling for the high-sigma
+//! regime.
+//!
+//! Mean-shift IS ([`MeanShiftIs`](crate::MeanShiftIs)) needs a caller-
+//! supplied proposal mean, and the natural choice — the worst-case point of
+//! the *linearized* model — degrades at 4–6σ: the linearization point is
+//! far from the true most-likely failure point, the shifted proposal
+//! barely overlaps the failure region, and a handful of enormous weights
+//! dominate the estimate. `NormMinIs` instead *searches* for the
+//! minimum-norm failure point (the most likely failure in the standardized
+//! space, where probability density is a decreasing function of `‖ŝ‖`
+//! alone): Gauss–Newton steps on the critical spec's margin along its
+//! gradient — computed through the adjoint path on cached LU factors when
+//! the environment provides it — followed by a projected coordinate-
+//! descent polish that shrinks coordinates toward the origin while the
+//! point stays failing. The proposal is then `N(µ, I)` centred slightly
+//! beyond that point, weighted with exact density ratios
+//! (`p = Σ_fail w / n`; the self-normalized ratio `Σ_fail w / Σ w` was
+//! measured and rejected — its denominator has `exp(‖µ‖²)` relative
+//! variance, which is catastrophic in exactly the high-sigma regime this
+//! estimator targets), and an effective-sample-size guard widens the yield
+//! interval to `[0, 1]` instead of reporting a confident wrong number when
+//! the proposal turns out degenerate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specwise_ckt::{CktError, OperatingPoint};
+use specwise_exec::Evaluator;
+use specwise_linalg::DVec;
+use specwise_stat::StandardNormal;
+use specwise_trace::Span;
+use specwise_wcd::margins_gradient_s;
+
+use crate::estimator::{classify_sample, SampleOutcome, YieldEstimator};
+use crate::SpecwiseError;
+
+/// Options of the minimum-norm failure-point IS verification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormMinOptions {
+    /// Number of proposal samples.
+    pub n: usize,
+    /// RNG seed of the proposal draw — explicit so that every run is
+    /// reproducible by construction.
+    pub seed: u64,
+    /// Minimum effective sample size over the failing weights below which
+    /// the result is marked degraded and the yield interval widens to
+    /// `[0, 1]`.
+    pub min_ess: f64,
+    /// Maximum Gauss–Newton re-linearizations of the failure-point search.
+    pub max_steps: usize,
+    /// Coordinate-descent polish sweeps over the statistical dimensions.
+    pub polish_sweeps: usize,
+    /// Factor pushing the proposal mean past the failure boundary so the
+    /// center itself fails (must be ≥ 1).
+    pub overshoot: f64,
+    /// Forward-difference step of the margin gradients when the adjoint
+    /// shortcut is unavailable.
+    pub grad_step: f64,
+}
+
+impl Default for NormMinOptions {
+    fn default() -> Self {
+        NormMinOptions {
+            n: 4_000,
+            seed: 2001,
+            min_ess: 20.0,
+            max_steps: 30,
+            polish_sweeps: 2,
+            overshoot: 1.05,
+            grad_step: 1e-4,
+        }
+    }
+}
+
+/// Result of a minimum-norm failure-point IS verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormMinResult {
+    /// The proposal mean: the (overshot) minimum-norm failure point.
+    pub shift: DVec,
+    /// Norm of the located failure-boundary point — the worst-case
+    /// distance of the critical spec in sigma.
+    pub beta: f64,
+    /// Index of the spec whose boundary the search converged to.
+    pub critical_spec: usize,
+    /// Importance-sampled estimate of `P(any spec fails)`.
+    pub failure_probability: f64,
+    /// Estimated yield `1 − P(fail)` (degraded samples counted as failing).
+    pub yield_value: f64,
+    /// Standard error of the failure-probability estimate.
+    pub std_error: f64,
+    /// Effective sample size `(Σw)²/Σw²` over the failing samples' weights.
+    pub effective_sample_size: f64,
+    /// Number of proposal samples drawn.
+    pub n: usize,
+    /// Sample evaluations that failed to simulate or produced non-finite
+    /// margins; such samples count as failures.
+    pub sim_failures: usize,
+    /// Importance weight (normalized by `n`) carried by degraded samples
+    /// with no observed spec violation.
+    pub degraded_weight: f64,
+    /// `true` when the ESS guard tripped (degenerate proposal, weight
+    /// under/overflow, or no failure point found): the point estimate is
+    /// untrustworthy and [`NormMinResult::yield_interval`] is `[0, 1]`.
+    pub ess_degraded: bool,
+    /// Simulations spent by the failure-point search (included in the
+    /// span's total `sims` counter).
+    pub search_sims: u64,
+}
+
+impl NormMinResult {
+    /// The yield interval `[low, high]`: the degraded-sample interval of
+    /// the other estimators when the ESS guard holds, the whole `[0, 1]`
+    /// (explicit ignorance) when it tripped.
+    pub fn yield_interval(&self) -> (f64, f64) {
+        if self.ess_degraded {
+            return (0.0, 1.0);
+        }
+        let low = self.yield_value;
+        let high = (low + self.degraded_weight).min(1.0);
+        (low, high)
+    }
+}
+
+/// Minimum-norm failure-point importance sampling as a
+/// [`YieldEstimator`] (see the module docs). Selectable through
+/// `SPECWISE_ESTIMATOR=norm-min`; run it through
+/// [`estimate_yield`](crate::estimate_yield) to record a `norm_min_verify`
+/// span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormMinIs {
+    /// Search and sampling options.
+    pub options: NormMinOptions,
+}
+
+/// Accumulator state of [`NormMinIs`].
+#[derive(Debug, Clone)]
+pub struct NormMinState {
+    shift: DVec,
+    beta: f64,
+    critical_spec: usize,
+    search_sims: u64,
+    weights: Vec<f64>,
+    failed: Vec<bool>,
+    violated: Vec<bool>,
+    degraded: Vec<bool>,
+    sim_failures: usize,
+}
+
+/// Outcome of the failure-point search: the proposal center, the boundary
+/// distance, and the spec whose boundary was located. When no failing
+/// point was confirmed the shift may still be usable — sampling runs
+/// anyway, and the ESS guard settles whether the result is trustworthy.
+struct SearchOutcome {
+    shift: DVec,
+    beta: f64,
+    critical_spec: usize,
+}
+
+impl NormMinIs {
+    /// Gauss–Newton + coordinate-descent search for the minimum-norm
+    /// failure point (module docs). Only simulation-failure evaluation
+    /// errors are tolerated mid-search (the search stops where it stands);
+    /// structural errors propagate.
+    fn search_failure_point<E: Evaluator + ?Sized>(
+        &self,
+        env: &E,
+        d: &DVec,
+        theta_wc: &[OperatingPoint],
+    ) -> Result<SearchOutcome, SpecwiseError> {
+        let dim = env.stat_dim();
+        let h = self.options.grad_step;
+        let origin = DVec::zeros(dim);
+
+        // One linearization per distinct worst-case corner: β_i = m_i/‖g_i‖
+        // is the linearized sigma-distance of spec i; the smallest picks
+        // the critical spec.
+        let mut critical: Option<(usize, f64, DVec)> = None;
+        let mut done: Vec<&OperatingPoint> = Vec::new();
+        for (i0, theta) in theta_wc.iter().enumerate() {
+            if done.contains(&theta) {
+                continue;
+            }
+            done.push(theta);
+            let (margins, jac) = margins_gradient_s(env, d, &origin, theta, h)?;
+            for (i, t) in theta_wc.iter().enumerate().skip(i0) {
+                if t != theta {
+                    continue;
+                }
+                let g = jac.row(i);
+                let gn = g.norm2();
+                let m = margins[i];
+                if !(gn > 0.0) || !m.is_finite() {
+                    continue;
+                }
+                let beta = m / gn;
+                if critical.as_ref().is_none_or(|(_, b, _)| beta < *b) {
+                    critical = Some((i, beta, g.scaled(-1.0 / gn)));
+                }
+            }
+        }
+        let Some((spec, beta0, dir)) = critical else {
+            // Nothing linearizable: sample from the prior and let the ESS
+            // guard report the failure honestly.
+            return Ok(SearchOutcome {
+                shift: origin,
+                beta: 0.0,
+                critical_spec: 0,
+            });
+        };
+        let theta = theta_wc[spec];
+
+        // Gauss–Newton on the critical margin: step to the re-linearized
+        // boundary until the margin changes sign (or stalls).
+        let mut s = dir.scaled(beta0.max(0.0));
+        let mut boundary = s.clone();
+        let mut on_boundary = false;
+        for _ in 0..self.options.max_steps {
+            let (margins, jac) = match margins_gradient_s(env, d, &s, &theta, h) {
+                Ok(r) => r,
+                Err(e) if e.is_simulation_failure() => break,
+                Err(e) => return Err(e.into()),
+            };
+            let m = margins[spec];
+            if !m.is_finite() {
+                break;
+            }
+            let g = jac.row(spec);
+            let g2 = g.dot(&g);
+            if !(g2 > 0.0) || !g2.is_finite() {
+                break;
+            }
+            boundary = s.clone();
+            on_boundary = true;
+            // Converged when the remaining margin moves the point by a
+            // negligible fraction of its norm.
+            let step = m / g2;
+            if (step * step * g2).sqrt() <= 1e-10 * (1.0 + s.norm2()) {
+                break;
+            }
+            s = s.axpy(-step, &g);
+        }
+        if on_boundary {
+            boundary = s;
+        }
+
+        // Push past the boundary so the proposal center itself fails, then
+        // coordinate-descent polish: shrink coordinates toward the origin
+        // (strictly reducing ‖µ‖) while the point keeps failing.
+        let mut center = boundary.scaled(self.options.overshoot);
+        let fails = |p: &DVec| match env.eval_margins(d, p, &theta) {
+            Ok(m) => m[spec].is_finite() && m[spec] < 0.0,
+            Err(_) => false,
+        };
+        let mut found = fails(&center);
+        for _ in 0..4 {
+            if found {
+                break;
+            }
+            center = center.scaled(1.1);
+            found = fails(&center);
+        }
+        if found {
+            for _ in 0..self.options.polish_sweeps {
+                let mut improved = false;
+                for k in 0..dim {
+                    if center[k] == 0.0 {
+                        continue;
+                    }
+                    let candidate =
+                        DVec::from_fn(dim, |j| if j == k { 0.7 * center[j] } else { center[j] });
+                    if fails(&candidate) {
+                        center = candidate;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        Ok(SearchOutcome {
+            beta: center.norm2() / self.options.overshoot.max(1.0),
+            shift: center,
+            critical_spec: spec,
+        })
+    }
+}
+
+impl YieldEstimator for NormMinIs {
+    type State = NormMinState;
+    type Output = NormMinResult;
+
+    fn name(&self) -> &'static str {
+        "norm-min"
+    }
+
+    fn span_name(&self) -> &'static str {
+        "norm_min_verify"
+    }
+
+    fn validate<E: Evaluator + ?Sized>(&self, _env: &E) -> Result<(), SpecwiseError> {
+        if self.options.n == 0 {
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "need at least one sample",
+            });
+        }
+        if !(self.options.overshoot >= 1.0) {
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "overshoot must be ≥ 1",
+            });
+        }
+        if !(self.options.grad_step > 0.0) {
+            return Err(SpecwiseError::InvalidConfig {
+                reason: "gradient step must be > 0",
+            });
+        }
+        Ok(())
+    }
+
+    fn propose<E: Evaluator + ?Sized>(
+        &self,
+        env: &E,
+        d: &DVec,
+        theta_wc: &[OperatingPoint],
+    ) -> Result<(Vec<DVec>, NormMinState), SpecwiseError> {
+        let sims_before = env.sim_count();
+        let search = self.search_failure_point(env, d, theta_wc)?;
+        let search_sims = env.sim_count() - sims_before;
+
+        // The proposal draw mirrors `MeanShiftIs` exactly: the same RNG
+        // call order as a serial draw-then-evaluate loop, one raw-density
+        // ratio per sample. Self-normalization happens in `finalize`.
+        let n = self.options.n;
+        let shift = &search.shift;
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let normal = StandardNormal::new();
+        let half_mu2 = 0.5 * shift.dot(shift);
+        let mut samples = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut z = DVec::zeros(env.stat_dim());
+        for _ in 0..n {
+            normal.fill(&mut rng, z.as_mut_slice());
+            let s = &z + shift;
+            weights.push((half_mu2 - shift.dot(&s)).exp());
+            samples.push(s);
+        }
+        Ok((
+            samples,
+            NormMinState {
+                shift: search.shift.clone(),
+                beta: search.beta,
+                critical_spec: search.critical_spec,
+                search_sims,
+                weights,
+                failed: vec![false; n],
+                violated: vec![false; n],
+                degraded: vec![false; n],
+                sim_failures: 0,
+            },
+        ))
+    }
+
+    // Samples that already failed an earlier group are settled — the
+    // serial loop would have `break`ed before simulating them here.
+    fn live(&self, state: &NormMinState, sample: usize) -> bool {
+        !state.failed[sample]
+    }
+
+    fn accumulate(
+        &self,
+        state: &mut NormMinState,
+        group_specs: &[usize],
+        sample: usize,
+        result: Result<DVec, CktError>,
+    ) -> Result<(), SpecwiseError> {
+        match classify_sample(result, group_specs)? {
+            SampleOutcome::Valid(margins) => {
+                if group_specs.iter().any(|&i| margins[i] < 0.0) {
+                    state.failed[sample] = true;
+                    state.violated[sample] = true;
+                }
+            }
+            SampleOutcome::Degraded(_) => {
+                state.sim_failures += 1;
+                state.degraded[sample] = true;
+                state.failed[sample] = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize<E: Evaluator + ?Sized>(
+        &self,
+        _env: &E,
+        state: NormMinState,
+        _theta_wc: Vec<OperatingPoint>,
+    ) -> NormMinResult {
+        let n = self.options.n;
+        let mut fail_w = 0.0;
+        let mut fail_w2 = 0.0;
+        let mut degraded_w = 0.0;
+        for j in 0..n {
+            if state.failed[j] {
+                fail_w += state.weights[j];
+                fail_w2 += state.weights[j] * state.weights[j];
+            }
+            if state.degraded[j] && !state.violated[j] {
+                degraded_w += state.weights[j];
+            }
+        }
+
+        // Exact-density importance estimate, as in `MeanShiftIs`. The
+        // weights of failing samples under an overshot proposal are bounded
+        // (the shift sits past the boundary), so the raw estimator stays
+        // well-conditioned; what can still go wrong — too few failing
+        // samples, a weight blow-up through a degenerate search — is
+        // precisely what the ESS guard below converts into an honest
+        // `[0, 1]` interval.
+        let nf = n as f64;
+        let mut p_fail = (fail_w / nf).clamp(0.0, 1.0);
+        let mut var = ((fail_w2 / nf) - p_fail * p_fail).max(0.0) / nf;
+        let ess = if fail_w2 > 0.0 && fail_w2.is_finite() {
+            fail_w * fail_w / fail_w2
+        } else {
+            0.0
+        };
+        let ess_degraded = !p_fail.is_finite()
+            || !var.is_finite()
+            || !ess.is_finite()
+            || ess < self.options.min_ess;
+        if !p_fail.is_finite() {
+            p_fail = 0.0;
+            var = 0.0;
+        }
+        NormMinResult {
+            shift: state.shift,
+            beta: state.beta,
+            critical_spec: state.critical_spec,
+            failure_probability: p_fail,
+            yield_value: 1.0 - p_fail,
+            std_error: var.sqrt(),
+            effective_sample_size: ess,
+            n,
+            sim_failures: state.sim_failures,
+            degraded_weight: (degraded_w / nf).clamp(0.0, 1.0),
+            ess_degraded,
+            search_sims: state.search_sims,
+        }
+    }
+
+    fn annotate(&self, span: &mut Span, output: &NormMinResult) {
+        span.set_attr("n", self.options.n);
+        span.set_attr("beta", output.beta);
+        span.set_attr("critical_spec", output.critical_spec);
+        span.set_attr("failure_probability", output.failure_probability);
+        span.set_attr("std_error", output.std_error);
+        span.set_attr("effective_sample_size", output.effective_sample_size);
+        span.set_attr("sim_failures", output.sim_failures);
+        span.set_attr("ess_degraded", output.ess_degraded);
+        span.set_attr("search_sims", output.search_sims);
+        let (lo, hi) = output.yield_interval();
+        span.set_attr("yield_low", lo);
+        span.set_attr("yield_high", hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{estimate_yield, mc_verify};
+    use specwise_ckt::{AnalyticEnv, DesignParam, DesignSpace, Spec, SpecKind};
+    use specwise_stat::std_normal_cdf;
+    use specwise_trace::Tracer;
+
+    /// margin = b + s0 → P(fail) = Φ(−b), minimum-norm failure point
+    /// (−b, 0).
+    fn env(b: f64) -> AnalyticEnv {
+        AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "b", "", 0.0, 10.0, b,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, s, _| DVec::from_slice(&[d[0] + s[0]]))
+            .build()
+            .unwrap()
+    }
+
+    fn run(e: &AnalyticEnv, d: &DVec, options: NormMinOptions) -> NormMinResult {
+        estimate_yield(&NormMinIs { options }, e, d, &Tracer::disabled()).unwrap()
+    }
+
+    #[test]
+    fn finds_the_tail_plain_mc_misses() {
+        // 4.8σ spec: plain MC at 4000 samples almost surely sees zero
+        // failures; norm-min locates the failure point without being told
+        // where it is and recovers the analytic tail probability.
+        let b = 4.8;
+        let e = env(b);
+        let d = DVec::from_slice(&[b]);
+        let plain = mc_verify(&e, &d, 4_000, 3).unwrap();
+        assert_eq!(plain.yield_estimate.bad_samples(), 0);
+        let r = run(&e, &d, NormMinOptions::default());
+        let truth = std_normal_cdf(-b); // ≈ 7.9e-7
+        assert!(
+            !r.ess_degraded,
+            "guard must hold: ESS = {}",
+            r.effective_sample_size
+        );
+        assert!(
+            (r.failure_probability / truth - 1.0).abs() < 0.5,
+            "norm-min estimate {} vs truth {truth}",
+            r.failure_probability
+        );
+        assert!(r.effective_sample_size >= 20.0);
+        // The search found (≈ −b, 0): β is the sigma-distance.
+        assert!((r.beta - b).abs() < 0.1, "beta = {}", r.beta);
+        assert!(r.shift[0] < -b * 0.9 && r.shift[1].abs() < 0.5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let e = env(3.5);
+        let d = DVec::from_slice(&[3.5]);
+        let a = run(&e, &d, NormMinOptions::default());
+        let b = run(&e, &d, NormMinOptions::default());
+        assert_eq!(
+            a.failure_probability.to_bits(),
+            b.failure_probability.to_bits()
+        );
+        assert_eq!(a.shift, b.shift);
+    }
+
+    #[test]
+    fn guard_trips_on_unreachable_failure_region() {
+        // The margin is constant in ŝ: there is no failure point to find,
+        // the proposal stays at the origin, no sample fails, and the
+        // result must say "I don't know" instead of "yield = 1".
+        let e = AnalyticEnv::builder()
+            .design(DesignSpace::new(vec![DesignParam::new(
+                "b", "", 0.0, 10.0, 1.0,
+            )]))
+            .stat_dim(2)
+            .spec(Spec::new("f", "", SpecKind::LowerBound, 0.0))
+            .performances(|d, _, _| DVec::from_slice(&[d[0] + 1.0]))
+            .build()
+            .unwrap();
+        let d = DVec::from_slice(&[1.0]);
+        let r = run(
+            &e,
+            &d,
+            NormMinOptions {
+                n: 200,
+                ..NormMinOptions::default()
+            },
+        );
+        assert!(r.ess_degraded);
+        assert_eq!(r.yield_interval(), (0.0, 1.0));
+        assert!(r.failure_probability.is_finite());
+    }
+
+    #[test]
+    fn input_validation() {
+        let e = env(1.0);
+        let d = DVec::from_slice(&[1.0]);
+        let bad_n = NormMinOptions {
+            n: 0,
+            ..NormMinOptions::default()
+        };
+        assert!(
+            estimate_yield(&NormMinIs { options: bad_n }, &e, &d, &Tracer::disabled()).is_err()
+        );
+        let bad_o = NormMinOptions {
+            overshoot: 0.5,
+            ..NormMinOptions::default()
+        };
+        assert!(
+            estimate_yield(&NormMinIs { options: bad_o }, &e, &d, &Tracer::disabled()).is_err()
+        );
+    }
+}

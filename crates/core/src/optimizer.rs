@@ -26,9 +26,10 @@ use specwise_trace::{Span, Tracer};
 use specwise_wcd::{WcAnalysis, WcOptions, WcResult, WorstCasePoint};
 
 use crate::{
-    find_feasible_start, line_search_feasible, mc_verify_traced, Checkpoint, CoordinateSearch,
-    CoordinateSearchOptions, FeasibleStartOptions, LinearConstraints, LinearizedYield, McOptions,
-    McVerification, SpecwiseError, WcdMaximizer, CHECKPOINT_ENV_VAR, CHECKPOINT_VERSION,
+    estimate_yield, find_feasible_start, line_search_feasible, Checkpoint, CoordinateSearch,
+    CoordinateSearchOptions, EstimatorKind, FeasibleStartOptions, IsOptions, LinearConstraints,
+    LinearizedYield, McOptions, McVerification, MeanShiftIs, MonteCarlo, NormMinIs, NormMinOptions,
+    SpecwiseError, TailVerification, WcdMaximizer, CHECKPOINT_ENV_VAR, CHECKPOINT_VERSION,
 };
 
 /// The objective maximized by the inner coordinate search.
@@ -78,6 +79,12 @@ pub struct OptimizerConfig {
     /// searches that fell back to stale points — exceeds this bound.
     /// `None` (the default) never aborts on degradations.
     pub failure_budget: Option<u64>,
+    /// Which yield estimator verifies each snapshot (plain Monte Carlo by
+    /// default; construct with [`EstimatorKind::from_env`] to honor the
+    /// `SPECWISE_ESTIMATOR` knob). Non-MC estimators fill
+    /// [`IterationSnapshot::verified_tail`] instead of
+    /// [`IterationSnapshot::verified`].
+    pub estimator: EstimatorKind,
 }
 
 impl Default for OptimizerConfig {
@@ -94,6 +101,7 @@ impl Default for OptimizerConfig {
             feasible_start: FeasibleStartOptions::default(),
             objective: Objective::DirectYield,
             failure_budget: None,
+            estimator: EstimatorKind::Mc,
         }
     }
 }
@@ -112,8 +120,13 @@ pub struct IterationSnapshot {
     pub bad_per_mille: Vec<f64>,
     /// Yield estimate `Ȳ` over the linearized models.
     pub estimated_yield: YieldEstimate,
-    /// Simulation-based verification `Ỹ` (when enabled).
+    /// Simulation-based verification `Ỹ` (when enabled and
+    /// [`OptimizerConfig::estimator`] is [`EstimatorKind::Mc`]).
     pub verified: Option<McVerification>,
+    /// Tail-estimator verification summary (when enabled and the
+    /// configured estimator is [`EstimatorKind::MeanShift`] or
+    /// [`EstimatorKind::NormMin`]).
+    pub verified_tail: Option<TailVerification>,
     /// Per-spec worst-case points of the analysis at this design.
     pub wc_points: Vec<WorstCasePoint>,
     /// Cumulative simulator calls when the snapshot was taken.
@@ -722,19 +735,71 @@ impl YieldOptimizer {
     ) -> Result<IterationSnapshot, SpecwiseError> {
         let estimated_yield = model.estimate(d_f)?;
         let bad_per_mille = model.bad_per_mille(d_f)?;
-        let verified = if self.config.verify_samples > 0 {
-            Some(mc_verify_traced(
-                env,
-                d_f,
-                &McOptions {
-                    n_samples: self.config.verify_samples,
-                    seed: self.config.seed ^ 0xABCD,
-                },
-                tracer,
-            )?)
-        } else {
-            None
-        };
+        let mut verified = None;
+        let mut verified_tail = None;
+        if self.config.verify_samples > 0 {
+            match self.config.estimator {
+                EstimatorKind::Mc => {
+                    let estimator = MonteCarlo {
+                        options: McOptions {
+                            n_samples: self.config.verify_samples,
+                            seed: self.config.seed ^ 0xABCD,
+                        },
+                    };
+                    verified = Some(estimate_yield(&estimator, env, d_f, tracer)?);
+                }
+                EstimatorKind::MeanShift => {
+                    // Shift to the dominant worst-case point: the s_wc of
+                    // the spec with the smallest sigma-distance.
+                    let shift = analysis
+                        .worst_case_points()
+                        .iter()
+                        .min_by(|a, b| a.beta_wc.total_cmp(&b.beta_wc))
+                        .map(|p| p.s_wc.clone())
+                        .unwrap_or_else(|| DVec::zeros(env.stat_dim()));
+                    let estimator = MeanShiftIs {
+                        shift,
+                        options: IsOptions {
+                            n: self.config.verify_samples,
+                            seed: self.config.seed ^ 0xABCD,
+                        },
+                    };
+                    let r = estimate_yield(&estimator, env, d_f, tracer)?;
+                    let (yield_low, yield_high) = r.yield_interval();
+                    verified_tail = Some(TailVerification {
+                        estimator: EstimatorKind::MeanShift,
+                        failure_probability: r.failure_probability,
+                        yield_value: r.yield_value,
+                        yield_low,
+                        yield_high,
+                        effective_sample_size: r.effective_sample_size,
+                        sim_failures: r.sim_failures,
+                        degraded: false,
+                    });
+                }
+                EstimatorKind::NormMin => {
+                    let estimator = NormMinIs {
+                        options: NormMinOptions {
+                            n: self.config.verify_samples,
+                            seed: self.config.seed ^ 0xABCD,
+                            ..NormMinOptions::default()
+                        },
+                    };
+                    let r = estimate_yield(&estimator, env, d_f, tracer)?;
+                    let (yield_low, yield_high) = r.yield_interval();
+                    verified_tail = Some(TailVerification {
+                        estimator: EstimatorKind::NormMin,
+                        failure_probability: r.failure_probability,
+                        yield_value: r.yield_value,
+                        yield_low,
+                        yield_high,
+                        effective_sample_size: r.effective_sample_size,
+                        sim_failures: r.sim_failures,
+                        degraded: r.ess_degraded,
+                    });
+                }
+            }
+        }
         Ok(IterationSnapshot {
             label: label.to_string(),
             design: d_f.clone(),
@@ -742,6 +807,7 @@ impl YieldOptimizer {
             bad_per_mille,
             estimated_yield,
             verified,
+            verified_tail,
             wc_points: analysis.worst_case_points().to_vec(),
             sim_count: sim_base + env.sim_count(),
             collapsed: false,
@@ -752,10 +818,10 @@ impl YieldOptimizer {
 /// Degradations recorded in one snapshot: verification samples that failed
 /// to simulate (and were counted-and-excluded instead of aborting).
 fn snapshot_degradations(snapshot: Option<&IterationSnapshot>) -> u64 {
-    snapshot
-        .and_then(|s| s.verified.as_ref())
-        .map(|v| v.sim_failures as u64)
-        .unwrap_or(0)
+    let Some(s) = snapshot else { return 0 };
+    let mc = s.verified.as_ref().map(|v| v.sim_failures as u64);
+    let tail = s.verified_tail.as_ref().map(|v| v.sim_failures as u64);
+    mc.or(tail).unwrap_or(0)
 }
 
 /// Attaches the end-of-run accounting to the root `run` span: total and
@@ -814,6 +880,7 @@ fn collapsed_snapshot(
         bad_per_mille: vec![1000.0; n_spec],
         estimated_yield: YieldEstimate::from_counts(0, mc_samples),
         verified: None,
+        verified_tail: None,
         wc_points: Vec::new(),
         sim_count,
         collapsed: true,

@@ -60,6 +60,16 @@ pub fn iteration_table(env: &dyn CircuitEnv, trace: &OptimizationTrace) -> Strin
                     mc.yield_estimate.percent()
                 );
             }
+            None if snap.verified_tail.is_some() => {
+                let t = snap.verified_tail.as_ref().unwrap();
+                let _ = writeln!(
+                    out,
+                    "{:<14}{:.4}% ({})",
+                    "Y (verified)",
+                    100.0 * t.yield_value,
+                    t.estimator
+                );
+            }
             None => {
                 let _ = writeln!(
                     out,
@@ -257,6 +267,23 @@ pub fn run_report(env: &dyn CircuitEnv, trace: &OptimizationTrace, tracer: &Trac
         let _ = writeln!(
             out,
             "  (snapshots up to the abort point are reported above)"
+        );
+    }
+    // Which estimator verified the run — mixed-estimator runs must be
+    // distinguishable from the logs alone. Tail estimators also report
+    // their effective sample size next to the interval.
+    if trace.final_snapshot().verified.is_some() {
+        let _ = writeln!(out, "estimator: mc");
+    }
+    if let Some(t) = &trace.final_snapshot().verified_tail {
+        let _ = writeln!(
+            out,
+            "estimator: {} (yield interval [{:.4} %, {:.4} %], ESS {:.1}{})",
+            t.estimator,
+            100.0 * t.yield_low,
+            100.0 * t.yield_high,
+            t.effective_sample_size,
+            if t.degraded { ", DEGRADED" } else { "" }
         );
     }
     // Verification robustness: surface the degraded-sample yield interval

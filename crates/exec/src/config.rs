@@ -141,24 +141,15 @@ impl ExecConfig {
     }
 }
 
-fn parse_var<T: std::str::FromStr>(name: &str) -> Option<T> {
-    let raw = std::env::var(name).ok()?;
-    match parse_checked(name, &raw) {
-        Ok(value) => Some(value),
-        Err(warning) => {
-            eprintln!("{warning}");
-            None
-        }
-    }
-}
+/// The shared warn-and-default knob parser used by every `SPECWISE_*`
+/// environment variable in the workspace (`SPECWISE_WORKERS`,
+/// `SPECWISE_BATCH`, `SPECWISE_GRAD`, `SPECWISE_ESTIMATOR`, …). The
+/// implementation lives in `specwise-ckt` (the lowest crate that reads a
+/// knob); this is the canonical public surface.
+pub use specwise_ckt::env_knob::{parse_env_knob, parse_knob_checked};
 
-/// Parses one `SPECWISE_*` value; a malformed value yields the warning
-/// line that [`ExecConfig::from_env`] prints to stderr before falling back
-/// to the default.
-pub(crate) fn parse_checked<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
-    raw.trim().parse().map_err(|_| {
-        format!("specwise: ignoring malformed {name}={raw:?} (not a valid value); keeping default")
-    })
+fn parse_var<T: std::str::FromStr>(name: &str) -> Option<T> {
+    parse_env_knob(name)
 }
 
 /// Formats a duration compactly for report tables (`1.23s`, `45.6ms`).
@@ -223,14 +214,17 @@ mod tests {
 
     #[test]
     fn malformed_env_values_warn_and_name_the_variable() {
-        let err = parse_checked::<usize>("SPECWISE_WORKERS", "8x").unwrap_err();
+        let err = parse_knob_checked::<usize>("SPECWISE_WORKERS", "8x").unwrap_err();
         assert!(err.contains("SPECWISE_WORKERS"), "{err}");
         assert!(err.contains("8x"), "{err}");
         assert!(err.contains("keeping default"), "{err}");
         // Well-formed values (with surrounding whitespace) still parse.
-        assert_eq!(parse_checked::<usize>("SPECWISE_WORKERS", " 8 "), Ok(8));
         assert_eq!(
-            parse_checked::<f64>("SPECWISE_RETRY_PERTURB", "1e-9"),
+            parse_knob_checked::<usize>("SPECWISE_WORKERS", " 8 "),
+            Ok(8)
+        );
+        assert_eq!(
+            parse_knob_checked::<f64>("SPECWISE_RETRY_PERTURB", "1e-9"),
             Ok(1e-9)
         );
     }

@@ -359,8 +359,10 @@ impl SharedBudget {
 /// The [`KillSwitch::soft`] variant instead fails post-budget evaluations
 /// with a *retryable* simulation error (the same shape a non-converging
 /// solve produces), so downstream layers that tolerate simulation failures
-/// — notably MC verification, which excludes failed samples and widens its
-/// reported yield interval — degrade gracefully instead of aborting.
+/// — notably the yield-estimator layer's shared accumulator policy
+/// (`specwise::classify_sample`), which counts-and-excludes failed samples
+/// and widens the reported yield interval for every estimator — degrade
+/// gracefully instead of aborting.
 pub struct KillSwitch<'e, E: CircuitEnv + ?Sized> {
     env: &'e E,
     budget: std::sync::Arc<SharedBudget>,

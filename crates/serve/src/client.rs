@@ -59,6 +59,9 @@ pub struct SubmitOptions {
     pub verify_samples: Option<u64>,
     /// Optimizer iterations.
     pub max_iterations: Option<u64>,
+    /// Verification estimator (`"mc"` | `"is"` | `"norm-min"`); unset
+    /// takes the daemon's `SPECWISE_ESTIMATOR` default.
+    pub estimator: Option<String>,
 }
 
 /// A connected client. One request runs at a time per connection; open
@@ -141,6 +144,7 @@ impl Client {
         request.mc_samples = opts.mc_samples;
         request.verify_samples = opts.verify_samples;
         request.max_iterations = opts.max_iterations;
+        request.estimator = opts.estimator.clone();
         self.send(&Request::Submit(request))?;
         let j = self.read_ok()?;
         j.get("job")

@@ -429,7 +429,9 @@ fn accept_job(
     if let Err(e) = Testbench::from_deck_limited(&request.deck, &cfg.deck_limits) {
         return Err(WireError::new("deck", format!("deck rejected: {e}")));
     }
-    let options = request.resolve();
+    let options = request
+        .resolve()
+        .map_err(|e| WireError::new("bad-request", e))?;
     let spec = JobSpec {
         id: state.next_id(),
         tenant: request.tenant,

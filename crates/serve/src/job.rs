@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use specwise::{OptimizerConfig, Tracer, YieldOptimizer};
+use specwise::{EstimatorKind, OptimizerConfig, Tracer, YieldOptimizer};
 use specwise_ckt::Testbench;
 use specwise_exec::EvalService;
 use specwise_harden::{KillSwitch, SharedBudget};
@@ -38,6 +38,9 @@ pub struct JobRequest {
     pub verify_samples: Option<u64>,
     /// Optimizer iterations.
     pub max_iterations: Option<u64>,
+    /// Verification estimator override (`mc` | `is` | `norm-min`). Unset
+    /// falls back to the daemon's `SPECWISE_ESTIMATOR` default.
+    pub estimator: Option<String>,
 }
 
 impl JobRequest {
@@ -50,18 +53,31 @@ impl JobRequest {
             mc_samples: None,
             verify_samples: None,
             max_iterations: None,
+            estimator: None,
         }
     }
 
-    /// Resolves the overrides against the defaults.
-    pub fn resolve(&self) -> JobOptions {
+    /// Resolves the overrides against the defaults. An unset estimator
+    /// falls back to the daemon's `SPECWISE_ESTIMATOR` environment default
+    /// (plain Monte Carlo when that is unset too).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an unknown estimator name — a typo in a submitted job must
+    /// fail at accept time, not silently verify with the wrong estimator.
+    pub fn resolve(&self) -> Result<JobOptions, String> {
         let d = JobOptions::default();
-        JobOptions {
+        let estimator = match &self.estimator {
+            Some(name) => name.parse::<EstimatorKind>()?,
+            None => EstimatorKind::from_env(),
+        };
+        Ok(JobOptions {
             seed: self.seed.unwrap_or(d.seed),
             mc_samples: self.mc_samples.map_or(d.mc_samples, |n| n as usize),
             verify_samples: self.verify_samples.map_or(d.verify_samples, |n| n as usize),
             max_iterations: self.max_iterations.map_or(d.max_iterations, |n| n as usize),
-        }
+            estimator,
+        })
     }
 }
 
@@ -77,6 +93,8 @@ pub struct JobOptions {
     pub verify_samples: usize,
     /// Optimizer iterations.
     pub max_iterations: usize,
+    /// Which estimator verifies the snapshots.
+    pub estimator: EstimatorKind,
 }
 
 impl Default for JobOptions {
@@ -87,6 +105,7 @@ impl Default for JobOptions {
             mc_samples: cfg.mc_samples,
             verify_samples: cfg.verify_samples,
             max_iterations: cfg.max_iterations,
+            estimator: cfg.estimator,
         }
     }
 }
@@ -99,6 +118,7 @@ impl JobOptions {
         cfg.mc_samples = self.mc_samples;
         cfg.verify_samples = self.verify_samples;
         cfg.max_iterations = self.max_iterations;
+        cfg.estimator = self.estimator;
         cfg
     }
 }
@@ -128,11 +148,13 @@ impl JobSpec {
         out.push_str(",\"deck\":");
         json::write_json_string(&mut out, &self.deck);
         out.push_str(&format!(
-            ",\"seed\":{},\"mc_samples\":{},\"verify_samples\":{},\"max_iterations\":{}}}",
+            ",\"seed\":{},\"mc_samples\":{},\"verify_samples\":{},\"max_iterations\":{},\
+             \"estimator\":\"{}\"}}",
             self.options.seed,
             self.options.mc_samples,
             self.options.verify_samples,
-            self.options.max_iterations
+            self.options.max_iterations,
+            self.options.estimator
         ));
         out
     }
@@ -164,6 +186,12 @@ impl JobSpec {
                 mc_samples: num("mc_samples")? as usize,
                 verify_samples: num("verify_samples")? as usize,
                 max_iterations: num("max_iterations")? as usize,
+                // Spool files written before the estimator layer carry no
+                // estimator field; those jobs verified with plain MC.
+                estimator: match j.get("estimator").and_then(Json::as_str) {
+                    Some(name) => name.parse::<EstimatorKind>()?,
+                    None => EstimatorKind::Mc,
+                },
             },
         })
     }
@@ -182,6 +210,12 @@ pub struct JobOutcome {
     /// `[low, high]` verified-yield interval; degraded samples (budget
     /// exhaustion, non-converged solves) widen it instead of biasing it.
     pub yield_interval: Option<(f64, f64)>,
+    /// Name of the estimator that verified the run (`mc` | `is` |
+    /// `norm-min`).
+    pub estimator: String,
+    /// Effective sample size of the importance-sampled verification
+    /// (`None` for plain Monte Carlo).
+    pub ess: Option<f64>,
     /// Total simulator calls of the run.
     pub total_sims: u64,
     /// Adjoint/sensitivity solves on cached factorizations (tracked beside,
@@ -219,6 +253,12 @@ impl JobOutcome {
             out.push(',');
             json::write_f64(&mut out, hi);
             out.push(']');
+        }
+        out.push_str(",\"estimator\":");
+        json::write_json_string(&mut out, &self.estimator);
+        if let Some(ess) = self.ess {
+            out.push_str(",\"ess\":");
+            json::write_f64(&mut out, ess);
         }
         out.push_str(&format!(
             ",\"total_sims\":{},\"adjoint_solves\":{},\"fd_sims_avoided\":{},\
@@ -261,6 +301,14 @@ impl JobOutcome {
                 .ok_or("job outcome missing number field \"estimated_yield\"")?,
             verified_yield: f64_field("verified_yield"),
             yield_interval: interval,
+            // Spool files written before the estimator layer carry no
+            // estimator name; those runs verified with plain MC.
+            estimator: j
+                .get("estimator")
+                .and_then(Json::as_str)
+                .unwrap_or("mc")
+                .to_owned(),
+            ess: f64_field("ess"),
             total_sims: j
                 .get("total_sims")
                 .and_then(Json::as_u64)
@@ -290,9 +338,10 @@ impl JobOutcome {
 ///
 /// The deck compiles through the hardened limited parser, evaluates under
 /// the tenant's shared [`KillSwitch`] budget (soft mode: exhaustion reads
-/// as a retryable simulation failure, so Monte-Carlo verification excludes
-/// the starved samples and widens the yield interval instead of crashing
-/// the job), and executes on an [`EvalService`] sharded across the
+/// as a retryable simulation failure, so the verification estimator's
+/// shared accumulator policy excludes the starved samples and widens the
+/// yield interval instead of crashing the job), and executes on an
+/// [`EvalService`] sharded across the
 /// daemon's job slots. The optimizer checkpoints into the spool after
 /// every iteration, so a daemon restart resumes mid-flight jobs
 /// bit-for-bit; the journal streams live to any subscribed client.
@@ -320,11 +369,22 @@ pub fn run_job(
         .map_err(|e| e.to_string())?;
     let report = trace.exec.clone().unwrap_or_else(|| svc.report());
     let last = trace.final_snapshot();
+    let tail = last.verified_tail.as_ref();
     Ok(JobOutcome {
         design: trace.final_design().as_slice().to_vec(),
         estimated_yield: last.estimated_yield.value(),
-        verified_yield: last.verified.as_ref().map(|v| v.yield_estimate.value()),
-        yield_interval: last.verified.as_ref().map(|v| v.yield_interval()),
+        verified_yield: last
+            .verified
+            .as_ref()
+            .map(|v| v.yield_estimate.value())
+            .or_else(|| tail.map(|t| t.yield_value)),
+        yield_interval: last
+            .verified
+            .as_ref()
+            .map(|v| v.yield_interval())
+            .or_else(|| tail.map(|t| (t.yield_low, t.yield_high))),
+        estimator: spec.options.estimator.to_string(),
+        ess: tail.map(|t| t.effective_sample_size),
         total_sims: trace.total_sims,
         adjoint_solves: trace.adjoint_solves,
         fd_sims_avoided: trace.fd_sims_avoided,
@@ -349,9 +409,18 @@ mod tests {
                 mc_samples: 2000,
                 verify_samples: 150,
                 max_iterations: 2,
+                estimator: EstimatorKind::NormMin,
             },
         };
         assert_eq!(JobSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn pre_estimator_spool_specs_default_to_mc() {
+        let text = "{\"id\":\"job-0001\",\"tenant\":\"t\",\"deck\":\"* d\",\
+                    \"seed\":1,\"mc_samples\":10,\"verify_samples\":0,\"max_iterations\":1}";
+        let spec = JobSpec::from_json_str(text).unwrap();
+        assert_eq!(spec.options.estimator, EstimatorKind::Mc);
     }
 
     #[test]
@@ -368,6 +437,8 @@ mod tests {
             estimated_yield: 0.9785,
             verified_yield: Some(2.0 / 3.0),
             yield_interval: Some((2.0 / 3.0, 0.71)),
+            estimator: "norm-min".into(),
+            ess: Some(123.456),
             total_sims: 12_345,
             adjoint_solves: 44,
             fd_sims_avoided: 660,
@@ -384,6 +455,7 @@ mod tests {
         let minimal = JobOutcome {
             verified_yield: None,
             yield_interval: None,
+            ess: None,
             ..outcome
         };
         assert_eq!(
@@ -393,15 +465,31 @@ mod tests {
     }
 
     #[test]
+    fn pre_estimator_spool_outcomes_default_to_mc() {
+        let text = "{\"design\":[1.5],\"estimated_yield\":0.5,\"total_sims\":3}";
+        let outcome = JobOutcome::from_json_str(text).unwrap();
+        assert_eq!(outcome.estimator, "mc");
+        assert_eq!(outcome.ess, None);
+    }
+
+    #[test]
     fn request_resolution_fills_paper_defaults() {
         let req = JobRequest::new("deck".into(), "t".into());
-        let opts = req.resolve();
+        let opts = req.resolve().unwrap();
         let cfg = OptimizerConfig::default();
         assert_eq!(opts.seed, cfg.seed);
         assert_eq!(opts.mc_samples, cfg.mc_samples);
+        assert_eq!(opts.estimator, EstimatorKind::Mc);
         let mut req = req;
         req.mc_samples = Some(500);
-        assert_eq!(req.resolve().mc_samples, 500);
-        assert_eq!(req.resolve().optimizer_config().mc_samples, 500);
+        req.estimator = Some("norm-min".into());
+        let opts = req.resolve().unwrap();
+        assert_eq!(opts.mc_samples, 500);
+        assert_eq!(opts.estimator, EstimatorKind::NormMin);
+        let cfg = opts.optimizer_config();
+        assert_eq!(cfg.mc_samples, 500);
+        assert_eq!(cfg.estimator, EstimatorKind::NormMin);
+        req.estimator = Some("bogus".into());
+        assert!(req.resolve().is_err(), "unknown estimator must be rejected");
     }
 }

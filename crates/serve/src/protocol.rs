@@ -194,6 +194,18 @@ impl Request {
                 req_u64(&j, "mc_samples", &mut req.mc_samples)?;
                 req_u64(&j, "verify_samples", &mut req.verify_samples)?;
                 req_u64(&j, "max_iterations", &mut req.max_iterations)?;
+                match j.get("estimator") {
+                    None | Some(Json::Null) => {}
+                    Some(v) => match v.as_str() {
+                        Some(name) => req.estimator = Some(name.to_owned()),
+                        None => {
+                            return Err(WireError::new(
+                                "bad-request",
+                                "field \"estimator\" must be a string (mc | is | norm-min)",
+                            ))
+                        }
+                    },
+                }
                 Ok(Request::Submit(req))
             }
             "status" => Ok(Request::Status),
@@ -236,6 +248,10 @@ impl Request {
                     if let Some(n) = val {
                         out.push_str(&format!(",\"{key}\":{n}"));
                     }
+                }
+                if let Some(name) = &req.estimator {
+                    out.push_str(",\"estimator\":");
+                    json::write_json_string(&mut out, name);
                 }
                 out.push('}');
             }
@@ -350,6 +366,7 @@ mod tests {
         let mut req = JobRequest::new("vdd vdd 0 3.3".to_owned(), "acme".to_owned());
         req.seed = Some(7);
         req.mc_samples = Some(2000);
+        req.estimator = Some("norm-min".to_owned());
         let reqs = [
             Request::Submit(req),
             Request::Status,
@@ -376,6 +393,10 @@ mod tests {
             ("{\"cmd\":\"submit\"}", "bad-request"),
             (
                 "{\"cmd\":\"submit\",\"deck\":\"x\",\"seed\":\"NaN\"}",
+                "bad-request",
+            ),
+            (
+                "{\"cmd\":\"submit\",\"deck\":\"x\",\"estimator\":42}",
                 "bad-request",
             ),
             ("{\"cmd\":\"result\"}", "bad-request"),

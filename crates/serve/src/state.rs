@@ -330,6 +330,12 @@ impl ServeState {
             json::write_json_string(&mut out, &entry.spec.tenant);
             out.push_str(",\"state\":");
             json::write_json_string(&mut out, entry.state.as_str());
+            out.push_str(",\"estimator\":");
+            json::write_json_string(&mut out, &entry.spec.options.estimator.to_string());
+            if let Some(ess) = entry.outcome.as_ref().and_then(|o| o.ess) {
+                out.push_str(",\"ess\":");
+                json::write_f64(&mut out, ess);
+            }
             out.push('}');
         }
         let m = &inner.metrics;
@@ -398,6 +404,8 @@ mod tests {
             estimated_yield: 0.9,
             verified_yield: None,
             yield_interval: None,
+            estimator: "mc".into(),
+            ess: None,
             total_sims: 10,
             adjoint_solves: 4,
             fd_sims_avoided: 12,
@@ -467,9 +475,11 @@ mod tests {
         let _ = budget;
         state.finish("job-0001", Err("deck rejected: bad".into()));
         let j = json::parse(&state.status_line()).unwrap();
+        let jobs = j.get("jobs").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(jobs.len(), 1);
         assert_eq!(
-            j.get("jobs").and_then(|x| x.as_arr()).map(|a| a.len()),
-            Some(1)
+            jobs[0].get("estimator").and_then(|x| x.as_str()),
+            Some("mc")
         );
         let metrics = j.get("metrics").unwrap();
         assert_eq!(metrics.get("jobs_failed").and_then(|x| x.as_u64()), Some(1));
@@ -479,5 +489,29 @@ mod tests {
             Some("acme")
         );
         assert_eq!(tenants[0].get("budget").and_then(|x| x.as_u64()), Some(50));
+    }
+
+    #[test]
+    fn status_line_reports_ess_of_settled_is_jobs() {
+        let state = ServeState::new(u64::MAX);
+        let mut is_spec = spec("job-0001", "acme");
+        is_spec.options.estimator = specwise::EstimatorKind::NormMin;
+        state.enqueue(is_spec);
+        let _ = state.claim().unwrap();
+        state.finish(
+            "job-0001",
+            Ok(JobOutcome {
+                estimator: "norm-min".into(),
+                ess: Some(44.5),
+                ..outcome()
+            }),
+        );
+        let j = json::parse(&state.status_line()).unwrap();
+        let jobs = j.get("jobs").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(
+            jobs[0].get("estimator").and_then(|x| x.as_str()),
+            Some("norm-min")
+        );
+        assert_eq!(jobs[0].get("ess").and_then(|x| x.as_f64()), Some(44.5));
     }
 }

@@ -49,7 +49,11 @@
 //! │  ├─ coordinate_search    model-yield maximization (Eqs. 17–20)
 //! │  ├─ line_search          pull-back onto feasibility (Eq. 23)
 //! │  └─ wc_analysis          relinearization at the new point
-//! └─ mc_verify / is_verify   Eqs. 6–7 estimate / importance sampling
+//! └─ mc_verify / is_verify / norm_min_verify
+//!                            Eqs. 6–7 MC, mean-shift IS (Eqs. 11–12), or
+//!                            norm-minimization IS — one root span per
+//!                            verification, emitted by the shared
+//!                            estimator driver
 //! ```
 //!
 //! # Example

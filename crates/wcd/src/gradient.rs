@@ -75,15 +75,21 @@ pub fn set_grad_override(choice: Option<GradBackend>) {
     GRAD_OVERRIDE.store(v, Ordering::SeqCst);
 }
 
-fn env_backend() -> GradBackend {
-    match std::env::var("SPECWISE_GRAD") {
-        Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
-            "fd" => GradBackend::Fd,
-            "adjoint" => GradBackend::Adjoint,
-            _ => GradBackend::Auto,
-        },
-        Err(_) => GradBackend::Auto,
+impl std::str::FromStr for GradBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fd" => Ok(GradBackend::Fd),
+            "adjoint" => Ok(GradBackend::Adjoint),
+            "auto" => Ok(GradBackend::Auto),
+            other => Err(format!("unknown gradient backend {other:?}")),
+        }
     }
+}
+
+fn env_backend() -> GradBackend {
+    specwise_ckt::env_knob::parse_env_knob("SPECWISE_GRAD").unwrap_or(GradBackend::Auto)
 }
 
 /// The gradient backend under the current override/env/auto policy.

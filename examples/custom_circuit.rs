@@ -26,7 +26,7 @@
 use std::error::Error;
 
 use specwise::{
-    importance_verify_traced, run_report, IsOptions, OptimizerConfig, Tracer, YieldOptimizer,
+    estimate_yield, run_report, IsOptions, MeanShiftIs, OptimizerConfig, Tracer, YieldOptimizer,
 };
 use specwise_ckt::{CircuitEnv, Testbench};
 use specwise_linalg::DVec;
@@ -153,11 +153,13 @@ fn main() -> Result<(), Box<dyn Error>> {
             env.specs()[critical.spec].name(),
             critical.beta_wc
         );
-        let is = importance_verify_traced(
+        let is = estimate_yield(
+            &MeanShiftIs {
+                shift: critical.s_wc.clone(),
+                options: IsOptions { n: 2_000, seed: 99 },
+            },
             &env,
             &final_snap.design,
-            &critical.s_wc,
-            &IsOptions { n: 2_000, seed: 99 },
             &tracer,
         )?;
         println!(

@@ -12,7 +12,7 @@
 
 use std::error::Error;
 
-use specwise::{mc_verify_traced, LinearizedYield, McOptions, Tracer};
+use specwise::{estimate_yield, LinearizedYield, McOptions, MonteCarlo, Tracer};
 use specwise_ckt::{CircuitEnv, FoldedCascode};
 use specwise_wcd::{WcAnalysis, WcOptions};
 
@@ -53,13 +53,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         let mut d = d0.clone();
         d[0] *= scale;
         let linearized = model.estimate(&d)?;
-        let simulated = mc_verify_traced(
+        let simulated = estimate_yield(
+            &MonteCarlo {
+                options: McOptions {
+                    n_samples: verify_samples,
+                    seed: 42,
+                },
+            },
             &env,
             &d,
-            &McOptions {
-                n_samples: verify_samples,
-                seed: 42,
-            },
             &tracer,
         )?;
         println!(
