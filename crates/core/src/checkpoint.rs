@@ -65,6 +65,12 @@ pub struct Checkpoint {
     pub analysis: WcResult,
     /// Every snapshot recorded so far, `"Initial"` first.
     pub snapshots: Vec<IterationSnapshot>,
+    /// Identity of the process that wrote the checkpoint, when one was
+    /// configured ([`crate::YieldOptimizer::with_checkpoint_owner`]).
+    /// `specwise-serve` stamps its daemon owner id here so a peer that
+    /// steals an expired job lease can report whose work it resumed.
+    /// Absent in older checkpoints; never affects resume eligibility.
+    pub owner: Option<String>,
 }
 
 /// Error loading or saving a [`Checkpoint`].
@@ -158,6 +164,12 @@ impl Checkpoint {
         out.push_str("{\"format\":\"specwise-checkpoint\",\"version\":");
         let _ = write!(out, "{}", self.version);
         let _ = write!(out, ",\"seed\":{}", self.seed);
+        // Written only when present, so ownerless checkpoints keep the
+        // exact pre-leasing byte shape (and old readers keep parsing).
+        if let Some(owner) = &self.owner {
+            out.push_str(",\"owner\":");
+            write_json_string(&mut out, owner);
+        }
         let _ = write!(out, ",\"iteration\":{}", self.iteration);
         let _ = write!(out, ",\"sim_count\":{}", self.sim_count);
         out.push_str(",\"phase_sims\":[");
@@ -225,8 +237,57 @@ impl Checkpoint {
             phase_sims,
             analysis: read_analysis(json.get("analysis").ok_or_else(|| malformed("analysis"))?)?,
             snapshots,
+            owner: json.get("owner").and_then(Json::as_str).map(str::to_string),
         })
     }
+
+    /// Reads just the resume-relevant header of a checkpoint file — who
+    /// wrote it and how far it got — without materializing the analysis
+    /// and snapshot payload.
+    ///
+    /// This is what a `specwise-serve` daemon calls before stealing an
+    /// expired job lease: the metadata says whose work it is about to
+    /// resume and from which iteration, which goes into the job journal
+    /// as the takeover event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure and
+    /// [`CheckpointError::Malformed`] when the file is not a checkpoint
+    /// document (a version mismatch is *not* an error here: the metadata
+    /// of a foreign-version file is still reportable).
+    pub fn peek(path: &Path) -> Result<CheckpointMeta, CheckpointError> {
+        let text = fs::read_to_string(path)?;
+        let json = parse(&text).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if json.get("format").and_then(Json::as_str) != Some("specwise-checkpoint") {
+            return Err(CheckpointError::Malformed(
+                "missing \"format\": \"specwise-checkpoint\" marker".to_string(),
+            ));
+        }
+        Ok(CheckpointMeta {
+            version: get_u64(&json, "version")?,
+            seed: get_u64(&json, "seed")?,
+            iteration: get_u64(&json, "iteration")? as usize,
+            sim_count: get_u64(&json, "sim_count")?,
+            owner: json.get("owner").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+/// Checkpoint header returned by [`Checkpoint::peek`]: enough to report
+/// on a checkpoint (owner, progress) without parsing its full payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Layout version found in the file.
+    pub version: u64,
+    /// RNG seed of the run that wrote the checkpoint.
+    pub seed: u64,
+    /// Completed optimizer iterations at checkpoint time.
+    pub iteration: usize,
+    /// Cumulative simulator calls at checkpoint time.
+    pub sim_count: u64,
+    /// Identity of the writing process, when stamped.
+    pub owner: Option<String>,
 }
 
 // ---------------------------------------------------------------------------
@@ -700,6 +761,7 @@ mod tests {
                 vec![0],
             ),
             snapshots: vec![snapshot],
+            owner: None,
         }
     }
 
@@ -775,6 +837,43 @@ mod tests {
         assert!(!text.contains("verified_tail"));
         let back = Checkpoint::from_json_str(&text).unwrap();
         assert!(back.snapshots[0].verified_tail.is_none());
+    }
+
+    #[test]
+    fn owner_round_trips_and_is_absent_by_default() {
+        // Ownerless checkpoints keep the pre-leasing byte shape.
+        let ck = sample_checkpoint();
+        assert!(!ck.to_json().contains("\"owner\""));
+        // A stamped owner round-trips, and old readers would skip it.
+        let mut ck = sample_checkpoint();
+        ck.owner = Some("daemon-a".to_string());
+        let back = Checkpoint::from_json_str(&ck.to_json()).unwrap();
+        assert_eq!(back.owner.as_deref(), Some("daemon-a"));
+    }
+
+    #[test]
+    fn peek_reads_the_header_without_the_payload() {
+        let dir = std::env::temp_dir().join("specwise-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("peek-{}.ckpt", std::process::id()));
+        let mut ck = sample_checkpoint();
+        ck.owner = Some("daemon-b".to_string());
+        ck.save(&path).unwrap();
+        let meta = Checkpoint::peek(&path).unwrap();
+        assert_eq!(meta.version, CHECKPOINT_VERSION);
+        assert_eq!(meta.seed, ck.seed);
+        assert_eq!(meta.iteration, ck.iteration);
+        assert_eq!(meta.sim_count, ck.sim_count);
+        assert_eq!(meta.owner.as_deref(), Some("daemon-b"));
+        // Unlike `load`, a foreign version still peeks: the header is
+        // reportable even when the payload is not resumable.
+        let mut future = sample_checkpoint();
+        future.version = CHECKPOINT_VERSION + 7;
+        future.save(&path).unwrap();
+        let meta = Checkpoint::peek(&path).unwrap();
+        assert_eq!(meta.version, CHECKPOINT_VERSION + 7);
+        assert_eq!(meta.owner, None);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -214,6 +214,7 @@ pub struct YieldOptimizer {
     tracer: Tracer,
     checkpoint: Option<PathBuf>,
     checkpoint_hook: Option<CheckpointHook>,
+    checkpoint_owner: Option<String>,
 }
 
 impl std::fmt::Debug for YieldOptimizer {
@@ -223,6 +224,7 @@ impl std::fmt::Debug for YieldOptimizer {
             .field("tracer", &self.tracer)
             .field("checkpoint", &self.checkpoint)
             .field("checkpoint_hook", &self.checkpoint_hook.is_some())
+            .field("checkpoint_owner", &self.checkpoint_owner)
             .finish()
     }
 }
@@ -235,6 +237,7 @@ impl YieldOptimizer {
             tracer: Tracer::disabled(),
             checkpoint: None,
             checkpoint_hook: None,
+            checkpoint_owner: None,
         }
     }
 
@@ -266,6 +269,17 @@ impl YieldOptimizer {
         hook: impl Fn(&Checkpoint) + Send + Sync + 'static,
     ) -> Self {
         self.checkpoint_hook = Some(Arc::new(hook));
+        self
+    }
+
+    /// Stamps every checkpoint this run writes with an owner identity
+    /// ([`Checkpoint::owner`]). Resume eligibility is unaffected — the
+    /// stamp is observability: when a different process later resumes the
+    /// checkpoint (a `specwise-serve` peer stealing an expired job lease),
+    /// the `resumed` journal event reports whose work was taken over.
+    #[must_use]
+    pub fn with_checkpoint_owner(mut self, owner: impl Into<String>) -> Self {
+        self.checkpoint_owner = Some(owner.into());
         self
     }
 
@@ -637,14 +651,19 @@ impl YieldOptimizer {
         if ck.snapshots.is_empty() {
             return reject("checkpoint has no snapshots".to_string());
         }
-        tr.event(
-            "resumed",
-            &[
-                ("path", path.display().to_string().into()),
-                ("iteration", ck.iteration.into()),
-                ("sim_count", ck.sim_count.into()),
-            ],
-        );
+        let mut attrs: Vec<(&str, specwise_trace::json::TraceValue)> = vec![
+            ("path", path.display().to_string().into()),
+            ("iteration", ck.iteration.into()),
+            ("sim_count", ck.sim_count.into()),
+        ];
+        // When the checkpoint was written by someone else (a serve peer
+        // whose lease expired), name them: this is the takeover record.
+        if let Some(previous) = &ck.owner {
+            if self.checkpoint_owner.as_deref() != Some(previous.as_str()) {
+                attrs.push(("previous_owner", previous.clone().into()));
+            }
+        }
+        tr.event("resumed", &attrs);
         Some(ck)
     }
 
@@ -679,6 +698,7 @@ impl YieldOptimizer {
             phase_sims,
             analysis: analysis.clone(),
             snapshots: snapshots.to_vec(),
+            owner: self.checkpoint_owner.clone(),
         };
         if let Some(hook) = &self.checkpoint_hook {
             hook(&ck);

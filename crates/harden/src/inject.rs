@@ -306,10 +306,19 @@ impl<E: CircuitEnv + ?Sized> CircuitEnv for FaultInjector<'_, E> {
 /// `specwise-serve` hangs one of these on every tenant so concurrent jobs
 /// draw from a common allowance, and reads [`SharedBudget::used`] for its
 /// per-tenant sim-count metrics.
+///
+/// The meter also carries an *external* charge count
+/// ([`SharedBudget::set_external`]): evaluations performed against the same
+/// allowance by other processes, as reported by a durable ledger. The
+/// allowance is enforced against `used + external`, which is how
+/// `specwise-serve` holds per-tenant budgets across a fleet of daemons
+/// sharing one spool — each daemon charges its own meter locally and folds
+/// its peers' totals in whenever the spool ledger is reconciled.
 #[derive(Debug)]
 pub struct SharedBudget {
     budget: u64,
     used: AtomicU64,
+    external: AtomicU64,
     tripped: AtomicBool,
 }
 
@@ -319,6 +328,7 @@ impl SharedBudget {
         SharedBudget {
             budget,
             used: AtomicU64::new(0),
+            external: AtomicU64::new(0),
             tripped: AtomicBool::new(false),
         }
     }
@@ -328,9 +338,35 @@ impl SharedBudget {
         self.budget
     }
 
-    /// Evaluations charged so far (including any rejected after the trip).
+    /// Evaluations charged locally so far (including any rejected after the
+    /// trip). Does not include external charges.
     pub fn used(&self) -> u64 {
         self.used.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations charged against the same allowance elsewhere, as last
+    /// reported via [`SharedBudget::set_external`].
+    pub fn external(&self) -> u64 {
+        self.external.load(Ordering::Relaxed)
+    }
+
+    /// Local plus external charges — the number the allowance is enforced
+    /// against.
+    pub fn total_used(&self) -> u64 {
+        self.used().saturating_add(self.external())
+    }
+
+    /// Fold in evaluations charged by other processes. The stored value is
+    /// monotone (ledger totals only grow), so a stale reconciliation can
+    /// never un-trip a budget or widen the remaining allowance.
+    pub fn set_external(&self, external: u64) {
+        self.external.fetch_max(external, Ordering::Relaxed);
+        // Trip only when the fleet has over-spent: a total of exactly
+        // `budget` mirrors the local rule, where the allowance admits
+        // `budget` charges and trips on the first rejected one.
+        if self.total_used() > self.budget {
+            self.tripped.store(true, Ordering::Relaxed);
+        }
     }
 
     /// Whether the allowance was exhausted at least once.
@@ -338,9 +374,11 @@ impl SharedBudget {
         self.tripped.load(Ordering::Relaxed)
     }
 
-    /// Charge one evaluation; `false` once the allowance is exhausted.
+    /// Charge one evaluation; `false` once the allowance is exhausted
+    /// (counting both local and external charges).
     fn charge(&self) -> bool {
-        if self.used.fetch_add(1, Ordering::Relaxed) >= self.budget {
+        let prior = self.used.fetch_add(1, Ordering::Relaxed);
+        if prior.saturating_add(self.external()) >= self.budget {
             self.tripped.store(true, Ordering::Relaxed);
             false
         } else {

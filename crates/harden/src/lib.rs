@@ -253,4 +253,42 @@ mod tests {
         // Fatal, not retryable: no retry policy may absorb a kill.
         assert!(!err.is_simulation_failure());
     }
+
+    #[test]
+    fn external_charges_count_against_the_shared_allowance() {
+        let e = env();
+        let budget = std::sync::Arc::new(SharedBudget::new(10));
+        let kill = KillSwitch::soft_with_budget(&e, std::sync::Arc::clone(&budget));
+        let theta = OperatingPoint::new(27.0, 3.3);
+        let d = DVec::from_slice(&[1.0]);
+        let s = DVec::from_slice(&[0.0, 0.0]);
+        for _ in 0..4 {
+            assert!(CircuitEnv::eval_performances(&kill, &d, &s, &theta).is_ok());
+        }
+        // A peer process reports 6 charges against the same allowance:
+        // 4 local + 6 external = 10 → the very next charge is rejected.
+        budget.set_external(6);
+        assert_eq!(budget.total_used(), 10);
+        assert!(!budget.tripped(), "at the cap but not yet over");
+        let err = CircuitEnv::eval_performances(&kill, &d, &s, &theta).unwrap_err();
+        assert!(budget.tripped());
+        // Soft mode: retryable, so failure-tolerant layers degrade.
+        assert!(err.is_simulation_failure());
+        assert_eq!(budget.used(), 5, "local meter keeps local semantics");
+        assert_eq!(budget.external(), 6);
+    }
+
+    #[test]
+    fn external_reconciliation_is_monotone_and_can_trip_directly() {
+        let budget = SharedBudget::new(8);
+        budget.set_external(5);
+        // A stale (smaller) ledger read must never widen the allowance.
+        budget.set_external(3);
+        assert_eq!(budget.external(), 5);
+        assert!(!budget.tripped());
+        // Reconciling past the cap trips the meter without a local charge.
+        budget.set_external(9);
+        assert!(budget.tripped());
+        assert_eq!(budget.used(), 0);
+    }
 }

@@ -5,28 +5,47 @@
 //! compiles it through the hardened limited parser *before* accepting
 //! (malformed and oversized decks bounce with a structured error and the
 //! daemon keeps serving), persists the spec to the spool as `<id>.req`,
-//! and queues it. A worker slot claims the job, runs the full Fig. 6
-//! flow under the tenant's shared simulation budget, checkpoints into
-//! the spool after every iteration, and streams journal records to any
-//! subscribed client. The settled outcome lands in `<id>.out`
-//! (atomically, tmp + rename). On restart the daemon rescans the spool:
-//! specs with an outcome are served from it, specs without one re-enter
-//! the queue and — thanks to their checkpoints — resume bit-for-bit.
+//! and queues it. A worker slot claims the job, takes its spool lease
+//! (see [`crate::lease`]), runs the full Fig. 6 flow under the tenant's
+//! shared simulation budget, checkpoints into the spool after every
+//! iteration, and streams journal records to any subscribed client. The
+//! settled outcome lands in `<id>.out` (atomically, tmp + rename);
+//! failures persist as `<id>.fail` so no daemon re-runs a
+//! deterministically failing job. On restart the daemon rescans the
+//! spool: specs with an outcome are served from it, specs without one
+//! re-enter the queue and — thanks to their checkpoints — resume
+//! bit-for-bit.
+//!
+//! # Fleet mode
+//!
+//! Any number of daemons may share one spool directory. The lease file
+//! (`<id>.lease`) arbitrates who runs each job; a fleet loop per daemon
+//! heartbeats held leases and its own liveness file, reconciles the
+//! per-tenant budget ledger (see [`crate::ledger`]), adopts jobs that
+//! peers spooled, and settles or re-queues jobs whose holder finished or
+//! died. A job a peer holds reports as `"remote"` in `status`;
+//! `subscribe` still works for it by tailing the `<id>.journal` mirror
+//! the holder writes into the spool.
 
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use specwise::{Checkpoint, Tracer};
 use specwise_ckt::{DeckLimits, Testbench};
 use specwise_exec::ExecConfig;
 use specwise_trace::json;
 
 use crate::job::{run_job, JobOutcome, JobRequest, JobSpec};
+use crate::lease::{self, Acquire, Lease};
+use crate::ledger::TenantLedger;
 use crate::protocol::{end_marker, read_line_bounded, LineRead, Request, WireError};
-use crate::state::ServeState;
+use crate::state::{FleetStatus, JobState, ServeState};
 
 /// Daemon configuration. Every field has a `SPECWISE_SERVE_*`
 /// environment knob read by [`ServeConfig::from_env`].
@@ -35,14 +54,28 @@ pub struct ServeConfig {
     /// Listen address (`SPECWISE_SERVE_ADDR`). Port `0` picks a free
     /// port; [`Daemon::local_addr`] reports the bound one.
     pub addr: String,
-    /// Spool directory for `.req`/`.ckpt`/`.out` job files
-    /// (`SPECWISE_SERVE_SPOOL`).
+    /// Spool directory for `.req`/`.ckpt`/`.out`/`.fail`/`.lease`/
+    /// `.journal` job files (`SPECWISE_SERVE_SPOOL`). Daemons sharing a
+    /// spool form a fleet.
     pub spool: PathBuf,
+    /// This daemon's fleet identity (`SPECWISE_SERVE_OWNER`): stamped
+    /// into leases, checkpoints, and the budget ledger. The default is
+    /// unique per daemon instance (pid plus an in-process counter);
+    /// set it explicitly for stable names in operations tooling.
+    pub owner: String,
+    /// Lease expiry window (`SPECWISE_SERVE_LEASE_EXPIRY`, seconds): a
+    /// lease not heartbeated for this long counts as dead and may be
+    /// stolen. Must be much larger than [`ServeConfig::heartbeat`].
+    pub lease_expiry: Duration,
+    /// Lease/liveness heartbeat and fleet-tick interval
+    /// (`SPECWISE_SERVE_HEARTBEAT`, seconds).
+    pub heartbeat: Duration,
     /// Concurrent job slots; the evaluation worker pool is divided
     /// across them (`SPECWISE_SERVE_SLOTS`).
     pub slots: usize,
     /// Per-tenant simulation budget in evaluation calls
-    /// (`SPECWISE_SERVE_TENANT_BUDGET`; `0` means unlimited).
+    /// (`SPECWISE_SERVE_TENANT_BUDGET`; `0` means unlimited). Enforced
+    /// fleet-wide through the spool ledger.
     pub tenant_budget: u64,
     /// Maximum request line length in bytes (`SPECWISE_SERVE_MAX_LINE`).
     pub max_line_bytes: usize,
@@ -59,11 +92,30 @@ pub struct ServeConfig {
     pub exec: ExecConfig,
 }
 
+/// Process-unique suffix for temp files and default owner ids (two
+/// daemons in one test process share a pid, so the pid alone is not
+/// unique).
+fn unique_suffix() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+fn default_owner() -> String {
+    format!("d{}", unique_suffix())
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:7601".into(),
             spool: std::env::temp_dir().join("specwise-spool"),
+            owner: default_owner(),
+            lease_expiry: Duration::from_secs(30),
+            heartbeat: Duration::from_secs(3),
             slots: 2,
             tenant_budget: u64::MAX,
             max_line_bytes: 4 << 20,
@@ -106,6 +158,18 @@ impl ServeConfig {
         {
             cfg.spool = PathBuf::from(spool.trim());
         }
+        if let Some(owner) = std::env::var("SPECWISE_SERVE_OWNER")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+        {
+            cfg.owner = owner.trim().to_owned();
+        }
+        if let Some(secs) = parse_var::<f64>("SPECWISE_SERVE_LEASE_EXPIRY") {
+            cfg.lease_expiry = Duration::from_secs_f64(secs.max(0.05));
+        }
+        if let Some(secs) = parse_var::<f64>("SPECWISE_SERVE_HEARTBEAT") {
+            cfg.heartbeat = Duration::from_secs_f64(secs.max(0.01));
+        }
         if let Some(n) = parse_var::<usize>("SPECWISE_SERVE_SLOTS") {
             cfg.slots = n.max(1);
         }
@@ -130,20 +194,64 @@ impl ServeConfig {
         self.spool.join(format!("{id}.ckpt"))
     }
 
-    fn req_path(&self, id: &str) -> PathBuf {
+    /// The spool path of a job's accepted spec.
+    pub fn req_path(&self, id: &str) -> PathBuf {
         self.spool.join(format!("{id}.req"))
     }
 
-    fn out_path(&self, id: &str) -> PathBuf {
+    /// The spool path of a job's settled outcome.
+    pub fn out_path(&self, id: &str) -> PathBuf {
         self.spool.join(format!("{id}.out"))
+    }
+
+    /// The spool path of a job's persisted failure reason. Its presence
+    /// stops every daemon from re-running a deterministically failing
+    /// job after restarts or lease takeovers.
+    pub fn fail_path(&self, id: &str) -> PathBuf {
+        self.spool.join(format!("{id}.fail"))
+    }
+
+    /// The spool path of a job's mirrored run journal, written by the
+    /// lease holder so peer daemons can serve `subscribe` for it.
+    pub fn journal_path(&self, id: &str) -> PathBuf {
+        self.spool.join(format!("{id}.journal"))
     }
 }
 
-/// Atomic file write: temp file in the same directory, then rename.
+/// Atomic file write: unique temp file in the same directory, then
+/// rename (unique so two daemons writing the same target — an idempotent
+/// re-run after a lease steal — never interleave in one temp file).
 fn write_atomic(path: &std::path::Path, contents: &str) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
+    let tmp = path.with_extension(format!("tmp-{}", unique_suffix()));
     std::fs::write(&tmp, contents)?;
     std::fs::rename(&tmp, path)
+}
+
+/// Exclusive file creation (`O_EXCL`): fails with `AlreadyExists` when a
+/// peer daemon spooled the same path first — the job-id claim.
+fn write_new(path: &std::path::Path, contents: &str) -> io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)?;
+    file.write_all(contents.as_bytes())?;
+    file.sync_all()
+}
+
+/// Fleet bookkeeping shared by the workers, the fleet loop, and the
+/// `status` handler: the held-lease registry, steal/loss counters, and
+/// the durable tenant ledger.
+#[derive(Debug)]
+struct FleetShared {
+    /// Job id → the lease the local worker currently holds for it.
+    leases: Mutex<HashMap<String, Arc<Lease>>>,
+    /// Leases taken over from expired holders since daemon start.
+    stolen: AtomicU64,
+    /// Expired peer leases observed (and re-queued) since daemon start.
+    expired: AtomicU64,
+    /// Own leases lost to a thief while running, since daemon start.
+    lost: AtomicU64,
+    ledger: TenantLedger,
 }
 
 /// A running daemon. Dropping the handle does **not** stop it; call
@@ -151,15 +259,17 @@ fn write_atomic(path: &std::path::Path, contents: &str) -> io::Result<()> {
 #[derive(Debug)]
 pub struct Daemon {
     state: Arc<ServeState>,
+    cfg: Arc<ServeConfig>,
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    fleet_thread: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
     /// Starts the daemon: creates the spool, recovers spooled jobs from
     /// a previous process, binds the listener, and spawns the accept
-    /// loop plus `cfg.slots` worker threads.
+    /// loop, `cfg.slots` worker threads, and the fleet loop.
     ///
     /// # Errors
     ///
@@ -168,7 +278,15 @@ impl Daemon {
         std::fs::create_dir_all(&cfg.spool)?;
         let state = Arc::new(ServeState::new(cfg.tenant_budget));
         let cfg = Arc::new(cfg);
-        recover_spool(&cfg, &state);
+        let fleet = Arc::new(FleetShared {
+            leases: Mutex::new(HashMap::new()),
+            stolen: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            ledger: TenantLedger::open(&cfg.spool, &cfg.owner)?,
+        });
+        scan_spool(&cfg, &state, &mut HashSet::new());
+        let _ = lease::touch_alive(&cfg.spool, &cfg.owner);
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
@@ -177,16 +295,28 @@ impl Daemon {
             .map(|slot| {
                 let state = Arc::clone(&state);
                 let cfg = Arc::clone(&cfg);
+                let fleet = Arc::clone(&fleet);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{slot}"))
-                    .spawn(move || worker_loop(&state, &cfg))
+                    .spawn(move || worker_loop(&state, &cfg, &fleet))
                     .expect("spawn worker thread")
             })
             .collect();
 
+        let fleet_thread = {
+            let state = Arc::clone(&state);
+            let cfg = Arc::clone(&cfg);
+            let fleet = Arc::clone(&fleet);
+            std::thread::Builder::new()
+                .name("serve-fleet".into())
+                .spawn(move || fleet_loop(&state, &cfg, &fleet))
+                .expect("spawn fleet thread")
+        };
+
         let accept = {
             let state = Arc::clone(&state);
             let cfg = Arc::clone(&cfg);
+            let fleet = Arc::clone(&fleet);
             std::thread::Builder::new()
                 .name("serve-accept".into())
                 .spawn(move || {
@@ -197,12 +327,13 @@ impl Daemon {
                         let Ok(stream) = stream else { continue };
                         let state = Arc::clone(&state);
                         let cfg = Arc::clone(&cfg);
+                        let fleet = Arc::clone(&fleet);
                         // Handler threads are detached: they end at peer
                         // EOF, and at shutdown they die with the process
                         // (tests) or the failing socket.
                         let _ = std::thread::Builder::new().name("serve-conn".into()).spawn(
                             move || {
-                                let _ = handle_connection(stream, &state, &cfg);
+                                let _ = handle_connection(stream, &state, &cfg, &fleet);
                             },
                         );
                     }
@@ -212,9 +343,11 @@ impl Daemon {
 
         Ok(Daemon {
             state,
+            cfg,
             local_addr,
             accept: Some(accept),
             workers,
+            fleet_thread: Some(fleet_thread),
         })
     }
 
@@ -228,8 +361,14 @@ impl Daemon {
         &self.state
     }
 
+    /// The effective configuration (owner id, spool paths, knobs).
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
     /// Graceful stop: drains nothing — workers finish their current job
-    /// and exit, queued jobs stay in the spool for the next start.
+    /// and exit, queued jobs stay in the spool for the next start (or
+    /// for a peer daemon to steal after the lease expiry).
     pub fn shutdown(mut self) {
         self.state.shutdown();
         // Unblock the accept loop with a no-op connection.
@@ -239,6 +378,9 @@ impl Daemon {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(fleet) = self.fleet_thread.take() {
+            let _ = fleet.join();
         }
     }
 
@@ -251,10 +393,13 @@ impl Daemon {
     }
 }
 
-/// Rescans the spool directory after a restart. Specs with a settled
-/// outcome are inserted as done; the rest re-enter the queue in job-id
-/// order (their checkpoints make the re-run resume, not restart).
-fn recover_spool(cfg: &ServeConfig, state: &ServeState) {
+/// Scans the spool for job specs this daemon does not know yet: settled
+/// ones (`.out`/`.fail` present) are inserted as settled, the rest enter
+/// the queue in job-id order (their checkpoints make a re-run resume,
+/// not restart). Runs at startup (classic crash recovery) and on every
+/// fleet tick (adopting jobs peers spooled). `warned` suppresses repeat
+/// warnings about unreadable or corrupt entries across ticks.
+fn scan_spool(cfg: &ServeConfig, state: &ServeState, warned: &mut HashSet<String>) {
     let Ok(entries) = std::fs::read_dir(&cfg.spool) else {
         return;
     };
@@ -264,6 +409,7 @@ fn recover_spool(cfg: &ServeConfig, state: &ServeState) {
             let name = e.file_name().into_string().ok()?;
             name.strip_suffix(".req").map(str::to_owned)
         })
+        .filter(|id| !state.known(id))
         .collect();
     ids.sort();
     let mut max_seen = 0u64;
@@ -271,48 +417,236 @@ fn recover_spool(cfg: &ServeConfig, state: &ServeState) {
         let text = match std::fs::read_to_string(cfg.req_path(&id)) {
             Ok(text) => text,
             Err(e) => {
-                eprintln!("specwise-serve: skipping unreadable spool entry {id}: {e}");
+                if warned.insert(id.clone()) {
+                    eprintln!("specwise-serve: skipping unreadable spool entry {id}: {e}");
+                }
                 continue;
             }
         };
         let spec = match JobSpec::from_json_str(&text) {
             Ok(spec) => spec,
             Err(e) => {
-                eprintln!("specwise-serve: skipping corrupt spool entry {id}: {e}");
+                if warned.insert(id.clone()) {
+                    eprintln!("specwise-serve: skipping corrupt spool entry {id}: {e}");
+                }
                 continue;
             }
         };
         if let Some(n) = id.strip_prefix("job-").and_then(|s| s.parse::<u64>().ok()) {
             max_seen = max_seen.max(n);
         }
-        match std::fs::read_to_string(cfg.out_path(&id)) {
-            Ok(out) => match JobOutcome::from_json_str(&out) {
-                Ok(outcome) => state.insert_settled(spec, outcome),
+        if let Ok(out) = std::fs::read_to_string(cfg.out_path(&id)) {
+            match JobOutcome::from_json_str(&out) {
+                Ok(outcome) => {
+                    state.insert_settled(spec, outcome);
+                    continue;
+                }
                 Err(e) => {
                     eprintln!("specwise-serve: re-running {id} (corrupt outcome: {e})");
-                    state.enqueue(spec);
                 }
-            },
-            Err(_) => {
-                state.enqueue(spec);
             }
+        } else if let Ok(reason) = std::fs::read_to_string(cfg.fail_path(&id)) {
+            state.insert_failed(spec, reason.trim_end().to_string());
+            continue;
         }
+        state.adopt(spec);
     }
     state.reserve_ids_through(max_seen);
 }
 
-fn worker_loop(state: &ServeState, cfg: &ServeConfig) {
+/// A client may ask any fleet member about any job, and an id this
+/// daemon has not seen yet may still be in the shared spool (submitted
+/// to a peer moments ago). One scan adopts it before answering, so
+/// `result`/`subscribe` work fleet-wide without waiting a fleet tick.
+fn ensure_known(job: &str, state: &ServeState, cfg: &ServeConfig) {
+    if !state.known(job) {
+        scan_spool(cfg, state, &mut HashSet::new());
+    }
+}
+
+/// Settles a known job from the spool artifacts a peer (or a previous
+/// process) left: `.out` wins over `.fail`. Returns `true` when settled.
+fn settle_from_spool(id: &str, state: &ServeState, cfg: &ServeConfig) -> bool {
+    if let Ok(text) = std::fs::read_to_string(cfg.out_path(id)) {
+        if let Ok(outcome) = JobOutcome::from_json_str(&text) {
+            state.settle_remote(id, outcome);
+            return true;
+        }
+    }
+    if let Ok(reason) = std::fs::read_to_string(cfg.fail_path(id)) {
+        state.fail_remote(id, reason.trim_end().to_string());
+        return true;
+    }
+    false
+}
+
+fn worker_loop(state: &ServeState, cfg: &ServeConfig, fleet: &FleetShared) {
     while let Some((spec, journal, budget)) = state.claim() {
-        let result = run_job(&spec, cfg, &budget, &journal);
-        if let Ok(outcome) = &result {
-            if let Err(e) = write_atomic(&cfg.out_path(&spec.id), &outcome.to_json()) {
+        // A peer may have settled the job while it sat in our queue.
+        if settle_from_spool(&spec.id, state, cfg) {
+            continue;
+        }
+        let held = match lease::acquire(&cfg.spool, &spec.id, &cfg.owner, cfg.lease_expiry) {
+            Ok(Acquire::Acquired { lease, stolen }) => {
+                if let Some(previous) = stolen {
+                    fleet.stolen.fetch_add(1, Ordering::Relaxed);
+                    let tracer = Tracer::new(Arc::clone(&journal));
+                    let iteration = Checkpoint::peek(&cfg.checkpoint_path(&spec.id))
+                        .map(|meta| meta.iteration as u64)
+                        .unwrap_or(0);
+                    tracer.event(
+                        "lease-takeover",
+                        &[
+                            ("previous_owner", previous.owner.clone().into()),
+                            ("epoch", lease.info().epoch.into()),
+                            ("checkpoint_iteration", iteration.into()),
+                        ],
+                    );
+                }
+                Some(Arc::new(lease))
+            }
+            Ok(Acquire::HeldByPeer(info)) => {
+                state.mark_remote(&spec.id, info.owner);
+                continue;
+            }
+            Err(e) => {
+                // Lease I/O failure must not kill the single-daemon
+                // story; run leaseless (peers may duplicate the work,
+                // which the deterministic flow makes harmless).
                 eprintln!(
-                    "specwise-serve: failed to spool outcome of {}: {e}",
+                    "specwise-serve: lease on {} failed ({e}); running leaseless",
                     spec.id
                 );
+                None
+            }
+        };
+        // The previous holder writes `.out` before releasing its lease,
+        // so a settled job can slip in between our settle check above
+        // and the claim. Re-check while holding the lease: a `.out`
+        // present now is final (nobody else can be running the job).
+        if settle_from_spool(&spec.id, state, cfg) {
+            if let Some(lease) = held {
+                lease.release();
+            }
+            continue;
+        }
+        if let Some(lease) = &held {
+            fleet
+                .leases
+                .lock()
+                .unwrap()
+                .insert(spec.id.clone(), Arc::clone(lease));
+        }
+        state.set_holder(&spec.id, cfg.owner.clone());
+        let result = run_job(&spec, cfg, &budget, &journal);
+        // Publish this run's charges before the outcome: a peer must
+        // never observe a finished job whose sims are not yet on the
+        // ledger.
+        fleet.ledger.reconcile(&spec.tenant, &budget);
+        match &result {
+            Ok(outcome) => {
+                if let Err(e) = write_atomic(&cfg.out_path(&spec.id), &outcome.to_json()) {
+                    eprintln!(
+                        "specwise-serve: failed to spool outcome of {}: {e}",
+                        spec.id
+                    );
+                }
+            }
+            Err(reason) => {
+                if let Err(e) = write_atomic(&cfg.fail_path(&spec.id), reason) {
+                    eprintln!(
+                        "specwise-serve: failed to spool failure of {}: {e}",
+                        spec.id
+                    );
+                }
             }
         }
+        if let Some(lease) = held {
+            fleet.leases.lock().unwrap().remove(&spec.id);
+            if lease.is_lost() {
+                fleet.lost.fetch_add(1, Ordering::Relaxed);
+            }
+            lease.release();
+        }
         state.finish(&spec.id, result);
+    }
+}
+
+/// The per-daemon fleet tick: heartbeats held leases and the liveness
+/// file, reconciles tenant budgets against the spool ledger, settles or
+/// re-queues jobs a peer holds, and adopts jobs peers spooled. Runs
+/// every [`ServeConfig::heartbeat`] until shutdown.
+fn fleet_loop(state: &ServeState, cfg: &ServeConfig, fleet: &FleetShared) {
+    let mut warned = HashSet::new();
+    loop {
+        if let Err(e) = lease::touch_alive(&cfg.spool, &cfg.owner) {
+            eprintln!("specwise-serve: liveness touch failed: {e}");
+        }
+        let held: Vec<Arc<Lease>> = fleet.leases.lock().unwrap().values().cloned().collect();
+        for lease in held {
+            match lease.heartbeat() {
+                Ok(_) => {} // a lost lease is counted when the worker releases it
+                Err(e) => eprintln!(
+                    "specwise-serve: heartbeat on {} failed: {e}",
+                    lease.info().job
+                ),
+            }
+        }
+        for (tenant, budget) in state.tenant_budgets() {
+            fleet.ledger.reconcile(&tenant, &budget);
+        }
+        for id in state.remote_jobs() {
+            if settle_from_spool(&id, state, cfg) {
+                continue;
+            }
+            match lease::inspect(&cfg.spool, &id, cfg.lease_expiry) {
+                Some((_, false)) => {} // holder is alive
+                // Lease expired or vanished without an outcome: the
+                // holder died. Re-queue so a local worker can steal it
+                // and resume from the checkpoint.
+                _ => {
+                    fleet.expired.fetch_add(1, Ordering::Relaxed);
+                    state.requeue(&id);
+                }
+            }
+        }
+        scan_spool(cfg, state, &mut warned);
+        if state.wait_shutdown(cfg.heartbeat) {
+            break;
+        }
+    }
+    lease::remove_alive(&cfg.spool, &cfg.owner);
+}
+
+/// Assembles the `status` fleet figures from the lease registry, the
+/// liveness files, and the spool ledger.
+fn fleet_status(state: &ServeState, cfg: &ServeConfig, fleet: &FleetShared) -> FleetStatus {
+    let local: HashMap<String, u64> = state
+        .tenant_budgets()
+        .into_iter()
+        .map(|(tenant, budget)| (tenant, budget.used()))
+        .collect();
+    let mut tenants = fleet.ledger.tenants();
+    tenants.extend(local.keys().cloned());
+    tenants.sort();
+    tenants.dedup();
+    let tenants_fleet = tenants
+        .into_iter()
+        .map(|tenant| {
+            let used = fleet
+                .ledger
+                .fleet_used(&tenant, local.get(&tenant).copied().unwrap_or(0));
+            (tenant, used)
+        })
+        .collect();
+    FleetStatus {
+        owner: cfg.owner.clone(),
+        daemons_live: lease::live_daemons(&cfg.spool, cfg.lease_expiry),
+        leases_held: fleet.leases.lock().unwrap().len(),
+        leases_stolen: fleet.stolen.load(Ordering::Relaxed),
+        leases_expired: fleet.expired.load(Ordering::Relaxed),
+        leases_lost: fleet.lost.load(Ordering::Relaxed),
+        tenants_fleet,
     }
 }
 
@@ -326,6 +660,7 @@ fn handle_connection(
     stream: TcpStream,
     state: &Arc<ServeState>,
     cfg: &ServeConfig,
+    fleet: &FleetShared,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -349,7 +684,7 @@ fn handle_connection(
                 }
                 match Request::parse(&line) {
                     Err(err) => respond(&mut writer, &err.to_line())?,
-                    Ok(req) => dispatch(req, &mut reader, &mut writer, state, cfg)?,
+                    Ok(req) => dispatch(req, &mut reader, &mut writer, state, cfg, fleet)?,
                 }
             }
         }
@@ -362,6 +697,7 @@ fn dispatch(
     writer: &mut TcpStream,
     state: &Arc<ServeState>,
     cfg: &ServeConfig,
+    fleet: &FleetShared,
 ) -> io::Result<()> {
     match req {
         Request::Submit(request) => match accept_job(request, state, cfg) {
@@ -373,8 +709,12 @@ fn dispatch(
             }
             Err(err) => respond(writer, &err.to_line()),
         },
-        Request::Status => respond(writer, &state.status_line()),
+        Request::Status => {
+            let snapshot = fleet_status(state, cfg, fleet);
+            respond(writer, &state.status_line(Some(&snapshot)))
+        }
         Request::Result { job, wait } => {
+            ensure_known(&job, state, cfg);
             let entry = if wait {
                 state.wait_settled(&job)
             } else {
@@ -404,23 +744,28 @@ fn dispatch(
                 }
             }
         }
-        Request::Subscribe { job } => match state.entry(&job) {
-            Err(err) => respond(writer, &err.to_line()),
-            Ok(_) => {
-                let mut line = String::from("{\"ok\":true,\"job\":");
-                json::write_json_string(&mut line, &job);
-                line.push('}');
-                respond(writer, &line)?;
-                stream_journal(&job, writer, state)
+        Request::Subscribe { job } => {
+            ensure_known(&job, state, cfg);
+            match state.entry(&job) {
+                Err(err) => respond(writer, &err.to_line()),
+                Ok(_) => {
+                    let mut line = String::from("{\"ok\":true,\"job\":");
+                    json::write_json_string(&mut line, &job);
+                    line.push('}');
+                    respond(writer, &line)?;
+                    stream_journal(&job, writer, state, cfg)
+                }
             }
-        },
+        }
     }
 }
 
 /// Validates and accepts a submission: the deck must compile through the
 /// limited parser *now* (the untrusted boundary — a hostile deck is
 /// rejected synchronously with a structured error and never reaches a
-/// worker), then the spec is spooled and queued.
+/// worker), then the spec is spooled and queued. The spool write is
+/// exclusive-create, so two daemons sharing the spool can never hand out
+/// the same job id — a collision just advances to the next id.
 fn accept_job(
     request: JobRequest,
     state: &ServeState,
@@ -432,28 +777,61 @@ fn accept_job(
     let options = request
         .resolve()
         .map_err(|e| WireError::new("bad-request", e))?;
-    let spec = JobSpec {
-        id: state.next_id(),
-        tenant: request.tenant,
-        deck: request.deck,
-        options,
-    };
-    write_atomic(&cfg.req_path(&spec.id), &spec.to_json())
-        .map_err(|e| WireError::new("bad-request", format!("failed to spool job: {e}")))?;
-    let id = spec.id.clone();
-    state.enqueue(spec);
-    Ok(id)
+    for _ in 0..10_000 {
+        let spec = JobSpec {
+            id: state.next_id(),
+            tenant: request.tenant.clone(),
+            deck: request.deck.clone(),
+            options,
+        };
+        match write_new(&cfg.req_path(&spec.id), &spec.to_json()) {
+            Ok(()) => {
+                let id = spec.id.clone();
+                state.enqueue(spec);
+                return Ok(id);
+            }
+            // A peer daemon spooled this id first; take the next one.
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => {
+                return Err(WireError::new(
+                    "bad-request",
+                    format!("failed to spool job: {e}"),
+                ))
+            }
+        }
+    }
+    Err(WireError::new(
+        "bad-request",
+        "failed to spool job: id space exhausted".to_string(),
+    ))
 }
 
 /// Streams the job's journal to the peer: the subscription starts with
 /// the full backlog (late subscribers see the whole run), then follows
 /// live records until the job settles, and ends with the `{"end":...}`
 /// marker. The connection then returns to request/response mode.
-fn stream_journal(job: &str, writer: &mut TcpStream, state: &ServeState) -> io::Result<()> {
+///
+/// Jobs a peer daemon holds have no local journal; their spans fan in
+/// from the `<id>.journal` mirror the holder writes into the spool.
+fn stream_journal(
+    job: &str,
+    writer: &mut TcpStream,
+    state: &ServeState,
+    cfg: &ServeConfig,
+) -> io::Result<()> {
     let entry = match state.entry(job) {
         Ok(entry) => entry,
         Err(err) => return respond(writer, &err.to_line()),
     };
+    if entry.state == JobState::Remote {
+        return tail_spool_journal(job, writer, state, cfg);
+    }
+    if entry.state.settled() && entry.journal.is_empty() {
+        // Settled by a peer or a previous process: replay its mirrored
+        // journal (when one exists) instead of an empty stream.
+        replay_journal_file(&cfg.journal_path(job), 0, writer)?;
+        return respond(writer, &end_marker(job, entry.state.as_str()));
+    }
     let sub = entry.journal.subscribe();
     loop {
         match sub.recv_timeout(Duration::from_millis(50)) {
@@ -478,6 +856,51 @@ fn stream_journal(job: &str, writer: &mut TcpStream, state: &ServeState) -> io::
     Ok(())
 }
 
+/// Writes the complete lines of a journal mirror starting at byte
+/// `offset`; returns the offset one past the last complete line.
+fn replay_journal_file(path: &Path, offset: usize, writer: &mut TcpStream) -> io::Result<usize> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    // Shrunk below our offset: the holder (re)attached and truncated the
+    // mirror — start over, replaying its fresh backlog.
+    let offset = if text.len() < offset { 0 } else { offset };
+    let chunk = &text[offset..];
+    let complete = chunk.rfind('\n').map_or(0, |i| i + 1);
+    for line in chunk[..complete].lines().filter(|l| !l.trim().is_empty()) {
+        respond(writer, line)?;
+    }
+    Ok(offset + complete)
+}
+
+/// `subscribe` fan-in for a job some peer daemon runs: tails the spool
+/// journal mirror until the job settles locally (the fleet loop settles
+/// it from the peer's `.out`/`.fail`), then emits the end marker. When
+/// the job comes home instead (the peer died and a local worker stole
+/// it), switches to the live in-memory stream.
+fn tail_spool_journal(
+    job: &str,
+    writer: &mut TcpStream,
+    state: &ServeState,
+    cfg: &ServeConfig,
+) -> io::Result<()> {
+    let path = cfg.journal_path(job);
+    let mut offset = 0usize;
+    loop {
+        offset = replay_journal_file(&path, offset, writer)?;
+        let entry = match state.entry(job) {
+            Ok(entry) => entry,
+            Err(_) => return Ok(()),
+        };
+        if entry.state.settled() {
+            replay_journal_file(&path, offset, writer)?;
+            return respond(writer, &end_marker(job, entry.state.as_str()));
+        }
+        if entry.state != JobState::Remote {
+            return stream_journal(job, writer, state, cfg);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,23 +910,48 @@ mod tests {
         let cfg = ServeConfig::default();
         assert!(!cfg.warm_start, "bit-for-bit resume needs cold starts");
         assert!(cfg.slots >= 1);
+        assert!(
+            cfg.lease_expiry >= cfg.heartbeat * 4,
+            "expiry must dwarf the heartbeat or live leases get stolen"
+        );
         assert_eq!(
             cfg.checkpoint_path("job-0001"),
             cfg.spool.join("job-0001.ckpt")
         );
         assert_eq!(cfg.req_path("j").extension().unwrap(), "req");
         assert_eq!(cfg.out_path("j").extension().unwrap(), "out");
+        assert_eq!(cfg.fail_path("j").extension().unwrap(), "fail");
+        assert_eq!(cfg.journal_path("j").extension().unwrap(), "journal");
+        let other = ServeConfig::default();
+        assert_ne!(cfg.owner, other.owner, "default owner ids are unique");
     }
 
     #[test]
     fn atomic_write_replaces_contents() {
-        let dir = std::env::temp_dir().join(format!("specwise-serve-aw-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("specwise-serve-aw-{}", unique_suffix()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("file.out");
         write_atomic(&path, "one").unwrap();
         write_atomic(&path, "two").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
-        assert!(!path.with_extension("tmp").exists());
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .count();
+        assert_eq!(leftovers, 0, "temp files never outlive the rename");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exclusive_writes_collide_exactly_once_per_path() {
+        let dir = std::env::temp_dir().join(format!("specwise-serve-xw-{}", unique_suffix()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job-0001.req");
+        write_new(&path, "first").unwrap();
+        let err = write_new(&path, "second").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

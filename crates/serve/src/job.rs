@@ -357,6 +357,12 @@ pub fn run_job(
     budget: &Arc<SharedBudget>,
     journal: &Arc<Journal>,
 ) -> Result<JobOutcome, String> {
+    // Mirror the journal into the spool so peer daemons can serve
+    // `subscribe` for this job while we hold its lease. A mirror failure
+    // costs fan-in, never the run.
+    if let Err(e) = journal.attach_jsonl(cfg.journal_path(&spec.id)) {
+        eprintln!("specwise-serve: journal mirror for {} failed: {e}", spec.id);
+    }
     let tb = Testbench::from_deck_limited(&spec.deck, &cfg.deck_limits)
         .map_err(|e| format!("deck rejected: {e}"))?
         .with_warm_start(cfg.warm_start);
@@ -364,6 +370,7 @@ pub fn run_job(
     let svc = EvalService::new(&kill, cfg.exec.clone().into_shard(cfg.slots));
     let trace = YieldOptimizer::new(spec.options.optimizer_config())
         .with_checkpoint(cfg.checkpoint_path(&spec.id))
+        .with_checkpoint_owner(cfg.owner.clone())
         .with_tracer(Tracer::new(Arc::clone(journal)))
         .run(&svc)
         .map_err(|e| e.to_string())?;

@@ -1,0 +1,283 @@
+//! The durable per-tenant budget ledger: append-only charge records in
+//! the spool, so tenant simulation budgets hold across every daemon
+//! sharing it — and across restarts.
+//!
+//! Layout: `spool/ledger/<tenant>@<owner>.ledger`, one file per
+//! (tenant, daemon) pair, each line the daemon's *cumulative* local
+//! charge total for that tenant at write time. Single writer per file
+//! (the owning daemon, in append mode), any number of readers. The
+//! last parseable line wins: totals are monotone, so a crash that
+//! truncates the final line merely under-reports until the next append —
+//! charges are never lost, only reported late. Identifiers are encoded
+//! with [`crate::lease::sanitize`], so arbitrary tenant names are safe.
+//!
+//! Reconciliation: each daemon periodically appends its own totals
+//! (skipping no-change appends) and folds the *other* owners' totals
+//! into the in-process [`SharedBudget`]
+//! via `set_external`, which enforces `local + external ≤ budget`. The
+//! scheme is conservative — a daemon that loses its lease mid-job still
+//! reports its charges — so fleet-wide spend can be over-counted briefly,
+//! never under-counted beyond one reconcile interval.
+
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use specwise_harden::SharedBudget;
+
+use crate::lease::sanitize;
+
+/// Handle on the spool ledger for one daemon (`owner`).
+#[derive(Debug)]
+pub struct TenantLedger {
+    dir: PathBuf,
+    owner: String,
+    /// Last value appended per tenant, to skip no-change appends.
+    last_written: Mutex<HashMap<String, u64>>,
+}
+
+/// Directory holding the ledger files.
+pub fn ledger_dir(spool: &Path) -> PathBuf {
+    spool.join("ledger")
+}
+
+fn last_total(path: &Path) -> u64 {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    // Last parseable line wins; a torn final line falls back to the
+    // previous complete one.
+    text.lines()
+        .rev()
+        .find_map(|line| line.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+impl TenantLedger {
+    /// Opens (creating if needed) the ledger directory under `spool` for
+    /// daemon `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failure.
+    pub fn open(spool: &Path, owner: &str) -> io::Result<TenantLedger> {
+        let dir = ledger_dir(spool);
+        std::fs::create_dir_all(&dir)?;
+        Ok(TenantLedger {
+            dir,
+            owner: owner.to_string(),
+            last_written: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn file_for(&self, tenant: &str, owner: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}@{}.ledger", sanitize(tenant), sanitize(owner)))
+    }
+
+    /// Appends this daemon's cumulative charge total for `tenant`. A
+    /// value equal to the last appended one is skipped (heartbeat-driven
+    /// reconciliation would otherwise grow the file without information).
+    ///
+    /// # Errors
+    ///
+    /// Propagates append failures; callers warn and continue (a missed
+    /// append under-reports for one interval, nothing more).
+    pub fn record(&self, tenant: &str, used: u64) -> io::Result<()> {
+        {
+            let last = self.last_written.lock().unwrap();
+            if last.get(tenant) == Some(&used) {
+                return Ok(());
+            }
+        }
+        let path = self.file_for(tenant, &self.owner);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(file, "{used}")?;
+        file.sync_data()?;
+        self.last_written
+            .lock()
+            .unwrap()
+            .insert(tenant.to_string(), used);
+        Ok(())
+    }
+
+    /// Sum of the cumulative totals every *other* owner has recorded for
+    /// `tenant` — the value to fold into the local meter via
+    /// `SharedBudget::set_external`.
+    pub fn others_used(&self, tenant: &str) -> u64 {
+        let own = self.file_for(tenant, &self.owner);
+        self.tenant_files(tenant)
+            .filter(|path| *path != own)
+            .map(|path| last_total(&path))
+            .sum()
+    }
+
+    /// Fleet-wide charge total for `tenant`: every owner's recorded total
+    /// plus `local_unrecorded` (the live local count, which may be ahead
+    /// of this daemon's last append).
+    pub fn fleet_used(&self, tenant: &str, local_used: u64) -> u64 {
+        self.others_used(tenant).saturating_add(local_used)
+    }
+
+    /// Every tenant with at least one ledger file, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut tenants: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let stem = name.strip_suffix(".ledger")?;
+                let (tenant, _owner) = stem.split_once('@')?;
+                Some(decode(tenant))
+            })
+            .collect();
+        tenants.sort();
+        tenants.dedup();
+        tenants
+    }
+
+    /// Reconciles one tenant budget against the spool: appends the local
+    /// total, reads the peers' totals, and folds them into the meter.
+    /// Ledger I/O failures warn and keep the in-process semantics.
+    pub fn reconcile(&self, tenant: &str, budget: &SharedBudget) {
+        if let Err(e) = self.record(tenant, budget.used()) {
+            eprintln!("specwise-serve: ledger append for tenant {tenant:?} failed: {e}");
+        }
+        budget.set_external(self.others_used(tenant));
+    }
+}
+
+/// Inverse of [`sanitize`]: decodes `%XX` escapes (lossy on malformed
+/// escapes, which only unsanitized hand-made files can contain).
+fn decode(name: &str) -> String {
+    let bytes = name.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let Some(b) = name
+                .get(i + 1..i + 3)
+                .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+            {
+                out.push(b);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+impl TenantLedger {
+    fn tenant_files<'a>(&'a self, tenant: &str) -> impl Iterator<Item = PathBuf> + 'a {
+        let prefix = format!("{}@", sanitize(tenant));
+        std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(move |e| {
+                let name = e.file_name().into_string().ok()?;
+                (name.starts_with(&prefix) && name.ends_with(".ledger")).then(|| e.path())
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn spool(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "specwise-ledger-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn totals_are_cumulative_and_fleet_wide() {
+        let dir = spool("fleet");
+        let a = TenantLedger::open(&dir, "daemon-a").unwrap();
+        let b = TenantLedger::open(&dir, "daemon-b").unwrap();
+        a.record("acme", 10).unwrap();
+        a.record("acme", 25).unwrap();
+        b.record("acme", 7).unwrap();
+        // Each daemon sees only the *others'* totals as external.
+        assert_eq!(a.others_used("acme"), 7);
+        assert_eq!(b.others_used("acme"), 25);
+        assert_eq!(a.fleet_used("acme", 25), 32);
+        assert_eq!(a.others_used("unknown"), 0);
+        assert_eq!(a.tenants(), vec!["acme".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reconcile_folds_peers_into_the_budget() {
+        let dir = spool("reconcile");
+        let a = TenantLedger::open(&dir, "a").unwrap();
+        let b = TenantLedger::open(&dir, "b").unwrap();
+        b.record("acme", 60).unwrap();
+        let budget = SharedBudget::new(100);
+        a.reconcile("acme", &budget);
+        assert_eq!(budget.external(), 60);
+        assert!(!budget.tripped());
+        // The peer over-spends; the next reconcile trips the local meter
+        // without a single local charge.
+        b.record("acme", 130).unwrap();
+        a.reconcile("acme", &budget);
+        assert!(budget.tripped());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_lines_fall_back_to_the_previous_total() {
+        let dir = spool("torn");
+        let a = TenantLedger::open(&dir, "a").unwrap();
+        let b = TenantLedger::open(&dir, "b").unwrap();
+        b.record("acme", 40).unwrap();
+        // Simulate a crash mid-append on b's file: a tail that never
+        // finished writing does not parse, so the previous total stands.
+        let path = ledger_dir(&dir).join("acme@b.ledger");
+        std::fs::write(&path, "40\n58garbage").unwrap();
+        assert_eq!(a.others_used("acme"), 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn odd_tenant_names_round_trip_through_the_filesystem() {
+        let dir = spool("names");
+        let a = TenantLedger::open(&dir, "a").unwrap();
+        let tenant = "acme corp/eu@2";
+        a.record(tenant, 5).unwrap();
+        assert_eq!(a.tenants(), vec![tenant.to_string()]);
+        assert_eq!(a.others_used(tenant), 0);
+        let b = TenantLedger::open(&dir, "b").unwrap();
+        assert_eq!(b.others_used(tenant), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_change_appends_are_skipped() {
+        let dir = spool("dedupe");
+        let a = TenantLedger::open(&dir, "a").unwrap();
+        a.record("acme", 10).unwrap();
+        a.record("acme", 10).unwrap();
+        a.record("acme", 10).unwrap();
+        let path = ledger_dir(&dir).join("acme@a.ledger");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "10\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -72,11 +72,15 @@
 pub mod client;
 pub mod daemon;
 pub mod job;
+pub mod lease;
+pub mod ledger;
 pub mod protocol;
 pub mod state;
 
 pub use client::{Client, ClientError, SubmitOptions};
 pub use daemon::{Daemon, ServeConfig};
 pub use job::{run_job, JobOptions, JobOutcome, JobRequest, JobSpec};
+pub use lease::{Acquire, Lease, LeaseInfo};
+pub use ledger::TenantLedger;
 pub use protocol::{Request, WireError};
-pub use state::{JobState, Metrics, ServeState};
+pub use state::{FleetStatus, JobState, Metrics, ServeState};

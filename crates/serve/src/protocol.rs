@@ -20,6 +20,29 @@ use specwise_trace::TraceValue;
 
 use crate::job::JobRequest;
 
+/// Canonical command names of the wire protocol, in the order
+/// `docs/PROTOCOL.md` documents them. [`Request::parse`] accepts exactly
+/// these; the `protocol_docs` test cross-checks the document against
+/// this list so the reference can never silently drift.
+pub const COMMANDS: [&str; 4] = ["submit", "status", "result", "subscribe"];
+
+/// Canonical error `kind` values a response can carry, in the order
+/// `docs/PROTOCOL.md` documents them. Cross-checked by the
+/// `protocol_docs` test like [`COMMANDS`].
+pub const ERROR_KINDS: [&str; 6] = [
+    "malformed",
+    "bad-request",
+    "oversized",
+    "deck",
+    "unknown-job",
+    "job-failed",
+];
+
+/// Wire names of the job lifecycle states (see
+/// [`JobState::as_str`](crate::state::JobState::as_str)), in lifecycle
+/// order. Cross-checked by the `protocol_docs` test like [`COMMANDS`].
+pub const JOB_STATES: [&str; 5] = ["queued", "running", "remote", "done", "failed"];
+
 /// A structured protocol-level error, serialized on the wire as
 /// `{"ok":false,"error":{"kind":...,"message":...}}`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -411,6 +434,34 @@ mod tests {
             let j = json::parse(&err.to_line()).unwrap();
             assert_eq!(j.get("ok"), Some(&Json::Bool(false)));
         }
+    }
+
+    #[test]
+    fn canonical_name_tables_match_the_implementation() {
+        // Every canonical command is recognized (it may still want more
+        // fields, but never bounces as an unknown command) …
+        for cmd in COMMANDS {
+            if let Err(e) = Request::parse(&format!("{{\"cmd\":\"{cmd}\"}}")) {
+                assert!(!e.message.contains("unknown cmd"), "{cmd}: {e}");
+            }
+        }
+        // … and the unknown-command error names exactly the table.
+        let err = Request::parse("{\"cmd\":\"nope\"}").unwrap_err();
+        for cmd in COMMANDS {
+            assert!(err.message.contains(cmd), "error must list {cmd:?}: {err}");
+        }
+        use crate::state::JobState;
+        assert_eq!(
+            JOB_STATES,
+            [
+                JobState::Queued,
+                JobState::Running,
+                JobState::Remote,
+                JobState::Done,
+                JobState::Failed
+            ]
+            .map(|s| s.as_str())
+        );
     }
 
     #[test]

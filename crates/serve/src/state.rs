@@ -23,6 +23,10 @@ pub enum JobState {
     Queued,
     /// A worker is running the optimization.
     Running,
+    /// A peer daemon holds the job's spool lease and is running it; this
+    /// daemon tracks it and settles it from the spool when the peer's
+    /// outcome lands (or re-queues it when the peer's lease expires).
+    Remote,
     /// Settled successfully; the outcome is available.
     Done,
     /// Settled with an error.
@@ -35,6 +39,7 @@ impl JobState {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
+            JobState::Remote => "remote",
             JobState::Done => "done",
             JobState::Failed => "failed",
         }
@@ -60,6 +65,10 @@ pub struct JobEntry {
     pub outcome: Option<JobOutcome>,
     /// The failure reason, once [`JobState::Failed`].
     pub error: Option<String>,
+    /// The daemon owner id running the job, once known: this daemon's
+    /// own id for local runs, the lease holder's for [`JobState::Remote`]
+    /// jobs. Reported in the `status` job rows.
+    pub holder: Option<String>,
 }
 
 impl std::fmt::Debug for JobEntry {
@@ -79,10 +88,14 @@ impl std::fmt::Debug for JobEntry {
 pub struct Metrics {
     /// Jobs accepted since daemon start (including recovered ones).
     pub jobs_submitted: u64,
-    /// Jobs settled successfully.
+    /// Jobs settled successfully by this daemon's own workers.
     pub jobs_done: u64,
     /// Jobs settled with an error.
     pub jobs_failed: u64,
+    /// Jobs settled from the spool after a peer daemon ran them (their
+    /// sims/cache counters belong to the peer and are *not* folded into
+    /// this daemon's totals).
+    pub jobs_remote: u64,
     /// Evaluation-cache hits summed over settled jobs.
     pub cache_hits: u64,
     /// Evaluation-cache misses summed over settled jobs.
@@ -103,6 +116,29 @@ impl Metrics {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits as f64 / total as f64)
     }
+}
+
+/// Fleet-level figures assembled by the daemon (lease registry, liveness
+/// files, spool ledger) and rendered into the `status` response.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStatus {
+    /// This daemon's owner id.
+    pub owner: String,
+    /// Daemons with a fresh liveness file in the spool (incl. this one).
+    pub daemons_live: usize,
+    /// Leases this daemon currently holds.
+    pub leases_held: usize,
+    /// Leases this daemon stole from expired holders since start.
+    pub leases_stolen: u64,
+    /// Expired peer leases this daemon observed (and re-queued) since
+    /// start.
+    pub leases_expired: u64,
+    /// Leases this daemon lost to a thief while running (paused past the
+    /// expiry window) since start.
+    pub leases_lost: u64,
+    /// Fleet-wide cumulative sim charges per tenant, from the spool
+    /// ledger (covers tenants active on *any* daemon, sorted by name).
+    pub tenants_fleet: Vec<(String, u64)>,
 }
 
 #[derive(Debug)]
@@ -179,6 +215,7 @@ impl ServeState {
                 journal: Arc::clone(&journal),
                 outcome: None,
                 error: None,
+                holder: None,
             },
         );
         inner.order.push(id.clone());
@@ -189,8 +226,31 @@ impl ServeState {
         journal
     }
 
+    /// Like [`ServeState::enqueue`], but only when the id is not already
+    /// known — the spool-scan path, where this daemon discovers jobs a
+    /// peer submitted to the shared spool. Returns `false` (and changes
+    /// nothing) for known ids.
+    pub fn adopt(&self, spec: JobSpec) -> bool {
+        {
+            let inner = self.inner.lock().unwrap();
+            if inner.jobs.contains_key(&spec.id) {
+                return false;
+            }
+        }
+        self.enqueue(spec);
+        true
+    }
+
+    /// `true` when the job id is in the table (any state).
+    pub fn known(&self, id: &str) -> bool {
+        self.inner.lock().unwrap().jobs.contains_key(id)
+    }
+
     /// Inserts an already-settled job recovered from the spool (its
-    /// `.out` file survived the restart), so clients can still fetch it.
+    /// `.out` was written by a previous process or by a peer daemon),
+    /// so clients can still fetch it. Counted as remote work: this
+    /// process did not run it, so `jobs_done` — runs completed *here* —
+    /// is untouched and stays fleet-additive.
     pub fn insert_settled(&self, spec: JobSpec, outcome: JobOutcome) {
         let mut inner = self.inner.lock().unwrap();
         let id = spec.id.clone();
@@ -202,11 +262,35 @@ impl ServeState {
                 journal: Arc::new(Journal::in_memory()),
                 outcome: Some(outcome),
                 error: None,
+                holder: None,
             },
         );
         inner.order.push(id);
         inner.metrics.jobs_submitted += 1;
-        inner.metrics.jobs_done += 1;
+        inner.metrics.jobs_remote += 1;
+    }
+
+    /// Inserts a job that settled with an error in some previous process
+    /// (its `.fail` marker survived in the spool), so clients get the
+    /// failure instead of an automatic — and likely identical — re-run.
+    pub fn insert_failed(&self, spec: JobSpec, reason: String) {
+        let mut inner = self.inner.lock().unwrap();
+        let id = spec.id.clone();
+        inner.jobs.insert(
+            id.clone(),
+            JobEntry {
+                spec,
+                state: JobState::Failed,
+                journal: Arc::new(Journal::in_memory()),
+                outcome: None,
+                error: Some(reason),
+                holder: None,
+            },
+        );
+        inner.order.push(id);
+        inner.metrics.jobs_submitted += 1;
+        inner.metrics.jobs_remote += 1;
+        inner.metrics.jobs_failed += 1;
     }
 
     /// Blocks until a job is queued (returning its spec, journal, and the
@@ -265,6 +349,118 @@ impl ServeState {
         self.done_cv.notify_all();
     }
 
+    /// Marks a claimed-but-not-runnable job as held by a peer daemon:
+    /// the worker popped it from the queue, tried the spool lease, and
+    /// found `holder`'s fresh lease on it. The fleet loop settles it from
+    /// the spool (peer finished) or re-queues it (peer's lease expired).
+    pub fn mark_remote(&self, id: &str, holder: String) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(id) {
+            if !entry.state.settled() {
+                entry.state = JobState::Remote;
+                entry.holder = Some(holder);
+            }
+        }
+    }
+
+    /// Records which daemon is running a job (local claims stamp their
+    /// own owner id here, so `status` shows the holder of every job).
+    pub fn set_holder(&self, id: &str, holder: String) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(id) {
+            entry.holder = Some(holder);
+        }
+    }
+
+    /// Puts a [`JobState::Remote`] job back in the queue — its holder's
+    /// lease expired, so a local worker should try to steal it.
+    pub fn requeue(&self, id: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(id) {
+            if entry.state == JobState::Remote {
+                entry.state = JobState::Queued;
+                entry.holder = None;
+                inner.queue.push_back(id.to_string());
+                drop(inner);
+                self.queue_cv.notify_one();
+            }
+        }
+    }
+
+    /// Settles a remote job with the outcome its peer wrote to the spool
+    /// and wakes `result --wait` clients. Unlike [`ServeState::finish`],
+    /// the peer's sim/cache counters are *not* folded into this daemon's
+    /// metrics — they are the peer's work.
+    pub fn settle_remote(&self, id: &str, outcome: JobOutcome) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(id) {
+            if !entry.state.settled() {
+                entry.state = JobState::Done;
+                entry.outcome = Some(outcome);
+                inner.metrics.jobs_remote += 1;
+            }
+        }
+        drop(inner);
+        self.done_cv.notify_all();
+    }
+
+    /// Settles a remote job with the failure its peer recorded.
+    pub fn fail_remote(&self, id: &str, reason: String) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(id) {
+            if !entry.state.settled() {
+                entry.state = JobState::Failed;
+                entry.error = Some(reason);
+                inner.metrics.jobs_remote += 1;
+                inner.metrics.jobs_failed += 1;
+            }
+        }
+        drop(inner);
+        self.done_cv.notify_all();
+    }
+
+    /// Ids of jobs currently in [`JobState::Remote`].
+    pub fn remote_jobs(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .order
+            .iter()
+            .filter(|id| inner.jobs[*id].state == JobState::Remote)
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot of every tenant budget this daemon has instantiated
+    /// (the fleet loop reconciles each against the spool ledger).
+    pub fn tenant_budgets(&self) -> Vec<(String, Arc<SharedBudget>)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .tenants
+            .iter()
+            .map(|(tenant, budget)| (tenant.clone(), Arc::clone(budget)))
+            .collect()
+    }
+
+    /// Blocks for up to `timeout` or until shutdown; `true` on shutdown.
+    /// The fleet loop's tick timer, so a shutting-down daemon never waits
+    /// out a full heartbeat interval.
+    pub fn wait_shutdown(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock().unwrap();
+        while !inner.shutdown {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, _) = self.done_cv.wait_timeout(inner, remaining).unwrap();
+            inner = guard;
+        }
+        true
+    }
+
     /// A snapshot of one job's entry.
     ///
     /// # Errors
@@ -315,8 +511,10 @@ impl ServeState {
 
     /// The `status` response: job table, metrics with cache hit rate, and
     /// per-tenant simulation counts (the tenant budget is reported only
-    /// when finite).
-    pub fn status_line(&self) -> String {
+    /// when finite). With a [`FleetStatus`] (a daemon sharing its spool),
+    /// job rows carry the holding daemon, tenant rows carry fleet-wide
+    /// sim totals, and a `fleet` object reports lease/liveness figures.
+    pub fn status_line(&self, fleet: Option<&FleetStatus>) -> String {
         let inner = self.inner.lock().unwrap();
         let mut out = String::from("{\"ok\":true,\"jobs\":[");
         for (i, id) in inner.order.iter().enumerate() {
@@ -332,6 +530,10 @@ impl ServeState {
             json::write_json_string(&mut out, entry.state.as_str());
             out.push_str(",\"estimator\":");
             json::write_json_string(&mut out, &entry.spec.options.estimator.to_string());
+            if let Some(holder) = &entry.holder {
+                out.push_str(",\"holder\":");
+                json::write_json_string(&mut out, holder);
+            }
             if let Some(ess) = entry.outcome.as_ref().and_then(|o| o.ess) {
                 out.push_str(",\"ess\":");
                 json::write_f64(&mut out, ess);
@@ -341,10 +543,12 @@ impl ServeState {
         let m = &inner.metrics;
         out.push_str(&format!(
             "],\"metrics\":{{\"jobs_submitted\":{},\"jobs_done\":{},\"jobs_failed\":{},\
+             \"jobs_remote\":{},\
              \"queue_depth\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":",
             m.jobs_submitted,
             m.jobs_done,
             m.jobs_failed,
+            m.jobs_remote,
             inner.queue.len(),
             m.cache_hits,
             m.cache_misses,
@@ -366,6 +570,9 @@ impl ServeState {
             out.push_str("{\"tenant\":");
             json::write_json_string(&mut out, tenant);
             out.push_str(&format!(",\"sims\":{}", budget.used()));
+            if fleet.is_some() {
+                out.push_str(&format!(",\"sims_fleet\":{}", budget.total_used()));
+            }
             let (adj, avoided) = inner
                 .tenant_adjoint
                 .get(tenant)
@@ -379,7 +586,26 @@ impl ServeState {
             }
             out.push_str(&format!(",\"tripped\":{}}}", budget.tripped()));
         }
-        out.push_str("]}}");
+        out.push_str("]}");
+        if let Some(f) = fleet {
+            out.push_str(",\"fleet\":{\"owner\":");
+            json::write_json_string(&mut out, &f.owner);
+            out.push_str(&format!(
+                ",\"daemons_live\":{},\"leases_held\":{},\"leases_stolen\":{},\
+                 \"leases_expired\":{},\"leases_lost\":{},\"tenants\":[",
+                f.daemons_live, f.leases_held, f.leases_stolen, f.leases_expired, f.leases_lost
+            ));
+            for (i, (tenant, sims)) in f.tenants_fleet.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"tenant\":");
+                json::write_json_string(&mut out, tenant);
+                out.push_str(&format!(",\"sims\":{sims}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
         out
     }
 }
@@ -474,7 +700,7 @@ mod tests {
         let (_, _, budget) = state.claim().unwrap();
         let _ = budget;
         state.finish("job-0001", Err("deck rejected: bad".into()));
-        let j = json::parse(&state.status_line()).unwrap();
+        let j = json::parse(&state.status_line(None)).unwrap();
         let jobs = j.get("jobs").and_then(|x| x.as_arr()).unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(
@@ -506,12 +732,107 @@ mod tests {
                 ..outcome()
             }),
         );
-        let j = json::parse(&state.status_line()).unwrap();
+        let j = json::parse(&state.status_line(None)).unwrap();
         let jobs = j.get("jobs").and_then(|x| x.as_arr()).unwrap();
         assert_eq!(
             jobs[0].get("estimator").and_then(|x| x.as_str()),
             Some("norm-min")
         );
         assert_eq!(jobs[0].get("ess").and_then(|x| x.as_f64()), Some(44.5));
+    }
+
+    #[test]
+    fn remote_jobs_settle_without_polluting_local_counters() {
+        let state = Arc::new(ServeState::new(u64::MAX));
+        state.enqueue(spec("job-0001", "acme"));
+        let _ = state.claim().unwrap();
+        // The worker lost the lease race: the job is a peer's now.
+        state.mark_remote("job-0001", "peer-1".into());
+        assert_eq!(state.entry("job-0001").unwrap().state, JobState::Remote);
+        assert_eq!(state.remote_jobs(), vec!["job-0001".to_string()]);
+
+        let waiter = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || state.wait_settled("job-0001").unwrap())
+        };
+        state.settle_remote("job-0001", outcome());
+        let entry = waiter.join().unwrap();
+        assert_eq!(entry.state, JobState::Done);
+        assert_eq!(entry.holder.as_deref(), Some("peer-1"));
+        let m = state.metrics();
+        assert_eq!(m.jobs_remote, 1);
+        assert_eq!(m.jobs_done, 0, "the peer's work is not local work");
+        assert_eq!(m.total_sims, 0);
+    }
+
+    #[test]
+    fn expired_remote_jobs_requeue_for_a_local_steal() {
+        let state = ServeState::new(u64::MAX);
+        state.enqueue(spec("job-0001", "acme"));
+        let _ = state.claim().unwrap();
+        state.mark_remote("job-0001", "peer-1".into());
+        state.requeue("job-0001");
+        let entry = state.entry("job-0001").unwrap();
+        assert_eq!(entry.state, JobState::Queued);
+        assert_eq!(entry.holder, None);
+        // And it is actually claimable again.
+        let (claimed, _, _) = state.claim().unwrap();
+        assert_eq!(claimed.id, "job-0001");
+        // requeue on a non-Remote job is a no-op.
+        state.requeue("job-0001");
+        assert_eq!(state.entry("job-0001").unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn adoption_skips_known_ids_and_failures_persist() {
+        let state = ServeState::new(u64::MAX);
+        assert!(state.adopt(spec("job-0001", "a")));
+        assert!(!state.adopt(spec("job-0001", "a")), "already known");
+        assert!(state.known("job-0001"));
+        state.insert_failed(spec("job-0002", "a"), "diverged".into());
+        let entry = state.entry("job-0002").unwrap();
+        assert_eq!(entry.state, JobState::Failed);
+        assert_eq!(entry.error.as_deref(), Some("diverged"));
+        assert_eq!(state.metrics().jobs_failed, 1);
+    }
+
+    #[test]
+    fn status_line_renders_fleet_and_holder_fields() {
+        let state = ServeState::new(50);
+        state.enqueue(spec("job-0001", "acme"));
+        let (_, _, budget) = state.claim().unwrap();
+        state.set_holder("job-0001", "d-1".into());
+        budget.set_external(7);
+        let fleet = FleetStatus {
+            owner: "d-1".into(),
+            daemons_live: 2,
+            leases_held: 1,
+            leases_stolen: 3,
+            leases_expired: 4,
+            leases_lost: 0,
+            tenants_fleet: vec![("acme".into(), 7)],
+        };
+        let j = json::parse(&state.status_line(Some(&fleet))).unwrap();
+        let jobs = j.get("jobs").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(jobs[0].get("holder").and_then(|x| x.as_str()), Some("d-1"));
+        let tenants = j
+            .get("metrics")
+            .and_then(|m| m.get("tenants"))
+            .and_then(|x| x.as_arr())
+            .unwrap();
+        assert_eq!(
+            tenants[0].get("sims_fleet").and_then(|x| x.as_u64()),
+            Some(7)
+        );
+        let f = j.get("fleet").unwrap();
+        assert_eq!(f.get("owner").and_then(|x| x.as_str()), Some("d-1"));
+        assert_eq!(f.get("daemons_live").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(f.get("leases_stolen").and_then(|x| x.as_u64()), Some(3));
+        let ft = f.get("tenants").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(ft[0].get("sims").and_then(|x| x.as_u64()), Some(7));
+        // Without fleet context neither the fleet object nor the
+        // fleet-only tenant field appears.
+        let plain = json::parse(&state.status_line(None)).unwrap();
+        assert!(plain.get("fleet").is_none());
     }
 }

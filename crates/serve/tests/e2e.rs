@@ -242,6 +242,10 @@ fn spawn_daemon(spool: &Path, slots: usize) -> (std::process::Child, String) {
         .env("SPECWISE_SERVE_ADDR", "127.0.0.1:0")
         .env("SPECWISE_SERVE_SPOOL", spool)
         .env("SPECWISE_SERVE_SLOTS", slots.to_string())
+        // Short lease windows so a restarted daemon steals a dead
+        // holder's jobs in seconds instead of the production default.
+        .env("SPECWISE_SERVE_LEASE_EXPIRY", "2")
+        .env("SPECWISE_SERVE_HEARTBEAT", "0.25")
         .stdout(std::process::Stdio::piped())
         .spawn()
         .expect("daemon binary spawns");

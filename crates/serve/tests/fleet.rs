@@ -1,0 +1,421 @@
+//! Multi-daemon fleet tests: N daemons sharing one spool coordinate
+//! through `.lease` files and the tenant ledger, never run a job twice,
+//! and recover a dead member's jobs bit-for-bit from its checkpoints.
+//!
+//! The fast tests run daemons in-process with short lease windows. The
+//! `#[ignore]`d test (run by the CI `serve` job in release mode) spawns
+//! two real `specwise-serve` binaries on one spool and SIGKILLs one
+//! mid-run.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use specwise::{OptimizerConfig, YieldOptimizer};
+use specwise_ckt::{FiveTransistorOta, FoldedCascode, MillerOpamp, Testbench};
+use specwise_exec::{EvalService, ExecConfig};
+use specwise_harden::KillSwitch;
+use specwise_serve::{
+    lease, Client, Daemon, JobOptions, JobOutcome, JobSpec, ServeConfig, SubmitOptions,
+};
+use specwise_trace::{Record, TraceValue};
+
+fn unique_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("specwise-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("spool dir");
+    dir
+}
+
+/// An in-process fleet member: unique owner name, shared spool, short
+/// fleet tick so peers' spool writes are noticed in tenths of a second.
+fn member_config(spool: &Path, owner: &str, slots: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.addr = "127.0.0.1:0".into();
+    cfg.spool = spool.to_path_buf();
+    cfg.owner = owner.to_owned();
+    cfg.slots = slots;
+    cfg.heartbeat = Duration::from_millis(100);
+    // Generous expiry by default: these tests exercise cooperation, not
+    // stealing (the steal test shortens it explicitly).
+    cfg.lease_expiry = Duration::from_secs(60);
+    cfg
+}
+
+fn assert_bits_equal(wire: &[f64], direct: &[f64], what: &str) {
+    assert_eq!(wire.len(), direct.len(), "{what}: design arity");
+    for (i, (w, d)) in wire.iter().zip(direct.iter()).enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            d.to_bits(),
+            "{what}: design[{i}] differs ({w} vs {d})"
+        );
+    }
+}
+
+#[test]
+fn two_daemons_share_one_spool_and_claim_disjoint_jobs() {
+    let spool = unique_spool("pair");
+    let a = Daemon::start(member_config(&spool, "daemon-a", 1)).expect("daemon a starts");
+    let b = Daemon::start(member_config(&spool, "daemon-b", 1)).expect("daemon b starts");
+
+    let mut opts = SubmitOptions::default();
+    opts.tenant = "acme".into();
+    opts.mc_samples = Some(200);
+    opts.verify_samples = Some(0);
+    opts.max_iterations = Some(1);
+
+    // Four quick jobs, two submitted to each daemon. Ids are claimed
+    // through O_EXCL `.req` creation, so they never collide.
+    let mut jobs = Vec::new();
+    let mut client_a = Client::connect(a.local_addr()).expect("client a");
+    let mut client_b = Client::connect(b.local_addr()).expect("client b");
+    for i in 0..4 {
+        let client = if i % 2 == 0 {
+            &mut client_a
+        } else {
+            &mut client_b
+        };
+        jobs.push(
+            client
+                .submit(FiveTransistorOta::deck(), &opts)
+                .expect("submit accepted"),
+        );
+    }
+    let unique: std::collections::HashSet<&String> = jobs.iter().collect();
+    assert_eq!(unique.len(), jobs.len(), "fleet job ids must be distinct");
+
+    // Every job settles identically no matter which daemon is asked —
+    // including jobs this daemon never ran (served from the peer's
+    // spooled `.out`).
+    let mut fleet_sims = 0u64;
+    for job in &jobs {
+        let from_a = client_a.result_wait(job).expect("job settles via a");
+        let from_b = client_b.result_wait(job).expect("job settles via b");
+        assert_bits_equal(&from_a.design, &from_b.design, job);
+        assert_eq!(from_a.total_sims, from_b.total_sims, "{job}");
+        assert_eq!(from_a.estimated_yield, from_b.estimated_yield, "{job}");
+        fleet_sims += from_a.total_sims;
+    }
+
+    // The lease protocol made the runs disjoint: exactly four runs
+    // happened fleet-wide, each on exactly one daemon, and each job's
+    // simulations were spent exactly once (`total_sims` counts only
+    // local runs — a duplicated run would double-count somewhere).
+    let local = |client: &mut Client, key: &str| {
+        let status = client.status().expect("status");
+        let metrics = status.get("metrics").unwrap();
+        metrics.get(key).and_then(|x| x.as_u64()).unwrap()
+    };
+    let done_a = local(&mut client_a, "jobs_done");
+    let done_b = local(&mut client_b, "jobs_done");
+    assert_eq!(
+        done_a + done_b,
+        4,
+        "each job ran exactly once (a ran {done_a}, b ran {done_b})"
+    );
+    assert!(done_a >= 1 && done_b >= 1, "both members pulled work");
+    assert_eq!(
+        local(&mut client_a, "total_sims") + local(&mut client_b, "total_sims"),
+        fleet_sims,
+        "no job's simulations were spent twice"
+    );
+
+    // Fleet-level status: both members alive, and the tenant's
+    // fleet-wide sim count covers at least what this daemon spent.
+    let status = client_a.status().expect("status");
+    let fleet = status.get("fleet").expect("fleet object in status");
+    assert_eq!(
+        fleet.get("daemons_live").and_then(|x| x.as_u64()),
+        Some(2),
+        "both daemons heartbeat their liveness file"
+    );
+    let tenants = status
+        .get("metrics")
+        .and_then(|m| m.get("tenants"))
+        .and_then(|t| t.as_arr())
+        .expect("tenant rows");
+    let acme = tenants
+        .iter()
+        .find(|t| t.get("tenant").and_then(|x| x.as_str()) == Some("acme"))
+        .expect("acme row");
+    let sims = acme.get("sims").and_then(|x| x.as_u64()).unwrap();
+    let sims_fleet = acme.get("sims_fleet").and_then(|x| x.as_u64()).unwrap();
+    assert!(
+        sims_fleet >= sims,
+        "fleet-wide sims ({sims_fleet}) include the local spend ({sims})"
+    );
+
+    // Settled jobs leave no leases behind (release may trail the last
+    // `.out` by one worker step, so poll briefly).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let leftover: Vec<String> = std::fs::read_dir(&spool)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".lease"))
+            .collect();
+        if leftover.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "leases must be released once jobs settle, leftover: {leftover:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    a.shutdown();
+    b.shutdown();
+    let _ = std::fs::remove_dir_all(spool);
+}
+
+#[test]
+fn expired_lease_is_stolen_and_resumes_bit_for_bit() {
+    let spool = unique_spool("steal");
+    let slots = 2;
+    let mut options = JobOptions::default();
+    options.mc_samples = 2_000;
+    options.verify_samples = 150;
+    options.max_iterations = 2;
+    let spec = JobSpec {
+        id: "job-0001".into(),
+        tenant: "acme".into(),
+        deck: MillerOpamp::deck().to_owned(),
+        options,
+    };
+
+    // Uninterrupted reference with the daemon's exact evaluation stack
+    // (deck → testbench, cold starts, sharded service, soft-budget
+    // wrapper is bit-transparent). The pass-through kill switch counts
+    // evaluation calls — the unit the kill budget below is expressed in.
+    let stack = |deck: &str| {
+        Testbench::from_deck(deck)
+            .expect("deck compiles")
+            .with_warm_start(false)
+    };
+    let tb = stack(&spec.deck);
+    let probe = KillSwitch::new(&tb, u64::MAX);
+    let svc = EvalService::new(&probe, ExecConfig::default().into_shard(slots));
+    let reference = YieldOptimizer::new(spec.options.optimizer_config())
+        .run(&svc)
+        .expect("reference run completes");
+
+    // The "dead daemon": it spooled the job, checkpointed mid-run under
+    // its own name, and died without releasing its lease.
+    std::fs::write(spool.join("job-0001.req"), spec.to_json()).unwrap();
+    let ckpt = spool.join("job-0001.ckpt");
+    let tb = stack(&spec.deck);
+    let kill = KillSwitch::new(&tb, probe.used() - 60);
+    let svc = EvalService::new(&kill, ExecConfig::default().into_shard(slots));
+    let killed = YieldOptimizer::new(spec.options.optimizer_config())
+        .with_checkpoint(&ckpt)
+        .with_checkpoint_owner("dead-daemon")
+        .run(&svc);
+    assert!(killed.is_err(), "the kill switch must abort the run");
+    assert!(ckpt.exists(), "a checkpoint must survive the crash");
+    std::fs::write(
+        lease::lease_path(&spool, "job-0001"),
+        "{\"owner\":\"dead-daemon\",\"epoch\":1,\"job\":\"job-0001\"}",
+    )
+    .unwrap();
+
+    // Let the abandoned lease age past the expiry window, then start a
+    // live peer on the same spool.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut cfg = member_config(&spool, "daemon-b", slots);
+    cfg.lease_expiry = Duration::from_millis(300);
+    let daemon = Daemon::start(cfg).expect("daemon starts");
+    let mut client = Client::connect(daemon.local_addr()).expect("client connects");
+
+    let outcome = client.result_wait("job-0001").expect("stolen job settles");
+    assert!(outcome.resumed, "the thief must resume, not restart");
+    assert_bits_equal(
+        &outcome.design,
+        reference.final_design().as_slice(),
+        "steal",
+    );
+    assert_eq!(outcome.total_sims, reference.total_sims);
+
+    // The takeover is journaled with the dead holder's identity and the
+    // bumped lease epoch.
+    let (records, final_state) = Client::connect(daemon.local_addr())
+        .expect("subscriber connects")
+        .subscribe("job-0001")
+        .expect("subscription replays");
+    assert_eq!(final_state, "done");
+    let takeover = records
+        .iter()
+        .find_map(|r| match r {
+            Record::Event(e) if e.name == "lease-takeover" => Some(e),
+            _ => None,
+        })
+        .expect("lease-takeover event in the journal");
+    let attr = |key: &str| {
+        takeover
+            .attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    };
+    assert_eq!(
+        attr("previous_owner"),
+        Some(&TraceValue::Str("dead-daemon".into()))
+    );
+    assert_eq!(attr("epoch"), Some(&TraceValue::U64(2)));
+
+    let status = client.status().expect("status");
+    let fleet = status.get("fleet").expect("fleet object");
+    assert_eq!(
+        fleet.get("leases_stolen").and_then(|x| x.as_u64()),
+        Some(1),
+        "the steal is counted"
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(spool);
+}
+
+/// Reads the handshake line from a freshly spawned daemon binary and
+/// returns the bound address.
+fn spawn_daemon(spool: &Path, owner: &str, slots: usize) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let exe = env!("CARGO_BIN_EXE_specwise-serve");
+    let mut child = std::process::Command::new(exe)
+        .env("SPECWISE_SERVE_ADDR", "127.0.0.1:0")
+        .env("SPECWISE_SERVE_SPOOL", spool)
+        .env("SPECWISE_SERVE_OWNER", owner)
+        .env("SPECWISE_SERVE_SLOTS", slots.to_string())
+        .env("SPECWISE_SERVE_LEASE_EXPIRY", "2")
+        .env("SPECWISE_SERVE_HEARTBEAT", "0.25")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon binary spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("handshake line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in handshake")
+        .to_owned();
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+fn wait_for_checkpoints(spool: &Path, jobs: &[String], timeout: Duration) {
+    let start = Instant::now();
+    loop {
+        if jobs
+            .iter()
+            .all(|id| spool.join(format!("{id}.ckpt")).exists())
+        {
+            return;
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "checkpoints did not appear within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// A library-direct run with the daemon's evaluation stack — the
+/// bit-for-bit reference for wire results.
+fn direct_run(deck: &str, opts: &SubmitOptions, shards: usize) -> (Vec<f64>, f64, Option<f64>) {
+    let tb = Testbench::from_deck(deck)
+        .expect("reference deck compiles")
+        .with_warm_start(false);
+    let svc = EvalService::new(&tb, ExecConfig::default().into_shard(shards));
+    let mut cfg = OptimizerConfig::default();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    if let Some(n) = opts.mc_samples {
+        cfg.mc_samples = n as usize;
+    }
+    if let Some(n) = opts.verify_samples {
+        cfg.verify_samples = n as usize;
+    }
+    if let Some(n) = opts.max_iterations {
+        cfg.max_iterations = n as usize;
+    }
+    let trace = YieldOptimizer::new(cfg)
+        .run(&svc)
+        .expect("direct run completes");
+    let last = trace.final_snapshot();
+    (
+        trace.final_design().as_slice().to_vec(),
+        last.estimated_yield.value(),
+        last.verified.as_ref().map(|v| v.yield_estimate.value()),
+    )
+}
+
+/// The fleet acceptance test: two daemon binaries on one spool, one
+/// SIGKILLed mid-run, and every job still settles bit-identical to a
+/// library-direct run — finished by whichever member survives, resuming
+/// the dead member's checkpoints after its leases expire. Release-mode
+/// only (`--include-ignored`).
+#[test]
+#[ignore = "release-mode e2e: run via cargo test --release -- --include-ignored"]
+fn two_daemon_fleet_survives_sigkill_of_one_member() {
+    let spool = unique_spool("sigkill");
+    let decks: [(&str, &str); 3] = [
+        ("miller", MillerOpamp::deck()),
+        ("folded", FoldedCascode::deck()),
+        ("ota", FiveTransistorOta::deck()),
+    ];
+    // Paper-scale sampling so the kill lands mid-run.
+    let mut opts = SubmitOptions::default();
+    opts.mc_samples = Some(10_000);
+    opts.verify_samples = Some(300);
+    opts.max_iterations = Some(2);
+
+    let (mut victim, addr1) = spawn_daemon(&spool, "victim", 3);
+    let (mut survivor, addr2) = spawn_daemon(&spool, "survivor", 3);
+
+    // All three submitted to the member that is about to die.
+    let jobs: Vec<String> = {
+        let mut client = Client::connect(addr1.as_str()).expect("client connects");
+        decks
+            .iter()
+            .map(|(tenant, deck)| {
+                let mut opts = opts.clone();
+                opts.tenant = (*tenant).to_owned();
+                client.submit(deck, &opts).expect("submit accepted")
+            })
+            .collect()
+    };
+
+    // SIGKILL the victim once every job has a checkpoint in the spool.
+    // (Both members race for the claims, so the survivor may already own
+    // some jobs — the contract is recovery, not who-ran-what.)
+    wait_for_checkpoints(&spool, &jobs, Duration::from_secs(180));
+    victim.kill().expect("victim killed");
+    let _ = victim.wait();
+
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    {
+        let mut client = Client::connect(addr2.as_str()).expect("client reconnects");
+        for job in &jobs {
+            outcomes.push(client.result_wait(job).expect("job settles fleet-wide"));
+        }
+    }
+    survivor.kill().expect("survivor stopped");
+    let _ = survivor.wait();
+
+    for ((tenant, deck), outcome) in decks.iter().zip(&outcomes) {
+        let (design, estimated, verified) = direct_run(deck, &opts, 3);
+        assert_bits_equal(&outcome.design, &design, tenant);
+        assert_eq!(outcome.estimated_yield, estimated, "{tenant}");
+        assert_eq!(outcome.verified_yield, verified, "{tenant}");
+    }
+    let _ = std::fs::remove_dir_all(spool);
+}

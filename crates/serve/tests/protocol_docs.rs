@@ -1,0 +1,54 @@
+//! Keeps `docs/PROTOCOL.md` honest: every canonical wire name the
+//! implementation exports (commands, error kinds, job states) must be
+//! documented, and every command the document describes must exist in
+//! the implementation. Run by the CI `serve` job.
+
+use specwise_serve::protocol::{COMMANDS, ERROR_KINDS, JOB_STATES};
+
+fn protocol_doc() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/PROTOCOL.md");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("docs/PROTOCOL.md must exist ({}): {e}", path.display()))
+}
+
+#[test]
+fn every_wire_name_is_documented() {
+    let doc = protocol_doc();
+    for cmd in COMMANDS {
+        assert!(
+            doc.contains(&format!("### `{cmd}`")),
+            "PROTOCOL.md lacks a section for command {cmd:?}"
+        );
+    }
+    for kind in ERROR_KINDS {
+        assert!(
+            doc.contains(&format!("`{kind}`")),
+            "PROTOCOL.md does not document error kind {kind:?}"
+        );
+    }
+    for state in JOB_STATES {
+        assert!(
+            doc.contains(&format!("`{state}`")),
+            "PROTOCOL.md does not document job state {state:?}"
+        );
+    }
+}
+
+#[test]
+fn every_documented_command_exists() {
+    let doc = protocol_doc();
+    // Command sections are `### `name`` headings; anything shaped like
+    // one must name a real command.
+    for line in doc.lines() {
+        let Some(rest) = line.strip_prefix("### `") else {
+            continue;
+        };
+        let Some(name) = rest.strip_suffix('`') else {
+            continue;
+        };
+        assert!(
+            COMMANDS.contains(&name),
+            "PROTOCOL.md documents command {name:?}, which the implementation does not parse"
+        );
+    }
+}

@@ -123,6 +123,12 @@ impl std::error::Error for JournalParseError {}
 struct Inner {
     records: Vec<Record>,
     writer: Option<BufWriter<File>>,
+    /// Flush the writer after every record — set by
+    /// [`Journal::attach_jsonl`] so external processes tailing the file
+    /// (e.g. a peer `specwise-serve` daemon fanning in a subscription)
+    /// see lines as they are emitted rather than on buffer boundaries.
+    flush_each: bool,
+    path: Option<PathBuf>,
     threads: Vec<ThreadId>,
     subscribers: Vec<Sender<Record>>,
 }
@@ -172,7 +178,6 @@ pub struct Journal {
     inner: Mutex<Inner>,
     next_span: AtomicU64,
     epoch: Instant,
-    path: Option<PathBuf>,
 }
 
 impl Journal {
@@ -182,12 +187,13 @@ impl Journal {
             inner: Mutex::new(Inner {
                 records: Vec::new(),
                 writer: None,
+                flush_each: false,
+                path: None,
                 threads: Vec::new(),
                 subscribers: Vec::new(),
             }),
             next_span: AtomicU64::new(1),
             epoch: Instant::now(),
-            path: None,
         }
     }
 
@@ -196,15 +202,51 @@ impl Journal {
     pub fn with_jsonl<P: AsRef<Path>>(path: P) -> std::io::Result<Journal> {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
-        let mut journal = Journal::in_memory();
-        journal.inner.get_mut().expect("new mutex").writer = Some(BufWriter::new(file));
-        journal.path = Some(path);
+        let journal = Journal::in_memory();
+        {
+            let inner = &mut *journal.inner.lock().expect("new mutex");
+            inner.writer = Some(BufWriter::new(file));
+            inner.path = Some(path);
+        }
         Ok(journal)
     }
 
-    /// The JSONL path, when constructed with [`Journal::with_jsonl`].
-    pub fn path(&self) -> Option<&Path> {
-        self.path.as_deref()
+    /// Attach (or replace) a streaming JSONL sink on a live journal.
+    ///
+    /// The file is created (truncating any previous content), the journal's
+    /// in-memory backlog is replayed into it — so the file always mirrors
+    /// [`Journal::records`] from record zero — and every subsequent record
+    /// is written *and flushed* as it is emitted, making the file tailable
+    /// by other processes in near-real time. `specwise-serve` uses this to
+    /// mirror a job's journal into the shared spool, where any daemon in
+    /// the fleet can fan it into a `subscribe` stream.
+    ///
+    /// Replay and registration happen under the same lock acquisition that
+    /// serializes record emission, so no record is skipped or duplicated
+    /// around the attach point.
+    pub fn attach_jsonl<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let path = path.as_ref().to_path_buf();
+        let mut inner = self.inner.lock().expect("journal lock");
+        let file = File::create(&path)?;
+        let mut writer = BufWriter::new(file);
+        let mut line = String::new();
+        for record in &inner.records {
+            line.clear();
+            write_record_json(&mut line, record);
+            line.push('\n');
+            writer.write_all(line.as_bytes())?;
+        }
+        writer.flush()?;
+        inner.writer = Some(writer);
+        inner.flush_each = true;
+        inner.path = Some(path);
+        Ok(())
+    }
+
+    /// The JSONL path, when streaming via [`Journal::with_jsonl`] or
+    /// [`Journal::attach_jsonl`].
+    pub fn path(&self) -> Option<PathBuf> {
+        self.inner.lock().expect("journal lock").path.clone()
     }
 
     /// Monotonic microseconds since this journal was created.
@@ -229,8 +271,12 @@ impl Journal {
             let mut line = String::new();
             write_record_json(&mut line, &record);
             line.push('\n');
+            let flush_each = inner.flush_each;
             if let Some(writer) = inner.writer.as_mut() {
                 let _ = writer.write_all(line.as_bytes());
+                if flush_each {
+                    let _ = writer.flush();
+                }
             }
         }
         if !inner.subscribers.is_empty() {
@@ -413,7 +459,7 @@ impl Journal {
     /// traced run.
     pub fn summary(&self) -> String {
         let mut out = String::new();
-        if let Some(path) = &self.path {
+        if let Some(path) = self.path() {
             let _ = writeln!(out, "trace journal: {}", path.display());
         }
         let _ = writeln!(out, "{:<44} {:>10} {:>9}", "span", "wall", "sims");

@@ -263,8 +263,35 @@ mod tests {
             journal.flush();
             let on_disk = std::fs::read_to_string(&path).unwrap();
             assert_eq!(on_disk, journal.to_jsonl());
-            assert_eq!(journal.path(), Some(path.as_path()));
+            assert_eq!(journal.path(), Some(path.clone()));
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn attach_jsonl_replays_backlog_and_tails_live_records() {
+        let dir = std::env::temp_dir().join("specwise-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("attach-{}.jsonl", std::process::id()));
+        let journal = Arc::new(Journal::in_memory());
+        let tracer = Tracer::new(Arc::clone(&journal));
+        {
+            let mut span = tracer.span("before_attach");
+            span.add_count("sims", 1);
+        }
+        journal.attach_jsonl(&path).unwrap();
+        // Backlog is already on disk, flushed, before any new record.
+        let backlog = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(backlog.lines().count(), 1);
+        assert!(backlog.contains("before_attach"));
+        // Live records are flushed per-record: visible without an explicit
+        // flush, which is what lets another process tail the file.
+        tracer.event("after_attach", &[]);
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, journal.to_jsonl());
+        let parsed = Journal::from_jsonl(&on_disk).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(journal.path(), Some(path.clone()));
         std::fs::remove_file(&path).ok();
     }
 

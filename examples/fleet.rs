@@ -1,0 +1,139 @@
+//! Fleet walkthrough: two in-process `specwise-serve` daemons sharing
+//! one spool directory. Jobs submitted to either member are claimed
+//! through `.lease` files, run exactly once fleet-wide, and their
+//! results are served by every member; the per-tenant simulation
+//! totals are reconciled through the spool ledger.
+//!
+//! Run with `cargo run --release --example fleet`.
+//! Set `SPECWISE_EXAMPLE_QUICK=1` for the CI smoke configuration.
+//!
+//! The lease/steal/resume machinery is documented in
+//! `docs/OPERATIONS.md` and pinned by `crates/serve/tests/fleet.rs`.
+
+use std::error::Error;
+use std::time::{Duration, Instant};
+
+use specwise_ckt::{FiveTransistorOta, MillerOpamp};
+use specwise_serve::{Client, Daemon, ServeConfig, SubmitOptions};
+
+fn member(spool: &std::path::Path, owner: &str) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.addr = "127.0.0.1:0".into();
+    cfg.spool = spool.to_path_buf();
+    cfg.owner = owner.to_owned();
+    cfg.slots = 1;
+    // A brisk fleet tick so the demo reacts in tenths of a second; the
+    // production defaults (30s expiry / 3s heartbeat) favor stability.
+    cfg.heartbeat = Duration::from_millis(100);
+    cfg.lease_expiry = Duration::from_secs(60);
+    cfg
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let quick = std::env::var("SPECWISE_EXAMPLE_QUICK").is_ok();
+    let (mc_samples, verify_samples, max_iterations) =
+        if quick { (300, 0, 1) } else { (2_000, 150, 2) };
+
+    let spool = std::env::temp_dir().join(format!("specwise-fleet-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    std::fs::create_dir_all(&spool)?;
+
+    let a = Daemon::start(member(&spool, "alpha"))?;
+    let b = Daemon::start(member(&spool, "beta"))?;
+    println!(
+        "fleet: alpha on {}, beta on {}, shared spool {}",
+        a.local_addr(),
+        b.local_addr(),
+        spool.display()
+    );
+
+    // Two jobs to alpha, two to beta — one spool, four distinct ids.
+    let decks: [(&str, &str); 4] = [
+        ("ota", FiveTransistorOta::deck()),
+        ("miller", MillerOpamp::deck()),
+        ("ota", FiveTransistorOta::deck()),
+        ("miller", MillerOpamp::deck()),
+    ];
+    let mut client_a = Client::connect(a.local_addr())?;
+    let mut client_b = Client::connect(b.local_addr())?;
+    let start = Instant::now();
+    let mut jobs = Vec::new();
+    for (i, (tenant, deck)) in decks.iter().enumerate() {
+        let mut opts = SubmitOptions::default();
+        opts.tenant = (*tenant).to_owned();
+        opts.seed = Some(2001 + i as u64);
+        opts.mc_samples = Some(mc_samples);
+        opts.verify_samples = Some(verify_samples);
+        opts.max_iterations = Some(max_iterations);
+        let client = if i % 2 == 0 {
+            &mut client_a
+        } else {
+            &mut client_b
+        };
+        let id = client.submit(deck, &opts)?;
+        println!(
+            "  submitted {id} ({tenant}) to {}",
+            if i % 2 == 0 { "alpha" } else { "beta" }
+        );
+        jobs.push(id);
+    }
+
+    // Results are fleet-wide: ask beta for everything, including the
+    // jobs alpha ran.
+    for job in &jobs {
+        let outcome = client_b.result_wait(job)?;
+        println!(
+            "  {job}: estimated yield {:.4}, {} sims{}{}",
+            outcome.estimated_yield,
+            outcome.total_sims,
+            outcome
+                .verified_yield
+                .map(|y| format!(", verified {y:.4}"))
+                .unwrap_or_default(),
+            if outcome.resumed { ", resumed" } else { "" }
+        );
+    }
+    println!(
+        "fleet: {} jobs settled in {:.2}s",
+        jobs.len(),
+        start.elapsed().as_secs_f64()
+    );
+
+    // The fleet view from either member: live daemons, lease counters,
+    // per-tenant fleet-wide sim totals off the spool ledger.
+    let status = client_a.status()?;
+    if let Some(fleet) = status.get("fleet") {
+        let field = |k: &str| fleet.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        println!(
+            "fleet status via alpha: {} live daemons, {} leases held, {} stolen, {} expired",
+            field("daemons_live"),
+            field("leases_held"),
+            field("leases_stolen"),
+            field("leases_expired"),
+        );
+        if let Some(tenants) = fleet.get("tenants").and_then(|t| t.as_arr()) {
+            for t in tenants {
+                println!(
+                    "  tenant {}: {} sims fleet-wide",
+                    t.get("tenant").and_then(|x| x.as_str()).unwrap_or("?"),
+                    t.get("sims").and_then(|x| x.as_u64()).unwrap_or(0),
+                );
+            }
+        }
+    }
+    let local = |client: &mut Client| -> Result<(u64, u64), Box<dyn Error>> {
+        let status = client.status()?;
+        let m = status.get("metrics").ok_or("metrics")?;
+        let g = |k: &str| m.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        Ok((g("jobs_done"), g("jobs_remote")))
+    };
+    let (done_a, remote_a) = local(&mut client_a)?;
+    let (done_b, remote_b) = local(&mut client_b)?;
+    println!("  alpha ran {done_a} jobs ({remote_a} settled by its peer)");
+    println!("  beta  ran {done_b} jobs ({remote_b} settled by its peer)");
+
+    a.shutdown();
+    b.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+    Ok(())
+}

@@ -115,6 +115,75 @@ fn soft_budget_exhaustion_mid_batch_degrades_cleanly_at_any_worker_count() {
     }
 }
 
+/// The fleet version of the soft-exhaustion contract: the spend daemon A
+/// published to the spool ledger counts against daemon B's meter for the
+/// same tenant, so B starves exactly as if A's simulations had run in
+/// B's own process — independent of B's worker count *and* of how many
+/// peer daemons A's spend is split across.
+#[test]
+fn fleet_ledger_starves_peer_daemons_exactly_like_local_spend() {
+    use specwise_serve::TenantLedger;
+
+    let spool = std::env::temp_dir().join(format!("specwise-budget-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    std::fs::create_dir_all(&spool).unwrap();
+
+    let u1 = probe_calls(N_SAMPLES);
+    let h = half_starving_budget();
+    // Cap = one full run (spent remotely) + a half-starving remainder.
+    let cap = u1 + h;
+    let d = DVec::from_slice(&[8.0]);
+
+    // A's full-run spend, split over one peer daemon or over two — the
+    // ledger sums owners, so the split must be invisible to B.
+    let splits: [&[u64]; 2] = [&[u1], &[u1 / 2, u1 - u1 / 2]];
+    let mut baseline = None;
+    for (t, split) in splits.iter().enumerate() {
+        let tenant = format!("acme-{t}");
+        for (i, spend) in split.iter().enumerate() {
+            let peer = TenantLedger::open(&spool, &format!("peer-{t}-{i}")).unwrap();
+            peer.record(&tenant, *spend).unwrap();
+        }
+        for workers in [1usize, 2, 8] {
+            let e = env();
+            let shared = Arc::new(SharedBudget::new(cap));
+            let ledger_b = TenantLedger::open(&spool, "daemon-b").unwrap();
+            // What the fleet loop does at claim/heartbeat time. B never
+            // records its own spend here so every iteration of this loop
+            // sees the identical remote total.
+            shared.set_external(ledger_b.others_used(&tenant));
+            assert_eq!(shared.external(), u1, "the ledger sums every peer");
+            assert!(!shared.tripped(), "remote spend alone is under the cap");
+
+            let kill = KillSwitch::soft_with_budget(&e, Arc::clone(&shared));
+            let svc = EvalService::new(&kill, exec_cfg(workers));
+            let mc = mc_verify_with(&svc, &d, &mc_options())
+                .expect("fleet exhaustion must degrade, not crash");
+            assert!(shared.tripped(), "the fleet-wide cap must run out");
+            assert_eq!(
+                mc.sim_failures,
+                N_SAMPLES / 2,
+                "remote spend starves like local spend (workers = {workers})"
+            );
+            assert_eq!(mc.yield_interval(), (0.5, 1.0), "workers = {workers}");
+
+            let key = (
+                mc.sim_failures,
+                mc.degraded_samples,
+                mc.per_spec_bad.clone(),
+            );
+            match &baseline {
+                None => baseline = Some(key),
+                Some(expected) => assert_eq!(
+                    &key, expected,
+                    "exclusion counts must not depend on worker or daemon count"
+                ),
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
 #[test]
 fn hard_budget_exhaustion_aborts_the_verification() {
     // The hard kill switch models "the job was killed", not "the tenant
