@@ -429,6 +429,15 @@ impl Testbench {
             ));
             scales.push(scale);
         }
+        // An untrusted deck may declare no `.design` directives at all;
+        // `DesignSpace::new` asserts non-emptiness, so reject here with a
+        // typed deck error instead of panicking at the trust boundary.
+        if params.is_empty() {
+            return Err(derr(
+                0,
+                "deck declares no .design parameters; at least one is required".to_string(),
+            ));
+        }
         let design = DesignSpace::new(params);
 
         // Operating range: exactly one temp axis and one vdd axis.

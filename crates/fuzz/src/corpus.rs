@@ -1,0 +1,155 @@
+//! Crash/divergence corpus management.
+//!
+//! Every minimized finding is pinned under `crates/fuzz/corpus/` as a
+//! plain `.deck` file named `<kind>-<stage>-<hash>.deck`, where the hash
+//! is FNV-1a over the deck bytes so re-discoveries of the same minimized
+//! input dedupe instead of piling up. Files carry no metadata header —
+//! several findings are byte-level (truncation, noise injection) and a
+//! prepended comment would change the input.
+//!
+//! **Replay policy**: the corpus is a regression suite. Each deck is run
+//! through every oracle stage ([`crate::oracle::check_all`]) under a panic
+//! guard; a corpus deck passes when it produces *zero* findings and no
+//! panic. A deck that once crashed the parser is expected — post-fix — to
+//! yield a typed error or a consistent solve, which is exactly what
+//! `check_all` accepts. `tests/corpus_replay.rs` enforces this on every
+//! CI run.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use specwise_mna::DeckLimits;
+
+use crate::oracle::{check_all, Finding};
+
+/// The in-repo corpus directory (resolved from the crate manifest, so it
+/// works from any working directory).
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// FNV-1a 64-bit, printed as 12 hex chars — stable content-addressed
+/// names without pulling in a hash dependency.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// File name a finding's deck would be stored under.
+pub fn corpus_name(f: &Finding) -> String {
+    format!(
+        "{}-{}-{:012x}.deck",
+        f.kind.label(),
+        f.oracle,
+        fnv1a(f.deck.as_bytes()) & 0xffff_ffff_ffff
+    )
+}
+
+/// Writes a finding's (minimized) deck into `dir`, returning the path.
+/// Existing files are left untouched (content-addressed names make this a
+/// dedupe, not a clobber).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_finding(dir: &Path, f: &Finding) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(corpus_name(f));
+    if !path.exists() {
+        fs::write(&path, f.deck.as_bytes())?;
+    }
+    Ok(path)
+}
+
+/// One corpus deck's replay outcome.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// File name within the corpus directory.
+    pub name: String,
+    /// Findings the oracles still produce (empty = pass).
+    pub findings: Vec<Finding>,
+    /// The oracle panicked on this deck.
+    pub panicked: bool,
+}
+
+impl ReplayOutcome {
+    /// True when the deck is fully triaged: no findings, no panic.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty() && !self.panicked
+    }
+}
+
+/// Replays every `.deck` file in `dir` through all oracle stages under a
+/// panic guard. Returns one outcome per deck, sorted by name for stable
+/// reporting. A missing directory is an empty corpus, not an error.
+pub fn replay(dir: &Path, limits: &DeckLimits) -> Vec<ReplayOutcome> {
+    let mut entries: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "deck"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let Ok(deck) = fs::read_to_string(&path) else {
+                // Unreadable/non-UTF8 corpus entry: surface as a panic-level
+                // failure so it gets looked at rather than silently skipped.
+                return ReplayOutcome {
+                    name,
+                    findings: Vec::new(),
+                    panicked: true,
+                };
+            };
+            match catch_unwind(AssertUnwindSafe(|| check_all(&deck, limits))) {
+                Ok((findings, _)) => ReplayOutcome {
+                    name,
+                    findings,
+                    panicked: false,
+                },
+                Err(_) => ReplayOutcome {
+                    name,
+                    findings: Vec::new(),
+                    panicked: true,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FindingKind;
+
+    #[test]
+    fn names_are_content_addressed() {
+        let f = |deck: &str| Finding {
+            kind: FindingKind::Panic,
+            oracle: "solve",
+            detail: String::new(),
+            deck: deck.to_string(),
+        };
+        assert_eq!(corpus_name(&f("abc")), corpus_name(&f("abc")));
+        assert_ne!(corpus_name(&f("abc")), corpus_name(&f("abd")));
+        assert!(corpus_name(&f("abc")).starts_with("panic-solve-"));
+    }
+
+    #[test]
+    fn replay_of_missing_dir_is_empty() {
+        let out = replay(Path::new("/nonexistent/corpus-xyz"), &DeckLimits::default());
+        assert!(out.is_empty());
+    }
+}

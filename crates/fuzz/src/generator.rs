@@ -1,0 +1,358 @@
+//! Structure-aware deck generation.
+//!
+//! [`generate_deck`] emits syntactically plausible annotated SPICE decks
+//! from a seeded grammar: guaranteed-connected resistive/MOS/capacitive
+//! networks with ground, random testbench directives (`.design`, `.spec`,
+//! `.range`, `.match`, `.tb`), and `{param}` placeholders. The output is a
+//! deterministic function of the RNG state, so a campaign seed reproduces
+//! every deck it ever produced.
+//!
+//! Connectivity invariant: every element attaches at least one terminal to
+//! an already-connected node (ground is connected by construction), so no
+//! generated deck contains an island that is unreachable from ground.
+//! Nodes introduced through a capacitor only may still be DC-floating —
+//! deliberately, because the gmin-regularized near-singular regime is
+//! exactly where the dense and sparse backends are most likely to drift
+//! apart and must be shown not to.
+
+use rand::{rngs::StdRng, Rng};
+
+/// Bounds and shape knobs for one generated deck.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of element lines (the generator draws 3..=max).
+    pub max_elements: usize,
+    /// Probability that the deck carries testbench directives and
+    /// `{param}` placeholders (vs. a fully numeric circuit-only deck).
+    pub annotate: f64,
+    /// Probability that an annotated deck carries the full `.tb` harness
+    /// (vinp/vinn/out/vdd/tail/slewcap) required for `Testbench` compilation.
+    pub harness: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_elements: 24,
+            annotate: 0.0,
+            harness: 0.5,
+        }
+    }
+}
+
+/// Formats a value in one of several equivalent SPICE spellings so the
+/// suffix parser is exercised, not just `{:e}` notation.
+fn format_value(rng: &mut StdRng, v: f64) -> String {
+    match rng.gen_range(0u8..4) {
+        0 if (1e3..1e6).contains(&v.abs()) => format!("{}k", v / 1e3),
+        1 if (1e-9..1e-3).contains(&v.abs()) => format!("{}u", v * 1e6),
+        2 => format!("{v}"),
+        _ => format!("{v:e}"),
+    }
+}
+
+/// One generated deck plus the facts the oracles need about it.
+#[derive(Debug, Clone)]
+pub struct GenDeck {
+    /// The deck text.
+    pub text: String,
+    /// Whether any source carries an AC magnitude (enables the AC oracle).
+    pub has_ac: bool,
+    /// Whether the deck is fully numeric (no `{param}` placeholders), i.e.
+    /// lowerable to a [`specwise_mna::Circuit`] directly.
+    pub concrete: bool,
+}
+
+struct Builder {
+    lines: Vec<String>,
+    /// Node names known to be reachable from ground.
+    connected: Vec<String>,
+    next_node: usize,
+    counters: [usize; 8],
+    mosfets: Vec<String>,
+    has_ac: bool,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            lines: Vec::new(),
+            connected: vec!["0".into()],
+            next_node: 0,
+            counters: [0; 8],
+            mosfets: Vec::new(),
+            has_ac: false,
+        }
+    }
+
+    fn name(&mut self, slot: usize, prefix: &str) -> String {
+        self.counters[slot] += 1;
+        format!("{prefix}{}", self.counters[slot])
+    }
+
+    fn existing(&self, rng: &mut StdRng) -> String {
+        self.connected[rng.gen_range(0..self.connected.len())].clone()
+    }
+
+    /// A fresh node (connected by whatever element uses it) or an existing
+    /// one; fresh keeps the topology growing.
+    fn grow(&mut self, rng: &mut StdRng) -> String {
+        if rng.gen_bool(0.55) || self.connected.len() < 2 {
+            self.next_node += 1;
+            let n = format!("n{}", self.next_node);
+            self.connected.push(n.clone());
+            n
+        } else {
+            self.existing(rng)
+        }
+    }
+}
+
+/// Generates one deck. See the module docs for the guarantees.
+pub fn generate_deck(rng: &mut StdRng, cfg: &GenConfig) -> GenDeck {
+    let annotate = rng.gen_bool(cfg.annotate.clamp(0.0, 1.0));
+    let harness = annotate && rng.gen_bool(cfg.harness.clamp(0.0, 1.0));
+    let mut b = Builder::new();
+
+    // Supply rail: always present so MOS networks have headroom.
+    let vdd_value = if harness {
+        "{vdd}".to_string()
+    } else {
+        let v = rng.gen_range(1.5..5.0);
+        format_value(rng, v)
+    };
+    b.connected.push("vdd".into());
+    b.lines.push(format!("VDD vdd 0 {vdd_value}"));
+
+    // Harness fixtures required by `Testbench` compilation.
+    if harness {
+        b.connected.push("inp".into());
+        b.connected.push("inn".into());
+        b.connected.push("out".into());
+        b.lines.push("VINP inp 0 {vcm}".into());
+        b.lines.push("VINN inn 0 {vcm}".into());
+        // A tail MOSFET and a slew capacitor the `.tb` keys can point at.
+        b.connected.push("tail".into());
+        b.lines
+            .push("MT tail inp vdd vdd PMOS W=20u L=2u".to_string());
+        b.mosfets.push("MT".into());
+        b.lines.push("CSL out 0 3p".into());
+    }
+
+    let n_elems = rng.gen_range(3..cfg.max_elements.max(4));
+    let mut params: Vec<(String, f64)> = Vec::new();
+    for _ in 0..n_elems {
+        let roll: f64 = rng.gen();
+        if roll < 0.34 {
+            // Resistor: decade-spread positive value.
+            let a = b.grow(rng);
+            let c = b.existing(rng);
+            let v = 10f64.powf(rng.gen_range(1.0..6.5));
+            let name = b.name(0, "R");
+            let value = if annotate && rng.gen_bool(0.2) {
+                let p = format!("r{}", params.len() + 1);
+                params.push((p.clone(), v));
+                format!("{{{p}}}")
+            } else {
+                format_value(rng, v)
+            };
+            b.lines.push(format!("{name} {a} {c} {value}"));
+        } else if roll < 0.50 {
+            // Capacitor — possibly leaving its far node DC-floating.
+            let a = b.grow(rng);
+            let c = b.existing(rng);
+            let v = 10f64.powf(rng.gen_range(-13.0..-6.0));
+            let name = b.name(1, "C");
+            b.lines
+                .push(format!("{name} {a} {c} {}", format_value(rng, v)));
+        } else if roll < 0.60 {
+            // Independent source; occasionally between two existing nodes,
+            // which can form a voltage-source loop — a legitimate
+            // cleanly-singular stress case.
+            let fresh = rng.gen_bool(0.8);
+            let p = if fresh { b.grow(rng) } else { b.existing(rng) };
+            let n = b.existing(rng);
+            if rng.gen_bool(0.5) {
+                let name = b.name(2, "V");
+                let dc = rng.gen_range(-5.0..5.0);
+                let ac = rng.gen_bool(0.3);
+                let mut line = format!("{name} {p} {n} {}", format_value(rng, dc));
+                if ac {
+                    line.push_str(" AC 1");
+                    b.has_ac = true;
+                }
+                b.lines.push(line);
+            } else {
+                let name = b.name(3, "I");
+                let dc = rng.gen_range(-1e-3..1e-3);
+                b.lines.push(format!("{name} {p} {n} {dc:e}"));
+            }
+        } else if roll < 0.85 {
+            // MOSFET: source/bulk on a rail most of the time so the device
+            // has a plausible operating region.
+            let d = b.grow(rng);
+            let g = b.existing(rng);
+            let (s, pol) = if rng.gen_bool(0.5) {
+                ("0".to_string(), "NMOS")
+            } else {
+                ("vdd".to_string(), "PMOS")
+            };
+            let s = if rng.gen_bool(0.85) {
+                s
+            } else {
+                b.existing(rng)
+            };
+            let bulk = if pol == "NMOS" { "0" } else { "vdd" };
+            let w = 10f64.powf(rng.gen_range(-6.0..-4.0));
+            let l = 10f64.powf(rng.gen_range(-6.3..-5.3));
+            let name = b.name(4, "M");
+            let wtok = if annotate && rng.gen_bool(0.25) {
+                let p = format!("w{}", params.len() + 1);
+                params.push((p.clone(), w * 1e6));
+                format!("{{{p}}}")
+            } else {
+                format!("{w:e}")
+            };
+            b.lines
+                .push(format!("{name} {d} {g} {s} {bulk} {pol} W={wtok} L={l:e}"));
+            b.mosfets.push(name);
+        } else if roll < 0.92 {
+            // Diode to ground.
+            let a = b.existing(rng);
+            let name = b.name(5, "D");
+            if rng.gen_bool(0.5) {
+                b.lines.push(format!("{name} {a} 0"));
+            } else {
+                b.lines.push(format!(
+                    "{name} {a} 0 IS={:e} N={}",
+                    10f64.powf(rng.gen_range(-15.0..-11.0)),
+                    rng.gen_range(1.0..2.0)
+                ));
+            }
+        } else {
+            // Controlled source with a modest gain.
+            let p = b.grow(rng);
+            let n = b.existing(rng);
+            let cp = b.existing(rng);
+            let cn = b.existing(rng);
+            if rng.gen_bool(0.5) {
+                let name = b.name(6, "E");
+                b.lines.push(format!(
+                    "{name} {p} {n} {cp} {cn} {}",
+                    rng.gen_range(0.1..10.0)
+                ));
+            } else {
+                let name = b.name(7, "G");
+                b.lines.push(format!(
+                    "{name} {p} {n} {cp} {cn} {:e}",
+                    10f64.powf(rng.gen_range(-5.0..-2.0))
+                ));
+            }
+        }
+    }
+
+    // Bleed DC-floating nodes to ground most of the time; the remainder
+    // keeps the gmin-regularized near-singular regime in the corpus.
+    let dangling: Vec<String> = b
+        .connected
+        .iter()
+        .filter(|n| {
+            n.as_str() != "0"
+                && !b.lines.iter().any(|l| {
+                    let mut f = l.split_whitespace();
+                    let head = f.next().unwrap_or("");
+                    !head.starts_with(['C', 'c']) && f.take(4).any(|t| t == n.as_str())
+                })
+        })
+        .cloned()
+        .collect();
+    for n in dangling {
+        if rng.gen_bool(0.8) {
+            let name = b.name(0, "R");
+            b.lines.push(format!("{name} {n} 0 1e6"));
+        }
+    }
+
+    let mut out = String::new();
+    if annotate {
+        out.push_str(".name generated deck\n");
+        for (p, v) in &params {
+            // Bounds bracket the drawn value so compilation can succeed.
+            let unit = if p.starts_with('w') { "um" } else { "Ohm" };
+            out.push_str(&format!(
+                ".design {p} {unit} {:e} {:e} {v:e}\n",
+                v / 4.0,
+                v * 4.0
+            ));
+        }
+        out.push_str(&format!(
+            ".range temp {} {}\n",
+            rng.gen_range(-50.0..0.0),
+            rng.gen_range(50.0..150.0)
+        ));
+        out.push_str(&format!(
+            ".range vdd {} {}\n",
+            rng.gen_range(1.0..3.0),
+            rng.gen_range(3.5..5.5)
+        ));
+        if harness {
+            out.push_str(".spec Vout V min 0.1 vdc(out)\n");
+            out.push_str(".tb vinp VINP\n.tb vinn VINN\n.tb out out\n");
+            out.push_str(".tb vdd VDD\n.tb tail MT\n.tb slewcap CSL\n");
+        } else if !b.connected.is_empty() {
+            let n = b.connected[rng.gen_range(0..b.connected.len())].clone();
+            out.push_str(&format!(".spec Vn V max 10 vdc({n})\n"));
+        }
+        if !b.mosfets.is_empty() && rng.gen_bool(0.5) {
+            let k = 1 + rng.gen_range(0..b.mosfets.len().min(3));
+            out.push_str(&format!(".match {}\n", b.mosfets[..k].join(" ")));
+        }
+    }
+    for l in &b.lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out.push_str(".end\n");
+
+    GenDeck {
+        text: out,
+        has_ac: b.has_ac,
+        concrete: !annotate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        for seed in 0..20u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let cfg = GenConfig {
+                annotate: 0.5,
+                ..GenConfig::default()
+            };
+            assert_eq!(
+                generate_deck(&mut a, &cfg).text,
+                generate_deck(&mut b, &cfg).text
+            );
+        }
+    }
+
+    #[test]
+    fn generated_decks_always_parse() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GenConfig {
+            annotate: 0.5,
+            ..GenConfig::default()
+        };
+        for _ in 0..200 {
+            let d = generate_deck(&mut rng, &cfg);
+            specwise_mna::parse_deck_ast(&d.text)
+                .unwrap_or_else(|e| panic!("generated deck failed to parse: {e}\n{}", d.text));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Fuzz campaign front end.
+//!
+//! ```text
+//! cargo run --release -p specwise-fuzz -- --seed 1 --iters 2000 --oracle solve
+//! cargo run --release -p specwise-fuzz -- --seed 7 --iters 200 --oracle wire
+//! cargo run --release -p specwise-fuzz -- --seed 3 --iters 5000 --oracle parser --write-corpus
+//! ```
+//!
+//! Exit code 0 when the campaign is clean, 1 on findings, 2 on usage
+//! errors. `--write-corpus` pins minimized findings under
+//! `crates/fuzz/corpus/` for the replay regression test.
+
+use std::process::ExitCode;
+
+use specwise_fuzz::{corpus, run_campaign, summarize, wire, CampaignConfig, OracleMode};
+
+const USAGE: &str = "usage: specwise-fuzz --seed N --iters M \
+                     --oracle parser|compile|solve|wire [--write-corpus]";
+
+struct Args {
+    seed: u64,
+    iters: usize,
+    oracle: String,
+    write_corpus: bool,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        iters: 1000,
+        oracle: "solve".to_string(),
+        write_corpus: false,
+        help: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--iters" => {
+                args.iters = it
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?;
+            }
+            "--oracle" => {
+                args.oracle = it.next().ok_or("--oracle needs a value")?;
+            }
+            "--write-corpus" => args.write_corpus = true,
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    if args.oracle == "wire" {
+        let report = wire::run_wire_campaign(args.seed, args.iters, |m| println!("{m}"));
+        println!(
+            "wire: {} attacks {:?} | findings {}",
+            report.attacks,
+            report.by_attack,
+            report.findings.len()
+        );
+        for f in &report.findings {
+            println!("FINDING: {f}");
+        }
+        return if report.findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let Some(mode) = OracleMode::parse(&args.oracle) else {
+        eprintln!(
+            "unknown oracle '{}' (parser|compile|solve|wire)",
+            args.oracle
+        );
+        return ExitCode::from(2);
+    };
+    let mut cfg = CampaignConfig::new(args.seed, args.iters, mode);
+    if args.write_corpus {
+        cfg.write_corpus = Some(corpus::corpus_dir());
+    }
+    let report = run_campaign(&cfg, |m| println!("{m}"));
+    println!("{}", summarize(&report, mode));
+    for f in &report.findings {
+        println!(
+            "FINDING: {} [{}] {}\n--- deck ({} bytes) ---\n{}\n---",
+            f.kind.label(),
+            f.oracle,
+            f.detail,
+            f.deck.len(),
+            f.deck
+        );
+    }
+    for p in &report.written {
+        println!("pinned: {}", p.display());
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic mutation operators over deck text.
+//!
+//! Each operator takes deck text and a seeded RNG and returns a mutated
+//! deck. Operators are structure-aware where it pays (token splice targets
+//! whitespace-separated tokens, numeric extremes target number-shaped
+//! tokens) and byte-dumb where that is the point (truncation). Applied to
+//! generator output and to the three embedded opamp decks alike.
+
+use rand::{rngs::StdRng, Rng};
+
+/// Grammar-adjacent splice tokens: valid heads, directives, values, and
+/// junk, so mutated decks reach deep into every parse arm instead of dying
+/// on the first token.
+pub const SPLICE_TOKENS: &[&str] = &[
+    ".design",
+    ".spec",
+    ".range",
+    ".match",
+    ".tb",
+    ".name",
+    ".nodes",
+    ".temp",
+    ".end",
+    ".include",
+    "R1",
+    "C1",
+    "V1",
+    "I1",
+    "E1",
+    "G1",
+    "M1",
+    "D1",
+    "X1",
+    "a",
+    "b",
+    "0",
+    "gnd",
+    "out",
+    "vdd",
+    "1k",
+    "2.5u",
+    "-5",
+    "1e308",
+    "-1e308",
+    "1e999",
+    "nan",
+    "inf",
+    "{w1}",
+    "{{w1}}",
+    "{",
+    "}",
+    "{}",
+    "AC",
+    "NMOS",
+    "PMOS",
+    "W=10u",
+    "L=",
+    "W={w1}",
+    "IS=1e-12",
+    "N=2",
+    "min",
+    "max",
+    "um",
+    ";",
+    "*",
+    "\u{1F4A3}",
+    "",
+];
+
+/// Number-shaped replacement values probing overflow, underflow, signed
+/// zero, and tokens that merely look numeric.
+pub const NUMERIC_EXTREMES: &[&str] = &[
+    "1e308",
+    "-1e308",
+    "1e-308",
+    "1e999",
+    "-1e999",
+    "0",
+    "-0.0",
+    "nan",
+    "inf",
+    "-inf",
+    "9999999999999999999999999999",
+    "1e-999",
+    "0x10",
+    "1_000",
+    "1e",
+    "..",
+    "+-3",
+];
+
+/// The mutation operators, in the order [`mutate`] draws them.
+pub const OPERATOR_NAMES: &[&str] = &[
+    "token-splice",
+    "directive-dup",
+    "truncate",
+    "numeric-extreme",
+    "depth-bomb",
+    "line-shuffle",
+    "byte-noise",
+];
+
+fn tokens_of(deck: &str) -> Vec<(usize, usize)> {
+    // Byte ranges of whitespace-separated tokens.
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in deck.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s, i));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, deck.len()));
+    }
+    out
+}
+
+fn looks_numeric(tok: &str) -> bool {
+    let t = tok.trim_start_matches(['-', '+']);
+    t.starts_with(|c: char| c.is_ascii_digit() || c == '.')
+}
+
+fn replace_range(deck: &str, (a, b): (usize, usize), with: &str) -> String {
+    let mut out = String::with_capacity(deck.len() + with.len());
+    out.push_str(&deck[..a]);
+    out.push_str(with);
+    out.push_str(&deck[b..]);
+    out
+}
+
+/// Applies one randomly chosen operator; returns the mutated deck and the
+/// operator's name (for campaign statistics and finding reports).
+pub fn mutate(deck: &str, rng: &mut StdRng) -> (String, &'static str) {
+    let op = rng.gen_range(0..OPERATOR_NAMES.len());
+    let name = OPERATOR_NAMES[op];
+    let toks = tokens_of(deck);
+    let mutated = match op {
+        // Token splice: replace a random token with a pool token or with
+        // another token copied from elsewhere in the deck.
+        0 if !toks.is_empty() => {
+            let t = toks[rng.gen_range(0..toks.len())];
+            let with = if rng.gen_bool(0.5) || toks.len() < 2 {
+                SPLICE_TOKENS[rng.gen_range(0..SPLICE_TOKENS.len())].to_string()
+            } else {
+                let s = toks[rng.gen_range(0..toks.len())];
+                deck[s.0..s.1].to_string()
+            };
+            replace_range(deck, t, &with)
+        }
+        // Directive/line duplication — many copies stress the count limits.
+        1 => {
+            let lines: Vec<&str> = deck.lines().collect();
+            if lines.is_empty() {
+                deck.to_string()
+            } else {
+                let i = rng.gen_range(0..lines.len());
+                let copies = [1, 2, 8, 64][rng.gen_range(0..4usize)];
+                let mut out = String::new();
+                for (k, l) in lines.iter().enumerate() {
+                    out.push_str(l);
+                    out.push('\n');
+                    if k == i {
+                        for _ in 0..copies {
+                            out.push_str(l);
+                            out.push('\n');
+                        }
+                    }
+                }
+                out
+            }
+        }
+        // Truncation at an arbitrary char boundary.
+        2 => {
+            let mut cut = rng.gen_range(0..deck.len().max(1));
+            while cut > 0 && !deck.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            deck[..cut].to_string()
+        }
+        // Numeric extremes on a number-shaped token.
+        3 => {
+            let nums: Vec<(usize, usize)> = toks
+                .iter()
+                .copied()
+                .filter(|&(a, b)| looks_numeric(&deck[a..b]))
+                .collect();
+            if nums.is_empty() {
+                deck.to_string()
+            } else {
+                let t = nums[rng.gen_range(0..nums.len())];
+                let with = NUMERIC_EXTREMES[rng.gen_range(0..NUMERIC_EXTREMES.len())];
+                replace_range(deck, t, with)
+            }
+        }
+        // Brace-depth bomb in place of a token.
+        4 if !toks.is_empty() => {
+            let t = toks[rng.gen_range(0..toks.len())];
+            let depth = rng.gen_range(2..40usize);
+            let bomb = format!("{}x{}", "{".repeat(depth), "}".repeat(depth));
+            replace_range(deck, t, &bomb)
+        }
+        // Line shuffle.
+        5 => {
+            use rand::seq::SliceRandom;
+            let mut lines: Vec<&str> = deck.lines().collect();
+            lines.shuffle(rng);
+            let mut out = lines.join("\n");
+            out.push('\n');
+            out
+        }
+        // Insert noise chars (controls, multibyte, replacement char).
+        6 => {
+            const NOISE: &[char] = &[
+                '\u{0}',
+                '\u{1}',
+                '\t',
+                '\r',
+                '\u{fffd}',
+                'é',
+                '\u{1F4A3}',
+                ';',
+                '*',
+            ];
+            let mut out = String::with_capacity(deck.len() + 8);
+            let mut pos = rng.gen_range(0..deck.len().max(1));
+            while pos > 0 && !deck.is_char_boundary(pos) {
+                pos -= 1;
+            }
+            out.push_str(&deck[..pos]);
+            for _ in 0..rng.gen_range(1..6usize) {
+                out.push(NOISE[rng.gen_range(0..NOISE.len())]);
+            }
+            out.push_str(&deck[pos..]);
+            out
+        }
+        _ => deck.to_string(),
+    };
+    (mutated, name)
+}
+
+/// Applies `n` stacked mutations.
+pub fn mutate_n(deck: &str, rng: &mut StdRng, n: usize) -> String {
+    let mut d = deck.to_string();
+    for _ in 0..n {
+        d = mutate(&d, rng).0;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutations_are_deterministic_and_total() {
+        let deck = "V1 a 0 1.0\nR1 a 0 1k\n.end\n";
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let (x, opx) = mutate(deck, &mut a);
+            let (y, opy) = mutate(deck, &mut b);
+            assert_eq!(x, y);
+            assert_eq!(opx, opy);
+        }
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let deck = "V1 a 0 1.0 ; é\u{1F4A3}\n";
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let _ = mutate_n(deck, &mut rng, 3);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Fixed-seed bounded fuzz runs — the CI smoke version of the campaigns.
+//!
+//! Short deterministic campaigns over every library oracle stage. These
+//! use the exact driver the `specwise-fuzz` binary uses, so CI exercises
+//! the same code path as an overnight run, just with fewer iterations
+//! (the three campaigns together stay within a ~30 s budget in release
+//! mode; iteration counts are sized for that).
+
+use specwise_fuzz::{run_campaign, summarize, CampaignConfig, OracleMode};
+
+fn assert_clean(mode: OracleMode, seed: u64, iters: usize) {
+    let cfg = CampaignConfig::new(seed, iters, mode);
+    let report = run_campaign(&cfg, |_| {});
+    assert_eq!(report.iters, iters);
+    let mut msg = summarize(&report, mode);
+    for f in &report.findings {
+        msg.push_str(&format!(
+            "\nFINDING: {} [{}] {}\n--- deck ---\n{}",
+            f.kind.label(),
+            f.oracle,
+            f.detail,
+            f.deck
+        ));
+    }
+    assert!(report.clean(), "{msg}");
+}
+
+#[test]
+fn parser_campaign_is_clean() {
+    assert_clean(OracleMode::Parser, 0xC0FFEE, 400);
+}
+
+#[test]
+fn compile_campaign_is_clean() {
+    assert_clean(OracleMode::Compile, 0xBEEF, 250);
+}
+
+#[test]
+fn solve_campaign_is_clean() {
+    assert_clean(OracleMode::Solve, 1, 150);
+}
+
+#[test]
+fn campaigns_exercise_the_solvers() {
+    // Guard against the generator drifting into producing only unparseable
+    // or unsolvable decks, which would hollow out the differential oracle.
+    let cfg = CampaignConfig::new(2, 200, OracleMode::Solve);
+    let report = run_campaign(&cfg, |_| {});
+    assert!(
+        report.stats.parsed > 100,
+        "too few decks parsed: {:?}",
+        report.stats
+    );
+    assert!(
+        report.stats.solved > 20,
+        "too few decks reached the differential solve: {:?}",
+        report.stats
+    );
+    assert!(
+        report.stats.adjoint_checked > 10,
+        "too few adjoint one-step checks ran: {:?}",
+        report.stats
+    );
+    assert!(
+        report.stats.ac_checked > 5,
+        "too few AC comparisons ran: {:?}",
+        report.stats
+    );
+}

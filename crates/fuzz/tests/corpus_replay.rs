@@ -1,0 +1,61 @@
+//! Corpus replay regression test.
+//!
+//! Every deck pinned under `crates/fuzz/corpus/` once triggered a defect —
+//! a parser panic, a round-trip break, a compile-boundary panic, or a
+//! solver divergence. After the fixes, each must run through every oracle
+//! stage with zero findings and zero panics. A failure here means a pinned
+//! defect has regressed.
+
+use specwise_fuzz::corpus::{corpus_dir, replay};
+use specwise_mna::DeckLimits;
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = corpus_dir();
+    let outcomes = replay(&dir, &DeckLimits::default());
+    assert!(
+        !outcomes.is_empty(),
+        "corpus directory {} is empty — the pinned regression decks are missing",
+        dir.display()
+    );
+    let mut failures = Vec::new();
+    for o in &outcomes {
+        if !o.passed() {
+            let why = if o.panicked {
+                "PANIC".to_string()
+            } else {
+                o.findings
+                    .iter()
+                    .map(|f| format!("{} [{}] {}", f.kind.label(), f.oracle, f.detail))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            };
+            failures.push(format!("{}: {}", o.name, why));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus decks regressed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_covers_known_defect_classes() {
+    // The corpus must keep pinning at least the defect classes this fuzzing
+    // effort surfaced; removing them all would quietly disable the
+    // regression net.
+    let dir = corpus_dir();
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("corpus dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    for class in ["panic-", "round-trip-", "error-type-"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(class)),
+            "no corpus deck pins the {class} defect class (have: {names:?})"
+        );
+    }
+    assert!(names.len() >= 10, "corpus shrank below 10 decks: {names:?}");
+}

@@ -356,6 +356,12 @@ impl Circuit {
         n: NodeId,
         dc: f64,
     ) -> Result<ElementId, MnaError> {
+        if !dc.is_finite() {
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "source DC value must be finite",
+            });
+        }
         let branch = self.branches;
         let id = self.insert(
             name,
@@ -385,6 +391,12 @@ impl Circuit {
         n: NodeId,
         dc: f64,
     ) -> Result<ElementId, MnaError> {
+        if !dc.is_finite() {
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "source DC value must be finite",
+            });
+        }
         self.insert(name, ElementKind::CurrentSource { p, n, dc, ac: 0.0 })
     }
 
@@ -403,6 +415,12 @@ impl Circuit {
         cn: NodeId,
         gm: f64,
     ) -> Result<ElementId, MnaError> {
+        if !gm.is_finite() {
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "transconductance must be finite",
+            });
+        }
         self.insert(name, ElementKind::Vccs { p, n, cp, cn, gm })
     }
 
@@ -421,6 +439,12 @@ impl Circuit {
         cn: NodeId,
         gain: f64,
     ) -> Result<ElementId, MnaError> {
+        if !gain.is_finite() {
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "gain must be finite",
+            });
+        }
         let branch = self.branches;
         let id = self.insert(
             name,
@@ -561,6 +585,12 @@ impl Circuit {
     /// Returns [`MnaError::NotFound`] for unknown names and
     /// [`MnaError::InvalidValue`] when the element is not a source.
     pub fn set_ac(&mut self, name: &str, magnitude: f64) -> Result<(), MnaError> {
+        if !magnitude.is_finite() {
+            return Err(MnaError::InvalidValue {
+                element: name.to_string(),
+                reason: "AC magnitude must be finite",
+            });
+        }
         let id = self.find(name)?;
         match &mut self.kinds[id.0] {
             ElementKind::VoltageSource { ac, .. } | ElementKind::CurrentSource { ac, .. } => {

@@ -98,7 +98,17 @@ fn parse_value(token: &str, line: usize) -> Result<f64, ParseDeckError> {
             }
         }
     };
-    Ok(base * scale)
+    let value = base * scale;
+    // Overflowed literals ("1e999") and any suffix-scaled overflow must be
+    // rejected here: a non-finite value poisons every downstream consumer
+    // and prints as "inf"/"NaN", which the parser itself cannot read back.
+    if !value.is_finite() {
+        return Err(ParseDeckError::BadValue {
+            line,
+            token: token.to_string(),
+        });
+    }
+    Ok(value)
 }
 
 /// Hard ingestion limits for deck text, enforced by
@@ -120,6 +130,10 @@ pub struct DeckLimits {
     /// Maximum `{param}` brace-nesting depth. The grammar substitutes one
     /// layer, so depths beyond 1 are always an attempted expansion bomb.
     pub max_param_depth: usize,
+    /// Maximum number of distinct non-ground node names. The dense solver
+    /// allocates O(n²) for n unknowns, so node count — not element count —
+    /// is what bounds the memory an untrusted deck can demand.
+    pub max_nodes: usize,
 }
 
 impl Default for DeckLimits {
@@ -129,6 +143,7 @@ impl Default for DeckLimits {
             max_directives: 1_024,
             max_elements: 16_384,
             max_param_depth: 1,
+            max_nodes: 4_096,
         }
     }
 }
@@ -192,7 +207,7 @@ impl std::fmt::Display for DeckValue {
 }
 
 /// One element line of a deck.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DeckElement {
     /// 1-based source line.
     pub line: usize,
@@ -200,6 +215,16 @@ pub struct DeckElement {
     pub name: String,
     /// Terminals and values.
     pub kind: DeckElementKind,
+}
+
+// AST equality is semantic: `line` is provenance, not content. Two decks
+// that differ only in layout (comments, blank lines, section order) parse
+// to equal ASTs, which is what makes the `to_deck()` round-trip guarantee
+// hold for decks written in any directive order.
+impl PartialEq for DeckElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.kind == other.kind
+    }
 }
 
 /// The typed body of a [`DeckElement`]. Node fields hold raw node names
@@ -305,7 +330,7 @@ pub enum DeckElementKind {
 
 /// A `.design <var> <unit> <lo> <hi> <init>` directive: one design variable
 /// of the testbench, referenced from element values as `{var}`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DesignDirective {
     /// 1-based source line.
     pub line: usize,
@@ -321,8 +346,18 @@ pub struct DesignDirective {
     pub initial: f64,
 }
 
+impl PartialEq for DesignDirective {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.unit == other.unit
+            && self.lower == other.lower
+            && self.upper == other.upper
+            && self.initial == other.initial
+    }
+}
+
 /// A `.spec <name> <unit> <min|max> <bound> <measure>` directive.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SpecDirective {
     /// 1-based source line.
     pub line: usize,
@@ -339,9 +374,19 @@ pub struct SpecDirective {
     pub measure: String,
 }
 
+impl PartialEq for SpecDirective {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.unit == other.unit
+            && self.lower_bound == other.lower_bound
+            && self.bound == other.bound
+            && self.measure == other.measure
+    }
+}
+
 /// A `.range <temp|vdd> <lo> <hi>` directive: one axis of the operating
 /// range Θ.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RangeDirective {
     /// 1-based source line.
     pub line: usize,
@@ -353,9 +398,15 @@ pub struct RangeDirective {
     pub upper: f64,
 }
 
+impl PartialEq for RangeDirective {
+    fn eq(&self, other: &Self) -> bool {
+        self.quantity == other.quantity && self.lower == other.lower && self.upper == other.upper
+    }
+}
+
 /// A `.match <dev> [<dev> ...]` directive: a group of devices that receive
 /// local (Pelgrom) mismatch parameters, in declaration order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MatchDirective {
     /// 1-based source line.
     pub line: usize,
@@ -363,9 +414,15 @@ pub struct MatchDirective {
     pub devices: Vec<String>,
 }
 
+impl PartialEq for MatchDirective {
+    fn eq(&self, other: &Self) -> bool {
+        self.devices == other.devices
+    }
+}
+
 /// A `.tb <key> <value>` directive: testbench harness wiring (which sources
 /// are the inputs/supply, which node is the output, …).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TbDirective {
     /// 1-based source line.
     pub line: usize,
@@ -373,6 +430,12 @@ pub struct TbDirective {
     pub key: String,
     /// Value (an element or node name).
     pub value: String,
+}
+
+impl PartialEq for TbDirective {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.value == other.value
+    }
 }
 
 /// The parsed form of an annotated deck: elements (values possibly still
@@ -488,6 +551,15 @@ pub enum ParseDeckError {
         /// The configured depth limit.
         limit: usize,
     },
+    /// More distinct non-ground node names than [`DeckLimits::max_nodes`]
+    /// allows.
+    TooManyNodes {
+        /// 1-based line number of the line introducing the node over the
+        /// limit.
+        line: usize,
+        /// The configured limit.
+        limit: usize,
+    },
 }
 
 impl ParseDeckError {
@@ -505,6 +577,7 @@ impl ParseDeckError {
             | ParseDeckError::TooManyDirectives { line, .. }
             | ParseDeckError::TooManyElements { line, .. }
             | ParseDeckError::ParamTooDeep { line, .. }
+            | ParseDeckError::TooManyNodes { line, .. }
             | ParseDeckError::Circuit { line, .. } => *line,
             ParseDeckError::DeckTooLarge { .. } => 1,
         }
@@ -556,6 +629,9 @@ impl std::fmt::Display for ParseDeckError {
                     "line {line}: parameter {token:?} nests braces deeper than {limit}"
                 )
             }
+            ParseDeckError::TooManyNodes { line, limit } => {
+                write!(f, "line {line}: more than {limit} distinct nodes")
+            }
         }
     }
 }
@@ -567,6 +643,45 @@ impl std::error::Error for ParseDeckError {
             _ => None,
         }
     }
+}
+
+/// The node names an element line references (raw, including ground
+/// spellings).
+fn kind_nodes(kind: &DeckElementKind) -> Vec<&str> {
+    match kind {
+        DeckElementKind::Resistor { a, b, .. } | DeckElementKind::Capacitor { a, b, .. } => {
+            vec![a, b]
+        }
+        DeckElementKind::VoltageSource { p, n, .. }
+        | DeckElementKind::CurrentSource { p, n, .. } => vec![p, n],
+        DeckElementKind::Vcvs { p, n, cp, cn, .. } | DeckElementKind::Vccs { p, n, cp, cn, .. } => {
+            vec![p, n, cp, cn]
+        }
+        DeckElementKind::Mosfet { d, g, s, b, .. } => vec![d, g, s, b],
+        DeckElementKind::Diode { a, k, .. } => vec![a, k],
+    }
+}
+
+/// Records node names against [`DeckLimits::max_nodes`]. Ground spellings
+/// (`0`, `gnd`) are free; the limit counts distinct MNA unknowns-to-be.
+fn track_nodes<'a>(
+    seen: &mut std::collections::HashSet<String>,
+    names: impl IntoIterator<Item = &'a str>,
+    line: usize,
+    limit: usize,
+) -> Result<(), ParseDeckError> {
+    for name in names {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            continue;
+        }
+        if !seen.contains(name) {
+            if seen.len() >= limit {
+                return Err(ParseDeckError::TooManyNodes { line, limit });
+            }
+            seen.insert(name.to_string());
+        }
+    }
+    Ok(())
 }
 
 /// Extracts the value of a `K=<value>` style keyword field,
@@ -617,6 +732,7 @@ pub fn parse_deck_ast_limited(deck: &str, limits: &DeckLimits) -> Result<DeckAst
     }
     let mut ast = DeckAst::default();
     let mut directives = 0usize;
+    let mut node_names = std::collections::HashSet::new();
     for (lineno, raw) in deck.lines().enumerate() {
         let line = lineno + 1;
         // Strip comments.
@@ -654,7 +770,19 @@ pub fn parse_deck_ast_limited(deck: &str, limits: &DeckLimits) -> Result<DeckAst
             }
             match directive {
                 "END" => break,
-                "TEMP" => ast.temp_c = Some(num(1)?),
+                "TEMP" => {
+                    let c = num(1)?;
+                    // `Circuit::set_temperature` asserts kelvin > 0; reject
+                    // physically impossible temperatures at the parse
+                    // boundary so hostile decks get a typed error.
+                    if c <= -273.15 {
+                        return Err(bad(
+                            ".temp",
+                            format!("temperature {c} °C is at or below absolute zero"),
+                        ));
+                    }
+                    ast.temp_c = Some(c);
+                }
                 "NAME" => {
                     if fields.len() < 2 {
                         return Err(ParseDeckError::TooFewFields { line });
@@ -665,6 +793,12 @@ pub fn parse_deck_ast_limited(deck: &str, limits: &DeckLimits) -> Result<DeckAst
                     if fields.len() < 2 {
                         return Err(ParseDeckError::TooFewFields { line });
                     }
+                    track_nodes(
+                        &mut node_names,
+                        fields[1..].iter().copied(),
+                        line,
+                        limits.max_nodes,
+                    )?;
                     for f in &fields[1..] {
                         ast.nodes.push((*f).to_string());
                     }
@@ -887,6 +1021,7 @@ pub fn parse_deck_ast_limited(deck: &str, limits: &DeckLimits) -> Result<DeckAst
                 limit: limits.max_elements,
             });
         }
+        track_nodes(&mut node_names, kind_nodes(&kind), line, limits.max_nodes)?;
         ast.elements.push(DeckElement {
             line,
             name: head.to_string(),
@@ -912,6 +1047,16 @@ impl DeckAst {
             ckt_node(&mut ckt, n);
         }
         if let Some(c) = self.temp_c {
+            // The parser already rejects these, but a hand-built AST can
+            // carry any value; keep the trust boundary panic-free. The AST
+            // does not record the `.temp` source line, so report line 1.
+            if !c.is_finite() || c <= -273.15 {
+                return Err(ParseDeckError::BadDirective {
+                    line: 1,
+                    directive: ".temp".to_string(),
+                    reason: format!("temperature {c} °C is at or below absolute zero"),
+                });
+            }
             ckt.set_temperature(c + 273.15);
         }
         for e in &self.elements {

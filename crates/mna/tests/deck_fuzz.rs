@@ -2,8 +2,16 @@
 //! decks, and brace bombs must produce typed [`ParseDeckError`]s (or a
 //! harmless parse), never a panic. This is the ingestion boundary
 //! `specwise-serve` exposes to untrusted clients.
+//!
+//! Beyond byte soup, the structure-aware generator from `specwise-fuzz`
+//! drives grammar-shaped decks through the parser: generated decks must
+//! parse (or fail with a typed, 1-based-line error), round-trip through
+//! `to_deck()`, and survive stacked mutations without ever panicking.
 
 use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use specwise_fuzz::generator::{generate_deck, GenConfig};
+use specwise_fuzz::mutate::mutate_n;
 use specwise_mna::{
     parse_deck, parse_deck_ast, parse_deck_ast_limited, DeckLimits, ParseDeckError,
 };
@@ -94,10 +102,71 @@ proptest! {
             max_directives,
             max_elements,
             max_param_depth: 1,
+            ..DeckLimits::default()
         };
         // Whatever the limits, the parser returns — it never panics, and
         // the full deck always violates at least `max_bytes` here.
         prop_assert!(parse_deck_ast_limited(DECK, &limits).is_err());
+    }
+
+    #[test]
+    fn generated_decks_parse_and_round_trip(seed in 0u64..u64::MAX, annotate in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig { annotate, ..GenConfig::default() };
+        let deck = generate_deck(&mut rng, &cfg);
+        // Generator output is always grammatical: it must parse, not
+        // merely fail politely.
+        let ast = parse_deck_ast(&deck.text);
+        prop_assert!(ast.is_ok(), "generated deck failed to parse: {:?}\n{}", ast, deck.text);
+        let ast = ast.unwrap();
+        // `to_deck()` round-trips: reparse equals, reprint is idempotent.
+        let printed = ast.to_deck();
+        let reparsed = parse_deck_ast(&printed);
+        prop_assert!(reparsed.is_ok(), "printed deck failed to reparse: {:?}", reparsed);
+        let reparsed = reparsed.unwrap();
+        prop_assert_eq!(&reparsed, &ast, "round-trip changed the AST");
+        prop_assert_eq!(reparsed.to_deck(), printed, "printing is not idempotent");
+        // Fully numeric decks must lower to a circuit or give a typed
+        // element error; never panic.
+        if deck.concrete {
+            let _ = ast.to_circuit();
+        }
+    }
+
+    #[test]
+    fn mutated_generated_decks_give_typed_errors(
+        seed in 0u64..u64::MAX,
+        stacked in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig { annotate: 0.5, ..GenConfig::default() };
+        let base = generate_deck(&mut rng, &cfg);
+        let mutated = mutate_n(&base.text, &mut rng, stacked);
+        // Mutated decks may be arbitrary garbage; the contract is a typed
+        // error carrying a 1-based line, or a harmless parse.
+        match parse_deck_ast(&mutated) {
+            Ok(ast) => {
+                let _ = ast.to_circuit();
+            }
+            Err(e) => prop_assert!(e.line() >= 1, "0-based line in {e}"),
+        }
+        let _ = parse_deck(&mutated);
+    }
+
+    #[test]
+    fn mutated_reference_deck_never_panics(seed in 0u64..u64::MAX, stacked in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mutated = mutate_n(DECK, &mut rng, stacked);
+        match parse_deck_ast(&mutated) {
+            Ok(ast) => {
+                let printed = ast.to_deck();
+                // A deck the parser accepted must print to a deck the
+                // parser accepts again (the corpus pinned `1e999` and
+                // `.temp` counterexamples to exactly this property).
+                prop_assert!(parse_deck_ast(&printed).is_ok(), "reprint failed:\n{printed}");
+            }
+            Err(e) => prop_assert!(e.line() >= 1, "0-based line in {e}"),
+        }
     }
 }
 

@@ -366,3 +366,119 @@ fn three_decks_concurrent_kill_restart_resume_bit_for_bit() {
     }
     let _ = std::fs::remove_dir_all(spool);
 }
+
+/// Wire-level hostile input while another tenant's job is in flight: torn
+/// mid-line writes, an oversized frame followed by a valid request on the
+/// same connection, and garbage interleaved around a subscribe handshake.
+/// The daemon must resync every time and the other tenant's job must
+/// settle untouched. (The `specwise-fuzz` wire campaign randomizes these
+/// same attacks; this is the deterministic regression version.)
+#[test]
+fn wire_level_hostile_input_resyncs_and_spares_other_tenants() {
+    let cfg = local_config("hostile-wire", 1);
+    let spool = cfg.spool.clone();
+    let daemon = Daemon::start(cfg).expect("daemon starts");
+    let addr = daemon.local_addr();
+
+    // The victim: a real job from a well-behaved tenant, submitted first.
+    let mut opts = SubmitOptions::default();
+    opts.tenant = "victim".into();
+    opts.seed = Some(11);
+    opts.mc_samples = Some(100);
+    opts.verify_samples = Some(0);
+    opts.max_iterations = Some(1);
+    let victim_job = Client::connect(addr)
+        .expect("victim connects")
+        .submit(MillerOpamp::deck(), &opts)
+        .expect("victim submit accepted");
+
+    // Attack 1: a valid status request torn into 1–3 byte writes with a
+    // flush between each — the framing layer must reassemble it.
+    {
+        let raw = TcpStream::connect(addr).expect("torn connect");
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut writer = raw;
+        for chunk in b"{\"cmd\":\"status\"}\n".chunks(3) {
+            writer.write_all(chunk).unwrap();
+            writer.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"ok\":true"),
+            "torn request not reassembled: {line}"
+        );
+    }
+
+    // Attack 2: a mid-line cut — half a request, then the connection is
+    // dropped on the floor. The daemon must not block or leak the reader.
+    {
+        let mut writer = TcpStream::connect(addr).expect("cut connect");
+        writer.write_all(b"{\"cmd\":\"sub").unwrap();
+        writer.flush().unwrap();
+        // Dropped without a newline; the daemon's read loop sees EOF.
+    }
+
+    // Attack 3: oversized frame, then TWO valid requests on the same
+    // connection — resync must hold beyond the first follow-up.
+    {
+        let raw = TcpStream::connect(addr).expect("big connect");
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut writer = raw;
+        let mut big = vec![b'{'; (4 << 20) + 128];
+        big.push(b'\n');
+        writer.write_all(&big).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"oversized\""), "{line}");
+        for _ in 0..2 {
+            line.clear();
+            writer.write_all(b"{\"cmd\":\"status\"}\n").unwrap();
+            reader.read_line(&mut line).unwrap();
+            assert!(
+                line.contains("\"ok\":true"),
+                "no resync after oversized frame: {line}"
+            );
+        }
+    }
+
+    // Attack 4: garbage interleaved on a subscribe connection. Subscribing
+    // to an unknown job answers a typed error and keeps the connection in
+    // the request loop; the garbage that follows must bounce as malformed,
+    // not wedge the stream.
+    {
+        let raw = TcpStream::connect(addr).expect("subscribe connect");
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut writer = raw;
+        let mut line = String::new();
+        writer
+            .write_all(b"{\"cmd\":\"subscribe\",\"job\":\"job-bogus\"}\n")
+            .unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("unknown-job"), "{line}");
+        line.clear();
+        writer.write_all(b"\x00\xffgarbage\x01\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"malformed\""), "{line}");
+        line.clear();
+        writer.write_all(b"{\"cmd\":\"status\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+
+    // The victim's job settles with a real outcome, and the job table
+    // holds exactly that one job — no hostile connection became a job.
+    let mut client = Client::connect(addr).expect("client connects");
+    let outcome = client
+        .result_wait(&victim_job)
+        .expect("victim job settles despite hostile traffic");
+    assert!(!outcome.design.is_empty());
+    assert!(outcome.total_sims > 0);
+    let status = client.status().expect("status");
+    let jobs = status.get("jobs").and_then(|j| j.as_arr()).unwrap();
+    assert_eq!(jobs.len(), 1, "hostile traffic must not create jobs");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(spool);
+}
